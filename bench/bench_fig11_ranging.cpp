@@ -1,0 +1,78 @@
+// Fig 11 (§3.1): 1D ranging accuracy vs device separation at the dock.
+// (a) CDF of absolute error at 10/20/35/45 m using the dual-mic pipeline
+//     (paper medians: 0.48 / 0.80 / 0.86 m at 10/20/35 m).
+// (b) 95th-percentile error using both microphones vs each mic alone —
+//     dual-mic should win at every distance (paper: up to 4.52 m saved
+//     at 45 m).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "channel/propagation.hpp"
+#include "phy/ranging.hpp"
+#include "sim/metrics.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  const uwp::channel::Environment env = uwp::channel::make_dock();
+  const uwp::phy::PreambleConfig pc;
+  const uwp::phy::OfdmPreamble preamble(pc);
+  const uwp::phy::PreambleRanger ranger(preamble);
+  const uwp::channel::LinkSimulator link(env, pc.fs_hz);
+  // Receiver-side configured sound speed: Wilson's equation with a ~4-6 C
+  // temperature guess error (paper 2: <=2% c error at dive depths). This is
+  // what makes ranging error grow with true distance.
+  const double c_assumed = env.sound_speed_mps() + 22.0;
+  uwp::Rng rng(11);
+
+  const std::vector<double> distances = {10.0, 20.0, 35.0, 45.0};
+  const int trials = 40;  // paper: up to 60 exchanges per distance
+
+  std::printf("=== Fig 11a: ranging error CDF vs separation (dual mic) ===\n");
+  std::vector<std::vector<double>> dual_errors(distances.size());
+  for (std::size_t di = 0; di < distances.size(); ++di) {
+    const double range = distances[di];
+    uwp::channel::LinkConfig lc;
+    lc.tx_pos = {0.0, 0.0, 2.5};
+    lc.rx_pos = {range, 0.0, 2.5};
+    std::vector<double> mic1_err, mic2_err;
+    for (int t = 0; t < trials; ++t) {
+      const uwp::channel::Reception rec = link.transmit(preamble.waveform(), lc, rng);
+      for (auto [mode, bucket] :
+           {std::pair{uwp::phy::MicMode::kDual, &dual_errors[di]},
+            std::pair{uwp::phy::MicMode::kMic1Only, &mic1_err},
+            std::pair{uwp::phy::MicMode::kMic2Only, &mic2_err}}) {
+        const auto est = ranger.estimate(rec, mode);
+        if (est)
+          bucket->push_back(std::abs(
+              uwp::phy::one_way_distance_m(*est, c_assumed) - range));
+      }
+    }
+    char label[64];
+    std::snprintf(label, sizeof label, "dual-mic @ %2.0f m", range);
+    uwp::sim::print_summary_row(label, dual_errors[di]);
+
+    // Stash single-mic stats for part (b).
+    std::snprintf(label, sizeof label, "  bottom-only @ %2.0f m", range);
+    uwp::sim::print_summary_row(label, mic1_err);
+    std::snprintf(label, sizeof label, "  top-only    @ %2.0f m", range);
+    uwp::sim::print_summary_row(label, mic2_err);
+
+    std::printf("=== Fig 11b @ %.0f m: 95th percentile error ===\n", range);
+    auto p95 = [](const std::vector<double>& v) {
+      return v.empty() ? 99.0 : uwp::percentile(v, 95.0);
+    };
+    std::printf("  both=%5.2f m  bottom=%5.2f m  top=%5.2f m\n\n",
+                p95(dual_errors[di]), p95(mic1_err), p95(mic2_err));
+  }
+
+  std::printf("=== Fig 11a CDFs ===\n");
+  for (std::size_t di = 0; di < distances.size(); ++di) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%2.0f m", distances[di]);
+    uwp::sim::print_cdf(label, dual_errors[di], 9);
+  }
+  std::printf("\nPaper reference: medians 0.48 / 0.80 / 0.86 m at 10/20/35 m;\n"
+              "dual-mic lowers the 95%% tail at every distance.\n");
+  return 0;
+}

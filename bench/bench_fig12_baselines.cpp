@@ -1,0 +1,120 @@
+// Fig 12 (§3.1): comparison against BeepBeep-style chirp autocorrelation
+// [75] and CAT-style FMCW [64] at the boathouse.
+// (a) signal-detection false positives / false negatives: our xcorr+autocorr
+//     gate vs the window-power threshold TH_SD swept over thresholds.
+// (b) 1D ranging error (mean +/- std) at 10/20/28 m for the three methods,
+//     with equal signal duration and bandwidth.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "channel/propagation.hpp"
+#include "phy/baseline/chirp_ranger.hpp"
+#include "phy/baseline/fmcw_ranger.hpp"
+#include "phy/ranging.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  const uwp::channel::Environment env = uwp::channel::make_boathouse();
+  const uwp::phy::PreambleConfig pc;
+  const uwp::phy::OfdmPreamble preamble(pc);
+  const uwp::phy::PreambleRanger ranger(preamble);
+  const uwp::channel::LinkSimulator link(env, pc.fs_hz);
+  // Receiver-side configured sound speed: Wilson's equation with a ~4-6 C
+  // temperature guess error (paper 2: <=2% c error at dive depths). This is
+  // what makes ranging error grow with true distance.
+  const double c_assumed = env.sound_speed_mps() + 22.0;
+  uwp::Rng rng(12);
+
+  const std::vector<double> distances = {10.0, 20.0, 28.0};
+  const int sends = 30;        // paper: 180 preambles per distance
+  const int noise_trials = 30; // noise-only segments for false positives
+
+  // ---------- (a) detection robustness ----------
+  std::printf("=== Fig 12a: detection FP/FN (ours vs FMCW window-power TH_SD) ===\n");
+  // Pre-generate receptions at 20 m plus noise-only segments.
+  uwp::channel::LinkConfig lc;
+  lc.tx_pos = {0.0, 0.0, 1.0};
+  lc.rx_pos = {20.0, 0.0, 1.0};
+
+  std::vector<uwp::channel::Reception> with_signal, noise_only;
+  const uwp::phy::baseline::ChirpRanger chirp{uwp::phy::baseline::ChirpConfig{}};
+  std::vector<uwp::channel::Reception> chirp_rx, chirp_noise;
+  for (int t = 0; t < sends; ++t) {
+    with_signal.push_back(link.transmit(preamble.waveform(), lc, rng));
+    chirp_rx.push_back(link.transmit(chirp.waveform(), lc, rng));
+  }
+  for (int t = 0; t < noise_trials; ++t) {
+    noise_only.push_back(link.noise_only(0.5, lc, rng));
+    chirp_noise.push_back(link.noise_only(0.5, lc, rng));
+  }
+
+  std::printf("%-26s %8s %8s\n", "detector", "FP rate", "FN rate");
+  {
+    const uwp::phy::PreambleDetector det(preamble);
+    int fn = 0, fp = 0;
+    for (const auto& r : with_signal)
+      if (!det.detect(r.mic[0])) ++fn;
+    for (const auto& r : noise_only)
+      if (det.detect(r.mic[0])) ++fp;
+    std::printf("%-26s %8.3f %8.3f\n", "ours (xcorr+autocorr)",
+                static_cast<double>(fp) / noise_trials,
+                static_cast<double>(fn) / sends);
+  }
+  for (double th_db : {3.0, 6.0, 10.0, 15.0, 20.0}) {
+    uwp::phy::baseline::ChirpConfig ccfg;
+    ccfg.detect_threshold_db = th_db;
+    const uwp::phy::baseline::ChirpRanger det(ccfg);
+    int fn = 0, fp = 0;
+    for (const auto& r : chirp_rx)
+      if (!det.detect(r.mic[0])) ++fn;
+    for (const auto& r : chirp_noise)
+      if (det.detect(r.mic[0])) ++fp;
+    std::printf("power TH_SD = %4.1f dB       %8.3f %8.3f\n", th_db,
+                static_cast<double>(fp) / noise_trials,
+                static_cast<double>(fn) / sends);
+  }
+  std::printf("(paper: the power threshold trades FP against FN; the PN-coded\n"
+              " autocorrelation gate achieves low FP and FN simultaneously)\n\n");
+
+  // ---------- (b) 1D ranging error ----------
+  std::printf("=== Fig 12b: 1D ranging error, mean +/- std (m) ===\n");
+  std::printf("%8s %22s %22s %22s\n", "dist", "ours (dual-mic)",
+              "BeepBeep (chirp corr)", "CAT (FMCW)");
+  const uwp::phy::baseline::FmcwRanger fmcw{uwp::phy::baseline::FmcwConfig{}};
+  for (double range : distances) {
+    lc.rx_pos = {range, 0.0, 1.0};
+    std::vector<double> ours, beep, cat;
+    for (int t = 0; t < sends; ++t) {
+      const auto rec = link.transmit(preamble.waveform(), lc, rng);
+      if (const auto est = ranger.estimate(rec))
+        ours.push_back(std::abs(
+            uwp::phy::one_way_distance_m(*est, c_assumed) - range));
+
+      const auto rec_c = link.transmit(chirp.waveform(), lc, rng);
+      if (const auto arr = chirp.estimate_arrival(rec_c.mic[0]))
+        beep.push_back(std::abs(*arr / pc.fs_hz * c_assumed - range));
+
+      const auto rec_f = link.transmit(fmcw.waveform(), lc, rng);
+      if (const auto d = fmcw.estimate_delay_samples(rec_f.mic[0]))
+        cat.push_back(std::abs(*d / pc.fs_hz * c_assumed - range));
+    }
+    auto fmt = [](const std::vector<double>& v) {
+      static char buf[4][48];
+      static int slot = 0;
+      slot = (slot + 1) % 4;
+      if (v.empty())
+        std::snprintf(buf[slot], 48, "(none)");
+      else
+        // median [mean +/- std]: the median is robust to the occasional
+        // catastrophic miss that dominates the mean at small n.
+        std::snprintf(buf[slot], 48, "%5.2f [%5.2f+/-%5.2f]", uwp::median(v),
+                      uwp::mean(v), uwp::stddev(v));
+      return buf[slot];
+    };
+    std::printf("%7.0fm %22s %22s %22s\n", range, fmt(ours), fmt(beep), fmt(cat));
+  }
+  std::printf("(paper shape: ours lowest at every distance; FMCW degrades most\n"
+              " because multipath smears the beat spectrum)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig 20 (§3.2): 2D localization with one moving device. User 1 (then user
+// 2) oscillates around its nominal spot at 15-50 cm/s while the rest of the
+// 5-device dock network stays put; ground truth is the trajectory midpoint,
+// as in the paper. Paper: user 1 median 0.2 -> 0.3 m when moving; user 2
+// 0.4 -> 0.8 m — motion costs little because every round is independent.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+void run_config(const char* label, std::size_t mover, uwp::Rng& rng) {
+  const int rounds = 12;
+  uwp::sim::Deployment base = uwp::sim::make_dock_testbed(rng);
+  const uwp::Vec3 midpoint = base.devices[mover].position;
+
+  uwp::sim::RoundOptions opts;
+  opts.waveform_phy = true;
+
+  std::vector<double> mover_static, mover_moving, other_static, other_moving;
+  const std::size_t other = mover == 1 ? 2 : 1;
+
+  // Static baseline.
+  {
+    const uwp::sim::ScenarioRunner runner(base);
+    for (int r = 0; r < rounds; ++r) {
+      const auto res = runner.run_round(opts, rng);
+      if (!res.ok) continue;
+      mover_static.push_back(res.error_2d[mover]);
+      other_static.push_back(res.error_2d[other]);
+    }
+  }
+
+  // Moving: +/- 1.2 m oscillation along y around the midpoint (~30 cm/s at
+  // one round every ~8 s). Error is measured against the midpoint.
+  for (int r = 0; r < rounds; ++r) {
+    uwp::sim::Deployment dep = base;
+    const double phase = 2.0 * uwp::kPi * static_cast<double>(r) / 6.0;
+    dep.devices[mover].position = midpoint + uwp::Vec3{0.0, 1.2 * std::sin(phase), 0.0};
+    const uwp::sim::ScenarioRunner runner(std::move(dep));
+    uwp::sim::RoundResult res = runner.run_round(opts, rng);
+    if (!res.ok) continue;
+    // Ground truth for the mover is the trajectory midpoint (paper's rule).
+    const uwp::Vec2 mid_rel = (midpoint - base.devices[0].position).xy();
+    res.error_2d[mover] =
+        distance(res.localization.positions[mover].xy(), mid_rel);
+    mover_moving.push_back(res.error_2d[mover]);
+    other_moving.push_back(res.error_2d[other]);
+  }
+
+  std::printf("=== Fig 20: %s ===\n", label);
+  char row[64];
+  std::snprintf(row, sizeof row, "user %zu static", mover);
+  uwp::sim::print_summary_row(row, mover_static);
+  std::snprintf(row, sizeof row, "user %zu moving", mover);
+  uwp::sim::print_summary_row(row, mover_moving);
+  std::snprintf(row, sizeof row, "user %zu (bystander) static", other);
+  uwp::sim::print_summary_row(row, other_static);
+  std::snprintf(row, sizeof row, "user %zu (bystander) w/ mover", other);
+  uwp::sim::print_summary_row(row, other_moving);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  uwp::Rng rng(20);
+  run_config("user 1 moves (15-50 cm/s)", 1, rng);
+  run_config("user 2 moves (15-50 cm/s)", 2, rng);
+  std::printf("(paper: moving increases the mover's median error only\n"
+              " modestly — 0.2->0.3 m and 0.4->0.8 m — because each protocol\n"
+              " round is an independent snapshot)\n");
+  return 0;
+}

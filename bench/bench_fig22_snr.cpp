@@ -1,0 +1,78 @@
+// Fig 22 (Appendix): per-subcarrier SNR between two phones at 10/20/28 m at
+// the boathouse. An 8-symbol OFDM preamble is transmitted; per-bin SNR is
+// estimated from the LS channel estimate (signal power) against the ambient
+// noise spectrum measured in a signal-free window.
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <vector>
+
+#include "channel/propagation.hpp"
+#include "dsp/fft.hpp"
+#include "phy/channel_estimator.hpp"
+#include "phy/preamble_detector.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  const uwp::channel::Environment env = uwp::channel::make_boathouse();
+  uwp::phy::PreambleConfig pc;
+  pc.num_symbols = 8;  // the appendix uses 8 OFDM symbols
+  pc.pn = {1, 1, -1, 1, 1, -1, 1, 1};
+  const uwp::phy::OfdmPreamble preamble(pc);
+  const uwp::phy::PreambleDetector detector(preamble);
+  const uwp::phy::LsChannelEstimator estimator(preamble);
+  const uwp::channel::LinkSimulator link(env, pc.fs_hz);
+  uwp::Rng rng(22);
+
+  std::printf("=== Fig 22: per-subcarrier SNR (1-5 kHz, boathouse) ===\n");
+  std::printf("%10s", "freq[kHz]");
+  const std::vector<double> distances = {10.0, 20.0, 28.0};
+  for (double d : distances) std::printf("  %6.0fm", d);
+  std::printf("\n");
+
+  const double bin_hz = pc.fs_hz / static_cast<double>(pc.symbol_len);
+  const std::size_t lo = pc.bin_lo();
+  const std::size_t hi = pc.bin_hi();
+  std::vector<std::vector<double>> snr_db(distances.size(),
+                                          std::vector<double>(hi - lo + 1, 0.0));
+
+  for (std::size_t di = 0; di < distances.size(); ++di) {
+    uwp::channel::LinkConfig lc;
+    lc.tx_pos = {0.0, 0.0, 1.0};
+    lc.rx_pos = {distances[di], 0.0, 1.0};
+    const int trials = 6;
+    int used = 0;
+    for (int t = 0; t < trials; ++t) {
+      const uwp::channel::Reception rec = link.transmit(preamble.waveform(), lc, rng);
+      const auto det = detector.detect(rec.mic[0]);
+      if (!det) continue;
+      const uwp::phy::ChannelEstimate est = estimator.estimate(rec.mic[0],
+                                                               det->coarse_index);
+      // Noise spectrum from a signal-free tail window of the same length.
+      std::vector<double> tail(rec.mic[0].end() - static_cast<long>(pc.symbol_len),
+                               rec.mic[0].end());
+      const auto noise_spec = uwp::dsp::fft_real(tail);
+      ++used;
+      for (std::size_t k = lo; k <= hi; ++k) {
+        // |H|^2 * |X|^2 vs noise bin power. ZC bins have unit magnitude.
+        const double sig = std::norm(est.freq[k]);
+        const double noise = std::norm(noise_spec[k]) /
+                             static_cast<double>(pc.symbol_len);
+        snr_db[di][k - lo] +=
+            10.0 * std::log10(std::max(sig, 1e-30) / std::max(noise, 1e-30));
+      }
+    }
+    if (used > 0)
+      for (double& v : snr_db[di]) v /= used;
+  }
+
+  for (std::size_t k = lo; k <= hi; k += 8) {
+    std::printf("%10.2f", k * bin_hz / 1000.0);
+    for (std::size_t di = 0; di < distances.size(); ++di)
+      std::printf("  %7.1f", snr_db[di][k - lo]);
+    std::printf("\n");
+  }
+  std::printf("\n(paper shape: SNR decreases with distance; the usable band\n"
+              " spans 1-5 kHz with tens of dB at 10 m)\n");
+  return 0;
+}

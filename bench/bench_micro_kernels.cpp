@@ -1,0 +1,121 @@
+// google-benchmark microbenches for the hot kernels: FFT, preamble
+// cross-correlation, LS channel estimation, SMACOF, the pebble game,
+// Viterbi decoding and the channel simulator. Ablation pairs (classical MDS
+// vs SMACOF; smooth FFT vs Bluestein) are included for the design choices
+// DESIGN.md calls out.
+#include <benchmark/benchmark.h>
+
+#include "channel/propagation.hpp"
+#include "core/mds_classical.hpp"
+#include "core/rigidity.hpp"
+#include "core/smacof.hpp"
+#include "dsp/correlation.hpp"
+#include "dsp/fft.hpp"
+#include "phy/channel_estimator.hpp"
+#include "phy/convolutional.hpp"
+#include "phy/ofdm_preamble.hpp"
+#include "phy/preamble_detector.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+void BM_Fft1920(benchmark::State& state) {
+  uwp::Rng rng(1);
+  std::vector<uwp::dsp::cplx> x(1920);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) benchmark::DoNotOptimize(uwp::dsp::fft(x));
+}
+BENCHMARK(BM_Fft1920);
+
+void BM_FftBluestein1918(benchmark::State& state) {
+  // 1918 = 2 * 7 * 137: forces the Bluestein path (ablation vs smooth 1920).
+  uwp::Rng rng(2);
+  std::vector<uwp::dsp::cplx> x(1918);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) benchmark::DoNotOptimize(uwp::dsp::fft(x));
+}
+BENCHMARK(BM_FftBluestein1918);
+
+void BM_PreambleXcorr(benchmark::State& state) {
+  uwp::Rng rng(3);
+  const uwp::phy::OfdmPreamble preamble{uwp::phy::PreambleConfig{}};
+  std::vector<double> stream(44100);
+  for (auto& v : stream) v = rng.normal(0.0, 0.1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        uwp::dsp::normalized_cross_correlate(stream, preamble.waveform()));
+}
+BENCHMARK(BM_PreambleXcorr);
+
+void BM_LsChannelEstimate(benchmark::State& state) {
+  uwp::Rng rng(4);
+  const uwp::phy::OfdmPreamble preamble{uwp::phy::PreambleConfig{}};
+  std::vector<double> stream(20000);
+  for (auto& v : stream) v = rng.normal(0.0, 0.05);
+  for (std::size_t i = 0; i < preamble.waveform().size(); ++i)
+    stream[5000 + i] += preamble.waveform()[i];
+  const uwp::phy::LsChannelEstimator est(preamble);
+  for (auto _ : state) benchmark::DoNotOptimize(est.estimate(stream, 5000));
+}
+BENCHMARK(BM_LsChannelEstimate);
+
+std::pair<uwp::Matrix, uwp::Matrix> mds_problem(std::size_t n, uwp::Rng& rng) {
+  std::vector<uwp::Vec2> pts(n);
+  for (auto& p : pts) p = {rng.uniform(-20, 20), rng.uniform(-20, 20)};
+  uwp::Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = distance(pts[i], pts[j]);
+  return {d, uwp::Matrix::ones(n, n)};
+}
+
+void BM_Smacof(benchmark::State& state) {
+  uwp::Rng rng(5);
+  const auto [d, w] = mds_problem(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    uwp::Rng r(6);
+    benchmark::DoNotOptimize(uwp::core::smacof_2d(d, w, {}, r));
+  }
+}
+BENCHMARK(BM_Smacof)->Arg(5)->Arg(8)->Arg(12);
+
+void BM_ClassicalMds(benchmark::State& state) {
+  uwp::Rng rng(7);
+  const auto [d, w] = mds_problem(8, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(uwp::core::classical_mds_2d(d));
+}
+BENCHMARK(BM_ClassicalMds);
+
+void BM_PebbleGameK8(benchmark::State& state) {
+  std::vector<uwp::core::Edge> edges;
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = i + 1; j < 8; ++j) edges.emplace_back(i, j);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(uwp::core::is_uniquely_realizable_2d(8, edges));
+}
+BENCHMARK(BM_PebbleGameK8);
+
+void BM_ViterbiDecode(benchmark::State& state) {
+  uwp::Rng rng(8);
+  std::vector<std::uint8_t> bits(58);
+  for (auto& b : bits) b = rng.bernoulli(0.5);
+  const auto coded = uwp::phy::ConvolutionalCode::encode_r23(bits);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(uwp::phy::ConvolutionalCode::decode_r23(coded, 58));
+}
+BENCHMARK(BM_ViterbiDecode);
+
+void BM_ChannelTransmit(benchmark::State& state) {
+  uwp::Rng rng(9);
+  const uwp::phy::OfdmPreamble preamble{uwp::phy::PreambleConfig{}};
+  const uwp::channel::LinkSimulator link(uwp::channel::make_dock(), 44100.0);
+  uwp::channel::LinkConfig cfg;
+  cfg.tx_pos = {0, 0, 2};
+  cfg.rx_pos = {20, 0, 2};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(link.transmit(preamble.waveform(), cfg, rng));
+}
+BENCHMARK(BM_ChannelTransmit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Occlusion recovery: a rock (thick sheet, in the paper's experiment) blocks
+// the leader <-> diver-1 line of sight. The link still "works" — multipath
+// delivers the preamble — but the measured distance is meters too long.
+// Algorithm 1 notices the inflated topology stress, searches link subsets,
+// and drops the corrupted measurement (§2.1.3 / Fig 19a).
+//
+//   ./examples/occlusion_recovery
+#include <cstdio>
+
+#include "core/localizer.hpp"
+#include "util/random.hpp"
+
+int main() {
+  uwp::Rng rng(5);
+
+  // Ground-truth group layout (leader at origin).
+  const std::vector<uwp::Vec3> truth = {
+      {0, 0, 1.5}, {9, 1, 2.0}, {4, 10, 1.0}, {-7, 6, 2.5}, {-3, -9, 3.0}};
+  const std::size_t n = truth.size();
+
+  uwp::core::LocalizationInput input;
+  input.distances = uwp::Matrix(n, n);
+  input.weights = uwp::Matrix::ones(n, n);
+  input.depths.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    input.depths[i] = truth[i].z;
+    for (std::size_t j = 0; j < n; ++j)
+      input.distances(i, j) = distance(truth[i], truth[j]);
+  }
+  input.pointing_bearing_rad = bearing(truth[1].xy());
+  for (std::size_t i = 2; i < n; ++i) {
+    const double side = side_of_line(truth[i].xy(), {0, 0}, truth[1].xy());
+    input.votes.push_back({i, side > 0 ? 1 : -1});
+  }
+
+  // The occlusion: multipath detour adds 6.5 m to the 0<->1 measurement.
+  input.distances(0, 1) += 6.5;
+  input.distances(1, 0) = input.distances(0, 1);
+  std::printf("Link 0-1 occluded: measured %.1f m vs true %.1f m\n\n",
+              input.distances(0, 1), distance(truth[0], truth[1]));
+
+  auto report = [&](const char* label, const uwp::core::LocalizerOptions& opts) {
+    const uwp::core::Localizer loc(opts);
+    const uwp::core::LocalizationResult res = loc.localize(input, rng);
+    double worst = 0.0;
+    for (std::size_t i = 1; i < n; ++i)
+      worst = std::max(worst, distance(res.positions[i].xy(), truth[i].xy()));
+    std::printf("%-28s stress=%.2f m, dropped=%zu, worst device error=%.2f m\n",
+                label, res.normalized_stress, res.dropped_links.size(), worst);
+    for (const auto& [a, b] : res.dropped_links)
+      std::printf("%-28s   -> dropped link %zu-%zu\n", "", a, b);
+  };
+
+  uwp::core::LocalizerOptions without;
+  without.outlier.stress_threshold = 1e9;  // detector disabled
+  report("Without outlier detection:", without);
+
+  report("With outlier detection:", uwp::core::LocalizerOptions{});
+  std::printf("\nThe detector only ever drops subsets that keep the graph\n"
+              "uniquely realizable (redundantly rigid + 3-connected).\n");
+  return 0;
+}

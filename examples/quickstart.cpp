@@ -1,0 +1,49 @@
+// Quickstart: localize a 5-device dive group with zero infrastructure.
+//
+// A leader (device 0) and four divers hang in a simulated lake. One protocol
+// round — leader query, TDM responses, timestamp uplink — produces pairwise
+// distances; the topology core turns them plus depth readings and the
+// leader's pointing direction into 3D positions.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "sim/scenario.hpp"
+
+int main() {
+  uwp::Rng rng(2023);
+
+  // A ready-made testbed mirroring the paper's dock deployment (Fig 17a).
+  uwp::sim::Deployment deployment = uwp::sim::make_dock_testbed(rng);
+  const uwp::sim::ScenarioRunner runner(std::move(deployment));
+
+  uwp::sim::RoundOptions opts;
+  opts.waveform_phy = true;  // full acoustic simulation on every link
+
+  std::printf("Running one localization round (%zu devices, %s)...\n\n",
+              runner.deployment().size(), runner.deployment().env.name.c_str());
+  const uwp::sim::RoundResult round = runner.run_round(opts, rng);
+  if (!round.ok) {
+    std::printf("Localization failed (not enough links measured).\n");
+    return 1;
+  }
+
+  std::printf("Protocol round trip: %.2f s, %zu two-way + %zu one-way links\n",
+              round.protocol.round_duration_s, round.ranging.two_way_links,
+              round.ranging.one_way_links);
+  std::printf("Topology stress: %.2f m RMS%s\n\n",
+              round.localization.normalized_stress,
+              round.localization.outliers_suspected ? " (outliers suspected)" : "");
+
+  std::printf("%-8s %28s %28s %10s\n", "device", "estimated (x, y, depth) [m]",
+              "true (x, y, depth) [m]", "2D err");
+  for (std::size_t i = 0; i < runner.deployment().size(); ++i) {
+    const uwp::Vec3 est = round.localization.positions[i];
+    std::printf("%-8zu (%7.2f, %7.2f, %5.2f)      (%7.2f, %7.2f, %5.2f)      %6.2f\n",
+                i, est.x, est.y, est.z, round.truth_xy[i].x, round.truth_xy[i].y,
+                round.truth_depths[i], round.error_2d[i]);
+  }
+  std::printf("\nDevice 0 is the dive leader (origin); device 1 is the diver "
+              "the leader points at.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "audio/calibration.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/correlation.hpp"
+#include "dsp/window.hpp"
+
+namespace uwp::audio {
+
+std::vector<double> make_calibration_signal(double fs_hz, double f0_hz, double f1_hz,
+                                            double duration_s) {
+  const std::size_t n = static_cast<std::size_t>(duration_s * fs_hz);
+  std::vector<double> x(n);
+  const double k = (f1_hz - f0_hz) / duration_s;  // chirp rate
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs_hz;
+    const double phase = 2.0 * std::numbers::pi * (f0_hz * t + 0.5 * k * t * t);
+    x[i] = std::sin(phase);
+  }
+  const std::vector<double> w = uwp::dsp::make_window(uwp::dsp::WindowType::kTukey, n, 0.2);
+  uwp::dsp::apply_window(x, w);
+  return x;
+}
+
+std::optional<std::size_t> detect_calibration(std::span<const double> stream,
+                                              std::span<const double> signal,
+                                              double threshold) {
+  const std::vector<double> corr = uwp::dsp::normalized_cross_correlate(stream, signal);
+  if (corr.empty()) return std::nullopt;
+  const std::size_t best = uwp::dsp::argmax(corr);
+  if (corr[best] < threshold) return std::nullopt;
+  return best;
+}
+
+}  // namespace uwp::audio

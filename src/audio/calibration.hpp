@@ -1,0 +1,26 @@
+// Calibration-signal generation and detection used during DeviceAudio
+// initialization: a short in-band chirp played from the speaker into the
+// device's own microphone. Detection is normalized cross-correlation, the
+// same primitive the preamble detector builds on.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace uwp::audio {
+
+// Linear chirp from f0 to f1 over `duration_s`, Tukey-windowed to keep it in
+// the phone's usable band without spectral splatter.
+std::vector<double> make_calibration_signal(double fs_hz, double f0_hz = 1000.0,
+                                            double f1_hz = 5000.0,
+                                            double duration_s = 0.05);
+
+// Index where the calibration signal starts in `stream`, or nullopt when the
+// normalized correlation never reaches `threshold`.
+std::optional<std::size_t> detect_calibration(std::span<const double> stream,
+                                              std::span<const double> signal,
+                                              double threshold = 0.5);
+
+}  // namespace uwp::audio

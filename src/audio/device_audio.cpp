@@ -1,0 +1,62 @@
+#include "audio/device_audio.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace uwp::audio {
+
+DeviceAudio::DeviceAudio(const AudioTimingConfig& cfg)
+    : cfg_(cfg),
+      speaker_clock_(cfg.fs_nominal_hz, cfg.speaker_skew_ppm, cfg.speaker_start_s),
+      mic_clock_(cfg.fs_nominal_hz, cfg.mic_skew_ppm, cfg.mic_start_s) {}
+
+double DeviceAudio::mic_index_for_speaker_emission(double n, double delay_s) const {
+  const double t_emit = speaker_clock_.time_at(n);
+  return mic_clock_.index_at(t_emit + delay_s);
+}
+
+void DeviceAudio::calibrate(std::int64_t n1) {
+  n1_ = n1;
+  const double m_exact =
+      mic_index_for_speaker_emission(static_cast<double>(n1), cfg_.self_loopback_delay_s);
+  // A real detector reports an integer sample index.
+  m1_ = static_cast<std::int64_t>(std::llround(m_exact));
+  offset_ = n1_ - m1_;
+}
+
+std::int64_t DeviceAudio::buffer_offset() const {
+  if (!offset_) throw std::logic_error("DeviceAudio: not calibrated");
+  return *offset_;
+}
+
+std::int64_t DeviceAudio::reply_index_for(std::int64_t m2, double t_reply_s) const {
+  // Eq. 4: n2 = m2 + (n1 - m1) + fs * t_reply (nominal fs — the device does
+  // not know its actual rates).
+  return m2 + buffer_offset() +
+         static_cast<std::int64_t>(std::llround(cfg_.fs_nominal_hz * t_reply_s));
+}
+
+double DeviceAudio::realized_reply_interval(std::int64_t m2, std::int64_t n2) const {
+  // t_reply = t4 + delta2 - t3 (Eq. 2): the reply leaves the speaker at
+  // t4 = t_s(n2), reaches the device's own mic delta2 later; the incoming
+  // message arrived at t3 = t_m(m2).
+  const double t4 = speaker_clock_.time_at(static_cast<double>(n2));
+  const double t3 = mic_clock_.time_at(static_cast<double>(m2));
+  return t4 + cfg_.self_loopback_delay_s - t3;
+}
+
+double DeviceAudio::predicted_reply_error(std::int64_t m2, double t_reply_s) const {
+  // Eq. 6: error = -alpha * t_reply + (m2 - m1)(beta - alpha) / fs.
+  const double alpha = cfg_.speaker_skew_ppm * 1e-6;
+  const double beta = cfg_.mic_skew_ppm * 1e-6;
+  return -alpha * t_reply_s +
+         static_cast<double>(m2 - m1_) * (beta - alpha) / cfg_.fs_nominal_hz;
+}
+
+void DeviceAudio::recalibrate(std::int64_t n, std::int64_t m) {
+  n1_ = n;
+  m1_ = m;
+  offset_ = n - m;
+}
+
+}  // namespace uwp::audio

@@ -1,0 +1,81 @@
+// The paper Appendix's low-level audio timing model: a device has a speaker
+// stream and a microphone stream whose clocks were started at unknown,
+// different offsets and run at slightly different actual rates. The device
+// self-synchronizes the two buffers by playing a calibration signal through
+// its own speaker-to-mic acoustic loopback and recording the index offset
+// (n1 - m1); it can then schedule a reply at index n2 = m2 + (n1 - m1) +
+// fs * t_reply so that its response leaves a fixed interval after an
+// incoming message arrived (Eqs. 2-6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "audio/sample_clock.hpp"
+
+namespace uwp::audio {
+
+struct AudioTimingConfig {
+  double fs_nominal_hz = 44100.0;
+  double speaker_skew_ppm = 0.0;   // alpha in the Appendix
+  double mic_skew_ppm = 0.0;       // beta
+  double speaker_start_s = 0.0;    // t0_s (unknown to the device)
+  double mic_start_s = 0.0;        // t0_m (unknown to the device)
+  // delta_2: speaker -> own-mic acoustic travel (16 cm underwater ~ 0.11 ms).
+  // The protocol's distance formula ignores this term (paper §2.3), which
+  // biases two-way distances low by c * delta_2 — small vs. 0.5-0.9 m errors.
+  double self_loopback_delay_s = 0.11e-3;
+};
+
+class DeviceAudio {
+ public:
+  explicit DeviceAudio(const AudioTimingConfig& cfg);
+
+  const SampleClock& speaker_clock() const { return speaker_clock_; }
+  const SampleClock& mic_clock() const { return mic_clock_; }
+
+  // --- Physics helpers (ground truth the device cannot see directly) ---
+
+  // Mic index at which a signal emitted from speaker index `n` arrives after
+  // traveling `delay_s`.
+  double mic_index_for_speaker_emission(double n, double delay_s) const;
+
+  // --- Device-side protocol (what the firmware would do) ---
+
+  // Run the initial calibration: write the calibration signal at speaker
+  // index n1, observe it at mic index m1 (rounded to the nearest sample, as
+  // a real detector would), and store the offset n1 - m1 (Eq. 3 context).
+  void calibrate(std::int64_t n1 = 4096);
+  bool calibrated() const { return offset_.has_value(); }
+  std::int64_t buffer_offset() const;  // n1 - m1
+
+  // Eq. 4: speaker index to write a reply so it leaves t_reply after the
+  // incoming signal that was detected at mic index m2.
+  std::int64_t reply_index_for(std::int64_t m2, double t_reply_s) const;
+
+  // Exact realized reply interval (Eq. 2): time between the incoming arrival
+  // (mic index m2) and this device's own signal reaching its own mic, when
+  // the reply is written at speaker index n2.
+  double realized_reply_interval(std::int64_t m2, std::int64_t n2) const;
+
+  // Eq. 6 predicted scheduling error (realized - desired), from the skews.
+  double predicted_reply_error(std::int64_t m2, double t_reply_s) const;
+
+  // Re-calibration against the device's own response signal (the paper's fix
+  // for the (m2 - m1)(beta - alpha) error growth): update the stored offset
+  // using a fresh (n, m) observation.
+  void recalibrate(std::int64_t n, std::int64_t m);
+
+  std::int64_t calibration_n1() const { return n1_; }
+  std::int64_t calibration_m1() const { return m1_; }
+
+ private:
+  AudioTimingConfig cfg_;
+  SampleClock speaker_clock_;
+  SampleClock mic_clock_;
+  std::optional<std::int64_t> offset_;
+  std::int64_t n1_ = 0;
+  std::int64_t m1_ = 0;
+};
+
+}  // namespace uwp::audio

@@ -1,0 +1,2 @@
+// SampleClock is header-only; this TU anchors the target.
+#include "audio/sample_clock.hpp"

@@ -1,0 +1,35 @@
+// Sample-index <-> absolute-time mapping for speaker and microphone streams.
+// Models the paper Appendix's Eq. 1: t(n) = n / fs_actual + t0, where the
+// actual rate differs from nominal by a ppm-scale skew (fs = fs_nom/(1-a))
+// and t0 is the unknown stream-start offset the OS picked.
+#pragma once
+
+namespace uwp::audio {
+
+class SampleClock {
+ public:
+  SampleClock() = default;
+  SampleClock(double fs_nominal_hz, double skew_ppm, double start_time_s)
+      : fs_nominal_(fs_nominal_hz), skew_ppm_(skew_ppm), t0_(start_time_s) {}
+
+  double fs_nominal() const { return fs_nominal_; }
+  double skew_ppm() const { return skew_ppm_; }
+  double start_time() const { return t0_; }
+
+  // Actual hardware rate: fs_nom / (1 - skew), per the Appendix convention
+  // (positive ppm means the device consumes samples slightly fast).
+  double fs_actual() const { return fs_nominal_ / (1.0 - skew_ppm_ * 1e-6); }
+
+  // Absolute time at (possibly fractional) sample index.
+  double time_at(double index) const { return index / fs_actual() + t0_; }
+
+  // Fractional sample index at absolute time.
+  double index_at(double time_s) const { return (time_s - t0_) * fs_actual(); }
+
+ private:
+  double fs_nominal_ = 44100.0;
+  double skew_ppm_ = 0.0;
+  double t0_ = 0.0;
+};
+
+}  // namespace uwp::audio

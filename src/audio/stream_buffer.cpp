@@ -1,0 +1,23 @@
+#include "audio/stream_buffer.hpp"
+
+namespace uwp::audio {
+
+void StreamBuffer::ensure_size(std::size_t n) {
+  if (samples_.size() < n) samples_.resize(n, 0.0);
+}
+
+void StreamBuffer::mix_at(std::size_t index, std::span<const double> waveform) {
+  ensure_size(index + waveform.size());
+  for (std::size_t i = 0; i < waveform.size(); ++i) samples_[index + i] += waveform[i];
+}
+
+std::vector<double> StreamBuffer::window(std::size_t start, std::size_t len) const {
+  std::vector<double> out(len, 0.0);
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::size_t j = start + i;
+    if (j < samples_.size()) out[i] = samples_[j];
+  }
+  return out;
+}
+
+}  // namespace uwp::audio

@@ -1,0 +1,42 @@
+// A growable audio stream with an attached SampleClock. Mirrors the paper's
+// model of the OpenSL ES continuous data streams: once opened, the stream is
+// never closed (keeping the clock offsets constant), zeros are written when
+// nothing is playing, and samples can be mixed in at any future index.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "audio/sample_clock.hpp"
+
+namespace uwp::audio {
+
+class StreamBuffer {
+ public:
+  StreamBuffer() = default;
+  explicit StreamBuffer(SampleClock clock) : clock_(clock) {}
+
+  const SampleClock& clock() const { return clock_; }
+
+  std::size_t size() const { return samples_.size(); }
+
+  // Grow the stream (zero-filled) so index `n` exists.
+  void ensure_size(std::size_t n);
+
+  // Mix `waveform` into the stream starting at `index` (grows as needed).
+  void mix_at(std::size_t index, std::span<const double> waveform);
+
+  double read(std::size_t i) const { return i < samples_.size() ? samples_[i] : 0.0; }
+
+  std::span<const double> samples() const { return samples_; }
+
+  // Contiguous window [start, start+len), zero-padded past the end.
+  std::vector<double> window(std::size_t start, std::size_t len) const;
+
+ private:
+  SampleClock clock_;
+  std::vector<double> samples_;
+};
+
+}  // namespace uwp::audio

@@ -1,0 +1,28 @@
+#include "channel/absorption.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uwp::channel {
+
+double thorp_absorption_db_per_km(double f_hz) {
+  const double f_khz = f_hz / 1000.0;
+  const double f2 = f_khz * f_khz;
+  // Thorp (1967), valid above a few hundred Hz.
+  return 0.11 * f2 / (1.0 + f2) + 44.0 * f2 / (4100.0 + f2) + 2.75e-4 * f2 + 0.003;
+}
+
+double spreading_loss_db(double range_m) {
+  return 20.0 * std::log10(std::max(range_m, 1.0));
+}
+
+double transmission_loss_db(double range_m, double f_hz) {
+  return spreading_loss_db(range_m) +
+         thorp_absorption_db_per_km(f_hz) * range_m / 1000.0;
+}
+
+double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+double amplitude_to_db(double amp) { return 20.0 * std::log10(std::max(amp, 1e-30)); }
+
+}  // namespace uwp::channel

@@ -1,0 +1,21 @@
+// Frequency-dependent seawater absorption (Thorp's formula) and geometric
+// spreading loss. At the paper's 1-5 kHz band and <50 m ranges absorption is
+// tiny, but we model it so the simulator generalizes to longer ranges.
+#pragma once
+
+namespace uwp::channel {
+
+// Thorp absorption coefficient in dB/km at frequency f (Hz).
+double thorp_absorption_db_per_km(double f_hz);
+
+// Spherical spreading loss in dB over range r (meters), referenced to 1 m.
+double spreading_loss_db(double range_m);
+
+// Total one-way transmission loss in dB at frequency f over range r.
+double transmission_loss_db(double range_m, double f_hz);
+
+// Convert dB to linear amplitude ratio.
+double db_to_amplitude(double db);
+double amplitude_to_db(double amp);
+
+}  // namespace uwp::channel

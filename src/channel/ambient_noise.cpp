@@ -1,0 +1,83 @@
+#include "channel/ambient_noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "dsp/fft.hpp"
+#include "util/stats.hpp"
+
+namespace uwp::channel {
+
+double wenz_psd_db(double f_hz, double shipping, double wind_mps) {
+  const double f_khz = std::max(f_hz, 1.0) / 1000.0;
+  const double lf = std::log10(f_khz);
+  // Component levels follow the classic Wenz/Coates parameterization.
+  const double turbulence = 17.0 - 30.0 * lf;
+  const double ship = 40.0 + 20.0 * (shipping - 0.5) + 26.0 * lf -
+                      60.0 * std::log10(f_khz + 0.03);
+  const double wind = 50.0 + 7.5 * std::sqrt(std::max(wind_mps, 0.0)) + 20.0 * lf -
+                      40.0 * std::log10(f_khz + 0.4);
+  const double thermal = -15.0 + 20.0 * lf;
+  const double total_power = std::pow(10.0, turbulence / 10.0) +
+                             std::pow(10.0, ship / 10.0) +
+                             std::pow(10.0, wind / 10.0) +
+                             std::pow(10.0, thermal / 10.0);
+  return 10.0 * std::log10(total_power);
+}
+
+std::vector<double> ambient_noise(const Environment& env, std::size_t n,
+                                  double fs_hz, uwp::Rng& rng) {
+  if (n == 0) return {};
+  // White Gaussian -> shape amplitude spectrum by sqrt(PSD) -> back to time.
+  const std::size_t m = uwp::dsp::next_pow2(n);
+  std::vector<uwp::dsp::cplx> spec(m);
+  for (std::size_t k = 0; k <= m / 2; ++k) {
+    const double f = static_cast<double>(k) * fs_hz / static_cast<double>(m);
+    const double shape =
+        std::pow(10.0, wenz_psd_db(f, env.shipping_activity, env.wind_speed_mps) / 20.0);
+    const uwp::dsp::cplx g{rng.normal(), rng.normal()};
+    spec[k] = g * shape;
+  }
+  // Hermitian symmetry for a real signal.
+  for (std::size_t k = m / 2 + 1; k < m; ++k) spec[k] = std::conj(spec[m - k]);
+  spec[0] = {spec[0].real(), 0.0};
+  spec[m / 2] = {spec[m / 2].real(), 0.0};
+
+  std::vector<double> noise = uwp::dsp::ifft_real(spec);
+  noise.resize(n);
+  const double r = uwp::rms(noise);
+  const double scale = r > 0.0 ? env.noise_rms / r : 0.0;
+  for (double& v : noise) v *= scale;
+  return noise;
+}
+
+std::vector<double> spike_noise(const Environment& env, std::size_t n,
+                                double fs_hz, uwp::Rng& rng) {
+  std::vector<double> out(n, 0.0);
+  if (n == 0 || env.spike_rate_hz <= 0.0) return out;
+  const double duration_s = static_cast<double>(n) / fs_hz;
+  double t = rng.exponential(env.spike_rate_hz);
+  while (t < duration_s) {
+    const std::size_t start = static_cast<std::size_t>(t * fs_hz);
+    // Lognormal amplitude: occasionally much louder than the ambient floor,
+    // which is what defeats naive correlation thresholds.
+    const double amp = env.noise_rms * env.spike_amplitude_factor *
+                       std::exp(rng.normal(0.0, 0.7));
+    const double decay_samples = rng.uniform(20.0, 200.0);
+    const double f = rng.uniform(800.0, 6000.0);  // broadband clicks
+    const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const std::size_t burst_len =
+        std::min(static_cast<std::size_t>(decay_samples * 6.0), n - start);
+    for (std::size_t i = 0; i < burst_len; ++i) {
+      const double env_amp = std::exp(-static_cast<double>(i) / decay_samples);
+      out[start + i] += amp * env_amp *
+                        std::sin(2.0 * std::numbers::pi * f * static_cast<double>(i) /
+                                     fs_hz + phase);
+    }
+    t += rng.exponential(env.spike_rate_hz);
+  }
+  return out;
+}
+
+}  // namespace uwp::channel

@@ -1,0 +1,32 @@
+// Ambient underwater noise synthesis: a Wenz-style power spectral density
+// (turbulence + shipping + wind + thermal components) realized as colored
+// Gaussian noise via FFT shaping, plus a Poisson process of spiky transients
+// (bubbles, rain, snapping fauna) that the paper calls out as the cause of
+// false-positive correlation peaks (§2.2.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "channel/environment.hpp"
+#include "util/random.hpp"
+
+namespace uwp::channel {
+
+// Wenz composite noise spectral density (dB re arbitrary) at frequency f.
+// `shipping` in [0,1], `wind_mps` >= 0. Shape matters; absolute level is
+// normalized away by the caller.
+double wenz_psd_db(double f_hz, double shipping, double wind_mps);
+
+// Colored Gaussian ambient noise, `n` samples at `fs_hz`, normalized so its
+// RMS equals `env.noise_rms`.
+std::vector<double> ambient_noise(const Environment& env, std::size_t n,
+                                  double fs_hz, uwp::Rng& rng);
+
+// Spiky transient noise: Poisson arrivals at env.spike_rate_hz, each a short
+// exponentially decaying oscillatory burst with lognormal amplitude around
+// env.spike_amplitude_factor * env.noise_rms.
+std::vector<double> spike_noise(const Environment& env, std::size_t n,
+                                double fs_hz, uwp::Rng& rng);
+
+}  // namespace uwp::channel

@@ -1,0 +1,76 @@
+#include "channel/environment.hpp"
+
+namespace uwp::channel {
+
+Environment make_pool() {
+  Environment e;
+  e.name = "pool";
+  e.water = {26.0, 0.1, 1.5};
+  e.water_depth_m = 2.0;
+  // Concrete walls/floor reflect strongly -> dense reverb in a small volume.
+  e.surface_reflection = -0.9;
+  e.bottom_reflection = 0.7;
+  e.shipping_activity = 0.0;
+  e.wind_speed_mps = 0.0;
+  e.noise_rms = 2.0e-2;
+  e.spike_rate_hz = 0.2;
+  e.scatter_taps = 24;
+  e.scatter_relative_db = -8.0;
+  e.scatter_spread_ms = 20.0;
+  return e;
+}
+
+Environment make_dock() {
+  Environment e;
+  e.name = "dock";
+  e.water = {12.0, 0.2, 4.0};
+  e.water_depth_m = 9.0;
+  e.surface_reflection = -0.85;
+  e.bottom_reflection = 0.4;  // soft lake bed
+  e.shipping_activity = 0.5;  // boats and seaplanes
+  e.wind_speed_mps = 4.0;
+  e.noise_rms = 2.2e-2;
+  e.spike_rate_hz = 1.5;
+  e.scatter_taps = 22;
+  e.scatter_relative_db = -9.0;
+  e.scatter_spread_ms = 12.0;
+  return e;
+}
+
+Environment make_viewpoint() {
+  Environment e;
+  e.name = "viewpoint";
+  e.water = {14.0, 0.2, 1.0};
+  e.water_depth_m = 1.25;
+  // Very shallow: boundaries are close, multipath arrives almost on top of
+  // the direct path.
+  e.surface_reflection = -0.88;
+  e.bottom_reflection = 0.5;
+  e.shipping_activity = 0.2;
+  e.wind_speed_mps = 3.0;
+  e.noise_rms = 2.0e-2;
+  e.spike_rate_hz = 1.0;
+  e.scatter_taps = 24;
+  e.scatter_relative_db = -8.0;
+  e.scatter_spread_ms = 8.0;
+  return e;
+}
+
+Environment make_boathouse() {
+  Environment e;
+  e.name = "boathouse";
+  e.water = {13.0, 0.2, 2.5};
+  e.water_depth_m = 5.0;
+  e.surface_reflection = -0.85;
+  e.bottom_reflection = 0.45;
+  e.shipping_activity = 0.7;  // busy fishing/kayaking site
+  e.wind_speed_mps = 3.5;
+  e.noise_rms = 3.2e-2;
+  e.spike_rate_hz = 2.5;
+  e.scatter_taps = 22;
+  e.scatter_relative_db = -9.0;
+  e.scatter_spread_ms = 12.0;
+  return e;
+}
+
+}  // namespace uwp::channel

@@ -1,0 +1,59 @@
+// Environment descriptions for the four deployment sites in the paper's §3
+// (swimming pool, dock, viewpoint, boathouse) plus the knobs the multipath
+// and noise models need.
+#pragma once
+
+#include <string>
+
+#include "channel/sound_speed.hpp"
+
+namespace uwp::channel {
+
+struct Environment {
+  std::string name = "generic";
+  WaterConditions water;
+
+  // Geometry. z is depth below the surface, positive down, in meters.
+  double water_depth_m = 5.0;
+
+  // Boundary reflection amplitude coefficients (linear, applied per bounce).
+  // The air-water surface is a near-perfect soft reflector (phase flip); the
+  // bottom loses energy into sediment.
+  double surface_reflection = -0.85;
+  double bottom_reflection = 0.45;
+
+  // Ambient noise (Wenz-style model inputs).
+  double shipping_activity = 0.3;  // in [0, 1]; dock/boathouse are busier
+  double wind_speed_mps = 3.0;
+  // Overall ambient noise RMS in the 1-5 kHz band, linear units relative to
+  // a unit-amplitude transmit at 1 m. Controls the SNR-vs-range falloff.
+  double noise_rms = 2.5e-3;
+
+  // Spiky transient noise (bubbles, rain, fauna): Poisson event rate and
+  // amplitude scale relative to noise_rms.
+  double spike_rate_hz = 1.0;
+  double spike_amplitude_factor = 40.0;
+
+  // Boundary roughness: per-transmission random delay jitter on reflected
+  // paths (waves at the surface, rubble at the bottom), in milliseconds.
+  // Near-boundary geometries have strong, barely-detoured reflections whose
+  // jitter perturbs the apparent direct path — the Fig 13a depth effect.
+  double surface_jitter_ms = 0.18;
+  double bottom_jitter_ms = 0.05;
+
+  // Scattered micro-multipath from particles/plants: number of weak random
+  // taps appended after each macro path and their relative level.
+  int scatter_taps = 12;
+  double scatter_relative_db = -16.0;
+  double scatter_spread_ms = 12.0;  // delay spread of the scattered tail
+
+  double sound_speed_mps() const { return sound_speed(water); }
+};
+
+// Presets matching §3's four sites.
+Environment make_pool();       // 23 m span, 1-2.5 m deep, quiet, hard walls
+Environment make_dock();       // 50 m span, 9 m deep, boats and seaplanes
+Environment make_viewpoint();  // 40 m span, 1-1.5 m deep, shallow
+Environment make_boathouse();  // 30 m span, 5 m deep, busy fishing dock
+
+}  // namespace uwp::channel

@@ -1,0 +1,160 @@
+#include "channel/multipath.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "channel/absorption.hpp"
+
+namespace uwp::channel {
+
+namespace {
+
+// Band center of the paper's 1-5 kHz transmit band; used for the broadband
+// absorption approximation.
+constexpr double kBandCenterHz = 3000.0;
+
+struct Image {
+  double z;  // image source depth (may be negative / beyond bottom)
+  int surface_bounces;
+  int bottom_bounces;
+};
+
+// Enumerate boundary images by alternating reflections, starting with the
+// surface chain and the bottom chain. 2*max_bounces images + the source.
+std::vector<Image> enumerate_images(double z_src, double depth, int max_bounces) {
+  std::vector<Image> images;
+  images.push_back({z_src, 0, 0});
+  // Chain that reflects first off the surface (z -> -z), then alternates.
+  double z = z_src;
+  int surf = 0, bot = 0;
+  bool next_surface = true;
+  for (int k = 0; k < max_bounces; ++k) {
+    if (next_surface) {
+      z = -z;
+      ++surf;
+    } else {
+      z = 2.0 * depth - z;
+      ++bot;
+    }
+    images.push_back({z, surf, bot});
+    next_surface = !next_surface;
+  }
+  // Chain that reflects first off the bottom.
+  z = z_src;
+  surf = bot = 0;
+  next_surface = false;
+  for (int k = 0; k < max_bounces; ++k) {
+    if (next_surface) {
+      z = -z;
+      ++surf;
+    } else {
+      z = 2.0 * depth - z;
+      ++bot;
+    }
+    images.push_back({z, surf, bot});
+    next_surface = !next_surface;
+  }
+  return images;
+}
+
+}  // namespace
+
+std::vector<PathTap> image_method_taps(uwp::Vec3 tx, uwp::Vec3 rx,
+                                       const Environment& env,
+                                       const MultipathOptions& opts) {
+  if (tx.z < 0.0 || tx.z > env.water_depth_m || rx.z < 0.0 || rx.z > env.water_depth_m)
+    throw std::invalid_argument("image_method_taps: endpoint outside water column");
+
+  const double c = env.sound_speed_mps();
+  const double horizontal = (tx.xy() - rx.xy()).norm();
+
+  std::vector<PathTap> taps;
+  for (const Image& img : enumerate_images(tx.z, env.water_depth_m, opts.max_bounces)) {
+    const double dz = img.z - rx.z;
+    const double path_len = std::sqrt(horizontal * horizontal + dz * dz);
+    const double loss_db = transmission_loss_db(path_len, kBandCenterHz);
+    double gain = db_to_amplitude(-loss_db);
+    // Signed boundary coefficients: surface flips phase.
+    gain *= std::pow(env.surface_reflection, img.surface_bounces) *
+            std::pow(env.bottom_reflection, img.bottom_bounces);
+    const bool direct = img.surface_bounces == 0 && img.bottom_bounces == 0;
+    const bool surface_only = img.bottom_bounces == 0 && img.surface_bounces > 0;
+    if (opts.occlusion_db != 0.0 &&
+        (direct || (surface_only && opts.occlusion_blocks_surface)))
+      gain *= db_to_amplitude(-opts.occlusion_db);
+    taps.push_back({path_len / c, gain, img.surface_bounces, img.bottom_bounces, direct});
+  }
+  std::sort(taps.begin(), taps.end(),
+            [](const PathTap& a, const PathTap& b) { return a.delay_s < b.delay_s; });
+  return taps;
+}
+
+std::vector<PathTap> scatter_tail(const std::vector<PathTap>& macro,
+                                  const Environment& env, uwp::Rng& rng) {
+  std::vector<PathTap> out = macro;
+  if (macro.empty() || env.scatter_taps <= 0) return out;
+
+  // Reference the strongest macro arrival for the relative level.
+  double ref_gain = 0.0;
+  double first_delay = macro.front().delay_s;
+  for (const PathTap& t : macro) ref_gain = std::max(ref_gain, std::abs(t.gain));
+  const double level = ref_gain * db_to_amplitude(env.scatter_relative_db);
+  const double spread_s = env.scatter_spread_ms * 1e-3;
+
+  for (int i = 0; i < env.scatter_taps; ++i) {
+    PathTap t;
+    // Exponential delay profile after the first arrival.
+    t.delay_s = first_delay + rng.exponential(1.0 / (spread_s / 3.0));
+    if (t.delay_s > first_delay + spread_s) t.delay_s = first_delay + rng.uniform(0.0, spread_s);
+    // Rayleigh-ish magnitude with random sign.
+    const double mag = level * std::abs(rng.normal(0.0, 0.6));
+    t.gain = rng.bernoulli(0.5) ? mag : -mag;
+    out.push_back(t);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PathTap& a, const PathTap& b) { return a.delay_s < b.delay_s; });
+  return out;
+}
+
+std::vector<PathTap> apply_boundary_jitter(std::vector<PathTap> taps,
+                                           const Environment& env, uwp::Rng& rng) {
+  for (PathTap& t : taps) {
+    if (t.is_direct) continue;
+    double jitter_ms = 0.0;
+    for (int b = 0; b < t.surface_bounces; ++b)
+      jitter_ms += rng.normal(0.0, env.surface_jitter_ms);
+    for (int b = 0; b < t.bottom_bounces; ++b)
+      jitter_ms += rng.normal(0.0, env.bottom_jitter_ms);
+    t.delay_s = std::max(t.delay_s + jitter_ms * 1e-3, 0.0);
+  }
+  std::sort(taps.begin(), taps.end(),
+            [](const PathTap& a, const PathTap& b) { return a.delay_s < b.delay_s; });
+  return taps;
+}
+
+std::vector<double> render_impulse_response(const std::vector<PathTap>& taps,
+                                            double fs_hz, std::size_t len) {
+  std::vector<double> h(len, 0.0);
+  for (const PathTap& t : taps) {
+    const double pos = t.delay_s * fs_hz;
+    const auto base = static_cast<std::ptrdiff_t>(std::floor(pos)) - 1;
+    const double frac = pos - std::floor(pos);
+    // 4-tap cubic (Catmull-Rom) fractional placement kernel: distributes the
+    // tap energy so sub-sample delays are preserved by correlation.
+    const double u = frac;
+    const double k0 = 0.5 * (-u * u * u + 2 * u * u - u);
+    const double k1 = 0.5 * (3 * u * u * u - 5 * u * u + 2);
+    const double k2 = 0.5 * (-3 * u * u * u + 4 * u * u + u);
+    const double k3 = 0.5 * (u * u * u - u * u);
+    const double kernel[4] = {k0, k1, k2, k3};
+    for (int j = 0; j < 4; ++j) {
+      const std::ptrdiff_t idx = base + j;
+      if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(len))
+        h[static_cast<std::size_t>(idx)] += t.gain * kernel[j];
+    }
+  }
+  return h;
+}
+
+}  // namespace uwp::channel

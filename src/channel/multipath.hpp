@@ -1,0 +1,61 @@
+// Image-method multipath model for a shallow-water waveguide bounded by the
+// surface (z = 0) and the bottom (z = water_depth). Produces the discrete
+// path arrivals (delay, amplitude) between a source and a receiver point;
+// the propagation engine turns these into sampled impulse responses.
+#pragma once
+
+#include <vector>
+
+#include "channel/environment.hpp"
+#include "util/geometry.hpp"
+#include "util/random.hpp"
+
+namespace uwp::channel {
+
+struct PathTap {
+  double delay_s = 0.0;
+  double gain = 0.0;  // signed linear amplitude (surface bounces flip phase)
+  int surface_bounces = 0;
+  int bottom_bounces = 0;
+  bool is_direct = false;
+};
+
+struct MultipathOptions {
+  int max_bounces = 4;       // reflection order cutoff
+  double occlusion_db = 0.0; // extra attenuation applied to the direct path
+                             // (rocks/people blocking the line of sight)
+  // A blocking sheet/rock usually spans the upper water column, so surface-
+  // only bounces are blocked along with the direct path; the signal detours
+  // via the bottom, inflating the measured distance by meters (Fig 19a).
+  bool occlusion_blocks_surface = true;
+  // Per-arrival incoherent scattering tail toggles (taken from Environment).
+  bool include_scatter = true;
+};
+
+// Deterministic macro-paths (direct + boundary images). Positions use z as
+// depth below surface; both endpoints must lie inside the water column.
+// Amplitudes include spreading, Thorp absorption at band center, boundary
+// losses and the occlusion penalty on the direct path. Sorted by delay.
+std::vector<PathTap> image_method_taps(uwp::Vec3 tx, uwp::Vec3 rx,
+                                       const Environment& env,
+                                       const MultipathOptions& opts);
+
+// Random scattering tail appended to a macro-path profile: `env.scatter_taps`
+// weak taps exponentially distributed over `env.scatter_spread_ms` after the
+// first arrival, at `env.scatter_relative_db` relative to it.
+std::vector<PathTap> scatter_tail(const std::vector<PathTap>& macro,
+                                  const Environment& env, uwp::Rng& rng);
+
+// Apply boundary-roughness delay jitter (waves, rubble) to reflected paths:
+// each tap with surface bounces shifts by N(0, surface_jitter_ms) per bounce,
+// bottom bounces by N(0, bottom_jitter_ms). Direct paths are untouched.
+// The shifts should be drawn once per transmission (shared across mics).
+std::vector<PathTap> apply_boundary_jitter(std::vector<PathTap> taps,
+                                           const Environment& env, uwp::Rng& rng);
+
+// Render taps into a sampled impulse response of length `len` at rate
+// `fs_hz`, with sub-sample tap placement via a 4-tap cubic kernel.
+std::vector<double> render_impulse_response(const std::vector<PathTap>& taps,
+                                            double fs_hz, std::size_t len);
+
+}  // namespace uwp::channel

@@ -1,0 +1,190 @@
+#include "channel/propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "channel/absorption.hpp"
+#include "channel/ambient_noise.hpp"
+#include "dsp/fft.hpp"
+
+namespace uwp::channel {
+
+DeviceModel DeviceModel::samsung_s9() {
+  DeviceModel m;
+  m.name = "samsung_s9";
+  return m;
+}
+
+DeviceModel DeviceModel::pixel() {
+  DeviceModel m;
+  m.name = "pixel";
+  m.mic_noise_factor = {1.1, 1.15};
+  m.case_taps = 4;
+  m.case_tap_db = -12.0;
+  m.band_lo_hz = 1000.0;
+  m.band_hi_hz = 4800.0;
+  m.clock_skew_ppm = 35.0;
+  return m;
+}
+
+DeviceModel DeviceModel::oneplus() {
+  DeviceModel m;
+  m.name = "oneplus";
+  m.mic_noise_factor = {1.2, 1.4};
+  m.case_taps = 3;
+  m.case_tap_db = -11.0;
+  m.band_lo_hz = 1100.0;
+  m.band_hi_hz = 5000.0;
+  m.clock_skew_ppm = 50.0;
+  return m;
+}
+
+DeviceModel DeviceModel::watch_ultra() {
+  DeviceModel m;
+  m.name = "watch_ultra";
+  m.mic_noise_factor = {0.9, 1.0};
+  m.case_taps = 2;
+  m.case_tap_db = -16.0;
+  m.band_lo_hz = 900.0;
+  m.band_hi_hz = 5500.0;
+  m.clock_skew_ppm = 10.0;
+  return m;
+}
+
+std::vector<double> make_case_impulse_response(const DeviceModel& model, uwp::Rng& rng) {
+  const std::size_t len =
+      static_cast<std::size_t>(model.case_spread_samples * 1.5) + 4;
+  std::vector<double> ir(len, 0.0);
+  ir[0] = 1.0;
+  const double level = db_to_amplitude(model.case_tap_db);
+  for (int i = 0; i < model.case_taps; ++i) {
+    const std::size_t pos =
+        1 + static_cast<std::size_t>(rng.uniform(2.0, model.case_spread_samples));
+    const double mag = level * std::exp(rng.normal(0.0, 0.4));
+    ir[std::min(pos, len - 1)] += rng.bernoulli(0.5) ? mag : -mag;
+  }
+  return ir;
+}
+
+LinkSimulator::LinkSimulator(Environment env, double fs_hz)
+    : env_(std::move(env)), fs_hz_(fs_hz) {
+  if (fs_hz_ <= 0.0) throw std::invalid_argument("LinkSimulator: fs must be positive");
+}
+
+namespace {
+
+// Speaker directivity: smooth cardioid-style loss with angle off boresight,
+// up to ~8 dB at 180 degrees (matches the modest orientation effect in
+// Fig 14a, where the worst case is the upward-facing phone, not the rotated
+// one).
+double directivity_db(double off_axis_rad) {
+  const double c = std::cos(off_axis_rad);
+  return -4.0 * (1.0 - c);  // 0 dB on-axis, -8 dB reversed
+}
+
+}  // namespace
+
+Reception LinkSimulator::transmit(std::span<const double> waveform,
+                                  const LinkConfig& cfg, uwp::Rng& rng,
+                                  double tail_s) const {
+  if (waveform.empty()) throw std::invalid_argument("transmit: empty waveform");
+
+  Reception rec;
+  rec.fs_hz = fs_hz_;
+  rec.true_range_m = uwp::distance(cfg.tx_pos, cfg.rx_pos);
+
+  const double c = env_.sound_speed_mps();
+  const uwp::Vec2 axis_half = cfg.mic_axis * (cfg.mic_separation_m / 2.0);
+
+  // Per-transmission path fades, keyed by bounce signature so both mics see
+  // the same physical path realization.
+  std::array<double, 32> path_fade_db{};
+  path_fade_db[0] = rng.normal(0.0, cfg.direct_fade_sigma_db);
+  if (rng.bernoulli(cfg.shadow_probability))
+    path_fade_db[0] -= rng.uniform(cfg.shadow_db_lo, cfg.shadow_db_hi);
+  for (std::size_t k = 1; k < path_fade_db.size(); ++k)
+    path_fade_db[k] = rng.normal(0.0, cfg.reflection_fade_sigma_db);
+  // Boundary jitter is a property of the water surface at this instant, so
+  // both microphones must see identical draws: replay a forked stream.
+  const uwp::Rng jitter_seed = rng.fork();
+
+  for (int mic_idx = 0; mic_idx < 2; ++mic_idx) {
+    // Mic 1 sits at -axis/2, mic 2 at +axis/2 from the device center.
+    const double sign = mic_idx == 0 ? -1.0 : 1.0;
+    uwp::Vec3 mic_pos = cfg.rx_pos;
+    mic_pos.x += sign * axis_half.x;
+    mic_pos.y += sign * axis_half.y;
+
+    MultipathOptions opts;
+    opts.max_bounces = cfg.max_bounces;
+    opts.occlusion_db = cfg.occlusion_db;
+    std::vector<PathTap> taps = image_method_taps(cfg.tx_pos, mic_pos, env_, opts);
+
+    // Transmitter orientation effects.
+    const double az_loss_db = directivity_db(cfg.speaker_azimuth_off_rad);
+    for (PathTap& t : taps) {
+      const std::size_t fade_key = std::min<std::size_t>(
+          static_cast<std::size_t>(t.surface_bounces * 2 + t.bottom_bounces * 7),
+          path_fade_db.size() - 1);
+      t.gain *= db_to_amplitude(az_loss_db + cfg.tx_level_db +
+                                path_fade_db[t.is_direct ? 0 : fade_key]);
+      if (cfg.speaker_faces_up) {
+        // Pointing the speaker at the surface: direct path loses energy,
+        // surface-bounced paths gain it.
+        if (t.is_direct)
+          t.gain *= db_to_amplitude(-5.0);
+        else if (t.surface_bounces > 0)
+          t.gain *= db_to_amplitude(3.0);
+      }
+    }
+    rec.true_tof_s[mic_idx] =
+        uwp::distance(cfg.tx_pos, mic_pos) / c;
+
+    uwp::Rng jitter_rng = jitter_seed;
+    taps = apply_boundary_jitter(std::move(taps), env_, jitter_rng);
+    taps = scatter_tail(taps, env_, rng);
+
+    // Render impulse response long enough for the last tap.
+    const double max_delay = taps.back().delay_s;
+    const std::size_t ir_len = static_cast<std::size_t>(max_delay * fs_hz_) + 8;
+    const std::vector<double> ir = render_impulse_response(taps, fs_hz_, ir_len);
+
+    std::vector<double> sig = uwp::dsp::fft_convolve(waveform, ir);
+
+    // Waterproof-case reverberation differs per mic (paper §2.2).
+    const std::vector<double> case_ir = make_case_impulse_response(cfg.rx_device, rng);
+    sig = uwp::dsp::fft_convolve(sig, case_ir);
+
+    const std::size_t tail = static_cast<std::size_t>(tail_s * fs_hz_);
+    sig.resize(sig.size() + tail, 0.0);
+
+    // Per-mic ambient + spiky noise.
+    Environment noisy = env_;
+    noisy.noise_rms *= cfg.rx_device.mic_noise_factor[static_cast<std::size_t>(mic_idx)];
+    const std::vector<double> ambient = ambient_noise(noisy, sig.size(), fs_hz_, rng);
+    const std::vector<double> spikes = spike_noise(noisy, sig.size(), fs_hz_, rng);
+    for (std::size_t i = 0; i < sig.size(); ++i) sig[i] += ambient[i] + spikes[i];
+
+    rec.mic[static_cast<std::size_t>(mic_idx)] = std::move(sig);
+  }
+  return rec;
+}
+
+Reception LinkSimulator::noise_only(double duration_s, const LinkConfig& cfg,
+                                    uwp::Rng& rng) const {
+  Reception rec;
+  rec.fs_hz = fs_hz_;
+  const std::size_t n = static_cast<std::size_t>(duration_s * fs_hz_);
+  for (int mic_idx = 0; mic_idx < 2; ++mic_idx) {
+    Environment noisy = env_;
+    noisy.noise_rms *= cfg.rx_device.mic_noise_factor[static_cast<std::size_t>(mic_idx)];
+    std::vector<double> sig = ambient_noise(noisy, n, fs_hz_, rng);
+    const std::vector<double> spikes = spike_noise(noisy, n, fs_hz_, rng);
+    for (std::size_t i = 0; i < n; ++i) sig[i] += spikes[i];
+    rec.mic[static_cast<std::size_t>(mic_idx)] = std::move(sig);
+  }
+  return rec;
+}
+
+}  // namespace uwp::channel

@@ -1,0 +1,118 @@
+// End-to-end acoustic link simulation: transmit waveform -> multipath ->
+// per-microphone reception with ambient + spiky noise, waterproof-case
+// reverberation, speaker directivity and per-mic noise profiles. This is the
+// substitute for real underwater deployments; the receiver-side algorithms
+// (detection, channel estimation, direct-path search) consume its output
+// exactly as they would consume real microphone buffers.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "channel/environment.hpp"
+#include "channel/multipath.hpp"
+#include "util/geometry.hpp"
+#include "util/random.hpp"
+
+namespace uwp::channel {
+
+// Per-device acoustic characteristics. Fig 14b evaluates three phone models;
+// these presets differ in band response, mic noise, and case reverb, the
+// properties the paper attributes differences to.
+struct DeviceModel {
+  std::string name = "samsung_s9";
+  // Noise floor multipliers for the two microphones (bottom, top). The paper
+  // notes each microphone may have a different hardware noise profile.
+  std::array<double, 2> mic_noise_factor{1.0, 1.25};
+  // Waterproof-case reverberation: number of case taps and their level.
+  int case_taps = 3;
+  double case_tap_db = -13.0;
+  double case_spread_samples = 35.0;
+  // Speaker band edges (device frequency response rolls off outside).
+  double band_lo_hz = 900.0;
+  double band_hi_hz = 5200.0;
+  // Sample clock skew in ppm (microphone); per [42] Android is 1-80 ppm.
+  double clock_skew_ppm = 20.0;
+
+  static DeviceModel samsung_s9();
+  static DeviceModel pixel();
+  static DeviceModel oneplus();
+  static DeviceModel watch_ultra();
+};
+
+struct LinkConfig {
+  uwp::Vec3 tx_pos;  // transmitting device (speaker) position, z = depth
+  uwp::Vec3 rx_pos;  // receiving device center position
+  // Horizontal unit vector from mic 1 (bottom) to mic 2 (top) of the
+  // receiving device; fixes the left/right geometry for flip disambiguation.
+  uwp::Vec2 mic_axis{1.0, 0.0};
+  double mic_separation_m = 0.16;  // paper's d = 16 cm
+
+  double tx_level_db = 0.0;   // source level offset (0 = unit amp at 1 m)
+  double occlusion_db = 0.0;  // direct-path blocking penalty
+
+  // Transmitter orientation for Fig 14a. Azimuth error is the horizontal
+  // angle between the speaker axis and the direction to the receiver;
+  // faces_up models the phone pointed at the surface.
+  double speaker_azimuth_off_rad = 0.0;
+  bool speaker_faces_up = false;
+
+  DeviceModel rx_device{};
+  DeviceModel tx_device{};
+
+  int max_bounces = 4;
+
+  // Slow per-link fading (body shadowing, pouch coupling, turbidity): each
+  // macro path draws a lognormal gain once per transmission, shared by both
+  // microphones (the paths are physically common). Sigma in dB.
+  double direct_fade_sigma_db = 2.5;
+  double reflection_fade_sigma_db = 4.0;
+
+  // Intermittent deep shadowing of the direct path (a diver's body, kelp,
+  // the pouch twisting): the paper's "direct path can be severely
+  // attenuated" regime where the strongest arrival is a reflection. Drawn
+  // once per transmission, common to both mics.
+  double shadow_probability = 0.25;
+  double shadow_db_lo = 4.0;
+  double shadow_db_hi = 10.0;
+};
+
+struct Reception {
+  // Microphone streams time-aligned to the transmit origin: sample index i
+  // corresponds to time i / fs after the first transmit sample left the
+  // speaker. Includes the propagation gap, the signal, and a noise tail.
+  std::array<std::vector<double>, 2> mic;
+  double fs_hz = 0.0;
+  // Ground truth for evaluation.
+  double true_range_m = 0.0;               // device-center to device-center
+  std::array<double, 2> true_tof_s{0, 0};  // direct-path delay per mic
+};
+
+class LinkSimulator {
+ public:
+  LinkSimulator(Environment env, double fs_hz);
+
+  const Environment& environment() const { return env_; }
+  double fs() const { return fs_hz_; }
+
+  // Simulate `waveform` (unit-scale samples) traveling from cfg.tx_pos to the
+  // two microphones of the receiving device. `tail_s` seconds of extra noise
+  // are appended after the signal so detector windows never run out.
+  Reception transmit(std::span<const double> waveform, const LinkConfig& cfg,
+                     uwp::Rng& rng, double tail_s = 0.1) const;
+
+  // Noise-only reception of `duration_s` seconds (for false-positive tests).
+  Reception noise_only(double duration_s, const LinkConfig& cfg, uwp::Rng& rng) const;
+
+ private:
+  Environment env_;
+  double fs_hz_;
+};
+
+// Short waterproof-case impulse response for one microphone: a unit direct
+// tap plus `model.case_taps` random reflections. Deterministic per (rng).
+std::vector<double> make_case_impulse_response(const DeviceModel& model, uwp::Rng& rng);
+
+}  // namespace uwp::channel

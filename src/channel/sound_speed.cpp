@@ -1,0 +1,11 @@
+#include "channel/sound_speed.hpp"
+
+namespace uwp::channel {
+
+double sound_speed(const WaterConditions& w) {
+  const double t = w.temperature_c;
+  return 1449.0 + 4.6 * t - 0.055 * t * t + 0.0003 * t * t * t +
+         1.39 * (w.salinity_ppt - 35.0) + 0.017 * w.depth_m;
+}
+
+}  // namespace uwp::channel

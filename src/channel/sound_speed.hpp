@@ -1,0 +1,21 @@
+// Speed of sound in water via Wilson's equation (paper §2):
+//   c = 1449 + 4.6 T - 0.055 T^2 + 0.0003 T^3 + 1.39 (S - 35) + 0.017 D
+// with T in Celsius, S in parts-per-thousand salinity, D depth in meters.
+#pragma once
+
+namespace uwp::channel {
+
+struct WaterConditions {
+  double temperature_c = 15.0;
+  double salinity_ppt = 0.5;  // fresh-water lakes in the paper's deployments
+  double depth_m = 2.0;
+};
+
+// Wilson's equation. Valid over recreational-dive conditions; the paper notes
+// the < 2% relative error envelope at <= 40 m depths.
+double sound_speed(const WaterConditions& w);
+
+// Convenience: paper-style nominal 1500 m/s reference.
+inline constexpr double kNominalSoundSpeed = 1500.0;
+
+}  // namespace uwp::channel

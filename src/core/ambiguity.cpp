@@ -1,0 +1,59 @@
+#include "core/ambiguity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace uwp::core {
+
+std::vector<Vec2> translate_leader_to_origin(std::vector<Vec2> pts) {
+  if (pts.empty()) return pts;
+  const Vec2 origin = pts[0];
+  for (Vec2& p : pts) p = p - origin;
+  return pts;
+}
+
+std::vector<Vec2> resolve_rotation(std::vector<Vec2> pts, double pointing_bearing_rad) {
+  if (pts.size() < 2) return pts;
+  if (pts[0].norm() > 1e-9)
+    throw std::invalid_argument("resolve_rotation: node 0 must be at the origin");
+  const double current = bearing(pts[1]);
+  const double delta = wrap_angle(pointing_bearing_rad - current);
+  for (Vec2& p : pts) p = rotate(p, delta);
+  return pts;
+}
+
+std::vector<Vec2> flip_configuration(const std::vector<Vec2>& pts) {
+  if (pts.size() < 2) return pts;
+  std::vector<Vec2> out(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    out[i] = reflect_across_line(pts[i], pts[0], pts[1]);
+  return out;
+}
+
+double flip_vote_score(const std::vector<Vec2>& pts, const std::vector<MicVote>& votes) {
+  if (pts.size() < 2) return 0.0;
+  double score = 0.0;
+  for (const MicVote& v : votes) {
+    if (v.node >= pts.size() || v.node < 2 || v.mic_sign == 0) continue;
+    const double side = side_of_line(pts[v.node], pts[0], pts[1]);
+    const double s = side > 0.0 ? 1.0 : (side < 0.0 ? -1.0 : 0.0);
+    score += static_cast<double>(v.mic_sign) * s;
+  }
+  return score;
+}
+
+FlipDecision resolve_flip(const std::vector<Vec2>& pts, const std::vector<MicVote>& votes) {
+  FlipDecision d;
+  const std::vector<Vec2> mirrored = flip_configuration(pts);
+  d.score_original = flip_vote_score(pts, votes);
+  d.score_flipped = flip_vote_score(mirrored, votes);
+  if (d.score_flipped > d.score_original) {
+    d.positions = mirrored;
+    d.flipped = true;
+  } else {
+    d.positions = pts;
+  }
+  return d;
+}
+
+}  // namespace uwp::core

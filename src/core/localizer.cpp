@@ -1,0 +1,44 @@
+#include "core/localizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/projection.hpp"
+
+namespace uwp::core {
+
+LocalizationResult Localizer::localize(const LocalizationInput& input,
+                                       uwp::Rng& rng) const {
+  const std::size_t n = input.distances.rows();
+  if (n < 2) throw std::invalid_argument("Localizer: need at least 2 devices");
+  if (input.distances.cols() != n || input.weights.rows() != n ||
+      input.weights.cols() != n || input.depths.size() != n)
+    throw std::invalid_argument("Localizer: shape mismatch");
+
+  // Step 1: project to the horizontal plane using depth readings (§2.1.1).
+  const Matrix d2d = project_to_2d(input.distances, input.depths);
+
+  // Step 2: topology via weighted SMACOF + Algorithm 1 outlier handling.
+  const OutlierResult topo =
+      localize_with_outlier_detection(d2d, input.weights, opts_.outlier, rng);
+
+  // Step 3: fix translation, rotation, and flip (§2.1.4).
+  std::vector<Vec2> pts = translate_leader_to_origin(topo.positions);
+  pts = resolve_rotation(std::move(pts), input.pointing_bearing_rad);
+  const FlipDecision flip = resolve_flip(pts, input.votes);
+
+  LocalizationResult out;
+  out.normalized_stress = topo.normalized_stress;
+  out.dropped_links = topo.dropped_links;
+  out.outliers_suspected = topo.outliers_suspected;
+  out.flipped = flip.flipped;
+  out.flip_vote_margin =
+      static_cast<int>(std::abs(flip.score_original - flip.score_flipped));
+
+  out.positions.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.positions[i] = {flip.positions[i].x, flip.positions[i].y, input.depths[i]};
+  return out;
+}
+
+}  // namespace uwp::core

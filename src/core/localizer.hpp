@@ -1,0 +1,58 @@
+// The full 3D localization pipeline (§2.1): depth projection -> weighted
+// SMACOF with outlier detection -> translation/rotation/flip disambiguation
+// -> 3D positions (leader at the horizontal origin). This is the library's
+// primary public entry point; it is signal-free and consumes the outputs of
+// the protocol layer (distance matrix), the depth sensors, and the leader's
+// dual-mic votes.
+#pragma once
+
+#include <vector>
+
+#include "core/ambiguity.hpp"
+#include "core/outlier_detection.hpp"
+#include "util/geometry.hpp"
+#include "util/matrix.hpp"
+
+namespace uwp::core {
+
+struct LocalizationInput {
+  // Symmetric NxN pairwise 3D distances (meters); entry ignored when the
+  // corresponding weight is 0. Node 0 is the leader, node 1 the pointed
+  // (visible) diver.
+  Matrix distances;
+  // Symmetric link indicator matrix (1 = measured, 0 = missing).
+  Matrix weights;
+  // Depths from onboard sensors, meters below surface, length N.
+  std::vector<double> depths;
+  // Bearing from leader to the pointed diver in the output frame (radians);
+  // comes from the leader orienting toward node 1 (§2.1.4).
+  double pointing_bearing_rad = 0.0;
+  // Dual-mic first-arrival votes from divers 2..N-1 at the leader device.
+  std::vector<MicVote> votes;
+};
+
+struct LocalizationResult {
+  std::vector<Vec3> positions;  // leader at (0, 0, depth_0)
+  double normalized_stress = 0.0;
+  std::vector<Edge> dropped_links;
+  bool outliers_suspected = false;
+  bool flipped = false;
+  int flip_vote_margin = 0;  // |score difference|, proxy for confidence
+};
+
+struct LocalizerOptions {
+  OutlierOptions outlier{};
+};
+
+class Localizer {
+ public:
+  explicit Localizer(LocalizerOptions opts = {}) : opts_(opts) {}
+
+  // Throws std::invalid_argument on malformed input (shape mismatch, N < 2).
+  LocalizationResult localize(const LocalizationInput& input, uwp::Rng& rng) const;
+
+ private:
+  LocalizerOptions opts_;
+};
+
+}  // namespace uwp::core

@@ -1,0 +1,176 @@
+#include "core/mds3d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/mds_classical.hpp"
+#include "util/linalg.hpp"
+
+namespace uwp::core {
+
+double weighted_stress_3d(const std::vector<Vec3>& x, const Matrix& dist,
+                          const Matrix& w) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    for (std::size_t j = i + 1; j < x.size(); ++j) {
+      if (w(i, j) <= 0.0) continue;
+      const double resid = dist(i, j) - distance(x[i], x[j]);
+      s += w(i, j) * resid * resid;
+    }
+  return s;
+}
+
+namespace {
+
+std::size_t count_links(const Matrix& w) {
+  std::size_t links = 0;
+  for (std::size_t i = 0; i < w.rows(); ++i)
+    for (std::size_t j = i + 1; j < w.cols(); ++j)
+      if (w(i, j) > 0.0) ++links;
+  return links;
+}
+
+Smacof3dResult run_from(std::vector<Vec3> x, const Matrix& dist, const Matrix& w,
+                        const std::vector<double>& depths, const Matrix& v_pinv,
+                        const Matrix& vz_inv, const Smacof3dOptions& opts) {
+  const std::size_t n = x.size();
+  const bool use_depth = !depths.empty() && opts.depth_weight > 0.0;
+  Smacof3dResult res;
+  double total = weighted_stress_3d(x, dist, w);
+
+  Matrix b(n, n);
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    // B(X) as in 2D SMACOF.
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) b(i, j) = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (w(i, j) <= 0.0) continue;
+        const double dij = distance(x[i], x[j]);
+        const double val = dij > 1e-12 ? -w(i, j) * dist(i, j) / dij : 0.0;
+        b(i, j) = b(j, i) = val;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double diag = 0.0;
+      for (std::size_t j = 0; j < n; ++j)
+        if (j != i) diag -= b(i, j);
+      b(i, i) = diag;
+    }
+
+    // Per-axis Guttman update; z gets the depth penalty folded in:
+    // (V + lambda I) z = B x_z + lambda h.
+    Matrix xm(n, 3);
+    for (std::size_t i = 0; i < n; ++i) {
+      xm(i, 0) = x[i].x;
+      xm(i, 1) = x[i].y;
+      xm(i, 2) = x[i].z;
+    }
+    const Matrix bx = b * xm;
+    // x, y axes via the pseudoinverse.
+    for (std::size_t i = 0; i < n; ++i) {
+      double nx = 0.0, ny = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        nx += v_pinv(i, j) * bx(j, 0);
+        ny += v_pinv(i, j) * bx(j, 1);
+      }
+      x[i].x = nx;
+      x[i].y = ny;
+    }
+    if (use_depth) {
+      std::vector<double> rhs(n);
+      for (std::size_t i = 0; i < n; ++i)
+        rhs[i] = bx(i, 2) + opts.depth_weight * depths[i];
+      for (std::size_t i = 0; i < n; ++i) {
+        double nz = 0.0;
+        for (std::size_t j = 0; j < n; ++j) nz += vz_inv(i, j) * rhs[j];
+        x[i].z = nz;
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        double nz = 0.0;
+        for (std::size_t j = 0; j < n; ++j) nz += v_pinv(i, j) * bx(j, 2);
+        x[i].z = nz;
+      }
+    }
+
+    const double new_total = weighted_stress_3d(x, dist, w);
+    res.iterations = iter + 1;
+    if (total - new_total <= opts.rel_tolerance * std::max(total, 1e-30) &&
+        new_total <= total) {
+      total = new_total;
+      break;
+    }
+    total = new_total;
+  }
+  res.positions = std::move(x);
+  res.stress = total;
+  const std::size_t links = count_links(w);
+  res.normalized_stress =
+      links > 0 ? std::sqrt(total / static_cast<double>(links)) : 0.0;
+  return res;
+}
+
+}  // namespace
+
+Smacof3dResult smacof_3d(const Matrix& dist, const Matrix& w,
+                         const std::vector<double>& depths,
+                         const Smacof3dOptions& opts, uwp::Rng& rng) {
+  const std::size_t n = dist.rows();
+  if (dist.cols() != n || w.rows() != n || w.cols() != n)
+    throw std::invalid_argument("smacof_3d: shape mismatch");
+  if (!depths.empty() && depths.size() != n)
+    throw std::invalid_argument("smacof_3d: depths size mismatch");
+  if (n == 0) return {};
+
+  Matrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double diag = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      v(i, j) = -w(i, j);
+      diag += w(i, j);
+    }
+    v(i, i) = diag;
+  }
+  const Matrix v_pinv = pseudo_inverse_symmetric(v);
+  Matrix vz = v;
+  if (!depths.empty() && opts.depth_weight > 0.0)
+    for (std::size_t i = 0; i < n; ++i) vz(i, i) += opts.depth_weight;
+  const Matrix vz_inv =
+      (!depths.empty() && opts.depth_weight > 0.0) ? inverse(vz) : v_pinv;
+
+  // Starts: classical MDS (x, y from 2D embedding, z from depths or zero)
+  // plus random restarts.
+  std::vector<std::vector<Vec3>> starts;
+  {
+    const std::vector<Vec2> flat = classical_mds_2d_weighted(dist, w);
+    std::vector<Vec3> s(n);
+    for (std::size_t i = 0; i < n; ++i)
+      s[i] = {flat[i].x, flat[i].y, depths.empty() ? 0.0 : depths[i]};
+    starts.push_back(std::move(s));
+  }
+  for (int r = 0; r < opts.random_restarts; ++r) {
+    std::vector<Vec3> s(n);
+    for (Vec3& p : s)
+      p = {rng.uniform(-opts.init_spread, opts.init_spread),
+           rng.uniform(-opts.init_spread, opts.init_spread),
+           depths.empty() ? rng.uniform(0.0, 10.0)
+                          : depths[static_cast<std::size_t>(&p - s.data())]};
+    starts.push_back(std::move(s));
+  }
+
+  Smacof3dResult best;
+  bool have = false;
+  for (const auto& start : starts) {
+    Smacof3dResult res = run_from(start, dist, w, depths, v_pinv, vz_inv, opts);
+    if (!have || res.stress < best.stress) {
+      best = std::move(res);
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace uwp::core

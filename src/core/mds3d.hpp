@@ -1,0 +1,47 @@
+// Direct 3D weighted SMACOF — the ablation counterpart of the paper's
+// depth-projection design (§2.1.1). The paper projects to 2D using depth
+// sensors; this solver embeds straight into 3D from raw distances, with the
+// depth readings applied as soft constraints (penalty terms) instead of hard
+// coordinates. The ablation bench compares the two, demonstrating why the
+// projection is the right call when depth sensors are decent.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/matrix.hpp"
+#include "util/random.hpp"
+
+namespace uwp::core {
+
+struct Smacof3dOptions {
+  int max_iterations = 500;
+  double rel_tolerance = 1e-9;
+  int random_restarts = 2;
+  double init_spread = 30.0;
+  // Weight of the per-device depth penalty (z_i - h_i)^2 relative to a unit
+  // link weight; 0 disables depth anchoring entirely.
+  double depth_weight = 4.0;
+};
+
+struct Smacof3dResult {
+  std::vector<Vec3> positions;
+  double stress = 0.0;             // weighted link stress only (m^2)
+  double normalized_stress = 0.0;  // sqrt(stress / #links)
+  int iterations = 0;
+};
+
+// Weighted stress of a 3D configuration (links only, no depth penalty).
+double weighted_stress_3d(const std::vector<Vec3>& x, const Matrix& dist,
+                          const Matrix& w);
+
+// Minimize sum w_ij (d_ij - ||x_i - x_j||)^2 + depth_weight * sum (z_i-h_i)^2
+// by SMACOF iterations with the depth penalty folded into the majorization
+// (quadratic in z, handled exactly). `depths` may be empty to skip the
+// penalty.
+Smacof3dResult smacof_3d(const Matrix& dist, const Matrix& w,
+                         const std::vector<double>& depths,
+                         const Smacof3dOptions& opts, uwp::Rng& rng);
+
+}  // namespace uwp::core

@@ -1,0 +1,80 @@
+#include "core/mds_classical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/linalg.hpp"
+
+namespace uwp::core {
+
+Matrix shortest_path_completion(const Matrix& dist, const Matrix& weights) {
+  const std::size_t n = dist.rows();
+  if (dist.cols() != n || weights.rows() != n || weights.cols() != n)
+    throw std::invalid_argument("shortest_path_completion: shape mismatch");
+  constexpr double kInf = 1e18;
+  Matrix d(n, n, kInf);
+  double max_obs = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    d(i, i) = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && weights(i, j) > 0.0) {
+        d(i, j) = dist(i, j);
+        max_obs = std::max(max_obs, dist(i, j));
+      }
+    }
+  }
+  // Floyd-Warshall.
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        d(i, j) = std::min(d(i, j), d(i, k) + d(k, j));
+  // Unreachable pairs: cap at the largest observed distance.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (d(i, j) >= kInf) d(i, j) = max_obs;
+  return d;
+}
+
+std::vector<Vec2> classical_mds_2d(const Matrix& dist) {
+  const std::size_t n = dist.rows();
+  if (dist.cols() != n) throw std::invalid_argument("classical_mds_2d: not square");
+  if (n == 0) return {};
+  // Double centering: B = -1/2 J D^2 J.
+  Matrix d2(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) d2(i, j) = dist(i, j) * dist(i, j);
+  std::vector<double> row_mean(n, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) row_mean[i] += d2(i, j);
+    row_mean[i] /= static_cast<double>(n);
+    total += row_mean[i];
+  }
+  total /= static_cast<double>(n);
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      b(i, j) = -0.5 * (d2(i, j) - row_mean[i] - row_mean[j] + total);
+
+  const EigenResult eig = eigen_symmetric(b);
+  std::vector<Vec2> pts(n);
+  for (std::size_t axis = 0; axis < 2 && axis < eig.values.size(); ++axis) {
+    const double l = std::max(eig.values[axis], 0.0);
+    const double s = std::sqrt(l);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double coord = s * eig.vectors(i, axis);
+      if (axis == 0)
+        pts[i].x = coord;
+      else
+        pts[i].y = coord;
+    }
+  }
+  return pts;
+}
+
+std::vector<Vec2> classical_mds_2d_weighted(const Matrix& dist, const Matrix& weights) {
+  return classical_mds_2d(shortest_path_completion(dist, weights));
+}
+
+}  // namespace uwp::core

@@ -1,0 +1,24 @@
+// Classical (Torgerson) multidimensional scaling, used to initialize SMACOF.
+// Missing entries (zero weight) are completed with graph shortest-path
+// distances (the Isomap trick) before double centering.
+#pragma once
+
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/matrix.hpp"
+
+namespace uwp::core {
+
+// Complete a partially observed distance matrix by all-pairs shortest paths
+// over the observed links. Unreachable pairs fall back to the largest
+// observed distance (keeps the Gram matrix bounded).
+Matrix shortest_path_completion(const Matrix& dist, const Matrix& weights);
+
+// Classical MDS embedding into 2D from a complete distance matrix.
+std::vector<Vec2> classical_mds_2d(const Matrix& dist);
+
+// Convenience: completion + embedding for weighted problems.
+std::vector<Vec2> classical_mds_2d_weighted(const Matrix& dist, const Matrix& weights);
+
+}  // namespace uwp::core

@@ -1,0 +1,109 @@
+#include "core/outlier_detection.hpp"
+
+#include <algorithm>
+
+namespace uwp::core {
+
+std::vector<std::vector<std::size_t>> subsets_of_size(std::size_t n, std::size_t k) {
+  std::vector<std::vector<std::size_t>> out;
+  if (k > n) return out;
+  std::vector<std::size_t> idx(k);
+  // Standard lexicographic combination enumeration.
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  while (true) {
+    out.push_back(idx);
+    // Advance.
+    std::size_t i = k;
+    while (i-- > 0) {
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return out;
+    }
+  }
+}
+
+OutlierResult localize_with_outlier_detection(const Matrix& dist, const Matrix& weights,
+                                              const OutlierOptions& opts, uwp::Rng& rng) {
+  const std::size_t n = dist.rows();
+  const std::vector<Edge> links = edges_from_weights(weights);
+
+  OutlierResult out;
+  out.weights = weights;
+
+  // Initial solve on all links.
+  SmacofResult base = smacof_2d(dist, weights, opts.smacof, rng);
+  out.positions = base.positions;
+  out.normalized_stress = base.normalized_stress;
+  if (base.normalized_stress < opts.stress_threshold) return out;
+
+  out.outliers_suspected = true;
+  double e0 = base.normalized_stress;
+  std::vector<Vec2> p0 = base.positions;
+  std::vector<std::size_t> dropped_so_far;  // indices into `links`
+
+  for (int ndrop = 1; ndrop <= opts.max_outliers; ++ndrop) {
+    double e_min = e0;
+    std::vector<Vec2> p_min = p0;
+    std::vector<std::size_t> best_subset;
+
+    for (const std::vector<std::size_t>& subset :
+         subsets_of_size(links.size(), static_cast<std::size_t>(ndrop))) {
+      // Build the candidate weight matrix with this subset removed.
+      Matrix w = weights;
+      std::vector<Edge> remaining;
+      remaining.reserve(links.size() - subset.size());
+      for (std::size_t li = 0; li < links.size(); ++li) {
+        const bool dropped =
+            std::find(subset.begin(), subset.end(), li) != subset.end();
+        if (dropped) {
+          w(links[li].first, links[li].second) = 0.0;
+          w(links[li].second, links[li].first) = 0.0;
+        } else {
+          remaining.push_back(links[li]);
+        }
+      }
+      // Only solve when the remaining graph is still uniquely realizable —
+      // otherwise the "improvement" is just the looser problem.
+      if (!is_uniquely_realizable_2d(n, remaining)) continue;
+
+      const SmacofResult cand = smacof_2d(dist, w, opts.smacof, rng);
+      const bool significant = e0 - cand.normalized_stress > opts.drop_ratio * e0;
+      if (significant && cand.normalized_stress < e_min) {
+        e_min = cand.normalized_stress;
+        p_min = cand.positions;
+        best_subset = subset;
+      }
+    }
+
+    if (e_min < opts.stress_threshold) {
+      out.positions = p_min;
+      out.normalized_stress = e_min;
+      for (std::size_t li : best_subset) {
+        out.dropped_links.push_back(links[li]);
+        out.weights(links[li].first, links[li].second) = 0.0;
+        out.weights(links[li].second, links[li].first) = 0.0;
+      }
+      return out;
+    }
+    // Keep the best found so far and try dropping a larger subset.
+    if (!best_subset.empty()) {
+      e0 = e_min;
+      p0 = p_min;
+      dropped_so_far = best_subset;
+    }
+  }
+
+  out.positions = p0;
+  out.normalized_stress = e0;
+  for (std::size_t li : dropped_so_far) {
+    out.dropped_links.push_back(links[li]);
+    out.weights(links[li].first, links[li].second) = 0.0;
+    out.weights(links[li].second, links[li].first) = 0.0;
+  }
+  return out;
+}
+
+}  // namespace uwp::core

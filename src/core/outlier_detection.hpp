@@ -1,0 +1,49 @@
+// Iterative outlier-link detection (paper Algorithm 1, §2.1.3). Occluded
+// links whose multipath was mistaken for the direct path inflate the SMACOF
+// stress; the detector drops growing subsets of links, re-running SMACOF on
+// each candidate subset, and accepts a drop when the normalized stress
+// collapses (>= 90% reduction). Subsets that would leave the graph not
+// uniquely realizable are never tried, and at most `max_outliers` links are
+// dropped.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/rigidity.hpp"
+#include "core/smacof.hpp"
+
+namespace uwp::core {
+
+struct OutlierOptions {
+  // Normalized-stress acceptance threshold, in meters of RMS link residual
+  // sqrt(S / #links). The paper normalizes S by the link count and uses 1.5;
+  // with our sqrt scale, clean rounds (0.5-0.9 m ranging noise) sit near
+  // 0.1-0.3 m while a single occluded link pushes past 0.7 m, so 0.5 m
+  // separates the regimes (measured in tests; documented in DESIGN.md).
+  double stress_threshold = 0.5;
+  // Required relative stress reduction to accept a dropped subset (0.9 in
+  // the paper: "E0 - E' > 0.9 * E0").
+  double drop_ratio = 0.9;
+  int max_outliers = 3;  // O_max
+  SmacofOptions smacof{};
+};
+
+struct OutlierResult {
+  std::vector<Vec2> positions;
+  double normalized_stress = 0.0;
+  std::vector<Edge> dropped_links;
+  bool outliers_suspected = false;  // initial stress exceeded the threshold
+  // Final weight matrix actually used (input weights minus dropped links).
+  Matrix weights;
+};
+
+// Algorithm 1: localize with outlier detection. `dist` is the projected 2D
+// distance matrix, `weights` the initial link indicator matrix.
+OutlierResult localize_with_outlier_detection(const Matrix& dist, const Matrix& weights,
+                                              const OutlierOptions& opts, uwp::Rng& rng);
+
+// Enumeration helper: all size-k subsets of [0, n) (exposed for tests).
+std::vector<std::vector<std::size_t>> subsets_of_size(std::size_t n, std::size_t k);
+
+}  // namespace uwp::core

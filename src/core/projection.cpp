@@ -1,0 +1,39 @@
+#include "core/projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace uwp::core {
+
+Matrix project_to_2d(const Matrix& dist3d, std::span<const double> depths) {
+  const std::size_t n = dist3d.rows();
+  if (dist3d.cols() != n || depths.size() != n)
+    throw std::invalid_argument("project_to_2d: shape mismatch");
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dh = depths[i] - depths[j];
+      const double sq = dist3d(i, j) * dist3d(i, j) - dh * dh;
+      const double d = sq > 0.0 ? std::sqrt(sq) : 0.0;
+      out(i, j) = out(j, i) = d;
+    }
+  }
+  return out;
+}
+
+Matrix lift_to_3d(const Matrix& dist2d, std::span<const double> depths) {
+  const std::size_t n = dist2d.rows();
+  if (dist2d.cols() != n || depths.size() != n)
+    throw std::invalid_argument("lift_to_3d: shape mismatch");
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dh = depths[i] - depths[j];
+      out(i, j) = out(j, i) = std::hypot(dist2d(i, j), dh);
+    }
+  }
+  return out;
+}
+
+}  // namespace uwp::core

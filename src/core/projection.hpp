@@ -1,0 +1,21 @@
+// 3D -> 2D projection of the pairwise distance matrix using per-device depth
+// sensor readings (§2.1.1): D2D_ij = sqrt(D_ij^2 - (h_i - h_j)^2). Noisy
+// measurements can make the radicand negative; those are clamped to zero
+// (devices at the same horizontal spot).
+#pragma once
+
+#include <span>
+
+#include "util/matrix.hpp"
+
+namespace uwp::core {
+
+// Project the NxN 3D distance matrix to horizontal-plane distances. Entries
+// with zero weight are passed through as zero. Throws on shape mismatch.
+Matrix project_to_2d(const Matrix& dist3d, std::span<const double> depths);
+
+// Reconstruct 3D distances from horizontal distances + depths (inverse of
+// the projection; used by tests and the analytical evaluation).
+Matrix lift_to_3d(const Matrix& dist2d, std::span<const double> depths);
+
+}  // namespace uwp::core

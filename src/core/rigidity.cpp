@@ -1,0 +1,189 @@
+#include "core/rigidity.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace uwp::core {
+
+std::vector<Edge> edges_from_weights(const Matrix& w) {
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < w.rows(); ++i)
+    for (std::size_t j = i + 1; j < w.cols(); ++j)
+      if (w(i, j) > 0.0) edges.emplace_back(i, j);
+  return edges;
+}
+
+namespace {
+
+std::vector<std::vector<std::size_t>> adjacency(std::size_t n,
+                                                const std::vector<Edge>& edges) {
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const Edge& e : edges) {
+    adj[e.first].push_back(e.second);
+    adj[e.second].push_back(e.first);
+  }
+  return adj;
+}
+
+// Connectivity with an optional set of removed vertices.
+bool connected_excluding(std::size_t n, const std::vector<std::vector<std::size_t>>& adj,
+                         const std::vector<bool>& removed) {
+  std::size_t start = n;
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!removed[i]) {
+      ++alive;
+      if (start == n) start = i;
+    }
+  if (alive <= 1) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<std::size_t> stack = {start};
+  seen[start] = true;
+  std::size_t count = 1;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t u : adj[v]) {
+      if (!removed[u] && !seen[u]) {
+        seen[u] = true;
+        ++count;
+        stack.push_back(u);
+      }
+    }
+  }
+  return count == alive;
+}
+
+// (2,3) pebble game. Each vertex starts with 2 pebbles. To insert an edge we
+// must gather 4 pebbles on its endpoints (enforcing the "no subgraph with
+// more than 2n'-3 edges" condition); inserting consumes one pebble and
+// orients the edge away from the vertex that paid it.
+class PebbleGame {
+ public:
+  explicit PebbleGame(std::size_t n) : n_(n), pebbles_(n, 2), out_(n) {}
+
+  // Try to add edge (u, v) as independent. Returns false if dependent.
+  bool add_edge(std::size_t u, std::size_t v) {
+    if (u == v) return false;
+    while (pebbles_[u] + pebbles_[v] < 4) {
+      // Try to pull a pebble toward u or v by reversing a path.
+      if (!(pull(u, v) || pull(v, u))) return false;
+    }
+    // Pay one pebble at u; orient u -> v.
+    if (pebbles_[u] == 0) std::swap(u, v);
+    --pebbles_[u];
+    out_[u].push_back(v);
+    return true;
+  }
+
+ private:
+  // DFS from `root` (avoiding `other`) for a vertex with a free pebble; on
+  // success reverse the path, moving the pebble to `root`.
+  bool pull(std::size_t root, std::size_t other) {
+    std::vector<bool> visited(n_, false);
+    visited[root] = true;
+    visited[other] = true;
+    return dfs(root, visited);
+  }
+
+  bool dfs(std::size_t v, std::vector<bool>& visited) {
+    for (std::size_t i = 0; i < out_[v].size(); ++i) {
+      const std::size_t u = out_[v][i];
+      if (visited[u]) continue;
+      visited[u] = true;
+      if (pebbles_[u] > 0) {
+        --pebbles_[u];
+        ++pebbles_[v];
+        // Reverse edge v -> u into u -> v.
+        out_[v].erase(out_[v].begin() + static_cast<std::ptrdiff_t>(i));
+        out_[u].push_back(v);
+        return true;
+      }
+      if (dfs(u, visited)) {
+        // u just gained a pebble from deeper in the search; pass it to v.
+        --pebbles_[u];
+        ++pebbles_[v];
+        out_[v].erase(out_[v].begin() + static_cast<std::ptrdiff_t>(i));
+        out_[u].push_back(v);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t n_;
+  std::vector<int> pebbles_;
+  std::vector<std::vector<std::size_t>> out_;
+};
+
+}  // namespace
+
+bool is_connected(std::size_t n, const std::vector<Edge>& edges) {
+  if (n == 0) return true;
+  const auto adj = adjacency(n, edges);
+  return connected_excluding(n, adj, std::vector<bool>(n, false));
+}
+
+bool is_k_connected(std::size_t n, const std::vector<Edge>& edges, std::size_t k) {
+  if (n <= k) {
+    // Complete-graph convention: K_n is (n-1)-connected at most.
+    std::vector<Edge> sorted = edges;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    return sorted.size() == n * (n - 1) / 2;
+  }
+  const auto adj = adjacency(n, edges);
+  if (!connected_excluding(n, adj, std::vector<bool>(n, false))) return false;
+  if (k <= 1) return true;
+
+  // Delete every subset of k-1 vertices.
+  std::vector<std::size_t> subset(k - 1);
+  std::function<bool(std::size_t, std::size_t)> recurse =
+      [&](std::size_t depth, std::size_t start) -> bool {
+    if (depth == k - 1) {
+      std::vector<bool> removed(n, false);
+      for (std::size_t v : subset) removed[v] = true;
+      return connected_excluding(n, adj, removed);
+    }
+    for (std::size_t v = start; v < n; ++v) {
+      subset[depth] = v;
+      if (!recurse(depth + 1, v + 1)) return false;
+    }
+    return true;
+  };
+  return recurse(0, 0);
+}
+
+std::size_t rigidity_rank(std::size_t n, const std::vector<Edge>& edges) {
+  PebbleGame game(n);
+  std::size_t rank = 0;
+  for (const Edge& e : edges)
+    if (game.add_edge(e.first, e.second)) ++rank;
+  return rank;
+}
+
+bool is_rigid_2d(std::size_t n, const std::vector<Edge>& edges) {
+  if (n <= 1) return true;
+  if (n == 2) return !edges.empty();
+  return rigidity_rank(n, edges) == 2 * n - 3;
+}
+
+bool is_redundantly_rigid_2d(std::size_t n, const std::vector<Edge>& edges) {
+  if (!is_rigid_2d(n, edges)) return false;
+  for (std::size_t drop = 0; drop < edges.size(); ++drop) {
+    std::vector<Edge> remaining;
+    remaining.reserve(edges.size() - 1);
+    for (std::size_t i = 0; i < edges.size(); ++i)
+      if (i != drop) remaining.push_back(edges[i]);
+    if (!is_rigid_2d(n, remaining)) return false;
+  }
+  return true;
+}
+
+bool is_uniquely_realizable_2d(std::size_t n, const std::vector<Edge>& edges) {
+  if (n <= 2) return true;
+  if (n == 3) return edges.size() >= 3 && is_connected(n, edges);
+  return is_redundantly_rigid_2d(n, edges) && is_k_connected(n, edges, 3);
+}
+
+}  // namespace uwp::core

@@ -1,0 +1,139 @@
+#include "core/smacof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/mds_classical.hpp"
+#include "util/linalg.hpp"
+
+namespace uwp::core {
+
+double weighted_stress(const std::vector<Vec2>& x, const Matrix& dist, const Matrix& w) {
+  double s = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (w(i, j) <= 0.0) continue;
+      const double resid = dist(i, j) - distance(x[i], x[j]);
+      s += w(i, j) * resid * resid;
+    }
+  return s;
+}
+
+namespace {
+
+std::size_t count_links(const Matrix& w) {
+  std::size_t links = 0;
+  for (std::size_t i = 0; i < w.rows(); ++i)
+    for (std::size_t j = i + 1; j < w.cols(); ++j)
+      if (w(i, j) > 0.0) ++links;
+  return links;
+}
+
+// One SMACOF solve from a given start.
+SmacofResult run_from(std::vector<Vec2> x, const Matrix& dist, const Matrix& w,
+                      const Matrix& v_pinv, const SmacofOptions& opts) {
+  const std::size_t n = x.size();
+  SmacofResult res;
+  res.num_links = count_links(w);
+  double stress = weighted_stress(x, dist, w);
+
+  Matrix b(n, n);
+  Matrix xm(n, 2);
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    // Guttman transform: B(X) then X <- V^+ B(X) X.
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) b(i, j) = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (w(i, j) <= 0.0) continue;
+        const double dij = distance(x[i], x[j]);
+        const double val = dij > 1e-12 ? -w(i, j) * dist(i, j) / dij : 0.0;
+        b(i, j) = val;
+        b(j, i) = val;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double diag = 0.0;
+      for (std::size_t j = 0; j < n; ++j)
+        if (j != i) diag -= b(i, j);
+      b(i, i) = diag;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      xm(i, 0) = x[i].x;
+      xm(i, 1) = x[i].y;
+    }
+    const Matrix xn = v_pinv * (b * xm);
+    for (std::size_t i = 0; i < n; ++i) x[i] = {xn(i, 0), xn(i, 1)};
+
+    const double new_stress = weighted_stress(x, dist, w);
+    res.iterations = iter + 1;
+    if (stress - new_stress <= opts.rel_tolerance * std::max(stress, 1e-30)) {
+      stress = new_stress;
+      break;
+    }
+    stress = new_stress;
+  }
+  res.positions = std::move(x);
+  res.stress = stress;
+  res.normalized_stress =
+      res.num_links > 0 ? std::sqrt(stress / static_cast<double>(res.num_links)) : 0.0;
+  return res;
+}
+
+}  // namespace
+
+SmacofResult smacof_2d(const Matrix& dist, const Matrix& w, const SmacofOptions& opts,
+                       uwp::Rng& rng, const std::optional<std::vector<Vec2>>& init) {
+  const std::size_t n = dist.rows();
+  if (dist.cols() != n || w.rows() != n || w.cols() != n)
+    throw std::invalid_argument("smacof_2d: shape mismatch");
+  if (n == 0) return {};
+  if (n == 1) {
+    SmacofResult r;
+    r.positions = {Vec2{0, 0}};
+    return r;
+  }
+
+  // V = diag(sum_j w_ij) - W; pseudo-inverse handles the rank deficiency
+  // from translation invariance (and disconnected graphs).
+  Matrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double diag = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      v(i, j) = -w(i, j);
+      diag += w(i, j);
+    }
+    v(i, i) = diag;
+  }
+  const Matrix v_pinv = pseudo_inverse_symmetric(v);
+
+  std::vector<std::vector<Vec2>> starts;
+  if (init) {
+    starts.push_back(*init);
+  } else {
+    starts.push_back(classical_mds_2d_weighted(dist, w));
+  }
+  for (int r = 0; r < opts.random_restarts; ++r) {
+    std::vector<Vec2> rand_start(n);
+    for (Vec2& p : rand_start)
+      p = {rng.uniform(-opts.init_spread, opts.init_spread),
+           rng.uniform(-opts.init_spread, opts.init_spread)};
+    starts.push_back(std::move(rand_start));
+  }
+
+  SmacofResult best;
+  bool have = false;
+  for (const auto& start : starts) {
+    SmacofResult res = run_from(start, dist, w, v_pinv, opts);
+    if (!have || res.stress < best.stress) {
+      best = std::move(res);
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace uwp::core

@@ -1,0 +1,50 @@
+// Weighted SMACOF (Scaling by MAjorizing a COmplicated Function) — the MDS
+// solver at the heart of the topology estimation (§2.1.2). Minimizes the
+// weighted stress
+//   S(X) = sum_{i<j} w_ij (d_ij - ||x_i - x_j||)^2
+// by iterating the Guttman transform X <- V^+ B(X) X, which majorizes S and
+// decreases it monotonically. Zero weights encode missing links.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/matrix.hpp"
+#include "util/random.hpp"
+
+namespace uwp::core {
+
+struct SmacofOptions {
+  int max_iterations = 500;
+  // Stop when the relative stress decrease drops below this.
+  double rel_tolerance = 1e-9;
+  // Random restarts tried in addition to the classical-MDS start; the best
+  // (lowest stress) solution wins. Guards against local minima when links
+  // are missing.
+  int random_restarts = 2;
+  // Scale of random initial layouts (meters).
+  double init_spread = 30.0;
+};
+
+struct SmacofResult {
+  std::vector<Vec2> positions;
+  double stress = 0.0;             // raw weighted stress (m^2)
+  double normalized_stress = 0.0;  // sqrt(stress / #links): RMS residual, m
+  int iterations = 0;
+  std::size_t num_links = 0;
+};
+
+// Weighted raw stress of a configuration.
+double weighted_stress(const std::vector<Vec2>& x, const Matrix& dist, const Matrix& w);
+
+// Run SMACOF on the (projected 2D) distance matrix `dist` with weight matrix
+// `w` (symmetric, non-negative; w_ij = 0 for missing links). If `init` is
+// given it is used as the primary start; otherwise classical MDS with
+// shortest-path completion seeds the solve. `rng` drives random restarts.
+SmacofResult smacof_2d(const Matrix& dist, const Matrix& w, const SmacofOptions& opts,
+                       uwp::Rng& rng,
+                       const std::optional<std::vector<Vec2>>& init = std::nullopt);
+
+}  // namespace uwp::core

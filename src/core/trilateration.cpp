@@ -1,0 +1,77 @@
+#include "core/trilateration.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/linalg.hpp"
+#include "util/matrix.hpp"
+
+namespace uwp::core {
+
+std::optional<TrilaterationResult> trilaterate_2d(const std::vector<Vec2>& anchors,
+                                                  const std::vector<double>& ranges,
+                                                  const TrilaterationOptions& opts,
+                                                  std::optional<Vec2> initial) {
+  const std::size_t n = anchors.size();
+  if (n < 3 || ranges.size() != n) return std::nullopt;
+
+  Vec2 x = initial.value_or(centroid(anchors));
+  TrilaterationResult out;
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    out.iterations = iter + 1;
+    // Residuals r_i = ||x - a_i|| - d_i and Jacobian rows (unit vectors).
+    Matrix jtj(2, 2);
+    std::vector<double> jtr(2, 0.0);
+    double sse = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec2 diff = x - anchors[i];
+      const double dist = std::max(diff.norm(), 1e-9);
+      const double r = dist - ranges[i];
+      const Vec2 u = diff * (1.0 / dist);
+      jtj(0, 0) += u.x * u.x;
+      jtj(0, 1) += u.x * u.y;
+      jtj(1, 0) += u.y * u.x;
+      jtj(1, 1) += u.y * u.y;
+      jtr[0] += u.x * r;
+      jtr[1] += u.y * r;
+      sse += r * r;
+    }
+    jtj(0, 0) += opts.damping;
+    jtj(1, 1) += opts.damping;
+
+    std::vector<double> step;
+    try {
+      step = solve(jtj, jtr);
+    } catch (const std::exception&) {
+      return std::nullopt;  // collinear anchors
+    }
+    x = x - Vec2{step[0], step[1]};
+    out.residual_rms_m = std::sqrt(sse / static_cast<double>(n));
+    if (std::hypot(step[0], step[1]) < opts.tolerance_m) break;
+  }
+  if (!std::isfinite(x.x) || !std::isfinite(x.y)) return std::nullopt;
+  out.position = x;
+  return out;
+}
+
+double gdop_2d(const std::vector<Vec2>& anchors, Vec2 position) {
+  if (anchors.size() < 2) return std::numeric_limits<double>::infinity();
+  Matrix jtj(2, 2);
+  for (const Vec2& a : anchors) {
+    const Vec2 diff = position - a;
+    const double dist = std::max(diff.norm(), 1e-9);
+    const Vec2 u = diff * (1.0 / dist);
+    jtj(0, 0) += u.x * u.x;
+    jtj(0, 1) += u.x * u.y;
+    jtj(1, 0) += u.y * u.x;
+    jtj(1, 1) += u.y * u.y;
+  }
+  const double det = determinant(jtj);
+  if (det < 1e-12) return std::numeric_limits<double>::infinity();
+  // GDOP = sqrt(trace((J^T J)^-1)).
+  const Matrix inv = inverse(jtj);
+  return std::sqrt(inv(0, 0) + inv(1, 1));
+}
+
+}  // namespace uwp::core

@@ -1,0 +1,43 @@
+// Anchor-based localization baseline. The paper's related work (§4) contrasts
+// the anchor-free design against conventional systems that trilaterate from
+// buoys at known positions; this module implements that comparator so the
+// benefit/cost of anchors is measurable inside the same simulator:
+// Gauss-Newton range trilateration plus the GDOP metric that predicts how
+// anchor geometry amplifies ranging error.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace uwp::core {
+
+struct TrilaterationOptions {
+  int max_iterations = 50;
+  double tolerance_m = 1e-6;
+  // Levenberg-Marquardt damping added to the normal equations.
+  double damping = 1e-6;
+};
+
+struct TrilaterationResult {
+  Vec2 position;
+  double residual_rms_m = 0.0;  // sqrt(mean squared range residual)
+  int iterations = 0;
+};
+
+// Solve for the 2D position given >= 3 anchors at known positions and range
+// measurements to each (horizontal-plane ranges; project first if needed).
+// `initial` seeds the iteration (centroid of anchors when nullopt). Returns
+// nullopt when the geometry is degenerate (anchors collinear) or the solve
+// diverges.
+std::optional<TrilaterationResult> trilaterate_2d(
+    const std::vector<Vec2>& anchors, const std::vector<double>& ranges,
+    const TrilaterationOptions& opts = {}, std::optional<Vec2> initial = std::nullopt);
+
+// Horizontal dilution of precision at `position` for the anchor set: the
+// factor by which 1-sigma ranging noise inflates position error. Infinity
+// for degenerate geometry.
+double gdop_2d(const std::vector<Vec2>& anchors, Vec2 position);
+
+}  // namespace uwp::core

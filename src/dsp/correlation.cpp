@@ -1,0 +1,90 @@
+#include "dsp/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.hpp"
+
+namespace uwp::dsp {
+
+std::vector<double> cross_correlate(std::span<const double> signal,
+                                    std::span<const double> template_) {
+  if (template_.empty() || signal.size() < template_.size()) return {};
+  // Correlation = convolution with the reversed template.
+  std::vector<double> rev(template_.rbegin(), template_.rend());
+  const std::vector<double> conv = fft_convolve(signal, rev);
+  // Valid region starts where the template fully overlaps the signal.
+  const std::size_t n_lags = signal.size() - template_.size() + 1;
+  std::vector<double> out(n_lags);
+  for (std::size_t k = 0; k < n_lags; ++k) out[k] = conv[k + template_.size() - 1];
+  return out;
+}
+
+std::vector<double> normalized_cross_correlate(std::span<const double> signal,
+                                               std::span<const double> template_) {
+  std::vector<double> raw = cross_correlate(signal, template_);
+  if (raw.empty()) return raw;
+
+  double t_energy = 0.0;
+  for (double v : template_) t_energy += v * v;
+  const double t_norm = std::sqrt(t_energy);
+  if (t_norm == 0.0) {
+    std::fill(raw.begin(), raw.end(), 0.0);
+    return raw;
+  }
+
+  // Sliding window energy of the signal via prefix sums.
+  std::vector<double> prefix(signal.size() + 1, 0.0);
+  for (std::size_t i = 0; i < signal.size(); ++i)
+    prefix[i + 1] = prefix[i] + signal[i] * signal[i];
+
+  const std::size_t w = template_.size();
+  // Windows with (near-)zero energy carry no information; their raw value is
+  // FFT round-off and dividing by a vanishing norm would manufacture fake
+  // correlation peaks. Floor the window energy relative to the template.
+  const double energy_floor = 1e-12 * t_energy;
+  for (std::size_t k = 0; k < raw.size(); ++k) {
+    const double energy = prefix[k + w] - prefix[k];
+    if (energy <= energy_floor) {
+      raw[k] = 0.0;
+      continue;
+    }
+    raw[k] /= t_norm * std::sqrt(energy);
+  }
+  return raw;
+}
+
+double window_correlation(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  double dot = 0.0, ea = 0.0, eb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+    ea += a[i] * a[i];
+    eb += b[i] * b[i];
+  }
+  if (ea == 0.0 || eb == 0.0) return 0.0;
+  return dot / std::sqrt(ea * eb);
+}
+
+std::size_t argmax(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::distance(xs.begin(), std::max_element(xs.begin(), xs.end())));
+}
+
+bool is_peak(std::span<const double> xs, std::size_t i) {
+  if (xs.empty() || i >= xs.size()) return false;
+  const double v = xs[i];
+  const bool left_ok = (i == 0) || v > xs[i - 1];
+  const bool right_ok = (i + 1 == xs.size()) || v > xs[i + 1];
+  return left_ok && right_ok;
+}
+
+std::vector<std::size_t> find_peaks(std::span<const double> xs, double threshold) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    if (xs[i] >= threshold && is_peak(xs, i)) out.push_back(i);
+  return out;
+}
+
+}  // namespace uwp::dsp

@@ -1,0 +1,37 @@
+// Correlation kernels used by the preamble detector (§2.2.1): sliding
+// cross-correlation against a known template and the normalized
+// auto-correlation across repeated OFDM symbols.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace uwp::dsp {
+
+// Cross-correlation of `signal` with `template_` computed via FFT.
+// out[k] = sum_j signal[k + j] * template_[j], for k in
+// [0, signal.size() - template_.size()]. Empty when template is longer.
+std::vector<double> cross_correlate(std::span<const double> signal,
+                                    std::span<const double> template_);
+
+// Normalized cross-correlation: each lag divided by
+// ||template|| * ||signal window at that lag||, giving values in [-1, 1].
+std::vector<double> normalized_cross_correlate(std::span<const double> signal,
+                                               std::span<const double> template_);
+
+// Pearson-style normalized correlation between two equal-length windows.
+// Returns 0 when either window has zero energy.
+double window_correlation(std::span<const double> a, std::span<const double> b);
+
+// Index of the maximum element (first one on ties). Returns 0 on empty.
+std::size_t argmax(std::span<const double> xs);
+
+// Peak test used by the paper's direct-path search: xs[i] is a local maximum
+// strictly greater than both neighbors (boundary samples use one-sided test).
+bool is_peak(std::span<const double> xs, std::size_t i);
+
+// All local peak indices with value >= threshold.
+std::vector<std::size_t> find_peaks(std::span<const double> xs, double threshold);
+
+}  // namespace uwp::dsp

@@ -1,0 +1,192 @@
+#include "dsp/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace uwp::dsp {
+
+namespace {
+
+constexpr double kTau = 2.0 * std::numbers::pi;
+
+// Twiddle-factor cache for one transform length. Recursion reuses the table
+// of the root length via stride tricks.
+struct Plan {
+  std::size_t n;
+  std::vector<cplx> twiddle;  // twiddle[k] = exp(-i 2 pi k / n)
+
+  explicit Plan(std::size_t n_) : n(n_), twiddle(n_) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double ang = -kTau * static_cast<double>(k) / static_cast<double>(n);
+      twiddle[k] = {std::cos(ang), std::sin(ang)};
+    }
+  }
+};
+
+// Recursive mixed-radix Cooley-Tukey: splits off the smallest prime factor p
+// (2, 3 or 5), transforms n/p sub-sequences, then combines with a p-point DFT.
+void mixed_radix(const cplx* in, std::size_t stride, cplx* out, std::size_t n,
+                 const Plan& plan, std::size_t twiddle_stride) {
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  std::size_t p = 0;
+  if (n % 2 == 0)
+    p = 2;
+  else if (n % 3 == 0)
+    p = 3;
+  else if (n % 5 == 0)
+    p = 5;
+  else
+    throw std::invalid_argument("mixed_radix: non-smooth length");
+
+  const std::size_t m = n / p;
+  // DIT: out[q*m .. q*m+m) holds the FFT of the q-th decimated sequence.
+  for (std::size_t q = 0; q < p; ++q)
+    mixed_radix(in + q * stride, stride * p, out + q * m, m, plan, twiddle_stride * p);
+
+  // Combine: X[k + r*m] = sum_q W_n^{(k + r m) q} * F_q[k].
+  std::vector<cplx> scratch(p);
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t q = 0; q < p; ++q) {
+      // twiddle index (k*q mod n) scaled by the stride of this level.
+      const std::size_t idx = (k * q) % n;
+      scratch[q] = out[q * m + k] * plan.twiddle[idx * twiddle_stride];
+    }
+    for (std::size_t r = 0; r < p; ++r) {
+      cplx acc = scratch[0];
+      for (std::size_t q = 1; q < p; ++q) {
+        const std::size_t idx = (r * m % n) * q % n;
+        acc += scratch[q] * plan.twiddle[idx * twiddle_stride];
+      }
+      out[r * m + k] = acc;
+    }
+  }
+}
+
+std::vector<cplx> fft_smooth(std::span<const cplx> x) {
+  const std::size_t n = x.size();
+  Plan plan(n);
+  std::vector<cplx> out(n);
+  mixed_radix(x.data(), 1, out.data(), n, plan, 1);
+  return out;
+}
+
+// Iterative radix-2 FFT used inside Bluestein (lengths are powers of two).
+void fft_pow2_inplace(std::vector<cplx>& a, bool invert) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (invert ? kTau : -kTau) / static_cast<double>(len);
+    const cplx wl(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  if (invert)
+    for (cplx& v : a) v /= static_cast<double>(n);
+}
+
+// Bluestein chirp-z transform for arbitrary n.
+std::vector<cplx> fft_bluestein(std::span<const cplx> x) {
+  const std::size_t n = x.size();
+  const std::size_t m = next_pow2(2 * n - 1);
+  std::vector<cplx> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // exp(-i pi k^2 / n); compute k^2 mod 2n to avoid precision loss.
+    const std::size_t k2 = (static_cast<unsigned long long>(k) * k) % (2 * n);
+    const double ang = -std::numbers::pi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = {std::cos(ang), std::sin(ang)};
+  }
+  std::vector<cplx> a(m, cplx{0.0, 0.0});
+  std::vector<cplx> b(m, cplx{0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) b[k] = b[m - k] = std::conj(chirp[k]);
+  fft_pow2_inplace(a, false);
+  fft_pow2_inplace(b, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_pow2_inplace(a, true);
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  return out;
+}
+
+}  // namespace
+
+bool is_smooth_235(std::size_t n) {
+  if (n == 0) return false;
+  for (std::size_t p : {std::size_t{2}, std::size_t{3}, std::size_t{5}})
+    while (n % p == 0) n /= p;
+  return n == 1;
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<cplx> fft(std::span<const cplx> x) {
+  if (x.empty()) throw std::invalid_argument("fft: empty input");
+  if (x.size() == 1) return {x[0]};
+  if (is_smooth_235(x.size())) return fft_smooth(x);
+  return fft_bluestein(x);
+}
+
+std::vector<cplx> ifft(std::span<const cplx> x) {
+  // ifft(x) = conj(fft(conj(x))) / n
+  std::vector<cplx> conj_in(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) conj_in[i] = std::conj(x[i]);
+  std::vector<cplx> y = fft(conj_in);
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  for (cplx& v : y) v = std::conj(v) * inv_n;
+  return y;
+}
+
+std::vector<cplx> fft_real(std::span<const double> x) {
+  std::vector<cplx> cx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = {x[i], 0.0};
+  return fft(cx);
+}
+
+std::vector<double> ifft_real(std::span<const cplx> x) {
+  const std::vector<cplx> y = ifft(x);
+  std::vector<double> out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) out[i] = y[i].real();
+  return out;
+}
+
+std::vector<double> fft_convolve(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t m = next_pow2(out_len);
+  std::vector<cplx> fa(m, cplx{0.0, 0.0});
+  std::vector<cplx> fb(m, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = {a[i], 0.0};
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = {b[i], 0.0};
+  fa = fft(fa);
+  fb = fft(fb);
+  for (std::size_t i = 0; i < m; ++i) fa[i] *= fb[i];
+  const std::vector<cplx> y = ifft(fa);
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = y[i].real();
+  return out;
+}
+
+}  // namespace uwp::dsp

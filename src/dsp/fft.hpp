@@ -1,0 +1,38 @@
+// FFT engine for the PHY layer. The paper's OFDM symbols are 1920 samples
+// (1920 = 2^7 * 3 * 5), so we implement a recursive mixed-radix Cooley-Tukey
+// transform for lengths whose factors are {2, 3, 5} and fall back to
+// Bluestein's chirp-z algorithm for arbitrary lengths. Everything is
+// double-precision; accuracy matters more than speed at 44.1 kHz scales.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace uwp::dsp {
+
+using cplx = std::complex<double>;
+
+// In-place-capable forward/inverse FFT of arbitrary length (n >= 1).
+// The inverse is normalized by 1/n, so ifft(fft(x)) == x.
+std::vector<cplx> fft(std::span<const cplx> x);
+std::vector<cplx> ifft(std::span<const cplx> x);
+
+// Convenience overloads for real input.
+std::vector<cplx> fft_real(std::span<const double> x);
+
+// Inverse FFT returning only the real part (caller asserts the spectrum is
+// Hermitian, e.g. when synthesizing real OFDM waveforms).
+std::vector<double> ifft_real(std::span<const cplx> x);
+
+// True when `n` factors completely into {2, 3, 5} — the fast path.
+bool is_smooth_235(std::size_t n);
+
+// Smallest power of two >= n (used by Bluestein and fast convolution).
+std::size_t next_pow2(std::size_t n);
+
+// Linear convolution via zero-padded FFT, output length a+b-1.
+std::vector<double> fft_convolve(std::span<const double> a, std::span<const double> b);
+
+}  // namespace uwp::dsp

@@ -1,0 +1,135 @@
+#include "dsp/filter.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace uwp::dsp {
+
+namespace {
+
+double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  const double px = std::numbers::pi * x;
+  return std::sin(px) / px;
+}
+
+void check_taps(std::size_t taps) {
+  if (taps == 0 || taps % 2 == 0)
+    throw std::invalid_argument("FIR design: taps must be odd and non-zero");
+}
+
+}  // namespace
+
+std::vector<double> design_fir_lowpass(std::size_t taps, double f_cut_hz, double fs_hz) {
+  check_taps(taps);
+  const double fc = f_cut_hz / fs_hz;  // normalized cutoff in cycles/sample
+  const std::size_t mid = taps / 2;
+  std::vector<double> h(taps);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double n = static_cast<double>(i) - static_cast<double>(mid);
+    const double w =
+        0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                               static_cast<double>(taps - 1));
+    h[i] = 2.0 * fc * sinc(2.0 * fc * n) * w;
+    sum += h[i];
+  }
+  // Normalize DC gain to 1.
+  for (double& v : h) v /= sum;
+  return h;
+}
+
+std::vector<double> design_fir_bandpass(std::size_t taps, double f_lo_hz,
+                                        double f_hi_hz, double fs_hz) {
+  check_taps(taps);
+  if (f_lo_hz >= f_hi_hz) throw std::invalid_argument("FIR bandpass: f_lo >= f_hi");
+  // Difference of two low-pass prototypes (before DC normalization).
+  const double f1 = f_lo_hz / fs_hz;
+  const double f2 = f_hi_hz / fs_hz;
+  const std::size_t mid = taps / 2;
+  std::vector<double> h(taps);
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double n = static_cast<double>(i) - static_cast<double>(mid);
+    const double w =
+        0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                               static_cast<double>(taps - 1));
+    h[i] = (2.0 * f2 * sinc(2.0 * f2 * n) - 2.0 * f1 * sinc(2.0 * f1 * n)) * w;
+  }
+  // Normalize gain at band center to 1.
+  const double f_mid = (f_lo_hz + f_hi_hz) / 2.0 / fs_hz;
+  double re = 0.0, im = 0.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double ang = -2.0 * std::numbers::pi * f_mid * static_cast<double>(i);
+    re += h[i] * std::cos(ang);
+    im += h[i] * std::sin(ang);
+  }
+  const double gain = std::hypot(re, im);
+  if (gain > 1e-12)
+    for (double& v : h) v /= gain;
+  return h;
+}
+
+std::vector<double> fir_filter(std::span<const double> x, std::span<const double> taps) {
+  if (x.empty() || taps.empty()) return {};
+  const std::vector<double> conv = fft_convolve(x, taps);
+  const std::size_t delay = (taps.size() - 1) / 2;
+  std::vector<double> out(x.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::size_t j = i + delay;
+    if (j < conv.size()) out[i] = conv[j];
+  }
+  return out;
+}
+
+double Biquad::process(double x) {
+  const double y = b0 * x + z1_;
+  z1_ = b1 * x - a1 * y + z2_;
+  z2_ = b2 * x - a2 * y;
+  return y;
+}
+
+namespace {
+
+Biquad from_rbj(double b0, double b1, double b2, double a0, double a1, double a2) {
+  Biquad bq;
+  bq.b0 = b0 / a0;
+  bq.b1 = b1 / a0;
+  bq.b2 = b2 / a0;
+  bq.a1 = a1 / a0;
+  bq.a2 = a2 / a0;
+  return bq;
+}
+
+}  // namespace
+
+Biquad Biquad::lowpass(double f_hz, double q, double fs_hz) {
+  const double w0 = 2.0 * std::numbers::pi * f_hz / fs_hz;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  return from_rbj((1 - cw) / 2, 1 - cw, (1 - cw) / 2, 1 + alpha, -2 * cw, 1 - alpha);
+}
+
+Biquad Biquad::highpass(double f_hz, double q, double fs_hz) {
+  const double w0 = 2.0 * std::numbers::pi * f_hz / fs_hz;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  return from_rbj((1 + cw) / 2, -(1 + cw), (1 + cw) / 2, 1 + alpha, -2 * cw, 1 - alpha);
+}
+
+Biquad Biquad::bandpass(double f_hz, double q, double fs_hz) {
+  const double w0 = 2.0 * std::numbers::pi * f_hz / fs_hz;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  return from_rbj(alpha, 0.0, -alpha, 1 + alpha, -2 * cw, 1 - alpha);
+}
+
+std::vector<double> biquad_filter(std::span<const double> x, Biquad bq) {
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = bq.process(x[i]);
+  return out;
+}
+
+}  // namespace uwp::dsp

@@ -1,0 +1,44 @@
+// FIR/biquad filtering. The channel simulator band-limits signals to the
+// 1-5 kHz underwater response of phone speakers (per the paper's §2.2.1), and
+// the FSK demodulator uses narrowband energy filters.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace uwp::dsp {
+
+// Windowed-sinc FIR band-pass design (Hamming window). `taps` must be odd.
+std::vector<double> design_fir_bandpass(std::size_t taps, double f_lo_hz,
+                                        double f_hi_hz, double fs_hz);
+
+// Windowed-sinc FIR low-pass (Hamming). `taps` must be odd.
+std::vector<double> design_fir_lowpass(std::size_t taps, double f_cut_hz, double fs_hz);
+
+// Zero-phase-ish filtering: plain convolution trimmed to input length with
+// the group delay (taps-1)/2 compensated, so filtered output aligns with the
+// input in time. This keeps ranging timestamps unbiased.
+std::vector<double> fir_filter(std::span<const double> x, std::span<const double> taps);
+
+// Direct-form II transposed biquad.
+struct Biquad {
+  double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;  // a0 normalized to 1
+
+  double process(double x);
+  void reset() { z1_ = z2_ = 0.0; }
+
+  // RBJ cookbook designs.
+  static Biquad lowpass(double f_hz, double q, double fs_hz);
+  static Biquad highpass(double f_hz, double q, double fs_hz);
+  static Biquad bandpass(double f_hz, double q, double fs_hz);
+
+ private:
+  double z1_ = 0.0;
+  double z2_ = 0.0;
+};
+
+std::vector<double> biquad_filter(std::span<const double> x, Biquad bq);
+
+}  // namespace uwp::dsp

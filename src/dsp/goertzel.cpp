@@ -1,0 +1,27 @@
+#include "dsp/goertzel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace uwp::dsp {
+
+double goertzel_power(std::span<const double> x, double f_hz, double fs_hz) {
+  if (x.empty()) return 0.0;
+  const double w = 2.0 * std::numbers::pi * f_hz / fs_hz;
+  const double coeff = 2.0 * std::cos(w);
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+  for (double v : x) {
+    s0 = v + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  // |X(f)|^2 normalized by window length so thresholds are length-independent.
+  const double power = s1 * s1 + s2 * s2 - coeff * s1 * s2;
+  return power / static_cast<double>(x.size());
+}
+
+double goertzel_magnitude(std::span<const double> x, double f_hz, double fs_hz) {
+  return std::sqrt(goertzel_power(x, f_hz, fs_hz));
+}
+
+}  // namespace uwp::dsp

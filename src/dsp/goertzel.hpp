@@ -1,0 +1,16 @@
+// Goertzel single-bin DFT — the FSK/MFSK demodulators probe a handful of
+// tones, which Goertzel does cheaper and with less code than a full FFT.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace uwp::dsp {
+
+// Power of `x` at frequency `f_hz` given sampling rate `fs_hz`.
+double goertzel_power(std::span<const double> x, double f_hz, double fs_hz);
+
+// Magnitude (sqrt of power).
+double goertzel_magnitude(std::span<const double> x, double f_hz, double fs_hz);
+
+}  // namespace uwp::dsp

@@ -1,0 +1,45 @@
+#include "dsp/resample.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace uwp::dsp {
+
+double sample_at(std::span<const double> x, double t) {
+  const auto read = [&](std::ptrdiff_t i) -> double {
+    if (i < 0 || i >= static_cast<std::ptrdiff_t>(x.size())) return 0.0;
+    return x[static_cast<std::size_t>(i)];
+  };
+  const double fl = std::floor(t);
+  const std::ptrdiff_t i1 = static_cast<std::ptrdiff_t>(fl);
+  const double u = t - fl;
+  const double p0 = read(i1 - 1);
+  const double p1 = read(i1);
+  const double p2 = read(i1 + 1);
+  const double p3 = read(i1 + 2);
+  // Catmull-Rom spline.
+  return 0.5 * ((2.0 * p1) + (-p0 + p2) * u + (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3) * u * u +
+                (-p0 + 3.0 * p1 - 3.0 * p2 + p3) * u * u * u);
+}
+
+std::vector<double> fractional_delay(std::span<const double> x, double delay_samples) {
+  if (delay_samples < 0.0)
+    throw std::invalid_argument("fractional_delay: negative delay");
+  const std::size_t extra = static_cast<std::size_t>(std::ceil(delay_samples));
+  std::vector<double> out(x.size() + extra, 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = sample_at(x, static_cast<double>(i) - delay_samples);
+  return out;
+}
+
+std::vector<double> resample(std::span<const double> x, double ratio) {
+  if (ratio <= 0.0) throw std::invalid_argument("resample: ratio must be positive");
+  const std::size_t out_len =
+      static_cast<std::size_t>(std::floor(static_cast<double>(x.size()) * ratio));
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i)
+    out[i] = sample_at(x, static_cast<double>(i) / ratio);
+  return out;
+}
+
+}  // namespace uwp::dsp

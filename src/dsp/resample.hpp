@@ -1,0 +1,24 @@
+// Fractional-delay and sample-rate conversion. The audio substrate uses
+// these to model speaker/microphone clocks that run a few ppm off the nominal
+// 44.1 kHz (paper Appendix, Eq. 6) and to apply sub-sample propagation delays.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace uwp::dsp {
+
+// Evaluate x at fractional index t using Catmull-Rom cubic interpolation.
+// Out-of-range indices read as 0 (signals are zero outside their support).
+double sample_at(std::span<const double> x, double t);
+
+// Delay `x` by `delay_samples` (may be fractional and >= 0). The output has
+// the same length as the input plus ceil(delay); energy shifts right.
+std::vector<double> fractional_delay(std::span<const double> x, double delay_samples);
+
+// Resample by rate `ratio` = f_out / f_in via cubic interpolation. A clock
+// running alpha ppm fast is modeled as ratio = 1 + alpha*1e-6.
+std::vector<double> resample(std::span<const double> x, double ratio);
+
+}  // namespace uwp::dsp

@@ -1,0 +1,53 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace uwp::dsp {
+
+std::vector<double> make_window(WindowType type, std::size_t n, double tukey_alpha) {
+  std::vector<double> w(n, 1.0);
+  if (n <= 1) return w;
+  const double N = static_cast<double>(n - 1);
+  const double tau = 2.0 * std::numbers::pi;
+  switch (type) {
+    case WindowType::kRect:
+      break;
+    case WindowType::kHann:
+      for (std::size_t i = 0; i < n; ++i)
+        w[i] = 0.5 - 0.5 * std::cos(tau * static_cast<double>(i) / N);
+      break;
+    case WindowType::kHamming:
+      for (std::size_t i = 0; i < n; ++i)
+        w[i] = 0.54 - 0.46 * std::cos(tau * static_cast<double>(i) / N);
+      break;
+    case WindowType::kBlackman:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) / N;
+        w[i] = 0.42 - 0.5 * std::cos(tau * t) + 0.08 * std::cos(2.0 * tau * t);
+      }
+      break;
+    case WindowType::kTukey: {
+      if (tukey_alpha < 0.0 || tukey_alpha > 1.0)
+        throw std::invalid_argument("make_window: tukey_alpha out of [0,1]");
+      const double edge = tukey_alpha * N / 2.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i);
+        if (t < edge)
+          w[i] = 0.5 * (1.0 + std::cos(std::numbers::pi * (t / edge - 1.0)));
+        else if (t > N - edge)
+          w[i] = 0.5 * (1.0 + std::cos(std::numbers::pi * ((t - N + edge) / edge)));
+      }
+      break;
+    }
+  }
+  return w;
+}
+
+void apply_window(std::vector<double>& x, const std::vector<double>& w) {
+  if (x.size() != w.size()) throw std::invalid_argument("apply_window: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] *= w[i];
+}
+
+}  // namespace uwp::dsp

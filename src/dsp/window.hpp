@@ -1,0 +1,22 @@
+// Window functions for spectral shaping of transmit waveforms and analysis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace uwp::dsp {
+
+enum class WindowType {
+  kRect,
+  kHann,
+  kHamming,
+  kBlackman,
+  kTukey,  // flat middle with cosine tapers; `tukey_alpha` sets taper fraction
+};
+
+std::vector<double> make_window(WindowType type, std::size_t n, double tukey_alpha = 0.1);
+
+// Multiply `x` in place by the window (sizes must match).
+void apply_window(std::vector<double>& x, const std::vector<double>& w);
+
+}  // namespace uwp::dsp

@@ -1,0 +1,59 @@
+#include "phy/baseline/chirp_ranger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "dsp/correlation.hpp"
+#include "dsp/window.hpp"
+
+namespace uwp::phy::baseline {
+
+ChirpRanger::ChirpRanger(ChirpConfig cfg) : cfg_(cfg) {
+  waveform_.resize(cfg_.length);
+  const double duration = static_cast<double>(cfg_.length) / cfg_.fs_hz;
+  const double k = (cfg_.f1_hz - cfg_.f0_hz) / duration;
+  for (std::size_t i = 0; i < cfg_.length; ++i) {
+    const double t = static_cast<double>(i) / cfg_.fs_hz;
+    waveform_[i] =
+        std::sin(2.0 * std::numbers::pi * (cfg_.f0_hz * t + 0.5 * k * t * t));
+  }
+  const auto w = uwp::dsp::make_window(uwp::dsp::WindowType::kTukey, cfg_.length, 0.05);
+  uwp::dsp::apply_window(waveform_, w);
+}
+
+bool ChirpRanger::detect(std::span<const double> stream) const {
+  // Sliding window power ratio: power of window k vs window k-1 in dB.
+  const std::size_t w = cfg_.power_window;
+  if (stream.size() < 2 * w) return false;
+  const double thresh = std::pow(10.0, cfg_.detect_threshold_db / 10.0);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < w; ++i) prev += stream[i] * stream[i];
+  for (std::size_t start = w; start + w <= stream.size(); start += w) {
+    double cur = 0.0;
+    for (std::size_t i = start; i < start + w; ++i) cur += stream[i] * stream[i];
+    if (prev > 1e-20 && cur / prev > thresh) return true;
+    prev = cur;
+  }
+  return false;
+}
+
+std::optional<double> ChirpRanger::estimate_arrival(std::span<const double> stream) const {
+  const std::vector<double> corr =
+      uwp::dsp::normalized_cross_correlate(stream, waveform_);
+  if (corr.empty()) return std::nullopt;
+  const std::size_t best = uwp::dsp::argmax(corr);
+  if (corr[best] <= 0.0) return std::nullopt;
+
+  // Earliest peak within peak_margin_db of the max, looking back a bounded
+  // window (BeepBeep's specially designed peak detection).
+  const double floor = corr[best] * std::pow(10.0, -cfg_.peak_margin_db / 20.0);
+  const std::size_t back =
+      best > cfg_.peak_search_back ? best - cfg_.peak_search_back : 0;
+  for (std::size_t i = back; i <= best; ++i) {
+    if (corr[i] >= floor && uwp::dsp::is_peak(corr, i)) return static_cast<double>(i);
+  }
+  return static_cast<double>(best);
+}
+
+}  // namespace uwp::phy::baseline

@@ -1,0 +1,50 @@
+// BeepBeep-style baseline ([75] in the paper): a linear chirp preamble,
+// window-based power threshold detection (TH_SD) and cross-correlation peak
+// picking with the "earliest strong peak" heuristic. Used as the comparison
+// point in Fig 12. Duration and bandwidth match the paper's preamble for a
+// fair comparison.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace uwp::phy::baseline {
+
+struct ChirpConfig {
+  double fs_hz = 44100.0;
+  double f0_hz = 1000.0;
+  double f1_hz = 5000.0;
+  std::size_t length = 9840;  // match the OFDM preamble duration
+
+  // Detection: sliding short-window power ratio threshold in dB (TH_SD).
+  double detect_threshold_db = 3.0;
+  std::size_t power_window = 512;
+
+  // Peak picking: accept the earliest correlation peak within this many dB
+  // of the global maximum inside a search window before it.
+  double peak_margin_db = 6.0;
+  std::size_t peak_search_back = 600;
+};
+
+class ChirpRanger {
+ public:
+  explicit ChirpRanger(ChirpConfig cfg);
+
+  const std::vector<double>& waveform() const { return waveform_; }
+  const ChirpConfig& config() const { return cfg_; }
+
+  // Window-power detection: true when the ratio of consecutive-window power
+  // exceeds the threshold anywhere in the stream.
+  bool detect(std::span<const double> stream) const;
+
+  // Arrival sample index via cross-correlation + earliest-strong-peak.
+  std::optional<double> estimate_arrival(std::span<const double> stream) const;
+
+ private:
+  ChirpConfig cfg_;
+  std::vector<double> waveform_;
+};
+
+}  // namespace uwp::phy::baseline

@@ -1,0 +1,73 @@
+#include "phy/baseline/fmcw_ranger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "dsp/correlation.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/filter.hpp"
+#include "util/stats.hpp"
+
+namespace uwp::phy::baseline {
+
+FmcwRanger::FmcwRanger(FmcwConfig cfg) : cfg_(cfg) {
+  waveform_.resize(cfg_.length);
+  const double duration = static_cast<double>(cfg_.length) / cfg_.fs_hz;
+  const double k = (cfg_.f1_hz - cfg_.f0_hz) / duration;
+  for (std::size_t i = 0; i < cfg_.length; ++i) {
+    const double t = static_cast<double>(i) / cfg_.fs_hz;
+    waveform_[i] =
+        std::sin(2.0 * std::numbers::pi * (cfg_.f0_hz * t + 0.5 * k * t * t));
+  }
+}
+
+std::vector<double> FmcwRanger::beat_spectrum(std::span<const double> stream,
+                                              std::size_t sweep_start) const {
+  if (sweep_start + cfg_.length > stream.size()) return {};
+  // Mix: multiply received sweep window by the reference sweep.
+  std::vector<double> mixed(cfg_.length);
+  for (std::size_t i = 0; i < cfg_.length; ++i)
+    mixed[i] = stream[sweep_start + i] * waveform_[i];
+  // Low-pass to keep only the difference (beat) component. The maximum beat
+  // of interest corresponds to ~2000 samples of delay: f = k * tau.
+  const double duration = static_cast<double>(cfg_.length) / cfg_.fs_hz;
+  const double k = (cfg_.f1_hz - cfg_.f0_hz) / duration;
+  const double f_max = k * 2500.0 / cfg_.fs_hz;  // beat at 2500-sample delay
+  const auto lp = uwp::dsp::design_fir_lowpass(201, std::min(f_max * 1.5, cfg_.fs_hz / 2.5),
+                                               cfg_.fs_hz);
+  mixed = uwp::dsp::fir_filter(mixed, lp);
+
+  const std::size_t nfft = uwp::dsp::next_pow2(cfg_.length * cfg_.fft_pad);
+  std::vector<uwp::dsp::cplx> in(nfft, uwp::dsp::cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < cfg_.length; ++i) in[i] = {mixed[i], 0.0};
+  const std::vector<uwp::dsp::cplx> spec = uwp::dsp::fft(in);
+  std::vector<double> mag(nfft / 2);
+  for (std::size_t i = 0; i < mag.size(); ++i) mag[i] = std::abs(spec[i]);
+  return mag;
+}
+
+bool FmcwRanger::detect(std::span<const double> stream, std::size_t sweep_start) const {
+  const std::vector<double> mag = beat_spectrum(stream, sweep_start);
+  if (mag.empty()) return false;
+  const double peak = *std::max_element(mag.begin(), mag.end());
+  const double med = uwp::median(mag);
+  return med > 0.0 && peak / med > cfg_.detect_ratio;
+}
+
+std::optional<double> FmcwRanger::estimate_delay_samples(std::span<const double> stream,
+                                                         std::size_t sweep_start) const {
+  const std::vector<double> mag = beat_spectrum(stream, sweep_start);
+  if (mag.empty()) return std::nullopt;
+  const std::size_t peak = uwp::dsp::argmax(mag);
+  if (mag[peak] <= 0.0) return std::nullopt;
+
+  // Beat frequency -> delay: tau = f_beat / k.
+  const std::size_t nfft = uwp::dsp::next_pow2(cfg_.length * cfg_.fft_pad);
+  const double f_beat = static_cast<double>(peak) * cfg_.fs_hz / static_cast<double>(nfft);
+  const double duration = static_cast<double>(cfg_.length) / cfg_.fs_hz;
+  const double k = (cfg_.f1_hz - cfg_.f0_hz) / duration;
+  return f_beat / k * cfg_.fs_hz;  // delay in samples
+}
+
+}  // namespace uwp::phy::baseline

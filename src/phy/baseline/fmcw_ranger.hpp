@@ -1,0 +1,49 @@
+// CAT-style FMCW baseline ([64] in the paper): the receiver mixes the
+// received chirp with the transmitted template; the beat frequency after
+// low-pass filtering is proportional to the delay: f_beat = (B/T) * tau.
+// Works beautifully in air over meters; underwater multipath smears the beat
+// spectrum, which is exactly the effect Fig 12b demonstrates.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace uwp::phy::baseline {
+
+struct FmcwConfig {
+  double fs_hz = 44100.0;
+  double f0_hz = 1000.0;
+  double f1_hz = 5000.0;
+  std::size_t length = 9840;  // sweep length T*fs (matches our preamble)
+  // FFT zero-padding factor for beat-spectrum resolution.
+  std::size_t fft_pad = 4;
+  // Detection: minimum beat-spectrum peak-to-median ratio.
+  double detect_ratio = 6.0;
+};
+
+class FmcwRanger {
+ public:
+  explicit FmcwRanger(FmcwConfig cfg);
+
+  const std::vector<double>& waveform() const { return waveform_; }
+  const FmcwConfig& config() const { return cfg_; }
+
+  bool detect(std::span<const double> stream, std::size_t sweep_start = 0) const;
+
+  // Delay in samples estimated from the beat spectrum of the mixed signal.
+  // `sweep_start` is where the reference sweep is assumed to begin in the
+  // stream (0 when the stream is transmit-aligned, as in our receptions).
+  std::optional<double> estimate_delay_samples(std::span<const double> stream,
+                                               std::size_t sweep_start = 0) const;
+
+ private:
+  std::vector<double> beat_spectrum(std::span<const double> stream,
+                                    std::size_t sweep_start) const;
+
+  FmcwConfig cfg_;
+  std::vector<double> waveform_;
+};
+
+}  // namespace uwp::phy::baseline

@@ -1,0 +1,167 @@
+#include "phy/channel_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "dsp/fft.hpp"
+
+namespace uwp::phy {
+
+LsChannelEstimator::LsChannelEstimator(const OfdmPreamble& preamble, std::size_t backoff,
+                                       bool windowed)
+    : preamble_(preamble), backoff_(backoff), windowed_(windowed) {}
+
+ChannelEstimate LsChannelEstimator::estimate(std::span<const double> stream,
+                                             std::size_t coarse_index) const {
+  const PreambleConfig& pc = preamble_.config();
+  ChannelEstimate est;
+  est.freq.assign(pc.symbol_len, {0.0, 0.0});
+  est.taps.assign(pc.symbol_len, 0.0);
+
+  const std::size_t start = coarse_index >= backoff_ ? coarse_index - backoff_ : 0;
+  est.window_start = start;
+  const std::size_t block = pc.cp_len + pc.symbol_len;
+  if (start + pc.num_symbols * block > stream.size()) return est;
+
+  const std::size_t lo = pc.bin_lo();
+  const std::size_t hi = pc.bin_hi();
+  const auto& x_bins = preamble_.bin_values();
+
+  // Average the per-symbol LS estimates over the used bins.
+  for (std::size_t s = 0; s < pc.num_symbols; ++s) {
+    const std::size_t sym_start = start + s * block + pc.cp_len;
+    std::vector<double> seg(stream.begin() + static_cast<std::ptrdiff_t>(sym_start),
+                            stream.begin() +
+                                static_cast<std::ptrdiff_t>(sym_start + pc.symbol_len));
+    const std::vector<uwp::dsp::cplx> y = uwp::dsp::fft_real(seg);
+    const double sign = static_cast<double>(pc.pn[s]);
+    for (std::size_t k = lo; k <= hi; ++k) {
+      const uwp::dsp::cplx x = sign * x_bins[k - lo];
+      est.freq[k] += y[k] / x;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(pc.num_symbols);
+  for (std::size_t k = lo; k <= hi; ++k) {
+    est.freq[k] *= inv;
+    if (windowed_) {
+      // Hamming taper across the band: trades main-lobe width for -43 dB
+      // sidelobes so pre-ringing never masquerades as an early arrival.
+      const double t = static_cast<double>(k - lo) / static_cast<double>(hi - lo);
+      est.freq[k] *= 0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * t);
+    }
+    // Hermitian mirror for a real time-domain response.
+    est.freq[pc.symbol_len - k] = std::conj(est.freq[k]);
+  }
+
+  // Band-limited impulse response magnitude. With only the in-band bins
+  // filled, taps are the analytic-like envelope of the channel.
+  const std::vector<uwp::dsp::cplx> h = uwp::dsp::ifft(est.freq);
+  double peak = 0.0;
+  for (std::size_t n = 0; n < pc.symbol_len; ++n) {
+    est.taps[n] = std::abs(h[n]);
+    peak = std::max(peak, est.taps[n]);
+  }
+  if (peak > 0.0)
+    for (double& v : est.taps) v /= peak;
+  return est;
+}
+
+namespace {
+
+// Per-symbol LS estimates for the used bins; empty when too short.
+std::vector<std::vector<uwp::dsp::cplx>> per_symbol_estimates(
+    const OfdmPreamble& preamble, std::span<const double> stream,
+    std::size_t start) {
+  const PreambleConfig& pc = preamble.config();
+  const std::size_t block = pc.cp_len + pc.symbol_len;
+  if (start + pc.num_symbols * block > stream.size()) return {};
+  const std::size_t lo = pc.bin_lo();
+  const std::size_t hi = pc.bin_hi();
+  const auto& x_bins = preamble.bin_values();
+
+  std::vector<std::vector<uwp::dsp::cplx>> out(pc.num_symbols);
+  for (std::size_t s = 0; s < pc.num_symbols; ++s) {
+    const std::size_t sym_start = start + s * block + pc.cp_len;
+    std::vector<double> seg(stream.begin() + static_cast<std::ptrdiff_t>(sym_start),
+                            stream.begin() +
+                                static_cast<std::ptrdiff_t>(sym_start + pc.symbol_len));
+    const std::vector<uwp::dsp::cplx> y = uwp::dsp::fft_real(seg);
+    out[s].resize(hi - lo + 1);
+    const double sign = static_cast<double>(pc.pn[s]);
+    for (std::size_t k = lo; k <= hi; ++k)
+      out[s][k - lo] = y[k] / (sign * x_bins[k - lo]);
+  }
+  return out;
+}
+
+}  // namespace
+
+ChannelEstimate LsChannelEstimator::estimate_mmse(std::span<const double> stream,
+                                                  std::size_t coarse_index) const {
+  const PreambleConfig& pc = preamble_.config();
+  ChannelEstimate est;
+  est.freq.assign(pc.symbol_len, {0.0, 0.0});
+  est.taps.assign(pc.symbol_len, 0.0);
+  const std::size_t start = coarse_index >= backoff_ ? coarse_index - backoff_ : 0;
+  est.window_start = start;
+
+  const auto per_sym = per_symbol_estimates(preamble_, stream, start);
+  if (per_sym.empty()) return est;
+  const std::size_t lo = pc.bin_lo();
+  const std::size_t hi = pc.bin_hi();
+  const double n_sym = static_cast<double>(pc.num_symbols);
+
+  for (std::size_t k = lo; k <= hi; ++k) {
+    uwp::dsp::cplx mean{0.0, 0.0};
+    for (const auto& sym : per_sym) mean += sym[k - lo];
+    mean /= n_sym;
+    // Sample variance across symbols estimates the per-symbol noise power;
+    // the averaged estimate's noise is that divided by num_symbols.
+    double var = 0.0;
+    for (const auto& sym : per_sym) var += std::norm(sym[k - lo] - mean);
+    var /= std::max(n_sym - 1.0, 1.0);
+    const double noise_power = var / n_sym;
+    const double sig_power = std::max(std::norm(mean) - noise_power, 0.0);
+    const double shrink =
+        sig_power / std::max(sig_power + noise_power, 1e-30);
+    est.freq[k] = mean * shrink;
+    est.freq[pc.symbol_len - k] = std::conj(est.freq[k]);
+  }
+
+  const std::vector<uwp::dsp::cplx> h = uwp::dsp::ifft(est.freq);
+  double peak = 0.0;
+  for (std::size_t n = 0; n < pc.symbol_len; ++n) {
+    est.taps[n] = std::abs(h[n]);
+    peak = std::max(peak, est.taps[n]);
+  }
+  if (peak > 0.0)
+    for (double& v : est.taps) v /= peak;
+  return est;
+}
+
+std::vector<double> LsChannelEstimator::per_bin_snr_db(std::span<const double> stream,
+                                                       std::size_t coarse_index) const {
+  const PreambleConfig& pc = preamble_.config();
+  const std::size_t start = coarse_index >= backoff_ ? coarse_index - backoff_ : 0;
+  const auto per_sym = per_symbol_estimates(preamble_, stream, start);
+  if (per_sym.empty()) return {};
+  const std::size_t lo = pc.bin_lo();
+  const std::size_t hi = pc.bin_hi();
+  const double n_sym = static_cast<double>(pc.num_symbols);
+
+  std::vector<double> snr(hi - lo + 1, 0.0);
+  for (std::size_t k = lo; k <= hi; ++k) {
+    uwp::dsp::cplx mean{0.0, 0.0};
+    for (const auto& sym : per_sym) mean += sym[k - lo];
+    mean /= n_sym;
+    double var = 0.0;
+    for (const auto& sym : per_sym) var += std::norm(sym[k - lo] - mean);
+    var /= std::max(n_sym - 1.0, 1.0);
+    const double sig = std::max(std::norm(mean) - var / n_sym, 1e-30);
+    snr[k - lo] = 10.0 * std::log10(sig / std::max(var, 1e-30));
+  }
+  return snr;
+}
+
+}  // namespace uwp::phy

@@ -1,0 +1,64 @@
+// Least-squares OFDM channel estimation (§2.2.1): from the coarse sync, the
+// 4 received symbols are segmented out, FFT'd, PN-corrected and averaged:
+//   H_hat(k) = (1/4) * sum_i Y_i(k) / (PN_i * X(k))
+// The band-limited time-domain channel magnitude |h(n)| then exposes the
+// multipath profile in which the direct path is located.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "phy/ofdm_preamble.hpp"
+
+namespace uwp::phy {
+
+struct ChannelEstimate {
+  // Complex frequency response, full symbol_len bins (zeros out of band).
+  std::vector<std::complex<double>> freq;
+  // Magnitude of the time-domain channel, normalized to peak 1 (the form the
+  // direct-path search consumes). Length == symbol_len.
+  std::vector<double> taps;
+  // Index into the stream corresponding to tap 0 (== window start used).
+  std::size_t window_start = 0;
+};
+
+class LsChannelEstimator {
+ public:
+  // `backoff` shifts the estimation window earlier than the coarse index so
+  // a direct path that precedes the strongest correlation peak still lands
+  // at a positive tap (coarse sync can be off by hundreds of samples).
+  // `windowed` applies a Hamming taper across the used bins before the IFFT:
+  // the rectangular band otherwise leaves -13 dB time-domain sidelobes
+  // *before* the direct path, which the earliest-peak search mistakes for
+  // arrivals (they sit right at the lambda = 0.2 threshold).
+  explicit LsChannelEstimator(const OfdmPreamble& preamble, std::size_t backoff = 100,
+                              bool windowed = false);
+
+  std::size_t backoff() const { return backoff_; }
+
+  // Estimate the channel from `stream` given the coarse preamble start.
+  // Returns an all-zero estimate if the stream is too short.
+  ChannelEstimate estimate(std::span<const double> stream,
+                           std::size_t coarse_index) const;
+
+  // MMSE-style refinement ([50] in the paper; the appendix uses MMSE for the
+  // SNR measurement): per-bin Wiener shrinkage H_ls * S/(S + N), with the
+  // per-bin noise power estimated from the spread of the per-symbol LS
+  // estimates. Improves tap SNR at long range at the cost of slight bias.
+  ChannelEstimate estimate_mmse(std::span<const double> stream,
+                                std::size_t coarse_index) const;
+
+  // Per-bin SNR estimate in dB over the used band (for Fig 22-style
+  // measurements). Empty when the stream is too short.
+  std::vector<double> per_bin_snr_db(std::span<const double> stream,
+                                     std::size_t coarse_index) const;
+
+ private:
+  const OfdmPreamble& preamble_;
+  std::size_t backoff_;
+  bool windowed_;
+};
+
+}  // namespace uwp::phy

@@ -1,0 +1,159 @@
+#include "phy/convolutional.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace uwp::phy {
+
+namespace {
+
+constexpr int kNumStates = 1 << (ConvolutionalCode::kConstraint - 1);  // 64
+constexpr std::uint8_t kErasure = 2;
+
+inline std::uint8_t parity(std::uint32_t x) {
+  return static_cast<std::uint8_t>(std::popcount(x) & 1);
+}
+
+// Coded output pair for transition (state, input bit).
+inline std::pair<std::uint8_t, std::uint8_t> branch_output(int state, int bit) {
+  const std::uint32_t window =
+      (static_cast<std::uint32_t>(state) << 1) | static_cast<std::uint32_t>(bit);
+  return {parity(window & ConvolutionalCode::kG1),
+          parity(window & ConvolutionalCode::kG2)};
+}
+
+inline int next_state(int state, int bit) {
+  return ((state << 1) | bit) & (kNumStates - 1);
+}
+
+// Hamming cost with erasure support.
+inline int bit_cost(std::uint8_t received, std::uint8_t expected) {
+  if (received == kErasure) return 0;
+  return received == expected ? 0 : 1;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ConvolutionalCode::encode_r12(
+    std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> out;
+  out.reserve(2 * (bits.size() + kConstraint - 1));
+  int state = 0;
+  auto push = [&](int bit) {
+    const auto [g1, g2] = branch_output(state, bit);
+    out.push_back(g1);
+    out.push_back(g2);
+    state = next_state(state, bit);
+  };
+  for (std::uint8_t b : bits) {
+    if (b > 1) throw std::invalid_argument("encode_r12: bits must be 0/1");
+    push(b);
+  }
+  for (int i = 0; i < kConstraint - 1; ++i) push(0);  // flush to zero state
+  return out;
+}
+
+std::vector<std::uint8_t> ConvolutionalCode::puncture_r23(
+    std::span<const std::uint8_t> coded) {
+  if (coded.size() % 2 != 0)
+    throw std::invalid_argument("puncture_r23: odd coded length");
+  std::vector<std::uint8_t> out;
+  out.reserve(coded.size() * 3 / 4 + 2);
+  const std::size_t steps = coded.size() / 2;
+  for (std::size_t t = 0; t < steps; ++t) {
+    out.push_back(coded[2 * t]);  // g1 always kept
+    if (t % 2 == 0) out.push_back(coded[2 * t + 1]);  // g2 kept on even steps
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ConvolutionalCode::depuncture_r23(
+    std::span<const std::uint8_t> punctured, std::size_t coded_len) {
+  if (coded_len % 2 != 0)
+    throw std::invalid_argument("depuncture_r23: odd coded length");
+  std::vector<std::uint8_t> out(coded_len, kErasure);
+  std::size_t src = 0;
+  const std::size_t steps = coded_len / 2;
+  for (std::size_t t = 0; t < steps && src < punctured.size(); ++t) {
+    out[2 * t] = punctured[src++];
+    if (t % 2 == 0 && src < punctured.size()) out[2 * t + 1] = punctured[src++];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ConvolutionalCode::decode_r12(
+    std::span<const std::uint8_t> coded) {
+  if (coded.size() % 2 != 0)
+    throw std::invalid_argument("decode_r12: odd coded length");
+  const std::size_t steps = coded.size() / 2;
+  if (steps < static_cast<std::size_t>(kConstraint - 1))
+    throw std::invalid_argument("decode_r12: too short");
+
+  constexpr int kInf = std::numeric_limits<int>::max() / 2;
+  std::array<int, kNumStates> metric;
+  metric.fill(kInf);
+  metric[0] = 0;  // encoder starts in the zero state
+
+  // survivors[t][s] = input bit that led to state s at step t (plus prev state
+  // implied by the trellis structure).
+  std::vector<std::array<std::int8_t, kNumStates>> survivor_bit(steps);
+  std::vector<std::array<std::int8_t, kNumStates>> survivor_prev_high(steps);
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::array<int, kNumStates> next;
+    next.fill(kInf);
+    std::array<std::int8_t, kNumStates>& bits = survivor_bit[t];
+    std::array<std::int8_t, kNumStates>& prevs = survivor_prev_high[t];
+    const std::uint8_t r1 = coded[2 * t];
+    const std::uint8_t r2 = coded[2 * t + 1];
+    for (int s = 0; s < kNumStates; ++s) {
+      if (metric[s] >= kInf) continue;
+      for (int bit = 0; bit <= 1; ++bit) {
+        const auto [g1, g2] = branch_output(s, bit);
+        const int cost = metric[s] + bit_cost(r1, g1) + bit_cost(r2, g2);
+        const int ns = next_state(s, bit);
+        if (cost < next[ns]) {
+          next[ns] = cost;
+          bits[ns] = static_cast<std::int8_t>(bit);
+          // Previous state's high bits: s = (prev << 1 | bit) & mask means
+          // prev's low (K-2) bits are s >> 1; prev's top bit is ambiguous,
+          // so store it explicitly.
+          prevs[ns] = static_cast<std::int8_t>((s >> (kConstraint - 2)) & 1);
+        }
+      }
+    }
+    metric = next;
+  }
+
+  // Traceback from the zero state (tail guarantees termination there).
+  std::vector<std::uint8_t> decoded(steps);
+  int state = 0;
+  for (std::size_t t = steps; t-- > 0;) {
+    const int bit = survivor_bit[t][state];
+    decoded[t] = static_cast<std::uint8_t>(bit);
+    const int prev_low = state >> 1;
+    const int prev = prev_low | (survivor_prev_high[t][state] << (kConstraint - 2));
+    state = prev;
+  }
+  decoded.resize(steps - (kConstraint - 1));  // strip tail bits
+  return decoded;
+}
+
+std::vector<std::uint8_t> ConvolutionalCode::encode_r23(
+    std::span<const std::uint8_t> bits) {
+  return puncture_r23(encode_r12(bits));
+}
+
+std::vector<std::uint8_t> ConvolutionalCode::decode_r23(
+    std::span<const std::uint8_t> punctured, std::size_t info_bits) {
+  const std::size_t coded_len = 2 * (info_bits + kConstraint - 1);
+  const std::vector<std::uint8_t> full = depuncture_r23(punctured, coded_len);
+  std::vector<std::uint8_t> decoded = decode_r12(full);
+  decoded.resize(info_bits);
+  return decoded;
+}
+
+}  // namespace uwp::phy

@@ -1,0 +1,43 @@
+// Rate-1/2 K=7 convolutional code (industry-standard generators 133/171
+// octal) with puncturing to the paper's rate 2/3 (§2.4), plus a hard-decision
+// Viterbi decoder that treats punctured positions as erasures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace uwp::phy {
+
+class ConvolutionalCode {
+ public:
+  static constexpr int kConstraint = 7;
+  static constexpr std::uint32_t kG1 = 0133;  // octal
+  static constexpr std::uint32_t kG2 = 0171;
+
+  // Encode at rate 1/2 with kConstraint-1 flush (tail) bits appended, so the
+  // decoder terminates in the zero state. Output bits alternate g1, g2.
+  static std::vector<std::uint8_t> encode_r12(std::span<const std::uint8_t> bits);
+
+  // Puncture a rate-1/2 stream to rate 2/3 with the pattern
+  //   g1: 1 1
+  //   g2: 1 0
+  // (keep 3 of every 4 coded bits).
+  static std::vector<std::uint8_t> puncture_r23(std::span<const std::uint8_t> coded);
+
+  // Re-insert erasures (value 2) at punctured positions. `coded_len` is the
+  // original rate-1/2 length.
+  static std::vector<std::uint8_t> depuncture_r23(std::span<const std::uint8_t> punctured,
+                                                  std::size_t coded_len);
+
+  // Hard-decision Viterbi decode of a rate-1/2 stream (values 0/1, or 2 for
+  // erasure). Returns the information bits (tail removed).
+  static std::vector<std::uint8_t> decode_r12(std::span<const std::uint8_t> coded);
+
+  // Convenience: full rate-2/3 encode/decode pipeline.
+  static std::vector<std::uint8_t> encode_r23(std::span<const std::uint8_t> bits);
+  static std::vector<std::uint8_t> decode_r23(std::span<const std::uint8_t> punctured,
+                                              std::size_t info_bits);
+};
+
+}  // namespace uwp::phy

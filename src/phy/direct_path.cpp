@@ -1,0 +1,78 @@
+#include "phy/direct_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dsp/correlation.hpp"
+
+namespace uwp::phy {
+
+double channel_noise_floor(std::span<const double> h, std::size_t noise_taps) {
+  if (h.empty()) return 0.0;
+  const std::size_t n = std::min(noise_taps, h.size());
+  double acc = 0.0;
+  for (std::size_t i = h.size() - n; i < h.size(); ++i) acc += h[i];
+  return acc / static_cast<double>(n);
+}
+
+std::vector<std::size_t> candidate_arrival_peaks(std::span<const double> h,
+                                                 const DirectPathConfig& cfg) {
+  const double w = channel_noise_floor(h, cfg.noise_taps);
+  const std::vector<std::size_t> raw = uwp::dsp::find_peaks(h, w + cfg.lambda);
+  std::vector<std::size_t> out;
+  out.reserve(raw.size());
+  for (std::size_t p : raw) {
+    double later_max = 0.0;
+    const std::size_t end = std::min(p + cfg.sidelobe_guard_hi + 1, h.size());
+    for (std::size_t q = p + cfg.sidelobe_guard_lo; q < end; ++q)
+      later_max = std::max(later_max, h[q]);
+    if (h[p] >= cfg.sidelobe_guard_ratio * later_max) out.push_back(p);
+  }
+  return out;
+}
+
+std::optional<DirectPathResult> find_direct_path_dual(std::span<const double> h1,
+                                                      std::span<const double> h2,
+                                                      const DirectPathConfig& cfg) {
+  if (h1.empty() || h1.size() != h2.size()) return std::nullopt;
+
+  const std::vector<std::size_t> peaks1 = candidate_arrival_peaks(h1, cfg);
+  const std::vector<std::size_t> peaks2 = candidate_arrival_peaks(h2, cfg);
+  if (peaks1.empty() || peaks2.empty()) return std::nullopt;
+
+  const double max_off = cfg.max_offset_samples();
+  std::optional<DirectPathResult> best;
+  // Peaks are sorted ascending; the earliest feasible pair minimizes tau.
+  for (std::size_t n : peaks1) {
+    for (std::size_t m : peaks2) {
+      const double off = std::abs(static_cast<double>(n) - static_cast<double>(m));
+      if (off > max_off) continue;
+      const double tau = (static_cast<double>(n) + static_cast<double>(m)) / 2.0;
+      if (!best || tau < best->tau) best = DirectPathResult{tau, n, m};
+      break;  // later m only increases tau for this n
+    }
+    if (best && static_cast<double>(n) > best->tau + max_off) break;
+  }
+  return best;
+}
+
+std::optional<std::size_t> find_direct_path_single(std::span<const double> h,
+                                                   const DirectPathConfig& cfg) {
+  const std::vector<std::size_t> peaks = candidate_arrival_peaks(h, cfg);
+  if (peaks.empty()) return std::nullopt;
+  return peaks.front();
+}
+
+double refine_peak_parabolic(std::span<const double> h, std::size_t peak) {
+  if (peak == 0 || peak + 1 >= h.size()) return static_cast<double>(peak);
+  const double y0 = h[peak - 1];
+  const double y1 = h[peak];
+  const double y2 = h[peak + 1];
+  const double denom = y0 - 2.0 * y1 + y2;
+  if (std::abs(denom) < 1e-12) return static_cast<double>(peak);
+  const double delta = 0.5 * (y0 - y2) / denom;
+  return static_cast<double>(peak) + std::clamp(delta, -1.0, 1.0);
+}
+
+}  // namespace uwp::phy

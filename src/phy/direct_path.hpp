@@ -1,0 +1,72 @@
+// Direct-path (line-of-sight) identification in the estimated channel
+// profile (§2.2). The underwater direct path can be weaker than later
+// reflections, so "highest peak" and "first non-negligible peak" both fail.
+// The paper's dual-microphone constraint: the direct paths at the two mics
+// must be peaks above each channel's noise floor AND their sample offset is
+// bounded by the acoustic travel time across the 16 cm mic separation.
+// Minimize tau = (n + m)/2 subject to those constraints.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace uwp::phy {
+
+struct DirectPathConfig {
+  // Noise floor is the mean of the last `noise_taps` channel taps; a peak
+  // must exceed floor + lambda (paper sets lambda = 0.2 on [0,1]-normalized
+  // profiles).
+  std::size_t noise_taps = 100;
+  double lambda = 0.2;
+  double mic_separation_m = 0.16;
+  double sound_speed_mps = 1500.0;
+  double fs_hz = 44100.0;
+  // Extra slack in samples on the |n - m| constraint to absorb the cubic
+  // fractional-placement spread.
+  double offset_slack = 1.0;
+
+  // Pre-ringing guard: the band-limited channel estimate has ~-13 dB
+  // sidelobes a few taps BEFORE each arrival; a candidate peak whose
+  // amplitude is below `sidelobe_guard_ratio` times some peak in the next
+  // (guard_lo, guard_hi] taps is that stronger arrival's sidelobe, not a
+  // path. Real reflections arrive further out (boundary detours at dive
+  // geometries exceed guard_hi samples), so genuinely weak direct paths
+  // survive the guard.
+  double sidelobe_guard_ratio = 0.30;
+  std::size_t sidelobe_guard_lo = 4;
+  std::size_t sidelobe_guard_hi = 20;
+
+  double max_offset_samples() const {
+    return mic_separation_m / sound_speed_mps * fs_hz + offset_slack;
+  }
+};
+
+struct DirectPathResult {
+  double tau = 0.0;        // (n + m) / 2, taps
+  std::size_t mic1_tap = 0;  // n
+  std::size_t mic2_tap = 0;  // m
+};
+
+// Joint dual-mic search. h1/h2 are [0,1]-normalized channel magnitudes of
+// equal length. Returns nullopt when no peak pair satisfies the constraints.
+std::optional<DirectPathResult> find_direct_path_dual(std::span<const double> h1,
+                                                      std::span<const double> h2,
+                                                      const DirectPathConfig& cfg);
+
+// Single-mic baseline: earliest peak above the noise floor + lambda.
+std::optional<std::size_t> find_direct_path_single(std::span<const double> h,
+                                                   const DirectPathConfig& cfg);
+
+// Mean of the last `noise_taps` values — the per-channel noise floor.
+double channel_noise_floor(std::span<const double> h, std::size_t noise_taps);
+
+// Candidate peaks above the floor with the pre-ringing guard applied.
+std::vector<std::size_t> candidate_arrival_peaks(std::span<const double> h,
+                                                 const DirectPathConfig& cfg);
+
+// Sub-sample refinement: parabolic interpolation around an integer peak.
+double refine_peak_parabolic(std::span<const double> h, std::size_t peak);
+
+}  // namespace uwp::phy

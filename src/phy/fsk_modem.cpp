@@ -1,0 +1,83 @@
+#include "phy/fsk_modem.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "dsp/goertzel.hpp"
+#include "phy/convolutional.hpp"
+
+namespace uwp::phy {
+
+FskBand FskConfig::band_tones(std::size_t band) const {
+  if (band >= num_bands) throw std::invalid_argument("FskConfig: band out of range");
+  const double width = (band_hi_hz - band_lo_hz) / static_cast<double>(num_bands);
+  const double lo = band_lo_hz + static_cast<double>(band) * width;
+  return {lo + 0.25 * width, lo + 0.75 * width};
+}
+
+FskModem::FskModem(FskConfig cfg) : cfg_(cfg) {
+  if (cfg_.num_bands == 0) throw std::invalid_argument("FskModem: num_bands == 0");
+}
+
+std::vector<double> FskModem::modulate(std::span<const std::uint8_t> bits,
+                                       std::size_t band) const {
+  const FskBand tones = cfg_.band_tones(band);
+  std::vector<double> out;
+  out.reserve(bits.size() * cfg_.samples_per_bit);
+  double phase = 0.0;  // continuous-phase FSK avoids clicks at bit edges
+  for (std::uint8_t b : bits) {
+    if (b > 1) throw std::invalid_argument("FskModem: bits must be 0/1");
+    const double f = b ? tones.f1_hz : tones.f0_hz;
+    const double dphi = 2.0 * std::numbers::pi * f / cfg_.fs_hz;
+    for (std::size_t i = 0; i < cfg_.samples_per_bit; ++i) {
+      out.push_back(std::sin(phase));
+      phase += dphi;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> FskModem::demodulate(std::span<const double> signal,
+                                               std::size_t band,
+                                               std::size_t bits) const {
+  const FskBand tones = cfg_.band_tones(band);
+  std::vector<std::uint8_t> out(bits, 0);
+  for (std::size_t k = 0; k < bits; ++k) {
+    const std::size_t start = k * cfg_.samples_per_bit;
+    if (start >= signal.size()) break;
+    const std::size_t len = std::min(cfg_.samples_per_bit, signal.size() - start);
+    const std::span<const double> window = signal.subspan(start, len);
+    const double p0 = uwp::dsp::goertzel_power(window, tones.f0_hz, cfg_.fs_hz);
+    const double p1 = uwp::dsp::goertzel_power(window, tones.f1_hz, cfg_.fs_hz);
+    out[k] = p1 > p0 ? 1 : 0;
+  }
+  return out;
+}
+
+std::vector<double> FskModem::modulate_coded(std::span<const std::uint8_t> info_bits,
+                                             std::size_t band) const {
+  const std::vector<std::uint8_t> coded = ConvolutionalCode::encode_r23(info_bits);
+  return modulate(coded, band);
+}
+
+std::vector<std::uint8_t> FskModem::demodulate_coded(std::span<const double> signal,
+                                                     std::size_t band,
+                                                     std::size_t info_bits) const {
+  const std::size_t n_coded = coded_bits(info_bits);
+  const std::vector<std::uint8_t> hard = demodulate(signal, band, n_coded);
+  return ConvolutionalCode::decode_r23(hard, info_bits);
+}
+
+std::size_t FskModem::coded_bits(std::size_t info_bits) {
+  // Rate-1/2 with 6 tail bits, punctured 4 -> 3.
+  const std::size_t r12 = 2 * (info_bits + ConvolutionalCode::kConstraint - 1);
+  const std::size_t steps = r12 / 2;
+  return steps + (steps + 1) / 2;  // g1 every step, g2 on even steps
+}
+
+double FskModem::coded_duration_s(std::size_t info_bits) const {
+  return static_cast<double>(coded_bits(info_bits) * cfg_.samples_per_bit) / cfg_.fs_hz;
+}
+
+}  // namespace uwp::phy

@@ -1,0 +1,63 @@
+// Binary FSK payload modem (§2.4). The 1-5 kHz band is split into N
+// per-device sub-bands so all responders can transmit their timestamp
+// payloads to the leader simultaneously; device i signals bits with two
+// tones inside band i at ~100 bps. Payloads are protected with the rate-2/3
+// punctured convolutional code.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace uwp::phy {
+
+struct FskBand {
+  double f0_hz = 0.0;  // tone for bit 0
+  double f1_hz = 0.0;  // tone for bit 1
+};
+
+struct FskConfig {
+  double fs_hz = 44100.0;
+  double band_lo_hz = 1000.0;
+  double band_hi_hz = 5000.0;
+  std::size_t num_bands = 6;         // one per responding device + leader
+  std::size_t samples_per_bit = 441; // 100 bps at 44.1 kHz
+
+  // Tone pair for device `band` (at 1/4 and 3/4 of its sub-band).
+  FskBand band_tones(std::size_t band) const;
+  double bit_rate() const { return fs_hz / static_cast<double>(samples_per_bit); }
+};
+
+class FskModem {
+ public:
+  explicit FskModem(FskConfig cfg);
+
+  const FskConfig& config() const { return cfg_; }
+
+  // Modulate raw bits in sub-band `band`.
+  std::vector<double> modulate(std::span<const std::uint8_t> bits, std::size_t band) const;
+
+  // Demodulate `bits` bit periods from `signal` in sub-band `band` by tone
+  // energy comparison (hard decisions).
+  std::vector<std::uint8_t> demodulate(std::span<const double> signal, std::size_t band,
+                                       std::size_t bits) const;
+
+  // Convenience: FEC-protected transmit/receive (rate-2/3 convolutional).
+  std::vector<double> modulate_coded(std::span<const std::uint8_t> info_bits,
+                                     std::size_t band) const;
+  std::vector<std::uint8_t> demodulate_coded(std::span<const double> signal,
+                                             std::size_t band,
+                                             std::size_t info_bits) const;
+
+  // Number of channel bits after rate-2/3 coding of `info_bits`.
+  static std::size_t coded_bits(std::size_t info_bits);
+
+  // Transmission duration in seconds for a coded payload.
+  double coded_duration_s(std::size_t info_bits) const;
+
+ private:
+  FskConfig cfg_;
+};
+
+}  // namespace uwp::phy

@@ -1,0 +1,69 @@
+#include "phy/mfsk_id.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "dsp/goertzel.hpp"
+#include "dsp/window.hpp"
+
+namespace uwp::phy {
+
+double MfskConfig::bin_center_hz(std::size_t id) const {
+  const double bin_width = (band_hi_hz - band_lo_hz) / static_cast<double>(num_ids);
+  return band_lo_hz + (static_cast<double>(id) + 0.5) * bin_width;
+}
+
+MfskIdCodec::MfskIdCodec(MfskConfig cfg) : cfg_(cfg) {
+  if (cfg_.num_ids == 0) throw std::invalid_argument("MfskIdCodec: num_ids == 0");
+}
+
+std::vector<double> MfskIdCodec::encode(std::size_t id) const {
+  if (id >= cfg_.num_ids) throw std::invalid_argument("MfskIdCodec: id out of range");
+  const double f = cfg_.bin_center_hz(id);
+  std::vector<double> x(cfg_.symbol_samples);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(2.0 * std::numbers::pi * f * static_cast<double>(i) / cfg_.fs_hz);
+  const auto w = uwp::dsp::make_window(uwp::dsp::WindowType::kTukey, x.size(), 0.1);
+  uwp::dsp::apply_window(x, w);
+  return x;
+}
+
+std::vector<double> MfskIdCodec::encode_pair(std::size_t own_id, std::size_t ref_id) const {
+  std::vector<double> x = encode(own_id);
+  const std::vector<double> second = encode(ref_id);
+  x.insert(x.end(), second.begin(), second.end());
+  return x;
+}
+
+std::optional<std::size_t> MfskIdCodec::decode(std::span<const double> window,
+                                               double min_dominance) const {
+  if (window.size() < cfg_.symbol_samples / 2) return std::nullopt;
+  double best = -1.0, second = -1.0;
+  std::size_t best_id = 0;
+  for (std::size_t id = 0; id < cfg_.num_ids; ++id) {
+    const double p = uwp::dsp::goertzel_power(window, cfg_.bin_center_hz(id), cfg_.fs_hz);
+    if (p > best) {
+      second = best;
+      best = p;
+      best_id = id;
+    } else if (p > second) {
+      second = p;
+    }
+  }
+  if (cfg_.num_ids > 1 && (second <= 0.0 || best / second < min_dominance))
+    return std::nullopt;
+  return best_id;
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> MfskIdCodec::decode_pair(
+    std::span<const double> window, double min_dominance) const {
+  if (window.size() < 2 * cfg_.symbol_samples) return std::nullopt;
+  const auto own = decode(window.subspan(0, cfg_.symbol_samples), min_dominance);
+  const auto ref = decode(window.subspan(cfg_.symbol_samples, cfg_.symbol_samples),
+                          min_dominance);
+  if (!own || !ref) return std::nullopt;
+  return std::make_pair(*own, *ref);
+}
+
+}  // namespace uwp::phy

@@ -1,0 +1,50 @@
+// MFSK device-ID encoding (§2.3): the 1-5 kHz band is divided into N bins
+// (N = dive group size); device i transmits energy in bin i only. Decoding
+// is maximum-likelihood: pick the bin with the highest received energy.
+// Messages may carry a second ID (the sync-reference device) as a second
+// MFSK symbol.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace uwp::phy {
+
+struct MfskConfig {
+  double fs_hz = 44100.0;
+  double band_lo_hz = 1000.0;
+  double band_hi_hz = 5000.0;
+  std::size_t num_ids = 6;          // N: dive group size
+  std::size_t symbol_samples = 2205;  // 50 ms per ID symbol
+
+  // Center frequency of bin `id`.
+  double bin_center_hz(std::size_t id) const;
+};
+
+class MfskIdCodec {
+ public:
+  explicit MfskIdCodec(MfskConfig cfg);
+
+  const MfskConfig& config() const { return cfg_; }
+
+  // Tone burst announcing `id`. Throws if id >= num_ids.
+  std::vector<double> encode(std::size_t id) const;
+
+  // Two consecutive symbols: own id then reference id (for relay sync).
+  std::vector<double> encode_pair(std::size_t own_id, std::size_t ref_id) const;
+
+  // ML decode of one symbol window. Returns nullopt when the best bin does
+  // not dominate (energy ratio below `min_dominance`), i.e. likely noise.
+  std::optional<std::size_t> decode(std::span<const double> window,
+                                    double min_dominance = 2.0) const;
+
+  std::optional<std::pair<std::size_t, std::size_t>> decode_pair(
+      std::span<const double> window, double min_dominance = 2.0) const;
+
+ private:
+  MfskConfig cfg_;
+};
+
+}  // namespace uwp::phy

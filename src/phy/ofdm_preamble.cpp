@@ -1,0 +1,57 @@
+#include "phy/ofdm_preamble.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+#include "phy/zadoff_chu.hpp"
+
+namespace uwp::phy {
+
+std::size_t PreambleConfig::bin_lo() const {
+  const double bin_hz = fs_hz / static_cast<double>(symbol_len);
+  return static_cast<std::size_t>(std::ceil(band_lo_hz / bin_hz));
+}
+
+std::size_t PreambleConfig::bin_hi() const {
+  const double bin_hz = fs_hz / static_cast<double>(symbol_len);
+  return static_cast<std::size_t>(std::floor(band_hi_hz / bin_hz));
+}
+
+OfdmPreamble::OfdmPreamble(PreambleConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.pn.size() != cfg_.num_symbols)
+    throw std::invalid_argument("OfdmPreamble: PN length != num_symbols");
+  if (cfg_.bin_hi() >= cfg_.symbol_len / 2)
+    throw std::invalid_argument("OfdmPreamble: band exceeds Nyquist");
+
+  const std::size_t lo = cfg_.bin_lo();
+  const std::size_t hi = cfg_.bin_hi();
+  bins_ = zadoff_chu(hi - lo + 1, cfg_.zc_root);
+
+  // Build the Hermitian spectrum so the IFFT is real.
+  std::vector<uwp::dsp::cplx> spec(cfg_.symbol_len, uwp::dsp::cplx{0.0, 0.0});
+  for (std::size_t k = lo; k <= hi; ++k) {
+    spec[k] = bins_[k - lo];
+    spec[cfg_.symbol_len - k] = std::conj(bins_[k - lo]);
+  }
+  symbol_ = uwp::dsp::ifft_real(spec);
+
+  // Normalize to unit peak so the channel's tx_level_db is meaningful.
+  double peak = 0.0;
+  for (double v : symbol_) peak = std::max(peak, std::abs(v));
+  if (peak > 0.0)
+    for (double& v : symbol_) v /= peak;
+
+  waveform_.reserve(cfg_.total_len());
+  for (std::size_t s = 0; s < cfg_.num_symbols; ++s) {
+    const double sign = static_cast<double>(cfg_.pn[s]);
+    // Cyclic prefix: last cp_len samples of the symbol.
+    for (std::size_t i = cfg_.symbol_len - cfg_.cp_len; i < cfg_.symbol_len; ++i)
+      waveform_.push_back(sign * symbol_[i]);
+    for (std::size_t i = 0; i < cfg_.symbol_len; ++i)
+      waveform_.push_back(sign * symbol_[i]);
+  }
+}
+
+}  // namespace uwp::phy

@@ -1,0 +1,53 @@
+// The paper's ranging preamble (§2.2.1): a 1920-sample OFDM symbol whose
+// 1-5 kHz bins carry a Zadoff-Chu sequence, repeated 4 times with the PN
+// sign pattern [1, 1, -1, 1], each repetition preceded by a 540-sample
+// cyclic prefix. Total 4 * (540 + 1920) = 9840 samples (~223 ms at 44.1 kHz).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace uwp::phy {
+
+struct PreambleConfig {
+  double fs_hz = 44100.0;
+  std::size_t symbol_len = 1920;  // OFDM symbol length L
+  std::size_t cp_len = 540;       // cyclic prefix
+  std::size_t num_symbols = 4;
+  double band_lo_hz = 1000.0;
+  double band_hi_hz = 5000.0;
+  unsigned zc_root = 1;
+  // PN sign pattern applied per symbol; paper uses [1, 1, -1, 1].
+  std::vector<int> pn = {1, 1, -1, 1};
+
+  std::size_t bin_lo() const;  // first OFDM bin inside the band
+  std::size_t bin_hi() const;  // last OFDM bin inside the band (inclusive)
+  std::size_t num_bins() const { return bin_hi() - bin_lo() + 1; }
+  std::size_t total_len() const { return num_symbols * (cp_len + symbol_len); }
+};
+
+class OfdmPreamble {
+ public:
+  explicit OfdmPreamble(PreambleConfig cfg);
+
+  const PreambleConfig& config() const { return cfg_; }
+
+  // Frequency-domain reference X(k) for the used bins (ZC values), indexed
+  // from bin_lo().
+  const std::vector<std::complex<double>>& bin_values() const { return bins_; }
+
+  // One time-domain OFDM symbol (no CP, unit peak amplitude).
+  const std::vector<double>& base_symbol() const { return symbol_; }
+
+  // The full transmit waveform: 4 x (CP + symbol) with PN signs.
+  const std::vector<double>& waveform() const { return waveform_; }
+
+ private:
+  PreambleConfig cfg_;
+  std::vector<std::complex<double>> bins_;
+  std::vector<double> symbol_;
+  std::vector<double> waveform_;
+};
+
+}  // namespace uwp::phy

@@ -1,0 +1,74 @@
+#include "phy/preamble_detector.hpp"
+
+#include <algorithm>
+
+#include "dsp/correlation.hpp"
+
+namespace uwp::phy {
+
+PreambleDetector::PreambleDetector(const OfdmPreamble& preamble, DetectorConfig cfg)
+    : preamble_(preamble), cfg_(cfg) {}
+
+double PreambleDetector::autocorrelation_score(std::span<const double> stream,
+                                               std::size_t index) const {
+  const PreambleConfig& pc = preamble_.config();
+  const std::size_t sym = pc.symbol_len;
+  const std::size_t block = pc.cp_len + sym;
+  if (index + pc.num_symbols * block > stream.size()) return 0.0;
+
+  // Extract the 4 symbol bodies (skipping CPs) and undo the PN signs.
+  std::vector<std::vector<double>> segs(pc.num_symbols);
+  for (std::size_t s = 0; s < pc.num_symbols; ++s) {
+    segs[s].resize(sym);
+    const std::size_t start = index + s * block + pc.cp_len;
+    const double sign = static_cast<double>(pc.pn[s]);
+    for (std::size_t i = 0; i < sym; ++i) segs[s][i] = sign * stream[start + i];
+  }
+
+  // Mean pairwise normalized correlation across all symbol pairs.
+  double acc = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < segs.size(); ++a)
+    for (std::size_t b = a + 1; b < segs.size(); ++b) {
+      acc += uwp::dsp::window_correlation(segs[a], segs[b]);
+      ++pairs;
+    }
+  return pairs > 0 ? acc / static_cast<double>(pairs) : 0.0;
+}
+
+std::optional<DetectionResult> PreambleDetector::detect(
+    std::span<const double> stream) const {
+  const std::vector<double>& tmpl = preamble_.waveform();
+  const std::vector<double> corr = uwp::dsp::normalized_cross_correlate(stream, tmpl);
+  if (corr.empty()) return std::nullopt;
+
+  // Collect candidate peaks above the xcorr floor, best first, enforcing a
+  // separation so we don't test the same event repeatedly.
+  std::vector<std::size_t> order(corr.size());
+  for (std::size_t i = 0; i < corr.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return corr[a] > corr[b]; });
+
+  std::vector<std::size_t> candidates;
+  for (std::size_t idx : order) {
+    if (corr[idx] < cfg_.xcorr_threshold) break;
+    bool dup = false;
+    for (std::size_t c : candidates)
+      if (static_cast<std::size_t>(std::abs(static_cast<long long>(c) -
+                                            static_cast<long long>(idx))) <
+          cfg_.peak_separation)
+        dup = true;
+    if (dup) continue;
+    candidates.push_back(idx);
+    if (candidates.size() >= cfg_.max_candidates) break;
+  }
+
+  for (std::size_t idx : candidates) {
+    const double score = autocorrelation_score(stream, idx);
+    if (score >= cfg_.autocorr_threshold)
+      return DetectionResult{idx, corr[idx], score};
+  }
+  return std::nullopt;
+}
+
+}  // namespace uwp::phy

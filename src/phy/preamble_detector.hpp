@@ -1,0 +1,53 @@
+// Coarse preamble synchronization (§2.2.1): normalized cross-correlation
+// against the transmit template proposes candidates; the PN-encoded
+// auto-correlation across the 4 received OFDM symbols gates out spiky-noise
+// false positives (threshold 0.35 in the paper). Spikes rarely replicate the
+// 4-symbol PN structure, while true receptions correlate strongly symbol-to-
+// symbol because all 4 symbols ride the same multipath.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "phy/ofdm_preamble.hpp"
+
+namespace uwp::phy {
+
+struct DetectionResult {
+  std::size_t coarse_index = 0;  // sample where the preamble (first CP) starts
+  double xcorr_score = 0.0;      // normalized cross-correlation at the peak
+  double autocorr_score = 0.0;   // mean pairwise PN-corrected symbol correlation
+};
+
+struct DetectorConfig {
+  // Minimum normalized cross-correlation for a candidate. Low on purpose:
+  // the autocorrelation stage does the real gating.
+  double xcorr_threshold = 0.08;
+  // Paper's auto-correlation acceptance threshold.
+  double autocorr_threshold = 0.35;
+  // How many top cross-correlation candidates to try before giving up.
+  std::size_t max_candidates = 5;
+  // Candidates closer than this many samples are considered duplicates.
+  std::size_t peak_separation = 512;
+};
+
+class PreambleDetector {
+ public:
+  explicit PreambleDetector(const OfdmPreamble& preamble, DetectorConfig cfg = {});
+
+  // Find the preamble in `stream`. Returns nullopt when nothing passes both
+  // the cross-correlation and the auto-correlation tests.
+  std::optional<DetectionResult> detect(std::span<const double> stream) const;
+
+  // The PN-corrected mean pairwise correlation of the 4 symbol segments
+  // starting at `index` (the autocorrelation metric by itself).
+  double autocorrelation_score(std::span<const double> stream, std::size_t index) const;
+
+ private:
+  const OfdmPreamble& preamble_;
+  DetectorConfig cfg_;
+};
+
+}  // namespace uwp::phy

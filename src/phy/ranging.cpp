@@ -1,0 +1,66 @@
+#include "phy/ranging.hpp"
+
+namespace uwp::phy {
+
+PreambleRanger::PreambleRanger(const OfdmPreamble& preamble, DetectorConfig det_cfg,
+                               DirectPathConfig dp_cfg, std::size_t backoff)
+    : preamble_(preamble),
+      detector_(preamble, det_cfg),
+      estimator_(preamble, backoff),
+      dp_cfg_(dp_cfg) {
+  dp_cfg_.fs_hz = preamble.config().fs_hz;
+}
+
+std::optional<RangingEstimate> PreambleRanger::estimate(const channel::Reception& rec,
+                                                        MicMode mode) const {
+  return estimate_streams(rec.mic[0], rec.mic[1], mode);
+}
+
+std::optional<RangingEstimate> PreambleRanger::estimate_streams(
+    std::span<const double> mic1, std::span<const double> mic2, MicMode mode) const {
+  // Coarse sync runs on the primary stream for the chosen mode.
+  const std::span<const double> primary = mode == MicMode::kMic2Only ? mic2 : mic1;
+  const std::optional<DetectionResult> det = detector_.detect(primary);
+  if (!det) return std::nullopt;
+
+  RangingEstimate out;
+  out.autocorr_score = det->autocorr_score;
+  const double fs = preamble_.config().fs_hz;
+
+  if (mode == MicMode::kDual) {
+    const ChannelEstimate est1 = estimator_.estimate(mic1, det->coarse_index);
+    const ChannelEstimate est2 = estimator_.estimate(mic2, det->coarse_index);
+    const std::optional<DirectPathResult> dp =
+        find_direct_path_dual(est1.taps, est2.taps, dp_cfg_);
+    if (!dp) return std::nullopt;
+    // Plausibility gate: the cross-correlation peak cannot precede the
+    // direct path (later multipath only delays it), so a "direct" tap far
+    // beyond the backoff position is a wrapped or spurious pick.
+    if (dp->tau > static_cast<double>(estimator_.backoff()) + 200.0)
+      return std::nullopt;
+    out.mic1_tap = dp->mic1_tap;
+    out.mic2_tap = dp->mic2_tap;
+    out.mic1_tap_frac = refine_peak_parabolic(est1.taps, dp->mic1_tap);
+    out.mic2_tap_frac = refine_peak_parabolic(est2.taps, dp->mic2_tap);
+    out.arrival_index = static_cast<double>(est1.window_start) +
+                        (out.mic1_tap_frac + out.mic2_tap_frac) / 2.0;
+  } else {
+    const std::span<const double> mic = mode == MicMode::kMic1Only ? mic1 : mic2;
+    const ChannelEstimate est = estimator_.estimate(mic, det->coarse_index);
+    const std::optional<std::size_t> tap = find_direct_path_single(est.taps, dp_cfg_);
+    if (!tap) return std::nullopt;
+    if (*tap > estimator_.backoff() + 200) return std::nullopt;
+    const double refined = refine_peak_parabolic(est.taps, *tap);
+    out.mic1_tap = out.mic2_tap = *tap;
+    out.mic1_tap_frac = out.mic2_tap_frac = refined;
+    out.arrival_index = static_cast<double>(est.window_start) + refined;
+  }
+  out.arrival_time_s = out.arrival_index / fs;
+  return out;
+}
+
+double one_way_distance_m(const RangingEstimate& est, double sound_speed_mps) {
+  return est.arrival_time_s * sound_speed_mps;
+}
+
+}  // namespace uwp::phy

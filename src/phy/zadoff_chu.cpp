@@ -1,0 +1,33 @@
+#include "phy/zadoff_chu.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace uwp::phy {
+
+unsigned gcd_u(unsigned a, unsigned b) {
+  while (b != 0) {
+    const unsigned t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::vector<std::complex<double>> zadoff_chu(std::size_t n, unsigned u) {
+  if (n == 0) throw std::invalid_argument("zadoff_chu: zero length");
+  if (u == 0 || gcd_u(static_cast<unsigned>(n), u) != 1)
+    throw std::invalid_argument("zadoff_chu: root not coprime with length");
+  std::vector<std::complex<double>> zc(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double kk = static_cast<double>(k);
+    const double num = (n % 2 == 0) ? kk * kk : kk * (kk + 1.0);
+    const double phase = -std::numbers::pi * static_cast<double>(u) * num /
+                         static_cast<double>(n);
+    zc[k] = {std::cos(phase), std::sin(phase)};
+  }
+  return zc;
+}
+
+}  // namespace uwp::phy

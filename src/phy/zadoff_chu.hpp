@@ -1,0 +1,21 @@
+// Zadoff-Chu constant-amplitude zero-autocorrelation (CAZAC) sequences. The
+// paper fills its OFDM preamble bins with a ZC sequence (§2.2.1) because the
+// phase-modulated sequence is orthogonal to delayed copies of itself, giving
+// sharp correlation peaks through dense underwater multipath.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace uwp::phy {
+
+// Length-`n` ZC sequence with root `u` (must be coprime with n):
+//   odd  n: zc[k] = exp(-i pi u k (k+1) / n)
+//   even n: zc[k] = exp(-i pi u k^2 / n)
+std::vector<std::complex<double>> zadoff_chu(std::size_t n, unsigned u = 1);
+
+// Greatest common divisor helper exposed for root validation in tests.
+unsigned gcd_u(unsigned a, unsigned b);
+
+}  // namespace uwp::phy

@@ -1,0 +1,62 @@
+#include "proto/multihop.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uwp::proto {
+
+double plan_airtime_s(const MultihopPlan& plan, const MultihopOptions& opts) {
+  double airtime = plan.direct.empty() && plan.relays.empty()
+                       ? 0.0
+                       : opts.report_airtime_s;  // phase 1
+  if (plan.relays.empty()) return airtime;
+  // Phase 2: the busiest relay forwards its queue sequentially; relays in
+  // different bands run concurrently.
+  std::size_t busiest = 0;
+  for (const RelayAssignment& a : plan.relays) {
+    std::size_t load = 0;
+    for (const RelayAssignment& b : plan.relays)
+      if (b.relay == a.relay) ++load;
+    busiest = std::max(busiest, load);
+  }
+  return airtime + static_cast<double>(busiest) * opts.report_airtime_s;
+}
+
+MultihopPlan plan_multihop_uplink(const Matrix& connectivity,
+                                  const MultihopOptions& opts) {
+  const std::size_t n = connectivity.rows();
+  if (connectivity.cols() != n || n < 2)
+    throw std::invalid_argument("plan_multihop_uplink: bad connectivity matrix");
+
+  MultihopPlan plan;
+  std::vector<bool> in_range(n, false);
+  for (std::size_t i = 1; i < n; ++i) {
+    if (connectivity(0, i) > 0.0) {
+      in_range[i] = true;
+      plan.direct.push_back(i);
+    }
+  }
+
+  // Assign each stranded device the least-loaded in-range neighbor.
+  std::vector<std::size_t> load(n, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    if (in_range[i]) continue;
+    std::optional<std::size_t> best;
+    for (std::size_t j = 1; j < n; ++j) {
+      if (j == i || !in_range[j] || connectivity(i, j) <= 0.0) continue;
+      if (load[j] >= opts.max_forwards_per_relay) continue;
+      if (!best || load[j] < load[*best]) best = j;
+    }
+    if (best) {
+      plan.relays.push_back({i, *best});
+      ++load[*best];
+    } else {
+      plan.unreachable.push_back(i);
+    }
+  }
+
+  plan.total_airtime_s = plan_airtime_s(plan, opts);
+  return plan;
+}
+
+}  // namespace uwp::proto

@@ -1,0 +1,55 @@
+// Two-hop report relaying — the gap §5 calls out: the timestamp protocol
+// tolerates devices out of the leader's range (relay sync), but the §2.4
+// uplink assumes every device can reach the leader directly. This extension
+// plans relay routes for the stranded reports: an in-range device forwards a
+// stranded device's payload in a second uplink phase, and the planner picks
+// relays that minimize added airtime while respecting per-band capacity.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "proto/payload_codec.hpp"
+#include "util/matrix.hpp"
+
+namespace uwp::proto {
+
+struct RelayAssignment {
+  std::size_t source = 0;  // device whose report needs forwarding
+  std::size_t relay = 0;   // in-range device that forwards it
+};
+
+struct MultihopPlan {
+  // Devices that can reach the leader directly (phase 1, simultaneous FSK).
+  std::vector<std::size_t> direct;
+  // Phase-2 forwards; empty when everyone is in range.
+  std::vector<RelayAssignment> relays;
+  // Devices with no route to the leader at all (isolated).
+  std::vector<std::size_t> unreachable;
+  // Total uplink airtime: phase 1 + (phase 2 if any), seconds.
+  double total_airtime_s = 0.0;
+
+  bool complete() const { return unreachable.empty(); }
+};
+
+struct MultihopOptions {
+  // Airtime for one report burst at the uplink bit rate (seconds).
+  double report_airtime_s = 1.0;
+  // Maximum forwarded reports per relay in phase 2 (a relay retransmits
+  // each forwarded report sequentially inside its band).
+  std::size_t max_forwards_per_relay = 2;
+};
+
+// Plan the uplink for `connectivity` (symmetric, connectivity(i, j) > 0 when
+// i can hear j; device 0 is the leader). Relays are chosen by fewest-loaded
+// first among the source's in-range neighbors.
+MultihopPlan plan_multihop_uplink(const Matrix& connectivity,
+                                  const MultihopOptions& opts = {});
+
+// Airtime of a plan given per-phase durations: phase 1 is one report burst
+// (all direct devices transmit simultaneously); phase 2 lasts as long as the
+// busiest relay's forward queue.
+double plan_airtime_s(const MultihopPlan& plan, const MultihopOptions& opts);
+
+}  // namespace uwp::proto

@@ -1,0 +1,59 @@
+// Report compression for the post-protocol uplink (§2.4). Each device sends
+// the leader: its depth (8 bits at 0.2 m resolution, 0-51 m) and, for every
+// other device, the difference between the message arrival timestamp and
+// that device's assigned slot start, bounded by [0, 2*tau_max) and quantized
+// to 2 samples (10 bits). Total 10 (N-1) + 8 bits per device.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "proto/slot_schedule.hpp"
+
+namespace uwp::proto {
+
+struct DeviceReport {
+  double depth_m = 0.0;
+  // slot_delta[j]: arrival time of device j's message minus j's slot start,
+  // seconds; nullopt when the message was not heard. Entry for the device's
+  // own ID must be nullopt.
+  std::vector<std::optional<double>> slot_delta_s;
+};
+
+struct PayloadCodecConfig {
+  ProtocolConfig protocol{};
+  double depth_resolution_m = 0.2;
+  unsigned depth_bits = 8;
+  unsigned timestamp_bits = 10;
+  unsigned timestamp_resolution_samples = 2;
+
+  std::size_t payload_bits() const {
+    return depth_bits + timestamp_bits * (protocol.num_devices - 1);
+  }
+};
+
+class PayloadCodec {
+ public:
+  explicit PayloadCodec(PayloadCodecConfig cfg);
+
+  const PayloadCodecConfig& config() const { return cfg_; }
+
+  // `self_id` owns the report; its own slot entry is skipped on the wire.
+  std::vector<std::uint8_t> encode(const DeviceReport& report, std::size_t self_id) const;
+  DeviceReport decode(const std::vector<std::uint8_t>& bits, std::size_t self_id) const;
+
+  // Quantization round trips exposed for tests.
+  unsigned quantize_depth(double depth_m) const;
+  double dequantize_depth(unsigned q) const;
+  unsigned quantize_delta(double delta_s) const;  // saturates to the field max
+  double dequantize_delta(unsigned q) const;
+
+  // Sentinel (all ones) marking "message not heard".
+  unsigned missing_sentinel() const { return (1u << cfg_.timestamp_bits) - 1u; }
+
+ private:
+  PayloadCodecConfig cfg_;
+};
+
+}  // namespace uwp::proto

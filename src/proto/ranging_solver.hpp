@@ -1,0 +1,32 @@
+// Turns the timestamp table of a protocol run into a pairwise distance
+// matrix (§2.3):
+//   D_ij = (c/2) * [(T^i_j - T^i_i) - (T^j_j - T^j_i)]
+// For pairs with one lost direction, a one-way fallback recovers the
+// distance through the leader-referenced clock offsets (the paper's "some
+// device k heard by both" observation, instantiated with k = leader):
+//   tau_ij = T^i_j - T^j_j + tau_0i - tau_0j.
+#pragma once
+
+#include "proto/timestamp_protocol.hpp"
+#include "util/matrix.hpp"
+
+namespace uwp::proto {
+
+struct RangingSolution {
+  Matrix distances;  // meters; 0 where unknown
+  Matrix weights;    // 1 = measured, 0 = missing
+  std::size_t two_way_links = 0;
+  std::size_t one_way_links = 0;  // recovered via the leader-offset fallback
+};
+
+class RangingSolver {
+ public:
+  explicit RangingSolver(ProtocolConfig cfg) : cfg_(cfg) {}
+
+  RangingSolution solve(const ProtocolRun& run) const;
+
+ private:
+  ProtocolConfig cfg_;
+};
+
+}  // namespace uwp::proto

@@ -1,0 +1,40 @@
+#include "proto/slot_schedule.hpp"
+
+#include <stdexcept>
+
+namespace uwp::proto {
+
+double slot_time_leader_sync(const ProtocolConfig& cfg, std::size_t id) {
+  if (id == 0 || id >= cfg.num_devices)
+    throw std::invalid_argument("slot_time_leader_sync: bad id");
+  return cfg.delta0_s + static_cast<double>(id - 1) * cfg.delta1_s();
+}
+
+bool relay_slot_in_future(const ProtocolConfig& cfg, std::size_t id, std::size_t ref) {
+  // The paper's condition: (i - j) * delta1 > delta0. When false, device i's
+  // slot passed before it could hear device j.
+  if (id <= ref) return false;
+  return static_cast<double>(id - ref) * cfg.delta1_s() > cfg.delta0_s;
+}
+
+double slot_time_relay_sync(const ProtocolConfig& cfg, std::size_t id, std::size_t ref,
+                            double t_ref_local) {
+  if (id == 0 || id >= cfg.num_devices || ref == 0 || ref >= cfg.num_devices)
+    throw std::invalid_argument("slot_time_relay_sync: bad ids");
+  if (id == ref) throw std::invalid_argument("slot_time_relay_sync: id == ref");
+  if (relay_slot_in_future(cfg, id, ref))
+    return t_ref_local + static_cast<double>(id - ref) * cfg.delta1_s();
+  // Missed the normal slot: wait for the wrap-around slot N - ref + id.
+  return t_ref_local +
+         static_cast<double>(cfg.num_devices - ref + id) * cfg.delta1_s();
+}
+
+double round_trip_all_in_range(const ProtocolConfig& cfg) {
+  return cfg.delta0_s + static_cast<double>(cfg.num_devices - 1) * cfg.delta1_s();
+}
+
+double round_trip_worst_case(const ProtocolConfig& cfg) {
+  return cfg.delta0_s + 2.0 * static_cast<double>(cfg.num_devices - 1) * cfg.delta1_s();
+}
+
+}  // namespace uwp::proto

@@ -1,0 +1,48 @@
+// TDM slot arithmetic for the distributed timestamp protocol (§2.3). The
+// leader (ID 0) initiates; device i transmits at local time
+//   T_i = delta0 + (i - 1) * delta1
+// after it hears the leader, where delta1 = T_packet + T_guard. Devices out
+// of the leader's range synchronize off the first message they hear instead
+// (relay sync), transmitting either in their normal slot or, if their slot
+// has already passed, in slot N + i - j relative to the reference message.
+#pragma once
+
+#include <cstddef>
+
+namespace uwp::proto {
+
+struct ProtocolConfig {
+  std::size_t num_devices = 5;  // N, including the leader
+  double delta0_s = 0.600;      // leader-message processing + audio latency
+  double t_packet_s = 0.278;    // message duration
+  double t_guard_s = 0.042;     // guard = 2 * tau_max (32 m at 1500 m/s)
+  double sound_speed_mps = 1500.0;
+  double fs_hz = 44100.0;
+
+  double delta1_s() const { return t_packet_s + t_guard_s; }  // 0.320 s
+  // Maximum one-way propagation delay the guard interval tolerates.
+  double tau_max_s() const { return t_guard_s / 2.0; }
+  double max_range_m() const { return tau_max_s() * sound_speed_mps; }
+};
+
+// Local transmit time for device `id` (1..N-1) synced directly to the leader.
+double slot_time_leader_sync(const ProtocolConfig& cfg, std::size_t id);
+
+// Relay sync: device `id` first heard the message of device `ref` (not the
+// leader) at local time t_ref. Returns the local transmit time: the normal
+// slot offset when it is still in the future ((id - ref) * delta1 > delta0),
+// otherwise the wrap-around slot after all N devices (§2.3).
+double slot_time_relay_sync(const ProtocolConfig& cfg, std::size_t id, std::size_t ref,
+                            double t_ref_local);
+
+// Whether device `id` hearing `ref` first can still make its normal slot.
+bool relay_slot_in_future(const ProtocolConfig& cfg, std::size_t id, std::size_t ref);
+
+// Protocol round duration when all devices are in the leader's range:
+// delta0 + (N - 1) * delta1 (§2.3 latency analysis).
+double round_trip_all_in_range(const ProtocolConfig& cfg);
+
+// Worst-case round duration with relay sync: delta0 + 2 (N - 1) * delta1.
+double round_trip_worst_case(const ProtocolConfig& cfg);
+
+}  // namespace uwp::proto

@@ -1,0 +1,147 @@
+#include "proto/timestamp_protocol.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace uwp::proto {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr std::size_t kNoSync = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+TimestampProtocol::TimestampProtocol(ProtocolConfig cfg,
+                                     std::vector<ProtocolDevice> devices)
+    : cfg_(cfg), devices_(std::move(devices)) {
+  if (devices_.size() != cfg_.num_devices)
+    throw std::invalid_argument("TimestampProtocol: device count != num_devices");
+  for (std::size_t i = 0; i < devices_.size(); ++i)
+    if (devices_[i].id != i)
+      throw std::invalid_argument("TimestampProtocol: devices must be ID-ordered");
+}
+
+ProtocolRun TimestampProtocol::run(const Matrix& connected, uwp::Rng& rng,
+                                   const ArrivalError& err) const {
+  const std::size_t n = cfg_.num_devices;
+  if (connected.rows() != n || connected.cols() != n)
+    throw std::invalid_argument("TimestampProtocol: connectivity shape mismatch");
+
+  // Propagation delays from geometry.
+  Matrix tau(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      tau(i, j) = uwp::distance(devices_[i].position, devices_[j].position) /
+                  cfg_.sound_speed_mps;
+
+  ProtocolRun out;
+  out.timestamps = Matrix(n, n, kNaN);
+  out.heard = Matrix(n, n, 0.0);
+  out.sync_ref.assign(n, kNoSync);
+  out.tx_global.assign(n, kNaN);
+
+  // Per-device audio pipelines (scheduling error model).
+  std::vector<audio::DeviceAudio> audio_units;
+  audio_units.reserve(n);
+  for (const ProtocolDevice& d : devices_) {
+    audio_units.emplace_back(d.audio);
+    audio_units.back().calibrate();
+  }
+
+  // Leader transmits at global time 0; its local clock zero is that moment.
+  out.tx_global[0] = 0.0;
+  out.sync_ref[0] = 0;
+  std::vector<double> local_zero_global(n, kNaN);  // global time of local t=0
+  local_zero_global[0] = 0.0;
+  std::vector<double> sched_local(n, kNaN);  // intended local transmit times
+  sched_local[0] = 0.0;
+
+  // Fixed-point relaxation of sync/transmit schedule: each pass re-derives
+  // every non-leader device's first-heard message from the currently known
+  // transmit times. Converges in <= n passes for acyclic sync chains.
+  for (std::size_t pass = 0; pass < 2 * n; ++pass) {
+    bool changed = false;
+    for (std::size_t i = 1; i < n; ++i) {
+      // Earliest arrival among transmitted messages device i can hear.
+      double best_arrival = std::numeric_limits<double>::infinity();
+      std::size_t best_src = kNoSync;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i || connected(i, j) <= 0.0) continue;
+        if (std::isnan(out.tx_global[j])) continue;
+        const double arrival = out.tx_global[j] + tau(i, j);
+        if (arrival < best_arrival) {
+          best_arrival = arrival;
+          best_src = j;
+        }
+      }
+      if (best_src == kNoSync) continue;
+
+      // Detected arrival defines the local clock zero (with estimation
+      // error + sample quantization).
+      double detect_err = err ? err(i, best_src) : 0.0;
+      if (std::isnan(detect_err)) continue;  // detection failed entirely
+      const double detected_global = best_arrival + detect_err;
+
+      // Local transmit schedule per §2.3.
+      double t_slot;
+      std::size_t sync;
+      if (best_src == 0) {
+        sync = 0;
+        t_slot = slot_time_leader_sync(cfg_, i);
+      } else {
+        sync = best_src;
+        t_slot = slot_time_relay_sync(cfg_, i, best_src, 0.0);
+      }
+
+      // Audio scheduling: the device replies t_slot after the detected
+      // arrival; the realized interval differs per Appendix Eq. 6.
+      const audio::DeviceAudio& au = audio_units[i];
+      const double m2_exact = au.mic_clock().index_at(detected_global);
+      const std::int64_t m2 = static_cast<std::int64_t>(std::llround(m2_exact));
+      const std::int64_t n2 = au.reply_index_for(m2, t_slot);
+      const double emit_global = au.speaker_clock().time_at(static_cast<double>(n2));
+
+      if (out.sync_ref[i] != sync ||
+          std::isnan(out.tx_global[i]) ||
+          std::abs(out.tx_global[i] - emit_global) > 1e-12) {
+        out.sync_ref[i] = sync;
+        out.tx_global[i] = emit_global;
+        local_zero_global[i] = detected_global;
+        sched_local[i] = t_slot;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  (void)rng;  // randomness enters via the ArrivalError hook
+
+  // Record timestamps: T^i_j for every message i can hear.
+  double last_arrival = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isnan(out.tx_global[i])) continue;
+    // Own transmission: the device reports its scheduled local slot time.
+    out.timestamps(i, i) = sched_local[i];
+    out.heard(i, i) = 1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || connected(i, j) <= 0.0) continue;
+      if (std::isnan(out.tx_global[j]) || std::isnan(local_zero_global[i])) continue;
+      const double arrival_global = out.tx_global[j] + tau(i, j);
+      double detect_err = err ? err(i, j) : 0.0;
+      if (std::isnan(detect_err)) continue;
+      double local =
+          (arrival_global + detect_err - local_zero_global[i]) *
+          (1.0 + devices_[i].audio.mic_skew_ppm * 1e-6);
+      // Quantize to the microphone sample grid.
+      local = std::round(local * cfg_.fs_hz) / cfg_.fs_hz;
+      out.timestamps(i, j) = local;
+      out.heard(i, j) = 1.0;
+      last_arrival = std::max(last_arrival, arrival_global);
+    }
+  }
+  out.round_duration_s = last_arrival + cfg_.t_packet_s;
+  return out;
+}
+
+}  // namespace uwp::proto

@@ -1,0 +1,65 @@
+// Timing-level simulation of the distributed timestamp protocol (§2.3).
+// Devices have positions (fixing propagation delays), connectivity (who can
+// hear whom), independent audio clocks (DeviceAudio scheduling errors), and
+// an injectable per-link arrival-estimation error so the PHY layer's ranging
+// accuracy can be threaded through. The output is the table of local receive
+// timestamps T^i_j that the leader turns into pairwise distances.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "audio/device_audio.hpp"
+#include "proto/slot_schedule.hpp"
+#include "util/geometry.hpp"
+#include "util/matrix.hpp"
+#include "util/random.hpp"
+
+namespace uwp::proto {
+
+struct ProtocolDevice {
+  std::size_t id = 0;
+  uwp::Vec3 position;  // z = depth
+  audio::AudioTimingConfig audio{};
+};
+
+struct ProtocolRun {
+  // timestamps(i, j) = T^i_j: device i's local time when the message from
+  // device j arrived. NaN when not heard. T^i_i is device i's own transmit
+  // time in its local clock (for the leader, transmit time 0).
+  Matrix timestamps;
+  // heard(i, j) = 1 when device i received device j's message.
+  Matrix heard;
+  // Device each non-leader synchronized against (0 = leader; for relay sync
+  // the ID of the first-heard device; SIZE_MAX when it never synced).
+  std::vector<std::size_t> sync_ref;
+  // True transmit times in global time (diagnostics / tests).
+  std::vector<double> tx_global;
+  // Wall-clock duration from the leader's transmission to the last packet
+  // arrival anywhere — the protocol round-trip latency.
+  double round_duration_s = 0.0;
+};
+
+// Arrival-error hook: extra seconds added to the detected arrival time of
+// the message from `from` at device `at` (signed; from PHY simulation or an
+// empirical model). Also used to model detection failures by returning NaN.
+using ArrivalError = std::function<double(std::size_t at, std::size_t from)>;
+
+class TimestampProtocol {
+ public:
+  TimestampProtocol(ProtocolConfig cfg, std::vector<ProtocolDevice> devices);
+
+  const ProtocolConfig& config() const { return cfg_; }
+
+  // Run one protocol round. `connected(i, j) > 0` means i can hear j.
+  // `err` may be null for ideal arrivals.
+  ProtocolRun run(const Matrix& connected, uwp::Rng& rng,
+                  const ArrivalError& err = {}) const;
+
+ private:
+  ProtocolConfig cfg_;
+  std::vector<ProtocolDevice> devices_;
+};
+
+}  // namespace uwp::proto

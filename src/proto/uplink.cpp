@@ -1,0 +1,54 @@
+#include "proto/uplink.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uwp::proto {
+
+UplinkSimulator::UplinkSimulator(UplinkConfig cfg)
+    : cfg_(std::move(cfg)), modem_(cfg_.fsk), codec_(cfg_.codec) {
+  if (cfg_.fsk.num_bands < cfg_.codec.protocol.num_devices)
+    throw std::invalid_argument("UplinkSimulator: fewer FSK bands than devices");
+}
+
+double UplinkSimulator::report_airtime_s() const {
+  return modem_.coded_duration_s(cfg_.codec.payload_bits());
+}
+
+UplinkResult UplinkSimulator::run(const std::vector<DeviceReport>& reports,
+                                  uwp::Rng& rng) const {
+  const std::size_t n = cfg_.codec.protocol.num_devices;
+  if (reports.size() != n)
+    throw std::invalid_argument("UplinkSimulator: reports size != N");
+
+  UplinkResult out;
+  out.payload_bits = cfg_.codec.payload_bits();
+  out.reports.resize(n);
+  out.decode_exact.assign(n, false);
+
+  // Compose the simultaneous transmissions.
+  std::vector<std::vector<std::uint8_t>> sent_bits(n);
+  std::vector<double> composite;
+  for (std::size_t id = 1; id < n; ++id) {
+    sent_bits[id] = codec_.encode(reports[id], id);
+    std::vector<double> burst = modem_.modulate_coded(sent_bits[id], id);
+    const double gain =
+        cfg_.device_gain.size() > id ? cfg_.device_gain[id] : 1.0;
+    if (burst.size() > composite.size()) composite.resize(burst.size(), 0.0);
+    for (std::size_t k = 0; k < burst.size(); ++k) composite[k] += gain * burst[k];
+  }
+  out.airtime_s = static_cast<double>(composite.size()) / cfg_.fsk.fs_hz;
+
+  for (double& v : composite) v += rng.normal(0.0, cfg_.noise_rms);
+
+  // Leader decodes every band from the shared medium.
+  for (std::size_t id = 1; id < n; ++id) {
+    const std::vector<std::uint8_t> decoded_bits =
+        modem_.demodulate_coded(composite, id, out.payload_bits);
+    out.decode_exact[id] = decoded_bits == sent_bits[id];
+    out.reports[id] = codec_.decode(decoded_bits, id);
+  }
+  return out;
+}
+
+}  // namespace uwp::proto

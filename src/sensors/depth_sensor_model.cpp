@@ -1,0 +1,49 @@
+#include "sensors/depth_sensor_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uwp::sensors {
+
+DepthSensorModel DepthSensorModel::watch_ultra_gauge() {
+  DepthSensorModel m;
+  // Average error 0.15 +/- 0.11 m across 0-9 m (Fig 13b).
+  m.bias_m = 0.10;
+  m.noise_sigma_m = 0.11;
+  m.quantization_m = 0.01;  // Oceanic+ reports centimeters
+  return m;
+}
+
+DepthSensorModel DepthSensorModel::phone_pressure_in_pouch() {
+  DepthSensorModel m;
+  // Average error 0.42 +/- 0.18 m: the pouch's trapped air biases the
+  // barometer low and couples slowly to ambient pressure.
+  m.bias_m = -0.38;
+  m.noise_sigma_m = 0.18;
+  m.quantization_m = 0.02;
+  return m;
+}
+
+double DepthSensorModel::read(double true_depth_m, uwp::Rng& rng) const {
+  double v = true_depth_m + bias_m + rng.normal(0.0, noise_sigma_m);
+  if (quantization_m > 0.0) v = std::round(v / quantization_m) * quantization_m;
+  return std::max(v, 0.0);
+}
+
+double DepthSensorModel::read_averaged(double true_depth_m, std::size_t n,
+                                       uwp::Rng& rng) const {
+  if (n == 0) return read(true_depth_m, rng);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += read(true_depth_m, rng);
+  return acc / static_cast<double>(n);
+}
+
+double phone_pressure_reading(double true_depth_m, uwp::Rng& rng,
+                              const HydrostaticModel& hydro) {
+  const double true_pa = pressure_at_depth(true_depth_m, hydro);
+  // Pouch effects in raw Pascals: low bias + noise (~0.4 m ~= 3.9 kPa).
+  const double measured_pa = true_pa - 3700.0 + rng.normal(0.0, 1760.0);
+  return depth_from_pressure(measured_pa, hydro);
+}
+
+}  // namespace uwp::sensors

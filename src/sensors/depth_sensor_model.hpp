@@ -1,0 +1,33 @@
+// Error models for the two depth sources the paper evaluates (Fig 13b):
+// the Apple Watch Ultra depth gauge (0.15 +/- 0.11 m error) and a phone
+// pressure sensor inside a waterproof pouch (0.42 +/- 0.18 m, slower and
+// biased because the pouch partially isolates the sensor).
+#pragma once
+
+#include "sensors/pressure_depth.hpp"
+#include "util/random.hpp"
+
+namespace uwp::sensors {
+
+struct DepthSensorModel {
+  // Mean absolute error magnitude and its spread (fitted to Fig 13b).
+  double bias_m = 0.0;        // systematic offset
+  double noise_sigma_m = 0.0; // per-reading jitter
+  double quantization_m = 0.0;
+
+  static DepthSensorModel watch_ultra_gauge();
+  static DepthSensorModel phone_pressure_in_pouch();
+
+  // One reading at the given true depth.
+  double read(double true_depth_m, uwp::Rng& rng) const;
+
+  // Average of `n` consecutive readings (the paper holds 30 s per depth).
+  double read_averaged(double true_depth_m, std::size_t n, uwp::Rng& rng) const;
+};
+
+// Simulate a phone pressure sensor end to end: true depth -> pressure ->
+// pouch bias/noise on the raw Pascals -> depth conversion.
+double phone_pressure_reading(double true_depth_m, uwp::Rng& rng,
+                              const HydrostaticModel& hydro = {});
+
+}  // namespace uwp::sensors

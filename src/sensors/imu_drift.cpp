@@ -1,0 +1,40 @@
+#include "sensors/imu_drift.hpp"
+
+#include <cmath>
+
+namespace uwp::sensors {
+
+std::vector<double> dead_reckoning_drift(const ImuModel& m, double duration_s,
+                                         uwp::Rng& rng) {
+  const double dt = 1.0 / m.sample_rate_hz;
+  const std::size_t steps = static_cast<std::size_t>(duration_s * m.sample_rate_hz);
+  double bias_x = rng.normal(0.0, m.accel_bias_mps2);
+  double bias_y = rng.normal(0.0, m.accel_bias_mps2);
+  double vx = 0.0, vy = 0.0, px = 0.0, py = 0.0;
+
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(duration_s) + 1);
+  const std::size_t per_second = static_cast<std::size_t>(m.sample_rate_hz);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double ax = bias_x + rng.normal(0.0, m.accel_noise_mps2);
+    const double ay = bias_y + rng.normal(0.0, m.accel_noise_mps2);
+    vx += ax * dt;
+    vy += ay * dt;
+    px += vx * dt;
+    py += vy * dt;
+    bias_x += rng.normal(0.0, m.bias_walk_mps2_per_s * dt);
+    bias_y += rng.normal(0.0, m.bias_walk_mps2_per_s * dt);
+    if ((i + 1) % per_second == 0) out.push_back(std::hypot(px, py));
+  }
+  return out;
+}
+
+double time_to_drift(const ImuModel& m, double threshold_m, double duration_s,
+                     uwp::Rng& rng) {
+  const std::vector<double> drift = dead_reckoning_drift(m, duration_s, rng);
+  for (std::size_t i = 0; i < drift.size(); ++i)
+    if (drift[i] > threshold_m) return static_cast<double>(i + 1);
+  return duration_s;
+}
+
+}  // namespace uwp::sensors

@@ -1,0 +1,30 @@
+// Smart-device IMU dead-reckoning drift model. The paper's related-work
+// discussion notes that consumer IMUs drift within seconds underwater,
+// ruling out inertial anchor-free localization — this model quantifies that
+// claim (double-integrated accelerometer noise + bias random walk).
+#pragma once
+
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/random.hpp"
+
+namespace uwp::sensors {
+
+struct ImuModel {
+  double accel_noise_mps2 = 0.03;      // white accelerometer noise (1 sigma)
+  double accel_bias_mps2 = 0.02;       // initial bias magnitude
+  double bias_walk_mps2_per_s = 0.002; // bias random walk
+  double sample_rate_hz = 100.0;
+};
+
+// Simulated position-error magnitude over time for a stationary device:
+// returns |position error| (m) sampled at 1 Hz for `duration_s` seconds.
+std::vector<double> dead_reckoning_drift(const ImuModel& m, double duration_s,
+                                         uwp::Rng& rng);
+
+// Time (s) until drift exceeds `threshold_m` (duration_s if never).
+double time_to_drift(const ImuModel& m, double threshold_m, double duration_s,
+                     uwp::Rng& rng);
+
+}  // namespace uwp::sensors

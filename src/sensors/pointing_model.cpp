@@ -1,0 +1,25 @@
+#include "sensors/pointing_model.hpp"
+
+#include <cmath>
+
+namespace uwp::sensors {
+
+double PointingModel::point(double true_bearing_rad, double range_m,
+                            uwp::Rng& rng) const {
+  const double sigma = sigma_deg + sigma_per_meter_deg * range_m;
+  const double err_rad = uwp::deg_to_rad(rng.normal(0.0, sigma));
+  return uwp::wrap_angle(true_bearing_rad + err_rad);
+}
+
+double camera_orientation_error_deg(uwp::Vec3 camera, uwp::Vec3 checkerboard,
+                                    uwp::Vec3 frame_center_point) {
+  const uwp::Vec3 v_pc = checkerboard - camera;
+  const uwp::Vec3 v_dc = frame_center_point - camera;
+  const double denom = v_pc.norm() * v_dc.norm();
+  if (denom <= 0.0) return 0.0;
+  double cosang = v_pc.dot(v_dc) / denom;
+  cosang = std::max(-1.0, std::min(1.0, cosang));
+  return uwp::rad_to_deg(std::acos(cosang));
+}
+
+}  // namespace uwp::sensors

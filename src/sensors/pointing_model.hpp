@@ -1,0 +1,30 @@
+// Leader pointing/orientation model (§2.1.4, Fig 16). The dive leader
+// orients the device toward the visible diver; the paper measures a mean
+// human pointing error of ~5 degrees using a camera + checkerboard rig.
+// This model produces noisy pointed bearings and reproduces the camera-based
+// error measurement.
+#pragma once
+
+#include "util/geometry.hpp"
+#include "util/random.hpp"
+
+namespace uwp::sensors {
+
+struct PointingModel {
+  // Gaussian angular error, calibrated so the mean |error| ~ 5 degrees
+  // (Fig 16 averages 5.0 over two users and several distances).
+  double sigma_deg = 6.3;  // mean |N(0, s)| = s * sqrt(2/pi) -> 5.0 deg
+  // Small distance dependence: pointing degrades slightly with range.
+  double sigma_per_meter_deg = 0.05;
+
+  // A pointed bearing toward a target at `true_bearing_rad` and `range_m`.
+  double point(double true_bearing_rad, double range_m, uwp::Rng& rng) const;
+};
+
+// Camera-based orientation-error measurement (Fig 16): angle between the
+// camera-to-checkerboard vector and the camera frame center ray, both in
+// world coordinates. Returns degrees.
+double camera_orientation_error_deg(uwp::Vec3 camera, uwp::Vec3 checkerboard,
+                                    uwp::Vec3 frame_center_point);
+
+}  // namespace uwp::sensors

@@ -1,0 +1,18 @@
+#include "sensors/pressure_depth.hpp"
+
+#include <algorithm>
+
+namespace uwp::sensors {
+
+double depth_from_pressure(double pressure_pa, const HydrostaticModel& m) {
+  const double h =
+      (pressure_pa - m.surface_pressure_pa) / (m.water_density_kgm3 * m.gravity_mps2);
+  return std::max(h, 0.0);
+}
+
+double pressure_at_depth(double depth_m, const HydrostaticModel& m) {
+  return m.surface_pressure_pa +
+         std::max(depth_m, 0.0) * m.water_density_kgm3 * m.gravity_mps2;
+}
+
+}  // namespace uwp::sensors

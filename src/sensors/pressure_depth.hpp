@@ -1,0 +1,20 @@
+// Hydrostatic pressure <-> depth conversion (§3.1): h = (P - P0) / (rho g),
+// the formula the paper uses to turn a phone's barometer reading into depth.
+#pragma once
+
+namespace uwp::sensors {
+
+struct HydrostaticModel {
+  double water_density_kgm3 = 997.0;     // fresh water, paper's value
+  double gravity_mps2 = 9.81;
+  double surface_pressure_pa = 101325.0;  // sea-level atmosphere
+};
+
+// Depth (m) for an absolute pressure reading (Pa). Negative readings (above
+// the surface) clamp to 0.
+double depth_from_pressure(double pressure_pa, const HydrostaticModel& m = {});
+
+// Absolute pressure (Pa) at a given depth (m).
+double pressure_at_depth(double depth_m, const HydrostaticModel& m = {});
+
+}  // namespace uwp::sensors

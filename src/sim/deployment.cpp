@@ -1,0 +1,97 @@
+#include "sim/deployment.hpp"
+
+#include <cmath>
+
+namespace uwp::sim {
+
+void Deployment::connect_all() {
+  const std::size_t n = devices.size();
+  connectivity = Matrix(n, n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) connectivity(i, i) = 0.0;
+  occlusion_db = Matrix(n, n, 0.0);
+}
+
+void Deployment::drop_link(std::size_t i, std::size_t j) {
+  connectivity(i, j) = connectivity(j, i) = 0.0;
+}
+
+void Deployment::occlude_link(std::size_t i, std::size_t j, double db) {
+  occlusion_db(i, j) = occlusion_db(j, i) = db;
+}
+
+audio::AudioTimingConfig random_audio_timing(uwp::Rng& rng, double skew_ppm_max) {
+  audio::AudioTimingConfig cfg;
+  cfg.speaker_skew_ppm = rng.uniform(-skew_ppm_max, skew_ppm_max);
+  cfg.mic_skew_ppm = rng.uniform(-skew_ppm_max, skew_ppm_max);
+  cfg.speaker_start_s = rng.uniform(0.0, 2.0);
+  cfg.mic_start_s = rng.uniform(0.0, 2.0);
+  return cfg;
+}
+
+namespace {
+
+Deployment make_testbed(channel::Environment env,
+                        const std::vector<uwp::Vec3>& positions, uwp::Rng& rng) {
+  Deployment d;
+  d.env = std::move(env);
+  for (const uwp::Vec3& p : positions) {
+    ScenarioDevice dev;
+    dev.position = p;
+    dev.audio = random_audio_timing(rng);
+    d.devices.push_back(dev);
+  }
+  d.protocol.num_devices = d.devices.size();
+  d.connect_all();
+  return d;
+}
+
+}  // namespace
+
+Deployment make_dock_testbed(uwp::Rng& rng) {
+  // Pairwise node distances spanning 3-25 m from the leader (Fig 17a),
+  // devices hung at 1-3 m depth in 9 m of water.
+  const std::vector<uwp::Vec3> positions = {
+      {0.0, 0.0, 1.5},    // leader
+      {4.5, 1.5, 2.0},    // pointed diver, within visual range
+      {10.0, -3.0, 1.0},  //
+      {14.0, 8.0, 2.5},   // left of the pointing line
+      {23.0, -2.0, 3.0},  // far node, ~23 m out
+  };
+  return make_testbed(channel::make_dock(), positions, rng);
+}
+
+Deployment make_boathouse_testbed(uwp::Rng& rng) {
+  // Two groups split across the water channel between islands (Fig 17b).
+  const std::vector<uwp::Vec3> positions = {
+      {0.0, 0.0, 1.0},    // leader, island A
+      {5.0, -2.0, 1.5},   // pointed diver, island A
+      {9.0, 3.0, 1.0},    //
+      {19.0, 1.0, 2.0},   // island B
+      {24.0, -4.0, 1.5},  // island B
+  };
+  return make_testbed(channel::make_boathouse(), positions, rng);
+}
+
+AnalyticalTopology random_analytical_topology(std::size_t n, uwp::Rng& rng) {
+  AnalyticalTopology topo;
+  topo.positions.resize(n);
+  // Leader at the center of the 60 x 60 x 10 m volume, random height.
+  topo.positions[0] = {0.0, 0.0, rng.uniform(0.0, 10.0)};
+  if (n > 1) {
+    // Device 1 within visual range: 4-9 m from the leader.
+    const double r = rng.uniform(4.0, 9.0);
+    const double ang = rng.uniform(-uwp::kPi, uwp::kPi);
+    double dz = rng.uniform(-3.0, 3.0);
+    double z1 = topo.positions[0].z + dz;
+    z1 = std::min(std::max(z1, 0.0), 10.0);
+    dz = z1 - topo.positions[0].z;
+    const double horizontal = r > std::abs(dz) ? std::sqrt(r * r - dz * dz) : 0.0;
+    topo.positions[1] = {horizontal * std::cos(ang), horizontal * std::sin(ang), z1};
+  }
+  for (std::size_t i = 2; i < n; ++i)
+    topo.positions[i] = {rng.uniform(-30.0, 30.0), rng.uniform(-30.0, 30.0),
+                         rng.uniform(0.0, 10.0)};
+  return topo;
+}
+
+}  // namespace uwp::sim

@@ -1,0 +1,58 @@
+// Deployment descriptions: device placements, environments, connectivity and
+// testbed presets matching the paper's Fig 17 topologies, plus the random
+// topology generator used by the analytical evaluation (§2.1.5).
+#pragma once
+
+#include <vector>
+
+#include "audio/device_audio.hpp"
+#include "channel/environment.hpp"
+#include "channel/propagation.hpp"
+#include "phy/ofdm_preamble.hpp"
+#include "proto/slot_schedule.hpp"
+#include "util/geometry.hpp"
+#include "util/matrix.hpp"
+#include "util/random.hpp"
+
+namespace uwp::sim {
+
+struct ScenarioDevice {
+  uwp::Vec3 position;  // z = depth (m)
+  channel::DeviceModel model = channel::DeviceModel::samsung_s9();
+  audio::AudioTimingConfig audio{};
+};
+
+struct Deployment {
+  channel::Environment env;
+  std::vector<ScenarioDevice> devices;  // device 0 = leader, 1 = pointed diver
+  Matrix connectivity;                  // 1 = link exists (symmetric)
+  Matrix occlusion_db;                  // per-link direct-path attenuation
+  proto::ProtocolConfig protocol{};
+  phy::PreambleConfig preamble{};
+
+  std::size_t size() const { return devices.size(); }
+  // Fully connect / zero occlusion helpers.
+  void connect_all();
+  void drop_link(std::size_t i, std::size_t j);
+  void occlude_link(std::size_t i, std::size_t j, double db);
+};
+
+// Five-device testbed at the dock (Fig 17a): distances 3-25 m from the
+// leader, depths 1-3 m in 9 m of water.
+Deployment make_dock_testbed(uwp::Rng& rng);
+
+// Five-device testbed at the boathouse (Fig 17b): two clusters separated by
+// a water channel, 5 m deep, noisier site.
+Deployment make_boathouse_testbed(uwp::Rng& rng);
+
+// Random analytical topology (§2.1.5): N devices in a 60 x 60 x 10 m volume,
+// leader at the center, device 1 at 4-9 m from the leader.
+struct AnalyticalTopology {
+  std::vector<uwp::Vec3> positions;
+};
+AnalyticalTopology random_analytical_topology(std::size_t n, uwp::Rng& rng);
+
+// Default audio timing with random clock offsets/skews per [42].
+audio::AudioTimingConfig random_audio_timing(uwp::Rng& rng, double skew_ppm_max = 40.0);
+
+}  // namespace uwp::sim

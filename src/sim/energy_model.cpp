@@ -1,0 +1,39 @@
+#include "sim/energy_model.hpp"
+
+#include <algorithm>
+
+namespace uwp::sim {
+
+EnergyModel EnergyModel::watch_ultra_siren() {
+  EnergyModel m;
+  m.battery_wh = 2.1;          // ~542 mAh at 3.86 V
+  m.idle_power_w = 0.10;
+  m.playback_power_w = 0.33;
+  m.record_power_w = 0.0;
+  m.duty_cycle = 1.0;          // continuous SOS siren
+  return m;
+}
+
+EnergyModel EnergyModel::phone_preamble_tx() {
+  EnergyModel m;
+  m.battery_wh = 11.55;        // Galaxy S9, 3000 mAh at 3.85 V
+  m.idle_power_w = 0.9;        // screen + app awake
+  m.playback_power_w = 1.1;
+  m.record_power_w = 0.15;
+  m.duty_cycle = 0.223 / 3.0;  // 223 ms preamble every 3 s
+  return m;
+}
+
+double EnergyModel::average_power_w() const {
+  return idle_power_w + record_power_w + duty_cycle * playback_power_w;
+}
+
+double EnergyModel::battery_drop_fraction(double hours) const {
+  return std::min(average_power_w() * hours / battery_wh, 1.0);
+}
+
+double EnergyModel::hours_to_drop(double fraction) const {
+  return fraction * battery_wh / average_power_w();
+}
+
+}  // namespace uwp::sim

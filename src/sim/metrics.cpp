@@ -1,0 +1,42 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace uwp::sim {
+
+void print_summary_row(const std::string& label, std::span<const double> errors) {
+  if (errors.empty()) {
+    std::printf("%-36s  (no samples)\n", label.c_str());
+    return;
+  }
+  const Summary s = summarize(errors);
+  std::printf("%-36s median=%6.2f  p95=%6.2f  mean=%6.2f  (n=%zu)\n", label.c_str(),
+              s.median, s.p95, s.mean, s.count);
+}
+
+void print_cdf(const std::string& label, std::span<const double> values,
+               std::size_t points) {
+  std::printf("%s CDF:\n", label.c_str());
+  for (const auto& [x, p] : cdf_points(values, points))
+    std::printf("  %8.3f  %5.3f  %s\n", x, p, bar(p).c_str());
+}
+
+std::string bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const std::size_t filled = static_cast<std::size_t>(fraction * static_cast<double>(width));
+  std::string out(filled, '#');
+  out.resize(width, '.');
+  return out;
+}
+
+std::vector<double> take(std::span<const double> values,
+                         std::span<const std::size_t> idx) {
+  std::vector<double> out;
+  out.reserve(idx.size());
+  for (std::size_t i : idx)
+    if (i < values.size()) out.push_back(values[i]);
+  return out;
+}
+
+}  // namespace uwp::sim

@@ -1,0 +1,27 @@
+// Reporting helpers shared by the benchmark harnesses: error aggregation and
+// text-mode CDF/series printing in the shape of the paper's figures.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace uwp::sim {
+
+// Print "label: median=... p95=... mean=... (n=...)" to stdout.
+void print_summary_row(const std::string& label, std::span<const double> errors);
+
+// Print a text CDF table: one "x p" row per point.
+void print_cdf(const std::string& label, std::span<const double> values,
+               std::size_t points = 11);
+
+// Render a crude inline histogram bar (for eyeballing distributions in bench
+// output).
+std::string bar(double fraction, std::size_t width = 40);
+
+// Filter values by a predicate index set: returns values[i] for i in idx.
+std::vector<double> take(std::span<const double> values, std::span<const std::size_t> idx);
+
+}  // namespace uwp::sim

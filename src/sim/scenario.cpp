@@ -1,0 +1,198 @@
+#include "sim/scenario.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "proto/payload_codec.hpp"
+
+namespace uwp::sim {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+ScenarioRunner::ScenarioRunner(Deployment deployment)
+    : dep_(std::move(deployment)), preamble_(dep_.preamble), ranger_(preamble_) {}
+
+std::optional<double> ScenarioRunner::sample_arrival_error(std::size_t from,
+                                                           std::size_t to,
+                                                           uwp::Rng& rng,
+                                                           phy::MicMode mode) const {
+  const channel::LinkSimulator link(dep_.env, dep_.preamble.fs_hz);
+  channel::LinkConfig cfg;
+  cfg.tx_pos = dep_.devices[from].position;
+  cfg.rx_pos = dep_.devices[to].position;
+  cfg.occlusion_db = dep_.occlusion_db(to, from);
+  cfg.rx_device = dep_.devices[to].model;
+  cfg.tx_device = dep_.devices[from].model;
+
+  const channel::Reception rec = link.transmit(preamble_.waveform(), cfg, rng);
+  const std::optional<phy::RangingEstimate> est = ranger_.estimate(rec, mode);
+  if (!est) return std::nullopt;
+  const double true_tof = rec.true_range_m / dep_.env.sound_speed_mps();
+  return est->arrival_time_s - true_tof;
+}
+
+int ScenarioRunner::sample_leader_vote(std::size_t from, double pointing_bearing_rad,
+                                       uwp::Rng& rng) const {
+  const channel::LinkSimulator link(dep_.env, dep_.preamble.fs_hz);
+  channel::LinkConfig cfg;
+  cfg.tx_pos = dep_.devices[from].position;
+  cfg.rx_pos = dep_.devices[0].position;
+  cfg.occlusion_db = dep_.occlusion_db(0, from);
+  cfg.rx_device = dep_.devices[0].model;
+  cfg.tx_device = dep_.devices[from].model;
+  // Mic 2 sits to the LEFT of the pointing direction (see core::MicVote).
+  const uwp::Vec2 dir{std::cos(pointing_bearing_rad), std::sin(pointing_bearing_rad)};
+  cfg.mic_axis = rotate(dir, uwp::kPi / 2.0);
+
+  const channel::Reception rec = link.transmit(preamble_.waveform(), cfg, rng);
+  const std::optional<phy::RangingEstimate> est =
+      ranger_.estimate(rec, phy::MicMode::kDual);
+  if (!est) return 0;
+  const double offset = est->mic1_tap_frac - est->mic2_tap_frac;
+  if (offset > 0.0) return 1;   // mic 2 (left) heard first
+  if (offset < 0.0) return -1;  // mic 1 (right) heard first
+  return 0;
+}
+
+RoundResult ScenarioRunner::run_round(const RoundOptions& opts, uwp::Rng& rng) const {
+  const std::size_t n = dep_.size();
+  RoundResult out;
+
+  // Ground truth in the leader-origin frame.
+  out.truth_xy.resize(n);
+  out.truth_depths.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.truth_xy[i] = (dep_.devices[i].position - dep_.devices[0].position).xy();
+    out.truth_depths[i] = dep_.devices[i].position.z;
+  }
+
+  // Measured depths.
+  std::vector<double> depths(n);
+  for (std::size_t i = 0; i < n; ++i)
+    depths[i] = opts.depth_sensor.read(out.truth_depths[i], rng);
+
+  // Per-link arrival errors (seconds); NaN = detection failure.
+  Matrix arrival_err(n, n, kNaN);
+  for (std::size_t to = 0; to < n; ++to) {
+    for (std::size_t from = 0; from < n; ++from) {
+      if (to == from || dep_.connectivity(to, from) <= 0.0) continue;
+      if (opts.waveform_phy) {
+        const auto e = sample_arrival_error(from, to, rng, opts.mic_mode);
+        if (e) arrival_err(to, from) = *e;
+      } else {
+        if (rng.bernoulli(opts.fast_detection_failure_prob)) continue;
+        const double range =
+            distance(dep_.devices[to].position, dep_.devices[from].position);
+        const double sigma_m =
+            opts.fast_error_sigma_m + opts.fast_error_sigma_per_m * range;
+        // Multipath biases arrivals late more often than early.
+        const double err_m = std::abs(rng.normal(0.0, sigma_m)) * 0.8 +
+                             rng.normal(0.0, sigma_m * 0.3);
+        arrival_err(to, from) = err_m / dep_.env.sound_speed_mps();
+      }
+    }
+  }
+
+  // Run the distributed timestamp protocol with those errors.
+  std::vector<proto::ProtocolDevice> devices(n);
+  for (std::size_t i = 0; i < n; ++i)
+    devices[i] = {i, dep_.devices[i].position, dep_.devices[i].audio};
+  // The protocol simulation propagates sound at the water's TRUE speed; the
+  // leader-side solver converts timestamps with its CONFIGURED speed. The
+  // difference is the paper's sound-speed misestimation error.
+  proto::ProtocolConfig pcfg = dep_.protocol;
+  pcfg.num_devices = n;
+  pcfg.sound_speed_mps = dep_.env.sound_speed_mps();
+  const proto::TimestampProtocol protocol(pcfg, devices);
+  out.protocol = protocol.run(
+      dep_.connectivity, rng,
+      [&](std::size_t at, std::size_t from_id) { return arrival_err(at, from_id); });
+
+  // Payload quantization (§2.4): timestamps ride to the leader as 10-bit
+  // slot-relative deltas at 2-sample resolution.
+  if (opts.quantize_payload) {
+    proto::PayloadCodecConfig ccfg;
+    ccfg.protocol = pcfg;
+    const proto::PayloadCodec codec(ccfg);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 1; j < n; ++j) {
+        if (i == j || out.protocol.heard(i, j) <= 0.0) continue;
+        if (out.protocol.sync_ref[j] != 0) continue;  // relay slots ride as-is
+        const double slot = proto::slot_time_leader_sync(pcfg, j);
+        const double delta = out.protocol.timestamps(i, j) - slot;
+        if (delta < 0.0 || delta >= codec.dequantize_delta(codec.missing_sentinel() - 1))
+          continue;
+        out.protocol.timestamps(i, j) =
+            slot + codec.dequantize_delta(codec.quantize_delta(delta));
+      }
+    }
+  }
+
+  proto::ProtocolConfig solver_cfg = pcfg;
+  solver_cfg.sound_speed_mps += opts.sound_speed_error_mps;
+  const proto::RangingSolver solver(solver_cfg);
+  out.ranging = solver.solve(out.protocol);
+
+  // Per-link 1D ranging diagnostics.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (out.ranging.weights(i, j) > 0.0) {
+        const double true_d =
+            distance(dep_.devices[i].position, dep_.devices[j].position);
+        out.ranging_errors.push_back(std::abs(out.ranging.distances(i, j) - true_d));
+      }
+
+  // Leader pointing + flip votes.
+  const uwp::Vec2 to_dev1 = out.truth_xy[1];
+  const double true_bearing = bearing(to_dev1);
+  const double measured_bearing = opts.pointing.point(true_bearing, to_dev1.norm(), rng);
+
+  std::vector<core::MicVote> votes;
+  for (std::size_t i = 2; i < n; ++i) {
+    if (dep_.connectivity(0, i) <= 0.0) continue;
+    int sign = 0;
+    if (opts.waveform_phy) {
+      sign = sample_leader_vote(i, measured_bearing, rng);
+    } else {
+      // Fast mode: vote reliability depends on how far the diver sits from
+      // the pointing line — the mic offset shrinks to sub-sample for nearly
+      // collinear divers. Average accuracy matches the paper's ~90%.
+      const double side = side_of_line(out.truth_xy[i], {0, 0}, to_dev1);
+      sign = side > 0 ? 1 : (side < 0 ? -1 : 0);
+      const double range = out.truth_xy[i].norm();
+      const double sin_angle =
+          range > 0.1 ? std::abs(side) / (range * to_dev1.norm()) : 0.0;
+      const double p_wrong = sin_angle < 0.17 ? 0.30 : 0.03;  // ~10 degrees
+      if (rng.bernoulli(p_wrong)) sign = -sign;
+    }
+    if (sign != 0) votes.push_back({i, sign});
+  }
+
+  // Localize.
+  core::LocalizationInput input;
+  input.distances = out.ranging.distances;
+  input.weights = out.ranging.weights;
+  input.depths = depths;
+  input.pointing_bearing_rad = measured_bearing;
+  input.votes = votes;
+  out.localizer_input = input;
+  const core::Localizer localizer(opts.localizer);
+  try {
+    out.localization = localizer.localize(input, rng);
+    out.ok = true;
+  } catch (const std::exception&) {
+    out.ok = false;
+    return out;
+  }
+
+  out.error_2d.assign(n, 0.0);
+  for (std::size_t i = 1; i < n; ++i) {
+    const uwp::Vec2 est = out.localization.positions[i].xy();
+    out.error_2d[i] = distance(est, out.truth_xy[i]);
+  }
+  return out;
+}
+
+}  // namespace uwp::sim

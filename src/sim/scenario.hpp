@@ -1,0 +1,92 @@
+// ScenarioRunner: the only place acoustics and geometry meet. Runs
+// waveform-level preamble exchanges over the channel simulator to sample
+// per-link arrival errors and leader-side dual-mic votes, drives the
+// distributed timestamp protocol with those errors, solves for pairwise
+// distances, and feeds the localization core — the complete system of the
+// paper, end to end.
+#pragma once
+
+#include <optional>
+
+#include "core/localizer.hpp"
+#include "phy/ranging.hpp"
+#include "proto/ranging_solver.hpp"
+#include "proto/timestamp_protocol.hpp"
+#include "sensors/depth_sensor_model.hpp"
+#include "sensors/pointing_model.hpp"
+#include "sim/deployment.hpp"
+
+namespace uwp::sim {
+
+struct RoundOptions {
+  // Use waveform-level PHY simulation for each link's arrival error; when
+  // false, draw errors from a calibrated Gaussian instead (fast mode for
+  // large sweeps). Fast-mode sigma grows with range.
+  bool waveform_phy = true;
+  double fast_error_sigma_m = 0.30;
+  double fast_error_sigma_per_m = 0.008;
+  double fast_detection_failure_prob = 0.01;
+
+  // Apply the §2.4 payload quantization (2-sample resolution) to the
+  // reported timestamps before solving.
+  bool quantize_payload = true;
+
+  // Sound-speed misconfiguration: the receiver computes distances with a
+  // configured speed (Wilson's equation with guessed temperature/salinity)
+  // that differs from the water's true speed. The paper attributes up to 2%
+  // error to this (§2); it makes ranging error grow with distance.
+  double sound_speed_error_mps = 22.0;
+
+  sensors::DepthSensorModel depth_sensor =
+      sensors::DepthSensorModel::phone_pressure_in_pouch();
+  sensors::PointingModel pointing{};
+  core::LocalizerOptions localizer{};
+
+  phy::MicMode mic_mode = phy::MicMode::kDual;
+};
+
+struct RoundResult {
+  bool ok = false;  // localization produced positions for all devices
+  proto::ProtocolRun protocol;
+  proto::RangingSolution ranging;
+  core::LocalizationResult localization;
+  // Ground truth in the leader-origin frame used for evaluation.
+  std::vector<uwp::Vec2> truth_xy;
+  std::vector<double> truth_depths;
+  // Per-device horizontal localization error (meters); entry 0 (leader) = 0.
+  std::vector<double> error_2d;
+  // Per-link measured-vs-true 1D distance errors for diagnostics.
+  std::vector<double> ranging_errors;
+  // The exact localization input used (distances, weights, depths, pointing,
+  // votes) so ablations can re-localize the same measurements.
+  core::LocalizationInput localizer_input;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(Deployment deployment);
+
+  const Deployment& deployment() const { return dep_; }
+  Deployment& deployment() { return dep_; }
+
+  // One-way waveform-level arrival-error sample (seconds) for a transmission
+  // from device `from` received at device `to`. nullopt = detection failure.
+  std::optional<double> sample_arrival_error(std::size_t from, std::size_t to,
+                                             uwp::Rng& rng,
+                                             phy::MicMode mode = phy::MicMode::kDual) const;
+
+  // Waveform-level dual-mic vote sign at the leader for a transmission from
+  // device `from` (for flip disambiguation). 0 when uninformative.
+  int sample_leader_vote(std::size_t from, double pointing_bearing_rad,
+                         uwp::Rng& rng) const;
+
+  // Full protocol + localization round.
+  RoundResult run_round(const RoundOptions& opts, uwp::Rng& rng) const;
+
+ private:
+  Deployment dep_;
+  phy::OfdmPreamble preamble_;
+  phy::PreambleRanger ranger_;
+};
+
+}  // namespace uwp::sim

@@ -1,0 +1,106 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace uwp::sim {
+
+namespace {
+
+constexpr char kMagic[4] = {'U', 'W', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("trace: truncated input");
+  return value;
+}
+
+void write_samples(std::ostream& out, const std::vector<double>& xs) {
+  write_pod<std::uint64_t>(out, xs.size());
+  out.write(reinterpret_cast<const char*>(xs.data()),
+            static_cast<std::streamsize>(xs.size() * sizeof(double)));
+}
+
+std::vector<double> read_samples(std::istream& in) {
+  const auto n = read_pod<std::uint64_t>(in);
+  if (n > (1ull << 32))
+    throw std::runtime_error("trace: implausible sample count");
+  std::vector<double> xs(n);
+  in.read(reinterpret_cast<char*>(xs.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  if (!in) throw std::runtime_error("trace: truncated samples");
+  return xs;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const ReceptionTrace& trace) {
+  out.write(kMagic, 4);
+  write_pod<std::uint32_t>(out, kVersion);
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(trace.receptions.size()));
+  for (const channel::Reception& rec : trace.receptions) {
+    write_pod<double>(out, rec.fs_hz);
+    write_pod<double>(out, rec.true_range_m);
+    write_pod<double>(out, rec.true_tof_s[0]);
+    write_pod<double>(out, rec.true_tof_s[1]);
+    write_samples(out, rec.mic[0]);
+    write_samples(out, rec.mic[1]);
+  }
+  if (!out) throw std::runtime_error("trace: write failed");
+}
+
+ReceptionTrace read_trace(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::string(magic, 4) != std::string(kMagic, 4))
+    throw std::runtime_error("trace: bad magic");
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) throw std::runtime_error("trace: unsupported version");
+  const auto count = read_pod<std::uint32_t>(in);
+
+  ReceptionTrace trace;
+  trace.receptions.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    channel::Reception rec;
+    rec.fs_hz = read_pod<double>(in);
+    rec.true_range_m = read_pod<double>(in);
+    rec.true_tof_s[0] = read_pod<double>(in);
+    rec.true_tof_s[1] = read_pod<double>(in);
+    rec.mic[0] = read_samples(in);
+    rec.mic[1] = read_samples(in);
+    trace.receptions.push_back(std::move(rec));
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const ReceptionTrace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace: cannot open " + path);
+  write_trace(out, trace);
+}
+
+ReceptionTrace load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  return read_trace(in);
+}
+
+ReceptionTrace record_link_trace(const channel::LinkSimulator& link,
+                                 const channel::LinkConfig& cfg,
+                                 std::span<const double> waveform, int count,
+                                 uwp::Rng& rng) {
+  ReceptionTrace trace;
+  trace.receptions.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) trace.add(link.transmit(waveform, cfg, rng));
+  return trace;
+}
+
+}  // namespace uwp::sim

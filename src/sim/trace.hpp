@@ -1,0 +1,46 @@
+// Reception trace recording and replay. The evaluation hinges on feeding the
+// receiver pipeline recorded microphone streams — whether they came from this
+// simulator or from a real deployment's WAV captures. Traces serialize dual-
+// mic receptions plus ground truth to a simple self-describing binary format
+// so experiments are repeatable and real recordings can be dropped in.
+//
+// Format (little-endian):
+//   magic "UWPT" | u32 version | u32 reception_count
+//   per reception:
+//     f64 fs_hz | f64 true_range_m | f64 tof_mic1 | f64 tof_mic2
+//     u64 len1 | f64[len1] mic1 | u64 len2 | f64[len2] mic2
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "channel/propagation.hpp"
+
+namespace uwp::sim {
+
+struct ReceptionTrace {
+  std::vector<channel::Reception> receptions;
+
+  std::size_t size() const { return receptions.size(); }
+  void add(channel::Reception rec) { receptions.push_back(std::move(rec)); }
+};
+
+// Stream serialization (tested against round trips; throws std::runtime_error
+// on malformed input).
+void write_trace(std::ostream& out, const ReceptionTrace& trace);
+ReceptionTrace read_trace(std::istream& in);
+
+// File convenience wrappers.
+void save_trace(const std::string& path, const ReceptionTrace& trace);
+ReceptionTrace load_trace(const std::string& path);
+
+// Record `count` preamble receptions over one simulated link into a trace
+// (the "synthetic capture" used by the repro when no lake is available).
+ReceptionTrace record_link_trace(const channel::LinkSimulator& link,
+                                 const channel::LinkConfig& cfg,
+                                 std::span<const double> waveform, int count,
+                                 uwp::Rng& rng);
+
+}  // namespace uwp::sim

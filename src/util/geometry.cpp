@@ -1,0 +1,96 @@
+#include "util/geometry.hpp"
+
+#include <stdexcept>
+
+namespace uwp {
+
+Vec2 rotate(Vec2 v, double angle_rad) {
+  const double c = std::cos(angle_rad);
+  const double s = std::sin(angle_rad);
+  return {c * v.x - s * v.y, s * v.x + c * v.y};
+}
+
+Vec2 reflect_across_line(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 dir = b - a;
+  const double len2 = dir.dot(dir);
+  if (len2 == 0.0) return p;
+  const Vec2 ap = p - a;
+  const double t = ap.dot(dir) / len2;
+  const Vec2 foot = a + dir * t;
+  return foot + (foot - p);
+}
+
+double bearing(Vec2 v) { return std::atan2(v.y, v.x); }
+
+double wrap_angle(double rad) {
+  while (rad > kPi) rad -= 2.0 * kPi;
+  while (rad <= -kPi) rad += 2.0 * kPi;
+  return rad;
+}
+
+double side_of_line(Vec2 p, Vec2 a, Vec2 b) { return (b - a).cross(p - a); }
+
+Vec2 centroid(const std::vector<Vec2>& pts) {
+  Vec2 c;
+  if (pts.empty()) return c;
+  for (const Vec2& p : pts) c = c + p;
+  return c * (1.0 / static_cast<double>(pts.size()));
+}
+
+std::vector<Vec2> procrustes_align(const std::vector<Vec2>& src,
+                                   const std::vector<Vec2>& dst,
+                                   bool allow_reflection) {
+  if (src.size() != dst.size() || src.empty())
+    throw std::invalid_argument("procrustes_align: size mismatch");
+  const Vec2 cs = centroid(src);
+  const Vec2 cd = centroid(dst);
+
+  // Cross-covariance of the centered clouds.
+  double sxx = 0.0, sxy = 0.0, syx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const Vec2 a = src[i] - cs;
+    const Vec2 b = dst[i] - cd;
+    sxx += a.x * b.x;
+    sxy += a.x * b.y;
+    syx += a.y * b.x;
+    syy += a.y * b.y;
+  }
+
+  // Best pure rotation: angle = atan2(sxy - syx, sxx + syy).
+  auto apply = [&](bool reflect) {
+    double a_xx = sxx, a_xy = sxy, a_yx = syx, a_yy = syy;
+    if (reflect) {
+      // Reflect source across the x axis first: (x, y) -> (x, -y).
+      a_yx = -a_yx;
+      a_yy = -a_yy;
+    }
+    const double angle = std::atan2(a_xy - a_yx, a_xx + a_yy);
+    std::vector<Vec2> out(src.size());
+    double err = 0.0;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      Vec2 p = src[i] - cs;
+      if (reflect) p.y = -p.y;
+      p = rotate(p, angle) + cd;
+      out[i] = p;
+      err += (p - dst[i]).dot(p - dst[i]);
+    }
+    return std::make_pair(out, err);
+  };
+
+  auto [no_ref, err0] = apply(false);
+  if (!allow_reflection) return no_ref;
+  auto [ref, err1] = apply(true);
+  return err1 < err0 ? ref : no_ref;
+}
+
+double aligned_rmse(const std::vector<Vec2>& estimate, const std::vector<Vec2>& truth) {
+  const std::vector<Vec2> aligned = procrustes_align(estimate, truth);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const Vec2 d = aligned[i] - truth[i];
+    acc += d.dot(d);
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+}  // namespace uwp

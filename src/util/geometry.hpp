@@ -1,0 +1,79 @@
+// Small 2D/3D vector types and geometric helpers used across the localization
+// core and the acoustic simulator.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace uwp {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  // z-component of the 3D cross product; sign tells left/right of a bearing.
+  double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::hypot(x, y); }
+  bool operator==(const Vec2&) const = default;
+};
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  double dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 cross(Vec3 o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(x * x + y * y + z * z); }
+  Vec2 xy() const { return {x, y}; }
+  bool operator==(const Vec3&) const = default;
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline double distance(Vec3 a, Vec3 b) { return (a - b).norm(); }
+
+// Rotate `v` by `angle_rad` counterclockwise about the origin.
+Vec2 rotate(Vec2 v, double angle_rad);
+
+// Reflect point `p` across the line through `a` and `b`. Used to enumerate
+// the two flip candidates in §2.1.4. Degenerate (a == b) returns p.
+Vec2 reflect_across_line(Vec2 p, Vec2 a, Vec2 b);
+
+// Angle of vector `v` in radians, in (-pi, pi].
+double bearing(Vec2 v);
+
+// Wrap an angle to (-pi, pi].
+double wrap_angle(double rad);
+
+// Signed side of point `p` relative to the directed line a->b: positive if p
+// is to the left. This is the sign term in the paper's flip-voting function.
+double side_of_line(Vec2 p, Vec2 a, Vec2 b);
+
+constexpr double kPi = 3.14159265358979323846;
+inline double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+inline double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+// Centroid of a point cloud.
+Vec2 centroid(const std::vector<Vec2>& pts);
+
+// Rigid alignment (rotation + translation + optional reflection) of `src`
+// onto `dst` minimizing sum of squared distances (orthogonal Procrustes).
+// Returns transformed copy of src. Requires equal non-zero sizes.
+std::vector<Vec2> procrustes_align(const std::vector<Vec2>& src,
+                                   const std::vector<Vec2>& dst,
+                                   bool allow_reflection = true);
+
+// Mean pairwise alignment error after optimal rigid alignment — the metric
+// the paper's Fig 6 analytical evaluation reports.
+double aligned_rmse(const std::vector<Vec2>& estimate, const std::vector<Vec2>& truth);
+
+}  // namespace uwp

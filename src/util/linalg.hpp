@@ -1,0 +1,42 @@
+// Linear-algebra routines for the localization core: symmetric
+// eigendecomposition (cyclic Jacobi), Moore-Penrose pseudoinverse of symmetric
+// matrices (needed for the SMACOF Guttman transform with missing links), and
+// small-system solves.
+#pragma once
+
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace uwp {
+
+struct EigenResult {
+  // Eigenvalues in descending order.
+  std::vector<double> values;
+  // Column i of `vectors` is the unit eigenvector for values[i].
+  Matrix vectors;
+};
+
+// Eigendecomposition of a symmetric matrix via the cyclic Jacobi method.
+// Accurate and simple; fine for the N <= O(100) matrices we deal with.
+// Throws std::invalid_argument if `a` is not square.
+EigenResult eigen_symmetric(const Matrix& a, double tol = 1e-12, int max_sweeps = 64);
+
+// Moore-Penrose pseudoinverse of a symmetric matrix, computed from the
+// eigendecomposition. Eigenvalues with |lambda| <= rank_tol * max|lambda|
+// are treated as zero.
+Matrix pseudo_inverse_symmetric(const Matrix& a, double rank_tol = 1e-10);
+
+// Solve a * x = b for square `a` by Gaussian elimination with partial
+// pivoting. Throws std::domain_error when `a` is singular to working
+// precision.
+std::vector<double> solve(const Matrix& a, std::span<const double> b);
+
+// Determinant via LU factorization (partial pivoting).
+double determinant(const Matrix& a);
+
+// 2x2 / 3x3 closed-form inverse helper used by the geometry code; throws on
+// singular input.
+Matrix inverse(const Matrix& a);
+
+}  // namespace uwp

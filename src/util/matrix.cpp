@@ -1,0 +1,103 @@
+#include "util/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace uwp {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) throw std::invalid_argument("ragged matrix initializer");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::ones(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 1.0);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("matrix product shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += a * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  Matrix out = *this;
+  out += rhs;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  Matrix out = *this;
+  out -= rhs;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("matrix sum shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("matrix difference shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out = *this;
+  out *= s;
+  return out;
+}
+
+double Matrix::norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_abs_diff(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("matrix diff shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::abs(data_[i] - rhs.data_[i]));
+  return m;
+}
+
+Matrix operator*(double s, const Matrix& m) { return m * s; }
+
+}  // namespace uwp

@@ -1,0 +1,46 @@
+#include "util/random.hpp"
+
+namespace uwp {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double sigma) {
+  std::normal_distribution<double> dist(mean, sigma);
+  return dist(engine_);
+}
+
+double Rng::symmetric(double bound) { return uniform(-bound, bound); }
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+double Rng::exponential(double rate) {
+  std::exponential_distribution<double> dist(rate);
+  return dist(engine_);
+}
+
+std::vector<double> Rng::normal_vector(std::size_t n, double mean, double sigma) {
+  std::vector<double> out(n);
+  std::normal_distribution<double> dist(mean, sigma);
+  for (double& v : out) v = dist(engine_);
+  return out;
+}
+
+Rng Rng::fork() {
+  // Mix two draws so sibling forks diverge even when called back to back.
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace uwp

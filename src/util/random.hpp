@@ -1,0 +1,41 @@
+// Deterministic random source shared by the simulation substrates. A thin
+// wrapper over std::mt19937_64 so every experiment is reproducible from a
+// single seed and so simulation code doesn't each carry its own distribution
+// boilerplate.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace uwp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x75770517u) : engine_(seed) {}
+
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  double normal(double mean = 0.0, double sigma = 1.0);
+  // Symmetric uniform error in [-bound, +bound]; the paper's analytical
+  // evaluation (Fig 6) perturbs measurements this way.
+  double symmetric(double bound);
+  bool bernoulli(double p);
+  // Exponentially distributed inter-arrival time with the given rate (events
+  // per unit); used by the Poisson bubble-noise process.
+  double exponential(double rate);
+
+  std::vector<double> normal_vector(std::size_t n, double mean = 0.0, double sigma = 1.0);
+
+  // Derive an independent child generator; lets parallel scenario trials use
+  // uncorrelated streams while staying reproducible.
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace uwp

@@ -1,0 +1,45 @@
+// Descriptive statistics used when reporting experiment results (medians,
+// percentiles, CDFs) and for noise calibration.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace uwp {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // unbiased (n-1); 0 for n < 2
+double stddev(std::span<const double> xs);
+
+// Percentile in [0, 100] with linear interpolation between order statistics
+// (the "linear" definition used by numpy). Throws on empty input.
+double percentile(std::span<const double> xs, double pct);
+double median(std::span<const double> xs);
+
+// Empirical CDF evaluated at `x`: fraction of samples <= x.
+double ecdf(std::span<const double> xs, double x);
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+// Renders evenly spaced CDF points "x=... p=..." for plotting figures in
+// text form; `points` samples between min and max.
+std::vector<std::pair<double, double>> cdf_points(std::span<const double> xs,
+                                                  std::size_t points = 21);
+
+// Root-mean-square of a sequence.
+double rms(std::span<const double> xs);
+
+}  // namespace uwp

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audio/calibration.hpp"
+#include "audio/device_audio.hpp"
+#include "audio/sample_clock.hpp"
+#include "audio/stream_buffer.hpp"
+#include "util/random.hpp"
+
+namespace uwp::audio {
+namespace {
+
+TEST(SampleClock, NominalRoundTrip) {
+  SampleClock c(44100.0, 0.0, 1.25);
+  EXPECT_DOUBLE_EQ(c.fs_actual(), 44100.0);
+  EXPECT_DOUBLE_EQ(c.time_at(0.0), 1.25);
+  EXPECT_NEAR(c.index_at(c.time_at(12345.0)), 12345.0, 1e-9);
+}
+
+TEST(SampleClock, SkewShiftsActualRate) {
+  SampleClock c(44100.0, 80.0, 0.0);
+  // Positive ppm: fs_actual = fs / (1 - 80e-6) > fs.
+  EXPECT_GT(c.fs_actual(), 44100.0);
+  EXPECT_NEAR(c.fs_actual(), 44100.0 * (1.0 + 80e-6), 1.0);
+}
+
+TEST(SampleClock, OneSecondOfSamplesTakesSkewedTime) {
+  SampleClock c(44100.0, 50.0, 0.0);
+  const double elapsed = c.time_at(44100.0) - c.time_at(0.0);
+  // Faster clock consumes 44100 samples in slightly less than a second.
+  EXPECT_LT(elapsed, 1.0);
+  EXPECT_NEAR(elapsed, 1.0 - 50e-6, 1e-9);
+}
+
+TEST(StreamBuffer, MixAtGrowsAndAdds) {
+  StreamBuffer sb;
+  const std::vector<double> w = {1, 2, 3};
+  sb.mix_at(5, w);
+  EXPECT_EQ(sb.size(), 8u);
+  EXPECT_DOUBLE_EQ(sb.read(4), 0.0);
+  EXPECT_DOUBLE_EQ(sb.read(6), 2.0);
+  sb.mix_at(6, w);  // overlapping mix adds
+  EXPECT_DOUBLE_EQ(sb.read(6), 3.0);
+}
+
+TEST(StreamBuffer, WindowZeroPads) {
+  StreamBuffer sb;
+  sb.mix_at(0, std::vector<double>{1, 2});
+  const auto win = sb.window(1, 4);
+  ASSERT_EQ(win.size(), 4u);
+  EXPECT_DOUBLE_EQ(win[0], 2.0);
+  EXPECT_DOUBLE_EQ(win[1], 0.0);
+}
+
+TEST(DeviceAudio, CalibrationMeasuresBufferOffset) {
+  AudioTimingConfig cfg;
+  cfg.speaker_start_s = 0.7;
+  cfg.mic_start_s = 0.25;
+  DeviceAudio dev(cfg);
+  EXPECT_FALSE(dev.calibrated());
+  dev.calibrate();
+  EXPECT_TRUE(dev.calibrated());
+  // Speaker started later: at the same global time the mic index is larger,
+  // so the offset n1 - m1 is negative by roughly (0.45 s + delta2) * fs.
+  const double expected =
+      -(0.45 + cfg.self_loopback_delay_s) * cfg.fs_nominal_hz;
+  EXPECT_NEAR(static_cast<double>(dev.buffer_offset()), expected, 2.0);
+}
+
+TEST(DeviceAudio, UncalibratedThrows) {
+  DeviceAudio dev(AudioTimingConfig{});
+  EXPECT_THROW(dev.buffer_offset(), std::logic_error);
+  EXPECT_THROW(dev.reply_index_for(100, 0.1), std::logic_error);
+}
+
+TEST(DeviceAudio, PerfectClocksReplyExactly) {
+  AudioTimingConfig cfg;
+  cfg.speaker_start_s = 1.3;
+  cfg.mic_start_s = 0.2;
+  DeviceAudio dev(cfg);
+  dev.calibrate();
+  const std::int64_t m2 = 100000;
+  const double t_reply = 0.6;
+  const std::int64_t n2 = dev.reply_index_for(m2, t_reply);
+  // Without skew the realized interval equals the desired one to within the
+  // 1-sample calibration rounding.
+  EXPECT_NEAR(dev.realized_reply_interval(m2, n2), t_reply, 2.0 / cfg.fs_nominal_hz);
+}
+
+TEST(DeviceAudio, SkewErrorMatchesEquationSix) {
+  AudioTimingConfig cfg;
+  cfg.speaker_skew_ppm = 35.0;   // alpha
+  cfg.mic_skew_ppm = -20.0;      // beta
+  cfg.speaker_start_s = 0.9;
+  cfg.mic_start_s = 0.1;
+  DeviceAudio dev(cfg);
+  dev.calibrate();
+  const double t_reply = 0.92;  // delta0 + slot
+  const std::int64_t m2 = dev.calibration_m1() + 2500000;  // ~57 s later
+  const std::int64_t n2 = dev.reply_index_for(m2, t_reply);
+  const double realized = dev.realized_reply_interval(m2, n2);
+  const double predicted = dev.predicted_reply_error(m2, t_reply);
+  EXPECT_NEAR(realized - t_reply, predicted, 5e-5);
+  // The error is dominated by (m2 - m1)(beta - alpha)/fs here, and with
+  // 55 ppm spread over ~57 s it is in the milliseconds.
+  EXPECT_GT(std::abs(predicted), 1e-3);
+}
+
+TEST(DeviceAudio, RecalibrationResetsErrorGrowth) {
+  AudioTimingConfig cfg;
+  cfg.speaker_skew_ppm = 30.0;
+  cfg.mic_skew_ppm = -30.0;
+  DeviceAudio dev(cfg);
+  dev.calibrate();
+  const std::int64_t far = dev.calibration_m1() + 5000000;
+  const double before = std::abs(dev.predicted_reply_error(far, 0.5));
+  // Fresh (n, m) observation near `far` collapses the second error term.
+  const double m_new = dev.mic_index_for_speaker_emission(
+      static_cast<double>(far), cfg.self_loopback_delay_s);
+  dev.recalibrate(far, static_cast<std::int64_t>(std::llround(m_new)));
+  const double after = std::abs(dev.predicted_reply_error(far + 1000, 0.5));
+  EXPECT_LT(after, before / 10.0);
+}
+
+TEST(Calibration, SignalDetectedAtInsertionPoint) {
+  const auto sig = make_calibration_signal(44100.0);
+  std::vector<double> stream(20000, 0.0);
+  uwp::Rng rng(9);
+  for (double& v : stream) v = rng.normal(0.0, 0.01);
+  for (std::size_t i = 0; i < sig.size(); ++i) stream[7000 + i] += sig[i];
+  const auto found = detect_calibration(stream, sig);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_NEAR(static_cast<double>(*found), 7000.0, 1.0);
+}
+
+TEST(Calibration, NoSignalReturnsNullopt) {
+  const auto sig = make_calibration_signal(44100.0);
+  uwp::Rng rng(10);
+  std::vector<double> stream(20000);
+  for (double& v : stream) v = rng.normal(0.0, 0.01);
+  EXPECT_FALSE(detect_calibration(stream, sig).has_value());
+}
+
+TEST(Calibration, FullLoopbackPipelineRecoversOffset) {
+  // End-to-end: write the calibration signal into a speaker stream, render
+  // it into the mic stream after the loopback delay, detect, and verify the
+  // measured offset matches DeviceAudio's analytic calibration.
+  AudioTimingConfig cfg;
+  cfg.speaker_start_s = 0.5;
+  cfg.mic_start_s = 0.1;
+  DeviceAudio dev(cfg);
+
+  const auto sig = make_calibration_signal(44100.0);
+  const std::int64_t n1 = 4096;
+  StreamBuffer mic(dev.mic_clock());
+  const double m_exact =
+      dev.mic_index_for_speaker_emission(static_cast<double>(n1),
+                                         cfg.self_loopback_delay_s);
+  mic.ensure_size(60000);
+  mic.mix_at(static_cast<std::size_t>(std::llround(m_exact)), sig);
+
+  const auto detected = detect_calibration(mic.window(0, mic.size()), sig);
+  ASSERT_TRUE(detected.has_value());
+  dev.calibrate(n1);
+  EXPECT_NEAR(static_cast<double>(n1) - static_cast<double>(*detected),
+              static_cast<double>(dev.buffer_offset()), 1.5);
+}
+
+}  // namespace
+}  // namespace uwp::audio

@@ -1,0 +1,47 @@
+#include "channel/absorption.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uwp::channel {
+namespace {
+
+TEST(Absorption, ThorpIncreasesWithFrequency) {
+  EXPECT_LT(thorp_absorption_db_per_km(1000.0), thorp_absorption_db_per_km(5000.0));
+  EXPECT_LT(thorp_absorption_db_per_km(5000.0), thorp_absorption_db_per_km(50000.0));
+}
+
+TEST(Absorption, ThorpSmallInPhoneBand) {
+  // At 1-5 kHz absorption is well under 1 dB/km — negligible at 50 m, which
+  // is why spreading dominates the paper's link budget.
+  EXPECT_LT(thorp_absorption_db_per_km(3000.0), 1.0);
+  EXPECT_GT(thorp_absorption_db_per_km(3000.0), 0.0);
+}
+
+TEST(Absorption, SpreadingLossReferencedToOneMeter) {
+  EXPECT_DOUBLE_EQ(spreading_loss_db(1.0), 0.0);
+  EXPECT_NEAR(spreading_loss_db(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(spreading_loss_db(100.0), 40.0, 1e-12);
+  // Below 1 m clamps to the reference.
+  EXPECT_DOUBLE_EQ(spreading_loss_db(0.5), 0.0);
+}
+
+TEST(Absorption, TransmissionLossMonotonicInRange) {
+  double prev = -1.0;
+  for (double r = 1.0; r <= 64.0; r *= 2.0) {
+    const double tl = transmission_loss_db(r, 3000.0);
+    EXPECT_GT(tl, prev);
+    prev = tl;
+  }
+}
+
+TEST(Absorption, DbAmplitudeRoundTrip) {
+  for (double db : {-40.0, -6.0, 0.0, 6.0, 20.0})
+    EXPECT_NEAR(amplitude_to_db(db_to_amplitude(db)), db, 1e-9);
+}
+
+TEST(Absorption, MinusSixDbHalvesAmplitude) {
+  EXPECT_NEAR(db_to_amplitude(-6.0205999), 0.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace uwp::channel

@@ -1,0 +1,172 @@
+#include "channel/multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace uwp::channel {
+namespace {
+
+Environment test_env() {
+  Environment e = make_dock();
+  e.scatter_taps = 0;  // deterministic macro paths only
+  return e;
+}
+
+TEST(Multipath, DirectPathDelayMatchesGeometry) {
+  const Environment env = test_env();
+  const uwp::Vec3 tx{0, 0, 3}, rx{20, 0, 4};
+  const auto taps = image_method_taps(tx, rx, env, {});
+  ASSERT_FALSE(taps.empty());
+  // The first (earliest) tap is the direct path.
+  EXPECT_TRUE(taps.front().is_direct);
+  const double expected = uwp::distance(tx, rx) / env.sound_speed_mps();
+  EXPECT_NEAR(taps.front().delay_s, expected, 1e-12);
+}
+
+TEST(Multipath, TapsSortedByDelay) {
+  const Environment env = test_env();
+  const auto taps = image_method_taps({0, 0, 2}, {15, 5, 6}, env, {});
+  for (std::size_t i = 1; i < taps.size(); ++i)
+    EXPECT_GE(taps[i].delay_s, taps[i - 1].delay_s);
+}
+
+TEST(Multipath, ExpectedImageCount) {
+  const Environment env = test_env();
+  MultipathOptions opts;
+  opts.max_bounces = 4;
+  const auto taps = image_method_taps({0, 0, 2}, {10, 0, 3}, env, opts);
+  // Direct + two alternating chains of length max_bounces.
+  EXPECT_EQ(taps.size(), 1u + 2u * 4u);
+}
+
+TEST(Multipath, SurfaceReflectionFlipsPhase) {
+  const Environment env = test_env();
+  const auto taps = image_method_taps({0, 0, 2}, {10, 0, 3}, env, {});
+  for (const auto& t : taps) {
+    if (t.surface_bounces % 2 == 1 && t.bottom_bounces == 0) {
+      EXPECT_LT(t.gain, 0.0) << "single surface bounce should be negative";
+    }
+    if (t.is_direct) {
+      EXPECT_GT(t.gain, 0.0);
+    }
+  }
+}
+
+TEST(Multipath, SurfacePathDelayMatchesImageGeometry) {
+  const Environment env = test_env();
+  const uwp::Vec3 tx{0, 0, 2}, rx{10, 0, 3};
+  const auto taps = image_method_taps(tx, rx, env, {});
+  // Surface image at z = -2: path length sqrt(100 + 25).
+  const double expected = std::sqrt(100.0 + 25.0) / env.sound_speed_mps();
+  bool found = false;
+  for (const auto& t : taps) {
+    if (t.surface_bounces == 1 && t.bottom_bounces == 0) {
+      EXPECT_NEAR(t.delay_s, expected, 1e-12);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Multipath, GainDecaysWithRange) {
+  const Environment env = test_env();
+  const auto near = image_method_taps({0, 0, 4}, {5, 0, 4}, env, {});
+  const auto far = image_method_taps({0, 0, 4}, {40, 0, 4}, env, {});
+  EXPECT_GT(std::abs(near.front().gain), std::abs(far.front().gain));
+}
+
+TEST(Multipath, OcclusionAttenuatesDirectAndSurfacePaths) {
+  // A blocking sheet spans the upper water column: the direct path and
+  // surface-only bounces are attenuated; bottom detours survive.
+  const Environment env = test_env();
+  MultipathOptions opts;
+  const auto base = image_method_taps({0, 0, 2}, {10, 0, 3}, env, opts);
+  opts.occlusion_db = 20.0;
+  const auto occluded = image_method_taps({0, 0, 2}, {10, 0, 3}, env, opts);
+  ASSERT_EQ(base.size(), occluded.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const bool blocked = base[i].is_direct ||
+                         (base[i].bottom_bounces == 0 && base[i].surface_bounces > 0);
+    if (blocked)
+      EXPECT_NEAR(occluded[i].gain / base[i].gain, 0.1, 1e-9);
+    else
+      EXPECT_DOUBLE_EQ(occluded[i].gain, base[i].gain);
+  }
+}
+
+TEST(Multipath, OcclusionSurfaceBlockingCanBeDisabled) {
+  const Environment env = test_env();
+  MultipathOptions opts;
+  opts.occlusion_db = 20.0;
+  opts.occlusion_blocks_surface = false;
+  const auto taps = image_method_taps({0, 0, 2}, {10, 0, 3}, env, opts);
+  MultipathOptions clean;
+  const auto base = image_method_taps({0, 0, 2}, {10, 0, 3}, env, clean);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base[i].surface_bounces > 0 && base[i].bottom_bounces == 0) {
+      EXPECT_DOUBLE_EQ(taps[i].gain, base[i].gain);
+    }
+  }
+}
+
+TEST(Multipath, EndpointOutsideWaterThrows) {
+  const Environment env = test_env();
+  EXPECT_THROW(image_method_taps({0, 0, -1}, {10, 0, 3}, env, {}),
+               std::invalid_argument);
+  EXPECT_THROW(image_method_taps({0, 0, 2}, {10, 0, 99}, env, {}),
+               std::invalid_argument);
+}
+
+TEST(Multipath, ScatterTailAddsConfiguredTaps) {
+  Environment env = make_dock();
+  env.scatter_taps = 10;
+  uwp::Rng rng(3);
+  const auto macro = image_method_taps({0, 0, 2}, {10, 0, 3}, env, {});
+  const auto with_tail = scatter_tail(macro, env, rng);
+  EXPECT_EQ(with_tail.size(), macro.size() + 10u);
+  // Scatter taps arrive no earlier than the first macro arrival.
+  for (const auto& t : with_tail) EXPECT_GE(t.delay_s, macro.front().delay_s - 1e-12);
+}
+
+TEST(Multipath, ScatterTailWeakerThanStrongestArrival) {
+  Environment env = make_dock();
+  env.scatter_taps = 30;
+  env.scatter_relative_db = -20.0;
+  uwp::Rng rng(5);
+  const auto macro = image_method_taps({0, 0, 2}, {10, 0, 3}, env, {});
+  double ref = 0.0;
+  for (const auto& t : macro) ref = std::max(ref, std::abs(t.gain));
+  const auto with_tail = scatter_tail(macro, env, rng);
+  for (std::size_t i = macro.size(); i < with_tail.size(); ++i)
+    EXPECT_LT(std::abs(with_tail[i].gain), ref);
+}
+
+TEST(Multipath, RenderImpulseResponsePlacesTapEnergy) {
+  std::vector<PathTap> taps = {{100.0 / 44100.0, 1.0, 0, 0, true}};
+  const auto h = render_impulse_response(taps, 44100.0, 256);
+  // Peak at sample 100.
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < h.size(); ++i)
+    if (h[i] > h[peak]) peak = i;
+  EXPECT_EQ(peak, 100u);
+  EXPECT_NEAR(h[100], 1.0, 1e-9);
+}
+
+TEST(Multipath, RenderFractionalTapSplitsBetweenSamples) {
+  std::vector<PathTap> taps = {{100.5 / 44100.0, 1.0, 0, 0, true}};
+  const auto h = render_impulse_response(taps, 44100.0, 256);
+  EXPECT_GT(h[100], 0.3);
+  EXPECT_GT(h[101], 0.3);
+  EXPECT_NEAR(h[100], h[101], 1e-9);  // symmetric split at .5
+}
+
+TEST(Multipath, RenderIgnoresOutOfRangeTaps) {
+  std::vector<PathTap> taps = {{1.0, 1.0, 0, 0, true}};  // 44100 samples out
+  const auto h = render_impulse_response(taps, 44100.0, 64);
+  for (double v : h) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace uwp::channel

@@ -1,0 +1,43 @@
+#include "channel/sound_speed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uwp::channel {
+namespace {
+
+TEST(SoundSpeed, WilsonEquationReferencePoints) {
+  // T=0, S=35, D=0: c = 1449 + 1.39*0 = 1449.
+  EXPECT_NEAR(sound_speed({0.0, 35.0, 0.0}), 1449.0, 1e-9);
+  // T=10, S=35, D=0: 1449 + 46 - 5.5 + 0.3 = 1489.8.
+  EXPECT_NEAR(sound_speed({10.0, 35.0, 0.0}), 1489.8, 1e-9);
+}
+
+TEST(SoundSpeed, IncreasesWithTemperatureInDiveRange) {
+  for (double t = 0.0; t < 30.0; t += 5.0) {
+    const double c1 = sound_speed({t, 0.5, 2.0});
+    const double c2 = sound_speed({t + 5.0, 0.5, 2.0});
+    EXPECT_GT(c2, c1) << "at T=" << t;
+  }
+}
+
+TEST(SoundSpeed, IncreasesWithDepth) {
+  EXPECT_GT(sound_speed({15.0, 0.5, 40.0}), sound_speed({15.0, 0.5, 0.0}));
+}
+
+TEST(SoundSpeed, FreshWaterSlowerThanSeaWater) {
+  EXPECT_LT(sound_speed({15.0, 0.5, 2.0}), sound_speed({15.0, 35.0, 2.0}));
+}
+
+TEST(SoundSpeed, WithinTwoPercentOfNominalForDiveConditions) {
+  // Paper §2: at recreational depths the speed change is ~2% of 1500 m/s.
+  for (double t = 5.0; t <= 28.0; t += 2.0) {
+    for (double d = 0.0; d <= 40.0; d += 10.0) {
+      const double c = sound_speed({t, 0.5, d});
+      EXPECT_GT(c, 1400.0);
+      EXPECT_LT(c, 1560.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uwp::channel

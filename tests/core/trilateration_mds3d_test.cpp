@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mds3d.hpp"
+#include "core/trilateration.hpp"
+#include "util/random.hpp"
+
+namespace uwp::core {
+namespace {
+
+TEST(Trilateration, ExactRangesExactPosition) {
+  const std::vector<Vec2> anchors = {{0, 0}, {20, 0}, {0, 20}, {20, 20}};
+  const Vec2 truth{7.0, 12.5};
+  std::vector<double> ranges;
+  for (const Vec2& a : anchors) ranges.push_back(distance(truth, a));
+  const auto res = trilaterate_2d(anchors, ranges);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_NEAR(res->position.x, truth.x, 1e-6);
+  EXPECT_NEAR(res->position.y, truth.y, 1e-6);
+  EXPECT_NEAR(res->residual_rms_m, 0.0, 1e-6);
+}
+
+TEST(Trilateration, NoisyRangesBoundedError) {
+  uwp::Rng rng(1);
+  const std::vector<Vec2> anchors = {{0, 0}, {30, 0}, {15, 25}};
+  const Vec2 truth{12.0, 8.0};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> ranges;
+    for (const Vec2& a : anchors)
+      ranges.push_back(std::max(0.1, distance(truth, a) + rng.symmetric(0.5)));
+    const auto res = trilaterate_2d(anchors, ranges);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_LT(distance(res->position, truth), 2.0);
+  }
+}
+
+TEST(Trilateration, CollinearAnchorsRejectedOrDegenerate) {
+  const std::vector<Vec2> anchors = {{0, 0}, {10, 0}, {20, 0}};
+  const Vec2 truth{5.0, 7.0};
+  std::vector<double> ranges;
+  for (const Vec2& a : anchors) ranges.push_back(distance(truth, a));
+  // Collinear anchors cannot resolve the mirror ambiguity. Seeded on the
+  // anchor axis the iteration stays there (zero cross-axis gradient) and the
+  // residual betrays the failure; an off-axis seed converges to one of the
+  // two mirror solutions.
+  const auto on_axis = trilaterate_2d(anchors, ranges);
+  ASSERT_TRUE(on_axis.has_value());
+  EXPECT_GT(on_axis->residual_rms_m, 1.0);  // visibly bad fit
+  const auto seeded = trilaterate_2d(anchors, ranges, {}, Vec2{5.0, 3.0});
+  ASSERT_TRUE(seeded.has_value());
+  EXPECT_NEAR(std::abs(seeded->position.y), 7.0, 0.2);
+  EXPECT_NEAR(seeded->position.x, 5.0, 0.2);
+}
+
+TEST(Trilateration, InputValidation) {
+  EXPECT_FALSE(trilaterate_2d({{0, 0}, {1, 0}}, {1.0, 2.0}).has_value());
+  EXPECT_FALSE(trilaterate_2d({{0, 0}, {1, 0}, {0, 1}}, {1.0}).has_value());
+}
+
+TEST(Gdop, SurroundingAnchorsBeatOneSidedAnchors) {
+  const Vec2 target{0, 0};
+  const std::vector<Vec2> surrounding = {{20, 0}, {-20, 0}, {0, 20}, {0, -20}};
+  const std::vector<Vec2> one_sided = {{20, 0}, {22, 2}, {24, -1}, {26, 1}};
+  EXPECT_LT(gdop_2d(surrounding, target), gdop_2d(one_sided, target));
+}
+
+TEST(Gdop, DegenerateGeometryIsInfinite) {
+  EXPECT_TRUE(std::isinf(gdop_2d({{10, 0}, {20, 0}}, {0, 0})));
+  EXPECT_TRUE(std::isinf(gdop_2d({{10, 0}}, {0, 0})));
+}
+
+Matrix distance_matrix_3d(const std::vector<Vec3>& pts) {
+  const std::size_t n = pts.size();
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) d(i, j) = distance(pts[i], pts[j]);
+  return d;
+}
+
+TEST(Smacof3d, ExactDistancesRecoverShape) {
+  uwp::Rng rng(2);
+  const std::vector<Vec3> truth = {{0, 0, 2},   {12, 1, 4}, {3, 14, 1},
+                                   {-9, 6, 3},  {-4, -11, 5}, {8, -7, 2}};
+  std::vector<double> depths;
+  for (const Vec3& p : truth) depths.push_back(p.z);
+  const Smacof3dResult res =
+      smacof_3d(distance_matrix_3d(truth), Matrix::ones(6, 6), depths, {}, rng);
+  EXPECT_LT(res.normalized_stress, 0.05);
+  // Depth anchoring pins z near the sensor readings.
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    EXPECT_NEAR(res.positions[i].z, truth[i].z, 0.3) << "node " << i;
+}
+
+TEST(Smacof3d, DepthPenaltyPinsZ) {
+  uwp::Rng rng(3);
+  const std::vector<Vec3> truth = {{0, 0, 1}, {10, 0, 3}, {0, 10, 5}, {10, 10, 2},
+                                   {5, 5, 4}};
+  std::vector<double> depths;
+  for (const Vec3& p : truth) depths.push_back(p.z);
+  Smacof3dOptions heavy;
+  heavy.depth_weight = 100.0;
+  const Smacof3dResult res =
+      smacof_3d(distance_matrix_3d(truth), Matrix::ones(5, 5), depths, heavy, rng);
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    EXPECT_NEAR(res.positions[i].z, truth[i].z, 0.1);
+}
+
+TEST(Smacof3d, WithoutDepthsStillEmbeds) {
+  uwp::Rng rng(4);
+  const std::vector<Vec3> truth = {{0, 0, 0}, {10, 0, 2}, {0, 10, 4}, {10, 10, 1},
+                                   {5, 4, 3}, {-4, 6, 2}};
+  const Smacof3dResult res =
+      smacof_3d(distance_matrix_3d(truth), Matrix::ones(6, 6), {}, {}, rng);
+  EXPECT_LT(res.normalized_stress, 0.1);
+}
+
+TEST(Smacof3d, NoisyDepthsDegradeGracefully) {
+  // The ablation story: with noisy distances, raw 3D embedding has more
+  // freedom to misplace nodes than the paper's 2D projection, but the depth
+  // penalty keeps it usable.
+  uwp::Rng rng(5);
+  const std::vector<Vec3> truth = {{0, 0, 2}, {14, 2, 4}, {4, 15, 1},
+                                   {-10, 7, 3}, {-5, -12, 5}, {9, -8, 2}};
+  std::vector<double> depths;
+  for (const Vec3& p : truth) depths.push_back(p.z + rng.symmetric(0.4));
+  Matrix d = distance_matrix_3d(truth);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      d(i, j) = std::max(0.5, d(i, j) + rng.symmetric(0.8));
+      d(j, i) = d(i, j);
+    }
+  const Smacof3dResult res = smacof_3d(d, Matrix::ones(6, 6), depths, {}, rng);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    // Compare pairwise distances (3D embedding is only unique up to rigid
+    // motion); use the stress as the primary check and z sanity as second.
+    worst = std::max(worst, std::abs(res.positions[i].z - truth[i].z));
+  }
+  EXPECT_LT(res.normalized_stress, 1.0);
+  EXPECT_LT(worst, 1.5);
+}
+
+TEST(Smacof3d, Validation) {
+  uwp::Rng rng(6);
+  EXPECT_THROW(smacof_3d(Matrix(3, 2), Matrix(3, 3), {}, {}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(smacof_3d(Matrix(3, 3), Matrix(3, 3), {1.0}, {}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uwp::core

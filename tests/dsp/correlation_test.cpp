@@ -1,0 +1,122 @@
+#include "dsp/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace uwp::dsp {
+namespace {
+
+TEST(CrossCorrelate, FindsEmbeddedTemplate) {
+  Rng rng(1);
+  std::vector<double> tmpl(64);
+  for (double& v : tmpl) v = rng.uniform(-1, 1);
+  std::vector<double> signal(512, 0.0);
+  const std::size_t offset = 200;
+  for (std::size_t i = 0; i < tmpl.size(); ++i) signal[offset + i] = tmpl[i];
+  const std::vector<double> corr = cross_correlate(signal, tmpl);
+  EXPECT_EQ(argmax(corr), offset);
+}
+
+TEST(CrossCorrelate, MatchesDirectComputation) {
+  Rng rng(2);
+  std::vector<double> signal(50), tmpl(7);
+  for (double& v : signal) v = rng.uniform(-1, 1);
+  for (double& v : tmpl) v = rng.uniform(-1, 1);
+  const std::vector<double> corr = cross_correlate(signal, tmpl);
+  ASSERT_EQ(corr.size(), signal.size() - tmpl.size() + 1);
+  for (std::size_t k = 0; k < corr.size(); ++k) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < tmpl.size(); ++j) acc += signal[k + j] * tmpl[j];
+    EXPECT_NEAR(corr[k], acc, 1e-9);
+  }
+}
+
+TEST(CrossCorrelate, TemplateLongerThanSignal) {
+  EXPECT_TRUE(cross_correlate(std::vector<double>{1, 2}, std::vector<double>{1, 2, 3}).empty());
+}
+
+TEST(NormalizedCrossCorrelate, PerfectMatchIsOne) {
+  Rng rng(3);
+  std::vector<double> tmpl(128);
+  for (double& v : tmpl) v = rng.uniform(-1, 1);
+  std::vector<double> signal(1024, 0.0);
+  for (std::size_t i = 0; i < tmpl.size(); ++i) signal[300 + i] = tmpl[i] * 5.0;
+  const std::vector<double> corr = normalized_cross_correlate(signal, tmpl);
+  EXPECT_EQ(argmax(corr), 300u);
+  EXPECT_NEAR(corr[300], 1.0, 1e-6);
+}
+
+TEST(NormalizedCrossCorrelate, BoundedByOne) {
+  Rng rng(4);
+  std::vector<double> signal(2000), tmpl(100);
+  for (double& v : signal) v = rng.uniform(-1, 1);
+  for (double& v : tmpl) v = rng.uniform(-1, 1);
+  for (double v : normalized_cross_correlate(signal, tmpl)) {
+    EXPECT_LE(v, 1.0 + 1e-9);
+    EXPECT_GE(v, -1.0 - 1e-9);
+  }
+}
+
+TEST(NormalizedCrossCorrelate, AmplitudeInvariant) {
+  Rng rng(5);
+  std::vector<double> signal(600), tmpl(60);
+  for (double& v : signal) v = rng.uniform(-1, 1);
+  for (double& v : tmpl) v = rng.uniform(-1, 1);
+  std::vector<double> loud(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) loud[i] = signal[i] * 20.0;
+  const auto a = normalized_cross_correlate(signal, tmpl);
+  const auto b = normalized_cross_correlate(loud, tmpl);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+TEST(WindowCorrelation, IdenticalWindowsGiveOne) {
+  Rng rng(6);
+  std::vector<double> a(128);
+  for (double& v : a) v = rng.uniform(-1, 1);
+  EXPECT_NEAR(window_correlation(a, a), 1.0, 1e-12);
+}
+
+TEST(WindowCorrelation, NegatedWindowsGiveMinusOne) {
+  Rng rng(7);
+  std::vector<double> a(128), b(128);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.uniform(-1, 1);
+    b[i] = -a[i];
+  }
+  EXPECT_NEAR(window_correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(WindowCorrelation, ZeroEnergyGivesZero) {
+  std::vector<double> a(16, 0.0), b(16, 1.0);
+  EXPECT_DOUBLE_EQ(window_correlation(a, b), 0.0);
+}
+
+TEST(Argmax, Basics) {
+  EXPECT_EQ(argmax(std::vector<double>{1, 5, 3}), 1u);
+  EXPECT_EQ(argmax(std::vector<double>{}), 0u);
+  EXPECT_EQ(argmax(std::vector<double>{2, 2}), 0u);  // first on ties
+}
+
+TEST(IsPeak, InteriorAndBoundary) {
+  const std::vector<double> xs = {0, 2, 1, 3, 3, 0, 5};
+  EXPECT_TRUE(is_peak(xs, 1));
+  EXPECT_FALSE(is_peak(xs, 2));
+  EXPECT_FALSE(is_peak(xs, 3));  // plateau is not a strict peak
+  EXPECT_TRUE(is_peak(xs, 6));   // right boundary, one-sided
+  EXPECT_FALSE(is_peak(xs, 0));
+  EXPECT_FALSE(is_peak(xs, 99));
+}
+
+TEST(FindPeaks, ThresholdFilters) {
+  const std::vector<double> xs = {0, 2, 0, 5, 0, 1, 0};
+  const auto peaks = find_peaks(xs, 1.5);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 1u);
+  EXPECT_EQ(peaks[1], 3u);
+}
+
+}  // namespace
+}  // namespace uwp::dsp

@@ -1,0 +1,179 @@
+#include "dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/random.hpp"
+
+namespace uwp::dsp {
+namespace {
+
+// Direct O(n^2) DFT reference.
+std::vector<cplx> dft_reference(std::span<const cplx> x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0, 0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * j) /
+                         static_cast<double>(n);
+      acc += x[j] * cplx{std::cos(ang), std::sin(ang)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<cplx> random_signal(std::size_t n, Rng& rng) {
+  std::vector<cplx> x(n);
+  for (cplx& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return x;
+}
+
+class FftMatchesDft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftMatchesDft, AgainstReference) {
+  Rng rng(GetParam() * 7919 + 1);
+  const std::vector<cplx> x = random_signal(GetParam(), rng);
+  const std::vector<cplx> fast = fft(x);
+  const std::vector<cplx> ref = dft_reference(x);
+  ASSERT_EQ(fast.size(), ref.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_LT(std::abs(fast[i] - ref[i]), 1e-7) << "bin " << i << " n=" << GetParam();
+}
+
+// Mix of power-of-two, smooth (2^a 3^b 5^c) and awkward prime lengths,
+// including the paper's 1920-sample OFDM symbol.
+INSTANTIATE_TEST_SUITE_P(Lengths, FftMatchesDft,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 12, 15, 16, 20, 30, 60,
+                                           64, 100, 128, 240, 480, 960, 1920, 7, 11,
+                                           13, 17, 97, 101, 540));
+
+TEST(Fft, SmoothDetection) {
+  EXPECT_TRUE(is_smooth_235(1920));
+  EXPECT_TRUE(is_smooth_235(1));
+  EXPECT_TRUE(is_smooth_235(480));
+  EXPECT_FALSE(is_smooth_235(0));
+  EXPECT_FALSE(is_smooth_235(7));
+  EXPECT_FALSE(is_smooth_235(1918));
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, IfftInvertsFft) {
+  Rng rng(GetParam() + 99);
+  const std::vector<cplx> x = random_signal(GetParam(), rng);
+  const std::vector<cplx> y = ifft(fft(x));
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_LT(std::abs(y[i] - x[i]), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftRoundTrip,
+                         ::testing::Values(2, 3, 15, 64, 97, 540, 1920, 2460));
+
+TEST(Fft, ImpulseIsFlat) {
+  std::vector<cplx> x(16, cplx{0, 0});
+  x[0] = {1, 0};
+  const std::vector<cplx> y = fft(x);
+  for (const cplx& v : y) EXPECT_LT(std::abs(v - cplx{1, 0}), 1e-12);
+}
+
+TEST(Fft, PureToneHitsSingleBin) {
+  const std::size_t n = 1920;
+  const std::size_t k0 = 44;  // ~1 kHz at 44.1 kHz with 1920-pt symbols
+  std::vector<cplx> x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(k0 * j) /
+                       static_cast<double>(n);
+    x[j] = {std::cos(ang), std::sin(ang)};
+  }
+  const std::vector<cplx> y = fft(x);
+  EXPECT_NEAR(std::abs(y[k0]), static_cast<double>(n), 1e-6);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != k0) {
+      EXPECT_LT(std::abs(y[k]), 1e-6);
+    }
+  }
+}
+
+TEST(Fft, LinearityProperty) {
+  Rng rng(1234);
+  const std::vector<cplx> a = random_signal(240, rng);
+  const std::vector<cplx> b = random_signal(240, rng);
+  std::vector<cplx> sum(240);
+  for (std::size_t i = 0; i < 240; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  const std::vector<cplx> fa = fft(a);
+  const std::vector<cplx> fb = fft(b);
+  const std::vector<cplx> fsum = fft(sum);
+  for (std::size_t i = 0; i < 240; ++i)
+    EXPECT_LT(std::abs(fsum[i] - (2.0 * fa[i] + 3.0 * fb[i])), 1e-8);
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  Rng rng(55);
+  const std::vector<cplx> x = random_signal(1920, rng);
+  const std::vector<cplx> y = fft(x);
+  double ex = 0.0, ey = 0.0;
+  for (const cplx& v : x) ex += std::norm(v);
+  for (const cplx& v : y) ey += std::norm(v);
+  EXPECT_NEAR(ey, ex * 1920.0, ex * 1e-8);
+}
+
+TEST(Fft, RealInputHermitianSpectrum) {
+  Rng rng(66);
+  std::vector<double> x(480);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  const std::vector<cplx> y = fft_real(x);
+  for (std::size_t k = 1; k < x.size(); ++k)
+    EXPECT_LT(std::abs(y[k] - std::conj(y[x.size() - k])), 1e-9);
+}
+
+TEST(Fft, IfftRealRecoversRealSignal) {
+  Rng rng(77);
+  std::vector<double> x(1920);
+  for (double& v : x) v = rng.uniform(-1, 1);
+  const std::vector<double> y = ifft_real(fft_real(x));
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-9);
+}
+
+TEST(Fft, EmptyThrows) { EXPECT_THROW(fft(std::vector<cplx>{}), std::invalid_argument); }
+
+TEST(FftConvolve, MatchesDirectConvolution) {
+  Rng rng(88);
+  std::vector<double> a(37), b(12);
+  for (double& v : a) v = rng.uniform(-1, 1);
+  for (double& v : b) v = rng.uniform(-1, 1);
+  const std::vector<double> fast = fft_convolve(a, b);
+  ASSERT_EQ(fast.size(), a.size() + b.size() - 1);
+  for (std::size_t k = 0; k < fast.size(); ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (k >= i && k - i < b.size()) acc += a[i] * b[k - i];
+    }
+    EXPECT_NEAR(fast[k], acc, 1e-9);
+  }
+}
+
+TEST(FftConvolve, IdentityKernel) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> delta = {1};
+  const std::vector<double> y = fft_convolve(x, delta);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-10);
+}
+
+TEST(FftConvolve, EmptyInputs) {
+  EXPECT_TRUE(fft_convolve({}, std::vector<double>{1.0}).empty());
+  EXPECT_TRUE(fft_convolve(std::vector<double>{1.0}, {}).empty());
+}
+
+}  // namespace
+}  // namespace uwp::dsp

@@ -1,0 +1,112 @@
+#include "dsp/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/goertzel.hpp"
+#include "util/random.hpp"
+
+namespace uwp::dsp {
+namespace {
+
+std::vector<double> tone(double f_hz, double fs_hz, std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(2.0 * std::numbers::pi * f_hz * static_cast<double>(i) / fs_hz);
+  return x;
+}
+
+double band_power(std::span<const double> x, double f_hz, double fs_hz) {
+  return goertzel_power(x, f_hz, fs_hz);
+}
+
+TEST(FirDesign, OddTapValidation) {
+  EXPECT_THROW(design_fir_lowpass(10, 1000, 44100), std::invalid_argument);
+  EXPECT_THROW(design_fir_lowpass(0, 1000, 44100), std::invalid_argument);
+  EXPECT_THROW(design_fir_bandpass(64, 1000, 5000, 44100), std::invalid_argument);
+}
+
+TEST(FirDesign, BandpassRejectsInvertedBand) {
+  EXPECT_THROW(design_fir_bandpass(101, 5000, 1000, 44100), std::invalid_argument);
+}
+
+TEST(FirLowpass, PassesLowRejectsHigh) {
+  const double fs = 44100;
+  const auto taps = design_fir_lowpass(201, 2000, fs);
+  const auto low = fir_filter(tone(500, fs, 4096), taps);
+  const auto high = fir_filter(tone(8000, fs, 4096), taps);
+  EXPECT_GT(band_power(low, 500, fs), 0.5 * band_power(tone(500, fs, 4096), 500, fs));
+  EXPECT_LT(band_power(high, 8000, fs), 1e-3 * band_power(tone(8000, fs, 4096), 8000, fs));
+}
+
+TEST(FirBandpass, PassesBandRejectsOutside) {
+  const double fs = 44100;
+  const auto taps = design_fir_bandpass(301, 1000, 5000, fs);
+  const auto in_band = fir_filter(tone(3000, fs, 8192), taps);
+  const auto below = fir_filter(tone(200, fs, 8192), taps);
+  const auto above = fir_filter(tone(10000, fs, 8192), taps);
+  const double ref = band_power(tone(3000, fs, 8192), 3000, fs);
+  EXPECT_GT(band_power(in_band, 3000, fs), 0.5 * ref);
+  EXPECT_LT(band_power(below, 200, fs), 1e-2 * ref);
+  EXPECT_LT(band_power(above, 10000, fs), 1e-2 * ref);
+}
+
+TEST(FirFilter, GroupDelayCompensated) {
+  // An impulse through the zero-phase wrapper should stay centered at its
+  // original position (peak not shifted).
+  const double fs = 44100;
+  const auto taps = design_fir_lowpass(101, 5000, fs);
+  std::vector<double> x(512, 0.0);
+  x[256] = 1.0;
+  const auto y = fir_filter(x, taps);
+  ASSERT_EQ(y.size(), x.size());
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < y.size(); ++i)
+    if (y[i] > y[peak]) peak = i;
+  EXPECT_EQ(peak, 256u);
+}
+
+TEST(FirFilter, EmptyInputs) {
+  EXPECT_TRUE(fir_filter({}, std::vector<double>{1.0}).empty());
+  EXPECT_TRUE(fir_filter(std::vector<double>{1.0}, {}).empty());
+}
+
+TEST(Biquad, LowpassAttenuatesHighFrequency) {
+  const double fs = 44100;
+  Biquad bq = Biquad::lowpass(1000, 0.707, fs);
+  const auto low = biquad_filter(tone(200, fs, 8192), bq);
+  bq.reset();
+  const auto high = biquad_filter(tone(10000, fs, 8192), bq);
+  EXPECT_GT(band_power(low, 200, fs), 0.5 * band_power(tone(200, fs, 8192), 200, fs));
+  EXPECT_LT(band_power(high, 10000, fs),
+            0.05 * band_power(tone(10000, fs, 8192), 10000, fs));
+}
+
+TEST(Biquad, HighpassAttenuatesLowFrequency) {
+  const double fs = 44100;
+  Biquad bq = Biquad::highpass(5000, 0.707, fs);
+  const auto low = biquad_filter(tone(300, fs, 8192), bq);
+  EXPECT_LT(band_power(low, 300, fs), 0.05 * band_power(tone(300, fs, 8192), 300, fs));
+}
+
+TEST(Biquad, BandpassSelectsCenter) {
+  const double fs = 44100;
+  Biquad bq = Biquad::bandpass(3000, 2.0, fs);
+  const auto center = biquad_filter(tone(3000, fs, 8192), bq);
+  bq.reset();
+  const auto off = biquad_filter(tone(500, fs, 8192), bq);
+  EXPECT_GT(band_power(center, 3000, fs), 10.0 * band_power(off, 500, fs));
+}
+
+TEST(Biquad, ResetClearsState) {
+  Biquad bq = Biquad::lowpass(1000, 0.707, 44100);
+  const double first = bq.process(1.0);
+  bq.process(0.5);
+  bq.reset();
+  EXPECT_DOUBLE_EQ(bq.process(1.0), first);
+}
+
+}  // namespace
+}  // namespace uwp::dsp

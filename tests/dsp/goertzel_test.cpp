@@ -1,0 +1,59 @@
+#include "dsp/goertzel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace uwp::dsp {
+namespace {
+
+std::vector<double> tone(double f_hz, double fs_hz, std::size_t n, double amp = 1.0) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = amp * std::sin(2.0 * std::numbers::pi * f_hz * static_cast<double>(i) / fs_hz);
+  return x;
+}
+
+TEST(Goertzel, DetectsMatchingTone) {
+  const double fs = 44100;
+  const auto x = tone(2000, fs, 4410);
+  EXPECT_GT(goertzel_power(x, 2000, fs), 100.0 * goertzel_power(x, 3500, fs));
+}
+
+TEST(Goertzel, PowerScalesWithAmplitudeSquared) {
+  const double fs = 44100;
+  const auto x1 = tone(1500, fs, 4410, 1.0);
+  const auto x2 = tone(1500, fs, 4410, 3.0);
+  EXPECT_NEAR(goertzel_power(x2, 1500, fs) / goertzel_power(x1, 1500, fs), 9.0, 0.1);
+}
+
+TEST(Goertzel, MagnitudeIsSqrtPower) {
+  const double fs = 44100;
+  const auto x = tone(1200, fs, 2048);
+  EXPECT_NEAR(goertzel_magnitude(x, 1200, fs),
+              std::sqrt(goertzel_power(x, 1200, fs)), 1e-9);
+}
+
+TEST(Goertzel, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(goertzel_power({}, 1000, 44100), 0.0);
+}
+
+TEST(Goertzel, SilenceIsZero) {
+  const std::vector<double> x(1000, 0.0);
+  EXPECT_DOUBLE_EQ(goertzel_power(x, 1000, 44100), 0.0);
+}
+
+TEST(Goertzel, ResolvesAdjacentMfskBins) {
+  // The MFSK ID codec divides 1-5 kHz into N bins; with N=8 bins are 500 Hz
+  // apart. Goertzel over one symbol must separate adjacent bins.
+  const double fs = 44100;
+  const std::size_t n = 4410;  // 100 ms symbol
+  const auto x = tone(2250, fs, n);
+  const double on = goertzel_power(x, 2250, fs);
+  const double off = goertzel_power(x, 2750, fs);
+  EXPECT_GT(on, 50.0 * off);
+}
+
+}  // namespace
+}  // namespace uwp::dsp

@@ -1,0 +1,88 @@
+#include "dsp/resample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace uwp::dsp {
+namespace {
+
+TEST(SampleAt, ExactIndices) {
+  const std::vector<double> x = {0, 1, 4, 9};
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(sample_at(x, static_cast<double>(i)), x[i], 1e-12);
+}
+
+TEST(SampleAt, OutOfRangeIsZero) {
+  const std::vector<double> x = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(sample_at(x, -10.0), 0.0);
+  EXPECT_DOUBLE_EQ(sample_at(x, 100.0), 0.0);
+}
+
+TEST(SampleAt, InterpolatesSmoothFunction) {
+  // Cubic interpolation should track a sinusoid closely away from edges.
+  std::vector<double> x(256);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 64.0);
+  for (double t = 10.0; t < 200.0; t += 0.37) {
+    const double expected = std::sin(2.0 * std::numbers::pi * t / 64.0);
+    EXPECT_NEAR(sample_at(x, t), expected, 5e-3);
+  }
+}
+
+TEST(FractionalDelay, IntegerDelayShiftsExactly) {
+  std::vector<double> x(32, 0.0);
+  x[5] = 1.0;
+  const auto y = fractional_delay(x, 7.0);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < y.size(); ++i)
+    if (y[i] > y[peak]) peak = i;
+  EXPECT_EQ(peak, 12u);
+}
+
+TEST(FractionalDelay, SubSampleDelayOnSinusoid) {
+  std::vector<double> x(512);
+  const double f = 0.02;  // cycles/sample, well below Nyquist
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(2.0 * std::numbers::pi * f * static_cast<double>(i));
+  const double d = 3.4;
+  const auto y = fractional_delay(x, d);
+  for (std::size_t i = 50; i < 450; ++i) {
+    const double expected = std::sin(2.0 * std::numbers::pi * f * (static_cast<double>(i) - d));
+    EXPECT_NEAR(y[i], expected, 2e-3);
+  }
+}
+
+TEST(FractionalDelay, NegativeDelayThrows) {
+  EXPECT_THROW(fractional_delay(std::vector<double>{1.0}, -0.5), std::invalid_argument);
+}
+
+TEST(Resample, UnitRatioPreservesSignal) {
+  std::vector<double> x(100);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::cos(0.1 * static_cast<double>(i));
+  const auto y = resample(x, 1.0);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 2; i + 2 < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-9);
+}
+
+TEST(Resample, DoublesLength) {
+  const std::vector<double> x(50, 1.0);
+  EXPECT_EQ(resample(x, 2.0).size(), 100u);
+}
+
+TEST(Resample, PpmSkewChangesLengthByExpectedAmount) {
+  // 80 ppm over 1e6 samples is 80 samples — the scale of clock drift the
+  // audio substrate models.
+  std::vector<double> x(100000, 0.5);
+  const auto y = resample(x, 1.0 + 80e-6);
+  EXPECT_NEAR(static_cast<double>(y.size()), 100008.0, 1.0);
+}
+
+TEST(Resample, InvalidRatioThrows) {
+  EXPECT_THROW(resample(std::vector<double>{1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(resample(std::vector<double>{1.0}, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uwp::dsp

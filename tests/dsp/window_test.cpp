@@ -1,0 +1,69 @@
+#include "dsp/window.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uwp::dsp {
+namespace {
+
+class WindowShapes : public ::testing::TestWithParam<WindowType> {};
+
+TEST_P(WindowShapes, SymmetricAndBounded) {
+  const auto w = make_window(GetParam(), 65);
+  ASSERT_EQ(w.size(), 65u);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w[i], -1e-12);
+    EXPECT_LE(w[i], 1.0 + 1e-12);
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12) << "asymmetry at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, WindowShapes,
+                         ::testing::Values(WindowType::kRect, WindowType::kHann,
+                                           WindowType::kHamming, WindowType::kBlackman,
+                                           WindowType::kTukey));
+
+TEST(Window, RectIsAllOnes) {
+  for (double v : make_window(WindowType::kRect, 10)) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, HannEndsAtZeroPeaksAtOne) {
+  const auto w = make_window(WindowType::kHann, 33);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[16], 1.0, 1e-12);
+}
+
+TEST(Window, TukeyFlatMiddle) {
+  const auto w = make_window(WindowType::kTukey, 101, 0.2);
+  // With alpha=0.2 the middle 80% is exactly 1.
+  for (std::size_t i = 15; i <= 85; ++i) EXPECT_DOUBLE_EQ(w[i], 1.0);
+  EXPECT_LT(w.front(), 0.1);
+}
+
+TEST(Window, TukeyAlphaValidation) {
+  EXPECT_THROW(make_window(WindowType::kTukey, 16, -0.1), std::invalid_argument);
+  EXPECT_THROW(make_window(WindowType::kTukey, 16, 1.1), std::invalid_argument);
+}
+
+TEST(Window, TrivialLengths) {
+  EXPECT_EQ(make_window(WindowType::kHann, 0).size(), 0u);
+  const auto w1 = make_window(WindowType::kHann, 1);
+  ASSERT_EQ(w1.size(), 1u);
+  EXPECT_DOUBLE_EQ(w1[0], 1.0);
+}
+
+TEST(Window, ApplyWindowMultiplies) {
+  std::vector<double> x = {2, 2, 2};
+  apply_window(x, {0.5, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 0.0);
+}
+
+TEST(Window, ApplyWindowSizeMismatchThrows) {
+  std::vector<double> x = {1, 2};
+  EXPECT_THROW(apply_window(x, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uwp::dsp

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "phy/convolutional.hpp"
+#include "phy/fsk_modem.hpp"
+#include "phy/mfsk_id.hpp"
+#include "util/random.hpp"
+
+namespace uwp::phy {
+namespace {
+
+std::vector<std::uint8_t> random_bits(std::size_t n, uwp::Rng& rng) {
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  return bits;
+}
+
+TEST(Convolutional, EncodeLength) {
+  const std::vector<std::uint8_t> bits = {1, 0, 1};
+  const auto coded = ConvolutionalCode::encode_r12(bits);
+  EXPECT_EQ(coded.size(), 2 * (3 + 6));  // info + 6 tail bits, rate 1/2
+}
+
+TEST(Convolutional, CleanDecodeRoundTrip) {
+  uwp::Rng rng(1);
+  for (std::size_t len : {1u, 8u, 58u, 200u}) {
+    const auto bits = random_bits(len, rng);
+    const auto coded = ConvolutionalCode::encode_r12(bits);
+    const auto decoded = ConvolutionalCode::decode_r12(coded);
+    EXPECT_EQ(decoded, bits) << "len " << len;
+  }
+}
+
+TEST(Convolutional, CorrectsScatteredBitErrors) {
+  uwp::Rng rng(2);
+  const auto bits = random_bits(100, rng);
+  auto coded = ConvolutionalCode::encode_r12(bits);
+  // Flip well-separated bits (K=7 code corrects isolated errors easily).
+  for (std::size_t pos = 10; pos + 30 < coded.size(); pos += 30) coded[pos] ^= 1;
+  EXPECT_EQ(ConvolutionalCode::decode_r12(coded), bits);
+}
+
+TEST(Convolutional, PunctureRate) {
+  uwp::Rng rng(3);
+  const auto bits = random_bits(58, rng);  // paper's N=6 payload size
+  const auto coded = ConvolutionalCode::encode_r12(bits);
+  const auto punctured = ConvolutionalCode::puncture_r23(coded);
+  // 4 coded bits -> 3 kept.
+  EXPECT_EQ(punctured.size(), coded.size() / 2 + (coded.size() / 2 + 1) / 2);
+}
+
+TEST(Convolutional, DepunctureInsertsErasures) {
+  uwp::Rng rng(4);
+  const auto bits = random_bits(20, rng);
+  const auto coded = ConvolutionalCode::encode_r12(bits);
+  const auto punctured = ConvolutionalCode::puncture_r23(coded);
+  const auto restored = ConvolutionalCode::depuncture_r23(punctured, coded.size());
+  ASSERT_EQ(restored.size(), coded.size());
+  std::size_t erasures = 0;
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    if (restored[i] == 2)
+      ++erasures;
+    else
+      EXPECT_EQ(restored[i], coded[i]);
+  }
+  EXPECT_EQ(erasures, coded.size() - punctured.size());
+}
+
+TEST(Convolutional, Rate23RoundTrip) {
+  uwp::Rng rng(5);
+  for (std::size_t len : {8u, 58u, 68u, 123u}) {
+    const auto bits = random_bits(len, rng);
+    const auto tx = ConvolutionalCode::encode_r23(bits);
+    const auto decoded = ConvolutionalCode::decode_r23(tx, len);
+    EXPECT_EQ(decoded, bits) << "len " << len;
+  }
+}
+
+TEST(Convolutional, Rate23CorrectsSparseErrors) {
+  uwp::Rng rng(6);
+  const auto bits = random_bits(58, rng);
+  auto tx = ConvolutionalCode::encode_r23(bits);
+  tx[5] ^= 1;
+  tx[40] ^= 1;
+  tx[70] ^= 1;
+  EXPECT_EQ(ConvolutionalCode::decode_r23(tx, 58), bits);
+}
+
+TEST(Convolutional, InputValidation) {
+  EXPECT_THROW(ConvolutionalCode::encode_r12(std::vector<std::uint8_t>{2}),
+               std::invalid_argument);
+  EXPECT_THROW(ConvolutionalCode::decode_r12(std::vector<std::uint8_t>{1}),
+               std::invalid_argument);
+  EXPECT_THROW(ConvolutionalCode::puncture_r23(std::vector<std::uint8_t>{1}),
+               std::invalid_argument);
+}
+
+TEST(MfskId, RoundTripAllIds) {
+  MfskConfig cfg;
+  cfg.num_ids = 8;
+  const MfskIdCodec codec(cfg);
+  for (std::size_t id = 0; id < 8; ++id) {
+    const auto burst = codec.encode(id);
+    const auto decoded = codec.decode(burst);
+    ASSERT_TRUE(decoded.has_value()) << "id " << id;
+    EXPECT_EQ(*decoded, id);
+  }
+}
+
+TEST(MfskId, RobustToNoise) {
+  MfskConfig cfg;
+  cfg.num_ids = 6;
+  const MfskIdCodec codec(cfg);
+  uwp::Rng rng(7);
+  for (std::size_t id = 0; id < 6; ++id) {
+    auto burst = codec.encode(id);
+    for (double& v : burst) v = 0.05 * v + rng.normal(0.0, 0.02);  // ~8 dB SNR
+    const auto decoded = codec.decode(burst);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, id);
+  }
+}
+
+TEST(MfskId, NoiseOnlyRejected) {
+  const MfskIdCodec codec(MfskConfig{});
+  uwp::Rng rng(8);
+  std::vector<double> noise(2205);
+  for (double& v : noise) v = rng.normal(0.0, 0.1);
+  EXPECT_FALSE(codec.decode(noise).has_value());
+}
+
+TEST(MfskId, PairEncoding) {
+  MfskConfig cfg;
+  cfg.num_ids = 6;
+  const MfskIdCodec codec(cfg);
+  const auto burst = codec.encode_pair(3, 1);
+  EXPECT_EQ(burst.size(), 2 * cfg.symbol_samples);
+  const auto pair = codec.decode_pair(burst);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->first, 3u);
+  EXPECT_EQ(pair->second, 1u);
+}
+
+TEST(MfskId, IdOutOfRangeThrows) {
+  const MfskIdCodec codec(MfskConfig{});
+  EXPECT_THROW(codec.encode(99), std::invalid_argument);
+}
+
+TEST(FskModem, BandTonesInsideAssignedBand) {
+  FskConfig cfg;
+  cfg.num_bands = 6;
+  const double width = 4000.0 / 6.0;
+  for (std::size_t b = 0; b < 6; ++b) {
+    const FskBand tones = cfg.band_tones(b);
+    const double lo = 1000.0 + static_cast<double>(b) * width;
+    EXPECT_GT(tones.f0_hz, lo - 1e-9);
+    EXPECT_LT(tones.f1_hz, lo + width + 1e-9);
+    EXPECT_LT(tones.f0_hz, tones.f1_hz);
+  }
+}
+
+TEST(FskModem, UncodedRoundTrip) {
+  const FskModem modem(FskConfig{});
+  uwp::Rng rng(9);
+  const auto bits = random_bits(40, rng);
+  const auto wave = modem.modulate(bits, 2);
+  EXPECT_EQ(modem.demodulate(wave, 2, bits.size()), bits);
+}
+
+TEST(FskModem, CodedRoundTripWithNoise) {
+  const FskModem modem(FskConfig{});
+  uwp::Rng rng(10);
+  const auto bits = random_bits(58, rng);
+  auto wave = modem.modulate_coded(bits, 1);
+  for (double& v : wave) v += rng.normal(0.0, 0.25);
+  EXPECT_EQ(modem.demodulate_coded(wave, 1, bits.size()), bits);
+}
+
+TEST(FskModem, SimultaneousBandsDoNotInterfere) {
+  const FskModem modem(FskConfig{});
+  uwp::Rng rng(11);
+  const auto bits_a = random_bits(30, rng);
+  const auto bits_b = random_bits(30, rng);
+  auto wave_a = modem.modulate(bits_a, 0);
+  const auto wave_b = modem.modulate(bits_b, 5);
+  wave_a.resize(std::max(wave_a.size(), wave_b.size()), 0.0);
+  for (std::size_t i = 0; i < wave_b.size(); ++i) wave_a[i] += wave_b[i];
+  EXPECT_EQ(modem.demodulate(wave_a, 0, 30), bits_a);
+  EXPECT_EQ(modem.demodulate(wave_a, 5, 30), bits_b);
+}
+
+TEST(FskModem, PaperAirtimeNumbers) {
+  // §2.4: ~0.9, 1.0, 1.2 s for N = 6, 7, 8 at 100 bps.
+  for (const auto& [n, expect_s] : std::vector<std::pair<std::size_t, double>>{
+           {6, 0.9}, {7, 1.0}, {8, 1.2}}) {
+    FskConfig cfg;
+    cfg.num_bands = n;
+    const FskModem modem(cfg);
+    const std::size_t payload = 10 * (n - 1) + 8;
+    EXPECT_NEAR(modem.coded_duration_s(payload), expect_s, 0.15) << "N=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace uwp::phy

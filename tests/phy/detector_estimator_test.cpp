@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/propagation.hpp"
+#include "phy/channel_estimator.hpp"
+#include "phy/direct_path.hpp"
+#include "phy/preamble_detector.hpp"
+#include "util/random.hpp"
+
+namespace uwp::phy {
+namespace {
+
+class DetectorFixture : public ::testing::Test {
+ protected:
+  PreambleConfig cfg_{};
+  OfdmPreamble preamble_{cfg_};
+};
+
+TEST_F(DetectorFixture, DetectsCleanPreamble) {
+  uwp::Rng rng(1);
+  std::vector<double> stream(30000);
+  for (double& v : stream) v = rng.normal(0.0, 0.005);
+  const auto& w = preamble_.waveform();
+  for (std::size_t i = 0; i < w.size(); ++i) stream[12000 + i] += 0.1 * w[i];
+
+  const PreambleDetector det(preamble_);
+  const auto res = det.detect(stream);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_NEAR(static_cast<double>(res->coarse_index), 12000.0, 50.0);
+  EXPECT_GT(res->autocorr_score, 0.35);
+}
+
+TEST_F(DetectorFixture, RejectsNoiseOnly) {
+  uwp::Rng rng(2);
+  std::vector<double> stream(30000);
+  for (double& v : stream) v = rng.normal(0.0, 0.01);
+  const PreambleDetector det(preamble_);
+  EXPECT_FALSE(det.detect(stream).has_value());
+}
+
+TEST_F(DetectorFixture, RejectsSpikyTransient) {
+  // A loud click produces a cross-correlation peak but cannot replicate the
+  // 4-symbol PN structure — the autocorrelation gate must reject it.
+  uwp::Rng rng(3);
+  std::vector<double> stream(30000);
+  for (double& v : stream) v = rng.normal(0.0, 0.003);
+  for (std::size_t i = 0; i < 300; ++i)
+    stream[15000 + i] += 2.0 * std::exp(-static_cast<double>(i) / 60.0) *
+                         std::sin(0.4 * static_cast<double>(i));
+  const PreambleDetector det(preamble_);
+  const auto res = det.detect(stream);
+  EXPECT_FALSE(res.has_value());
+}
+
+TEST_F(DetectorFixture, AutocorrScoreHighOnlyAtTrueOffset) {
+  uwp::Rng rng(4);
+  std::vector<double> stream(30000);
+  for (double& v : stream) v = rng.normal(0.0, 0.002);
+  const auto& w = preamble_.waveform();
+  for (std::size_t i = 0; i < w.size(); ++i) stream[9000 + i] += 0.2 * w[i];
+  const PreambleDetector det(preamble_);
+  EXPECT_GT(det.autocorrelation_score(stream, 9000), 0.8);
+  EXPECT_LT(det.autocorrelation_score(stream, 2000), 0.35);
+}
+
+TEST_F(DetectorFixture, TooShortStreamGivesZeroScore) {
+  const std::vector<double> tiny(100, 0.1);
+  const PreambleDetector det(preamble_);
+  EXPECT_DOUBLE_EQ(det.autocorrelation_score(tiny, 0), 0.0);
+  EXPECT_FALSE(det.detect(tiny).has_value());
+}
+
+TEST_F(DetectorFixture, ChannelEstimateRecoversImpulseDelay) {
+  // Ideal single-path channel delayed by a known amount: the strongest tap
+  // must sit at (backoff + delay_offset).
+  uwp::Rng rng(5);
+  std::vector<double> stream(30000);
+  for (double& v : stream) v = rng.normal(0.0, 0.001);
+  const auto& w = preamble_.waveform();
+  const std::size_t true_start = 10000;
+  for (std::size_t i = 0; i < w.size(); ++i) stream[true_start + i] += 0.3 * w[i];
+
+  const PreambleDetector det(preamble_);
+  const auto found = det.detect(stream);
+  ASSERT_TRUE(found.has_value());
+  const LsChannelEstimator est(preamble_, 100);
+  const ChannelEstimate ce = est.estimate(stream, found->coarse_index);
+  // Peak tap position + window_start should equal the true start.
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < ce.taps.size(); ++i)
+    if (ce.taps[i] > ce.taps[peak]) peak = i;
+  EXPECT_NEAR(static_cast<double>(ce.window_start + peak),
+              static_cast<double>(true_start), 2.0);
+}
+
+TEST_F(DetectorFixture, ChannelEstimateResolvesTwoPaths) {
+  uwp::Rng rng(6);
+  std::vector<double> stream(30000);
+  for (double& v : stream) v = rng.normal(0.0, 0.0005);
+  const auto& w = preamble_.waveform();
+  const std::size_t start = 8000;
+  const std::size_t echo_delay = 180;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    stream[start + i] += 0.2 * w[i];
+    stream[start + echo_delay + i] += 0.12 * w[i];
+  }
+  const PreambleDetector det(preamble_);
+  const auto found = det.detect(stream);
+  ASSERT_TRUE(found.has_value());
+  const LsChannelEstimator est(preamble_, 100);
+  const ChannelEstimate ce = est.estimate(stream, found->coarse_index);
+
+  // Both paths appear as strong taps with the right spacing.
+  std::size_t first = 0;
+  for (std::size_t i = 1; i < ce.taps.size(); ++i)
+    if (ce.taps[i] > ce.taps[first]) first = i;
+  const std::size_t expect_echo = first + echo_delay;
+  ASSERT_LT(expect_echo, ce.taps.size());
+  double local_max = 0.0;
+  for (std::size_t i = expect_echo - 2; i <= expect_echo + 2; ++i)
+    local_max = std::max(local_max, ce.taps[i]);
+  EXPECT_GT(local_max, 0.4);
+}
+
+TEST_F(DetectorFixture, MmseIsShrinkageOfLs) {
+  // Wiener property: every MMSE bin is the LS bin scaled by a factor in
+  // [0, 1], and the average factor drops as SNR drops (more shrinkage when
+  // noise dominates).
+  uwp::Rng rng(9);
+  const auto& w = preamble_.waveform();
+  const LsChannelEstimator est(preamble_, 100);
+  const PreambleConfig& pc = preamble_.config();
+
+  auto mean_shrink = [&](double amp) {
+    std::vector<double> stream(30000);
+    for (double& v : stream) v = rng.normal(0.0, 0.03);
+    for (std::size_t i = 0; i < w.size(); ++i) stream[9000 + i] += amp * w[i];
+    const ChannelEstimate ls = est.estimate(stream, 9000);
+    const ChannelEstimate mmse = est.estimate_mmse(stream, 9000);
+    double acc = 0.0;
+    std::size_t count = 0;
+    for (std::size_t k = pc.bin_lo(); k <= pc.bin_hi(); ++k) {
+      const double mag_ls = std::abs(ls.freq[k]);
+      const double mag_mmse = std::abs(mmse.freq[k]);
+      if (mag_ls < 1e-12) continue;
+      const double ratio = mag_mmse / mag_ls;
+      EXPECT_LE(ratio, 1.0 + 1e-9);
+      EXPECT_GE(ratio, -1e-9);
+      acc += ratio;
+      ++count;
+    }
+    return acc / static_cast<double>(count);
+  };
+  const double strong = mean_shrink(0.5);
+  const double weak = mean_shrink(0.01);
+  EXPECT_GT(strong, 0.9);          // high SNR: barely touched
+  EXPECT_LT(weak, strong - 0.15);  // low SNR: visibly shrunk
+}
+
+TEST_F(DetectorFixture, PerBinSnrTracksSignalLevel) {
+  uwp::Rng rng(10);
+  const auto& w = preamble_.waveform();
+  const LsChannelEstimator est(preamble_, 100);
+  auto mean_snr = [&](double amp) {
+    std::vector<double> stream(30000);
+    for (double& v : stream) v = rng.normal(0.0, 0.01);
+    for (std::size_t i = 0; i < w.size(); ++i) stream[9000 + i] += amp * w[i];
+    const std::vector<double> snr = est.per_bin_snr_db(stream, 9000);
+    double acc = 0.0;
+    for (double s : snr) acc += s;
+    return acc / static_cast<double>(snr.size());
+  };
+  const double loud = mean_snr(0.3);
+  const double quiet = mean_snr(0.03);
+  // 20 dB amplitude difference should appear as roughly 20 dB of SNR.
+  EXPECT_GT(loud, quiet + 10.0);
+}
+
+TEST_F(DetectorFixture, PerBinSnrEmptyOnShortStream) {
+  const LsChannelEstimator est(preamble_, 100);
+  const std::vector<double> tiny(100, 0.1);
+  EXPECT_TRUE(est.per_bin_snr_db(tiny, 0).empty());
+}
+
+TEST(DirectPath, NoiseFloorIsMeanOfTail) {
+  std::vector<double> h(200, 0.0);
+  for (std::size_t i = 100; i < 200; ++i) h[i] = 0.1;
+  EXPECT_NEAR(channel_noise_floor(h, 100), 0.1, 1e-12);
+  EXPECT_NEAR(channel_noise_floor(h, 200), 0.05, 1e-12);
+}
+
+TEST(DirectPath, DualMicPicksConstrainedEarliestPair) {
+  // h1 has a spurious early peak that h2 lacks; the joint constraint must
+  // skip it and lock onto the consistent pair.
+  DirectPathConfig cfg;
+  cfg.lambda = 0.2;
+  cfg.fs_hz = 44100.0;
+  std::vector<double> h1(400, 0.01), h2(400, 0.01);
+  h1[50] = 0.5;             // spurious (no counterpart in h2 within 5 taps)
+  h1[120] = 0.8;            // true direct path
+  h2[122] = 0.7;            // true direct path at mic 2 (+2 taps)
+  h1[200] = 1.0;            // strong late reflection
+  h2[201] = 1.0;
+  const auto res = find_direct_path_dual(h1, h2, cfg);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->mic1_tap, 120u);
+  EXPECT_EQ(res->mic2_tap, 122u);
+  EXPECT_NEAR(res->tau, 121.0, 1e-12);
+}
+
+TEST(DirectPath, SingleMicFallsForSpuriousEarlyPeak) {
+  // The same profile through the single-mic rule picks the spurious peak —
+  // exactly the failure mode Fig 11b quantifies.
+  DirectPathConfig cfg;
+  std::vector<double> h1(400, 0.01);
+  h1[50] = 0.5;
+  h1[120] = 0.8;
+  const auto res = find_direct_path_single(h1, cfg);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(*res, 50u);
+}
+
+TEST(DirectPath, OffsetConstraintScalesWithMicSeparation) {
+  DirectPathConfig cfg;
+  cfg.mic_separation_m = 0.16;
+  cfg.sound_speed_mps = 1500.0;
+  cfg.fs_hz = 44100.0;
+  cfg.offset_slack = 0.0;
+  // 0.16 m / 1500 m/s * 44100 Hz = 4.7 samples.
+  EXPECT_NEAR(cfg.max_offset_samples(), 4.704, 0.01);
+
+  std::vector<double> h1(300, 0.0), h2(300, 0.0);
+  h1[100] = 1.0;
+  h2[110] = 1.0;  // 10 taps apart: infeasible for 16 cm
+  EXPECT_FALSE(find_direct_path_dual(h1, h2, cfg).has_value());
+  std::vector<double> h3(300, 0.0);
+  h3[103] = 1.0;  // 3 taps: feasible
+  EXPECT_TRUE(find_direct_path_dual(h1, h3, cfg).has_value());
+}
+
+TEST(DirectPath, EmptyOrMismatchedInputs) {
+  DirectPathConfig cfg;
+  EXPECT_FALSE(find_direct_path_dual({}, {}, cfg).has_value());
+  std::vector<double> a(10, 0.0), b(20, 0.0);
+  EXPECT_FALSE(find_direct_path_dual(a, b, cfg).has_value());
+}
+
+TEST(DirectPath, AllNoiseReturnsNullopt) {
+  DirectPathConfig cfg;
+  const std::vector<double> flat(300, 0.5);  // floor = 0.5, no peak clears +0.2
+  EXPECT_FALSE(find_direct_path_single(flat, cfg).has_value());
+}
+
+TEST(DirectPath, SidelobeGuardRejectsPreRinging) {
+  // A weak bump shortly before a much stronger peak is band-limitation
+  // pre-ringing, not an arrival; the guard must reject it as a candidate.
+  DirectPathConfig cfg;
+  std::vector<double> h(400, 0.01);
+  h[110] = 0.25;  // pre-ringing sidelobe (~-13 dB of the main peak)
+  h[120] = 1.0;   // true arrival
+  const auto peaks = candidate_arrival_peaks(h, cfg);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_EQ(peaks.front(), 120u);
+}
+
+TEST(DirectPath, SidelobeGuardKeepsWeakDirectBeforeFarReflection) {
+  // A genuinely weak direct path followed by a strong reflection beyond the
+  // guard window (boundary detours exceed guard_hi samples) must survive.
+  DirectPathConfig cfg;
+  std::vector<double> h(400, 0.01);
+  h[120] = 0.30;  // weak (shadowed) direct path
+  h[160] = 1.0;   // strong reflection, 40 taps later
+  const auto peaks = candidate_arrival_peaks(h, cfg);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_EQ(peaks.front(), 120u);
+}
+
+TEST(DirectPath, GuardWindowBoundsRespected) {
+  DirectPathConfig cfg;
+  cfg.sidelobe_guard_lo = 4;
+  cfg.sidelobe_guard_hi = 20;
+  std::vector<double> h(400, 0.01);
+  h[100] = 0.25;
+  h[121] = 1.0;  // just beyond guard_hi of tap 100 -> no rejection
+  auto peaks = candidate_arrival_peaks(h, cfg);
+  EXPECT_EQ(peaks.front(), 100u);
+  h[121] = 0.01;
+  h[118] = 1.0;  // inside the window -> rejection
+  peaks = candidate_arrival_peaks(h, cfg);
+  EXPECT_EQ(peaks.front(), 118u);
+}
+
+TEST_F(DetectorFixture, WindowedEstimatorSuppressesPreSidelobes) {
+  // Ablation: with the Hamming taper, the estimate just before the direct
+  // path is much lower relative to the peak than without it.
+  uwp::Rng rng(8);
+  std::vector<double> stream(30000);
+  for (double& v : stream) v = rng.normal(0.0, 0.0005);
+  const auto& w = preamble_.waveform();
+  for (std::size_t i = 0; i < w.size(); ++i) stream[9000 + i] += 0.3 * w[i];
+  const PreambleDetector det(preamble_);
+  const auto found = det.detect(stream);
+  ASSERT_TRUE(found.has_value());
+
+  auto sidelobe_level = [&](bool windowed) {
+    const LsChannelEstimator est(preamble_, 100, windowed);
+    const ChannelEstimate ce = est.estimate(stream, found->coarse_index);
+    std::size_t peak = 0;
+    for (std::size_t i = 1; i < ce.taps.size(); ++i)
+      if (ce.taps[i] > ce.taps[peak]) peak = i;
+    // Maximum tap in the pre-ringing region 45..22 taps before the peak —
+    // outside even the widened (Hamming) main lobe.
+    double pre = 0.0;
+    for (std::size_t i = peak - 45; i + 22 <= peak; ++i) pre = std::max(pre, ce.taps[i]);
+    return pre / ce.taps[peak];
+  };
+  EXPECT_LT(sidelobe_level(true), 0.6 * sidelobe_level(false));
+}
+
+TEST(DirectPath, ParabolicRefinementSubSample) {
+  std::vector<double> h = {0.0, 0.2, 0.9, 1.0, 0.3, 0.0};
+  const double refined = refine_peak_parabolic(h, 3);
+  EXPECT_GT(refined, 2.5);
+  EXPECT_LT(refined, 3.5);
+  EXPECT_NE(refined, 3.0);
+  // Boundary peaks return unchanged.
+  EXPECT_DOUBLE_EQ(refine_peak_parabolic(h, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace uwp::phy

@@ -1,0 +1,178 @@
+// End-to-end PHY integration: preamble through the simulated underwater
+// channel into the full ranging pipeline, plus the baseline rangers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/propagation.hpp"
+#include "phy/baseline/chirp_ranger.hpp"
+#include "phy/baseline/fmcw_ranger.hpp"
+#include "phy/ranging.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace uwp::phy {
+namespace {
+
+class RangingFixture : public ::testing::Test {
+ protected:
+  PreambleConfig cfg_{};
+  OfdmPreamble preamble_{cfg_};
+  PreambleRanger ranger_{preamble_};
+  channel::Environment env_ = channel::make_dock();
+};
+
+TEST_F(RangingFixture, TenMeterRangingWithinOneMeter) {
+  const channel::LinkSimulator link(env_, cfg_.fs_hz);
+  channel::LinkConfig lc;
+  lc.tx_pos = {0, 0, 2.5};
+  lc.rx_pos = {10, 0, 2.5};
+  uwp::Rng rng(42);
+  std::vector<double> errors;
+  for (int trial = 0; trial < 8; ++trial) {
+    const channel::Reception rec = link.transmit(preamble_.waveform(), lc, rng);
+    const auto est = ranger_.estimate(rec);
+    ASSERT_TRUE(est.has_value()) << "trial " << trial;
+    const double d = one_way_distance_m(*est, env_.sound_speed_mps());
+    errors.push_back(std::abs(d - 10.0));
+  }
+  EXPECT_LT(uwp::median(errors), 1.0);
+}
+
+TEST_F(RangingFixture, ErrorGrowsWithRangeOnAverage) {
+  const channel::LinkSimulator link(env_, cfg_.fs_hz);
+  uwp::Rng rng(7);
+  auto median_err = [&](double range) {
+    channel::LinkConfig lc;
+    lc.tx_pos = {0, 0, 2.5};
+    lc.rx_pos = {range, 0, 2.5};
+    std::vector<double> errs;
+    for (int t = 0; t < 10; ++t) {
+      const channel::Reception rec = link.transmit(preamble_.waveform(), lc, rng);
+      const auto est = ranger_.estimate(rec);
+      if (!est) continue;
+      errs.push_back(std::abs(one_way_distance_m(*est, env_.sound_speed_mps()) - range));
+    }
+    return errs.empty() ? 99.0 : uwp::median(errs);
+  };
+  const double near = median_err(8.0);
+  const double far = median_err(40.0);
+  EXPECT_LT(near, 1.2);
+  EXPECT_LT(near, far + 0.5);  // far should not be dramatically better
+}
+
+TEST_F(RangingFixture, SingleMicModesWork) {
+  const channel::LinkSimulator link(env_, cfg_.fs_hz);
+  channel::LinkConfig lc;
+  lc.tx_pos = {0, 0, 2.5};
+  lc.rx_pos = {12, 0, 2.5};
+  uwp::Rng rng(11);
+  const channel::Reception rec = link.transmit(preamble_.waveform(), lc, rng);
+  for (MicMode mode : {MicMode::kMic1Only, MicMode::kMic2Only}) {
+    const auto est = ranger_.estimate(rec, mode);
+    if (est) {
+      const double d = one_way_distance_m(*est, env_.sound_speed_mps());
+      EXPECT_GT(d, 5.0);
+      EXPECT_LT(d, 25.0);
+    }
+  }
+}
+
+TEST_F(RangingFixture, MicTapsEncodeArrivalSide) {
+  // Transmitter well off to one side of the mic axis: the near microphone's
+  // direct path tap must be earlier (or equal within a sample).
+  const channel::LinkSimulator link(env_, cfg_.fs_hz);
+  channel::LinkConfig lc;
+  lc.tx_pos = {0, 0, 2.5};
+  lc.rx_pos = {15, 0, 2.5};
+  lc.mic_axis = {1, 0};  // mic 1 at x=14.92 (near), mic 2 at x=15.08 (far)
+  uwp::Rng rng(13);
+  int near_first = 0, total = 0;
+  for (int t = 0; t < 10; ++t) {
+    const channel::Reception rec = link.transmit(preamble_.waveform(), lc, rng);
+    const auto est = ranger_.estimate(rec);
+    if (!est) continue;
+    ++total;
+    if (est->mic1_tap_frac <= est->mic2_tap_frac) ++near_first;
+  }
+  ASSERT_GT(total, 5);
+  // Paper reports ~90% single-signal flip accuracy; allow some slack.
+  EXPECT_GE(static_cast<double>(near_first) / total, 0.7);
+}
+
+TEST(ChirpBaseline, DetectsAndRangesCleanChannel) {
+  const baseline::ChirpRanger ranger{baseline::ChirpConfig{}};
+  uwp::Rng rng(17);
+  std::vector<double> stream(30000);
+  for (double& v : stream) v = rng.normal(0.0, 0.002);
+  const auto& w = ranger.waveform();
+  const std::size_t at = 6000;
+  for (std::size_t i = 0; i < w.size(); ++i) stream[at + i] += 0.2 * w[i];
+  EXPECT_TRUE(ranger.detect(stream));
+  const auto arrival = ranger.estimate_arrival(stream);
+  ASSERT_TRUE(arrival.has_value());
+  EXPECT_NEAR(*arrival, static_cast<double>(at), 40.0);
+}
+
+TEST(ChirpBaseline, PowerDetectorFiresOnSpikes) {
+  // The window-power detector (TH_SD) has no structure check, so a loud
+  // transient triggers it — the false-positive weakness Fig 12a shows.
+  const baseline::ChirpRanger ranger{baseline::ChirpConfig{}};
+  uwp::Rng rng(19);
+  std::vector<double> stream(30000);
+  for (double& v : stream) v = rng.normal(0.0, 0.002);
+  for (std::size_t i = 0; i < 600; ++i) stream[9000 + i] += 1.5;
+  EXPECT_TRUE(ranger.detect(stream));
+}
+
+TEST(FmcwBaseline, RecoverDelayCleanChannel) {
+  const baseline::FmcwRanger ranger{baseline::FmcwConfig{}};
+  const auto& w = ranger.waveform();
+  const std::size_t delay = 300;
+  std::vector<double> stream(w.size() + 4000, 0.0);
+  uwp::Rng rng(23);
+  for (double& v : stream) v = rng.normal(0.0, 0.002);
+  for (std::size_t i = 0; i < w.size(); ++i) stream[delay + i] += 0.3 * w[i];
+  EXPECT_TRUE(ranger.detect(stream));
+  const auto est = ranger.estimate_delay_samples(stream);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(*est, static_cast<double>(delay), 30.0);
+}
+
+TEST(FmcwBaseline, TooShortStreamHandled) {
+  const baseline::FmcwRanger ranger{baseline::FmcwConfig{}};
+  const std::vector<double> tiny(100, 0.1);
+  EXPECT_FALSE(ranger.detect(tiny));
+  EXPECT_FALSE(ranger.estimate_delay_samples(tiny).has_value());
+}
+
+TEST_F(RangingFixture, DualMicBeatsBaselinesUnderMultipath) {
+  // The headline Fig 12b comparison in miniature: median error of our
+  // dual-mic pipeline vs the FMCW baseline over the same receptions.
+  const channel::LinkSimulator link(env_, cfg_.fs_hz);
+  channel::LinkConfig lc;
+  lc.tx_pos = {0, 0, 1.0};
+  lc.rx_pos = {20, 0, 1.0};
+  uwp::Rng rng(29);
+
+  const baseline::FmcwRanger fmcw{baseline::FmcwConfig{}};
+  std::vector<double> ours, theirs;
+  for (int t = 0; t < 10; ++t) {
+    const channel::Reception rec = link.transmit(preamble_.waveform(), lc, rng);
+    const auto est = ranger_.estimate(rec);
+    if (est)
+      ours.push_back(std::abs(one_way_distance_m(*est, env_.sound_speed_mps()) - 20.0));
+    // Feed FMCW the same mic-1 stream with its own chirp assumption violated
+    // equally often (same channel conditions, chirp transmitted separately).
+    const channel::Reception rec2 = link.transmit(fmcw.waveform(), lc, rng);
+    const auto d = fmcw.estimate_delay_samples(rec2.mic[0]);
+    if (d)
+      theirs.push_back(std::abs(*d / cfg_.fs_hz * env_.sound_speed_mps() - 20.0));
+  }
+  ASSERT_FALSE(ours.empty());
+  ASSERT_FALSE(theirs.empty());
+  EXPECT_LT(uwp::median(ours), uwp::median(theirs) + 0.75);
+}
+
+}  // namespace
+}  // namespace uwp::phy

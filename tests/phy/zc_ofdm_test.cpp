@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "dsp/fft.hpp"
+#include "phy/ofdm_preamble.hpp"
+#include "phy/zadoff_chu.hpp"
+
+namespace uwp::phy {
+namespace {
+
+TEST(ZadoffChu, ConstantAmplitude) {
+  for (std::size_t n : {63u, 64u, 139u, 174u}) {
+    const auto zc = zadoff_chu(n, 1);
+    ASSERT_EQ(zc.size(), n);
+    for (const auto& v : zc) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+  }
+}
+
+TEST(ZadoffChu, ZeroAutocorrelationOddLength) {
+  // CAZAC property: circular autocorrelation is zero at all non-zero lags.
+  const std::size_t n = 139;  // prime
+  const auto zc = zadoff_chu(n, 1);
+  for (std::size_t lag = 1; lag < n; ++lag) {
+    std::complex<double> acc{0, 0};
+    for (std::size_t k = 0; k < n; ++k) acc += zc[k] * std::conj(zc[(k + lag) % n]);
+    EXPECT_LT(std::abs(acc), 1e-8) << "lag " << lag;
+  }
+}
+
+TEST(ZadoffChu, DifferentRootsDiffer) {
+  const auto a = zadoff_chu(139, 1);
+  const auto b = zadoff_chu(139, 2);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(ZadoffChu, Validation) {
+  EXPECT_THROW(zadoff_chu(0, 1), std::invalid_argument);
+  EXPECT_THROW(zadoff_chu(10, 0), std::invalid_argument);
+  EXPECT_THROW(zadoff_chu(10, 5), std::invalid_argument);  // gcd(10,5)=5
+}
+
+TEST(PreambleConfig, PaperParameters) {
+  PreambleConfig cfg;
+  // 1920-sample symbols at 44.1 kHz -> ~23 Hz bins; 1-5 kHz spans bins 44..217.
+  EXPECT_EQ(cfg.bin_lo(), 44u);
+  EXPECT_EQ(cfg.bin_hi(), 217u);
+  EXPECT_EQ(cfg.num_bins(), 174u);
+  EXPECT_EQ(cfg.total_len(), 9840u);  // 4 * (540 + 1920)
+}
+
+TEST(OfdmPreamble, WaveformIsRealAndBounded) {
+  const OfdmPreamble p(PreambleConfig{});
+  const auto& w = p.waveform();
+  ASSERT_EQ(w.size(), 9840u);
+  for (double v : w) {
+    EXPECT_LE(std::abs(v), 1.0 + 1e-9);
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(OfdmPreamble, EnergyConfinedToBand) {
+  const OfdmPreamble p(PreambleConfig{});
+  const auto spec = uwp::dsp::fft_real(p.base_symbol());
+  const PreambleConfig& cfg = p.config();
+  double in_band = 0.0, out_band = 0.0;
+  for (std::size_t k = 1; k < cfg.symbol_len / 2; ++k) {
+    const double e = std::norm(spec[k]);
+    if (k >= cfg.bin_lo() && k <= cfg.bin_hi())
+      in_band += e;
+    else
+      out_band += e;
+  }
+  EXPECT_GT(in_band, 1e6 * std::max(out_band, 1e-30));
+}
+
+TEST(OfdmPreamble, CyclicPrefixMatchesSymbolTail) {
+  const OfdmPreamble p(PreambleConfig{});
+  const PreambleConfig& cfg = p.config();
+  const auto& w = p.waveform();
+  for (std::size_t s = 0; s < cfg.num_symbols; ++s) {
+    const std::size_t block = s * (cfg.cp_len + cfg.symbol_len);
+    for (std::size_t i = 0; i < cfg.cp_len; ++i) {
+      // CP sample i equals symbol sample (symbol_len - cp_len + i).
+      EXPECT_NEAR(w[block + i],
+                  w[block + cfg.cp_len + cfg.symbol_len - cfg.cp_len + i], 1e-12);
+    }
+  }
+}
+
+TEST(OfdmPreamble, PnSignsApplied) {
+  const OfdmPreamble p(PreambleConfig{});
+  const PreambleConfig& cfg = p.config();
+  const auto& w = p.waveform();
+  const std::size_t block = cfg.cp_len + cfg.symbol_len;
+  // Symbol 2 carries PN = -1: its body is the negation of symbol 0's body.
+  for (std::size_t i = 0; i < cfg.symbol_len; i += 37)
+    EXPECT_NEAR(w[2 * block + cfg.cp_len + i], -w[0 * block + cfg.cp_len + i], 1e-12);
+  // Symbol 3 carries PN = +1 again.
+  for (std::size_t i = 0; i < cfg.symbol_len; i += 37)
+    EXPECT_NEAR(w[3 * block + cfg.cp_len + i], w[cfg.cp_len + i], 1e-12);
+}
+
+TEST(OfdmPreamble, ValidationErrors) {
+  PreambleConfig bad_pn;
+  bad_pn.pn = {1, 1};
+  EXPECT_THROW(OfdmPreamble{bad_pn}, std::invalid_argument);
+  PreambleConfig bad_band;
+  bad_band.band_hi_hz = 23000.0;  // beyond Nyquist/2 bins for 1920 at 44.1k
+  EXPECT_THROW(OfdmPreamble{bad_band}, std::invalid_argument);
+}
+
+TEST(OfdmPreamble, SharpSelfCorrelation) {
+  // The ZC-filled preamble autocorrelation must be strongly peaked: the
+  // property the paper relies on for coarse sync.
+  const OfdmPreamble p(PreambleConfig{});
+  const auto& w = p.waveform();
+  std::vector<double> padded(w.size() * 2, 0.0);
+  for (std::size_t i = 0; i < w.size(); ++i) padded[w.size() / 2 + i] = w[i];
+  double peak = 0.0, side = 0.0;
+  // Direct correlation at a few lags around the center.
+  for (int lag = -200; lag <= 200; lag += 8) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i)
+      acc += w[i] * padded[w.size() / 2 + i + static_cast<std::size_t>(lag + 200) - 200];
+    if (lag == 0)
+      peak = std::abs(acc);
+    else
+      side = std::max(side, std::abs(acc));
+  }
+  EXPECT_GT(peak, 3.0 * side);
+}
+
+}  // namespace
+}  // namespace uwp::phy

@@ -1,0 +1,83 @@
+#include "proto/multihop.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uwp::proto {
+namespace {
+
+Matrix full(std::size_t n) {
+  Matrix c(n, n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) c(i, i) = 0.0;
+  return c;
+}
+
+TEST(Multihop, AllInRangeNeedsNoRelays) {
+  const MultihopPlan plan = plan_multihop_uplink(full(5));
+  EXPECT_EQ(plan.direct.size(), 4u);
+  EXPECT_TRUE(plan.relays.empty());
+  EXPECT_TRUE(plan.unreachable.empty());
+  EXPECT_TRUE(plan.complete());
+  MultihopOptions opts;
+  EXPECT_DOUBLE_EQ(plan.total_airtime_s, opts.report_airtime_s);  // one phase
+}
+
+TEST(Multihop, StrandedDeviceGetsRelay) {
+  Matrix c = full(5);
+  c(0, 4) = c(4, 0) = 0.0;  // device 4 cannot reach the leader
+  const MultihopPlan plan = plan_multihop_uplink(c);
+  EXPECT_EQ(plan.direct.size(), 3u);
+  ASSERT_EQ(plan.relays.size(), 1u);
+  EXPECT_EQ(plan.relays[0].source, 4u);
+  EXPECT_NE(plan.relays[0].relay, 0u);
+  EXPECT_TRUE(plan.complete());
+  // Two phases of airtime.
+  MultihopOptions opts;
+  EXPECT_DOUBLE_EQ(plan.total_airtime_s, 2.0 * opts.report_airtime_s);
+}
+
+TEST(Multihop, LoadBalancedAcrossRelays) {
+  // Devices 3 and 4 stranded; both can reach 1 and 2 -> one forward each.
+  Matrix c = full(5);
+  c(0, 3) = c(3, 0) = 0.0;
+  c(0, 4) = c(4, 0) = 0.0;
+  const MultihopPlan plan = plan_multihop_uplink(c);
+  ASSERT_EQ(plan.relays.size(), 2u);
+  EXPECT_NE(plan.relays[0].relay, plan.relays[1].relay);
+  // Balanced load -> phase 2 is a single burst.
+  MultihopOptions opts;
+  EXPECT_DOUBLE_EQ(plan.total_airtime_s, 2.0 * opts.report_airtime_s);
+}
+
+TEST(Multihop, RelayCapacityRespected) {
+  // Three stranded devices but only one possible relay with capacity 2.
+  const std::size_t n = 5;
+  Matrix c(n, n, 0.0);
+  c(0, 1) = c(1, 0) = 1.0;  // only device 1 reaches the leader
+  for (std::size_t i = 2; i < n; ++i) {
+    c(1, i) = c(i, 1) = 1.0;  // stranded devices reach device 1
+  }
+  MultihopOptions opts;
+  opts.max_forwards_per_relay = 2;
+  const MultihopPlan plan = plan_multihop_uplink(c, opts);
+  EXPECT_EQ(plan.relays.size(), 2u);
+  EXPECT_EQ(plan.unreachable.size(), 1u);
+  EXPECT_FALSE(plan.complete());
+  // Phase 2 runs the relay's queue of 2 sequentially.
+  EXPECT_DOUBLE_EQ(plan.total_airtime_s, 3.0 * opts.report_airtime_s);
+}
+
+TEST(Multihop, IsolatedDeviceUnreachable) {
+  Matrix c = full(4);
+  for (std::size_t j = 0; j < 4; ++j) c(3, j) = c(j, 3) = 0.0;
+  const MultihopPlan plan = plan_multihop_uplink(c);
+  ASSERT_EQ(plan.unreachable.size(), 1u);
+  EXPECT_EQ(plan.unreachable[0], 3u);
+}
+
+TEST(Multihop, Validation) {
+  EXPECT_THROW(plan_multihop_uplink(Matrix(1, 1)), std::invalid_argument);
+  EXPECT_THROW(plan_multihop_uplink(Matrix(3, 2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uwp::proto

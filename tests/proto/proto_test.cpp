@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "proto/payload_codec.hpp"
+#include "proto/ranging_solver.hpp"
+#include "proto/slot_schedule.hpp"
+#include "proto/timestamp_protocol.hpp"
+#include "proto/uplink.hpp"
+#include "sim/deployment.hpp"
+
+namespace uwp::proto {
+namespace {
+
+TEST(SlotSchedule, PaperConstants) {
+  const ProtocolConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.delta1_s(), 0.320);
+  EXPECT_DOUBLE_EQ(cfg.tau_max_s(), 0.021);
+  EXPECT_NEAR(cfg.max_range_m(), 31.5, 0.1);  // ~32 m in the paper
+}
+
+TEST(SlotSchedule, LeaderSyncSlots) {
+  const ProtocolConfig cfg;
+  EXPECT_DOUBLE_EQ(slot_time_leader_sync(cfg, 1), 0.600);
+  EXPECT_DOUBLE_EQ(slot_time_leader_sync(cfg, 2), 0.920);
+  EXPECT_DOUBLE_EQ(slot_time_leader_sync(cfg, 4), 1.560);
+  EXPECT_THROW(slot_time_leader_sync(cfg, 0), std::invalid_argument);
+  EXPECT_THROW(slot_time_leader_sync(cfg, 5), std::invalid_argument);
+}
+
+TEST(SlotSchedule, RelaySyncFutureSlot) {
+  ProtocolConfig cfg;
+  cfg.num_devices = 6;
+  // Device 5 hears device 1 first: (5-1)*0.32 = 1.28 > 0.6 -> normal slot.
+  EXPECT_TRUE(relay_slot_in_future(cfg, 5, 1));
+  EXPECT_DOUBLE_EQ(slot_time_relay_sync(cfg, 5, 1, 0.0), 4 * 0.320);
+  // Device 2 hears device 1: (2-1)*0.32 = 0.32 < 0.6 -> missed, wrap around.
+  EXPECT_FALSE(relay_slot_in_future(cfg, 2, 1));
+  EXPECT_DOUBLE_EQ(slot_time_relay_sync(cfg, 2, 1, 0.0), (6 - 1 + 2) * 0.320);
+}
+
+TEST(SlotSchedule, RoundTripFormulas) {
+  ProtocolConfig cfg;
+  // §3.2: measured round times 1.2/1.6/1.9/2.2/2.5 s for N = 3..7 track
+  // delta0 + (N-1) delta1 = 1.24, 1.56, 1.88, 2.20, 2.52.
+  const double expected[] = {1.24, 1.56, 1.88, 2.20, 2.52};
+  for (std::size_t n = 3; n <= 7; ++n) {
+    cfg.num_devices = n;
+    EXPECT_NEAR(round_trip_all_in_range(cfg), expected[n - 3], 1e-9);
+    EXPECT_NEAR(round_trip_worst_case(cfg),
+                0.6 + 2.0 * static_cast<double>(n - 1) * 0.32, 1e-9);
+  }
+}
+
+class ProtocolFixture : public ::testing::Test {
+ protected:
+  // 5 devices in a line, 8 m apart, all within 32 m of the leader.
+  ProtocolFixture() {
+    cfg_.num_devices = 5;
+    for (std::size_t i = 0; i < 5; ++i) {
+      ProtocolDevice d;
+      d.id = i;
+      d.position = {static_cast<double>(i) * 8.0, 0.0, 2.0};
+      d.audio.speaker_start_s = 0.3 * static_cast<double>(i);
+      d.audio.mic_start_s = 0.1 * static_cast<double>(i) + 0.05;
+      // Zero loopback isolates the pure protocol arithmetic; the bias from a
+      // real speaker->own-mic delay gets its own dedicated test below.
+      d.audio.self_loopback_delay_s = 0.0;
+      devices_.push_back(d);
+    }
+  }
+
+  Matrix full_connectivity() const {
+    Matrix c(5, 5, 1.0);
+    for (std::size_t i = 0; i < 5; ++i) c(i, i) = 0.0;
+    return c;
+  }
+
+  ProtocolConfig cfg_{};
+  std::vector<ProtocolDevice> devices_;
+};
+
+TEST_F(ProtocolFixture, IdealConditionsExactDistances) {
+  const TimestampProtocol proto(cfg_, devices_);
+  uwp::Rng rng(1);
+  const ProtocolRun run = proto.run(full_connectivity(), rng);
+  const RangingSolver solver(cfg_);
+  const RangingSolution sol = solver.solve(run);
+  EXPECT_EQ(sol.two_way_links, 10u);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      const double truth = static_cast<double>(j - i) * 8.0;
+      // Sample quantization at 44.1 kHz -> ~3.4 cm per sample; allow 10 cm.
+      EXPECT_NEAR(sol.distances(i, j), truth, 0.10) << i << "," << j;
+    }
+}
+
+TEST_F(ProtocolFixture, AllDevicesSyncToLeaderWhenConnected) {
+  const TimestampProtocol proto(cfg_, devices_);
+  uwp::Rng rng(2);
+  const ProtocolRun run = proto.run(full_connectivity(), rng);
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_EQ(run.sync_ref[i], 0u);
+  // Transmissions happen in slot order without collisions.
+  for (std::size_t i = 1; i + 1 < 5; ++i)
+    EXPECT_LT(run.tx_global[i] + cfg_.t_packet_s, run.tx_global[i + 1]);
+}
+
+TEST_F(ProtocolFixture, RoundDurationMatchesLatencyAnalysis) {
+  const TimestampProtocol proto(cfg_, devices_);
+  uwp::Rng rng(3);
+  const ProtocolRun run = proto.run(full_connectivity(), rng);
+  // Last slot at delta0 + 3*delta1 = 1.56 s; packet + propagation follow.
+  // The paper's round formula (1.88 s for N=5) adds that packet's guard.
+  const double last_slot = cfg_.delta0_s + 3.0 * cfg_.delta1_s();
+  EXPECT_NEAR(run.round_duration_s, last_slot + cfg_.t_packet_s, 0.1);
+  EXPECT_LT(run.round_duration_s, round_trip_all_in_range(cfg_) + cfg_.t_packet_s);
+}
+
+TEST_F(ProtocolFixture, RelaySyncWhenLeaderOutOfRange) {
+  // Device 4 cannot hear the leader (and vice versa) but hears devices 2, 3.
+  Matrix conn = full_connectivity();
+  conn(4, 0) = conn(0, 4) = 0.0;
+  conn(4, 1) = conn(1, 4) = 0.0;
+  const TimestampProtocol proto(cfg_, devices_);
+  uwp::Rng rng(4);
+  const ProtocolRun run = proto.run(conn, rng);
+  EXPECT_NE(run.sync_ref[4], 0u);
+  EXPECT_NE(run.sync_ref[4], std::numeric_limits<std::size_t>::max());
+  // It still transmits and others hear it.
+  EXPECT_FALSE(std::isnan(run.tx_global[4]));
+  EXPECT_GT(run.heard(3, 4), 0.0);
+
+  const RangingSolver solver(cfg_);
+  const RangingSolution sol = solver.solve(run);
+  // Distances among connected pairs are still accurate.
+  EXPECT_NEAR(sol.distances(3, 4), 8.0, 0.15);
+  EXPECT_NEAR(sol.distances(2, 4), 16.0, 0.15);
+}
+
+TEST_F(ProtocolFixture, DetectionErrorPropagatesToDistance) {
+  const TimestampProtocol proto(cfg_, devices_);
+  uwp::Rng rng(5);
+  // +1 ms arrival error on link (2 <- 1) only.
+  const ProtocolRun run = proto.run(
+      full_connectivity(), rng, [](std::size_t at, std::size_t from) {
+        return (at == 2 && from == 1) ? 1e-3 : 0.0;
+      });
+  const RangingSolver solver(cfg_);
+  const RangingSolution sol = solver.solve(run);
+  // 1 ms one-way error -> c/2 * 1ms = 0.75 m bias on that pair.
+  EXPECT_NEAR(sol.distances(1, 2), 8.0 + 0.75, 0.15);
+  // Other pairs unaffected.
+  EXPECT_NEAR(sol.distances(0, 1), 8.0, 0.15);
+}
+
+TEST_F(ProtocolFixture, DetectionFailureDropsLink) {
+  const TimestampProtocol proto(cfg_, devices_);
+  uwp::Rng rng(6);
+  const ProtocolRun run = proto.run(
+      full_connectivity(), rng, [](std::size_t at, std::size_t from) {
+        if (at == 3 && from == 2) return std::numeric_limits<double>::quiet_NaN();
+        return 0.0;
+      });
+  EXPECT_EQ(run.heard(3, 2), 0.0);
+  const RangingSolver solver(cfg_);
+  const RangingSolution sol = solver.solve(run);
+  // One-way fallback through the leader should still recover the distance.
+  EXPECT_GT(sol.weights(2, 3), 0.0);
+  EXPECT_EQ(sol.one_way_links, 1u);
+  EXPECT_NEAR(sol.distances(2, 3), 8.0, 0.25);
+}
+
+TEST_F(ProtocolFixture, IsolatedDeviceNeverTransmits) {
+  Matrix conn = full_connectivity();
+  for (std::size_t j = 0; j < 5; ++j) conn(4, j) = conn(j, 4) = 0.0;
+  const TimestampProtocol proto(cfg_, devices_);
+  uwp::Rng rng(7);
+  const ProtocolRun run = proto.run(conn, rng);
+  EXPECT_TRUE(std::isnan(run.tx_global[4]));
+  EXPECT_EQ(run.sync_ref[4], std::numeric_limits<std::size_t>::max());
+}
+
+TEST_F(ProtocolFixture, ClockSkewToleratedWithinCentimeters) {
+  for (ProtocolDevice& d : devices_) {
+    d.audio.speaker_skew_ppm = 40.0;
+    d.audio.mic_skew_ppm = -35.0;
+  }
+  const TimestampProtocol proto(cfg_, devices_);
+  uwp::Rng rng(8);
+  const ProtocolRun run = proto.run(full_connectivity(), rng);
+  const RangingSolver solver(cfg_);
+  const RangingSolution sol = solver.solve(run);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = i + 1; j < 5; ++j)
+      EXPECT_NEAR(sol.distances(i, j), static_cast<double>(j - i) * 8.0, 0.30);
+}
+
+TEST_F(ProtocolFixture, LoopbackDelayBiasMatchesPaperApproximation) {
+  // §2.3 ignores the speaker->own-mic propagation delta_2; the two-way
+  // distance then reads low by c * (delta_i + delta_j) / 2. Verify the
+  // bias is exactly that (and small).
+  const double delta2 = 0.11e-3;
+  for (ProtocolDevice& d : devices_) d.audio.self_loopback_delay_s = delta2;
+  const TimestampProtocol proto(cfg_, devices_);
+  uwp::Rng rng(11);
+  const ProtocolRun run = proto.run(full_connectivity(), rng);
+  const RangingSolver solver(cfg_);
+  const RangingSolution sol = solver.solve(run);
+  const double expected_bias = cfg_.sound_speed_mps * delta2;  // ~0.165 m
+  EXPECT_NEAR(sol.distances(1, 2), 8.0 - expected_bias, 0.08);
+  // Leader pairs see half the bias (the leader transmits at its local zero).
+  EXPECT_NEAR(sol.distances(0, 1), 8.0 - expected_bias / 2.0, 0.08);
+}
+
+// Parameterized sweep: the protocol + solver recover exact distances for
+// every group size the paper evaluates (N = 3..8).
+class ProtocolSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ProtocolSizeSweep, ExactDistancesAtEverySize) {
+  const std::size_t n = GetParam();
+  ProtocolConfig cfg;
+  cfg.num_devices = n;
+  std::vector<ProtocolDevice> devices(n);
+  uwp::Rng rng(n * 31 + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    devices[i].id = i;
+    devices[i].position = {rng.uniform(-14, 14), rng.uniform(-14, 14),
+                           rng.uniform(0.5, 3.0)};
+    devices[i].audio.self_loopback_delay_s = 0.0;
+    devices[i].audio.speaker_start_s = rng.uniform(0.0, 1.0);
+    devices[i].audio.mic_start_s = rng.uniform(0.0, 1.0);
+  }
+  Matrix conn(n, n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) conn(i, i) = 0.0;
+  const TimestampProtocol proto(cfg, devices);
+  const ProtocolRun run = proto.run(conn, rng);
+  const RangingSolver solver(cfg);
+  const RangingSolution sol = solver.solve(run);
+  EXPECT_EQ(sol.two_way_links, n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double truth = distance(devices[i].position, devices[j].position);
+      EXPECT_NEAR(sol.distances(i, j), truth, 0.12) << i << "," << j << " N=" << n;
+    }
+  // Round duration: the last device transmits at delta0 + (N-2) delta1; its
+  // packet lands t_packet + propagation later. (The paper's round formula
+  // delta0 + (N-1) delta1 additionally counts that packet's guard slot.)
+  const double last_slot =
+      cfg.delta0_s + static_cast<double>(n - 2) * cfg.delta1_s();
+  EXPECT_NEAR(run.round_duration_s, last_slot + cfg.t_packet_s, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, ProtocolSizeSweep,
+                         ::testing::Values(3, 4, 5, 6, 7, 8));
+
+// Fuzz the payload codec: random reports must round-trip within quantization
+// bounds for every group size.
+class CodecFuzzSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CodecFuzzSweep, RandomReportsRoundTrip) {
+  const std::size_t n = GetParam();
+  PayloadCodecConfig cfg;
+  cfg.protocol.num_devices = n;
+  const PayloadCodec codec(cfg);
+  uwp::Rng rng(n * 97 + 5);
+  for (int trial = 0; trial < 25; ++trial) {
+    DeviceReport report;
+    report.depth_m = rng.uniform(0.0, 40.0);
+    report.slot_delta_s.assign(n, std::nullopt);
+    const auto self = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == self) continue;
+      if (rng.bernoulli(0.75)) report.slot_delta_s[j] = rng.uniform(0.0, 0.040);
+    }
+    const auto bits = codec.encode(report, self);
+    ASSERT_EQ(bits.size(), cfg.payload_bits());
+    const DeviceReport rt = codec.decode(bits, self);
+    EXPECT_NEAR(rt.depth_m, report.depth_m, cfg.depth_resolution_m / 2.0 + 1e-9);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == self) continue;
+      ASSERT_EQ(rt.slot_delta_s[j].has_value(), report.slot_delta_s[j].has_value());
+      if (rt.slot_delta_s[j]) {
+        EXPECT_NEAR(*rt.slot_delta_s[j], *report.slot_delta_s[j],
+                    cfg.timestamp_resolution_samples / cfg.protocol.fs_hz + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, CodecFuzzSweep, ::testing::Values(2, 4, 6, 8));
+
+TEST(PayloadCodec, PaperBitBudget) {
+  PayloadCodecConfig cfg;
+  cfg.protocol.num_devices = 6;
+  const PayloadCodec codec(cfg);
+  EXPECT_EQ(codec.config().payload_bits(), 58u);  // 10*(6-1) + 8
+}
+
+TEST(PayloadCodec, DepthQuantization) {
+  const PayloadCodec codec(PayloadCodecConfig{});
+  EXPECT_DOUBLE_EQ(codec.dequantize_depth(codec.quantize_depth(3.14)), 3.2);
+  EXPECT_DOUBLE_EQ(codec.dequantize_depth(codec.quantize_depth(0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(codec.dequantize_depth(codec.quantize_depth(-2.0)), 0.0);
+  // 40 m dive range fits in 8 bits at 0.2 m.
+  EXPECT_DOUBLE_EQ(codec.dequantize_depth(codec.quantize_depth(40.0)), 40.0);
+}
+
+TEST(PayloadCodec, DeltaQuantizationResolution) {
+  const PayloadCodec codec(PayloadCodecConfig{});
+  // 2-sample resolution at 44.1 kHz: ~45 us.
+  const double delta = 0.0123;
+  const double rt = codec.dequantize_delta(codec.quantize_delta(delta));
+  EXPECT_NEAR(rt, delta, 2.0 / 44100.0);
+}
+
+TEST(PayloadCodec, ReportRoundTrip) {
+  PayloadCodecConfig cfg;
+  cfg.protocol.num_devices = 5;
+  const PayloadCodec codec(cfg);
+  DeviceReport report;
+  report.depth_m = 7.4;
+  report.slot_delta_s.assign(5, std::nullopt);
+  report.slot_delta_s[0] = 0.010;
+  report.slot_delta_s[1] = 0.020;
+  report.slot_delta_s[3] = 0.0005;
+  // Own entry (id 2) stays nullopt, device 4 not heard.
+  const auto bits = codec.encode(report, 2);
+  EXPECT_EQ(bits.size(), codec.config().payload_bits());
+  const DeviceReport rt = codec.decode(bits, 2);
+  EXPECT_NEAR(rt.depth_m, 7.4, 0.11);
+  ASSERT_TRUE(rt.slot_delta_s[0].has_value());
+  EXPECT_NEAR(*rt.slot_delta_s[0], 0.010, 1e-4);
+  EXPECT_FALSE(rt.slot_delta_s[2].has_value());
+  EXPECT_FALSE(rt.slot_delta_s[4].has_value());
+}
+
+TEST(PayloadCodec, Validation) {
+  PayloadCodecConfig cfg;
+  cfg.protocol.num_devices = 3;
+  const PayloadCodec codec(cfg);
+  DeviceReport r;
+  r.slot_delta_s.assign(2, std::nullopt);  // wrong size
+  EXPECT_THROW(codec.encode(r, 0), std::invalid_argument);
+  r.slot_delta_s.assign(3, std::nullopt);
+  EXPECT_THROW(codec.encode(r, 9), std::invalid_argument);
+}
+
+TEST(Uplink, SimultaneousReportsDecodeExactly) {
+  UplinkConfig cfg;
+  cfg.codec.protocol.num_devices = 5;
+  cfg.fsk.num_bands = 5;
+  cfg.noise_rms = 0.1;
+  const UplinkSimulator uplink(cfg);
+  std::vector<DeviceReport> reports(5);
+  uwp::Rng rng(9);
+  for (std::size_t id = 1; id < 5; ++id) {
+    reports[id].depth_m = static_cast<double>(id) * 1.6;
+    reports[id].slot_delta_s.assign(5, std::nullopt);
+    for (std::size_t j = 0; j < 5; ++j)
+      if (j != id) reports[id].slot_delta_s[j] = 0.001 * static_cast<double>(j + 1);
+  }
+  const UplinkResult res = uplink.run(reports, rng);
+  for (std::size_t id = 1; id < 5; ++id) {
+    EXPECT_TRUE(res.decode_exact[id]) << "device " << id;
+    EXPECT_NEAR(res.reports[id].depth_m, reports[id].depth_m, 0.11);
+  }
+  // §2.4 airtime: ~0.9-1 s scale for these payload sizes.
+  EXPECT_GT(res.airtime_s, 0.5);
+  EXPECT_LT(res.airtime_s, 1.5);
+}
+
+TEST(Uplink, WeakDeviceFailsGracefully) {
+  UplinkConfig cfg;
+  cfg.codec.protocol.num_devices = 4;
+  cfg.fsk.num_bands = 4;
+  cfg.noise_rms = 0.6;
+  cfg.device_gain = {0.0, 1.0, 0.02, 1.0};  // device 2 nearly inaudible
+  const UplinkSimulator uplink(cfg);
+  std::vector<DeviceReport> reports(4);
+  uwp::Rng rng(10);
+  for (std::size_t id = 1; id < 4; ++id)
+    reports[id].slot_delta_s.assign(4, std::nullopt);
+  const UplinkResult res = uplink.run(reports, rng);
+  // Strong devices decode; the weak one likely not — but no crash and the
+  // flags reflect reality.
+  EXPECT_TRUE(res.decode_exact[1]);
+  EXPECT_TRUE(res.decode_exact[3]);
+}
+
+}  // namespace
+}  // namespace uwp::proto

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensors/depth_sensor_model.hpp"
+#include "sensors/imu_drift.hpp"
+#include "sensors/pointing_model.hpp"
+#include "sensors/pressure_depth.hpp"
+#include "util/stats.hpp"
+
+namespace uwp::sensors {
+namespace {
+
+TEST(PressureDepth, SurfaceIsZero) {
+  EXPECT_DOUBLE_EQ(depth_from_pressure(101325.0), 0.0);
+}
+
+TEST(PressureDepth, KnownConversion) {
+  // 1 m of fresh water ~ 9.78 kPa.
+  const double p = 101325.0 + 997.0 * 9.81 * 1.0;
+  EXPECT_NEAR(depth_from_pressure(p), 1.0, 1e-9);
+}
+
+TEST(PressureDepth, RoundTrip) {
+  for (double d = 0.0; d <= 40.0; d += 2.5)
+    EXPECT_NEAR(depth_from_pressure(pressure_at_depth(d)), d, 1e-9);
+}
+
+TEST(PressureDepth, NegativeClampsToZero) {
+  EXPECT_DOUBLE_EQ(depth_from_pressure(90000.0), 0.0);
+  EXPECT_DOUBLE_EQ(pressure_at_depth(-3.0), 101325.0);
+}
+
+TEST(DepthSensorModel, WatchMatchesPaperErrorBand) {
+  // Fig 13b: watch 0.15 +/- 0.11 m average error.
+  const DepthSensorModel watch = DepthSensorModel::watch_ultra_gauge();
+  uwp::Rng rng(1);
+  std::vector<double> errors;
+  for (double depth = 1.0; depth <= 9.0; depth += 1.0)
+    for (int t = 0; t < 200; ++t)
+      errors.push_back(std::abs(watch.read(depth, rng) - depth));
+  EXPECT_NEAR(uwp::mean(errors), 0.15, 0.05);
+}
+
+TEST(DepthSensorModel, PhoneWorseThanWatch) {
+  const DepthSensorModel watch = DepthSensorModel::watch_ultra_gauge();
+  const DepthSensorModel phone = DepthSensorModel::phone_pressure_in_pouch();
+  uwp::Rng rng(2);
+  std::vector<double> watch_err, phone_err;
+  for (double depth = 1.0; depth <= 9.0; depth += 1.0)
+    for (int t = 0; t < 100; ++t) {
+      watch_err.push_back(std::abs(watch.read(depth, rng) - depth));
+      phone_err.push_back(std::abs(phone.read(depth, rng) - depth));
+    }
+  EXPECT_GT(uwp::mean(phone_err), uwp::mean(watch_err));
+  EXPECT_NEAR(uwp::mean(phone_err), 0.42, 0.12);
+}
+
+TEST(DepthSensorModel, AveragingReducesJitterNotBias) {
+  const DepthSensorModel phone = DepthSensorModel::phone_pressure_in_pouch();
+  uwp::Rng rng(3);
+  std::vector<double> single, averaged;
+  for (int t = 0; t < 300; ++t) {
+    single.push_back(phone.read(5.0, rng));
+    averaged.push_back(phone.read_averaged(5.0, 30, rng));
+  }
+  EXPECT_LT(uwp::stddev(averaged), uwp::stddev(single) / 2.0);
+  // Bias remains.
+  EXPECT_NEAR(uwp::mean(averaged), 5.0 + phone.bias_m, 0.05);
+}
+
+TEST(DepthSensorModel, ReadingsNonNegative) {
+  const DepthSensorModel phone = DepthSensorModel::phone_pressure_in_pouch();
+  uwp::Rng rng(4);
+  for (int t = 0; t < 200; ++t) EXPECT_GE(phone.read(0.1, rng), 0.0);
+}
+
+TEST(DepthSensorModel, EndToEndPressurePipeline) {
+  uwp::Rng rng(5);
+  std::vector<double> errors;
+  for (int t = 0; t < 500; ++t)
+    errors.push_back(std::abs(phone_pressure_reading(4.0, rng) - 4.0));
+  // Same 0.42 +/- 0.18 band as the direct model.
+  EXPECT_NEAR(uwp::mean(errors), 0.42, 0.12);
+}
+
+TEST(PointingModel, MeanAbsoluteErrorNearFiveDegrees) {
+  const PointingModel model;
+  uwp::Rng rng(6);
+  std::vector<double> errors;
+  for (int t = 0; t < 4000; ++t) {
+    const double pointed = model.point(0.3, 5.0, rng);
+    errors.push_back(std::abs(uwp::rad_to_deg(uwp::wrap_angle(pointed - 0.3))));
+  }
+  EXPECT_NEAR(uwp::mean(errors), 5.0, 0.8);  // Fig 16 average
+}
+
+TEST(PointingModel, ErrorGrowsSlightlyWithRange) {
+  const PointingModel model;
+  uwp::Rng rng(7);
+  auto mean_err = [&](double range) {
+    std::vector<double> errs;
+    for (int t = 0; t < 3000; ++t)
+      errs.push_back(std::abs(model.point(0.0, range, rng)));
+    return uwp::mean(errs);
+  };
+  EXPECT_LT(mean_err(2.0), mean_err(30.0));
+}
+
+TEST(PointingModel, CameraErrorZeroWhenCentered) {
+  // Checkerboard exactly at the frame center ray.
+  EXPECT_NEAR(camera_orientation_error_deg({0, 0, 0}, {10, 0, 0}, {5, 0, 0}), 0.0,
+              1e-9);
+}
+
+TEST(PointingModel, CameraErrorMatchesKnownAngle) {
+  // Target 45 degrees off the frame center.
+  const double err = camera_orientation_error_deg({0, 0, 0}, {1, 1, 0}, {1, 0, 0});
+  EXPECT_NEAR(err, 45.0, 1e-9);
+}
+
+TEST(ImuDrift, DriftsBeyondUsefulnessWithinSeconds) {
+  // §4: smart-device IMUs drift within a few seconds, which is the paper's
+  // argument against inertial anchor-free localization.
+  const ImuModel imu;
+  uwp::Rng rng(8);
+  double worst = 1e9;
+  for (int t = 0; t < 5; ++t)
+    worst = std::min(worst, time_to_drift(imu, 1.0, 60.0, rng));
+  EXPECT_LT(worst, 30.0);
+}
+
+TEST(ImuDrift, DriftGrowsOverTime) {
+  const ImuModel imu;
+  uwp::Rng rng(9);
+  const auto drift = dead_reckoning_drift(imu, 30.0, rng);
+  ASSERT_GE(drift.size(), 30u);
+  // Position error after 30 s dwarfs the 1 s error (t^2 growth).
+  EXPECT_GT(drift[29], drift[0] * 10.0);
+}
+
+}  // namespace
+}  // namespace uwp::sensors

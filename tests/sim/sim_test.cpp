@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/deployment.hpp"
+#include "sim/energy_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace uwp::sim {
+namespace {
+
+TEST(Deployment, TestbedsWellFormed) {
+  uwp::Rng rng(1);
+  for (const Deployment& d : {make_dock_testbed(rng), make_boathouse_testbed(rng)}) {
+    EXPECT_EQ(d.size(), 5u);
+    EXPECT_EQ(d.connectivity.rows(), 5u);
+    EXPECT_EQ(d.protocol.num_devices, 5u);
+    // All devices inside the water column.
+    for (const ScenarioDevice& dev : d.devices) {
+      EXPECT_GE(dev.position.z, 0.0);
+      EXPECT_LE(dev.position.z, d.env.water_depth_m);
+    }
+    // Distances from leader span the 3-25 m range of Fig 17.
+    double max_d = 0.0;
+    for (std::size_t i = 1; i < d.size(); ++i)
+      max_d = std::max(max_d,
+                       distance(d.devices[i].position, d.devices[0].position));
+    EXPECT_GT(max_d, 15.0);
+    EXPECT_LT(max_d, 32.0);
+  }
+}
+
+TEST(Deployment, LinkManipulation) {
+  uwp::Rng rng(2);
+  Deployment d = make_dock_testbed(rng);
+  EXPECT_GT(d.connectivity(1, 2), 0.0);
+  d.drop_link(1, 2);
+  EXPECT_DOUBLE_EQ(d.connectivity(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(d.connectivity(2, 1), 0.0);
+  d.occlude_link(0, 1, 25.0);
+  EXPECT_DOUBLE_EQ(d.occlusion_db(1, 0), 25.0);
+}
+
+TEST(Deployment, AnalyticalTopologyConstraints) {
+  uwp::Rng rng(3);
+  for (int t = 0; t < 50; ++t) {
+    const AnalyticalTopology topo = random_analytical_topology(6, rng);
+    ASSERT_EQ(topo.positions.size(), 6u);
+    // Leader at the volume center.
+    EXPECT_DOUBLE_EQ(topo.positions[0].x, 0.0);
+    EXPECT_DOUBLE_EQ(topo.positions[0].y, 0.0);
+    // Device 1 within 4-9 m of the leader.
+    const double r = distance(topo.positions[0], topo.positions[1]);
+    EXPECT_GE(r, 3.99);
+    EXPECT_LE(r, 9.01);
+    for (const auto& p : topo.positions) {
+      EXPECT_GE(p.z, 0.0);
+      EXPECT_LE(p.z, 10.0);
+      EXPECT_LE(std::abs(p.x), 30.0);
+      EXPECT_LE(std::abs(p.y), 30.0);
+    }
+  }
+}
+
+TEST(Scenario, FastModeRoundLocalizesFiveDevices) {
+  uwp::Rng rng(4);
+  const ScenarioRunner runner(make_dock_testbed(rng));
+  RoundOptions opts;
+  opts.waveform_phy = false;  // fast calibrated-error mode
+  std::vector<double> errors;
+  for (int t = 0; t < 12; ++t) {
+    const RoundResult res = runner.run_round(opts, rng);
+    ASSERT_TRUE(res.ok);
+    for (std::size_t i = 1; i < 5; ++i) errors.push_back(res.error_2d[i]);
+  }
+  // Fig 18a scale: median ~0.9 m at the dock; allow generous slack.
+  EXPECT_LT(uwp::median(errors), 2.0);
+  EXPECT_LT(uwp::percentile(errors, 95.0), 8.0);
+}
+
+TEST(Scenario, WaveformModeSingleRound) {
+  uwp::Rng rng(5);
+  const ScenarioRunner runner(make_dock_testbed(rng));
+  RoundOptions opts;
+  opts.waveform_phy = true;
+  const RoundResult res = runner.run_round(opts, rng);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.localization.positions.size(), 5u);
+  EXPECT_FALSE(res.ranging_errors.empty());
+  // Waveform-level ranging should be sub-meter at these ranges (median).
+  EXPECT_LT(uwp::median(res.ranging_errors), 1.5);
+}
+
+TEST(Scenario, ArrivalErrorSampleIsFinite) {
+  uwp::Rng rng(6);
+  const ScenarioRunner runner(make_dock_testbed(rng));
+  int detected = 0;
+  for (int t = 0; t < 5; ++t) {
+    const auto e = runner.sample_arrival_error(1, 0, rng);
+    if (e) {
+      ++detected;
+      EXPECT_LT(std::abs(*e), 5e-3);  // within ~7.5 m equivalent
+    }
+  }
+  EXPECT_GE(detected, 4);
+}
+
+TEST(Scenario, LeaderVoteMatchesGeometry) {
+  uwp::Rng rng(7);
+  const ScenarioRunner runner(make_dock_testbed(rng));
+  const Deployment& d = runner.deployment();
+  const uwp::Vec2 to1 = (d.devices[1].position - d.devices[0].position).xy();
+  const double pointing = bearing(to1);
+  int correct = 0, total = 0;
+  for (std::size_t node = 2; node < 5; ++node) {
+    const double side =
+        side_of_line((d.devices[node].position - d.devices[0].position).xy(),
+                     {0, 0}, to1);
+    const int expected = side > 0 ? 1 : -1;
+    for (int t = 0; t < 4; ++t) {
+      const int vote = runner.sample_leader_vote(node, pointing, rng);
+      if (vote == 0) continue;
+      ++total;
+      if (vote == expected) ++correct;
+    }
+  }
+  ASSERT_GT(total, 6);
+  // Paper: 90.1% single-signal accuracy; leave slack for the small sample.
+  EXPECT_GE(static_cast<double>(correct) / total, 0.7);
+}
+
+TEST(Scenario, MissingLinkRoundStillLocalizes) {
+  uwp::Rng rng(8);
+  Deployment dep = make_dock_testbed(rng);
+  dep.drop_link(2, 4);
+  const ScenarioRunner runner(std::move(dep));
+  RoundOptions opts;
+  opts.waveform_phy = false;
+  int ok = 0;
+  std::vector<double> errors;
+  for (int t = 0; t < 10; ++t) {
+    const RoundResult res = runner.run_round(opts, rng);
+    if (!res.ok) continue;
+    ++ok;
+    for (std::size_t i = 1; i < 5; ++i) errors.push_back(res.error_2d[i]);
+  }
+  EXPECT_GE(ok, 8);
+  EXPECT_LT(uwp::median(errors), 2.5);
+}
+
+TEST(Scenario, LocalizerInputExposedForAblations) {
+  uwp::Rng rng(9);
+  const ScenarioRunner runner(make_dock_testbed(rng));
+  RoundOptions opts;
+  opts.waveform_phy = false;
+  const RoundResult res = runner.run_round(opts, rng);
+  ASSERT_TRUE(res.ok);
+  // The exposed input matches the solved ranging data, so ablations can
+  // re-localize identical measurements.
+  EXPECT_EQ(res.localizer_input.distances.rows(), 5u);
+  EXPECT_LT(res.localizer_input.distances.max_abs_diff(res.ranging.distances), 1e-12);
+  EXPECT_LT(res.localizer_input.weights.max_abs_diff(res.ranging.weights), 1e-12);
+  // Re-running the localizer on the same input reproduces a valid result.
+  uwp::Rng rng2(1);
+  const uwp::core::Localizer loc;
+  const auto again = loc.localize(res.localizer_input, rng2);
+  EXPECT_EQ(again.positions.size(), 5u);
+}
+
+TEST(Scenario, SoundSpeedErrorBiasesRangingProportionally) {
+  uwp::Rng rng(10);
+  Deployment dep = make_dock_testbed(rng);
+  const ScenarioRunner runner(std::move(dep));
+  RoundOptions opts;
+  opts.waveform_phy = false;
+  opts.fast_error_sigma_m = 0.01;  // isolate the speed bias
+  opts.fast_error_sigma_per_m = 0.0;
+  opts.fast_detection_failure_prob = 0.0;
+  opts.quantize_payload = false;
+
+  opts.sound_speed_error_mps = 0.0;
+  const RoundResult exact = runner.run_round(opts, rng);
+  opts.sound_speed_error_mps = 30.0;
+  const RoundResult biased = runner.run_round(opts, rng);
+  ASSERT_TRUE(exact.ok);
+  ASSERT_TRUE(biased.ok);
+  // ~2% speed error inflates a 23 m link by ~0.46 m.
+  const double c = runner.deployment().env.sound_speed_mps();
+  const double d_true = distance(runner.deployment().devices[0].position,
+                                 runner.deployment().devices[4].position);
+  const double expected = d_true * 30.0 / c;
+  EXPECT_NEAR(biased.ranging.distances(0, 4) - exact.ranging.distances(0, 4),
+              expected, 0.15);
+}
+
+TEST(Metrics, BarRendering) {
+  EXPECT_EQ(bar(0.0, 10), "..........");
+  EXPECT_EQ(bar(0.5, 10), "#####.....");
+  EXPECT_EQ(bar(1.0, 10), "##########");
+  EXPECT_EQ(bar(2.0, 10), "##########");  // clamped
+}
+
+TEST(Metrics, TakeSelectsIndices) {
+  const std::vector<double> v = {10, 20, 30, 40};
+  const std::vector<std::size_t> idx = {3, 0, 9};
+  const auto out = take(v, idx);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 40.0);
+  EXPECT_DOUBLE_EQ(out[1], 10.0);
+}
+
+TEST(EnergyModel, PaperBatteryNumbers) {
+  // §3.1: watch lost 90% in 4.5 h, phone 63%.
+  const EnergyModel watch = EnergyModel::watch_ultra_siren();
+  const EnergyModel phone = EnergyModel::phone_preamble_tx();
+  EXPECT_NEAR(watch.battery_drop_fraction(4.5), 0.90, 0.10);
+  EXPECT_NEAR(phone.battery_drop_fraction(4.5), 0.63, 0.25);
+  // Both outlast the maximum recommended recreational dive (~1 h).
+  EXPECT_GT(watch.hours_to_drop(1.0), 1.0);
+  EXPECT_GT(phone.hours_to_drop(1.0), 1.0);
+}
+
+TEST(EnergyModel, DutyCycleScalesPower) {
+  EnergyModel m;
+  m.duty_cycle = 0.0;
+  const double idle = m.average_power_w();
+  m.duty_cycle = 1.0;
+  EXPECT_GT(m.average_power_w(), idle);
+}
+
+}  // namespace
+}  // namespace uwp::sim

@@ -1,0 +1,124 @@
+#include "util/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace uwp {
+namespace {
+
+TEST(Geometry, VectorArithmetic) {
+  const Vec2 a{1, 2}, b{3, -1};
+  EXPECT_EQ(a + b, (Vec2{4, 1}));
+  EXPECT_EQ(a - b, (Vec2{-2, 3}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+}
+
+TEST(Geometry, Vec3Cross) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0};
+  EXPECT_EQ(x.cross(y), (Vec3{0, 0, 1}));
+  EXPECT_DOUBLE_EQ((Vec3{1, 2, 2}).norm(), 3.0);
+}
+
+TEST(Geometry, RotateQuarterTurn) {
+  const Vec2 v = rotate({1, 0}, kPi / 2.0);
+  EXPECT_NEAR(v.x, 0.0, 1e-12);
+  EXPECT_NEAR(v.y, 1.0, 1e-12);
+}
+
+TEST(Geometry, RotationPreservesNorm) {
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const Vec2 v{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const double ang = rng.uniform(-kPi, kPi);
+    EXPECT_NEAR(rotate(v, ang).norm(), v.norm(), 1e-12);
+  }
+}
+
+TEST(Geometry, ReflectAcrossXAxis) {
+  const Vec2 p = reflect_across_line({2, 3}, {0, 0}, {1, 0});
+  EXPECT_NEAR(p.x, 2.0, 1e-12);
+  EXPECT_NEAR(p.y, -3.0, 1e-12);
+}
+
+TEST(Geometry, ReflectionIsInvolution) {
+  Rng rng(8);
+  for (int i = 0; i < 20; ++i) {
+    const Vec2 a{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const Vec2 b{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const Vec2 p{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const Vec2 twice = reflect_across_line(reflect_across_line(p, a, b), a, b);
+    EXPECT_NEAR(twice.x, p.x, 1e-9);
+    EXPECT_NEAR(twice.y, p.y, 1e-9);
+  }
+}
+
+TEST(Geometry, ReflectionPreservesDistanceToLinePoints) {
+  const Vec2 a{1, 1}, b{4, 3}, p{2, 5};
+  const Vec2 q = reflect_across_line(p, a, b);
+  EXPECT_NEAR(distance(p, a), distance(q, a), 1e-12);
+  EXPECT_NEAR(distance(p, b), distance(q, b), 1e-12);
+}
+
+TEST(Geometry, DegenerateReflectionReturnsPoint) {
+  const Vec2 p{2, 3};
+  EXPECT_EQ(reflect_across_line(p, {1, 1}, {1, 1}), p);
+}
+
+TEST(Geometry, WrapAngle) {
+  EXPECT_NEAR(wrap_angle(3 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_angle(-3 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_angle(0.5), 0.5, 1e-12);
+}
+
+TEST(Geometry, SideOfLineSigns) {
+  // Line from origin along +x; points above are left (positive).
+  EXPECT_GT(side_of_line({1, 1}, {0, 0}, {2, 0}), 0.0);
+  EXPECT_LT(side_of_line({1, -1}, {0, 0}, {2, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(side_of_line({1, 0}, {0, 0}, {2, 0}), 0.0);
+}
+
+TEST(Geometry, Centroid) {
+  const std::vector<Vec2> pts = {{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const Vec2 c = centroid(pts);
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 1.0);
+}
+
+TEST(Geometry, ProcrustesRecoversRigidTransform) {
+  Rng rng(15);
+  std::vector<Vec2> truth;
+  for (int i = 0; i < 6; ++i) truth.push_back({rng.uniform(-10, 10), rng.uniform(-10, 10)});
+  const double ang = 1.1;
+  const Vec2 shift{3, -2};
+  std::vector<Vec2> moved;
+  for (const Vec2& p : truth) moved.push_back(rotate(p, ang) + shift);
+  EXPECT_NEAR(aligned_rmse(moved, truth), 0.0, 1e-9);
+}
+
+TEST(Geometry, ProcrustesHandlesReflection) {
+  std::vector<Vec2> truth = {{0, 0}, {1, 0}, {0, 2}, {3, 1}};
+  std::vector<Vec2> mirrored;
+  for (const Vec2& p : truth) mirrored.push_back({p.x, -p.y});
+  EXPECT_NEAR(aligned_rmse(mirrored, truth), 0.0, 1e-9);
+  // Without reflection the mirrored asymmetric cloud cannot align perfectly.
+  const std::vector<Vec2> no_ref = procrustes_align(mirrored, truth, false);
+  double err = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) err += distance(no_ref[i], truth[i]);
+  EXPECT_GT(err, 0.1);
+}
+
+TEST(Geometry, AlignedRmseDetectsDeformation) {
+  std::vector<Vec2> truth = {{0, 0}, {4, 0}, {0, 4}, {4, 4}};
+  std::vector<Vec2> stretched = {{0, 0}, {8, 0}, {0, 4}, {8, 4}};
+  EXPECT_GT(aligned_rmse(stretched, truth), 0.5);
+}
+
+TEST(Geometry, DegToRadRoundTrip) {
+  EXPECT_NEAR(rad_to_deg(deg_to_rad(37.0)), 37.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace uwp

@@ -1,0 +1,112 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace uwp {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4);
+}
+
+TEST(Matrix, Product) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, ProductShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, IdentityIsMultiplicativeIdentity) {
+  Matrix a{{2, -1}, {0.5, 3}};
+  EXPECT_EQ(a * Matrix::identity(2), a);
+  EXPECT_EQ(Matrix::identity(2) * a, a);
+}
+
+TEST(Matrix, SumAndDifference) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  Matrix s = a + b;
+  Matrix d = a - b;
+  EXPECT_DOUBLE_EQ(s(0, 0), 5);
+  EXPECT_DOUBLE_EQ(s(1, 1), 5);
+  EXPECT_DOUBLE_EQ(d(0, 0), -3);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3);
+}
+
+TEST(Matrix, ScalarProduct) {
+  Matrix a{{1, -2}};
+  Matrix b = 2.0 * a;
+  EXPECT_DOUBLE_EQ(b(0, 0), 2);
+  EXPECT_DOUBLE_EQ(b(0, 1), -4);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix a{{3, 4}};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 2.5}, {3, 3}};
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 1.0);
+}
+
+TEST(Matrix, RowSpanWritable) {
+  Matrix a(2, 2);
+  auto r = a.row(1);
+  r[0] = 7.0;
+  EXPECT_DOUBLE_EQ(a(1, 0), 7.0);
+}
+
+}  // namespace
+}  // namespace uwp

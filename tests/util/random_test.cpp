@@ -1,0 +1,99 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace uwp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i)
+    if (a.uniform(0, 1) != b.uniform(0, 1)) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  const std::vector<double> xs = rng.normal_vector(20000, 1.5, 2.0);
+  EXPECT_NEAR(mean(xs), 1.5, 0.05);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.05);
+}
+
+TEST(Rng, SymmetricBounds) {
+  Rng rng(13);
+  double acc = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.symmetric(0.8);
+    EXPECT_GE(v, -0.8);
+    EXPECT_LE(v, 0.8);
+    acc += v;
+  }
+  EXPECT_NEAR(acc / 5000.0, 0.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int count = 0;
+  for (int i = 0; i < 10000; ++i) count += rng.bernoulli(0.3);
+  EXPECT_NEAR(count / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(21);
+  double acc = 0.0;
+  for (int i = 0; i < 20000; ++i) acc += rng.exponential(4.0);
+  EXPECT_NEAR(acc / 20000.0, 0.25, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(33);
+  Rng child = parent.fork();
+  // Child should not replay the parent's stream.
+  Rng parent_copy(33);
+  parent_copy.fork();
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i)
+    if (child.uniform(0, 1) != parent.uniform(0, 1)) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, ForkIsReproducible) {
+  Rng a(33), b(33);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(ca.uniform(0, 1), cb.uniform(0, 1));
+}
+
+}  // namespace
+}  // namespace uwp

@@ -1,0 +1,89 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace uwp {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, VarianceUnbiased) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  // Population variance is 4; sample (n-1) variance is 32/7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, VarianceDegenerate) {
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 2, 3}), 2.5);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  const std::vector<double> xs = {0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 95), 9.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
+}
+
+TEST(Stats, PercentileValidation) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile(std::vector<double>{1.0}, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(std::vector<double>{1.0}, 101), std::invalid_argument);
+}
+
+TEST(Stats, PercentileIsOrderInvariant) {
+  const std::vector<double> a = {5, 1, 4, 2, 3};
+  const std::vector<double> b = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(a, 37.5), percentile(b, 37.5));
+}
+
+TEST(Stats, Ecdf) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(ecdf(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(xs, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf(xs, 10.0), 1.0);
+}
+
+TEST(Stats, SummaryFields) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Stats, CdfPointsMonotone) {
+  const std::vector<double> xs = {0.3, 1.2, 0.8, 2.5, 1.9, 0.1};
+  const auto pts = cdf_points(xs, 11);
+  ASSERT_EQ(pts.size(), 11u);
+  EXPECT_DOUBLE_EQ(pts.front().second, ecdf(xs, pts.front().first));
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].first, pts[i].first);
+    EXPECT_LE(pts[i - 1].second, pts[i].second);
+  }
+}
+
+TEST(Stats, Rms) {
+  const std::vector<double> xs = {3, -4};
+  EXPECT_NEAR(rms(xs), std::sqrt(12.5), 1e-12);
+  EXPECT_DOUBLE_EQ(rms(std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace uwp
