@@ -4,12 +4,17 @@
 // divers (excluding the leader), 200 samples per configuration (paper's
 // count). Prints the four series: (a) vs 1D ranging error, (b) vs number of
 // users, (c) vs orientation error, (d) vs dropped links.
+//
+// Each configuration's samples fan out across hardware threads through the
+// SweepRunner; results are bit-identical for any `--threads=N` (master seed
+// fixed per configuration).
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "core/localizer.hpp"
 #include "sim/deployment.hpp"
+#include "sim/sweep.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -23,71 +28,87 @@ struct Params {
   int samples = 200;
 };
 
-double mean_2d_error(const Params& p, uwp::Rng& rng) {
-  std::vector<double> errors;
+// One Monte-Carlo sample: a random topology perturbed per the config, solved
+// by the localizer; returns the mean 2D error over the non-leader devices.
+std::vector<double> one_sample(const Params& p, const uwp::core::Localizer& localizer,
+                               uwp::Rng& rng) {
+  const uwp::sim::AnalyticalTopology topo =
+      uwp::sim::random_analytical_topology(p.n, rng);
+
+  uwp::core::LocalizationInput in;
+  in.distances = uwp::Matrix(p.n, p.n);
+  in.weights = uwp::Matrix::ones(p.n, p.n);
+  in.depths.resize(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    in.depths[i] = topo.positions[i].z + rng.symmetric(p.eps_h);
+    for (std::size_t j = 0; j < p.n; ++j) {
+      const double d = distance(topo.positions[i], topo.positions[j]);
+      in.distances(i, j) = std::max(0.1, d + rng.symmetric(p.eps_1d));
+    }
+  }
+  // Symmetrize the error draw.
+  for (std::size_t i = 0; i < p.n; ++i)
+    for (std::size_t j = i + 1; j < p.n; ++j) in.distances(j, i) = in.distances(i, j);
+
+  // Drop random non-adjacent links (never 0-1, the pointing edge).
+  for (int k = 0; k < p.dropped_links; ++k) {
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      const auto i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<long>(p.n) - 1));
+      const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<long>(p.n) - 1));
+      if (i == j || (i == 0 && j == 1) || (i == 1 && j == 0)) continue;
+      if (in.weights(i, j) == 0.0) continue;
+      in.weights(i, j) = in.weights(j, i) = 0.0;
+      break;
+    }
+  }
+
+  const uwp::Vec2 to1 = (topo.positions[1] - topo.positions[0]).xy();
+  in.pointing_bearing_rad =
+      bearing(to1) + uwp::deg_to_rad(rng.symmetric(p.eps_theta_deg));
+  for (std::size_t i = 2; i < p.n; ++i) {
+    const double side = side_of_line((topo.positions[i] - topo.positions[0]).xy(),
+                                     {0, 0}, to1);
+    in.votes.push_back({i, side > 0 ? 1 : -1});
+  }
+
+  // A throwing localize (degenerate topology) fails just this trial; the
+  // sweep counts it and moves on, like the old try/continue loop.
+  const uwp::core::LocalizationResult res = localizer.localize(in, rng);
+  double acc = 0.0;
+  for (std::size_t i = 1; i < p.n; ++i)
+    acc += distance(res.positions[i].xy(), (topo.positions[i] - topo.positions[0]).xy());
+  return {acc / static_cast<double>(p.n - 1)};
+}
+
+double mean_2d_error(const Params& p, std::uint64_t master_seed, std::size_t threads,
+                     uwp::sim::SweepTally& tally) {
   // The analytical evaluation has no occluded links, so Algorithm 1's subset
   // search would only burn time; disable it (as §2.1.5 does).
   uwp::core::LocalizerOptions lopts;
   lopts.outlier.stress_threshold = 1e9;
   const uwp::core::Localizer localizer(lopts);
-  for (int s = 0; s < p.samples; ++s) {
-    const uwp::sim::AnalyticalTopology topo =
-        uwp::sim::random_analytical_topology(p.n, rng);
 
-    uwp::core::LocalizationInput in;
-    in.distances = uwp::Matrix(p.n, p.n);
-    in.weights = uwp::Matrix::ones(p.n, p.n);
-    in.depths.resize(p.n);
-    for (std::size_t i = 0; i < p.n; ++i) {
-      in.depths[i] = topo.positions[i].z + rng.symmetric(p.eps_h);
-      for (std::size_t j = 0; j < p.n; ++j) {
-        const double d = distance(topo.positions[i], topo.positions[j]);
-        in.distances(i, j) = std::max(0.1, d + rng.symmetric(p.eps_1d));
-      }
-    }
-    // Symmetrize the error draw.
-    for (std::size_t i = 0; i < p.n; ++i)
-      for (std::size_t j = i + 1; j < p.n; ++j) in.distances(j, i) = in.distances(i, j);
-
-    // Drop random non-adjacent links (never 0-1, the pointing edge).
-    for (int k = 0; k < p.dropped_links; ++k) {
-      for (int attempt = 0; attempt < 50; ++attempt) {
-        const auto i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<long>(p.n) - 1));
-        const auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<long>(p.n) - 1));
-        if (i == j || (i == 0 && j == 1) || (i == 1 && j == 0)) continue;
-        if (in.weights(i, j) == 0.0) continue;
-        in.weights(i, j) = in.weights(j, i) = 0.0;
-        break;
-      }
-    }
-
-    const uwp::Vec2 to1 = (topo.positions[1] - topo.positions[0]).xy();
-    in.pointing_bearing_rad =
-        bearing(to1) + uwp::deg_to_rad(rng.symmetric(p.eps_theta_deg));
-    for (std::size_t i = 2; i < p.n; ++i) {
-      const double side = side_of_line((topo.positions[i] - topo.positions[0]).xy(),
-                                       {0, 0}, to1);
-      in.votes.push_back({i, side > 0 ? 1 : -1});
-    }
-
-    uwp::core::LocalizationResult res;
-    try {
-      res = localizer.localize(in, rng);
-    } catch (const std::exception&) {
-      continue;
-    }
-    double acc = 0.0;
-    for (std::size_t i = 1; i < p.n; ++i)
-      acc += distance(res.positions[i].xy(), (topo.positions[i] - topo.positions[0]).xy());
-    errors.push_back(acc / static_cast<double>(p.n - 1));
-  }
-  return uwp::mean(errors);
+  uwp::sim::SweepOptions so;
+  so.trials = static_cast<std::size_t>(p.samples);
+  so.master_seed = master_seed;
+  so.threads = threads;
+  const uwp::sim::SweepResult res = uwp::sim::SweepRunner(so).run(
+      [&p, &localizer](std::size_t, uwp::Rng& rng) {
+        return one_sample(p, localizer, rng);
+      });
+  tally.add(res);
+  return res.summary.mean;
 }
 
 }  // namespace
 
-int main() {
-  uwp::Rng rng(60);
+int main(int argc, char** argv) {
+  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
+  uwp::sim::SweepTally tally;
+  // Distinct fixed master seed per configuration: results do not depend on
+  // thread count or on the order the series are printed.
+  std::uint64_t seed = 60;
+
   std::printf("=== Fig 6: analytical evaluation (mean 2D error, m) ===\n");
   std::printf("Paper shape: (a) grows ~linearly with eps_1d; (b) shrinks with N;\n");
   std::printf("(c) grows with pointing error; (d) grows slowly with dropped links.\n\n");
@@ -96,14 +117,16 @@ int main() {
   for (double eps : {0.0, 0.25, 0.5, 0.8, 1.0, 1.5, 2.0}) {
     Params p;
     p.eps_1d = eps;
-    std::printf("  eps_1d=%4.2f m -> mean 2D error %5.2f m\n", eps, mean_2d_error(p, rng));
+    std::printf("  eps_1d=%4.2f m -> mean 2D error %5.2f m\n", eps,
+                mean_2d_error(p, ++seed, threads, tally));
   }
 
   std::printf("\n(b) vs number of users  [eps_1d=0.8, eps_h=0.4, eps_theta=0]\n");
   for (std::size_t n : {3u, 4u, 5u, 6u, 7u, 8u}) {
     Params p;
     p.n = n;
-    std::printf("  N=%zu -> mean 2D error %5.2f m\n", n, mean_2d_error(p, rng));
+    std::printf("  N=%zu -> mean 2D error %5.2f m\n", n,
+                mean_2d_error(p, ++seed, threads, tally));
   }
 
   std::printf("\n(c) vs orientation error  [N=6, eps_1d=0.8, eps_h=0.4]\n");
@@ -111,14 +134,17 @@ int main() {
     Params p;
     p.eps_theta_deg = deg;
     std::printf("  eps_theta=%4.1f deg -> mean 2D error %5.2f m\n", deg,
-                mean_2d_error(p, rng));
+                mean_2d_error(p, ++seed, threads, tally));
   }
 
   std::printf("\n(d) vs dropped links  [N=6, eps_1d=0.8, eps_h=0.4, eps_theta=0]\n");
   for (int drops : {0, 1, 2, 3}) {
     Params p;
     p.dropped_links = drops;
-    std::printf("  drops=%d -> mean 2D error %5.2f m\n", drops, mean_2d_error(p, rng));
+    std::printf("  drops=%d -> mean 2D error %5.2f m\n", drops,
+                mean_2d_error(p, ++seed, threads, tally));
   }
+
+  tally.print_footer();
   return 0;
 }

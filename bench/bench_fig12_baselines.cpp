@@ -4,6 +4,10 @@
 //     gate vs the window-power threshold TH_SD swept over thresholds.
 // (b) 1D ranging error (mean +/- std) at 10/20/28 m for the three methods,
 //     with equal signal duration and bandwidth.
+//
+// Every series is a SweepRunner Monte-Carlo sweep: the waveform-level channel
+// simulation dominates the cost and each trial is independent, so trials fan
+// out across hardware threads (`--threads=N`) with bit-identical rates.
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -12,9 +16,29 @@
 #include "phy/baseline/chirp_ranger.hpp"
 #include "phy/baseline/fmcw_ranger.hpp"
 #include "phy/ranging.hpp"
+#include "sim/sweep.hpp"
 #include "util/stats.hpp"
 
-int main() {
+namespace {
+
+uwp::sim::SweepResult sweep(std::size_t trials, std::uint64_t seed,
+                            std::size_t threads, uwp::sim::SweepTally& tally,
+                            const uwp::sim::TrialFn& fn) {
+  uwp::sim::SweepOptions so;
+  so.trials = trials;
+  so.master_seed = seed;
+  so.threads = threads;
+  const uwp::sim::SweepResult res = uwp::sim::SweepRunner(so).run(fn);
+  tally.add(res);
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
+  uwp::sim::SweepTally tally;
+
   const uwp::channel::Environment env = uwp::channel::make_boathouse();
   const uwp::phy::PreambleConfig pc;
   const uwp::phy::OfdmPreamble preamble(pc);
@@ -24,55 +48,81 @@ int main() {
   // temperature guess error (paper 2: <=2% c error at dive depths). This is
   // what makes ranging error grow with true distance.
   const double c_assumed = env.sound_speed_mps() + 22.0;
-  uwp::Rng rng(12);
 
   const std::vector<double> distances = {10.0, 20.0, 28.0};
   const int sends = 30;        // paper: 180 preambles per distance
   const int noise_trials = 30; // noise-only segments for false positives
+  std::uint64_t seed = 12;     // fixed master seed per series
 
   // ---------- (a) detection robustness ----------
   std::printf("=== Fig 12a: detection FP/FN (ours vs FMCW window-power TH_SD) ===\n");
-  // Pre-generate receptions at 20 m plus noise-only segments.
   uwp::channel::LinkConfig lc;
   lc.tx_pos = {0.0, 0.0, 1.0};
   lc.rx_pos = {20.0, 0.0, 1.0};
 
-  std::vector<uwp::channel::Reception> with_signal, noise_only;
   const uwp::phy::baseline::ChirpRanger chirp{uwp::phy::baseline::ChirpConfig{}};
-  std::vector<uwp::channel::Reception> chirp_rx, chirp_noise;
-  for (int t = 0; t < sends; ++t) {
-    with_signal.push_back(link.transmit(preamble.waveform(), lc, rng));
-    chirp_rx.push_back(link.transmit(chirp.waveform(), lc, rng));
-  }
-  for (int t = 0; t < noise_trials; ++t) {
-    noise_only.push_back(link.noise_only(0.5, lc, rng));
-    chirp_noise.push_back(link.noise_only(0.5, lc, rng));
+  const std::vector<double> thresholds_db = {3.0, 6.0, 10.0, 15.0, 20.0};
+  // Pre-construct one detector per threshold; they are const and shared
+  // read-only across the sweep threads.
+  std::vector<uwp::phy::baseline::ChirpRanger> chirp_dets;
+  for (double th_db : thresholds_db) {
+    uwp::phy::baseline::ChirpConfig ccfg;
+    ccfg.detect_threshold_db = th_db;
+    chirp_dets.emplace_back(ccfg);
   }
 
   std::printf("%-26s %8s %8s\n", "detector", "FP rate", "FN rate");
   {
     const uwp::phy::PreambleDetector det(preamble);
-    int fn = 0, fp = 0;
-    for (const auto& r : with_signal)
-      if (!det.detect(r.mic[0])) ++fn;
-    for (const auto& r : noise_only)
-      if (det.detect(r.mic[0])) ++fp;
+    // Each trial transmits one preamble at 20 m (FN) or records a noise-only
+    // window (FP) and reports a miss/false-fire flag; the rate is the mean.
+    const auto fn_sweep = sweep(sends, ++seed, threads, tally,
+                                [&](std::size_t, uwp::Rng& rng) {
+                                  const auto r = link.transmit(preamble.waveform(), lc, rng);
+                                  return std::vector<double>{det.detect(r.mic[0]) ? 0.0 : 1.0};
+                                });
+    const auto fp_sweep = sweep(noise_trials, ++seed, threads, tally,
+                                [&](std::size_t, uwp::Rng& rng) {
+                                  const auto r = link.noise_only(0.5, lc, rng);
+                                  return std::vector<double>{det.detect(r.mic[0]) ? 1.0 : 0.0};
+                                });
     std::printf("%-26s %8.3f %8.3f\n", "ours (xcorr+autocorr)",
-                static_cast<double>(fp) / noise_trials,
-                static_cast<double>(fn) / sends);
+                fp_sweep.summary.mean, fn_sweep.summary.mean);
   }
-  for (double th_db : {3.0, 6.0, 10.0, 15.0, 20.0}) {
-    uwp::phy::baseline::ChirpConfig ccfg;
-    ccfg.detect_threshold_db = th_db;
-    const uwp::phy::baseline::ChirpRanger det(ccfg);
-    int fn = 0, fp = 0;
-    for (const auto& r : chirp_rx)
-      if (!det.detect(r.mic[0])) ++fn;
-    for (const auto& r : chirp_noise)
-      if (det.detect(r.mic[0])) ++fp;
-    std::printf("power TH_SD = %4.1f dB       %8.3f %8.3f\n", th_db,
-                static_cast<double>(fp) / noise_trials,
-                static_cast<double>(fn) / sends);
+  {
+    // One chirp transmission (or noise window) per trial, scored against all
+    // thresholds at once; per-threshold rates come from per_trial columns.
+    const auto fn_sweep = sweep(sends, ++seed, threads, tally,
+                                [&](std::size_t, uwp::Rng& rng) {
+                                  const auto r = link.transmit(chirp.waveform(), lc, rng);
+                                  std::vector<double> flags;
+                                  for (const auto& det : chirp_dets)
+                                    flags.push_back(det.detect(r.mic[0]) ? 0.0 : 1.0);
+                                  return flags;
+                                });
+    const auto fp_sweep = sweep(noise_trials, ++seed, threads, tally,
+                                [&](std::size_t, uwp::Rng& rng) {
+                                  const auto r = link.noise_only(0.5, lc, rng);
+                                  std::vector<double> flags;
+                                  for (const auto& det : chirp_dets)
+                                    flags.push_back(det.detect(r.mic[0]) ? 1.0 : 0.0);
+                                  return flags;
+                                });
+    // Rates over completed trials only, matching the summary.mean the "ours"
+    // row uses (a failed trial must not count as a clean detection).
+    const auto rate = [](const uwp::sim::SweepResult& r, std::size_t ti) {
+      double sum = 0.0;
+      std::size_t done = 0;
+      for (const auto& t : r.per_trial) {
+        if (t.empty()) continue;
+        sum += t[ti];
+        ++done;
+      }
+      return done == 0 ? 0.0 : sum / static_cast<double>(done);
+    };
+    for (std::size_t ti = 0; ti < thresholds_db.size(); ++ti)
+      std::printf("power TH_SD = %4.1f dB       %8.3f %8.3f\n", thresholds_db[ti],
+                  rate(fp_sweep, ti), rate(fn_sweep, ti));
   }
   std::printf("(paper: the power threshold trades FP against FN; the PN-coded\n"
               " autocorrelation gate achieves low FP and FN simultaneously)\n\n");
@@ -83,38 +133,50 @@ int main() {
               "BeepBeep (chirp corr)", "CAT (FMCW)");
   const uwp::phy::baseline::FmcwRanger fmcw{uwp::phy::baseline::FmcwConfig{}};
   for (double range : distances) {
-    lc.rx_pos = {range, 0.0, 1.0};
-    std::vector<double> ours, beep, cat;
-    for (int t = 0; t < sends; ++t) {
-      const auto rec = link.transmit(preamble.waveform(), lc, rng);
-      if (const auto est = ranger.estimate(rec))
-        ours.push_back(std::abs(
-            uwp::phy::one_way_distance_m(*est, c_assumed) - range));
+    uwp::channel::LinkConfig rlc = lc;
+    rlc.rx_pos = {range, 0.0, 1.0};
 
-      const auto rec_c = link.transmit(chirp.waveform(), lc, rng);
-      if (const auto arr = chirp.estimate_arrival(rec_c.mic[0]))
-        beep.push_back(std::abs(*arr / pc.fs_hz * c_assumed - range));
-
-      const auto rec_f = link.transmit(fmcw.waveform(), lc, rng);
-      if (const auto d = fmcw.estimate_delay_samples(rec_f.mic[0]))
-        cat.push_back(std::abs(*d / pc.fs_hz * c_assumed - range));
-    }
-    auto fmt = [](const std::vector<double>& v) {
+    // One sweep per method: independent trial streams, missed detections
+    // contribute no sample (empty trial) exactly like the serial loop.
+    const auto ours = sweep(sends, ++seed, threads, tally,
+                            [&](std::size_t, uwp::Rng& rng) -> std::vector<double> {
+                              const auto rec = link.transmit(preamble.waveform(), rlc, rng);
+                              if (const auto est = ranger.estimate(rec))
+                                return {std::abs(uwp::phy::one_way_distance_m(*est, c_assumed) - range)};
+                              return {};
+                            });
+    const auto beep = sweep(sends, ++seed, threads, tally,
+                            [&](std::size_t, uwp::Rng& rng) -> std::vector<double> {
+                              const auto rec = link.transmit(chirp.waveform(), rlc, rng);
+                              if (const auto arr = chirp.estimate_arrival(rec.mic[0]))
+                                return {std::abs(*arr / pc.fs_hz * c_assumed - range)};
+                              return {};
+                            });
+    const auto cat = sweep(sends, ++seed, threads, tally,
+                           [&](std::size_t, uwp::Rng& rng) -> std::vector<double> {
+                             const auto rec = link.transmit(fmcw.waveform(), rlc, rng);
+                             if (const auto d = fmcw.estimate_delay_samples(rec.mic[0]))
+                               return {std::abs(*d / pc.fs_hz * c_assumed - range)};
+                             return {};
+                           });
+    auto fmt = [](const uwp::sim::SweepResult& r) {
       static char buf[4][48];
       static int slot = 0;
       slot = (slot + 1) % 4;
-      if (v.empty())
+      if (r.samples.empty())
         std::snprintf(buf[slot], 48, "(none)");
       else
         // median [mean +/- std]: the median is robust to the occasional
         // catastrophic miss that dominates the mean at small n.
-        std::snprintf(buf[slot], 48, "%5.2f [%5.2f+/-%5.2f]", uwp::median(v),
-                      uwp::mean(v), uwp::stddev(v));
+        std::snprintf(buf[slot], 48, "%5.2f [%5.2f+/-%5.2f]", r.summary.median,
+                      r.summary.mean, r.summary.stddev);
       return buf[slot];
     };
     std::printf("%7.0fm %22s %22s %22s\n", range, fmt(ours), fmt(beep), fmt(cat));
   }
   std::printf("(paper shape: ours lowest at every distance; FMCW degrades most\n"
               " because multipath smears the beat spectrum)\n");
+
+  tally.print_footer();
   return 0;
 }

@@ -5,32 +5,55 @@
 // resolution — and errors are broken down by the device's link distance to
 // the leader. Paper medians (95%): dock 0.9 m (3.2 m), boathouse 1.6 m
 // (4.9 m), growing with distance to the leader.
+//
+// Rounds are independent, so each site's rounds fan out across hardware
+// threads via the SweepRunner (`--threads=N`), bit-identical at any count.
 #include <cstdio>
 #include <vector>
 
 #include "sim/metrics.hpp"
 #include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 #include "util/stats.hpp"
 
 namespace {
 
-void run_site(const char* name, uwp::sim::Deployment deployment, uwp::Rng& rng,
-              int rounds) {
+void run_site(const char* name, uwp::sim::Deployment deployment,
+              std::uint64_t master_seed, int rounds, std::size_t threads,
+              uwp::sim::SweepTally& tally) {
   const uwp::sim::ScenarioRunner runner(std::move(deployment));
   uwp::sim::RoundOptions opts;
   opts.waveform_phy = true;
 
+  uwp::sim::SweepOptions so;
+  so.trials = static_cast<std::size_t>(rounds);
+  so.master_seed = master_seed;
+  so.threads = threads;
+  // Each trial is one full round; it reports (leader distance, error) pairs
+  // flattened per device so the distance breakdown survives aggregation.
+  const uwp::sim::SweepResult res = uwp::sim::SweepRunner(so).run(
+      [&runner, &opts](std::size_t, uwp::Rng& rng) -> std::vector<double> {
+        const uwp::sim::RoundResult r = runner.run_round(opts, rng);
+        if (!r.ok) return {};
+        std::vector<double> out;
+        for (std::size_t i = 1; i < runner.deployment().size(); ++i) {
+          out.push_back(r.truth_xy[i].norm());
+          out.push_back(r.error_2d[i]);
+        }
+        return out;
+      });
+  tally.add(res);
+
   std::vector<double> all, d0_10, d10_15, d15_25;
   int ok_rounds = 0;
-  for (int r = 0; r < rounds; ++r) {
-    const uwp::sim::RoundResult res = runner.run_round(opts, rng);
-    if (!res.ok) continue;
+  for (const auto& row : res.per_trial) {
+    if (row.empty()) continue;
     ++ok_rounds;
-    for (std::size_t i = 1; i < runner.deployment().size(); ++i) {
-      const double link_dist = res.truth_xy[i].norm();
-      all.push_back(res.error_2d[i]);
-      (link_dist <= 10.0 ? d0_10 : link_dist <= 15.0 ? d10_15 : d15_25)
-          .push_back(res.error_2d[i]);
+    for (std::size_t k = 0; k + 1 < row.size(); k += 2) {
+      const double link_dist = row[k];
+      const double err = row[k + 1];
+      all.push_back(err);
+      (link_dist <= 10.0 ? d0_10 : link_dist <= 15.0 ? d10_15 : d15_25).push_back(err);
     }
   }
 
@@ -46,12 +69,16 @@ void run_site(const char* name, uwp::sim::Deployment deployment, uwp::Rng& rng,
 
 }  // namespace
 
-int main() {
-  uwp::Rng rng(18);
+int main(int argc, char** argv) {
+  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
+  uwp::sim::SweepTally tally;
+  uwp::Rng rng(18);  // deployments only; round streams come from the sweep
   const int rounds = 20;  // paper: ~240 measurements per site
-  run_site("dock", uwp::sim::make_dock_testbed(rng), rng, rounds);
-  run_site("boathouse", uwp::sim::make_boathouse_testbed(rng), rng, rounds);
+  run_site("dock", uwp::sim::make_dock_testbed(rng), 181, rounds, threads, tally);
+  run_site("boathouse", uwp::sim::make_boathouse_testbed(rng), 182, rounds, threads,
+           tally);
   std::printf("Paper reference: dock median 0.9 m (95%% 3.2 m); boathouse\n"
               "median 1.6 m (95%% 4.9 m); error grows with leader distance.\n");
+  tally.print_footer();
   return 0;
 }

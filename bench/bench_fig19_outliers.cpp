@@ -8,27 +8,32 @@
 //     non-pointed node) per round. Paper: medians 1.0 / 0.9 m; 95% grows to
 //     6.2 m with a dropped link vs 3.2 m fully connected; 4-device networks
 //     match 5-device ones.
+//
+// All four series run as SweepRunner sweeps (`--threads=N`): the waveform
+// rounds in (a) dominate the cost, and the fast-mode breadth runs in (b)
+// draw their per-round deployment mutations from the trial's own stream.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "sim/metrics.hpp"
 #include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 #include "util/stats.hpp"
 
 namespace {
 
-std::vector<double> run_rounds(const uwp::sim::Deployment& dep,
-                               const uwp::sim::RoundOptions& opts, int rounds,
-                               uwp::Rng& rng) {
-  const uwp::sim::ScenarioRunner runner(dep);
-  std::vector<double> errors;
-  for (int r = 0; r < rounds; ++r) {
-    const uwp::sim::RoundResult res = runner.run_round(opts, rng);
-    if (!res.ok) continue;
-    for (std::size_t i = 1; i < dep.size(); ++i) errors.push_back(res.error_2d[i]);
-  }
-  return errors;
+uwp::sim::SweepTally g_tally;
+
+uwp::sim::SweepResult sweep(std::size_t trials, std::uint64_t seed,
+                            std::size_t threads, const uwp::sim::TrialFn& fn) {
+  uwp::sim::SweepOptions so;
+  so.trials = trials;
+  so.master_seed = seed;
+  so.threads = threads;
+  const uwp::sim::SweepResult res = uwp::sim::SweepRunner(so).run(fn);
+  g_tally.add(res);
+  return res;
 }
 
 std::vector<double> worst_decile(std::vector<double> v) {
@@ -38,8 +43,9 @@ std::vector<double> worst_decile(std::vector<double> v) {
 
 }  // namespace
 
-int main() {
-  uwp::Rng rng(19);
+int main(int argc, char** argv) {
+  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
+  uwp::Rng rng(19);  // deployment construction only
   const int rounds = 14;
 
   // ---------- (a) occluded link ----------
@@ -58,20 +64,31 @@ int main() {
   detector_off.outlier.stress_threshold = 1e9;
   const uwp::core::Localizer no_detection(detector_off);
 
-  std::vector<double> with_errors, without_errors;
   const uwp::sim::ScenarioRunner occluded_runner(occluded);
-  for (int r = 0; r < rounds; ++r) {
-    const uwp::sim::RoundResult res = occluded_runner.run_round(with_det, rng);
-    if (!res.ok) continue;
-    for (std::size_t i = 1; i < occluded.size(); ++i)
-      with_errors.push_back(res.error_2d[i]);
-    try {
-      const uwp::core::LocalizationResult alt =
-          no_detection.localize(res.localizer_input, rng);
-      for (std::size_t i = 1; i < occluded.size(); ++i)
-        without_errors.push_back(distance(alt.positions[i].xy(), res.truth_xy[i]));
-    } catch (const std::exception&) {
-    }
+  const std::size_t ndev = occluded.size();
+  // Trial layout: first ndev-1 values are errors with detection; if the
+  // detector-off re-localization succeeds, ndev-1 more follow.
+  const auto occl = sweep(rounds, 191, threads,
+                          [&](std::size_t, uwp::Rng& trial_rng) -> std::vector<double> {
+                            const uwp::sim::RoundResult res =
+                                occluded_runner.run_round(with_det, trial_rng);
+                            if (!res.ok) return {};
+                            std::vector<double> out;
+                            for (std::size_t i = 1; i < ndev; ++i)
+                              out.push_back(res.error_2d[i]);
+                            try {
+                              const uwp::core::LocalizationResult alt =
+                                  no_detection.localize(res.localizer_input, trial_rng);
+                              for (std::size_t i = 1; i < ndev; ++i)
+                                out.push_back(distance(alt.positions[i].xy(), res.truth_xy[i]));
+                            } catch (const std::exception&) {
+                            }
+                            return out;
+                          });
+  std::vector<double> with_errors, without_errors;
+  for (const auto& row : occl.per_trial) {
+    for (std::size_t k = 0; k < row.size(); ++k)
+      (k < ndev - 1 ? with_errors : without_errors).push_back(row[k]);
   }
   uwp::sim::print_summary_row("with outlier detection", with_errors);
   uwp::sim::print_summary_row("without outlier detection", without_errors);
@@ -85,46 +102,62 @@ int main() {
   fast.waveform_phy = false;
   const int fast_rounds = 60;
 
-  // Fully connected baseline.
   const uwp::sim::Deployment base = uwp::sim::make_dock_testbed(rng);
-  uwp::sim::print_summary_row("fully connected network",
-                              run_rounds(base, fast, fast_rounds, rng));
+  const auto round_errors = [&fast](const uwp::sim::Deployment& dep,
+                                    uwp::Rng& trial_rng) -> std::vector<double> {
+    const uwp::sim::ScenarioRunner runner(dep);
+    const uwp::sim::RoundResult res = runner.run_round(fast, trial_rng);
+    if (!res.ok) return {};
+    std::vector<double> out;
+    for (std::size_t i = 1; i < dep.size(); ++i) out.push_back(res.error_2d[i]);
+    return out;
+  };
 
-  // One random link removed per round.
-  {
-    std::vector<double> errors;
-    for (int r = 0; r < fast_rounds; ++r) {
-      uwp::sim::Deployment dep = base;
-      std::size_t i = 0, j = 0;
-      while (i == j) {
-        i = static_cast<std::size_t>(rng.uniform_int(0, 4));
-        j = static_cast<std::size_t>(rng.uniform_int(0, 4));
-      }
-      dep.drop_link(i, j);
-      const auto e = run_rounds(dep, fast, 1, rng);
-      errors.insert(errors.end(), e.begin(), e.end());
-    }
-    uwp::sim::print_summary_row("random link dropped", errors);
-  }
+  // Fully connected baseline.
+  const uwp::sim::ScenarioRunner base_runner(base);
+  const auto full = sweep(fast_rounds, 192, threads,
+                          [&](std::size_t, uwp::Rng& trial_rng) -> std::vector<double> {
+                            const uwp::sim::RoundResult res =
+                                base_runner.run_round(fast, trial_rng);
+                            if (!res.ok) return {};
+                            std::vector<double> out;
+                            for (std::size_t i = 1; i < base.size(); ++i)
+                              out.push_back(res.error_2d[i]);
+                            return out;
+                          });
+  uwp::sim::print_summary_row("fully connected network", full.samples);
+
+  // One random link removed per round (drawn from the trial's own stream).
+  const auto link_drop = sweep(fast_rounds, 193, threads,
+                               [&](std::size_t, uwp::Rng& trial_rng) {
+                                 uwp::sim::Deployment dep = base;
+                                 std::size_t i = 0, j = 0;
+                                 while (i == j) {
+                                   i = static_cast<std::size_t>(trial_rng.uniform_int(0, 4));
+                                   j = static_cast<std::size_t>(trial_rng.uniform_int(0, 4));
+                                 }
+                                 dep.drop_link(i, j);
+                                 return round_errors(dep, trial_rng);
+                               });
+  uwp::sim::print_summary_row("random link dropped", link_drop.samples);
 
   // One random node removed (never the leader or the pointed diver).
-  {
-    std::vector<double> errors;
-    for (int r = 0; r < fast_rounds; ++r) {
-      uwp::sim::Deployment dep = base;
-      const auto victim = static_cast<std::size_t>(rng.uniform_int(2, 4));
-      // Build the 4-device deployment without `victim`.
-      uwp::sim::Deployment four = dep;
-      four.devices.erase(four.devices.begin() + static_cast<std::ptrdiff_t>(victim));
-      four.protocol.num_devices = 4;
-      four.connect_all();
-      const auto e = run_rounds(four, fast, 1, rng);
-      errors.insert(errors.end(), e.begin(), e.end());
-    }
-    uwp::sim::print_summary_row("random node dropped (4-device)", errors);
-  }
+  const auto node_drop = sweep(fast_rounds, 194, threads,
+                               [&](std::size_t, uwp::Rng& trial_rng) {
+                                 const auto victim =
+                                     static_cast<std::size_t>(trial_rng.uniform_int(2, 4));
+                                 uwp::sim::Deployment four = base;
+                                 four.devices.erase(four.devices.begin() +
+                                                    static_cast<std::ptrdiff_t>(victim));
+                                 four.protocol.num_devices = 4;
+                                 four.connect_all();
+                                 return round_errors(four, trial_rng);
+                               });
+  uwp::sim::print_summary_row("random node dropped (4-device)", node_drop.samples);
   std::printf("(paper: similar medians ~0.9-1.0 m; dropped links inflate the\n"
               " 95%% tail because some links pin down rotational ambiguity;\n"
               " dropping far nodes can even help)\n");
+
+  g_tally.print_footer();
   return 0;
 }

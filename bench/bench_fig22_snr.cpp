@@ -2,6 +2,10 @@
 // the boathouse. An 8-symbol OFDM preamble is transmitted; per-bin SNR is
 // estimated from the LS channel estimate (signal power) against the ambient
 // noise spectrum measured in a signal-free window.
+//
+// Each distance's transmissions run as a SweepRunner sweep (`--threads=N`);
+// a trial contributes the whole per-bin SNR row, and rows are averaged over
+// the trials whose detection succeeded — bit-identical at any thread count.
 #include <cmath>
 #include <complex>
 #include <cstdio>
@@ -11,9 +15,12 @@
 #include "dsp/fft.hpp"
 #include "phy/channel_estimator.hpp"
 #include "phy/preamble_detector.hpp"
+#include "sim/sweep.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
+
   const uwp::channel::Environment env = uwp::channel::make_boathouse();
   uwp::phy::PreambleConfig pc;
   pc.num_symbols = 8;  // the appendix uses 8 OFDM symbols
@@ -22,7 +29,6 @@ int main() {
   const uwp::phy::PreambleDetector detector(preamble);
   const uwp::phy::LsChannelEstimator estimator(preamble);
   const uwp::channel::LinkSimulator link(env, pc.fs_hz);
-  uwp::Rng rng(22);
 
   std::printf("=== Fig 22: per-subcarrier SNR (1-5 kHz, boathouse) ===\n");
   std::printf("%10s", "freq[kHz]");
@@ -33,37 +39,52 @@ int main() {
   const double bin_hz = pc.fs_hz / static_cast<double>(pc.symbol_len);
   const std::size_t lo = pc.bin_lo();
   const std::size_t hi = pc.bin_hi();
+  const std::size_t bins = hi - lo + 1;
   std::vector<std::vector<double>> snr_db(distances.size(),
-                                          std::vector<double>(hi - lo + 1, 0.0));
+                                          std::vector<double>(bins, 0.0));
 
+  uwp::sim::SweepTally tally;
   for (std::size_t di = 0; di < distances.size(); ++di) {
     uwp::channel::LinkConfig lc;
     lc.tx_pos = {0.0, 0.0, 1.0};
     lc.rx_pos = {distances[di], 0.0, 1.0};
-    const int trials = 6;
-    int used = 0;
-    for (int t = 0; t < trials; ++t) {
-      const uwp::channel::Reception rec = link.transmit(preamble.waveform(), lc, rng);
-      const auto det = detector.detect(rec.mic[0]);
-      if (!det) continue;
-      const uwp::phy::ChannelEstimate est = estimator.estimate(rec.mic[0],
-                                                               det->coarse_index);
-      // Noise spectrum from a signal-free tail window of the same length.
-      std::vector<double> tail(rec.mic[0].end() - static_cast<long>(pc.symbol_len),
-                               rec.mic[0].end());
-      const auto noise_spec = uwp::dsp::fft_real(tail);
+
+    uwp::sim::SweepOptions so;
+    so.trials = 6;
+    so.master_seed = 22 + di;  // fixed per distance: thread-count invariant
+    so.threads = threads;
+    const uwp::sim::SweepResult res = uwp::sim::SweepRunner(so).run(
+        [&](std::size_t, uwp::Rng& rng) -> std::vector<double> {
+          const uwp::channel::Reception rec = link.transmit(preamble.waveform(), lc, rng);
+          const auto det = detector.detect(rec.mic[0]);
+          if (!det) return {};  // missed detection contributes no row
+          const uwp::phy::ChannelEstimate est = estimator.estimate(rec.mic[0],
+                                                                   det->coarse_index);
+          // Noise spectrum from a signal-free tail window of the same length.
+          std::vector<double> tail(rec.mic[0].end() - static_cast<long>(pc.symbol_len),
+                                   rec.mic[0].end());
+          const auto noise_spec = uwp::dsp::fft_real(tail);
+          std::vector<double> row(bins, 0.0);
+          for (std::size_t k = lo; k <= hi; ++k) {
+            // |H|^2 * |X|^2 vs noise bin power. ZC bins have unit magnitude.
+            const double sig = std::norm(est.freq[k]);
+            const double noise = std::norm(noise_spec[k]) /
+                                 static_cast<double>(pc.symbol_len);
+            row[k - lo] =
+                10.0 * std::log10(std::max(sig, 1e-30) / std::max(noise, 1e-30));
+          }
+          return row;
+        });
+    tally.add(res);
+
+    std::size_t used = 0;
+    for (const auto& row : res.per_trial) {
+      if (row.empty()) continue;
       ++used;
-      for (std::size_t k = lo; k <= hi; ++k) {
-        // |H|^2 * |X|^2 vs noise bin power. ZC bins have unit magnitude.
-        const double sig = std::norm(est.freq[k]);
-        const double noise = std::norm(noise_spec[k]) /
-                             static_cast<double>(pc.symbol_len);
-        snr_db[di][k - lo] +=
-            10.0 * std::log10(std::max(sig, 1e-30) / std::max(noise, 1e-30));
-      }
+      for (std::size_t b = 0; b < bins; ++b) snr_db[di][b] += row[b];
     }
     if (used > 0)
-      for (double& v : snr_db[di]) v /= used;
+      for (double& v : snr_db[di]) v /= static_cast<double>(used);
   }
 
   for (std::size_t k = lo; k <= hi; k += 8) {
@@ -74,5 +95,6 @@ int main() {
   }
   std::printf("\n(paper shape: SNR decreases with distance; the usable band\n"
               " spans 1-5 kHz with tens of dB at 10 m)\n");
+  tally.print_footer();
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
 namespace uwp::sim {
 
@@ -37,6 +38,12 @@ std::vector<double> take(std::span<const double> values,
   for (std::size_t i : idx)
     if (i < values.size()) out.push_back(values[i]);
   return out;
+}
+
+double cep(std::span<const double> radial_errors, double fraction) {
+  if (fraction < 0.0 || fraction > 1.0)
+    throw std::invalid_argument("cep: fraction out of [0, 1]");
+  return percentile(radial_errors, fraction * 100.0);
 }
 
 }  // namespace uwp::sim

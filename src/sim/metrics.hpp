@@ -24,4 +24,10 @@ std::string bar(double fraction, std::size_t width = 40);
 // Filter values by a predicate index set: returns values[i] for i in idx.
 std::vector<double> take(std::span<const double> values, std::span<const std::size_t> idx);
 
+// Circular error probable: the radius containing `fraction` of the radial
+// error samples (CEP50 by default — the localization literature's headline
+// number). Throws std::invalid_argument on empty input or fraction outside
+// [0, 1], matching uwp::percentile.
+double cep(std::span<const double> radial_errors, double fraction = 0.5);
+
 }  // namespace uwp::sim

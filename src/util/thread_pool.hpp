@@ -1,0 +1,57 @@
+// Fixed-size work-queue thread pool shared by the Monte-Carlo sweep engine
+// and any future batch workload. Deliberately simple — a mutex-guarded FIFO,
+// no work stealing — because sweep trials are coarse (milliseconds to
+// seconds each) and queue contention is negligible at that granularity.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <condition_variable>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace uwp {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueue a task; runs on some worker, in FIFO order of submission.
+  void submit(std::function<void()> task);
+
+  // Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  // Run body(i) for i in [0, n) across the pool and block until done.
+  // Indices are handed out dynamically (atomic counter), so load imbalance
+  // between trials self-corrects. If any invocation throws, the first
+  // exception is rethrown here after all workers finish. Must be called
+  // from outside the pool's own workers (no nesting).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  // Resolve the `threads` convention used across the codebase: 0 means "all
+  // hardware threads", anything else is taken literally (min 1).
+  static std::size_t resolve_thread_count(std::size_t threads);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_task_;   // signals workers: task available / stop
+  std::condition_variable cv_idle_;   // signals waiters: pool drained
+  std::size_t active_ = 0;            // tasks currently executing
+  bool stop_ = false;
+};
+
+}  // namespace uwp

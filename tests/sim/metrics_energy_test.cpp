@@ -1,0 +1,149 @@
+// Edge-case coverage for the reporting stack (sim/metrics + util/stats
+// percentiles it builds on) and the duty-cycle energy model, beyond the
+// happy paths in sim_test.cpp.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/energy_model.hpp"
+#include "sim/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace uwp::sim {
+namespace {
+
+// ---------- percentile / CEP edge cases ----------
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  const std::vector<double> one = {3.5};
+  EXPECT_DOUBLE_EQ(uwp::percentile(one, 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(uwp::percentile(one, 50.0), 3.5);
+  EXPECT_DOUBLE_EQ(uwp::percentile(one, 100.0), 3.5);
+  EXPECT_DOUBLE_EQ(uwp::median(one), 3.5);
+}
+
+TEST(Percentile, LinearInterpolationBetweenOrderStatistics) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(uwp::percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(uwp::percentile(xs, 25.0), 2.5);
+  // Unsorted input is sorted internally.
+  const std::vector<double> shuffled = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(uwp::median(shuffled), 2.5);
+  EXPECT_DOUBLE_EQ(uwp::percentile(shuffled, 100.0), 4.0);
+}
+
+TEST(Percentile, EmptyAndOutOfRangeThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW(uwp::percentile(empty, 50.0), std::invalid_argument);
+  EXPECT_THROW(uwp::median(empty), std::invalid_argument);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(uwp::percentile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(uwp::percentile(xs, 100.1), std::invalid_argument);
+}
+
+TEST(Cep, MatchesPercentileOfRadialErrors) {
+  const std::vector<double> r = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(cep(r), 3.0);                 // CEP50 = median radius
+  EXPECT_DOUBLE_EQ(cep(r, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cep(r, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cep(r, 0.95), uwp::percentile(r, 95.0));
+}
+
+TEST(Cep, EmptyAndBadFractionThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW(cep(empty), std::invalid_argument);
+  const std::vector<double> r = {1.0};
+  EXPECT_THROW(cep(r, -0.01), std::invalid_argument);
+  EXPECT_THROW(cep(r, 1.01), std::invalid_argument);
+}
+
+// ---------- empty-input behavior of the reporting helpers ----------
+
+TEST(Metrics, EmptyInputsAreBenign) {
+  const std::vector<double> empty;
+  const Summary s = uwp::summarize(empty);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_TRUE(uwp::cdf_points(empty).empty());
+  EXPECT_DOUBLE_EQ(uwp::ecdf(empty, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(uwp::rms(empty), 0.0);
+  // The printers must not throw on empty series (benches hit this when every
+  // trial fails to detect).
+  EXPECT_NO_THROW(print_summary_row("empty", empty));
+  EXPECT_NO_THROW(print_cdf("empty", empty));
+}
+
+TEST(Metrics, CdfPointsDegenerateRequests) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(uwp::cdf_points(xs, 0).empty());
+  EXPECT_TRUE(uwp::cdf_points(xs, 1).empty());
+  const auto pts = uwp::cdf_points(xs, 3);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(pts.back().first, 3.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);  // CDF reaches 1 at the max
+}
+
+TEST(Metrics, CdfPointsConstantSeries) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  const auto pts = uwp::cdf_points(xs, 5);
+  ASSERT_EQ(pts.size(), 5u);
+  for (const auto& [x, p] : pts) {
+    EXPECT_DOUBLE_EQ(x, 2.0);
+    EXPECT_DOUBLE_EQ(p, 1.0);
+  }
+}
+
+TEST(Metrics, TakeIgnoresAllOutOfRangeIndices) {
+  const std::vector<double> v = {10.0};
+  const std::vector<std::size_t> idx = {5, 6, 7};
+  EXPECT_TRUE(take(v, idx).empty());
+}
+
+// ---------- energy model ----------
+
+TEST(EnergyModel, BatteryDrainIsMonotoneAndClamped) {
+  for (const EnergyModel& m :
+       {EnergyModel{}, EnergyModel::watch_ultra_siren(), EnergyModel::phone_preamble_tx()}) {
+    double prev = -1.0;
+    for (double h = 0.0; h <= 48.0; h += 0.5) {
+      const double drop = m.battery_drop_fraction(h);
+      EXPECT_GE(drop, prev);  // monotone nondecreasing in time
+      EXPECT_GE(drop, 0.0);
+      EXPECT_LE(drop, 1.0);   // clamped at a dead battery
+      prev = drop;
+    }
+    EXPECT_DOUBLE_EQ(m.battery_drop_fraction(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(m.battery_drop_fraction(1e6), 1.0);
+  }
+}
+
+TEST(EnergyModel, HoursToDropInvertsDrainBelowClamp) {
+  const EnergyModel m = EnergyModel::phone_preamble_tx();
+  for (double f : {0.1, 0.5, 0.9}) {
+    const double h = m.hours_to_drop(f);
+    EXPECT_GT(h, 0.0);
+    EXPECT_NEAR(m.battery_drop_fraction(h), f, 1e-12);
+  }
+}
+
+TEST(EnergyModel, HigherDutyCycleDrainsFaster) {
+  EnergyModel lo, hi;
+  lo.duty_cycle = 0.1;
+  hi.duty_cycle = 0.9;
+  EXPECT_GT(hi.average_power_w(), lo.average_power_w());
+  EXPECT_LT(hi.hours_to_drop(0.5), lo.hours_to_drop(0.5));
+  EXPECT_GT(hi.battery_drop_fraction(1.0), lo.battery_drop_fraction(1.0));
+}
+
+TEST(EnergyModel, RecordPowerContributesToAveragePower) {
+  EnergyModel m;
+  m.duty_cycle = 0.0;
+  const double without = m.average_power_w();
+  m.record_power_w += 0.2;
+  EXPECT_NEAR(m.average_power_w() - without, 0.2, 1e-12);
+}
+
+}  // namespace
+}  // namespace uwp::sim
