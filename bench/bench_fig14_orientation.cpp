@@ -3,6 +3,8 @@
 // (a) azimuth 0/90/180 degrees and the phone facing the surface — the paper
 //     finds modest degradation (median 0.54-1.25 m), worst when facing up.
 // (b) ranging across Pixel / Samsung / OnePlus pairings.
+// Each case's waveform transmissions fan out across hardware threads via the
+// SweepRunner (`--threads=N` / UWP_THREADS, bit-identical at any count).
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -10,8 +12,10 @@
 #include "channel/propagation.hpp"
 #include "phy/ranging.hpp"
 #include "sim/metrics.hpp"
+#include "sim/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
   const uwp::channel::Environment env = uwp::channel::make_dock();
   const uwp::phy::PreambleConfig pc;
   const uwp::phy::OfdmPreamble preamble(pc);
@@ -21,19 +25,24 @@ int main() {
   // temperature guess error (paper 2: <=2% c error at dive depths). This is
   // what makes ranging error grow with true distance.
   const double c_assumed = env.sound_speed_mps() + 22.0;
-  uwp::Rng rng(14);
   const double range = 20.0;
-  const int trials = 25;
 
-  auto run_case = [&](const char* label, uwp::channel::LinkConfig lc) {
-    std::vector<double> errors;
-    for (int t = 0; t < trials; ++t) {
-      const auto rec = link.transmit(preamble.waveform(), lc, rng);
-      if (const auto est = ranger.estimate(rec))
-        errors.push_back(std::abs(
-            uwp::phy::one_way_distance_m(*est, c_assumed) - range));
-    }
-    uwp::sim::print_summary_row(label, errors);
+  uwp::sim::SweepTally tally;
+  std::uint64_t seed = 140;
+  auto run_case = [&](const char* label, const uwp::channel::LinkConfig& lc) {
+    uwp::sim::SweepOptions so;
+    so.trials = 25;
+    so.master_seed = ++seed;
+    so.threads = threads;
+    const uwp::sim::SweepResult res = uwp::sim::SweepRunner(so).run(
+        [&](std::size_t, uwp::Rng& rng) -> std::vector<double> {
+          const auto rec = link.transmit(preamble.waveform(), lc, rng);
+          if (const auto est = ranger.estimate(rec))
+            return {std::abs(uwp::phy::one_way_distance_m(*est, c_assumed) - range)};
+          return {};
+        });
+    tally.add(res);
+    uwp::sim::print_summary_row(label, res.samples);
   };
 
   std::printf("=== Fig 14a: ranging error vs transmitter orientation (20 m) ===\n");
@@ -81,5 +90,6 @@ int main() {
   }
   std::printf("(paper: all pairs achieve sub-meter medians; differences come\n"
               " from per-device band response and mic noise)\n");
+  tally.print_footer();
   return 0;
 }

@@ -3,49 +3,67 @@
 // several distances; the pointing error is measured with the camera-geometry
 // method of the paper (angle between camera->checkerboard and the frame
 // center ray). Paper average: 5.0 degrees across users and distances.
+// Each (distance, repetition) pair is an independent SweepRunner trial
+// (`--threads=N` / UWP_THREADS, bit-identical at any count).
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "sensors/pointing_model.hpp"
-#include "util/random.hpp"
+#include "sim/sweep.hpp"
 #include "util/stats.hpp"
 
-int main() {
-  uwp::Rng rng(16);
+int main(int argc, char** argv) {
+  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
   // Two users with slightly different pointing skill (the paper's two
   // volunteers show different per-distance means).
   uwp::sensors::PointingModel user1;
   uwp::sensors::PointingModel user2;
   user2.sigma_deg = 7.2;
 
+  const std::vector<double> dists = {2.0, 4.0, 6.0, 8.0, 10.0, 12.0};
+  const std::size_t reps = 40;
+
+  uwp::sim::SweepOptions so;
+  so.trials = dists.size() * reps;  // trial -> (distance bucket, repetition)
+  so.master_seed = 160;
+  so.threads = threads;
+  const uwp::sim::SweepResult res = uwp::sim::SweepRunner(so).run(
+      [&](std::size_t trial, uwp::Rng& rng) -> std::vector<double> {
+        const double dist = dists[trial / reps];
+        std::vector<double> out;
+        for (const uwp::sensors::PointingModel* user : {&user1, &user2}) {
+          // The pointed bearing deviates from the true bearing; reconstruct
+          // the error with the camera method: the checkerboard sits at the
+          // true bearing, the frame center along the pointed bearing.
+          const double pointed = user->point(0.0, dist, rng);
+          const uwp::Vec3 camera{0, 0, 0};
+          const uwp::Vec3 board{dist, 0, 0};
+          const uwp::Vec3 center{dist * std::cos(pointed), dist * std::sin(pointed), 0};
+          out.push_back(
+              uwp::sensors::camera_orientation_error_deg(camera, board, center));
+        }
+        return out;
+      });
+  uwp::sim::SweepTally tally;
+  tally.add(res);
+
   std::printf("=== Fig 16: human pointing error via camera geometry ===\n");
   std::printf("%8s %14s %14s\n", "dist[m]", "user 1 [deg]", "user 2 [deg]");
-
-  std::vector<double> all;
-  for (double dist : {2.0, 4.0, 6.0, 8.0, 10.0, 12.0}) {
+  for (std::size_t d = 0; d < dists.size(); ++d) {
     std::vector<double> e1, e2;
-    for (int t = 0; t < 40; ++t) {
-      for (const auto& [user, bucket] :
-           {std::pair{&user1, &e1}, std::pair{&user2, &e2}}) {
-        // The pointed bearing deviates from the true bearing; reconstruct
-        // the error with the camera method: the checkerboard sits at the
-        // true bearing, the frame center along the pointed bearing.
-        const double pointed = user->point(0.0, dist, rng);
-        const uwp::Vec3 camera{0, 0, 0};
-        const uwp::Vec3 board{dist, 0, 0};
-        const uwp::Vec3 center{dist * std::cos(pointed), dist * std::sin(pointed), 0};
-        const double err =
-            uwp::sensors::camera_orientation_error_deg(camera, board, center);
-        bucket->push_back(err);
-        all.push_back(err);
-      }
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const auto& row = res.per_trial[d * reps + rep];
+      if (row.size() != 2) continue;
+      e1.push_back(row[0]);
+      e2.push_back(row[1]);
     }
-    std::printf("%8.0f %14.2f %14.2f\n", dist, uwp::mean(e1), uwp::mean(e2));
+    std::printf("%8.0f %14.2f %14.2f\n", dists[d], uwp::mean(e1), uwp::mean(e2));
   }
   std::printf("\naverage across users and distances: %.1f deg (paper: 5.0 deg)\n",
-              uwp::mean(all));
+              uwp::mean(res.samples));
   std::printf("This error feeds Fig 6c: at 20 m a 5 deg pointing error costs\n"
               "~%.1f m of cross-range offset.\n", 20.0 * std::sin(uwp::deg_to_rad(5.0)));
+  tally.print_footer();
   return 0;
 }

@@ -3,53 +3,83 @@
 // 5-device dock network stays put; ground truth is the trajectory midpoint,
 // as in the paper. Paper: user 1 median 0.2 -> 0.3 m when moving; user 2
 // 0.4 -> 0.8 m — motion costs little because every round is independent.
+// Rounds are independent full-pipeline runs, so they fan out across
+// hardware threads via the SweepRunner (`--threads=N` / UWP_THREADS,
+// bit-identical at any count).
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <vector>
 
 #include "sim/metrics.hpp"
 #include "sim/scenario.hpp"
+#include "sim/sweep.hpp"
 
 namespace {
 
-void run_config(const char* label, std::size_t mover, uwp::Rng& rng) {
-  const int rounds = 12;
-  uwp::sim::Deployment base = uwp::sim::make_dock_testbed(rng);
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Split {mover error, bystander error} trial rows into finite per-series
+// sample vectors.
+void split_rows(const uwp::sim::SweepResult& res, std::vector<double>& mover,
+                std::vector<double>& other) {
+  for (const auto& row : res.per_trial) {
+    if (row.size() != 2 || std::isnan(row[0])) continue;
+    mover.push_back(row[0]);
+    other.push_back(row[1]);
+  }
+}
+
+void run_config(const char* label, std::size_t mover, std::uint64_t master_seed,
+                std::size_t threads, uwp::Rng& setup_rng,
+                uwp::sim::SweepTally& tally) {
+  const std::size_t rounds = 12;
+  const uwp::sim::Deployment base = uwp::sim::make_dock_testbed(setup_rng);
   const uwp::Vec3 midpoint = base.devices[mover].position;
 
   uwp::sim::RoundOptions opts;
   opts.waveform_phy = true;
-
-  std::vector<double> mover_static, mover_moving, other_static, other_moving;
   const std::size_t other = mover == 1 ? 2 : 1;
 
-  // Static baseline.
-  {
-    const uwp::sim::ScenarioRunner runner(base);
-    for (int r = 0; r < rounds; ++r) {
-      const auto res = runner.run_round(opts, rng);
-      if (!res.ok) continue;
-      mover_static.push_back(res.error_2d[mover]);
-      other_static.push_back(res.error_2d[other]);
-    }
-  }
+  uwp::sim::SweepOptions so;
+  so.trials = rounds;
+  so.threads = threads;
+
+  // Static baseline: every trial is one full round of the unmodified
+  // deployment.
+  so.master_seed = master_seed;
+  const uwp::sim::ScenarioRunner static_runner(base);
+  const uwp::sim::SweepResult static_res = uwp::sim::SweepRunner(so).run(
+      [&](std::size_t, uwp::Rng& rng) -> std::vector<double> {
+        const auto res = static_runner.run_round(opts, rng);
+        if (!res.ok) return {kNaN, kNaN};
+        return {res.error_2d[mover], res.error_2d[other]};
+      });
+  tally.add(static_res);
 
   // Moving: +/- 1.2 m oscillation along y around the midpoint (~30 cm/s at
-  // one round every ~8 s). Error is measured against the midpoint.
-  for (int r = 0; r < rounds; ++r) {
-    uwp::sim::Deployment dep = base;
-    const double phase = 2.0 * uwp::kPi * static_cast<double>(r) / 6.0;
-    dep.devices[mover].position = midpoint + uwp::Vec3{0.0, 1.2 * std::sin(phase), 0.0};
-    const uwp::sim::ScenarioRunner runner(std::move(dep));
-    uwp::sim::RoundResult res = runner.run_round(opts, rng);
-    if (!res.ok) continue;
-    // Ground truth for the mover is the trajectory midpoint (paper's rule).
-    const uwp::Vec2 mid_rel = (midpoint - base.devices[0].position).xy();
-    res.error_2d[mover] =
-        distance(res.localization.positions[mover].xy(), mid_rel);
-    mover_moving.push_back(res.error_2d[mover]);
-    other_moving.push_back(res.error_2d[other]);
-  }
+  // one round every ~8 s); the trial index is the round index, so the
+  // trajectory phase stays deterministic under any thread count. Error is
+  // measured against the midpoint (paper's rule).
+  so.master_seed = master_seed + 1;
+  const uwp::sim::SweepResult moving_res = uwp::sim::SweepRunner(so).run(
+      [&](std::size_t trial, uwp::Rng& rng) -> std::vector<double> {
+        uwp::sim::Deployment dep = base;
+        const double phase = 2.0 * uwp::kPi * static_cast<double>(trial) / 6.0;
+        dep.devices[mover].position =
+            midpoint + uwp::Vec3{0.0, 1.2 * std::sin(phase), 0.0};
+        const uwp::sim::ScenarioRunner runner(std::move(dep));
+        const uwp::sim::RoundResult res = runner.run_round(opts, rng);
+        if (!res.ok) return {kNaN, kNaN};
+        const uwp::Vec2 mid_rel = (midpoint - base.devices[0].position).xy();
+        return {distance(res.localization.positions[mover].xy(), mid_rel),
+                res.error_2d[other]};
+      });
+  tally.add(moving_res);
+
+  std::vector<double> mover_static, mover_moving, other_static, other_moving;
+  split_rows(static_res, mover_static, other_static);
+  split_rows(moving_res, mover_moving, other_moving);
 
   std::printf("=== Fig 20: %s ===\n", label);
   char row[64];
@@ -66,12 +96,15 @@ void run_config(const char* label, std::size_t mover, uwp::Rng& rng) {
 
 }  // namespace
 
-int main() {
-  uwp::Rng rng(20);
-  run_config("user 1 moves (15-50 cm/s)", 1, rng);
-  run_config("user 2 moves (15-50 cm/s)", 2, rng);
+int main(int argc, char** argv) {
+  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
+  uwp::sim::SweepTally tally;
+  uwp::Rng rng(20);  // deployments only; round streams come from the sweep
+  run_config("user 1 moves (15-50 cm/s)", 1, 201, threads, rng, tally);
+  run_config("user 2 moves (15-50 cm/s)", 2, 203, threads, rng, tally);
   std::printf("(paper: moving increases the mover's median error only\n"
               " modestly — 0.2->0.3 m and 0.4->0.8 m — because each protocol\n"
               " round is an independent snapshot)\n");
+  tally.print_footer();
   return 0;
 }

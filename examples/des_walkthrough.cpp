@@ -1,0 +1,119 @@
+// Discrete-event simulator walkthrough: a 10-node, 20-round mobile dive
+// group, narrated layer by layer. Shows how the des/ subsystem composes with
+// the rest of the stack:
+//
+//   des::Simulator        deterministic event loop (time, FIFO tie-break)
+//   des::AcousticMedium   propagation delay, half-duplex, collisions
+//   des::ProtocolNode     §2.3 slot schedule as a per-node state machine
+//   des::MobilityModel    positions move *during* rounds
+//   proto::RangingSolver  timestamp table -> pairwise distances
+//   core::Localizer       distances + depths + pointing -> positions
+//   core::GroupTracker    Kalman smoothing across rounds
+//
+//   ./examples/example_des_walkthrough [--trace-out=FILE]
+//
+// With --trace-out=FILE every packet event lands in a CSV you can pivot on:
+//   awk -F, '$5 == "rx_collision"' FILE   # all collisions
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "des/scenario.hpp"
+#include "sim/sweep.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  const char* trace_path = uwp::sim::trace_out_from_args(argc, argv);
+
+  const std::size_t n = 10;
+
+  // Mobility: eight static divers around the leader plus two swimming —
+  // node 3 on a 1D lawnmower pass, node 7 looping a 2D waypoint circuit.
+  // Waypoint tours subsume lawnmower tracks, so one model carries both.
+  std::vector<uwp::Vec3> origins;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * uwp::kPi * static_cast<double>(i) / n;
+    origins.push_back({12.0 * std::cos(angle) + 14.0, 12.0 * std::sin(angle) + 14.0,
+                       1.0 + 0.2 * static_cast<double>(i)});
+  }
+  origins[0] = {14.0, 14.0, 1.5};  // leader at the center
+  auto mobility = std::make_shared<uwp::des::WaypointMobility>(origins);
+  {
+    uwp::des::WaypointTrack pass;  // 1D out-and-back
+    pass.waypoints = {origins[3], origins[3] + uwp::Vec3{10.0, 0.0, 0.0}};
+    pass.speed_mps = 0.45;
+    mobility->set_track(3, pass);
+    uwp::des::WaypointTrack loop;  // 2D circuit
+    loop.waypoints = {origins[7], origins[7] + uwp::Vec3{6.0, 0.0, 0.0},
+                      origins[7] + uwp::Vec3{6.0, 5.0, 0.0},
+                      origins[7] + uwp::Vec3{0.0, 5.0, 0.0}};
+    loop.speed_mps = 0.35;
+    mobility->set_track(7, loop);
+  }
+
+  // Per-node audio clocks: distinct offsets and ppm-scale skews, as the
+  // Appendix measures on real phones.
+  std::vector<uwp::audio::AudioTimingConfig> audio(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    audio[i].speaker_start_s = 0.23 * static_cast<double>(i);
+    audio[i].mic_start_s = 0.04 + 0.09 * static_cast<double>(i);
+    audio[i].speaker_skew_ppm = (i % 2 ? 8.0 : -6.0);
+    audio[i].mic_skew_ppm = (i % 2 ? -5.0 : 7.0);
+  }
+
+  uwp::Matrix conn(n, n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) conn(i, i) = 0.0;
+
+  uwp::des::DesScenarioConfig cfg;
+  cfg.protocol.num_devices = n;
+  cfg.rounds = 20;
+  cfg.detection_failure_prob = 0.03;
+
+  const uwp::des::DesScenario scenario(cfg, mobility, audio, conn);
+  std::printf("10-node dive group, 20 protocol rounds, %.1f s apart.\n"
+              "Nodes 3 and 7 swim while everyone else holds position.\n\n",
+              scenario.round_period_s());
+
+  uwp::sim::PacketTrace trace;
+  uwp::Rng rng(10);
+  const uwp::des::DesScenarioResult result =
+      scenario.run(rng, trace_path != nullptr ? &trace : nullptr);
+
+  std::printf("%6s %6s %9s %9s %12s %12s %14s\n", "round", "t[s]", "heard",
+              "collided", "mover3[m]", "mover7[m]", "group med[m]");
+  for (const uwp::des::DesRound& round : result.rounds) {
+    std::vector<double> finite;
+    for (std::size_t i = 1; i < n; ++i)
+      if (!std::isnan(round.error_2d[i])) finite.push_back(round.error_2d[i]);
+    std::printf("%6zu %6.0f %9zu %9zu %12.2f %12.2f %14.2f\n", round.index,
+                round.t_start_s, round.medium.deliveries,
+                round.medium.collisions, round.error_2d[3], round.error_2d[7],
+                finite.empty() ? -1.0 : uwp::median(finite));
+  }
+
+  std::printf("\n%zu/%zu rounds localized; %zu packets delivered, "
+              "%zu collided, %zu lost to half-duplex.\n",
+              result.localized_rounds, result.rounds.size(),
+              result.total_deliveries, result.total_collisions,
+              result.total_half_duplex_drops);
+  if (result.errors.empty() || result.tracked_errors.empty()) {
+    std::printf("no round produced localizable measurements — nothing to "
+                "summarize.\n");
+  } else {
+    std::printf("raw error:     median %.2f m, p95 %.2f m (n=%zu)\n",
+                uwp::median(result.errors),
+                uwp::percentile(result.errors, 95.0), result.errors.size());
+    std::printf("tracked error: median %.2f m, p95 %.2f m — the Kalman layer\n"
+                "smooths round-to-round jitter for the static divers while\n"
+                "following the movers.\n",
+                uwp::median(result.tracked_errors),
+                uwp::percentile(result.tracked_errors, 95.0));
+  }
+
+  if (trace_path != nullptr) {
+    uwp::sim::save_packet_trace_csv(trace_path, trace);
+    std::printf("\nwrote %zu packet events to %s\n", trace.size(), trace_path);
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "core/outlier_detection.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace uwp::core {
 
@@ -44,13 +45,42 @@ OutlierResult localize_with_outlier_detection(const Matrix& dist, const Matrix& 
   std::vector<Vec2> p0 = base.positions;
   std::vector<std::size_t> dropped_so_far;  // indices into `links`
 
+  // Candidate pool: all links while the subset enumeration stays cheap;
+  // past max_suspect_links, only the worst-fitting links of the initial
+  // solve are eligible (see OutlierOptions::max_suspect_links). The pruned
+  // regime also swaps the per-candidate solve to a warm start from the
+  // all-links layout (no random restarts) and defers the realizability
+  // check until a candidate actually improves — together this turns an
+  // O(C(L, 3)) minutes-scale search at N = 20 into ~a second without
+  // touching the paper-scale (N <= 8) behavior at all.
+  const bool pruned = links.size() > opts.max_suspect_links;
+  std::vector<std::size_t> pool(links.size());
+  for (std::size_t li = 0; li < links.size(); ++li) pool[li] = li;
+  if (pruned) {
+    std::vector<double> residual(links.size());
+    for (std::size_t li = 0; li < links.size(); ++li) {
+      const auto [a, b] = links[li];
+      residual[li] = std::abs(distance(base.positions[a], base.positions[b]) -
+                              dist(a, b));
+    }
+    std::sort(pool.begin(), pool.end(), [&](std::size_t x, std::size_t y) {
+      if (residual[x] != residual[y]) return residual[x] > residual[y];
+      return x < y;  // deterministic tie-break
+    });
+    pool.resize(opts.max_suspect_links);
+    std::sort(pool.begin(), pool.end());  // keep enumeration order stable
+  }
+  SmacofOptions warm = opts.smacof;
+  warm.random_restarts = 0;
+
   for (int ndrop = 1; ndrop <= opts.max_outliers; ++ndrop) {
     double e_min = e0;
     std::vector<Vec2> p_min = p0;
     std::vector<std::size_t> best_subset;
 
-    for (const std::vector<std::size_t>& subset :
-         subsets_of_size(links.size(), static_cast<std::size_t>(ndrop))) {
+    for (std::vector<std::size_t>& subset :
+         subsets_of_size(pool.size(), static_cast<std::size_t>(ndrop))) {
+      for (std::size_t& m : subset) m = pool[m];  // pool slot -> link index
       // Build the candidate weight matrix with this subset removed.
       Matrix w = weights;
       std::vector<Edge> remaining;
@@ -65,13 +95,18 @@ OutlierResult localize_with_outlier_detection(const Matrix& dist, const Matrix& 
           remaining.push_back(links[li]);
         }
       }
-      // Only solve when the remaining graph is still uniquely realizable —
-      // otherwise the "improvement" is just the looser problem.
-      if (!is_uniquely_realizable_2d(n, remaining)) continue;
+      // Only accept when the remaining graph is still uniquely realizable —
+      // otherwise the "improvement" is just the looser problem. Checking is
+      // pricier than a warm-started solve, so the pruned regime postpones
+      // it to candidates that actually improve the stress.
+      if (!pruned && !is_uniquely_realizable_2d(n, remaining)) continue;
 
-      const SmacofResult cand = smacof_2d(dist, w, opts.smacof, rng);
+      const SmacofResult cand =
+          pruned ? smacof_2d(dist, w, warm, rng, p0)
+                 : smacof_2d(dist, w, opts.smacof, rng);
       const bool significant = e0 - cand.normalized_stress > opts.drop_ratio * e0;
       if (significant && cand.normalized_stress < e_min) {
+        if (pruned && !is_uniquely_realizable_2d(n, remaining)) continue;
         e_min = cand.normalized_stress;
         p_min = cand.positions;
         best_subset = subset;

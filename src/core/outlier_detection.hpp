@@ -26,6 +26,16 @@ struct OutlierOptions {
   // the paper: "E0 - E' > 0.9 * E0").
   double drop_ratio = 0.9;
   int max_outliers = 3;  // O_max
+  // Candidate-pool cap for large graphs. Algorithm 1 enumerates C(L, k)
+  // subsets — fine for the paper's 5-7 devices (C(10, 3) = 120) but
+  // combinatorial at swarm scale (C(190, 3) > 1M SMACOF solves at N = 20).
+  // When the link count exceeds this, only the links with the largest
+  // absolute residuals in the initial all-links fit stay eligible for
+  // dropping; an occluded link is exactly a high-residual one, so the
+  // pruning costs little accuracy and bounds the subset count. 28 =
+  // C(8, 2): every fully-connected group up to the paper's largest (N = 8)
+  // keeps the exact exhaustive search.
+  std::size_t max_suspect_links = 28;
   SmacofOptions smacof{};
 };
 

@@ -1,0 +1,77 @@
+#include "des/event_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace uwp::des {
+
+double EventQueue::next_time() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue: next_time on empty queue");
+  return heap_.front().time_s;
+}
+
+void EventQueue::push(double time_s, EventFn fn) {
+  if (!std::isfinite(time_s))
+    throw std::invalid_argument("EventQueue: non-finite event time");
+  heap_.push_back(Entry{time_s, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+EventQueue::Entry EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue: pop on empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  // seq keeps counting: ordering stays stable across rounds that reuse the
+  // queue, which is what makes multi-round runs replayable.
+}
+
+void Simulator::at(double time_s, EventFn fn) {
+  if (time_s < now_)
+    throw std::invalid_argument("Simulator: scheduling into the past");
+  queue_.push(time_s, std::move(fn));
+}
+
+void Simulator::in(double delay_s, EventFn fn) {
+  if (delay_s < 0.0)
+    throw std::invalid_argument("Simulator: negative delay");
+  queue_.push(now_ + delay_s, std::move(fn));
+}
+
+std::size_t Simulator::run() {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!queue_.empty() && !stopped_) {
+    EventQueue::Entry e = queue_.pop();
+    now_ = e.time_s;
+    ++n;
+    ++processed_;
+    e.fn();
+  }
+  return n;
+}
+
+std::size_t Simulator::run_until(double t_s) {
+  if (t_s < now_)
+    throw std::invalid_argument("Simulator: run_until into the past");
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!queue_.empty() && !stopped_ && queue_.next_time() <= t_s) {
+    EventQueue::Entry e = queue_.pop();
+    now_ = e.time_s;
+    ++n;
+    ++processed_;
+    e.fn();
+  }
+  if (!stopped_) now_ = t_s;
+  return n;
+}
+
+}  // namespace uwp::des

@@ -1,0 +1,77 @@
+// Deterministic discrete-event scheduler, the spine of the packet-level
+// network simulator (ns-3 style). Events fire in (time, insertion order):
+// monotonic simulated time with stable FIFO tie-breaking, so a run is a pure
+// function of its inputs — the same scenario and seed replay bit-identically
+// regardless of host, wall-clock, or how many sweep threads run *other*
+// trials concurrently (a Simulator itself is single-threaded by design).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace uwp::des {
+
+using EventFn = std::function<void()>;
+
+// Min-heap of (time, seq) -> callback. Exposed separately from Simulator so
+// tests can exercise the ordering contract directly.
+class EventQueue {
+ public:
+  struct Entry {
+    double time_s = 0.0;
+    std::uint64_t seq = 0;  // insertion order, the tie-breaker
+    EventFn fn;
+  };
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  double next_time() const;  // throws std::logic_error when empty
+
+  void push(double time_s, EventFn fn);
+  Entry pop();  // throws std::logic_error when empty
+  void clear();
+
+ private:
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time_s != b.time_s) return a.time_s > b.time_s;
+      return a.seq > b.seq;
+    }
+  };
+  // Hand-managed heap (std::push_heap/pop_heap) instead of priority_queue:
+  // pop() can then MOVE the entry (and its closure) out instead of copying
+  // from the const top() — one less allocation per event on the hot path.
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+// Event loop with a current simulated time. Scheduling into the past throws:
+// causality violations are always scenario bugs, never something to clamp.
+class Simulator {
+ public:
+  double now() const { return now_; }
+  std::size_t processed() const { return processed_; }
+  std::size_t pending() const { return queue_.size(); }
+
+  // Schedule `fn` at absolute time / after a delay (>= now, >= 0).
+  void at(double time_s, EventFn fn);
+  void in(double delay_s, EventFn fn);
+
+  // Run until the queue drains (or stop()). Returns events processed.
+  std::size_t run();
+  // Process every event with time <= t, then advance now to t. Events
+  // scheduled beyond t stay queued for the next call.
+  std::size_t run_until(double t_s);
+  // Makes run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+ private:
+  EventQueue queue_;
+  double now_ = 0.0;
+  std::size_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace uwp::des

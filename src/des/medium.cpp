@@ -1,0 +1,120 @@
+#include "des/medium.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace uwp::des {
+
+AcousticMedium::AcousticMedium(MediumConfig cfg, Simulator* sim,
+                               const MobilityModel* mobility, Matrix connectivity)
+    : cfg_(cfg),
+      sim_(sim),
+      mobility_(mobility),
+      connectivity_(std::move(connectivity)) {
+  if (sim_ == nullptr || mobility_ == nullptr)
+    throw std::invalid_argument("AcousticMedium: null simulator/mobility");
+  const std::size_t n = mobility_->size();
+  if (connectivity_.rows() != n || connectivity_.cols() != n)
+    throw std::invalid_argument("AcousticMedium: connectivity shape mismatch");
+  if (cfg_.sound_speed_mps <= 0.0 || cfg_.packet_duration_s <= 0.0)
+    throw std::invalid_argument("AcousticMedium: bad sound speed / packet length");
+  receptions_.resize(n);
+  active_.resize(n);
+  tx_intervals_.resize(n);
+}
+
+void AcousticMedium::begin_round(std::size_t round_index) {
+  ++generation_;
+  for (auto& v : receptions_) v.clear();
+  for (auto& v : active_) v.clear();
+  for (auto& v : tx_intervals_) v.clear();
+  stats_ = {};
+  if (trace_ != nullptr) trace_->round = round_index;
+}
+
+bool AcousticMedium::overlaps_own_tx(std::size_t rx, double start_s,
+                                     double end_s) const {
+  for (const auto& [t0, t1] : tx_intervals_[rx])
+    if (start_s < t1 && t0 < end_s) return true;
+  return false;
+}
+
+void AcousticMedium::transmit(std::size_t src) {
+  const std::size_t n = size();
+  if (src >= n) throw std::invalid_argument("AcousticMedium: bad src id");
+  const double now = sim_->now();
+  const double tx_end = now + cfg_.packet_duration_s;
+  tx_intervals_[src].emplace_back(now, tx_end);
+  ++stats_.transmissions;
+  stats_.last_activity_s = std::max(stats_.last_activity_s, tx_end);
+  if (trace_ != nullptr)
+    trace_->add(now, src, src, sim::PacketEventKind::kTxStart, false);
+
+  const Vec3 tx_pos = mobility_->position(src, now);
+  const std::uint64_t gen = generation_;
+  for (std::size_t rx = 0; rx < n; ++rx) {
+    if (rx == src || connectivity_(rx, src) <= 0.0) continue;
+    const double range = distance(tx_pos, mobility_->position(rx, now));
+    if (cfg_.max_range_m > 0.0 && range > cfg_.max_range_m) continue;
+    const double arrival = now + range / cfg_.sound_speed_mps;
+
+    receptions_[rx].push_back(
+        {src, arrival, arrival + cfg_.packet_duration_s, false});
+    const std::size_t slot = receptions_[rx].size() - 1;
+    sim_->at(arrival, [this, rx, slot, gen] {
+      if (gen == generation_) on_arrival_start(rx, slot);
+    });
+    sim_->at(arrival + cfg_.packet_duration_s, [this, rx, slot, gen] {
+      if (gen == generation_) on_arrival_end(rx, slot);
+    });
+  }
+}
+
+void AcousticMedium::on_arrival_start(std::size_t rx, std::size_t slot) {
+  Reception& rec = receptions_[rx][slot];
+  // Any reception still in the air at this receiver overlaps: packets have
+  // equal duration, so every overlap pair has one start inside the other.
+  for (const std::size_t other : active_[rx]) {
+    receptions_[rx][other].collided = true;
+    rec.collided = true;
+  }
+  active_[rx].push_back(slot);
+}
+
+void AcousticMedium::on_arrival_end(std::size_t rx, std::size_t slot) {
+  const Reception rec = receptions_[rx][slot];
+  std::erase(active_[rx], slot);
+  stats_.last_activity_s = std::max(stats_.last_activity_s, rec.end_s);
+
+  // Half-duplex beats the collision flag in the trace: the receiver was deaf
+  // for the whole packet, so what the air did meanwhile is irrelevant to it.
+  if (overlaps_own_tx(rx, rec.start_s, rec.end_s)) {
+    ++stats_.half_duplex_drops;
+    if (trace_ != nullptr)
+      trace_->add(rec.start_s, rec.src, rx,
+                  sim::PacketEventKind::kRxHalfDuplexDrop, rec.collided);
+    return;
+  }
+  if (rec.collided) {
+    ++stats_.collisions;
+    if (trace_ != nullptr)
+      trace_->add(rec.start_s, rec.src, rx, sim::PacketEventKind::kRxCollision,
+                  true);
+    return;
+  }
+  const double err = err_ ? err_(rx, rec.src) : 0.0;
+  if (std::isnan(err)) {
+    ++stats_.detect_failures;
+    if (trace_ != nullptr)
+      trace_->add(rec.start_s, rec.src, rx, sim::PacketEventKind::kRxDetectFail,
+                  false);
+    return;
+  }
+  ++stats_.deliveries;
+  if (trace_ != nullptr)
+    trace_->add(rec.start_s, rec.src, rx, sim::PacketEventKind::kRxDeliver, false);
+  if (sink_) sink_(rx, rec.src, rec.start_s + err);
+}
+
+}  // namespace uwp::des

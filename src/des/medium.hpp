@@ -1,0 +1,110 @@
+// Shared acoustic medium for the discrete-event simulator. Transmissions
+// fan out to every connected receiver with a per-link propagation delay
+// computed from the nodes' *current* (mobility-sampled) positions and the
+// water's sound speed. The medium models two effects the closed-form
+// protocol round cannot express:
+//
+//   * half-duplex — a node that is transmitting cannot hear anything; a
+//     packet overlapping the receiver's own transmission is lost;
+//   * collisions — two receptions overlapping in time at the same receiver
+//     corrupt each other; neither is delivered.
+//
+// Clean receptions pass through the injectable arrival-error hook (the same
+// contract as proto::ArrivalError: signed seconds added to the detected
+// arrival, NaN = detection failure) before the destination node's protocol
+// state machine sees them. Every event is optionally mirrored into a
+// sim::PacketTrace CSV row for offline debugging.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "des/mobility.hpp"
+#include "sim/trace.hpp"
+#include "util/matrix.hpp"
+
+namespace uwp::des {
+
+// Detected packet handed to a node: `detected_time_s` is the true arrival
+// plus the link's arrival error, in global simulated time.
+using PacketSink =
+    std::function<void(std::size_t rx, std::size_t src, double detected_time_s)>;
+
+// Arrival-error hook, called once per clean reception (see proto::ArrivalError).
+using LinkErrorFn = std::function<double(std::size_t at, std::size_t from)>;
+
+struct MediumConfig {
+  double sound_speed_mps = 1500.0;
+  double packet_duration_s = 0.278;  // ProtocolConfig::t_packet_s
+  // Links with a true range beyond this are silently out of reach (0 = no
+  // range limit). Evaluated per transmission, so mobility can break and
+  // re-form links mid-round.
+  double max_range_m = 0.0;
+};
+
+struct MediumStats {
+  std::size_t transmissions = 0;
+  std::size_t deliveries = 0;
+  std::size_t collisions = 0;        // receptions corrupted by overlap
+  std::size_t half_duplex_drops = 0;
+  std::size_t detect_failures = 0;
+  double last_activity_s = 0.0;      // latest packet-end time seen
+};
+
+class AcousticMedium {
+ public:
+  // `connectivity(rx, tx) > 0` gates each directed link on top of the range
+  // limit. The mobility model and simulator must outlive the medium.
+  AcousticMedium(MediumConfig cfg, Simulator* sim, const MobilityModel* mobility,
+                 Matrix connectivity);
+
+  void set_sink(PacketSink sink) { sink_ = std::move(sink); }
+  void set_error_hook(LinkErrorFn err) { err_ = std::move(err); }
+  void set_trace(sim::PacketTrace* trace) { trace_ = trace; }
+
+  // Start a transmission from `src` at the current simulated time. Arrival
+  // events at every reachable receiver are scheduled immediately (the
+  // propagation delay is frozen at emission, a safe approximation while
+  // nodes move at cm/s and sound at km/s).
+  void transmit(std::size_t src);
+
+  // Reset per-round bookkeeping (active receptions, own-transmission
+  // intervals, per-round stats). Stale in-flight events from a previous
+  // round are invalidated by a generation counter, not by queue surgery.
+  void begin_round(std::size_t round_index);
+
+  const MediumStats& stats() const { return stats_; }
+  std::size_t size() const { return connectivity_.rows(); }
+
+ private:
+  struct Reception {
+    std::size_t src = 0;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    bool collided = false;
+  };
+
+  void on_arrival_start(std::size_t rx, std::size_t slot);
+  void on_arrival_end(std::size_t rx, std::size_t slot);
+  bool overlaps_own_tx(std::size_t rx, double start_s, double end_s) const;
+
+  MediumConfig cfg_;
+  Simulator* sim_;
+  const MobilityModel* mobility_;
+  Matrix connectivity_;
+  PacketSink sink_;
+  LinkErrorFn err_;
+  sim::PacketTrace* trace_ = nullptr;
+
+  // receptions_[rx] holds this round's receptions (slots referenced by the
+  // scheduled events); active_[rx] indexes the ones currently in the air.
+  std::vector<std::vector<Reception>> receptions_;
+  std::vector<std::vector<std::size_t>> active_;
+  std::vector<std::vector<std::pair<double, double>>> tx_intervals_;
+  MediumStats stats_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace uwp::des

@@ -1,0 +1,100 @@
+#include "des/mobility.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace uwp::des {
+
+namespace {
+
+void check_node(std::size_t node, std::size_t n, const char* who) {
+  if (node >= n) throw std::invalid_argument(std::string(who) + ": bad node id");
+}
+
+// Triangle wave in [0, 1] with period `period_s`, starting at 0 going up.
+double triangle01(double t_s, double period_s) {
+  const double phase = t_s / period_s - std::floor(t_s / period_s);  // [0, 1)
+  return phase < 0.5 ? 2.0 * phase : 2.0 - 2.0 * phase;
+}
+
+}  // namespace
+
+StaticMobility::StaticMobility(std::vector<Vec3> positions)
+    : positions_(std::move(positions)) {}
+
+Vec3 StaticMobility::position(std::size_t node, double) const {
+  check_node(node, positions_.size(), "StaticMobility");
+  return positions_[node];
+}
+
+LawnmowerMobility::LawnmowerMobility(std::vector<Vec3> origins)
+    : origins_(std::move(origins)),
+      tracks_(origins_.size()),
+      has_track_(origins_.size(), 0) {}
+
+void LawnmowerMobility::set_track(std::size_t node, LawnmowerTrack track) {
+  check_node(node, origins_.size(), "LawnmowerMobility");
+  if (track.span_m <= 0.0 || track.speed_mps <= 0.0)
+    throw std::invalid_argument("LawnmowerMobility: span and speed must be > 0");
+  const double norm = track.direction.norm();
+  if (norm <= 0.0)
+    throw std::invalid_argument("LawnmowerMobility: zero direction");
+  track.direction = track.direction * (1.0 / norm);
+  tracks_[node] = track;
+  has_track_[node] = 1;
+}
+
+Vec3 LawnmowerMobility::position(std::size_t node, double t_s) const {
+  check_node(node, origins_.size(), "LawnmowerMobility");
+  if (!has_track_[node]) return origins_[node];
+  const LawnmowerTrack& tr = tracks_[node];
+  const double period = 2.0 * tr.span_m / tr.speed_mps;
+  const double along = tr.span_m * triangle01(t_s + tr.phase_s, period);
+  return origins_[node] + tr.direction * along;
+}
+
+WaypointMobility::WaypointMobility(std::vector<Vec3> origins)
+    : origins_(std::move(origins)), tracks_(origins_.size()) {}
+
+void WaypointMobility::set_track(std::size_t node, WaypointTrack track) {
+  check_node(node, origins_.size(), "WaypointMobility");
+  if (track.waypoints.size() < 2)
+    throw std::invalid_argument("WaypointMobility: need >= 2 waypoints");
+  if (track.speed_mps <= 0.0)
+    throw std::invalid_argument("WaypointMobility: speed must be > 0");
+  CompiledTrack compiled;
+  compiled.track = std::move(track);
+  // Closed tour: segment k runs waypoint k -> k+1, last one loops to 0.
+  const std::size_t m = compiled.track.waypoints.size();
+  compiled.seg_len.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    compiled.seg_len[k] = distance(compiled.track.waypoints[k],
+                                   compiled.track.waypoints[(k + 1) % m]);
+    compiled.total_len += compiled.seg_len[k];
+  }
+  tracks_[node] = std::move(compiled);
+}
+
+Vec3 WaypointMobility::position(std::size_t node, double t_s) const {
+  check_node(node, origins_.size(), "WaypointMobility");
+  const CompiledTrack& ct = tracks_[node];
+  const std::size_t m = ct.track.waypoints.size();
+  if (m < 2) return origins_[node];
+  if (ct.total_len <= 0.0) return ct.track.waypoints[0];
+
+  double along = std::fmod(t_s * ct.track.speed_mps, ct.total_len);
+  if (along < 0.0) along += ct.total_len;
+  for (std::size_t k = 0; k < m; ++k) {
+    if (along <= ct.seg_len[k] || k + 1 == m) {
+      const Vec3& a = ct.track.waypoints[k];
+      const Vec3& b = ct.track.waypoints[(k + 1) % m];
+      const double f = ct.seg_len[k] > 0.0 ? along / ct.seg_len[k] : 0.0;
+      return a + (b - a) * f;
+    }
+    along -= ct.seg_len[k];
+  }
+  return ct.track.waypoints[0];  // unreachable
+}
+
+}  // namespace uwp::des

@@ -1,0 +1,85 @@
+// Node mobility for the discrete-event simulator. Positions are pure
+// functions of simulated time, sampled by the medium at each transmission —
+// so nodes move *during* a protocol round (the closed-form protocol model
+// can only move them between rounds). The three models mirror the paper's
+// evaluation: static testbeds (Fig 17/18), the 1D back-and-forth pole ride
+// (Fig 15), and 2D oscillation around a nominal spot (Fig 20).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace uwp::des {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  virtual std::size_t size() const = 0;
+  // Position of `node` at simulated time `t_s` (z = depth, meters).
+  virtual Vec3 position(std::size_t node, double t_s) const = 0;
+};
+
+// Fixed positions for all nodes.
+class StaticMobility : public MobilityModel {
+ public:
+  explicit StaticMobility(std::vector<Vec3> positions);
+  std::size_t size() const override { return positions_.size(); }
+  Vec3 position(std::size_t node, double t_s) const override;
+
+ private:
+  std::vector<Vec3> positions_;
+};
+
+// Triangle-wave sweep along a fixed axis: the node rides from `origin` to
+// origin + direction * span and back at constant speed (Fig 15's extension
+// pole parallel to the coast). Nodes without a track stay at their origin.
+struct LawnmowerTrack {
+  Vec3 direction{1.0, 0.0, 0.0};  // normalized internally
+  double span_m = 15.0;
+  double speed_mps = 0.32;
+  double phase_s = 0.0;  // time offset into the sweep
+};
+
+class LawnmowerMobility : public MobilityModel {
+ public:
+  explicit LawnmowerMobility(std::vector<Vec3> origins);
+  void set_track(std::size_t node, LawnmowerTrack track);
+  std::size_t size() const override { return origins_.size(); }
+  Vec3 position(std::size_t node, double t_s) const override;
+
+ private:
+  std::vector<Vec3> origins_;
+  std::vector<LawnmowerTrack> tracks_;
+  std::vector<char> has_track_;
+};
+
+// Piecewise-linear waypoint tour at constant speed, looping back to the
+// first waypoint (Fig 20's oscillation is a 2-waypoint loop). Nodes without
+// waypoints stay at their origin.
+struct WaypointTrack {
+  std::vector<Vec3> waypoints;  // >= 2 points
+  double speed_mps = 0.3;
+};
+
+class WaypointMobility : public MobilityModel {
+ public:
+  explicit WaypointMobility(std::vector<Vec3> origins);
+  void set_track(std::size_t node, WaypointTrack track);
+  std::size_t size() const override { return origins_.size(); }
+  Vec3 position(std::size_t node, double t_s) const override;
+
+ private:
+  // Tour geometry is fixed per track, and position() sits on the medium's
+  // per-packet hot path — segment lengths are precomputed in set_track.
+  struct CompiledTrack {
+    WaypointTrack track;
+    std::vector<double> seg_len;
+    double total_len = 0.0;
+  };
+  std::vector<Vec3> origins_;
+  std::vector<CompiledTrack> tracks_;
+};
+
+}  // namespace uwp::des

@@ -1,0 +1,108 @@
+#include "des/protocol_node.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace uwp::des {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr std::size_t kNoSync = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+ProtocolNode::ProtocolNode(std::size_t id, proto::ProtocolConfig cfg,
+                           const audio::AudioTimingConfig& audio, Simulator* sim,
+                           AcousticMedium* medium)
+    : id_(id), cfg_(cfg), audio_cfg_(audio), audio_(audio), sim_(sim),
+      medium_(medium) {
+  if (sim_ == nullptr || medium_ == nullptr)
+    throw std::invalid_argument("ProtocolNode: null simulator/medium");
+  if (id_ >= cfg_.num_devices)
+    throw std::invalid_argument("ProtocolNode: id out of range");
+  audio_.calibrate();
+}
+
+void ProtocolNode::begin_round(double round_start_global_s) {
+  ++round_gen_;
+  state_ = {};
+  state_.timestamps.assign(cfg_.num_devices, kNaN);
+  state_.heard.assign(cfg_.num_devices, 0);
+
+  if (id_ != 0) return;
+  // The leader opens the round; its transmit instant is its local zero, so
+  // T^0_0 = 0 by definition (as in the closed form).
+  const std::uint64_t gen = round_gen_;
+  sim_->at(round_start_global_s, [this, gen, round_start_global_s] {
+    if (gen != round_gen_) return;
+    state_.sync_ref = 0;
+    state_.local_zero_global_s = round_start_global_s;
+    state_.sched_local_s = 0.0;
+    state_.tx_global_s = round_start_global_s;
+    state_.timestamps[0] = 0.0;
+    state_.heard[0] = 1;
+    state_.transmitted = true;
+    medium_->transmit(0);
+  });
+}
+
+void ProtocolNode::on_packet(std::size_t src, double detected_time_s) {
+  if (src >= cfg_.num_devices)
+    throw std::invalid_argument("ProtocolNode: bad packet source");
+  if (id_ == 0) {
+    // The leader is synced to itself from the moment it transmits; packets
+    // arriving before that (impossible in the protocol) are dropped.
+    if (state_.sync_ref != 0) return;
+    record_timestamp(src, detected_time_s);
+    return;
+  }
+  if (state_.sync_ref == kNoSync) synchronize(src, detected_time_s);
+  record_timestamp(src, detected_time_s);
+}
+
+void ProtocolNode::synchronize(std::size_t src, double detected_time_s) {
+  // The first detected packet defines the local clock zero. Unlike the
+  // closed form — which gives up on a device whose first-arriving message
+  // failed detection — the state machine simply syncs to the next packet
+  // it manages to detect, which is what firmware would do.
+  state_.sync_ref = src;
+  state_.local_zero_global_s = detected_time_s;
+  state_.sched_local_s = src == 0
+                             ? proto::slot_time_leader_sync(cfg_, id_)
+                             : proto::slot_time_relay_sync(cfg_, id_, src, 0.0);
+
+  // Audio scheduling per Appendix Eqs. 2-6: detect at mic index m2, write
+  // the reply at speaker index n2; skews and offsets move the realized
+  // emission off the ideal slot time. Identical arithmetic to the closed
+  // form, so cross-validation is exact up to sample quantization.
+  const double m2_exact = audio_.mic_clock().index_at(detected_time_s);
+  const std::int64_t m2 = static_cast<std::int64_t>(std::llround(m2_exact));
+  const std::int64_t n2 = audio_.reply_index_for(m2, state_.sched_local_s);
+  const double emit_global = audio_.speaker_clock().time_at(static_cast<double>(n2));
+  state_.tx_global_s = emit_global;
+  state_.timestamps[id_] = state_.sched_local_s;
+  state_.heard[id_] = 1;
+
+  const std::uint64_t gen = round_gen_;
+  // Guard against pathological configs (slot shorter than a packet) where
+  // the realized emission lands before "now"; physically the device would
+  // start late, so clamp rather than violate causality.
+  sim_->at(std::max(emit_global, sim_->now()), [this, gen] {
+    if (gen != round_gen_) return;
+    state_.transmitted = true;
+    medium_->transmit(id_);
+  });
+}
+
+void ProtocolNode::record_timestamp(std::size_t src, double detected_time_s) {
+  if (std::isnan(state_.local_zero_global_s)) return;
+  // Local mic-clock reading of the detection instant, exactly as the closed
+  // form computes it: elapsed global time scaled by the mic skew, then
+  // quantized to the microphone sample grid.
+  double local = (detected_time_s - state_.local_zero_global_s) *
+                 (1.0 + audio_cfg_.mic_skew_ppm * 1e-6);
+  local = std::round(local * cfg_.fs_hz) / cfg_.fs_hz;
+  state_.timestamps[src] = local;
+  state_.heard[src] = 1;
+}
+
+}  // namespace uwp::des

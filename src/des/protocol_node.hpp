@@ -1,0 +1,70 @@
+// Event-driven per-node state machine for the §2.3 timestamp protocol,
+// replacing the closed-form fixed-point relaxation in
+// proto::TimestampProtocol::run with what a device actually does: wait for
+// the first packet it can detect, synchronize its local clock zero to that
+// arrival, schedule its own transmission through its (skewed, offset)
+// audio pipeline via proto::slot_schedule — leader sync, relay sync, or the
+// wrap-around slot — and log a local receive timestamp for every packet it
+// hears. Timestamp arithmetic deliberately mirrors TimestampProtocol::run
+// line for line so a collision-free static DES round cross-validates
+// against the closed form within payload quantization.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "audio/device_audio.hpp"
+#include "des/event_queue.hpp"
+#include "des/medium.hpp"
+#include "proto/slot_schedule.hpp"
+
+namespace uwp::des {
+
+struct NodeRoundState {
+  bool transmitted = false;
+  // Device this node synchronized against (0 = leader, SIZE_MAX = never
+  // synced this round). Matches proto::ProtocolRun::sync_ref.
+  std::size_t sync_ref = std::numeric_limits<std::size_t>::max();
+  double local_zero_global_s = std::numeric_limits<double>::quiet_NaN();
+  double sched_local_s = std::numeric_limits<double>::quiet_NaN();  // own T^i_i
+  double tx_global_s = std::numeric_limits<double>::quiet_NaN();
+  // Local receive timestamps T^i_j (NaN = not heard), heard flags.
+  std::vector<double> timestamps;
+  std::vector<char> heard;
+};
+
+class ProtocolNode {
+ public:
+  // The simulator and medium must outlive the node. The audio pipeline is
+  // calibrated once at construction (the paper's self-loopback step).
+  ProtocolNode(std::size_t id, proto::ProtocolConfig cfg,
+               const audio::AudioTimingConfig& audio, Simulator* sim,
+               AcousticMedium* medium);
+
+  std::size_t id() const { return id_; }
+  const NodeRoundState& state() const { return state_; }
+
+  // Reset per-round state. The leader (id 0) schedules its round-opening
+  // transmission at `round_start_global_s`; everyone else arms and waits.
+  void begin_round(double round_start_global_s);
+
+  // Clean detected packet from the medium (detected_time_s = true arrival +
+  // link error, global clock). First detection triggers synchronization.
+  void on_packet(std::size_t src, double detected_time_s);
+
+ private:
+  void record_timestamp(std::size_t src, double detected_time_s);
+  void synchronize(std::size_t src, double detected_time_s);
+
+  std::size_t id_;
+  proto::ProtocolConfig cfg_;
+  audio::AudioTimingConfig audio_cfg_;
+  audio::DeviceAudio audio_;
+  Simulator* sim_;
+  AcousticMedium* medium_;
+  NodeRoundState state_;
+  std::uint64_t round_gen_ = 0;  // invalidates queued tx events of old rounds
+};
+
+}  // namespace uwp::des

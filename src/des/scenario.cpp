@@ -1,0 +1,210 @@
+#include "des/scenario.hpp"
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "proto/payload_codec.hpp"
+
+namespace uwp::des {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+DesScenario::DesScenario(DesScenarioConfig cfg,
+                         std::shared_ptr<const MobilityModel> mobility,
+                         std::vector<audio::AudioTimingConfig> audio,
+                         Matrix connectivity)
+    : cfg_(cfg),
+      mobility_(std::move(mobility)),
+      audio_(std::move(audio)),
+      connectivity_(std::move(connectivity)) {
+  if (!mobility_) throw std::invalid_argument("DesScenario: null mobility");
+  const std::size_t n = mobility_->size();
+  if (n < 2) throw std::invalid_argument("DesScenario: need >= 2 nodes");
+  if (audio_.size() != n)
+    throw std::invalid_argument("DesScenario: audio config count != node count");
+  if (cfg_.protocol.num_devices != n)
+    throw std::invalid_argument("DesScenario: protocol.num_devices != node count");
+  if (connectivity_.rows() != n || connectivity_.cols() != n)
+    throw std::invalid_argument("DesScenario: connectivity shape mismatch");
+  if (cfg_.rounds == 0) throw std::invalid_argument("DesScenario: rounds == 0");
+}
+
+double DesScenario::round_period_s() const {
+  if (cfg_.round_period_s > 0.0) return cfg_.round_period_s;
+  // Even a wrap-around relay slot has landed by the worst-case round trip;
+  // one packet length covers the tail transmission, the margin covers
+  // propagation and audio scheduling slop.
+  return proto::round_trip_worst_case(cfg_.protocol) + 2.0 * cfg_.protocol.t_packet_s +
+         1.0;
+}
+
+DesScenarioResult DesScenario::run(uwp::Rng& rng, sim::PacketTrace* trace) const {
+  const std::size_t n = size();
+  const double period = round_period_s();
+
+  Simulator sim;
+  MediumConfig mc;
+  mc.sound_speed_mps = cfg_.protocol.sound_speed_mps;
+  mc.packet_duration_s = cfg_.protocol.t_packet_s;
+  mc.max_range_m = cfg_.max_range_m;
+  AcousticMedium medium(mc, &sim, mobility_.get(), connectivity_);
+  medium.set_trace(trace);
+
+  // Arrival detection error, drawn per packet in event order (deterministic
+  // given the scheduler's stable ordering). Mirrors the calibrated fast
+  // model in sim::ScenarioRunner::run_round.
+  if (!cfg_.ideal_arrivals) {
+    medium.set_error_hook([this, &rng, &sim](std::size_t at, std::size_t from) {
+      if (rng.bernoulli(cfg_.detection_failure_prob)) return kNaN;
+      const double t = sim.now();
+      const double range =
+          distance(mobility_->position(at, t), mobility_->position(from, t));
+      const double sigma_m = cfg_.error_sigma_m + cfg_.error_sigma_per_m * range;
+      // Multipath biases arrivals late more often than early.
+      const double err_m = std::abs(rng.normal(0.0, sigma_m)) * 0.8 +
+                           rng.normal(0.0, sigma_m * 0.3);
+      return err_m / cfg_.protocol.sound_speed_mps;
+    });
+  }
+
+  std::vector<ProtocolNode> nodes;
+  nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    nodes.emplace_back(i, cfg_.protocol, audio_[i], &sim, &medium);
+  medium.set_sink([&nodes](std::size_t rx, std::size_t src, double detected) {
+    nodes[rx].on_packet(src, detected);
+  });
+
+  proto::ProtocolConfig solver_cfg = cfg_.protocol;
+  solver_cfg.sound_speed_mps += cfg_.sound_speed_error_mps;
+  const proto::RangingSolver solver(solver_cfg);
+  const core::Localizer localizer(cfg_.localizer);
+  core::GroupTracker tracker(n, cfg_.tracker);
+
+  DesScenarioResult out;
+  out.rounds.reserve(cfg_.rounds);
+
+  for (std::size_t r = 0; r < cfg_.rounds; ++r) {
+    const double t0 = static_cast<double>(r) * period;
+    // Same expression as the next round's t0 — `t0 + period` can differ
+    // from it by one ulp, which would put the next leader event "in the
+    // past" after run_until() advanced the clock.
+    const double t_end = static_cast<double>(r + 1) * period;
+    medium.begin_round(r);
+    for (ProtocolNode& node : nodes) node.begin_round(t0);
+    sim.run_until(t_end);
+
+    DesRound round;
+    round.index = r;
+    round.t_start_s = t0;
+    round.medium = medium.stats();
+
+    // Assemble the round's ProtocolRun from the per-node state machines.
+    round.protocol.timestamps = Matrix(n, n, kNaN);
+    round.protocol.heard = Matrix(n, n, 0.0);
+    round.protocol.sync_ref.assign(n, std::numeric_limits<std::size_t>::max());
+    round.protocol.tx_global.assign(n, kNaN);
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeRoundState& st = nodes[i].state();
+      round.protocol.sync_ref[i] = st.sync_ref;
+      // Round-local transmit time, comparable to the closed form's
+      // leader-at-zero convention.
+      round.protocol.tx_global[i] =
+          std::isnan(st.tx_global_s) ? kNaN : st.tx_global_s - t0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!st.heard[j]) continue;
+        round.protocol.timestamps(i, j) = st.timestamps[j];
+        round.protocol.heard(i, j) = 1.0;
+      }
+    }
+    round.protocol.round_duration_s =
+        std::max(0.0, round.medium.last_activity_s - t0);
+
+    if (cfg_.quantize_payload) {
+      proto::PayloadCodecConfig ccfg;
+      ccfg.protocol = cfg_.protocol;
+      proto::quantize_run_payload(round.protocol, ccfg);
+    }
+    round.ranging = solver.solve(round.protocol);
+
+    // Ground truth at the round start (the paper evaluates each round as an
+    // independent snapshot; a mover's intra-round drift becomes error).
+    const Vec3 leader_pos = mobility_->position(0, t0);
+    round.truth_xy.resize(n);
+    std::vector<double> depths(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec3 pos = mobility_->position(i, t0);
+      round.truth_xy[i] = (pos - leader_pos).xy();
+      depths[i] = cfg_.depth_sensor.read(pos.z, rng);
+    }
+
+    // Leader pointing toward node 1 plus fast-mode dual-mic flip votes
+    // (same reliability model as sim::ScenarioRunner fast mode).
+    const Vec2 to_dev1 = round.truth_xy[1];
+    const double measured_bearing =
+        cfg_.pointing.point(bearing(to_dev1), to_dev1.norm(), rng);
+    std::vector<core::MicVote> votes;
+    for (std::size_t i = 2; i < n; ++i) {
+      if (round.protocol.heard(0, i) <= 0.0) continue;
+      const double side = side_of_line(round.truth_xy[i], {0, 0}, to_dev1);
+      int sign = side > 0 ? 1 : (side < 0 ? -1 : 0);
+      const double range = round.truth_xy[i].norm();
+      const double sin_angle =
+          range > 0.1 ? std::abs(side) / (range * to_dev1.norm()) : 0.0;
+      const double p_wrong = sin_angle < 0.17 ? 0.30 : 0.03;  // ~10 degrees
+      if (rng.bernoulli(p_wrong)) sign = -sign;
+      if (sign != 0) votes.push_back({i, sign});
+    }
+
+    core::LocalizationInput input;
+    input.distances = round.ranging.distances;
+    input.weights = round.ranging.weights;
+    input.depths = depths;
+    input.pointing_bearing_rad = measured_bearing;
+    input.votes = votes;
+
+    round.error_2d.assign(n, kNaN);
+    round.tracked_error_2d.assign(n, kNaN);
+    round.error_2d[0] = 0.0;
+    try {
+      round.localization = localizer.localize(input, rng);
+      round.localized = true;
+    } catch (const std::exception&) {
+      round.localized = false;
+    }
+
+    // Tracker: coast through failed rounds, fuse successful ones.
+    tracker.predict(r == 0 ? 0.0 : period);
+    if (round.localized) {
+      std::vector<std::optional<Vec2>> update(n);
+      for (std::size_t i = 1; i < n; ++i)
+        update[i] = round.localization.positions[i].xy();
+      tracker.update(update);
+    }
+
+    for (std::size_t i = 1; i < n; ++i) {
+      if (round.localized) {
+        round.error_2d[i] =
+            distance(round.localization.positions[i].xy(), round.truth_xy[i]);
+        out.errors.push_back(round.error_2d[i]);
+      }
+      const core::DiverTrack& track = tracker.track(i);
+      if (track.initialized()) {
+        round.tracked_error_2d[i] = distance(track.position(), round.truth_xy[i]);
+        out.tracked_errors.push_back(round.tracked_error_2d[i]);
+      }
+    }
+
+    out.localized_rounds += round.localized ? 1 : 0;
+    out.total_collisions += round.medium.collisions;
+    out.total_half_duplex_drops += round.medium.half_duplex_drops;
+    out.total_deliveries += round.medium.deliveries;
+    out.rounds.push_back(std::move(round));
+  }
+  return out;
+}
+
+}  // namespace uwp::des

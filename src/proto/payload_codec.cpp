@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "proto/timestamp_protocol.hpp"
+
 namespace uwp::proto {
 
 namespace {
@@ -88,6 +90,22 @@ DeviceReport PayloadCodec::decode(const std::vector<std::uint8_t>& bits,
     if (q != missing_sentinel()) report.slot_delta_s[j] = dequantize_delta(q);
   }
   return report;
+}
+
+void quantize_run_payload(ProtocolRun& run, const PayloadCodecConfig& cfg) {
+  const PayloadCodec codec(cfg);
+  const std::size_t n = cfg.protocol.num_devices;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 1; j < n; ++j) {
+      if (i == j || run.heard(i, j) <= 0.0) continue;
+      if (run.sync_ref[j] != 0) continue;  // relay slots ride as-is
+      const double slot = slot_time_leader_sync(cfg.protocol, j);
+      const double delta = run.timestamps(i, j) - slot;
+      if (delta < 0.0 || delta >= codec.dequantize_delta(codec.missing_sentinel() - 1))
+        continue;
+      run.timestamps(i, j) = slot + codec.dequantize_delta(codec.quantize_delta(delta));
+    }
+  }
 }
 
 }  // namespace uwp::proto

@@ -56,4 +56,14 @@ class PayloadCodec {
   PayloadCodecConfig cfg_;
 };
 
+struct ProtocolRun;  // timestamp_protocol.hpp
+
+// Apply the §2.4 wire quantization in place to a protocol run's timestamp
+// table: leader-synced devices report each arrival as a 10-bit slot-relative
+// delta at 2-sample resolution, so the leader only ever sees the quantized
+// values. Relay-synced transmitters ride as-is (their slot start is not
+// leader-referenced), as do deltas outside the field range. Shared by the
+// closed-form round driver (sim::ScenarioRunner) and the packet-level DES.
+void quantize_run_payload(ProtocolRun& run, const PayloadCodecConfig& cfg);
+
 }  // namespace uwp::proto

@@ -115,19 +115,7 @@ RoundResult ScenarioRunner::run_round(const RoundOptions& opts, uwp::Rng& rng) c
   if (opts.quantize_payload) {
     proto::PayloadCodecConfig ccfg;
     ccfg.protocol = pcfg;
-    const proto::PayloadCodec codec(ccfg);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 1; j < n; ++j) {
-        if (i == j || out.protocol.heard(i, j) <= 0.0) continue;
-        if (out.protocol.sync_ref[j] != 0) continue;  // relay slots ride as-is
-        const double slot = proto::slot_time_leader_sync(pcfg, j);
-        const double delta = out.protocol.timestamps(i, j) - slot;
-        if (delta < 0.0 || delta >= codec.dequantize_delta(codec.missing_sentinel() - 1))
-          continue;
-        out.protocol.timestamps(i, j) =
-            slot + codec.dequantize_delta(codec.quantize_delta(delta));
-      }
-    }
+    proto::quantize_run_payload(out.protocol, ccfg);
   }
 
   proto::ProtocolConfig solver_cfg = pcfg;

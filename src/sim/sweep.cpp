@@ -34,6 +34,15 @@ std::size_t threads_from_args(int argc, char** argv) {
   return parse_threads(std::getenv("UWP_THREADS"));
 }
 
+const char* trace_out_from_args(int argc, char** argv) {
+  constexpr std::size_t kLen = sizeof("--trace-out=") - 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", kLen) == 0 && argv[i][kLen] != '\0')
+      return argv[i] + kLen;
+  }
+  return nullptr;
+}
+
 void SweepTally::add(const SweepResult& r) {
   trials += r.per_trial.size();
   wall_seconds += r.wall_seconds;

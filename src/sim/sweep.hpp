@@ -54,6 +54,10 @@ using TrialFn = std::function<std::vector<double>(std::size_t trial, Rng& rng)>;
 // there (a typo'd or negative count must not try to spawn 2^64 workers).
 std::size_t threads_from_args(int argc, char** argv);
 
+// Packet-trace output convention for the DES binaries: the value of
+// `--trace-out=FILE`, or nullptr when absent (tracing disabled).
+const char* trace_out_from_args(int argc, char** argv);
+
 // Accumulates sweep cost across a bench's series for the closing
 // "[sweep] N trials across T threads in S s" footer.
 struct SweepTally {

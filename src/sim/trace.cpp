@@ -1,5 +1,6 @@
 #include "sim/trace.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
@@ -101,6 +102,34 @@ ReceptionTrace record_link_trace(const channel::LinkSimulator& link,
   trace.receptions.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) trace.add(link.transmit(waveform, cfg, rng));
   return trace;
+}
+
+const char* to_string(PacketEventKind kind) {
+  switch (kind) {
+    case PacketEventKind::kTxStart: return "tx_start";
+    case PacketEventKind::kRxDeliver: return "rx_deliver";
+    case PacketEventKind::kRxCollision: return "rx_collision";
+    case PacketEventKind::kRxHalfDuplexDrop: return "rx_half_duplex_drop";
+    case PacketEventKind::kRxDetectFail: return "rx_detect_fail";
+  }
+  return "unknown";
+}
+
+void write_packet_trace_csv(std::ostream& out, const PacketTrace& trace) {
+  out << "time_s,round,tx,rx,event,collision\n";
+  char buf[32];
+  for (const PacketEvent& e : trace.events) {
+    std::snprintf(buf, sizeof buf, "%.9f", e.time_s);
+    out << buf << ',' << e.round << ',' << e.tx << ',' << e.rx << ','
+        << to_string(e.kind) << ',' << (e.collision ? 1 : 0) << '\n';
+  }
+  if (!out) throw std::runtime_error("trace: packet CSV write failed");
+}
+
+void save_packet_trace_csv(const std::string& path, const PacketTrace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace: cannot open " + path);
+  write_packet_trace_csv(out, trace);
 }
 
 }  // namespace uwp::sim

@@ -43,4 +43,43 @@ ReceptionTrace record_link_trace(const channel::LinkSimulator& link,
                                  std::span<const double> waveform, int count,
                                  uwp::Rng& rng);
 
+// ---------------------------------------------------------------------------
+// Packet-level event trace for the discrete-event simulator (des/). One row
+// per medium event, written as CSV so DES scenarios are debuggable with
+// nothing fancier than grep/awk/a spreadsheet.
+
+enum class PacketEventKind {
+  kTxStart,          // node began transmitting (rx column repeats tx)
+  kRxDeliver,        // clean reception handed to the protocol state machine
+  kRxCollision,      // reception overlapped another transmission at this rx
+  kRxHalfDuplexDrop, // rx was transmitting itself while the packet arrived
+  kRxDetectFail,     // clean reception, but preamble detection failed
+};
+
+const char* to_string(PacketEventKind kind);
+
+struct PacketEvent {
+  double time_s = 0.0;    // simulated time the event fired
+  std::size_t round = 0;  // protocol round tag (set via PacketTrace::round)
+  std::size_t tx = 0;
+  std::size_t rx = 0;
+  PacketEventKind kind = PacketEventKind::kTxStart;
+  bool collision = false;
+};
+
+struct PacketTrace {
+  std::vector<PacketEvent> events;
+  std::size_t round = 0;  // tag stamped onto subsequently added events
+
+  std::size_t size() const { return events.size(); }
+  void add(double time_s, std::size_t tx, std::size_t rx, PacketEventKind kind,
+           bool collision) {
+    events.push_back({time_s, round, tx, rx, kind, collision});
+  }
+};
+
+// CSV with header "time_s,round,tx,rx,event,collision".
+void write_packet_trace_csv(std::ostream& out, const PacketTrace& trace);
+void save_packet_trace_csv(const std::string& path, const PacketTrace& trace);
+
 }  // namespace uwp::sim

@@ -1,0 +1,267 @@
+// Cross-validation of the packet-level DES against the closed-form protocol
+// model, plus the determinism contract that lets DES trials ride the
+// parallel SweepRunner bit-identically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+
+#include "des/scenario.hpp"
+#include "proto/timestamp_protocol.hpp"
+#include "sim/sweep.hpp"
+
+namespace uwp::des {
+namespace {
+
+// The ProtocolFixture topology from the closed-form tests: 5 devices in a
+// line, 8 m apart, distinct stream-start offsets.
+struct CrossValidationFixture : public ::testing::Test {
+  CrossValidationFixture() {
+    cfg.num_devices = 5;
+    for (std::size_t i = 0; i < 5; ++i) {
+      positions.push_back({static_cast<double>(i) * 8.0, 0.0, 2.0});
+      audio::AudioTimingConfig a;
+      a.speaker_start_s = 0.3 * static_cast<double>(i);
+      a.mic_start_s = 0.1 * static_cast<double>(i) + 0.05;
+      a.self_loopback_delay_s = 0.0;
+      audio.push_back(a);
+    }
+    conn = Matrix(5, 5, 1.0);
+    for (std::size_t i = 0; i < 5; ++i) conn(i, i) = 0.0;
+  }
+
+  proto::ProtocolRun closed_form() const {
+    std::vector<proto::ProtocolDevice> devices;
+    for (std::size_t i = 0; i < 5; ++i) devices.push_back({i, positions[i], audio[i]});
+    const proto::TimestampProtocol protocol(cfg, devices);
+    uwp::Rng rng(1);
+    return protocol.run(conn, rng);
+  }
+
+  DesScenarioResult des(std::size_t rounds = 1) const {
+    DesScenarioConfig dcfg;
+    dcfg.protocol = cfg;
+    dcfg.rounds = rounds;
+    dcfg.ideal_arrivals = true;
+    dcfg.quantize_payload = false;
+    dcfg.sound_speed_error_mps = 0.0;
+    const DesScenario scenario(dcfg, std::make_shared<StaticMobility>(positions),
+                               audio, conn);
+    uwp::Rng rng(2);
+    return scenario.run(rng);
+  }
+
+  proto::ProtocolConfig cfg{};
+  std::vector<Vec3> positions;
+  std::vector<audio::AudioTimingConfig> audio;
+  Matrix conn;
+};
+
+// Acceptance: a collision-free static DES round reproduces the closed-form
+// timestamp table within payload quantization (2 samples at fs).
+TEST_F(CrossValidationFixture, DesRoundMatchesClosedFormTimestamps) {
+  const proto::ProtocolRun reference = closed_form();
+  const DesScenarioResult result = des();
+  ASSERT_EQ(result.rounds.size(), 1u);
+  const proto::ProtocolRun& run = result.rounds[0].protocol;
+
+  const double tol = 2.0 / cfg.fs_hz;  // §2.4 payload quantization step
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(run.sync_ref[i], reference.sync_ref[i]) << "device " << i;
+    ASSERT_FALSE(std::isnan(run.tx_global[i]));
+    EXPECT_NEAR(run.tx_global[i], reference.tx_global[i], 1e-9) << "device " << i;
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(run.heard(i, j) > 0.0, reference.heard(i, j) > 0.0)
+          << i << "," << j;
+      if (reference.heard(i, j) <= 0.0) continue;
+      EXPECT_NEAR(run.timestamps(i, j), reference.timestamps(i, j), tol)
+          << i << "," << j;
+    }
+  }
+  EXPECT_NEAR(run.round_duration_s, reference.round_duration_s, 0.05);
+}
+
+TEST_F(CrossValidationFixture, MatchHoldsUnderClockSkewAndLoopback) {
+  for (std::size_t i = 0; i < 5; ++i) {
+    audio[i].speaker_skew_ppm = 40.0;
+    audio[i].mic_skew_ppm = -35.0;
+    audio[i].self_loopback_delay_s = 0.11e-3;
+  }
+  const proto::ProtocolRun reference = closed_form();
+  const DesScenarioResult result = des();
+  const proto::ProtocolRun& run = result.rounds[0].protocol;
+  const double tol = 2.0 / cfg.fs_hz;
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j) {
+      if (reference.heard(i, j) <= 0.0) continue;
+      ASSERT_GT(run.heard(i, j), 0.0) << i << "," << j;
+      EXPECT_NEAR(run.timestamps(i, j), reference.timestamps(i, j), tol)
+          << i << "," << j;
+    }
+}
+
+TEST_F(CrossValidationFixture, DesRangingRecoversTrueDistances) {
+  const DesScenarioResult result = des();
+  const proto::RangingSolution& sol = result.rounds[0].ranging;
+  EXPECT_EQ(sol.two_way_links, 10u);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = i + 1; j < 5; ++j)
+      EXPECT_NEAR(sol.distances(i, j), static_cast<double>(j - i) * 8.0, 0.12)
+          << i << "," << j;
+  EXPECT_EQ(result.localized_rounds, 1u);
+  EXPECT_EQ(result.rounds[0].medium.collisions, 0u);
+}
+
+TEST_F(CrossValidationFixture, EveryRoundOfAStaticScenarioRanges) {
+  const DesScenarioResult result = des(4);
+  ASSERT_EQ(result.rounds.size(), 4u);
+  for (const DesRound& round : result.rounds) {
+    EXPECT_EQ(round.ranging.two_way_links, 10u) << "round " << round.index;
+    EXPECT_NEAR(round.ranging.distances(1, 3), 16.0, 0.12) << round.index;
+  }
+  // Tracker errors exist from round 1 on and stay bounded.
+  EXPECT_GE(result.tracked_errors.size(), 12u);
+}
+
+TEST_F(CrossValidationFixture, RelaySyncInNormalSlot) {
+  // Device 4 cannot hear the leader or device 1; it syncs off device 2's
+  // message ((4-2) * delta1 > delta0 -> the normal slot still works).
+  conn(4, 0) = conn(0, 4) = 0.0;
+  conn(4, 1) = conn(1, 4) = 0.0;
+  const DesScenarioResult result = des();
+  const proto::ProtocolRun& run = result.rounds[0].protocol;
+  EXPECT_EQ(run.sync_ref[4], 2u);
+  EXPECT_FALSE(std::isnan(run.tx_global[4]));
+  EXPECT_GT(run.heard(3, 4), 0.0);
+  EXPECT_NEAR(result.rounds[0].ranging.distances(3, 4), 8.0, 0.15);
+}
+
+TEST_F(CrossValidationFixture, RelaySyncWrapAroundSlot) {
+  // Device 2 hears everyone but the leader; its first detection is device
+  // 1's message, and (2-1) * delta1 < delta0 means its normal slot has
+  // already passed -> it transmits in the wrap-around slot N - 1 + 2.
+  conn(2, 0) = conn(0, 2) = 0.0;
+  const DesScenarioResult result = des();
+  const proto::ProtocolRun& run = result.rounds[0].protocol;
+  EXPECT_EQ(run.sync_ref[2], 1u);
+  ASSERT_FALSE(std::isnan(run.tx_global[2]));
+  // Wrap slot lands after every normal slot (last one is device 4's).
+  EXPECT_GT(run.tx_global[2], run.tx_global[4]);
+  const double expected_slot =
+      proto::slot_time_relay_sync(cfg, 2, 1, 0.0);  // (5 - 1 + 2) * delta1
+  // tx = first-detection instant + slot, through the audio pipeline.
+  const double detect = run.tx_global[1] + 8.0 / cfg.sound_speed_mps;
+  EXPECT_NEAR(run.tx_global[2], detect + expected_slot, 1e-3);
+  // The leader stays deaf to it, but its neighbors hear the wrap-around
+  // transmission and its distances survive.
+  EXPECT_EQ(run.heard(0, 2), 0.0);
+  EXPECT_GT(run.heard(3, 2), 0.0);
+  EXPECT_NEAR(result.rounds[0].ranging.distances(2, 3), 8.0, 0.15);
+}
+
+// --- Determinism / sweep integration ---------------------------------------
+
+std::shared_ptr<const MobilityModel> make_swarm_mobility(std::size_t n) {
+  // 4 x 5 grid over ~48 x 36 m with slightly varied depths; three nodes ride
+  // lawnmower tracks so positions change *during* rounds.
+  std::vector<Vec3> origins;
+  for (std::size_t i = 0; i < n; ++i) {
+    origins.push_back({3.0 + static_cast<double>(i % 5) * 12.0,
+                       static_cast<double>(i / 5) * 12.0,
+                       1.0 + 0.1 * static_cast<double>(i)});
+  }
+  auto mob = std::make_shared<LawnmowerMobility>(std::move(origins));
+  for (std::size_t node : {5u, 9u, 13u}) {
+    LawnmowerTrack track;
+    track.direction = {0.0, 1.0, 0.0};
+    track.span_m = 8.0;
+    track.speed_mps = 0.45;
+    track.phase_s = static_cast<double>(node);
+    mob->set_track(node, track);
+  }
+  return mob;
+}
+
+DesScenario make_swarm_scenario(std::size_t n, std::size_t rounds) {
+  DesScenarioConfig cfg;
+  cfg.protocol.num_devices = n;
+  cfg.rounds = rounds;
+  cfg.detection_failure_prob = 0.02;
+  std::vector<audio::AudioTimingConfig> audio(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    audio[i].speaker_start_s = 0.17 * static_cast<double>(i);
+    audio[i].mic_start_s = 0.05 + 0.11 * static_cast<double>(i);
+    audio[i].speaker_skew_ppm = (i % 2 ? 1.0 : -1.0) * static_cast<double>(i);
+    audio[i].mic_skew_ppm = (i % 3 ? -0.5 : 0.5) * static_cast<double>(i);
+  }
+  Matrix conn(n, n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) conn(i, i) = 0.0;
+  return DesScenario(cfg, make_swarm_mobility(n), std::move(audio),
+                     std::move(conn));
+}
+
+TEST(DesDeterminism, IdenticalSeedsReplayBitIdentically) {
+  const DesScenario scenario = make_swarm_scenario(20, 3);
+  uwp::Rng a(77), b(77);
+  const DesScenarioResult ra = scenario.run(a);
+  const DesScenarioResult rb = scenario.run(b);
+  ASSERT_EQ(ra.errors.size(), rb.errors.size());
+  for (std::size_t k = 0; k < ra.errors.size(); ++k)
+    EXPECT_EQ(ra.errors[k], rb.errors[k]) << k;  // bitwise, not approximate
+  EXPECT_EQ(ra.total_deliveries, rb.total_deliveries);
+  EXPECT_EQ(ra.total_collisions, rb.total_collisions);
+}
+
+// Acceptance: a >= 20-node, >= 10-round mobile DES scenario produces
+// bit-identical sweep output at 1 and N threads.
+TEST(DesDeterminism, SweepOutputBitIdenticalAcrossThreadCounts) {
+  const DesScenario scenario = make_swarm_scenario(20, 10);
+  const auto trial = [&scenario](std::size_t, uwp::Rng& rng) {
+    DesScenarioResult r = scenario.run(rng);
+    // Mix raw and tracked errors so both paths are covered by the check.
+    r.errors.insert(r.errors.end(), r.tracked_errors.begin(),
+                    r.tracked_errors.end());
+    return r.errors;
+  };
+
+  sim::SweepOptions serial;
+  serial.trials = 3;
+  serial.master_seed = 0xDE5;
+  serial.threads = 1;
+  sim::SweepOptions parallel = serial;
+  parallel.threads = 4;
+
+  const sim::SweepResult rs = sim::SweepRunner(serial).run(trial);
+  const sim::SweepResult rp = sim::SweepRunner(parallel).run(trial);
+  EXPECT_EQ(rs.failed_trials, 0u);
+  EXPECT_EQ(rp.failed_trials, 0u);
+  ASSERT_FALSE(rs.samples.empty());
+  ASSERT_EQ(rs.samples.size(), rp.samples.size());
+  for (std::size_t k = 0; k < rs.samples.size(); ++k)
+    EXPECT_EQ(rs.samples[k], rp.samples[k]) << k;
+}
+
+TEST(DesTrace, PacketTraceWritesCsv) {
+  const DesScenario scenario = make_swarm_scenario(20, 1);
+  uwp::Rng rng(5);
+  sim::PacketTrace trace;
+  const DesScenarioResult result = scenario.run(rng, &trace);
+  ASSERT_GT(trace.size(), 0u);
+  EXPECT_GE(trace.size(), result.total_deliveries + 20u);  // + tx_start rows
+
+  std::ostringstream csv;
+  sim::write_packet_trace_csv(csv, trace);
+  const std::string text = csv.str();
+  EXPECT_EQ(text.rfind("time_s,round,tx,rx,event,collision\n", 0), 0u);
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+  EXPECT_EQ(lines, trace.size() + 1);
+  EXPECT_NE(text.find("rx_deliver"), std::string::npos);
+  EXPECT_NE(text.find("tx_start"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uwp::des

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "des/medium.hpp"
+#include "des/mobility.hpp"
+
+namespace uwp::des {
+namespace {
+
+TEST(EventQueue, OrdersByTimeThenInsertion) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(2.0, [&] { fired.push_back(2); });
+  q.push(1.0, [&] { fired.push_back(10); });
+  q.push(1.0, [&] { fired.push_back(11); });  // same time: FIFO
+  q.push(0.5, [&] { fired.push_back(0); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{0, 10, 11, 2}));
+}
+
+TEST(EventQueue, RejectsBadInput) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW(q.next_time(), std::logic_error);
+  EXPECT_THROW(q.push(std::numeric_limits<double>::infinity(), [] {}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, AdvancesMonotonicallyAndSupportsNestedScheduling) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.at(1.0, [&] {
+    times.push_back(sim.now());
+    sim.in(0.5, [&] { times.push_back(sim.now()); });  // nested event
+  });
+  sim.at(2.0, [&] { times.push_back(sim.now()); });
+  const std::size_t n = sim.run();
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 1.5, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(3.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);  // advances even with nothing to run
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.at(1.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(0.5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.in(-0.1, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.run_until(0.5), std::invalid_argument);
+}
+
+TEST(Mobility, StaticHoldsPositions) {
+  const StaticMobility mob({{0, 0, 1}, {10, 0, 2}});
+  EXPECT_EQ(mob.size(), 2u);
+  EXPECT_EQ(mob.position(1, 0.0), (Vec3{10, 0, 2}));
+  EXPECT_EQ(mob.position(1, 123.0), (Vec3{10, 0, 2}));
+  EXPECT_THROW(mob.position(2, 0.0), std::invalid_argument);
+}
+
+TEST(Mobility, LawnmowerSweepsBackAndForth) {
+  LawnmowerMobility mob({{3, 0, 1}, {0, 0, 1}});
+  LawnmowerTrack track;
+  track.direction = {1, 0, 0};
+  track.span_m = 15.0;
+  track.speed_mps = 0.5;  // period = 60 s
+  mob.set_track(0, track);
+
+  EXPECT_NEAR(mob.position(0, 0.0).x, 3.0, 1e-12);
+  EXPECT_NEAR(mob.position(0, 15.0).x, 3.0 + 7.5, 1e-12);  // quarter period
+  EXPECT_NEAR(mob.position(0, 30.0).x, 3.0 + 15.0, 1e-12); // far end
+  EXPECT_NEAR(mob.position(0, 60.0).x, 3.0, 1e-9);         // full period
+  // The untracked node never moves.
+  EXPECT_EQ(mob.position(1, 42.0), (Vec3{0, 0, 1}));
+  // Continuous motion: positions 1 s apart differ by exactly the speed.
+  const double dx = mob.position(0, 11.0).x - mob.position(0, 10.0).x;
+  EXPECT_NEAR(std::abs(dx), 0.5, 1e-9);
+}
+
+TEST(Mobility, WaypointLoopsThroughTour) {
+  WaypointMobility mob({{0, 0, 0}});
+  WaypointTrack track;
+  track.waypoints = {{0, 0, 1}, {10, 0, 1}, {10, 10, 1}, {0, 10, 1}};
+  track.speed_mps = 1.0;  // 40 m tour -> 40 s loop
+  mob.set_track(0, track);
+
+  EXPECT_NEAR(mob.position(0, 0.0).x, 0.0, 1e-12);
+  EXPECT_NEAR(mob.position(0, 5.0).x, 5.0, 1e-12);
+  EXPECT_NEAR(mob.position(0, 10.0).x, 10.0, 1e-12);
+  EXPECT_NEAR(mob.position(0, 15.0).y, 5.0, 1e-12);
+  // Loop closure: one full tour later, back at the start.
+  EXPECT_NEAR(distance(mob.position(0, 41.0), mob.position(0, 1.0)), 0.0, 1e-9);
+  EXPECT_THROW(mob.set_track(0, WaypointTrack{}), std::invalid_argument);
+}
+
+// --- Medium -----------------------------------------------------------------
+
+struct Delivery {
+  std::size_t rx, src;
+  double detected;
+};
+
+struct MediumFixture : public ::testing::Test {
+  // Three static nodes on a line, 15 m apart (10 ms hops at 1500 m/s).
+  MediumFixture()
+      : mobility({{0, 0, 1}, {15, 0, 1}, {30, 0, 1}}),
+        medium(make_cfg(), &sim, &mobility, Matrix(3, 3, 1.0)) {
+    medium.begin_round(0);
+    medium.set_sink([this](std::size_t rx, std::size_t src, double detected) {
+      deliveries.push_back({rx, src, detected});
+    });
+  }
+
+  static MediumConfig make_cfg() {
+    MediumConfig mc;
+    mc.sound_speed_mps = 1500.0;
+    mc.packet_duration_s = 0.278;
+    return mc;
+  }
+
+  Simulator sim;
+  StaticMobility mobility;
+  AcousticMedium medium;
+  std::vector<Delivery> deliveries;
+};
+
+TEST_F(MediumFixture, CleanTransmissionReachesAllConnectedReceivers) {
+  sim.at(0.0, [&] { medium.transmit(0); });
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].rx, 1u);
+  EXPECT_NEAR(deliveries[0].detected, 15.0 / 1500.0, 1e-12);
+  EXPECT_EQ(deliveries[1].rx, 2u);
+  EXPECT_NEAR(deliveries[1].detected, 30.0 / 1500.0, 1e-12);
+  EXPECT_EQ(medium.stats().deliveries, 2u);
+  EXPECT_EQ(medium.stats().collisions, 0u);
+}
+
+TEST_F(MediumFixture, ArrivalErrorHookShiftsDetectionAndNanDrops) {
+  medium.set_error_hook([](std::size_t at, std::size_t) {
+    if (at == 2) return std::numeric_limits<double>::quiet_NaN();
+    return 1e-3;
+  });
+  sim.at(0.0, [&] { medium.transmit(0); });
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].rx, 1u);
+  EXPECT_NEAR(deliveries[0].detected, 15.0 / 1500.0 + 1e-3, 1e-12);
+  EXPECT_EQ(medium.stats().detect_failures, 1u);
+}
+
+TEST_F(MediumFixture, OverlappingTransmissionsCollideAtTheReceiver) {
+  // Nodes 0 and 2 transmit almost simultaneously; their packets overlap at
+  // node 1 for ~all of the 278 ms duration -> both corrupted. Each of the
+  // transmitters also misses the other's packet (half-duplex).
+  sim.at(0.0, [&] { medium.transmit(0); });
+  sim.at(0.001, [&] { medium.transmit(2); });
+  sim.run();
+  EXPECT_TRUE(deliveries.empty());
+  EXPECT_EQ(medium.stats().collisions, 2u);
+  EXPECT_EQ(medium.stats().half_duplex_drops, 2u);
+  EXPECT_EQ(medium.stats().deliveries, 0u);
+}
+
+TEST_F(MediumFixture, HalfDuplexReceiverMissesPacketWhileTransmitting) {
+  // Node 1 starts transmitting just before node 0's packet arrives at it.
+  sim.at(0.0, [&] { medium.transmit(0); });
+  sim.at(0.009, [&] { medium.transmit(1); });
+  sim.run();
+  // Node 0 hears node 1? Node 1's packet arrives at node 0 at 0.019, while
+  // node 0 transmits 0.0-0.278 -> also half-duplex dropped. Node 2 receives
+  // both cleanly only if they don't overlap there: arrivals at 0.02 and
+  // 0.019 -> they do overlap -> collision.
+  EXPECT_EQ(medium.stats().half_duplex_drops, 2u);
+  EXPECT_EQ(medium.stats().collisions, 2u);
+  EXPECT_TRUE(deliveries.empty());
+}
+
+TEST_F(MediumFixture, SequentialSlotsDoNotCollide) {
+  sim.at(0.0, [&] { medium.transmit(0); });
+  sim.at(0.320, [&] { medium.transmit(1); });  // one delta1 later
+  sim.run();
+  // 0 -> {1, 2} and 1 -> {0, 2} all clean.
+  EXPECT_EQ(medium.stats().deliveries, 4u);
+  EXPECT_EQ(medium.stats().collisions, 0u);
+  EXPECT_EQ(medium.stats().half_duplex_drops, 0u);
+}
+
+TEST_F(MediumFixture, RangeGateDropsFarLinks) {
+  MediumConfig mc = make_cfg();
+  mc.max_range_m = 20.0;
+  AcousticMedium gated(mc, &sim, &mobility, Matrix(3, 3, 1.0));
+  gated.begin_round(0);
+  std::vector<Delivery> got;
+  gated.set_sink([&](std::size_t rx, std::size_t src, double detected) {
+    got.push_back({rx, src, detected});
+  });
+  sim.at(0.0, [&] { gated.transmit(0); });
+  sim.run();
+  ASSERT_EQ(got.size(), 1u);  // node 2 at 30 m is out of range
+  EXPECT_EQ(got[0].rx, 1u);
+}
+
+TEST_F(MediumFixture, TraceRecordsEveryMediumEvent) {
+  sim::PacketTrace trace;
+  medium.set_trace(&trace);
+  medium.begin_round(7);
+  medium.set_error_hook([](std::size_t at, std::size_t) {
+    return at == 2 ? std::numeric_limits<double>::quiet_NaN() : 0.0;
+  });
+  sim.at(0.0, [&] { medium.transmit(0); });
+  sim.run();
+  ASSERT_EQ(trace.size(), 3u);  // tx_start + deliver + detect_fail
+  EXPECT_EQ(trace.events[0].kind, sim::PacketEventKind::kTxStart);
+  EXPECT_EQ(trace.events[0].round, 7u);
+  EXPECT_EQ(trace.events[1].kind, sim::PacketEventKind::kRxDeliver);
+  EXPECT_EQ(trace.events[2].kind, sim::PacketEventKind::kRxDetectFail);
+  EXPECT_EQ(trace.events[2].rx, 2u);
+}
+
+TEST_F(MediumFixture, BeginRoundInvalidatesInFlightPackets) {
+  sim.at(0.0, [&] { medium.transmit(0); });
+  // Abort the round while the packet is still in the air.
+  sim.at(0.005, [&] { medium.begin_round(1); });
+  sim.run();
+  EXPECT_TRUE(deliveries.empty());
+  EXPECT_EQ(medium.stats().deliveries, 0u);
+}
+
+}  // namespace
+}  // namespace uwp::des

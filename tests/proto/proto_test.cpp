@@ -39,6 +39,43 @@ TEST(SlotSchedule, RelaySyncFutureSlot) {
   EXPECT_DOUBLE_EQ(slot_time_relay_sync(cfg, 2, 1, 0.0), (6 - 1 + 2) * 0.320);
 }
 
+TEST(SlotSchedule, RelayWrapAroundWhenNormalSlotHasPassed) {
+  ProtocolConfig cfg;
+  cfg.num_devices = 8;
+  // Device 3 hears device 2 first: (3-2)*0.32 = 0.32 < 0.6 -> its slot has
+  // passed; it must wait for slot N - ref + id = 8 - 2 + 3 = 9.
+  EXPECT_FALSE(relay_slot_in_future(cfg, 3, 2));
+  EXPECT_DOUBLE_EQ(slot_time_relay_sync(cfg, 3, 2, 0.0), 9.0 * cfg.delta1_s());
+  // The wrap-around slot lands after every normal slot, so it cannot
+  // collide with a leader-synced device (last normal slot is N - 1 - ref).
+  EXPECT_GT(slot_time_relay_sync(cfg, 3, 2, 0.0),
+            static_cast<double>(cfg.num_devices - 1 - 2) * cfg.delta1_s());
+  // A non-zero reference timestamp shifts the slot rigidly.
+  EXPECT_DOUBLE_EQ(slot_time_relay_sync(cfg, 3, 2, 1.5),
+                   1.5 + 9.0 * cfg.delta1_s());
+  // Hearing a LATER device always means the own slot has passed.
+  EXPECT_FALSE(relay_slot_in_future(cfg, 2, 5));
+  EXPECT_DOUBLE_EQ(slot_time_relay_sync(cfg, 2, 5, 0.0),
+                   (8.0 - 5.0 + 2.0) * cfg.delta1_s());
+}
+
+TEST(SlotSchedule, RelaySlotInFutureBoundaryIsExclusive) {
+  // The paper's condition is strict: (i - j) * delta1 > delta0. Pick delta0
+  // = 2 * delta1 so (i - j) = 2 sits exactly on the boundary -> NOT in the
+  // future (transmitting at that instant would already be late).
+  ProtocolConfig cfg;
+  cfg.num_devices = 8;
+  cfg.delta0_s = 2.0 * cfg.delta1_s();
+  EXPECT_FALSE(relay_slot_in_future(cfg, 4, 2));  // == boundary
+  EXPECT_TRUE(relay_slot_in_future(cfg, 5, 2));   // one slot beyond
+  EXPECT_FALSE(relay_slot_in_future(cfg, 3, 2));  // clearly passed
+  // Same-id and wrong-order inputs are rejected rather than wrapped.
+  EXPECT_FALSE(relay_slot_in_future(cfg, 2, 2));
+  EXPECT_THROW(slot_time_relay_sync(cfg, 2, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(slot_time_relay_sync(cfg, 0, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(slot_time_relay_sync(cfg, 3, 0, 0.0), std::invalid_argument);
+}
+
 TEST(SlotSchedule, RoundTripFormulas) {
   ProtocolConfig cfg;
   // §3.2: measured round times 1.2/1.6/1.9/2.2/2.5 s for N = 3..7 track
@@ -178,6 +215,36 @@ TEST_F(ProtocolFixture, IsolatedDeviceNeverTransmits) {
   const ProtocolRun run = proto.run(conn, rng);
   EXPECT_TRUE(std::isnan(run.tx_global[4]));
   EXPECT_EQ(run.sync_ref[4], std::numeric_limits<std::size_t>::max());
+}
+
+TEST_F(ProtocolFixture, DisconnectedDeviceYieldsEmptyRowAndSolvableRest) {
+  // Fully disconnected device 4: sync_ref stays SIZE_MAX, its timestamp row
+  // and column are all-NaN/unheard, and the solver must still produce the
+  // full distance set among the remaining four without touching device 4.
+  Matrix conn = full_connectivity();
+  for (std::size_t j = 0; j < 5; ++j) conn(4, j) = conn(j, 4) = 0.0;
+  const TimestampProtocol proto(cfg_, devices_);
+  uwp::Rng rng(12);
+  const ProtocolRun run = proto.run(conn, rng);
+
+  EXPECT_EQ(run.sync_ref[4], std::numeric_limits<std::size_t>::max());
+  EXPECT_TRUE(std::isnan(run.tx_global[4]));
+  for (std::size_t j = 0; j < 5; ++j) {
+    EXPECT_TRUE(std::isnan(run.timestamps(4, j))) << j;
+    EXPECT_EQ(run.heard(4, j), 0.0) << j;
+    EXPECT_EQ(run.heard(j, 4), 0.0) << j;
+  }
+
+  const RangingSolver solver(cfg_);
+  const RangingSolution sol = solver.solve(run);
+  EXPECT_EQ(sol.two_way_links, 6u);  // C(4,2) among devices 0-3
+  for (std::size_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(sol.weights(4, j), 0.0) << j;
+    EXPECT_EQ(sol.distances(4, j), 0.0) << j;
+  }
+  EXPECT_NEAR(sol.distances(1, 3), 16.0, 0.12);
+  // The round still completes in normal time for the connected devices.
+  EXPECT_GT(run.round_duration_s, 0.0);
 }
 
 TEST_F(ProtocolFixture, ClockSkewToleratedWithinCentimeters) {

@@ -113,5 +113,32 @@ TEST(Trace, RecordedTraceReplaysThroughRanger) {
   EXPECT_GE(detections, 2);
 }
 
+TEST(PacketTraceCsv, RowsCarryRoundTagAndKindNames) {
+  PacketTrace trace;
+  trace.round = 3;
+  trace.add(0.0, 0, 0, PacketEventKind::kTxStart, false);
+  trace.add(0.01, 0, 1, PacketEventKind::kRxDeliver, false);
+  trace.round = 4;
+  trace.add(14.2, 2, 1, PacketEventKind::kRxCollision, true);
+  trace.add(14.3, 2, 3, PacketEventKind::kRxHalfDuplexDrop, false);
+  trace.add(14.4, 2, 4, PacketEventKind::kRxDetectFail, false);
+
+  std::stringstream buf;
+  write_packet_trace_csv(buf, trace);
+  std::string line;
+  std::getline(buf, line);
+  EXPECT_EQ(line, "time_s,round,tx,rx,event,collision");
+  std::getline(buf, line);
+  EXPECT_EQ(line, "0.000000000,3,0,0,tx_start,0");
+  std::getline(buf, line);
+  EXPECT_EQ(line, "0.010000000,3,0,1,rx_deliver,0");
+  std::getline(buf, line);
+  EXPECT_EQ(line, "14.200000000,4,2,1,rx_collision,1");
+  std::getline(buf, line);
+  EXPECT_EQ(line, "14.300000000,4,2,3,rx_half_duplex_drop,0");
+  std::getline(buf, line);
+  EXPECT_EQ(line, "14.400000000,4,2,4,rx_detect_fail,0");
+}
+
 }  // namespace
 }  // namespace uwp::sim
