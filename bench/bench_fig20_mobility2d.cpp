@@ -3,12 +3,18 @@
 // 5-device dock network stays put; ground truth is the trajectory midpoint,
 // as in the paper. Paper: user 1 median 0.2 -> 0.3 m when moving; user 2
 // 0.4 -> 0.8 m — motion costs little because every round is independent.
-// Rounds are independent full-pipeline runs, so they fan out across
-// hardware threads via the SweepRunner (`--threads=N` / UWP_THREADS,
-// bit-identical at any count).
+// Rounds are independent full-pipeline runs fanned out via the SweepRunner
+// (`--threads=N` / UWP_THREADS, bit-identical at any count); static-network
+// sweeps keep one sim::ScenarioRoundContext per worker so the
+// pipeline::RoundPipeline workspaces stay warm across rounds.
+//
+//   --benchmark_format=json   emit the fast-mode sweep timings as a
+//                             google-benchmark-style JSON document instead
+//                             of the human tables (CI perf artifact)
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "sim/metrics.hpp"
@@ -46,12 +52,17 @@ void run_config(const char* label, std::size_t mover, std::uint64_t master_seed,
   so.threads = threads;
 
   // Static baseline: every trial is one full round of the unmodified
-  // deployment.
+  // deployment, through a per-worker round context (warm pipeline).
   so.master_seed = master_seed;
   const uwp::sim::ScenarioRunner static_runner(base);
   const uwp::sim::SweepResult static_res = uwp::sim::SweepRunner(so).run(
-      [&](std::size_t, uwp::Rng& rng) -> std::vector<double> {
-        const auto res = static_runner.run_round(opts, rng);
+      [&]() {
+        return std::make_shared<uwp::sim::ScenarioRoundContext>(static_runner, opts);
+      },
+      [&](std::size_t, uwp::Rng& rng, void* ctx) -> std::vector<double> {
+        auto* context = static_cast<uwp::sim::ScenarioRoundContext*>(ctx);
+        uwp::sim::RoundResult res;
+        context->run_into(res, rng);
         if (!res.ok) return {kNaN, kNaN};
         return {res.error_2d[mover], res.error_2d[other]};
       });
@@ -94,14 +105,58 @@ void run_config(const char* label, std::size_t mover, std::uint64_t master_seed,
   std::printf("\n");
 }
 
+// The fast-mode sweep (calibrated-Gaussian front-end, no waveform PHY):
+// what large Monte-Carlo campaigns run, and the perf workload tracked in
+// BENCH_pipeline.json.
+uwp::sim::SweepResult run_fast_sweep(std::size_t trials, std::size_t threads) {
+  uwp::Rng setup(20);
+  const uwp::sim::Deployment base = uwp::sim::make_dock_testbed(setup);
+  const uwp::sim::ScenarioRunner runner(base);
+  uwp::sim::RoundOptions opts;
+  opts.waveform_phy = false;
+
+  uwp::sim::SweepOptions so;
+  so.trials = trials;
+  so.master_seed = 201;
+  so.threads = threads;
+  return uwp::sim::SweepRunner(so).run(
+      [&]() { return std::make_shared<uwp::sim::ScenarioRoundContext>(runner, opts); },
+      [](std::size_t, uwp::Rng& rng, void* ctx) {
+        auto* context = static_cast<uwp::sim::ScenarioRoundContext*>(ctx);
+        uwp::sim::RoundResult res;
+        context->run_into(res, rng);
+        return res.error_2d;
+      });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
+
+  if (uwp::sim::BenchJsonReporter::requested(argc, argv)) {
+    uwp::sim::BenchJsonReporter report;
+    const std::size_t trials = 400;
+    const uwp::sim::SweepResult serial = run_fast_sweep(trials, 1);
+    report.add("fig20_fast_sweep/400rounds/serial", serial.wall_seconds, trials);
+    const uwp::sim::SweepResult par = run_fast_sweep(trials, threads);
+    report.add("fig20_fast_sweep/400rounds/threads", par.wall_seconds, trials);
+    report.write();
+    return 0;
+  }
+
   uwp::sim::SweepTally tally;
   uwp::Rng rng(20);  // deployments only; round streams come from the sweep
   run_config("user 1 moves (15-50 cm/s)", 1, 201, threads, rng, tally);
   run_config("user 2 moves (15-50 cm/s)", 2, 203, threads, rng, tally);
+
+  const uwp::sim::SweepResult fast = run_fast_sweep(400, threads);
+  std::printf("=== Fast mode: 400-round sweep (calibrated Gaussian) ===\n");
+  uwp::sim::print_summary_row("per-device error", fast.samples);
+  std::printf("(%zu rounds in %.3f s across %zu threads)\n\n", fast.per_trial.size(),
+              fast.wall_seconds, fast.threads_used);
+  tally.add(fast);
+
   std::printf("(paper: moving increases the mover's median error only\n"
               " modestly — 0.2->0.3 m and 0.4->0.8 m — because each protocol\n"
               " round is an independent snapshot)\n");

@@ -1,52 +1,65 @@
 // Continuous tracking demo (§5 future work): periodic localization rounds
 // feed per-diver Kalman filters, giving smooth position/velocity estimates
-// between acoustic snapshots and coasting through failed rounds.
+// between acoustic snapshots and coasting through failed rounds. The whole
+// chain — fast-Gaussian measurement front-end, quantize -> solve ->
+// localize, tracker fusion — runs inside pipeline::RoundPipeline; the demo
+// only moves the diver and reads the tracks.
 //
 //   ./examples/continuous_tracking
 #include <cmath>
 #include <cstdio>
 
-#include "core/tracker.hpp"
+#include "pipeline/closed_form.hpp"
+#include "pipeline/round_pipeline.hpp"
 #include "sim/scenario.hpp"
 
 int main() {
   uwp::Rng rng(321);
   uwp::sim::Deployment deployment = uwp::sim::make_dock_testbed(rng);
-  const uwp::Vec3 base = deployment.devices[2].position;
+  const uwp::sim::ScenarioRunner runner(deployment);
 
-  uwp::core::GroupTracker tracker(deployment.size());
   uwp::sim::RoundOptions opts;
   opts.waveform_phy = false;
+
+  // Fast-Gaussian front-end over the dock scene; the pipeline runs the
+  // tracker stage (one constant-velocity Kalman filter per diver).
+  uwp::pipeline::FastMeasurementModel model(runner.scene(opts), opts.fast_arrival);
+  uwp::pipeline::PipelineOptions popts;
+  popts.protocol = model.scene().protocol;
+  popts.track = true;
+  // Noisy rounds (high topology stress) get less Kalman gain.
+  popts.tracker_stress_sigma_offset_m = 0.5;
+  uwp::pipeline::RoundPipeline pipeline(popts);
+
+  const uwp::Vec3 base = model.scene().positions[2];
+  const uwp::Vec3 leader = model.scene().positions[0];
 
   std::printf("Diver 2 swims a loop; one localization round every 5 s.\n");
   std::printf("Rounds at t=40..50 s fail (e.g. boat noise) — the track coasts.\n\n");
   std::printf("%6s %10s %12s %12s %10s %10s\n", "t[s]", "round", "raw err[m]",
               "track err[m]", "speed", "sigma[m]");
 
+  uwp::pipeline::RoundMeasurement measurement;
   for (int step = 0; step < 20; ++step) {
     const double t = 5.0 * step;
     const double phase = 2.0 * uwp::kPi * t / 80.0;
-    deployment.devices[2].position =
+    model.positions()[2] =
         base + uwp::Vec3{2.5 * std::cos(phase), 2.5 * std::sin(phase), 0.0};
-    const uwp::Vec2 truth =
-        (deployment.devices[2].position - deployment.devices[0].position).xy();
-
-    tracker.predict(step == 0 ? 0.0 : 5.0);
+    const uwp::Vec2 truth = (model.positions()[2] - leader).xy();
 
     const bool round_fails = t >= 40.0 && t <= 50.0;
     double raw_err = -1.0;
-    if (!round_fails) {
-      const uwp::sim::ScenarioRunner runner(deployment);
-      const uwp::sim::RoundResult res = runner.run_round(opts, rng);
-      if (res.ok) {
-        raw_err = res.error_2d[2];
-        std::vector<std::optional<uwp::Vec2>> update(deployment.size());
-        update[2] = res.localization.positions[2].xy();
-        tracker.update(update, res.localization.normalized_stress + 0.5);
-      }
+    if (round_fails) {
+      // No acoustic round: the pipeline's tracker coasts on its motion model.
+      pipeline.coast(step == 0 ? 0.0 : 5.0);
+    } else {
+      model.measure(measurement, rng);
+      const uwp::pipeline::RoundOutput& out =
+          pipeline.run_round(measurement, rng, step == 0 ? 0.0 : 5.0);
+      if (out.localized) raw_err = out.error_2d[2];
     }
 
-    const auto& track = tracker.track(2);
+    const uwp::core::DiverTrack& track = pipeline.tracker().track(2);
     const double track_err =
         track.initialized() ? distance(track.position(), truth) : -1.0;
     std::printf("%6.0f %10s %12.2f %12.2f %10.2f %10.2f\n", t,

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   uwp::des::DesScenarioConfig cfg;
   cfg.protocol.num_devices = n;
   cfg.rounds = 20;
-  cfg.detection_failure_prob = 0.03;
+  cfg.arrival.detection_failure_prob = 0.03;
 
   const uwp::des::DesScenario scenario(cfg, mobility, audio, conn);
   std::printf("10-node dive group, 20 protocol rounds, %.1f s apart.\n"

@@ -1,13 +1,17 @@
-// Quickstart: localize a 5-device dive group with zero infrastructure.
+// Quickstart: localize a 5-device dive group with zero infrastructure,
+// through the round pipeline.
 //
-// A leader (device 0) and four divers hang in a simulated lake. One protocol
-// round — leader query, TDM responses, timestamp uplink — produces pairwise
-// distances; the topology core turns them plus depth readings and the
-// leader's pointing direction into 3D positions.
+// A leader (device 0) and four divers hang in a simulated lake. A
+// measurement front-end (here the waveform-level PHY model) produces one
+// protocol round — leader query, TDM responses, timestamp uplink — and the
+// shared pipeline::RoundPipeline turns it into 3D positions: payload
+// quantization -> ranging solve -> weighted-SMACOF localization -> error
+// metrics against ground truth.
 //
 //   ./examples/quickstart
 #include <cstdio>
 
+#include "pipeline/round_pipeline.hpp"
 #include "sim/scenario.hpp"
 
 int main() {
@@ -17,19 +21,30 @@ int main() {
   uwp::sim::Deployment deployment = uwp::sim::make_dock_testbed(rng);
   const uwp::sim::ScenarioRunner runner(std::move(deployment));
 
+  // Front-end: full acoustic simulation on every link. Swap in
+  // pipeline::FastMeasurementModel (calibrated Gaussian) for large sweeps,
+  // or des::DesFrontEnd for packet-level dynamics — the pipeline below is
+  // identical for all of them.
   uwp::sim::RoundOptions opts;
-  opts.waveform_phy = true;  // full acoustic simulation on every link
+  opts.waveform_phy = true;
+  uwp::sim::WaveformMeasurementModel model(runner, opts);
+
+  uwp::pipeline::PipelineOptions popts;
+  popts.protocol = model.scene().protocol;
+  uwp::pipeline::RoundPipeline pipeline(popts);
 
   std::printf("Running one localization round (%zu devices, %s)...\n\n",
               runner.deployment().size(), runner.deployment().env.name.c_str());
-  const uwp::sim::RoundResult round = runner.run_round(opts, rng);
-  if (!round.ok) {
+  uwp::pipeline::RoundMeasurement measurement;
+  model.measure(measurement, rng);
+  const uwp::pipeline::RoundOutput& round = pipeline.run_round(measurement, rng);
+  if (!round.localized) {
     std::printf("Localization failed (not enough links measured).\n");
     return 1;
   }
 
   std::printf("Protocol round trip: %.2f s, %zu two-way + %zu one-way links\n",
-              round.protocol.round_duration_s, round.ranging.two_way_links,
+              measurement.protocol.round_duration_s, round.ranging.two_way_links,
               round.ranging.one_way_links);
   std::printf("Topology stress: %.2f m RMS%s\n\n",
               round.localization.normalized_stress,
@@ -40,8 +55,9 @@ int main() {
   for (std::size_t i = 0; i < runner.deployment().size(); ++i) {
     const uwp::Vec3 est = round.localization.positions[i];
     std::printf("%-8zu (%7.2f, %7.2f, %5.2f)      (%7.2f, %7.2f, %5.2f)      %6.2f\n",
-                i, est.x, est.y, est.z, round.truth_xy[i].x, round.truth_xy[i].y,
-                round.truth_depths[i], round.error_2d[i]);
+                i, est.x, est.y, est.z, measurement.truth_xy[i].x,
+                measurement.truth_xy[i].y, measurement.truth_depths[i],
+                round.error_2d[i]);
   }
   std::printf("\nDevice 0 is the dive leader (origin); device 1 is the diver "
               "the leader points at.\n");

@@ -6,28 +6,44 @@
 namespace uwp::core {
 
 std::vector<Vec2> translate_leader_to_origin(std::vector<Vec2> pts) {
-  if (pts.empty()) return pts;
-  const Vec2 origin = pts[0];
-  for (Vec2& p : pts) p = p - origin;
+  translate_leader_to_origin_inplace(pts);
   return pts;
 }
 
+void translate_leader_to_origin_inplace(std::vector<Vec2>& pts) {
+  if (pts.empty()) return;
+  const Vec2 origin = pts[0];
+  for (Vec2& p : pts) p = p - origin;
+}
+
 std::vector<Vec2> resolve_rotation(std::vector<Vec2> pts, double pointing_bearing_rad) {
-  if (pts.size() < 2) return pts;
+  resolve_rotation_inplace(pts, pointing_bearing_rad);
+  return pts;
+}
+
+void resolve_rotation_inplace(std::vector<Vec2>& pts, double pointing_bearing_rad) {
+  if (pts.size() < 2) return;
   if (pts[0].norm() > 1e-9)
     throw std::invalid_argument("resolve_rotation: node 0 must be at the origin");
   const double current = bearing(pts[1]);
   const double delta = wrap_angle(pointing_bearing_rad - current);
   for (Vec2& p : pts) p = rotate(p, delta);
-  return pts;
 }
 
 std::vector<Vec2> flip_configuration(const std::vector<Vec2>& pts) {
-  if (pts.size() < 2) return pts;
-  std::vector<Vec2> out(pts.size());
+  std::vector<Vec2> out;
+  flip_configuration_into(out, pts);
+  return out;
+}
+
+void flip_configuration_into(std::vector<Vec2>& out, const std::vector<Vec2>& pts) {
+  if (pts.size() < 2) {
+    out = pts;
+    return;
+  }
+  out.resize(pts.size());
   for (std::size_t i = 0; i < pts.size(); ++i)
     out[i] = reflect_across_line(pts[i], pts[0], pts[1]);
-  return out;
 }
 
 double flip_vote_score(const std::vector<Vec2>& pts, const std::vector<MicVote>& votes) {

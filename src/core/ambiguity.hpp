@@ -28,8 +28,15 @@ std::vector<Vec2> translate_leader_to_origin(std::vector<Vec2> pts);
 // `pointing_bearing_rad` from node 0 (node 0 must already be at the origin).
 std::vector<Vec2> resolve_rotation(std::vector<Vec2> pts, double pointing_bearing_rad);
 
+// In-place counterparts (bit-identical, no allocation).
+void translate_leader_to_origin_inplace(std::vector<Vec2>& pts);
+void resolve_rotation_inplace(std::vector<Vec2>& pts, double pointing_bearing_rad);
+
 // The mirror image of the configuration across the node0->node1 line.
 std::vector<Vec2> flip_configuration(const std::vector<Vec2>& pts);
+
+// Workspace variant writing into `out` (reused buffer).
+void flip_configuration_into(std::vector<Vec2>& out, const std::vector<Vec2>& pts);
 
 // Voting function V({P}) (§2.1.4): sum over votes of
 // mic_sign * sgn(side_of_line(P_node, P_0, P_1)).

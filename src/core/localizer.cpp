@@ -9,6 +9,14 @@ namespace uwp::core {
 
 LocalizationResult Localizer::localize(const LocalizationInput& input,
                                        uwp::Rng& rng) const {
+  LocalizerWorkspace ws;
+  LocalizationResult out;
+  localize_into(out, input, rng, ws);
+  return out;
+}
+
+void Localizer::localize_into(LocalizationResult& out, const LocalizationInput& input,
+                              uwp::Rng& rng, LocalizerWorkspace& ws) const {
   const std::size_t n = input.distances.rows();
   if (n < 2) throw std::invalid_argument("Localizer: need at least 2 devices");
   if (input.distances.cols() != n || input.weights.rows() != n ||
@@ -16,29 +24,32 @@ LocalizationResult Localizer::localize(const LocalizationInput& input,
     throw std::invalid_argument("Localizer: shape mismatch");
 
   // Step 1: project to the horizontal plane using depth readings (§2.1.1).
-  const Matrix d2d = project_to_2d(input.distances, input.depths);
+  project_to_2d_into(ws.d2d, input.distances, input.depths);
 
   // Step 2: topology via weighted SMACOF + Algorithm 1 outlier handling.
-  const OutlierResult topo =
-      localize_with_outlier_detection(d2d, input.weights, opts_.outlier, rng);
+  localize_with_outlier_detection_into(ws.topo, ws.d2d, input.weights, opts_.outlier,
+                                       rng, ws.outlier);
 
   // Step 3: fix translation, rotation, and flip (§2.1.4).
-  std::vector<Vec2> pts = translate_leader_to_origin(topo.positions);
-  pts = resolve_rotation(std::move(pts), input.pointing_bearing_rad);
-  const FlipDecision flip = resolve_flip(pts, input.votes);
+  std::vector<Vec2>& pts = ws.pts;
+  pts.assign(ws.topo.positions.begin(), ws.topo.positions.end());
+  translate_leader_to_origin_inplace(pts);
+  resolve_rotation_inplace(pts, input.pointing_bearing_rad);
+  flip_configuration_into(ws.mirrored, pts);
+  const double score_original = flip_vote_score(pts, input.votes);
+  const double score_flipped = flip_vote_score(ws.mirrored, input.votes);
+  const bool flipped = score_flipped > score_original;
+  const std::vector<Vec2>& chosen = flipped ? ws.mirrored : pts;
 
-  LocalizationResult out;
-  out.normalized_stress = topo.normalized_stress;
-  out.dropped_links = topo.dropped_links;
-  out.outliers_suspected = topo.outliers_suspected;
-  out.flipped = flip.flipped;
-  out.flip_vote_margin =
-      static_cast<int>(std::abs(flip.score_original - flip.score_flipped));
+  out.normalized_stress = ws.topo.normalized_stress;
+  out.dropped_links = ws.topo.dropped_links;
+  out.outliers_suspected = ws.topo.outliers_suspected;
+  out.flipped = flipped;
+  out.flip_vote_margin = static_cast<int>(std::abs(score_original - score_flipped));
 
   out.positions.resize(n);
   for (std::size_t i = 0; i < n; ++i)
-    out.positions[i] = {flip.positions[i].x, flip.positions[i].y, input.depths[i]};
-  return out;
+    out.positions[i] = {chosen[i].x, chosen[i].y, input.depths[i]};
 }
 
 }  // namespace uwp::core

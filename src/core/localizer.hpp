@@ -44,12 +44,27 @@ struct LocalizerOptions {
   OutlierOptions outlier{};
 };
 
+// Reusable scratch threaded through the whole solve (projection, SMACOF +
+// outlier search, ambiguity resolution). One workspace per thread; results
+// are bit-identical to the workspace-free path whether cold or warm.
+struct LocalizerWorkspace {
+  Matrix d2d;
+  OutlierWorkspace outlier;
+  OutlierResult topo;
+  std::vector<Vec2> pts, mirrored;
+};
+
 class Localizer {
  public:
   explicit Localizer(LocalizerOptions opts = {}) : opts_(opts) {}
 
   // Throws std::invalid_argument on malformed input (shape mismatch, N < 2).
   LocalizationResult localize(const LocalizationInput& input, uwp::Rng& rng) const;
+
+  // Workspace variant: same results, near-zero heap allocation once `ws`
+  // and `out` are warm.
+  void localize_into(LocalizationResult& out, const LocalizationInput& input,
+                     uwp::Rng& rng, LocalizerWorkspace& ws) const;
 
  private:
   LocalizerOptions opts_;

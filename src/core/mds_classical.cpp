@@ -9,17 +9,24 @@
 namespace uwp::core {
 
 Matrix shortest_path_completion(const Matrix& dist, const Matrix& weights) {
+  Matrix out;
+  shortest_path_completion_into(out, dist, weights);
+  return out;
+}
+
+void shortest_path_completion_into(Matrix& out, const Matrix& dist,
+                                   const Matrix& weights) {
   const std::size_t n = dist.rows();
   if (dist.cols() != n || weights.rows() != n || weights.cols() != n)
     throw std::invalid_argument("shortest_path_completion: shape mismatch");
   constexpr double kInf = 1e18;
-  Matrix d(n, n, kInf);
+  out.assign(n, n, kInf);
   double max_obs = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    d(i, i) = 0.0;
+    out(i, i) = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
       if (i != j && weights(i, j) > 0.0) {
-        d(i, j) = dist(i, j);
+        out(i, j) = dist(i, j);
         max_obs = std::max(max_obs, dist(i, j));
       }
     }
@@ -28,23 +35,33 @@ Matrix shortest_path_completion(const Matrix& dist, const Matrix& weights) {
   for (std::size_t k = 0; k < n; ++k)
     for (std::size_t i = 0; i < n; ++i)
       for (std::size_t j = 0; j < n; ++j)
-        d(i, j) = std::min(d(i, j), d(i, k) + d(k, j));
+        out(i, j) = std::min(out(i, j), out(i, k) + out(k, j));
   // Unreachable pairs: cap at the largest observed distance.
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < n; ++j)
-      if (d(i, j) >= kInf) d(i, j) = max_obs;
-  return d;
+      if (out(i, j) >= kInf) out(i, j) = max_obs;
 }
 
 std::vector<Vec2> classical_mds_2d(const Matrix& dist) {
+  ClassicalMdsWorkspace ws;
+  std::vector<Vec2> out;
+  classical_mds_2d_into(out, dist, ws);
+  return out;
+}
+
+void classical_mds_2d_into(std::vector<Vec2>& out, const Matrix& dist,
+                           ClassicalMdsWorkspace& ws) {
   const std::size_t n = dist.rows();
   if (dist.cols() != n) throw std::invalid_argument("classical_mds_2d: not square");
-  if (n == 0) return {};
+  out.assign(n, Vec2{});
+  if (n == 0) return;
   // Double centering: B = -1/2 J D^2 J.
-  Matrix d2(n, n);
+  Matrix& d2 = ws.d2;
+  d2.assign(n, n);
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < n; ++j) d2(i, j) = dist(i, j) * dist(i, j);
-  std::vector<double> row_mean(n, 0.0);
+  std::vector<double>& row_mean = ws.row_mean;
+  row_mean.assign(n, 0.0);
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) row_mean[i] += d2(i, j);
@@ -52,29 +69,38 @@ std::vector<Vec2> classical_mds_2d(const Matrix& dist) {
     total += row_mean[i];
   }
   total /= static_cast<double>(n);
-  Matrix b(n, n);
+  Matrix& b = ws.b;
+  b.assign(n, n);
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < n; ++j)
       b(i, j) = -0.5 * (d2(i, j) - row_mean[i] - row_mean[j] + total);
 
-  const EigenResult eig = eigen_symmetric(b);
-  std::vector<Vec2> pts(n);
+  eigen_symmetric_into(b, ws.eigen.eig, ws.eigen);
+  const EigenResult& eig = ws.eigen.eig;
   for (std::size_t axis = 0; axis < 2 && axis < eig.values.size(); ++axis) {
     const double l = std::max(eig.values[axis], 0.0);
     const double s = std::sqrt(l);
     for (std::size_t i = 0; i < n; ++i) {
       const double coord = s * eig.vectors(i, axis);
       if (axis == 0)
-        pts[i].x = coord;
+        out[i].x = coord;
       else
-        pts[i].y = coord;
+        out[i].y = coord;
     }
   }
-  return pts;
 }
 
 std::vector<Vec2> classical_mds_2d_weighted(const Matrix& dist, const Matrix& weights) {
-  return classical_mds_2d(shortest_path_completion(dist, weights));
+  ClassicalMdsWorkspace ws;
+  std::vector<Vec2> out;
+  classical_mds_2d_weighted_into(out, dist, weights, ws);
+  return out;
+}
+
+void classical_mds_2d_weighted_into(std::vector<Vec2>& out, const Matrix& dist,
+                                    const Matrix& weights, ClassicalMdsWorkspace& ws) {
+  shortest_path_completion_into(ws.completed, dist, weights);
+  classical_mds_2d_into(out, ws.completed, ws);
 }
 
 }  // namespace uwp::core

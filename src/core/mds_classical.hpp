@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/geometry.hpp"
+#include "util/linalg.hpp"
 #include "util/matrix.hpp"
 
 namespace uwp::core {
@@ -20,5 +21,21 @@ std::vector<Vec2> classical_mds_2d(const Matrix& dist);
 
 // Convenience: completion + embedding for weighted problems.
 std::vector<Vec2> classical_mds_2d_weighted(const Matrix& dist, const Matrix& weights);
+
+// Reusable scratch for the workspace variants below (bit-identical to the
+// allocating forms; no steady-state heap traffic).
+struct ClassicalMdsWorkspace {
+  Matrix completed;  // shortest-path-completed distances
+  Matrix d2, b;      // squared distances, double-centered Gram matrix
+  std::vector<double> row_mean;
+  EigenWorkspace eigen;
+};
+
+void shortest_path_completion_into(Matrix& out, const Matrix& dist,
+                                   const Matrix& weights);
+void classical_mds_2d_into(std::vector<Vec2>& out, const Matrix& dist,
+                           ClassicalMdsWorkspace& ws);
+void classical_mds_2d_weighted_into(std::vector<Vec2>& out, const Matrix& dist,
+                                    const Matrix& weights, ClassicalMdsWorkspace& ws);
 
 }  // namespace uwp::core

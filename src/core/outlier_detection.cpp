@@ -2,48 +2,79 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace uwp::core {
+
+namespace {
+
+// In-place lexicographic advance of a k-subset of [0, n) (k >= 1). Visits
+// subsets in exactly the order subsets_of_size materializes them.
+bool advance_subset(std::vector<std::size_t>& idx, std::size_t n) {
+  const std::size_t k = idx.size();
+  std::size_t i = k;
+  while (i-- > 0) {
+    if (idx[i] != i + n - k) {
+      ++idx[i];
+      for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+      return true;
+    }
+    if (i == 0) return false;
+  }
+  return false;
+}
+
+}  // namespace
 
 std::vector<std::vector<std::size_t>> subsets_of_size(std::size_t n, std::size_t k) {
   std::vector<std::vector<std::size_t>> out;
   if (k > n) return out;
   std::vector<std::size_t> idx(k);
-  // Standard lexicographic combination enumeration.
   for (std::size_t i = 0; i < k; ++i) idx[i] = i;
-  while (true) {
+  // Built on the same advance the search loops use in place, so the
+  // enumeration order cannot drift apart.
+  do {
     out.push_back(idx);
-    // Advance.
-    std::size_t i = k;
-    while (i-- > 0) {
-      if (idx[i] != i + n - k) {
-        ++idx[i];
-        for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
-        break;
-      }
-      if (i == 0) return out;
-    }
-  }
+  } while (advance_subset(idx, n));
+  return out;
 }
 
 OutlierResult localize_with_outlier_detection(const Matrix& dist, const Matrix& weights,
                                               const OutlierOptions& opts, uwp::Rng& rng) {
-  const std::size_t n = dist.rows();
-  const std::vector<Edge> links = edges_from_weights(weights);
-
+  OutlierWorkspace ws;
   OutlierResult out;
+  localize_with_outlier_detection_into(out, dist, weights, opts, rng, ws);
+  return out;
+}
+
+void localize_with_outlier_detection_into(OutlierResult& out, const Matrix& dist,
+                                          const Matrix& weights,
+                                          const OutlierOptions& opts, uwp::Rng& rng,
+                                          OutlierWorkspace& ws) {
+  const std::size_t n = dist.rows();
+  std::vector<Edge>& links = ws.links;
+  links.clear();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (weights(i, j) > 0.0) links.emplace_back(i, j);
+
   out.weights = weights;
+  out.dropped_links.clear();
+  out.outliers_suspected = false;
 
   // Initial solve on all links.
-  SmacofResult base = smacof_2d(dist, weights, opts.smacof, rng);
-  out.positions = base.positions;
+  SmacofResult& base = ws.base;
+  smacof_2d_into(base, dist, weights, opts.smacof, rng, nullptr, ws.smacof_base);
+  out.positions.assign(base.positions.begin(), base.positions.end());
   out.normalized_stress = base.normalized_stress;
-  if (base.normalized_stress < opts.stress_threshold) return out;
+  if (base.normalized_stress < opts.stress_threshold) return;
 
   out.outliers_suspected = true;
   double e0 = base.normalized_stress;
-  std::vector<Vec2> p0 = base.positions;
-  std::vector<std::size_t> dropped_so_far;  // indices into `links`
+  std::vector<Vec2>& p0 = ws.p0;
+  p0.assign(base.positions.begin(), base.positions.end());
+  std::vector<std::size_t>& dropped_so_far = ws.dropped_so_far;  // links[] indices
+  dropped_so_far.clear();
 
   // Candidate pool: all links while the subset enumeration stays cheap;
   // past max_suspect_links, only the worst-fitting links of the initial
@@ -54,10 +85,12 @@ OutlierResult localize_with_outlier_detection(const Matrix& dist, const Matrix& 
   // O(C(L, 3)) minutes-scale search at N = 20 into ~a second without
   // touching the paper-scale (N <= 8) behavior at all.
   const bool pruned = links.size() > opts.max_suspect_links;
-  std::vector<std::size_t> pool(links.size());
+  std::vector<std::size_t>& pool = ws.pool;
+  pool.resize(links.size());
   for (std::size_t li = 0; li < links.size(); ++li) pool[li] = li;
   if (pruned) {
-    std::vector<double> residual(links.size());
+    std::vector<double>& residual = ws.residual;
+    residual.resize(links.size());
     for (std::size_t li = 0; li < links.size(); ++li) {
       const auto [a, b] = links[li];
       residual[li] = std::abs(distance(base.positions[a], base.positions[b]) -
@@ -73,72 +106,155 @@ OutlierResult localize_with_outlier_detection(const Matrix& dist, const Matrix& 
   SmacofOptions warm = opts.smacof;
   warm.random_restarts = 0;
 
+  // Warm candidate solves draw nothing from `rng`, so the pruned search can
+  // fan candidates across a pool; the reduction below walks candidates in
+  // enumeration order, making the result bit-identical at any thread count.
+  const std::size_t search_threads =
+      pruned && opts.search_threads != 1
+          ? ThreadPool::resolve_thread_count(opts.search_threads)
+          : 1;
+
+  Matrix& w = ws.w;
+  std::vector<Edge>& remaining = ws.remaining;
+  std::vector<Vec2>& p_min = ws.p_min;
+  SmacofResult& cand = ws.cand;
+
   for (int ndrop = 1; ndrop <= opts.max_outliers; ++ndrop) {
     double e_min = e0;
-    std::vector<Vec2> p_min = p0;
-    std::vector<std::size_t> best_subset;
+    p_min.assign(p0.begin(), p0.end());
+    std::vector<std::size_t>& best_subset = ws.best_subset;
+    best_subset.clear();
 
-    for (std::vector<std::size_t>& subset :
-         subsets_of_size(pool.size(), static_cast<std::size_t>(ndrop))) {
-      for (std::size_t& m : subset) m = pool[m];  // pool slot -> link index
-      // Build the candidate weight matrix with this subset removed.
-      Matrix w = weights;
-      std::vector<Edge> remaining;
-      remaining.reserve(links.size() - subset.size());
-      for (std::size_t li = 0; li < links.size(); ++li) {
-        const bool dropped =
-            std::find(subset.begin(), subset.end(), li) != subset.end();
-        if (dropped) {
+    const std::size_t k = static_cast<std::size_t>(ndrop);
+    if (k > pool.size()) continue;
+    std::vector<std::size_t>& slots = ws.subset_slots;
+    slots.resize(k);
+    for (std::size_t i = 0; i < k; ++i) slots[i] = i;
+    std::vector<std::size_t>& subset = ws.subset;
+
+    if (search_threads > 1) {
+      // Materialize this level's candidate subsets (link indices, flattened
+      // k at a time, in enumeration order).
+      std::vector<std::size_t>& flat = ws.flat_subsets;
+      flat.clear();
+      bool more = true;
+      while (more) {
+        for (std::size_t i = 0; i < k; ++i) flat.push_back(pool[slots[i]]);
+        more = advance_subset(slots, pool.size());
+      }
+      const std::size_t m = flat.size() / k;
+      ws.cand_stress.resize(m);
+      if (!ws.search_pool || ws.search_pool->size() != search_threads)
+        ws.search_pool = std::make_unique<ThreadPool>(search_threads);
+      if (ws.lanes.size() < ws.search_pool->size())
+        ws.lanes.resize(ws.search_pool->size());
+      ws.search_pool->parallel_for_lanes(m, [&](std::size_t lane_idx, std::size_t ci) {
+        OutlierWorkspace::SearchLane& lane = ws.lanes[lane_idx];
+        lane.w = weights;
+        for (std::size_t t = 0; t < k; ++t) {
+          const Edge& e = links[flat[ci * k + t]];
+          lane.w(e.first, e.second) = 0.0;
+          lane.w(e.second, e.first) = 0.0;
+        }
+        smacof_2d_into(lane.result, dist, lane.w, warm, lane.rng, &p0, lane.smacof);
+        ws.cand_stress[ci] = lane.result.normalized_stress;
+      });
+      // Serial reduction in enumeration order, replicating the serial
+      // accept logic (including when realizability gets checked).
+      std::size_t best_ci = std::numeric_limits<std::size_t>::max();
+      for (std::size_t ci = 0; ci < m; ++ci) {
+        const double ns = ws.cand_stress[ci];
+        const bool significant = e0 - ns > opts.drop_ratio * e0;
+        if (!significant || ns >= e_min) continue;
+        subset.assign(flat.begin() + static_cast<std::ptrdiff_t>(ci * k),
+                      flat.begin() + static_cast<std::ptrdiff_t>((ci + 1) * k));
+        remaining.clear();
+        for (std::size_t li = 0; li < links.size(); ++li)
+          if (std::find(subset.begin(), subset.end(), li) == subset.end())
+            remaining.push_back(links[li]);
+        if (!is_uniquely_realizable_2d(n, remaining)) continue;
+        e_min = ns;
+        best_ci = ci;
+      }
+      if (best_ci != std::numeric_limits<std::size_t>::max()) {
+        subset.assign(flat.begin() + static_cast<std::ptrdiff_t>(best_ci * k),
+                      flat.begin() + static_cast<std::ptrdiff_t>((best_ci + 1) * k));
+        best_subset = subset;
+        // Re-solve the winner to recover its layout; the warm solve is
+        // deterministic, so this reproduces the lane's result exactly.
+        w = weights;
+        for (std::size_t li : subset) {
           w(links[li].first, links[li].second) = 0.0;
           w(links[li].second, links[li].first) = 0.0;
-        } else {
-          remaining.push_back(links[li]);
         }
+        smacof_2d_into(cand, dist, w, warm, rng, &p0, ws.smacof_cand);
+        p_min.assign(cand.positions.begin(), cand.positions.end());
       }
-      // Only accept when the remaining graph is still uniquely realizable —
-      // otherwise the "improvement" is just the looser problem. Checking is
-      // pricier than a warm-started solve, so the pruned regime postpones
-      // it to candidates that actually improve the stress.
-      if (!pruned && !is_uniquely_realizable_2d(n, remaining)) continue;
+    } else {
+      bool more = true;
+      while (more) {
+        subset.resize(k);
+        for (std::size_t i = 0; i < k; ++i) subset[i] = pool[slots[i]];
+        more = advance_subset(slots, pool.size());
 
-      const SmacofResult cand =
-          pruned ? smacof_2d(dist, w, warm, rng, p0)
-                 : smacof_2d(dist, w, opts.smacof, rng);
-      const bool significant = e0 - cand.normalized_stress > opts.drop_ratio * e0;
-      if (significant && cand.normalized_stress < e_min) {
-        if (pruned && !is_uniquely_realizable_2d(n, remaining)) continue;
-        e_min = cand.normalized_stress;
-        p_min = cand.positions;
-        best_subset = subset;
+        // Build the candidate weight matrix with this subset removed.
+        w = weights;
+        remaining.clear();
+        for (std::size_t li = 0; li < links.size(); ++li) {
+          const bool dropped =
+              std::find(subset.begin(), subset.end(), li) != subset.end();
+          if (dropped) {
+            w(links[li].first, links[li].second) = 0.0;
+            w(links[li].second, links[li].first) = 0.0;
+          } else {
+            remaining.push_back(links[li]);
+          }
+        }
+        // Only accept when the remaining graph is still uniquely realizable
+        // — otherwise the "improvement" is just the looser problem. Checking
+        // is pricier than a warm-started solve, so the pruned regime
+        // postpones it to candidates that actually improve the stress.
+        if (!pruned && !is_uniquely_realizable_2d(n, remaining)) continue;
+
+        if (pruned)
+          smacof_2d_into(cand, dist, w, warm, rng, &p0, ws.smacof_cand);
+        else
+          smacof_2d_into(cand, dist, w, opts.smacof, rng, nullptr, ws.smacof_cand);
+        const bool significant = e0 - cand.normalized_stress > opts.drop_ratio * e0;
+        if (significant && cand.normalized_stress < e_min) {
+          if (pruned && !is_uniquely_realizable_2d(n, remaining)) continue;
+          e_min = cand.normalized_stress;
+          p_min.assign(cand.positions.begin(), cand.positions.end());
+          best_subset = subset;
+        }
       }
     }
 
     if (e_min < opts.stress_threshold) {
-      out.positions = p_min;
+      out.positions.assign(p_min.begin(), p_min.end());
       out.normalized_stress = e_min;
       for (std::size_t li : best_subset) {
         out.dropped_links.push_back(links[li]);
         out.weights(links[li].first, links[li].second) = 0.0;
         out.weights(links[li].second, links[li].first) = 0.0;
       }
-      return out;
+      return;
     }
     // Keep the best found so far and try dropping a larger subset.
     if (!best_subset.empty()) {
       e0 = e_min;
-      p0 = p_min;
+      p0.assign(p_min.begin(), p_min.end());
       dropped_so_far = best_subset;
     }
   }
 
-  out.positions = p0;
+  out.positions.assign(p0.begin(), p0.end());
   out.normalized_stress = e0;
   for (std::size_t li : dropped_so_far) {
     out.dropped_links.push_back(links[li]);
     out.weights(links[li].first, links[li].second) = 0.0;
     out.weights(links[li].second, links[li].first) = 0.0;
   }
-  return out;
 }
 
 }  // namespace uwp::core

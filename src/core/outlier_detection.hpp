@@ -7,11 +7,13 @@
 // dropped.
 #pragma once
 
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/rigidity.hpp"
 #include "core/smacof.hpp"
+#include "util/thread_pool.hpp"
 
 namespace uwp::core {
 
@@ -36,6 +38,14 @@ struct OutlierOptions {
   // C(8, 2): every fully-connected group up to the paper's largest (N = 8)
   // keeps the exact exhaustive search.
   std::size_t max_suspect_links = 28;
+  // Worker threads for the candidate-subset search in the residual-pruned
+  // regime. Warm-started candidate solves draw no randomness, so the fan-out
+  // is deterministic: stresses are reduced in enumeration order and the
+  // result is bit-identical at any thread count. 1 = serial (the default —
+  // and the right setting when an outer sweep already parallelizes trials);
+  // 0 = all hardware threads. The exhaustive paper-scale regime always runs
+  // serially because its candidate solves consume the caller's rng stream.
+  std::size_t search_threads = 1;
   SmacofOptions smacof{};
 };
 
@@ -52,6 +62,41 @@ struct OutlierResult {
 // distance matrix, `weights` the initial link indicator matrix.
 OutlierResult localize_with_outlier_detection(const Matrix& dist, const Matrix& weights,
                                               const OutlierOptions& opts, uwp::Rng& rng);
+
+// Reusable scratch for the workspace variant. Two SMACOF workspaces: the
+// base one keeps its V^+ cache warm across rounds (clean rounds repeat the
+// same weight pattern); candidate solves churn through their own so they
+// never evict it.
+struct OutlierWorkspace {
+  SmacofWorkspace smacof_base, smacof_cand;
+  SmacofResult base, cand;
+  std::vector<Edge> links, remaining;
+  std::vector<std::size_t> pool, subset_slots, subset, best_subset, dropped_so_far;
+  std::vector<double> residual;
+  std::vector<Vec2> p0, p_min;
+  Matrix w;  // candidate weight matrix
+
+  // Parallel pruned-search state (used when search_threads != 1): one lane
+  // of scratch per pool worker, a flattened subset list, and the per-
+  // candidate stresses reduced serially in enumeration order.
+  struct SearchLane {
+    SmacofWorkspace smacof;
+    SmacofResult result;
+    Matrix w;
+    Rng rng{0};  // never drawn from (warm solves have no restarts)
+  };
+  std::unique_ptr<ThreadPool> search_pool;
+  std::vector<SearchLane> lanes;
+  std::vector<std::size_t> flat_subsets;
+  std::vector<double> cand_stress;
+};
+
+// Workspace variant: bit-identical to the allocating form, no steady-state
+// heap traffic on clean (below-threshold) rounds.
+void localize_with_outlier_detection_into(OutlierResult& out, const Matrix& dist,
+                                          const Matrix& weights,
+                                          const OutlierOptions& opts, uwp::Rng& rng,
+                                          OutlierWorkspace& ws);
 
 // Enumeration helper: all size-k subsets of [0, n) (exposed for tests).
 std::vector<std::vector<std::size_t>> subsets_of_size(std::size_t n, std::size_t k);

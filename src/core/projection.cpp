@@ -7,10 +7,17 @@
 namespace uwp::core {
 
 Matrix project_to_2d(const Matrix& dist3d, std::span<const double> depths) {
+  Matrix out;
+  project_to_2d_into(out, dist3d, depths);
+  return out;
+}
+
+void project_to_2d_into(Matrix& out, const Matrix& dist3d,
+                        std::span<const double> depths) {
   const std::size_t n = dist3d.rows();
   if (dist3d.cols() != n || depths.size() != n)
     throw std::invalid_argument("project_to_2d: shape mismatch");
-  Matrix out(n, n);
+  out.assign(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       const double dh = depths[i] - depths[j];
@@ -19,7 +26,6 @@ Matrix project_to_2d(const Matrix& dist3d, std::span<const double> depths) {
       out(i, j) = out(j, i) = d;
     }
   }
-  return out;
 }
 
 Matrix lift_to_3d(const Matrix& dist2d, std::span<const double> depths) {

@@ -14,6 +14,11 @@ namespace uwp::core {
 // with zero weight are passed through as zero. Throws on shape mismatch.
 Matrix project_to_2d(const Matrix& dist3d, std::span<const double> depths);
 
+// Workspace variant: writes into `out` (reshaped in place, no allocation in
+// steady state); bit-identical to project_to_2d.
+void project_to_2d_into(Matrix& out, const Matrix& dist3d,
+                        std::span<const double> depths);
+
 // Reconstruct 3D distances from horizontal distances + depths (inverse of
 // the projection; used by tests and the analytical evaluation).
 Matrix lift_to_3d(const Matrix& dist2d, std::span<const double> depths);

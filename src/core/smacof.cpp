@@ -4,7 +4,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "core/mds_classical.hpp"
 #include "util/linalg.hpp"
 
 namespace uwp::core {
@@ -12,12 +11,15 @@ namespace uwp::core {
 double weighted_stress(const std::vector<Vec2>& x, const Matrix& dist, const Matrix& w) {
   double s = 0.0;
   const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i)
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<const double> wrow = w.row(i);
+    const std::span<const double> drow = dist.row(i);
     for (std::size_t j = i + 1; j < n; ++j) {
-      if (w(i, j) <= 0.0) continue;
-      const double resid = dist(i, j) - distance(x[i], x[j]);
-      s += w(i, j) * resid * resid;
+      if (wrow[j] <= 0.0) continue;
+      const double resid = drow[j] - distance(x[i], x[j]);
+      s += wrow[j] * resid * resid;
     }
+  }
   return s;
 }
 
@@ -31,43 +33,101 @@ std::size_t count_links(const Matrix& w) {
   return links;
 }
 
-// One SMACOF solve from a given start.
-SmacofResult run_from(std::vector<Vec2> x, const Matrix& dist, const Matrix& w,
-                      const Matrix& v_pinv, const SmacofOptions& opts) {
+// Weighted stress that also records each link's current distance (same
+// i < j, w > 0 enumeration the B-matrix fill uses), so the next Guttman
+// iteration reuses the hypot values instead of recomputing them.
+double stress_with_cache(const std::vector<Vec2>& x, const Matrix& dist,
+                         const Matrix& w, std::vector<double>& link_dist) {
+  double s = 0.0;
   const std::size_t n = x.size();
-  SmacofResult res;
-  res.num_links = count_links(w);
-  double stress = weighted_stress(x, dist, w);
+  link_dist.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<const double> wrow = w.row(i);
+    const std::span<const double> drow = dist.row(i);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (wrow[j] <= 0.0) continue;
+      const double dij = distance(x[i], x[j]);
+      link_dist.push_back(dij);
+      const double resid = drow[j] - dij;
+      s += wrow[j] * resid * resid;
+    }
+  }
+  return s;
+}
 
-  Matrix b(n, n);
-  Matrix xm(n, 2);
+// One SMACOF solve from a given start, writing into `res` and reusing the
+// workspace's Guttman-transform buffers.
+void run_from(SmacofResult& res, const std::vector<Vec2>& start, const Matrix& dist,
+              const Matrix& w, const Matrix& v_pinv, const SmacofOptions& opts,
+              SmacofWorkspace& ws) {
+  const std::size_t n = start.size();
+  res.positions.assign(start.begin(), start.end());
+  std::vector<Vec2>& x = res.positions;
+  res.num_links = count_links(w);
+  res.iterations = 0;
+  double stress = stress_with_cache(x, dist, w, ws.link_dist);
+
+  Matrix& b = ws.b;
+  Matrix& bx = ws.bx;
+  bx.assign(n, 2);
+  // The link set is fixed for the whole solve, so B's non-link entries stay
+  // exactly zero: zero the matrix once and rewrite only links + diagonal
+  // each iteration.
+  b.assign(n, n);
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
-    // Guttman transform: B(X) then X <- V^+ B(X) X.
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = 0; j < n; ++j) b(i, j) = 0.0;
+    // Guttman transform: B(X) then X <- V^+ B(X) X. The two products are
+    // fused n x 2 kernels accumulating in the same k-ascending order (with
+    // the same exact-zero skip) as Matrix::operator*, so the iterates are
+    // bit-identical to the naive matrix expressions. Link distances come
+    // from the stress evaluation of the same configuration (bit-identical
+    // values, computed once).
+    std::size_t li = 0;
     for (std::size_t i = 0; i < n; ++i) {
+      const std::span<const double> wrow = w.row(i);
+      const std::span<const double> drow = dist.row(i);
+      const std::span<double> brow = b.row(i);
       for (std::size_t j = i + 1; j < n; ++j) {
-        if (w(i, j) <= 0.0) continue;
-        const double dij = distance(x[i], x[j]);
-        const double val = dij > 1e-12 ? -w(i, j) * dist(i, j) / dij : 0.0;
-        b(i, j) = val;
+        if (wrow[j] <= 0.0) continue;
+        const double dij = ws.link_dist[li++];
+        const double val = dij > 1e-12 ? -wrow[j] * drow[j] / dij : 0.0;
+        brow[j] = val;
         b(j, i) = val;
       }
     }
     for (std::size_t i = 0; i < n; ++i) {
+      // Sum the row's off-diagonal entries in ascending-j order, skipping
+      // the diagonal slot (it holds the previous iteration's value).
+      const std::span<const double> brow = b.row(i);
       double diag = 0.0;
-      for (std::size_t j = 0; j < n; ++j)
-        if (j != i) diag -= b(i, j);
+      for (std::size_t j = 0; j < i; ++j) diag -= brow[j];
+      for (std::size_t j = i + 1; j < n; ++j) diag -= brow[j];
       b(i, i) = diag;
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      xm(i, 0) = x[i].x;
-      xm(i, 1) = x[i].y;
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::span<const double> brow = b.row(r);
+      double s0 = 0.0, s1 = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double f = brow[k];
+        if (f == 0.0) continue;
+        s0 += f * x[k].x;
+        s1 += f * x[k].y;
+      }
+      bx(r, 0) = s0;
+      bx(r, 1) = s1;
     }
-    const Matrix xn = v_pinv * (b * xm);
-    for (std::size_t i = 0; i < n; ++i) x[i] = {xn(i, 0), xn(i, 1)};
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::span<const double> prow = v_pinv.row(r);
+      double s0 = 0.0, s1 = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double f = prow[k];
+        if (f == 0.0) continue;
+        s0 += f * bx(k, 0);
+        s1 += f * bx(k, 1);
+      }
+      x[r] = {s0, s1};
+    }
 
-    const double new_stress = weighted_stress(x, dist, w);
+    const double new_stress = stress_with_cache(x, dist, w, ws.link_dist);
     res.iterations = iter + 1;
     if (stress - new_stress <= opts.rel_tolerance * std::max(stress, 1e-30)) {
       stress = new_stress;
@@ -75,65 +135,83 @@ SmacofResult run_from(std::vector<Vec2> x, const Matrix& dist, const Matrix& w,
     }
     stress = new_stress;
   }
-  res.positions = std::move(x);
   res.stress = stress;
   res.normalized_stress =
       res.num_links > 0 ? std::sqrt(stress / static_cast<double>(res.num_links)) : 0.0;
-  return res;
 }
 
 }  // namespace
 
 SmacofResult smacof_2d(const Matrix& dist, const Matrix& w, const SmacofOptions& opts,
                        uwp::Rng& rng, const std::optional<std::vector<Vec2>>& init) {
+  SmacofWorkspace ws;
+  SmacofResult out;
+  smacof_2d_into(out, dist, w, opts, rng, init ? &*init : nullptr, ws);
+  return out;
+}
+
+void smacof_2d_into(SmacofResult& out, const Matrix& dist, const Matrix& w,
+                    const SmacofOptions& opts, uwp::Rng& rng,
+                    const std::vector<Vec2>* init, SmacofWorkspace& ws) {
   const std::size_t n = dist.rows();
   if (dist.cols() != n || w.rows() != n || w.cols() != n)
     throw std::invalid_argument("smacof_2d: shape mismatch");
-  if (n == 0) return {};
+  // Reset without releasing the caller's buffers.
+  out.positions.clear();
+  out.stress = 0.0;
+  out.normalized_stress = 0.0;
+  out.iterations = 0;
+  out.num_links = 0;
+  if (n == 0) return;
   if (n == 1) {
-    SmacofResult r;
-    r.positions = {Vec2{0, 0}};
-    return r;
+    out.positions.assign(1, Vec2{0, 0});
+    return;
   }
 
   // V = diag(sum_j w_ij) - W; pseudo-inverse handles the rank deficiency
-  // from translation invariance (and disconnected graphs).
-  Matrix v(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    double diag = 0.0;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      v(i, j) = -w(i, j);
-      diag += w(i, j);
+  // from translation invariance (and disconnected graphs). Reused verbatim
+  // when the weight matrix is the one already cached.
+  if (!(ws.v_pinv_valid && ws.cached_w == w)) {
+    Matrix& v = ws.v;
+    v.assign(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double diag = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        v(i, j) = -w(i, j);
+        diag += w(i, j);
+      }
+      v(i, i) = diag;
     }
-    v(i, i) = diag;
+    pseudo_inverse_symmetric_into(v, ws.v_pinv, ws.mds.eigen);
+    ws.cached_w = w;
+    ws.v_pinv_valid = true;
   }
-  const Matrix v_pinv = pseudo_inverse_symmetric(v);
 
-  std::vector<std::vector<Vec2>> starts;
+  const std::size_t num_starts = 1 + static_cast<std::size_t>(
+                                         opts.random_restarts > 0 ? opts.random_restarts : 0);
+  if (ws.starts.size() < num_starts) ws.starts.resize(num_starts);
   if (init) {
-    starts.push_back(*init);
+    ws.starts[0].assign(init->begin(), init->end());
   } else {
-    starts.push_back(classical_mds_2d_weighted(dist, w));
+    classical_mds_2d_weighted_into(ws.starts[0], dist, w, ws.mds);
   }
-  for (int r = 0; r < opts.random_restarts; ++r) {
-    std::vector<Vec2> rand_start(n);
+  for (std::size_t r = 1; r < num_starts; ++r) {
+    std::vector<Vec2>& rand_start = ws.starts[r];
+    rand_start.resize(n);
     for (Vec2& p : rand_start)
       p = {rng.uniform(-opts.init_spread, opts.init_spread),
            rng.uniform(-opts.init_spread, opts.init_spread)};
-    starts.push_back(std::move(rand_start));
   }
 
-  SmacofResult best;
   bool have = false;
-  for (const auto& start : starts) {
-    SmacofResult res = run_from(start, dist, w, v_pinv, opts);
-    if (!have || res.stress < best.stress) {
-      best = std::move(res);
+  for (std::size_t s = 0; s < num_starts; ++s) {
+    run_from(ws.scratch, ws.starts[s], dist, w, ws.v_pinv, opts, ws);
+    if (!have || ws.scratch.stress < out.stress) {
+      std::swap(out, ws.scratch);
       have = true;
     }
   }
-  return best;
 }
 
 }  // namespace uwp::core

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "core/mds_classical.hpp"
 #include "util/geometry.hpp"
 #include "util/matrix.hpp"
 #include "util/random.hpp"
@@ -46,5 +48,26 @@ double weighted_stress(const std::vector<Vec2>& x, const Matrix& dist, const Mat
 SmacofResult smacof_2d(const Matrix& dist, const Matrix& w, const SmacofOptions& opts,
                        uwp::Rng& rng,
                        const std::optional<std::vector<Vec2>>& init = std::nullopt);
+
+// Reusable scratch for smacof_2d_into. Also caches V^+ keyed on the exact
+// weight matrix: the pseudoinverse is a pure function of the weights, so a
+// repeat of the previous weight pattern (the common fully-connected round)
+// skips the Jacobi eigendecomposition with bit-identical results.
+struct SmacofWorkspace {
+  Matrix v, v_pinv;
+  Matrix cached_w;
+  bool v_pinv_valid = false;
+  Matrix b, bx;                       // Guttman transform iterates
+  std::vector<double> link_dist;      // per-link ||x_i - x_j|| cache
+  std::vector<std::vector<Vec2>> starts;
+  SmacofResult scratch;               // per-start solve buffer
+  ClassicalMdsWorkspace mds;          // classical-MDS seed + eigen scratch
+};
+
+// Workspace variant of smacof_2d: bit-identical results, all scratch in `ws`
+// and `out` (no steady-state allocation). `init` may be null.
+void smacof_2d_into(SmacofResult& out, const Matrix& dist, const Matrix& w,
+                    const SmacofOptions& opts, uwp::Rng& rng,
+                    const std::vector<Vec2>* init, SmacofWorkspace& ws);
 
 }  // namespace uwp::core

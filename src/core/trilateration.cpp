@@ -11,9 +11,13 @@ namespace uwp::core {
 std::optional<TrilaterationResult> trilaterate_2d(const std::vector<Vec2>& anchors,
                                                   const std::vector<double>& ranges,
                                                   const TrilaterationOptions& opts,
-                                                  std::optional<Vec2> initial) {
+                                                  std::optional<Vec2> initial,
+                                                  TrilaterationWorkspace* ws) {
   const std::size_t n = anchors.size();
   if (n < 3 || ranges.size() != n) return std::nullopt;
+
+  TrilaterationWorkspace local;
+  TrilaterationWorkspace& w = ws != nullptr ? *ws : local;
 
   Vec2 x = initial.value_or(centroid(anchors));
   TrilaterationResult out;
@@ -21,8 +25,10 @@ std::optional<TrilaterationResult> trilaterate_2d(const std::vector<Vec2>& ancho
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     out.iterations = iter + 1;
     // Residuals r_i = ||x - a_i|| - d_i and Jacobian rows (unit vectors).
-    Matrix jtj(2, 2);
-    std::vector<double> jtr(2, 0.0);
+    Matrix& jtj = w.jtj;
+    jtj.assign(2, 2);
+    std::vector<double>& jtr = w.jtr;
+    jtr.assign(2, 0.0);
     double sse = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       const Vec2 diff = x - anchors[i];
@@ -40,9 +46,9 @@ std::optional<TrilaterationResult> trilaterate_2d(const std::vector<Vec2>& ancho
     jtj(0, 0) += opts.damping;
     jtj(1, 1) += opts.damping;
 
-    std::vector<double> step;
+    std::vector<double>& step = w.step;
     try {
-      step = solve(jtj, jtr);
+      solve_into(jtj, jtr, step, w.lu, w.perm);
     } catch (const std::exception&) {
       return std::nullopt;  // collinear anchors
     }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/geometry.hpp"
+#include "util/matrix.hpp"
 
 namespace uwp::core {
 
@@ -26,14 +27,23 @@ struct TrilaterationResult {
   int iterations = 0;
 };
 
+// Reusable Gauss-Newton scratch (normal equations + LU solve buffers); pass
+// one per thread to make repeated solves allocation-free.
+struct TrilaterationWorkspace {
+  Matrix jtj, lu;
+  std::vector<double> jtr, step;
+  std::vector<std::size_t> perm;
+};
+
 // Solve for the 2D position given >= 3 anchors at known positions and range
 // measurements to each (horizontal-plane ranges; project first if needed).
 // `initial` seeds the iteration (centroid of anchors when nullopt). Returns
 // nullopt when the geometry is degenerate (anchors collinear) or the solve
-// diverges.
+// diverges. `ws` (optional) makes repeated solves allocation-free.
 std::optional<TrilaterationResult> trilaterate_2d(
     const std::vector<Vec2>& anchors, const std::vector<double>& ranges,
-    const TrilaterationOptions& opts = {}, std::optional<Vec2> initial = std::nullopt);
+    const TrilaterationOptions& opts = {}, std::optional<Vec2> initial = std::nullopt,
+    TrilaterationWorkspace* ws = nullptr);
 
 // Horizontal dilution of precision at `position` for the anchor set: the
 // factor by which 1-sigma ranging noise inflates position error. Infinity

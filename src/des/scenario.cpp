@@ -4,7 +4,7 @@
 #include <optional>
 #include <stdexcept>
 
-#include "proto/payload_codec.hpp"
+#include "pipeline/round_pipeline.hpp"
 
 namespace uwp::des {
 
@@ -41,6 +41,78 @@ double DesScenario::round_period_s() const {
          1.0;
 }
 
+DesFrontEnd::DesFrontEnd(const DesScenarioConfig& cfg, Simulator& sim,
+                         AcousticMedium& medium, std::vector<ProtocolNode>& nodes,
+                         const MobilityModel& mobility, double round_period_s)
+    : cfg_(cfg),
+      sim_(sim),
+      medium_(medium),
+      nodes_(nodes),
+      mobility_(mobility),
+      period_(round_period_s) {}
+
+void DesFrontEnd::measure(pipeline::RoundMeasurement& out, uwp::Rng& rng) {
+  const std::size_t n = nodes_.size();
+  const double t0 = static_cast<double>(round_) * period_;
+  // Same expression as the next round's t0 — `t0 + period` can differ
+  // from it by one ulp, which would put the next leader event "in the
+  // past" after run_until() advanced the clock.
+  const double t_end = static_cast<double>(round_ + 1) * period_;
+  medium_.begin_round(round_);
+  for (ProtocolNode& node : nodes_) node.begin_round(t0);
+  sim_.run_until(t_end);
+
+  // Assemble the round's timestamp table from the per-node state machines.
+  out.protocol.timestamps.assign(n, n, kNaN);
+  out.protocol.heard.assign(n, n, 0.0);
+  out.protocol.sync_ref.assign(n, std::numeric_limits<std::size_t>::max());
+  out.protocol.tx_global.assign(n, kNaN);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeRoundState& st = nodes_[i].state();
+    out.protocol.sync_ref[i] = st.sync_ref;
+    // Round-local transmit time, comparable to the closed form's
+    // leader-at-zero convention.
+    out.protocol.tx_global[i] =
+        std::isnan(st.tx_global_s) ? kNaN : st.tx_global_s - t0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!st.heard[j]) continue;
+      out.protocol.timestamps(i, j) = st.timestamps[j];
+      out.protocol.heard(i, j) = 1.0;
+    }
+  }
+  out.protocol.round_duration_s =
+      std::max(0.0, medium_.stats().last_activity_s - t0);
+
+  // Ground truth at the round start (the paper evaluates each round as an
+  // independent snapshot; a mover's intra-round drift becomes error).
+  const Vec3 leader_pos = mobility_.position(0, t0);
+  out.truth_pos.resize(n);
+  out.truth_xy.resize(n);
+  out.truth_depths.resize(n);
+  out.depths.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 pos = mobility_.position(i, t0);
+    out.truth_pos[i] = pos;
+    out.truth_xy[i] = (pos - leader_pos).xy();
+    out.truth_depths[i] = pos.z;
+    out.depths[i] = cfg_.depth_sensor.read(pos.z, rng);
+  }
+
+  // Leader pointing toward node 1 plus fast-mode dual-mic flip votes
+  // (the same reliability model sim::ScenarioRunner fast mode uses).
+  const Vec2 to_dev1 = out.truth_xy[1];
+  out.pointing_bearing_rad =
+      cfg_.pointing.point(bearing(to_dev1), to_dev1.norm(), rng);
+  out.votes.clear();
+  for (std::size_t i = 2; i < n; ++i) {
+    if (out.protocol.heard(0, i) <= 0.0) continue;
+    const int sign = pipeline::fast_vote_sign(out.truth_xy[i], to_dev1, rng);
+    if (sign != 0) out.votes.push_back({i, sign});
+  }
+
+  ++round_;
+}
+
 DesScenarioResult DesScenario::run(uwp::Rng& rng, sim::PacketTrace* trace) const {
   const std::size_t n = size();
   const double period = round_period_s();
@@ -54,19 +126,14 @@ DesScenarioResult DesScenario::run(uwp::Rng& rng, sim::PacketTrace* trace) const
   medium.set_trace(trace);
 
   // Arrival detection error, drawn per packet in event order (deterministic
-  // given the scheduler's stable ordering). Mirrors the calibrated fast
-  // model in sim::ScenarioRunner::run_round.
+  // given the scheduler's stable ordering). The shared ArrivalErrorModel
+  // mirrors sim::ScenarioRunner fast mode.
   if (!cfg_.ideal_arrivals) {
     medium.set_error_hook([this, &rng, &sim](std::size_t at, std::size_t from) {
-      if (rng.bernoulli(cfg_.detection_failure_prob)) return kNaN;
       const double t = sim.now();
       const double range =
           distance(mobility_->position(at, t), mobility_->position(from, t));
-      const double sigma_m = cfg_.error_sigma_m + cfg_.error_sigma_per_m * range;
-      // Multipath biases arrivals late more often than early.
-      const double err_m = std::abs(rng.normal(0.0, sigma_m)) * 0.8 +
-                           rng.normal(0.0, sigma_m * 0.3);
-      return err_m / cfg_.protocol.sound_speed_mps;
+      return cfg_.arrival.sample_seconds(range, cfg_.protocol.sound_speed_mps, rng);
     });
   }
 
@@ -78,124 +145,43 @@ DesScenarioResult DesScenario::run(uwp::Rng& rng, sim::PacketTrace* trace) const
     nodes[rx].on_packet(src, detected);
   });
 
-  proto::ProtocolConfig solver_cfg = cfg_.protocol;
-  solver_cfg.sound_speed_mps += cfg_.sound_speed_error_mps;
-  const proto::RangingSolver solver(solver_cfg);
-  const core::Localizer localizer(cfg_.localizer);
-  core::GroupTracker tracker(n, cfg_.tracker);
+  // The shared leader-side chain, with tracking enabled.
+  pipeline::PipelineOptions popts;
+  popts.protocol = cfg_.protocol;
+  popts.quantize_payload = cfg_.quantize_payload;
+  popts.sound_speed_error_mps = cfg_.sound_speed_error_mps;
+  popts.localizer = cfg_.localizer;
+  popts.track = true;
+  popts.tracker = cfg_.tracker;
+  pipeline::RoundPipeline pipe(popts);
+
+  DesFrontEnd front_end(cfg_, sim, medium, nodes, *mobility_, period);
+  pipeline::RoundMeasurement meas;
 
   DesScenarioResult out;
   out.rounds.reserve(cfg_.rounds);
 
   for (std::size_t r = 0; r < cfg_.rounds; ++r) {
-    const double t0 = static_cast<double>(r) * period;
-    // Same expression as the next round's t0 — `t0 + period` can differ
-    // from it by one ulp, which would put the next leader event "in the
-    // past" after run_until() advanced the clock.
-    const double t_end = static_cast<double>(r + 1) * period;
-    medium.begin_round(r);
-    for (ProtocolNode& node : nodes) node.begin_round(t0);
-    sim.run_until(t_end);
+    front_end.measure(meas, rng);
+    const pipeline::RoundOutput& po =
+        pipe.run_round(meas, rng, r == 0 ? 0.0 : period);
 
     DesRound round;
     round.index = r;
-    round.t_start_s = t0;
+    round.t_start_s = static_cast<double>(r) * period;
     round.medium = medium.stats();
-
-    // Assemble the round's ProtocolRun from the per-node state machines.
-    round.protocol.timestamps = Matrix(n, n, kNaN);
-    round.protocol.heard = Matrix(n, n, 0.0);
-    round.protocol.sync_ref.assign(n, std::numeric_limits<std::size_t>::max());
-    round.protocol.tx_global.assign(n, kNaN);
-    for (std::size_t i = 0; i < n; ++i) {
-      const NodeRoundState& st = nodes[i].state();
-      round.protocol.sync_ref[i] = st.sync_ref;
-      // Round-local transmit time, comparable to the closed form's
-      // leader-at-zero convention.
-      round.protocol.tx_global[i] =
-          std::isnan(st.tx_global_s) ? kNaN : st.tx_global_s - t0;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (!st.heard[j]) continue;
-        round.protocol.timestamps(i, j) = st.timestamps[j];
-        round.protocol.heard(i, j) = 1.0;
-      }
-    }
-    round.protocol.round_duration_s =
-        std::max(0.0, round.medium.last_activity_s - t0);
-
-    if (cfg_.quantize_payload) {
-      proto::PayloadCodecConfig ccfg;
-      ccfg.protocol = cfg_.protocol;
-      proto::quantize_run_payload(round.protocol, ccfg);
-    }
-    round.ranging = solver.solve(round.protocol);
-
-    // Ground truth at the round start (the paper evaluates each round as an
-    // independent snapshot; a mover's intra-round drift becomes error).
-    const Vec3 leader_pos = mobility_->position(0, t0);
-    round.truth_xy.resize(n);
-    std::vector<double> depths(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const Vec3 pos = mobility_->position(i, t0);
-      round.truth_xy[i] = (pos - leader_pos).xy();
-      depths[i] = cfg_.depth_sensor.read(pos.z, rng);
-    }
-
-    // Leader pointing toward node 1 plus fast-mode dual-mic flip votes
-    // (same reliability model as sim::ScenarioRunner fast mode).
-    const Vec2 to_dev1 = round.truth_xy[1];
-    const double measured_bearing =
-        cfg_.pointing.point(bearing(to_dev1), to_dev1.norm(), rng);
-    std::vector<core::MicVote> votes;
-    for (std::size_t i = 2; i < n; ++i) {
-      if (round.protocol.heard(0, i) <= 0.0) continue;
-      const double side = side_of_line(round.truth_xy[i], {0, 0}, to_dev1);
-      int sign = side > 0 ? 1 : (side < 0 ? -1 : 0);
-      const double range = round.truth_xy[i].norm();
-      const double sin_angle =
-          range > 0.1 ? std::abs(side) / (range * to_dev1.norm()) : 0.0;
-      const double p_wrong = sin_angle < 0.17 ? 0.30 : 0.03;  // ~10 degrees
-      if (rng.bernoulli(p_wrong)) sign = -sign;
-      if (sign != 0) votes.push_back({i, sign});
-    }
-
-    core::LocalizationInput input;
-    input.distances = round.ranging.distances;
-    input.weights = round.ranging.weights;
-    input.depths = depths;
-    input.pointing_bearing_rad = measured_bearing;
-    input.votes = votes;
-
-    round.error_2d.assign(n, kNaN);
-    round.tracked_error_2d.assign(n, kNaN);
-    round.error_2d[0] = 0.0;
-    try {
-      round.localization = localizer.localize(input, rng);
-      round.localized = true;
-    } catch (const std::exception&) {
-      round.localized = false;
-    }
-
-    // Tracker: coast through failed rounds, fuse successful ones.
-    tracker.predict(r == 0 ? 0.0 : period);
-    if (round.localized) {
-      std::vector<std::optional<Vec2>> update(n);
-      for (std::size_t i = 1; i < n; ++i)
-        update[i] = round.localization.positions[i].xy();
-      tracker.update(update);
-    }
+    round.protocol = meas.protocol;  // post-quantization leader view
+    round.ranging = po.ranging;
+    round.localized = po.localized;
+    round.localization = po.localization;
+    round.truth_xy = meas.truth_xy;
+    round.error_2d = po.error_2d;
+    round.tracked_error_2d = po.tracked_error_2d;
 
     for (std::size_t i = 1; i < n; ++i) {
-      if (round.localized) {
-        round.error_2d[i] =
-            distance(round.localization.positions[i].xy(), round.truth_xy[i]);
-        out.errors.push_back(round.error_2d[i]);
-      }
-      const core::DiverTrack& track = tracker.track(i);
-      if (track.initialized()) {
-        round.tracked_error_2d[i] = distance(track.position(), round.truth_xy[i]);
+      if (!std::isnan(round.error_2d[i])) out.errors.push_back(round.error_2d[i]);
+      if (!std::isnan(round.tracked_error_2d[i]))
         out.tracked_errors.push_back(round.tracked_error_2d[i]);
-      }
     }
 
     out.localized_rounds += round.localized ? 1 : 0;

@@ -1,13 +1,14 @@
 // Multi-round packet-level scenario driver: the DES counterpart of
 // sim::ScenarioRunner. Each round the leader opens the slot schedule on the
 // shared AcousticMedium, the ProtocolNode state machines produce a local
-// timestamp table exactly as firmware would, and the round's table flows
-// through the existing leader-side chain — proto::quantize_run_payload ->
-// proto::RangingSolver -> core::Localizer -> core::GroupTracker — with
-// per-round error metrics against the mobility model's ground truth. What
-// this adds over the closed form: many rounds, motion *during* a round,
-// half-duplex/collision losses, range-gated links, and packet loss that
-// unfolds over time.
+// timestamp table exactly as firmware would, and DesFrontEnd — the DES
+// implementation of pipeline::MeasurementModel — assembles it (plus depths,
+// pointing, and flip votes) into a pipeline::RoundMeasurement consumed by
+// the shared pipeline::RoundPipeline (quantize -> proto::RangingSolver ->
+// core::Localizer -> core::GroupTracker -> error metrics). What this adds
+// over the closed form: many rounds, motion *during* a round, half-duplex/
+// collision losses, range-gated links, and packet loss that unfolds over
+// time.
 //
 // Determinism: a run consumes only its caller's uwp::Rng (arrival errors,
 // sensor noise, votes, localizer) in event order, which the scheduler makes
@@ -23,6 +24,8 @@
 #include "des/medium.hpp"
 #include "des/mobility.hpp"
 #include "des/protocol_node.hpp"
+#include "pipeline/arrival_error.hpp"
+#include "pipeline/measurement.hpp"
 #include "proto/ranging_solver.hpp"
 #include "sensors/depth_sensor_model.hpp"
 #include "sensors/pointing_model.hpp"
@@ -38,13 +41,11 @@ struct DesScenarioConfig {
   double round_period_s = 0.0;
   double max_range_m = 0.0;  // medium range gate (0 = connectivity only)
 
-  // Fast per-packet arrival-error model (same shape as the calibrated
-  // Gaussian in sim::RoundOptions fast mode; sigma grows with range).
+  // Fast per-packet arrival-error model (the same calibrated Gaussian
+  // sim::RoundOptions uses in fast mode; sigma grows with range).
   // ideal_arrivals disables it entirely — the cross-validation setting.
   bool ideal_arrivals = false;
-  double error_sigma_m = 0.30;
-  double error_sigma_per_m = 0.008;
-  double detection_failure_prob = 0.01;
+  pipeline::ArrivalErrorModel arrival{};
 
   bool quantize_payload = true;
   // Leader-side configured sound speed offset (§2 misestimation error).
@@ -82,6 +83,32 @@ struct DesScenarioResult {
   // sim::metrics / SweepRunner aggregation.
   std::vector<double> errors;
   std::vector<double> tracked_errors;
+};
+
+// The packet-level front-end: each measure() call runs one slot-schedule
+// round of the ProtocolNode state machines on the shared AcousticMedium and
+// assembles the resulting timestamp table, depth readings, leader pointing,
+// and fast-model flip votes. Holds references only — the simulator, medium,
+// nodes, and mobility must outlive it.
+class DesFrontEnd final : public pipeline::MeasurementModel {
+ public:
+  DesFrontEnd(const DesScenarioConfig& cfg, Simulator& sim, AcousticMedium& medium,
+              std::vector<ProtocolNode>& nodes, const MobilityModel& mobility,
+              double round_period_s);
+
+  std::size_t size() const override { return nodes_.size(); }
+  std::size_t rounds_run() const { return round_; }
+
+  void measure(pipeline::RoundMeasurement& out, uwp::Rng& rng) override;
+
+ private:
+  const DesScenarioConfig& cfg_;
+  Simulator& sim_;
+  AcousticMedium& medium_;
+  std::vector<ProtocolNode>& nodes_;
+  const MobilityModel& mobility_;
+  double period_;
+  std::size_t round_ = 0;
 };
 
 class DesScenario {

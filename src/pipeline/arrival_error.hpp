@@ -1,0 +1,34 @@
+// The calibrated fast arrival-error model shared by every non-waveform
+// front-end: a per-link detection-failure probability plus a range-dependent
+// Gaussian error whose positive skew mimics multipath biasing arrivals late.
+// Previously duplicated between sim::RoundOptions (fast mode) and
+// des::DesScenarioConfig; both now hold one of these.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+#include "util/random.hpp"
+
+namespace uwp::pipeline {
+
+struct ArrivalErrorModel {
+  double sigma_m = 0.30;               // base 1-sigma error (meters)
+  double sigma_per_m = 0.008;          // sigma growth per meter of range
+  double detection_failure_prob = 0.01;
+
+  // One link's arrival-detection error in seconds at the given true range;
+  // NaN = detection failure. Draws bernoulli, |normal|, normal — in that
+  // order — matching the historical fast-mode streams bit for bit.
+  double sample_seconds(double range_m, double sound_speed_mps, uwp::Rng& rng) const {
+    if (rng.bernoulli(detection_failure_prob))
+      return std::numeric_limits<double>::quiet_NaN();
+    const double sigma = sigma_m + sigma_per_m * range_m;
+    // Multipath biases arrivals late more often than early.
+    const double err_m =
+        std::abs(rng.normal(0.0, sigma)) * 0.8 + rng.normal(0.0, sigma * 0.3);
+    return err_m / sound_speed_mps;
+  }
+};
+
+}  // namespace uwp::pipeline

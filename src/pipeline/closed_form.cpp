@@ -1,0 +1,99 @@
+#include "pipeline/closed_form.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace uwp::pipeline {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+ClosedFormModel::ClosedFormModel(ClosedFormScene scene) : scene_(std::move(scene)) {
+  const std::size_t n = scene_.positions.size();
+  if (n < 2) throw std::invalid_argument("ClosedFormModel: need >= 2 devices");
+  if (scene_.connectivity.rows() != n || scene_.connectivity.cols() != n)
+    throw std::invalid_argument("ClosedFormModel: connectivity shape mismatch");
+  if (scene_.audio.size() != n)
+    throw std::invalid_argument("ClosedFormModel: audio config count != device count");
+  if (scene_.protocol.num_devices != n)
+    throw std::invalid_argument("ClosedFormModel: protocol.num_devices != device count");
+}
+
+std::vector<Vec3>& ClosedFormModel::positions() {
+  positions_dirty_ = true;
+  return scene_.positions;
+}
+
+void ClosedFormModel::measure(RoundMeasurement& out, uwp::Rng& rng) {
+  const std::size_t n = scene_.positions.size();
+
+  if (positions_dirty_) {
+    std::vector<proto::ProtocolDevice> devices(n);
+    for (std::size_t i = 0; i < n; ++i)
+      devices[i] = {i, scene_.positions[i], scene_.audio[i]};
+    protocol_.emplace(scene_.protocol, std::move(devices));
+    positions_dirty_ = false;
+  }
+
+  // Ground truth in the leader-origin frame.
+  out.truth_pos = scene_.positions;
+  out.truth_xy.resize(n);
+  out.truth_depths.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.truth_xy[i] = (scene_.positions[i] - scene_.positions[0]).xy();
+    out.truth_depths[i] = scene_.positions[i].z;
+  }
+
+  // Measured depths.
+  out.depths.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.depths[i] = scene_.depth_sensor.read(out.truth_depths[i], rng);
+
+  // Per-link arrival errors (seconds); NaN = detection failure.
+  arrival_err_.assign(n, n, kNaN);
+  for (std::size_t to = 0; to < n; ++to) {
+    for (std::size_t from = 0; from < n; ++from) {
+      if (to == from || scene_.connectivity(to, from) <= 0.0) continue;
+      arrival_err_(to, from) = arrival_error_s(to, from, rng);
+    }
+  }
+
+  // Run the distributed timestamp protocol with those errors. The protocol
+  // simulation propagates sound at the water's TRUE speed; the leader-side
+  // solver later converts timestamps with its CONFIGURED speed.
+  protocol_->run_into(
+      out.protocol, scene_.connectivity, rng,
+      [this](std::size_t at, std::size_t from_id) { return arrival_err_(at, from_id); },
+      proto_ws_);
+
+  // Leader pointing toward device 1, plus flip votes.
+  const Vec2 to_dev1 = out.truth_xy[1];
+  const double true_bearing = bearing(to_dev1);
+  out.pointing_bearing_rad = scene_.pointing.point(true_bearing, to_dev1.norm(), rng);
+
+  out.votes.clear();
+  for (std::size_t i = 2; i < n; ++i) {
+    if (scene_.connectivity(0, i) <= 0.0) continue;
+    const int sign = vote_sign(i, out.pointing_bearing_rad, out, rng);
+    if (sign != 0) out.votes.push_back({i, sign});
+  }
+}
+
+FastMeasurementModel::FastMeasurementModel(ClosedFormScene scene,
+                                           ArrivalErrorModel arrival)
+    : ClosedFormModel(std::move(scene)), arrival_(arrival) {}
+
+double FastMeasurementModel::arrival_error_s(std::size_t to, std::size_t from,
+                                             uwp::Rng& rng) {
+  const double range = distance(scene_.positions[to], scene_.positions[from]);
+  return arrival_.sample_seconds(range, scene_.protocol.sound_speed_mps, rng);
+}
+
+int FastMeasurementModel::vote_sign(std::size_t node, double /*measured_bearing_rad*/,
+                                    const RoundMeasurement& m, uwp::Rng& rng) {
+  return fast_vote_sign(m.truth_xy[node], m.truth_xy[1], rng);
+}
+
+}  // namespace uwp::pipeline

@@ -1,0 +1,82 @@
+// Closed-form (single-shot) measurement production: ground truth, depth
+// readings, per-link arrival errors, one analytic proto::TimestampProtocol
+// round, leader pointing, and flip votes. The per-link error and vote
+// sampling are hooks, giving the two closed-form front-ends — the waveform
+// PHY model (sim::WaveformMeasurementModel) and the calibrated fast-Gaussian
+// FastMeasurementModel below — one shared skeleton with identical rng draw
+// order.
+#pragma once
+
+#include <optional>
+
+#include "audio/device_audio.hpp"
+#include "pipeline/arrival_error.hpp"
+#include "pipeline/measurement.hpp"
+#include "sensors/depth_sensor_model.hpp"
+#include "sensors/pointing_model.hpp"
+#include "util/matrix.hpp"
+
+namespace uwp::pipeline {
+
+// Scene geometry + device configuration a closed-form front-end samples
+// from. Deliberately free of sim/channel types so the pipeline layer stays
+// below the drivers; sim::ScenarioRunner converts its Deployment into one.
+struct ClosedFormScene {
+  std::vector<Vec3> positions;  // absolute; device 0 = leader, 1 = pointed
+  Matrix connectivity;          // connectivity(rx, tx) > 0 gates the link
+  std::vector<audio::AudioTimingConfig> audio;
+  proto::ProtocolConfig protocol;  // true water sound speed; num_devices = N
+  sensors::DepthSensorModel depth_sensor =
+      sensors::DepthSensorModel::phone_pressure_in_pouch();
+  sensors::PointingModel pointing{};
+};
+
+class ClosedFormModel : public MeasurementModel {
+ public:
+  explicit ClosedFormModel(ClosedFormScene scene);
+
+  std::size_t size() const override { return scene_.positions.size(); }
+  const ClosedFormScene& scene() const { return scene_; }
+  // Mutable access for scenarios that move devices between rounds; the
+  // analytic protocol is rebuilt on the next measure() after a change.
+  std::vector<Vec3>& positions();
+
+  void measure(RoundMeasurement& out, uwp::Rng& rng) override;
+
+ protected:
+  // One-way arrival error (seconds) for a transmission from `from` received
+  // at `to`; NaN = detection failure.
+  virtual double arrival_error_s(std::size_t to, std::size_t from, uwp::Rng& rng) = 0;
+  // Leader-side dual-mic vote sign for `node` given the measured pointing
+  // bearing (0 = uninformative).
+  virtual int vote_sign(std::size_t node, double measured_bearing_rad,
+                        const RoundMeasurement& m, uwp::Rng& rng) = 0;
+
+  ClosedFormScene scene_;
+
+ private:
+  std::optional<proto::TimestampProtocol> protocol_;
+  bool positions_dirty_ = true;
+  Matrix arrival_err_;  // per-link scratch, NaN = failure
+  proto::TimestampProtocol::Workspace proto_ws_;
+};
+
+// The calibrated fast-Gaussian front-end: per-link errors from an
+// ArrivalErrorModel and flip votes from the fast reliability model — what
+// large sweeps use when waveform-level PHY simulation is too slow.
+class FastMeasurementModel final : public ClosedFormModel {
+ public:
+  FastMeasurementModel(ClosedFormScene scene, ArrivalErrorModel arrival = {});
+
+  const ArrivalErrorModel& arrival_model() const { return arrival_; }
+
+ protected:
+  double arrival_error_s(std::size_t to, std::size_t from, uwp::Rng& rng) override;
+  int vote_sign(std::size_t node, double measured_bearing_rad,
+                const RoundMeasurement& m, uwp::Rng& rng) override;
+
+ private:
+  ArrivalErrorModel arrival_;
+};
+
+}  // namespace uwp::pipeline

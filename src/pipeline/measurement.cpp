@@ -1,0 +1,18 @@
+#include "pipeline/measurement.hpp"
+
+#include <cmath>
+
+namespace uwp::pipeline {
+
+int fast_vote_sign(Vec2 truth_xy, Vec2 to_dev1, uwp::Rng& rng) {
+  const double side = side_of_line(truth_xy, {0, 0}, to_dev1);
+  int sign = side > 0 ? 1 : (side < 0 ? -1 : 0);
+  const double range = truth_xy.norm();
+  const double sin_angle =
+      range > 0.1 ? std::abs(side) / (range * to_dev1.norm()) : 0.0;
+  const double p_wrong = sin_angle < 0.17 ? 0.30 : 0.03;  // ~10 degrees
+  if (rng.bernoulli(p_wrong)) sign = -sign;
+  return sign;
+}
+
+}  // namespace uwp::pipeline

@@ -1,0 +1,53 @@
+// The front-end contract of the round pipeline. A MeasurementModel is any
+// source of per-round measurements — waveform-level PHY simulation, the
+// calibrated fast-Gaussian model, the packet-level DES, replayed field data
+// — producing one common RoundMeasurement that pipeline::RoundPipeline turns
+// into positions and error metrics. Adding a new scenario front-end means
+// implementing this interface and nothing else; the leader-side chain is
+// never forked.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ambiguity.hpp"
+#include "proto/timestamp_protocol.hpp"
+#include "util/geometry.hpp"
+#include "util/random.hpp"
+
+namespace uwp::pipeline {
+
+// Everything the leader-side chain consumes for one protocol round, plus the
+// ground truth the metrics stage evaluates against. Buffers are reused
+// across rounds by callers that keep one instance warm.
+struct RoundMeasurement {
+  proto::ProtocolRun protocol;  // timestamp table (pre-quantization)
+  std::vector<double> depths;   // per-device measured depths (m)
+  double pointing_bearing_rad = 0.0;
+  std::vector<core::MicVote> votes;  // leader dual-mic flip votes
+  // Ground truth at measurement time: absolute positions (ranging
+  // diagnostics) and the leader-origin horizontal frame (error metrics).
+  std::vector<Vec3> truth_pos;
+  std::vector<Vec2> truth_xy;
+  std::vector<double> truth_depths;
+};
+
+class MeasurementModel {
+ public:
+  virtual ~MeasurementModel() = default;
+
+  virtual std::size_t size() const = 0;
+
+  // Produce the next round's measurement into `out`, reusing its buffers.
+  // Multi-round front-ends (DES, replay) advance their internal clock here.
+  virtual void measure(RoundMeasurement& out, uwp::Rng& rng) = 0;
+};
+
+// Fast-mode dual-mic flip vote for a diver at `truth_xy` (leader-origin)
+// while the leader points at `to_dev1`: vote reliability depends on how far
+// the diver sits from the pointing line — the mic offset shrinks to
+// sub-sample for nearly collinear divers. Average accuracy matches the
+// paper's ~90%. Shared by the fast-Gaussian and DES front-ends.
+int fast_vote_sign(Vec2 truth_xy, Vec2 to_dev1, uwp::Rng& rng);
+
+}  // namespace uwp::pipeline

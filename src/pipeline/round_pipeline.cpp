@@ -1,0 +1,121 @@
+#include "pipeline/round_pipeline.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace uwp::pipeline {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+proto::ProtocolConfig solver_config(const PipelineOptions& opts) {
+  proto::ProtocolConfig cfg = opts.protocol;
+  cfg.sound_speed_mps += opts.sound_speed_error_mps;
+  return cfg;
+}
+
+proto::PayloadCodecConfig codec_config(const PipelineOptions& opts) {
+  proto::PayloadCodecConfig cfg;
+  cfg.protocol = opts.protocol;
+  return cfg;
+}
+}  // namespace
+
+RoundPipeline::RoundPipeline(PipelineOptions opts)
+    : opts_(opts),
+      solver_(solver_config(opts)),
+      codec_(codec_config(opts)),
+      localizer_(opts.localizer),
+      tracker_(opts.protocol.num_devices, opts.tracker) {
+  if (opts_.protocol.num_devices < 2)
+    throw std::invalid_argument("RoundPipeline: need >= 2 devices");
+}
+
+void RoundPipeline::reset() {
+  tracker_ = core::GroupTracker(opts_.protocol.num_devices, opts_.tracker);
+}
+
+void RoundPipeline::coast(double dt_s) {
+  tracker_.predict(dt_s);
+}
+
+const RoundOutput& RoundPipeline::run_round(RoundMeasurement& m, uwp::Rng& rng,
+                                            double dt_s) {
+  const std::size_t n = opts_.protocol.num_devices;
+
+  // Payload quantization (§2.4): timestamps ride to the leader as 10-bit
+  // slot-relative deltas at 2-sample resolution.
+  if (opts_.quantize_payload) proto::quantize_run_payload(m.protocol, codec_);
+
+  // Pairwise distances from the timestamp table.
+  solver_.solve_into(out_.ranging, m.protocol);
+
+  // Per-link 1D ranging diagnostics against the true geometry.
+  out_.ranging_errors.clear();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (out_.ranging.weights(i, j) > 0.0) {
+        const double true_d = distance(m.truth_pos[i], m.truth_pos[j]);
+        out_.ranging_errors.push_back(
+            std::abs(out_.ranging.distances(i, j) - true_d));
+      }
+
+  // Localize.
+  out_.localizer_input.distances = out_.ranging.distances;
+  out_.localizer_input.weights = out_.ranging.weights;
+  out_.localizer_input.depths = m.depths;
+  out_.localizer_input.pointing_bearing_rad = m.pointing_bearing_rad;
+  out_.localizer_input.votes = m.votes;
+
+  out_.error_2d.assign(n, kNaN);
+  out_.tracked_error_2d.assign(n, kNaN);
+  out_.error_2d[0] = 0.0;
+  try {
+    localizer_.localize_into(out_.localization, out_.localizer_input, rng, loc_ws_);
+    out_.localized = true;
+  } catch (const std::exception&) {
+    out_.localized = false;
+  }
+
+  if (out_.localized) {
+    for (std::size_t i = 1; i < n; ++i)
+      out_.error_2d[i] =
+          distance(out_.localization.positions[i].xy(), m.truth_xy[i]);
+  }
+
+  // Tracking: coast through failed rounds, fuse successful ones.
+  if (opts_.track) {
+    tracker_.predict(dt_s);
+    if (out_.localized) {
+      tracker_update_.assign(n, std::nullopt);
+      for (std::size_t i = 1; i < n; ++i)
+        tracker_update_[i] = out_.localization.positions[i].xy();
+      const double sigma =
+          opts_.tracker_stress_sigma_offset_m >= 0.0
+              ? out_.localization.normalized_stress + opts_.tracker_stress_sigma_offset_m
+              : -1.0;
+      tracker_.update(tracker_update_, sigma);
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+      const core::DiverTrack& track = tracker_.track(i);
+      if (track.initialized())
+        out_.tracked_error_2d[i] = distance(track.position(), m.truth_xy[i]);
+    }
+  }
+  return out_;
+}
+
+void RoundPipeline::run_batch(MeasurementModel& model, std::size_t rounds,
+                              uwp::Rng& rng, std::vector<double>& samples,
+                              double round_dt_s) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    model.measure(batch_meas_, rng);
+    const RoundOutput& out =
+        run_round(batch_meas_, rng, r == 0 ? 0.0 : round_dt_s);
+    for (std::size_t i = 1; i < out.error_2d.size(); ++i)
+      if (!std::isnan(out.error_2d[i])) samples.push_back(out.error_2d[i]);
+  }
+}
+
+}  // namespace uwp::pipeline

@@ -6,10 +6,17 @@
 namespace uwp::proto {
 
 RangingSolution RangingSolver::solve(const ProtocolRun& run) const {
-  const std::size_t n = cfg_.num_devices;
   RangingSolution out;
-  out.distances = Matrix(n, n);
-  out.weights = Matrix(n, n);
+  solve_into(out, run);
+  return out;
+}
+
+void RangingSolver::solve_into(RangingSolution& out, const ProtocolRun& run) const {
+  const std::size_t n = cfg_.num_devices;
+  out.distances.assign(n, n);
+  out.weights.assign(n, n);
+  out.two_way_links = 0;
+  out.one_way_links = 0;
   const double c = cfg_.sound_speed_mps;
 
   auto have = [&](std::size_t i, std::size_t j) {
@@ -55,7 +62,6 @@ RangingSolution RangingSolver::solve(const ProtocolRun& run) const {
       ++out.one_way_links;
     }
   }
-  return out;
 }
 
 }  // namespace uwp::proto

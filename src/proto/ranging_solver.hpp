@@ -25,6 +25,10 @@ class RangingSolver {
 
   RangingSolution solve(const ProtocolRun& run) const;
 
+  // Workspace variant: identical results, reusing `out`'s matrices so
+  // steady-state rounds allocate nothing.
+  void solve_into(RangingSolution& out, const ProtocolRun& run) const;
+
  private:
   ProtocolConfig cfg_;
 };

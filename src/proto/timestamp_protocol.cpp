@@ -21,41 +21,53 @@ TimestampProtocol::TimestampProtocol(ProtocolConfig cfg,
   for (std::size_t i = 0; i < devices_.size(); ++i)
     if (devices_[i].id != i)
       throw std::invalid_argument("TimestampProtocol: devices must be ID-ordered");
+
+  // Propagation delays from geometry, and the per-device audio pipelines
+  // (scheduling error model): both depend only on construction state, so
+  // computing them here keeps run_into allocation-free.
+  const std::size_t n = cfg_.num_devices;
+  tau_ = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      tau_(i, j) = uwp::distance(devices_[i].position, devices_[j].position) /
+                   cfg_.sound_speed_mps;
+  audio_units_.reserve(n);
+  for (const ProtocolDevice& d : devices_) {
+    audio_units_.emplace_back(d.audio);
+    audio_units_.back().calibrate();
+  }
 }
 
 ProtocolRun TimestampProtocol::run(const Matrix& connected, uwp::Rng& rng,
                                    const ArrivalError& err) const {
+  ProtocolRun out;
+  Workspace ws;
+  run_into(out, connected, rng, err, ws);
+  return out;
+}
+
+void TimestampProtocol::run_into(ProtocolRun& out, const Matrix& connected,
+                                 uwp::Rng& rng, const ArrivalError& err,
+                                 Workspace& ws) const {
   const std::size_t n = cfg_.num_devices;
   if (connected.rows() != n || connected.cols() != n)
     throw std::invalid_argument("TimestampProtocol: connectivity shape mismatch");
 
-  // Propagation delays from geometry.
-  Matrix tau(n, n);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < n; ++j)
-      tau(i, j) = uwp::distance(devices_[i].position, devices_[j].position) /
-                  cfg_.sound_speed_mps;
+  const Matrix& tau = tau_;
 
-  ProtocolRun out;
-  out.timestamps = Matrix(n, n, kNaN);
-  out.heard = Matrix(n, n, 0.0);
+  out.timestamps.assign(n, n, kNaN);
+  out.heard.assign(n, n, 0.0);
   out.sync_ref.assign(n, kNoSync);
   out.tx_global.assign(n, kNaN);
-
-  // Per-device audio pipelines (scheduling error model).
-  std::vector<audio::DeviceAudio> audio_units;
-  audio_units.reserve(n);
-  for (const ProtocolDevice& d : devices_) {
-    audio_units.emplace_back(d.audio);
-    audio_units.back().calibrate();
-  }
 
   // Leader transmits at global time 0; its local clock zero is that moment.
   out.tx_global[0] = 0.0;
   out.sync_ref[0] = 0;
-  std::vector<double> local_zero_global(n, kNaN);  // global time of local t=0
+  std::vector<double>& local_zero_global = ws.local_zero_global;
+  local_zero_global.assign(n, kNaN);  // global time of local t=0
   local_zero_global[0] = 0.0;
-  std::vector<double> sched_local(n, kNaN);  // intended local transmit times
+  std::vector<double>& sched_local = ws.sched_local;
+  sched_local.assign(n, kNaN);  // intended local transmit times
   sched_local[0] = 0.0;
 
   // Fixed-point relaxation of sync/transmit schedule: each pass re-derives
@@ -97,7 +109,7 @@ ProtocolRun TimestampProtocol::run(const Matrix& connected, uwp::Rng& rng,
 
       // Audio scheduling: the device replies t_slot after the detected
       // arrival; the realized interval differs per Appendix Eq. 6.
-      const audio::DeviceAudio& au = audio_units[i];
+      const audio::DeviceAudio& au = audio_units_[i];
       const double m2_exact = au.mic_clock().index_at(detected_global);
       const std::int64_t m2 = static_cast<std::int64_t>(std::llround(m2_exact));
       const std::int64_t n2 = au.reply_index_for(m2, t_slot);
@@ -141,7 +153,6 @@ ProtocolRun TimestampProtocol::run(const Matrix& connected, uwp::Rng& rng,
     }
   }
   out.round_duration_s = last_arrival + cfg_.t_packet_s;
-  return out;
 }
 
 }  // namespace uwp::proto

@@ -57,9 +57,20 @@ class TimestampProtocol {
   ProtocolRun run(const Matrix& connected, uwp::Rng& rng,
                   const ArrivalError& err = {}) const;
 
+  // Workspace variant: identical results, reusing `out`'s tables and `ws`'s
+  // scratch so repeated rounds allocate nothing. Positions are fixed at
+  // construction, so the propagation-delay table is computed once.
+  struct Workspace {
+    std::vector<double> local_zero_global, sched_local;
+  };
+  void run_into(ProtocolRun& out, const Matrix& connected, uwp::Rng& rng,
+                const ArrivalError& err, Workspace& ws) const;
+
  private:
   ProtocolConfig cfg_;
   std::vector<ProtocolDevice> devices_;
+  Matrix tau_;  // pairwise propagation delays (geometry is immutable)
+  std::vector<audio::DeviceAudio> audio_units_;
 };
 
 }  // namespace uwp::proto

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
+#include <thread>
 
 namespace uwp::sim {
 
@@ -44,6 +46,42 @@ double cep(std::span<const double> radial_errors, double fraction) {
   if (fraction < 0.0 || fraction > 1.0)
     throw std::invalid_argument("cep: fraction out of [0, 1]");
   return percentile(radial_errors, fraction * 100.0);
+}
+
+bool BenchJsonReporter::requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--benchmark_format=json") == 0) return true;
+  return false;
+}
+
+void BenchJsonReporter::add(const std::string& name, double real_seconds,
+                            std::size_t iterations) {
+  entries_.push_back({name, real_seconds, iterations});
+}
+
+void BenchJsonReporter::write() const {
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  std::printf("{\n  \"context\": {\n");
+  std::printf("    \"library_build_type\": \"%s\",\n", build_type);
+  std::printf("    \"num_cpus\": %u\n", std::thread::hardware_concurrency());
+  std::printf("  },\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    const double per_iter_s = e.seconds / static_cast<double>(e.iterations);
+    std::printf("    {\n");
+    std::printf("      \"name\": \"%s\",\n", e.name.c_str());
+    std::printf("      \"run_type\": \"iteration\",\n");
+    std::printf("      \"iterations\": %zu,\n", e.iterations);
+    std::printf("      \"real_time\": %.6e,\n", per_iter_s * 1e3);
+    std::printf("      \"cpu_time\": %.6e,\n", per_iter_s * 1e3);
+    std::printf("      \"time_unit\": \"ms\"\n");
+    std::printf("    }%s\n", i + 1 < entries_.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
 }
 
 }  // namespace uwp::sim

@@ -30,4 +30,28 @@ std::vector<double> take(std::span<const double> values, std::span<const std::si
 // [0, 1], matching uwp::percentile.
 double cep(std::span<const double> radial_errors, double fraction = 0.5);
 
+// Minimal google-benchmark-compatible JSON report for the plain-main()
+// bench binaries: when `--benchmark_format=json` is on the command line,
+// a bench collects named wall-clock timings and emits
+//   {"context": {...}, "benchmarks": [{"name", "real_time", ...}]}
+// to stdout, so CI can harvest perf numbers (BENCH_pipeline.json) with the
+// same tooling it would use for google-benchmark binaries.
+class BenchJsonReporter {
+ public:
+  // True when --benchmark_format=json was passed.
+  static bool requested(int argc, char** argv);
+
+  void add(const std::string& name, double real_seconds, std::size_t iterations = 1);
+  // Emit the JSON document to stdout.
+  void write() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    double seconds = 0.0;
+    std::size_t iterations = 1;
+  };
+  std::vector<Entry> entries_;
+};
+
 }  // namespace uwp::sim

@@ -3,8 +3,6 @@
 #include <cmath>
 #include <limits>
 
-#include "proto/payload_codec.hpp"
-
 namespace uwp::sim {
 
 namespace {
@@ -13,6 +11,27 @@ constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
 ScenarioRunner::ScenarioRunner(Deployment deployment)
     : dep_(std::move(deployment)), preamble_(dep_.preamble), ranger_(preamble_) {}
+
+pipeline::ClosedFormScene ScenarioRunner::scene(const RoundOptions& opts) const {
+  const std::size_t n = dep_.size();
+  pipeline::ClosedFormScene scene;
+  scene.positions.reserve(n);
+  scene.audio.reserve(n);
+  for (const ScenarioDevice& dev : dep_.devices) {
+    scene.positions.push_back(dev.position);
+    scene.audio.push_back(dev.audio);
+  }
+  scene.connectivity = dep_.connectivity;
+  // The protocol simulation propagates sound at the water's TRUE speed; the
+  // leader-side solver converts timestamps with its CONFIGURED speed. The
+  // difference is the paper's sound-speed misestimation error.
+  scene.protocol = dep_.protocol;
+  scene.protocol.num_devices = n;
+  scene.protocol.sound_speed_mps = dep_.env.sound_speed_mps();
+  scene.depth_sensor = opts.depth_sensor;
+  scene.pointing = opts.pointing;
+  return scene;
+}
 
 std::optional<double> ScenarioRunner::sample_arrival_error(std::size_t from,
                                                            std::size_t to,
@@ -56,131 +75,77 @@ int ScenarioRunner::sample_leader_vote(std::size_t from, double pointing_bearing
   return 0;
 }
 
-RoundResult ScenarioRunner::run_round(const RoundOptions& opts, uwp::Rng& rng) const {
-  const std::size_t n = dep_.size();
+WaveformMeasurementModel::WaveformMeasurementModel(const ScenarioRunner& runner,
+                                                   const RoundOptions& opts)
+    : pipeline::ClosedFormModel(runner.scene(opts)),
+      runner_(runner),
+      mic_mode_(opts.mic_mode) {}
+
+double WaveformMeasurementModel::arrival_error_s(std::size_t to, std::size_t from,
+                                                 uwp::Rng& rng) {
+  const std::optional<double> e =
+      runner_.sample_arrival_error(from, to, rng, mic_mode_);
+  return e ? *e : kNaN;
+}
+
+int WaveformMeasurementModel::vote_sign(std::size_t node, double measured_bearing_rad,
+                                        const pipeline::RoundMeasurement& /*m*/,
+                                        uwp::Rng& rng) {
+  return runner_.sample_leader_vote(node, measured_bearing_rad, rng);
+}
+
+namespace {
+
+pipeline::PipelineOptions pipeline_options(const pipeline::ClosedFormScene& scene,
+                                           const RoundOptions& opts) {
+  pipeline::PipelineOptions popts;
+  popts.protocol = scene.protocol;
+  popts.quantize_payload = opts.quantize_payload;
+  popts.sound_speed_error_mps = opts.sound_speed_error_mps;
+  popts.localizer = opts.localizer;
+  return popts;
+}
+
+std::unique_ptr<pipeline::ClosedFormModel> make_model(const ScenarioRunner& runner,
+                                                      const RoundOptions& opts) {
+  if (opts.waveform_phy)
+    return std::make_unique<WaveformMeasurementModel>(runner, opts);
+  return std::make_unique<pipeline::FastMeasurementModel>(runner.scene(opts),
+                                                          opts.fast_arrival);
+}
+
+}  // namespace
+
+ScenarioRoundContext::ScenarioRoundContext(const ScenarioRunner& runner,
+                                           const RoundOptions& opts)
+    : model_(make_model(runner, opts)),
+      pipe_(pipeline_options(model_->scene(), opts)) {}
+
+void ScenarioRoundContext::run_into(RoundResult& out, uwp::Rng& rng) {
+  model_->measure(meas_, rng);
+  const pipeline::RoundOutput& po = pipe_.run_round(meas_, rng);
+
+  out.protocol = meas_.protocol;  // post-quantization: what the leader saw
+  out.ranging = po.ranging;
+  out.localization = po.localization;
+  out.truth_xy = meas_.truth_xy;
+  out.truth_depths = meas_.truth_depths;
+  out.ranging_errors = po.ranging_errors;
+  out.localizer_input = po.localizer_input;
+  out.ok = po.localized;
+  out.error_2d.clear();
+  if (out.ok) out.error_2d = po.error_2d;
+}
+
+RoundResult ScenarioRoundContext::run(uwp::Rng& rng) {
   RoundResult out;
-
-  // Ground truth in the leader-origin frame.
-  out.truth_xy.resize(n);
-  out.truth_depths.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    out.truth_xy[i] = (dep_.devices[i].position - dep_.devices[0].position).xy();
-    out.truth_depths[i] = dep_.devices[i].position.z;
-  }
-
-  // Measured depths.
-  std::vector<double> depths(n);
-  for (std::size_t i = 0; i < n; ++i)
-    depths[i] = opts.depth_sensor.read(out.truth_depths[i], rng);
-
-  // Per-link arrival errors (seconds); NaN = detection failure.
-  Matrix arrival_err(n, n, kNaN);
-  for (std::size_t to = 0; to < n; ++to) {
-    for (std::size_t from = 0; from < n; ++from) {
-      if (to == from || dep_.connectivity(to, from) <= 0.0) continue;
-      if (opts.waveform_phy) {
-        const auto e = sample_arrival_error(from, to, rng, opts.mic_mode);
-        if (e) arrival_err(to, from) = *e;
-      } else {
-        if (rng.bernoulli(opts.fast_detection_failure_prob)) continue;
-        const double range =
-            distance(dep_.devices[to].position, dep_.devices[from].position);
-        const double sigma_m =
-            opts.fast_error_sigma_m + opts.fast_error_sigma_per_m * range;
-        // Multipath biases arrivals late more often than early.
-        const double err_m = std::abs(rng.normal(0.0, sigma_m)) * 0.8 +
-                             rng.normal(0.0, sigma_m * 0.3);
-        arrival_err(to, from) = err_m / dep_.env.sound_speed_mps();
-      }
-    }
-  }
-
-  // Run the distributed timestamp protocol with those errors.
-  std::vector<proto::ProtocolDevice> devices(n);
-  for (std::size_t i = 0; i < n; ++i)
-    devices[i] = {i, dep_.devices[i].position, dep_.devices[i].audio};
-  // The protocol simulation propagates sound at the water's TRUE speed; the
-  // leader-side solver converts timestamps with its CONFIGURED speed. The
-  // difference is the paper's sound-speed misestimation error.
-  proto::ProtocolConfig pcfg = dep_.protocol;
-  pcfg.num_devices = n;
-  pcfg.sound_speed_mps = dep_.env.sound_speed_mps();
-  const proto::TimestampProtocol protocol(pcfg, devices);
-  out.protocol = protocol.run(
-      dep_.connectivity, rng,
-      [&](std::size_t at, std::size_t from_id) { return arrival_err(at, from_id); });
-
-  // Payload quantization (§2.4): timestamps ride to the leader as 10-bit
-  // slot-relative deltas at 2-sample resolution.
-  if (opts.quantize_payload) {
-    proto::PayloadCodecConfig ccfg;
-    ccfg.protocol = pcfg;
-    proto::quantize_run_payload(out.protocol, ccfg);
-  }
-
-  proto::ProtocolConfig solver_cfg = pcfg;
-  solver_cfg.sound_speed_mps += opts.sound_speed_error_mps;
-  const proto::RangingSolver solver(solver_cfg);
-  out.ranging = solver.solve(out.protocol);
-
-  // Per-link 1D ranging diagnostics.
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = i + 1; j < n; ++j)
-      if (out.ranging.weights(i, j) > 0.0) {
-        const double true_d =
-            distance(dep_.devices[i].position, dep_.devices[j].position);
-        out.ranging_errors.push_back(std::abs(out.ranging.distances(i, j) - true_d));
-      }
-
-  // Leader pointing + flip votes.
-  const uwp::Vec2 to_dev1 = out.truth_xy[1];
-  const double true_bearing = bearing(to_dev1);
-  const double measured_bearing = opts.pointing.point(true_bearing, to_dev1.norm(), rng);
-
-  std::vector<core::MicVote> votes;
-  for (std::size_t i = 2; i < n; ++i) {
-    if (dep_.connectivity(0, i) <= 0.0) continue;
-    int sign = 0;
-    if (opts.waveform_phy) {
-      sign = sample_leader_vote(i, measured_bearing, rng);
-    } else {
-      // Fast mode: vote reliability depends on how far the diver sits from
-      // the pointing line — the mic offset shrinks to sub-sample for nearly
-      // collinear divers. Average accuracy matches the paper's ~90%.
-      const double side = side_of_line(out.truth_xy[i], {0, 0}, to_dev1);
-      sign = side > 0 ? 1 : (side < 0 ? -1 : 0);
-      const double range = out.truth_xy[i].norm();
-      const double sin_angle =
-          range > 0.1 ? std::abs(side) / (range * to_dev1.norm()) : 0.0;
-      const double p_wrong = sin_angle < 0.17 ? 0.30 : 0.03;  // ~10 degrees
-      if (rng.bernoulli(p_wrong)) sign = -sign;
-    }
-    if (sign != 0) votes.push_back({i, sign});
-  }
-
-  // Localize.
-  core::LocalizationInput input;
-  input.distances = out.ranging.distances;
-  input.weights = out.ranging.weights;
-  input.depths = depths;
-  input.pointing_bearing_rad = measured_bearing;
-  input.votes = votes;
-  out.localizer_input = input;
-  const core::Localizer localizer(opts.localizer);
-  try {
-    out.localization = localizer.localize(input, rng);
-    out.ok = true;
-  } catch (const std::exception&) {
-    out.ok = false;
-    return out;
-  }
-
-  out.error_2d.assign(n, 0.0);
-  for (std::size_t i = 1; i < n; ++i) {
-    const uwp::Vec2 est = out.localization.positions[i].xy();
-    out.error_2d[i] = distance(est, out.truth_xy[i]);
-  }
+  run_into(out, rng);
   return out;
+}
+
+RoundResult ScenarioRunner::run_round(const RoundOptions& opts, uwp::Rng& rng) const {
+  ScenarioRoundContext ctx(*this, opts);
+  return ctx.run(rng);
 }
 
 }  // namespace uwp::sim

@@ -1,15 +1,22 @@
-// ScenarioRunner: the only place acoustics and geometry meet. Runs
-// waveform-level preamble exchanges over the channel simulator to sample
-// per-link arrival errors and leader-side dual-mic votes, drives the
-// distributed timestamp protocol with those errors, solves for pairwise
-// distances, and feeds the localization core — the complete system of the
-// paper, end to end.
+// ScenarioRunner: the only place acoustics and geometry meet. It samples
+// waveform-level preamble exchanges over the channel simulator (per-link
+// arrival errors and leader-side dual-mic votes) and exposes two
+// pipeline::MeasurementModel front-ends — waveform PHY and calibrated
+// fast-Gaussian — whose rounds flow through the shared
+// pipeline::RoundPipeline (quantize -> ranging solve -> localize ->
+// metrics). run_round is the one-call convenience wrapper; sweeps that run
+// many rounds keep a ScenarioRoundContext per thread so the pipeline
+// workspaces stay warm.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "core/localizer.hpp"
 #include "phy/ranging.hpp"
+#include "pipeline/arrival_error.hpp"
+#include "pipeline/closed_form.hpp"
+#include "pipeline/round_pipeline.hpp"
 #include "proto/ranging_solver.hpp"
 #include "proto/timestamp_protocol.hpp"
 #include "sensors/depth_sensor_model.hpp"
@@ -20,12 +27,10 @@ namespace uwp::sim {
 
 struct RoundOptions {
   // Use waveform-level PHY simulation for each link's arrival error; when
-  // false, draw errors from a calibrated Gaussian instead (fast mode for
-  // large sweeps). Fast-mode sigma grows with range.
+  // false, draw errors from the calibrated fast-Gaussian ArrivalErrorModel
+  // instead (fast mode for large sweeps).
   bool waveform_phy = true;
-  double fast_error_sigma_m = 0.30;
-  double fast_error_sigma_per_m = 0.008;
-  double fast_detection_failure_prob = 0.01;
+  pipeline::ArrivalErrorModel fast_arrival{};
 
   // Apply the §2.4 payload quantization (2-sample resolution) to the
   // reported timestamps before solving.
@@ -62,12 +67,55 @@ struct RoundResult {
   core::LocalizationInput localizer_input;
 };
 
+class ScenarioRunner;
+
+// The waveform-level PHY front-end: per-link arrival errors and leader
+// votes come from full acoustic channel simulation via a ScenarioRunner
+// (which must outlive the model).
+class WaveformMeasurementModel final : public pipeline::ClosedFormModel {
+ public:
+  WaveformMeasurementModel(const ScenarioRunner& runner, const RoundOptions& opts);
+
+ protected:
+  double arrival_error_s(std::size_t to, std::size_t from, uwp::Rng& rng) override;
+  int vote_sign(std::size_t node, double measured_bearing_rad,
+                const pipeline::RoundMeasurement& m, uwp::Rng& rng) override;
+
+ private:
+  const ScenarioRunner& runner_;
+  phy::MicMode mic_mode_;
+};
+
+// Reusable round context: the measurement model (waveform or fast per the
+// options) plus a RoundPipeline with warm workspaces. One per thread; run
+// many rounds through it without re-allocating solver scratch.
+class ScenarioRoundContext {
+ public:
+  ScenarioRoundContext(const ScenarioRunner& runner, const RoundOptions& opts);
+
+  // One full round into `out` (buffers reused across calls).
+  void run_into(RoundResult& out, uwp::Rng& rng);
+  RoundResult run(uwp::Rng& rng);
+
+  pipeline::RoundPipeline& pipeline() { return pipe_; }
+  pipeline::ClosedFormModel& model() { return *model_; }
+
+ private:
+  std::unique_ptr<pipeline::ClosedFormModel> model_;
+  pipeline::RoundPipeline pipe_;
+  pipeline::RoundMeasurement meas_;
+};
+
 class ScenarioRunner {
  public:
   explicit ScenarioRunner(Deployment deployment);
 
   const Deployment& deployment() const { return dep_; }
   Deployment& deployment() { return dep_; }
+
+  // The deployment as a pipeline scene (geometry, connectivity, audio,
+  // protocol at the water's true sound speed, sensors from `opts`).
+  pipeline::ClosedFormScene scene(const RoundOptions& opts) const;
 
   // One-way waveform-level arrival-error sample (seconds) for a transmission
   // from device `from` received at device `to`. nullopt = detection failure.
@@ -80,7 +128,9 @@ class ScenarioRunner {
   int sample_leader_vote(std::size_t from, double pointing_bearing_rad,
                          uwp::Rng& rng) const;
 
-  // Full protocol + localization round.
+  // Full protocol + localization round (one-shot convenience wrapper over a
+  // fresh ScenarioRoundContext). Thread-safe for concurrent calls with
+  // distinct Rngs.
   RoundResult run_round(const RoundOptions& opts, uwp::Rng& rng) const;
 
  private:

@@ -66,15 +66,25 @@ std::uint64_t trial_seed(std::uint64_t master_seed, std::uint64_t trial) {
 SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {}
 
 SweepResult SweepRunner::run(const TrialFn& fn) const {
+  return run([] { return std::shared_ptr<void>(); },
+             [&fn](std::size_t t, Rng& rng, void*) { return fn(t, rng); });
+}
+
+SweepResult SweepRunner::run(const ContextFactory& make_context,
+                             const ContextTrialFn& fn) const {
   SweepResult res;
   res.per_trial.resize(opts_.trials);
   res.threads_used = ThreadPool::resolve_thread_count(opts_.threads);
 
   std::atomic<std::size_t> failed{0};
-  const auto run_trial = [&](std::size_t t) {
+  // One lazily-created context per worker lane; a lane runs its trials
+  // sequentially, so the context is never shared.
+  std::vector<std::shared_ptr<void>> contexts(res.threads_used);
+  const auto run_trial = [&](std::size_t lane, std::size_t t) {
+    if (contexts[lane] == nullptr) contexts[lane] = make_context();
     Rng rng(trial_seed(opts_.master_seed, t));
     try {
-      res.per_trial[t] = fn(t, rng);
+      res.per_trial[t] = fn(t, rng, contexts[lane].get());
     } catch (const std::exception&) {
       failed.fetch_add(1, std::memory_order_relaxed);
     }
@@ -82,10 +92,10 @@ SweepResult SweepRunner::run(const TrialFn& fn) const {
 
   const auto t0 = std::chrono::steady_clock::now();
   if (res.threads_used <= 1 || opts_.trials <= 1) {
-    for (std::size_t t = 0; t < opts_.trials; ++t) run_trial(t);
+    for (std::size_t t = 0; t < opts_.trials; ++t) run_trial(0, t);
   } else {
     ThreadPool pool(res.threads_used);
-    pool.parallel_for(opts_.trials, run_trial);
+    pool.parallel_for_lanes(opts_.trials, run_trial);
   }
   const auto t1 = std::chrono::steady_clock::now();
   res.wall_seconds = std::chrono::duration<double>(t1 - t0).count();

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "util/random.hpp"
@@ -46,6 +47,16 @@ struct SweepResult {
 // One independent trial: produces zero or more samples (e.g. per-device
 // localization errors) from its private deterministic stream.
 using TrialFn = std::function<std::vector<double>(std::size_t trial, Rng& rng)>;
+
+// Per-worker reusable context: `ContextFactory` runs once per worker lane
+// and its product is handed to every trial that lane executes. This is how
+// a pipeline::RoundPipeline (or sim::ScenarioRoundContext) keeps its solver
+// workspaces warm across trials — trial results must not depend on the
+// context's prior state, or bit-reproducibility across thread counts is
+// lost.
+using ContextFactory = std::function<std::shared_ptr<void>()>;
+using ContextTrialFn =
+    std::function<std::vector<double>(std::size_t trial, Rng& rng, void* ctx)>;
 
 // Thread-count convention shared by the bench binaries: `--threads=N` on the
 // command line wins, else the UWP_THREADS environment variable, else 0 (all
@@ -84,6 +95,9 @@ class SweepRunner {
   // as long as `fn` only mutates its own trial's state (shared captures must
   // be read-only).
   SweepResult run(const TrialFn& fn) const;
+
+  // Same contract, with a per-worker context (created lazily, one per lane).
+  SweepResult run(const ContextFactory& make_context, const ContextTrialFn& fn) const;
 
  private:
   SweepOptions opts_;

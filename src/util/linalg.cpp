@@ -21,10 +21,21 @@ double off_diagonal_norm(const Matrix& a) {
 }  // namespace
 
 EigenResult eigen_symmetric(const Matrix& a, double tol, int max_sweeps) {
+  EigenWorkspace ws;
+  EigenResult out;
+  eigen_symmetric_into(a, out, ws, tol, max_sweeps);
+  return out;
+}
+
+void eigen_symmetric_into(const Matrix& a, EigenResult& out, EigenWorkspace& ws,
+                          double tol, int max_sweeps) {
   if (a.rows() != a.cols()) throw std::invalid_argument("eigen_symmetric: not square");
   const std::size_t n = a.rows();
-  Matrix d = a;
-  Matrix v = Matrix::identity(n);
+  Matrix& d = ws.d;
+  Matrix& v = ws.v;
+  d = a;
+  v.assign(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
 
   const double scale = std::max(1.0, d.norm());
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
@@ -40,12 +51,18 @@ EigenResult eigen_symmetric(const Matrix& a, double tol, int max_sweeps) {
                          (std::abs(theta) + std::sqrt(theta * theta + 1.0));
         const double c = 1.0 / std::sqrt(t * t + 1.0);
         const double s = t * c;
-        // Apply the rotation G(p,q,theta) on both sides: D = G^T D G.
+        // Apply the rotation G(p,q,theta) on both sides: D = G^T D G. The
+        // D-column and V-column updates touch disjoint matrices, so one
+        // fused pass (same per-element operations) halves the loop trips.
         for (std::size_t k = 0; k < n; ++k) {
           const double dkp = d(k, p);
           const double dkq = d(k, q);
           d(k, p) = c * dkp - s * dkq;
           d(k, q) = s * dkp + c * dkq;
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
         }
         for (std::size_t k = 0; k < n; ++k) {
           const double dpk = d(p, k);
@@ -53,53 +70,60 @@ EigenResult eigen_symmetric(const Matrix& a, double tol, int max_sweeps) {
           d(p, k) = c * dpk - s * dqk;
           d(q, k) = s * dpk + c * dqk;
         }
-        for (std::size_t k = 0; k < n; ++k) {
-          const double vkp = v(k, p);
-          const double vkq = v(k, q);
-          v(k, p) = c * vkp - s * vkq;
-          v(k, q) = s * vkp + c * vkq;
-        }
       }
     }
   }
 
-  EigenResult out;
   out.values.resize(n);
-  std::vector<std::size_t> order(n);
+  std::vector<std::size_t>& order = ws.order;
+  order.resize(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
-  std::vector<double> diag(n);
+  std::vector<double>& diag = ws.diag;
+  diag.resize(n);
   for (std::size_t i = 0; i < n; ++i) diag[i] = d(i, i);
   std::sort(order.begin(), order.end(),
             [&](std::size_t i, std::size_t j) { return diag[i] > diag[j]; });
 
-  out.vectors = Matrix(n, n);
+  out.vectors.assign(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     out.values[i] = diag[order[i]];
     for (std::size_t r = 0; r < n; ++r) out.vectors(r, i) = v(r, order[i]);
   }
-  return out;
 }
 
 Matrix pseudo_inverse_symmetric(const Matrix& a, double rank_tol) {
-  const EigenResult eig = eigen_symmetric(a);
+  EigenWorkspace ws;
+  Matrix out;
+  pseudo_inverse_symmetric_into(a, out, ws, rank_tol);
+  return out;
+}
+
+void pseudo_inverse_symmetric_into(const Matrix& a, Matrix& out, EigenWorkspace& ws,
+                                   double rank_tol) {
+  eigen_symmetric_into(a, ws.eig, ws);
+  const EigenResult& eig = ws.eig;
   const std::size_t n = a.rows();
   double max_abs = 0.0;
   for (double l : eig.values) max_abs = std::max(max_abs, std::abs(l));
   const double cutoff = rank_tol * std::max(max_abs, 1e-300);
 
-  // A^+ = V diag(1/lambda_i or 0) V^T
-  Matrix out(n, n);
+  // A^+ = V diag(1/lambda_i or 0) V^T. Eigenvector column k is staged into
+  // a contiguous buffer so the rank-1 update streams instead of striding.
+  out.assign(n, n);
+  std::vector<double>& col = ws.diag;  // free scratch between decompositions
+  col.resize(n);
   for (std::size_t k = 0; k < n; ++k) {
     const double l = eig.values[k];
     if (std::abs(l) <= cutoff) continue;
     const double inv = 1.0 / l;
+    for (std::size_t c = 0; c < n; ++c) col[c] = eig.vectors(c, k);
     for (std::size_t r = 0; r < n; ++r) {
-      const double vr = eig.vectors(r, k);
+      const double vr = col[r];
       if (vr == 0.0) continue;
-      for (std::size_t c = 0; c < n; ++c) out(r, c) += inv * vr * eig.vectors(c, k);
+      const std::span<double> orow = out.row(r);
+      for (std::size_t c = 0; c < n; ++c) orow[c] += inv * vr * col[c];
     }
   }
-  return out;
 }
 
 namespace {
@@ -138,15 +162,23 @@ bool lu_decompose(Matrix& a, std::vector<std::size_t>& perm, int& sign) {
 }  // namespace
 
 std::vector<double> solve(const Matrix& a, std::span<const double> b) {
+  Matrix lu;
+  std::vector<std::size_t> perm;
+  std::vector<double> x;
+  solve_into(a, b, x, lu, perm);
+  return x;
+}
+
+void solve_into(const Matrix& a, std::span<const double> b, std::vector<double>& x,
+                Matrix& lu, std::vector<std::size_t>& perm) {
   if (a.rows() != a.cols() || a.rows() != b.size())
     throw std::invalid_argument("solve: shape mismatch");
   const std::size_t n = a.rows();
-  Matrix lu = a;
-  std::vector<std::size_t> perm;
+  lu = a;
   int sign = 1;
   if (!lu_decompose(lu, perm, sign)) throw std::domain_error("solve: singular matrix");
 
-  std::vector<double> x(n);
+  x.resize(n);
   for (std::size_t i = 0; i < n; ++i) x[i] = b[perm[i]];
   // Forward substitution (L has unit diagonal).
   for (std::size_t i = 1; i < n; ++i)
@@ -156,7 +188,6 @@ std::vector<double> solve(const Matrix& a, std::span<const double> b) {
     for (std::size_t j = i + 1; j < n; ++j) x[i] -= lu(i, j) * x[j];
     x[i] /= lu(i, i);
   }
-  return x;
 }
 
 double determinant(const Matrix& a) {

@@ -27,10 +27,32 @@ EigenResult eigen_symmetric(const Matrix& a, double tol = 1e-12, int max_sweeps 
 // are treated as zero.
 Matrix pseudo_inverse_symmetric(const Matrix& a, double rank_tol = 1e-10);
 
+// Reusable scratch for the workspace variants below. One workspace serves
+// any matrix size; buffers grow to the largest problem seen and stay put.
+struct EigenWorkspace {
+  Matrix d, v;                     // Jacobi iterates
+  std::vector<std::size_t> order;  // eigenvalue sort permutation
+  std::vector<double> diag;
+  EigenResult eig;  // scratch decomposition for the pseudoinverse
+};
+
+// Workspace variants: bit-identical to the allocating forms above, but all
+// scratch lives in `ws` (and the caller's `out`), so steady-state callers
+// perform no heap allocation.
+void eigen_symmetric_into(const Matrix& a, EigenResult& out, EigenWorkspace& ws,
+                          double tol = 1e-12, int max_sweeps = 64);
+void pseudo_inverse_symmetric_into(const Matrix& a, Matrix& out, EigenWorkspace& ws,
+                                   double rank_tol = 1e-10);
+
 // Solve a * x = b for square `a` by Gaussian elimination with partial
 // pivoting. Throws std::domain_error when `a` is singular to working
 // precision.
 std::vector<double> solve(const Matrix& a, std::span<const double> b);
+
+// Workspace variant: identical results; `lu` and `perm` are scratch, `x`
+// receives the solution (all reused without allocation in steady state).
+void solve_into(const Matrix& a, std::span<const double> b, std::vector<double>& x,
+                Matrix& lu, std::vector<std::size_t>& perm);
 
 // Determinant via LU factorization (partial pivoting).
 double determinant(const Matrix& a);

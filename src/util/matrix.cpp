@@ -26,6 +26,12 @@ Matrix Matrix::ones(std::size_t rows, std::size_t cols) {
   return Matrix(rows, cols, 1.0);
 }
 
+void Matrix::assign(std::size_t rows, std::size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r)
@@ -99,5 +105,20 @@ double Matrix::max_abs_diff(const Matrix& rhs) const {
 }
 
 Matrix operator*(double s, const Matrix& m) { return m * s; }
+
+void multiply_into(Matrix& out, const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matrix product shape mismatch");
+  out.assign(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const std::span<const double> arow = a.row(r);
+    const std::span<double> orow = out.row(r);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double f = arow[k];
+      if (f == 0.0) continue;
+      const std::span<const double> brow = b.row(k);
+      for (std::size_t c = 0; c < b.cols(); ++c) orow[c] += f * brow[c];
+    }
+  }
+}
 
 }  // namespace uwp

@@ -23,6 +23,11 @@ class Matrix {
   static Matrix identity(std::size_t n);
   static Matrix ones(std::size_t rows, std::size_t cols);
 
+  // Reshape to rows x cols reusing the existing storage (no allocation once
+  // capacity suffices) and set every element to `fill`. The workspace
+  // counterpart of constructing Matrix(rows, cols, fill).
+  void assign(std::size_t rows, std::size_t cols, double fill = 0.0);
+
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
@@ -71,5 +76,11 @@ class Matrix {
 };
 
 Matrix operator*(double s, const Matrix& m);
+
+// out = a * b without allocating when `out` already has the product's shape
+// (it is reshaped via assign() otherwise). Accumulates in the same order as
+// operator*, so results are bit-identical to the allocating form. `out` must
+// not alias `a` or `b`.
+void multiply_into(Matrix& out, const Matrix& a, const Matrix& b);
 
 }  // namespace uwp

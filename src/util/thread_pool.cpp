@@ -64,10 +64,15 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
+  parallel_for_lanes(n, [&body](std::size_t, std::size_t i) { body(i); });
+}
+
+void ThreadPool::parallel_for_lanes(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
   const std::size_t lanes = std::min(size(), n);
   if (lanes <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
     return;
   }
 
@@ -82,12 +87,12 @@ void ThreadPool::parallel_for(std::size_t n,
   shared->remaining.store(lanes);
 
   for (std::size_t lane = 0; lane < lanes; ++lane) {
-    submit([shared, n, &body] {
+    submit([shared, n, lane, &body] {
       for (;;) {
         const std::size_t i = shared->next.fetch_add(1);
         if (i >= n) break;
         try {
-          body(i);
+          body(lane, i);
         } catch (...) {
           std::lock_guard<std::mutex> lock(shared->mu);
           if (!shared->error) shared->error = std::current_exception();

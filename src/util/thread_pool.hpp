@@ -38,6 +38,12 @@ class ThreadPool {
   // from outside the pool's own workers (no nesting).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  // Like parallel_for, but the body also receives the executing lane index
+  // (0 .. min(size(), n) - 1; each lane is one submitted worker task), so
+  // callers can maintain per-lane scratch state without locking.
+  void parallel_for_lanes(std::size_t n,
+                          const std::function<void(std::size_t lane, std::size_t i)>& body);
+
   // Resolve the `threads` convention used across the codebase: 0 means "all
   // hardware threads", anything else is taken literally (min 1).
   static std::size_t resolve_thread_count(std::size_t threads);

@@ -189,7 +189,7 @@ DesScenario make_swarm_scenario(std::size_t n, std::size_t rounds) {
   DesScenarioConfig cfg;
   cfg.protocol.num_devices = n;
   cfg.rounds = rounds;
-  cfg.detection_failure_prob = 0.02;
+  cfg.arrival.detection_failure_prob = 0.02;
   std::vector<audio::AudioTimingConfig> audio(n);
   for (std::size_t i = 0; i < n; ++i) {
     audio[i].speaker_start_s = 0.17 * static_cast<double>(i);

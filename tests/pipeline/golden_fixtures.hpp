@@ -1,0 +1,151 @@
+// Deterministic fixtures for the solver-stack golden regression tests.
+//
+// These builders construct fixed-seed inputs for proto::RangingSolver and
+// core::Localizer covering every solver regime: the clean full-graph solve,
+// the exhaustive outlier search (paper scale, links <= max_suspect_links),
+// and the residual-pruned warm-started search (swarm scale). The expected
+// outputs were captured from these exact fixtures BEFORE the workspace
+// refactor (hexfloat, bit-exact) and live in golden_regression_test.cpp;
+// the workspace plumbing must reproduce them bit-identically.
+#pragma once
+
+#include <cmath>
+
+#include "core/localizer.hpp"
+#include "proto/ranging_solver.hpp"
+#include "proto/timestamp_protocol.hpp"
+#include "util/geometry.hpp"
+#include "util/random.hpp"
+
+namespace uwp::golden {
+
+// --- Fixture A: protocol run -> RangingSolver --------------------------------
+
+inline proto::ProtocolConfig fixture_protocol_config() {
+  proto::ProtocolConfig cfg;
+  cfg.num_devices = 6;
+  return cfg;
+}
+
+// Six devices, one out of leader range (relay sync), per-link Gaussian
+// arrival errors and two forced detection failures, so the solution
+// exercises two-way links, the one-way fallback, and missing links.
+inline proto::ProtocolRun fixture_protocol_run() {
+  const proto::ProtocolConfig cfg = fixture_protocol_config();
+  const std::size_t n = cfg.num_devices;
+  std::vector<proto::ProtocolDevice> devices(n);
+  const Vec3 pos[6] = {{0, 0, 1},    {9, 2, 2},    {-5, 7, 1.5},
+                       {11, -6, 3},  {-8, -9, 2},  {26, 9, 1}};
+  for (std::size_t i = 0; i < n; ++i) {
+    devices[i].id = i;
+    devices[i].position = pos[i];
+    devices[i].audio.speaker_start_s = 0.11 * static_cast<double>(i);
+    devices[i].audio.mic_start_s = 0.05 + 0.07 * static_cast<double>(i);
+    devices[i].audio.speaker_skew_ppm = (i % 2 ? 1.0 : -1.0) * 4.0;
+    devices[i].audio.mic_skew_ppm = (i % 2 ? -1.0 : 1.0) * 3.0;
+  }
+  Matrix conn(n, n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) conn(i, i) = 0.0;
+  // Device 5 sits 26+ m from the leader: out of direct range.
+  conn(5, 0) = conn(0, 5) = 0.0;
+
+  Rng rng(41);
+  const proto::TimestampProtocol protocol(cfg, devices);
+  return protocol.run(conn, rng, [&rng](std::size_t at, std::size_t from) {
+    // Two fixed detection failures plus small Gaussian arrival noise.
+    const double e = rng.normal(0.0, 2e-4);
+    if ((at == 2 && from == 3) || (at == 4 && from == 1))
+      return std::numeric_limits<double>::quiet_NaN();
+    return e;
+  });
+}
+
+// --- Localizer fixtures ------------------------------------------------------
+
+namespace detail {
+
+// Noisy measured distance matrix from true 3D positions.
+inline void fill_measured(const std::vector<Vec3>& pos, double sigma_m, Rng& rng,
+                          Matrix& dist, Matrix& weights) {
+  const std::size_t n = pos.size();
+  dist = Matrix(n, n);
+  weights = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d =
+          std::max(0.1, distance(pos[i], pos[j]) + rng.normal(0.0, sigma_m));
+      dist(i, j) = dist(j, i) = d;
+      weights(i, j) = weights(j, i) = 1.0;
+    }
+}
+
+inline void finish_input(const std::vector<Vec3>& pos, core::LocalizationInput& in) {
+  const std::size_t n = pos.size();
+  in.depths.resize(n);
+  for (std::size_t i = 0; i < n; ++i) in.depths[i] = pos[i].z;
+  const Vec2 to1 = (pos[1] - pos[0]).xy();
+  in.pointing_bearing_rad = bearing(to1) + 0.04;
+  in.votes.clear();
+  for (std::size_t i = 2; i < n; ++i) {
+    const double side = side_of_line((pos[i] - pos[0]).xy(), {0, 0}, to1);
+    int sign = side > 0 ? 1 : (side < 0 ? -1 : 0);
+    if (i == 3) sign = -sign;  // one deliberately wrong vote
+    if (sign != 0) in.votes.push_back({i, sign});
+  }
+}
+
+}  // namespace detail
+
+// Fixture B: clean 6-device group, full graph, no outliers.
+inline core::LocalizationInput fixture_clean_input() {
+  const std::vector<Vec3> pos = {{0, 0, 1.2},  {8, 1, 2.1},   {-6, 7, 1.7},
+                                 {12, 9, 2.9}, {3, -9, 1.1},  {-9, -5, 2.4}};
+  core::LocalizationInput in;
+  Rng rng(101);
+  detail::fill_measured(pos, 0.25, rng, in.distances, in.weights);
+  detail::finish_input(pos, in);
+  return in;
+}
+
+// Fixture C: 7 devices, one occluded link whose multipath inflated the
+// measured distance — the exhaustive (paper-scale) outlier search.
+inline core::LocalizationInput fixture_outlier_input() {
+  const std::vector<Vec3> pos = {{0, 0, 1.5},   {7, 2, 2.2},  {-6, 6, 1.9},
+                                 {13, 8, 2.6},  {4, -8, 1.3}, {-8, -6, 2.0},
+                                 {14, -4, 2.8}};
+  core::LocalizationInput in;
+  Rng rng(202);
+  detail::fill_measured(pos, 0.2, rng, in.distances, in.weights);
+  in.distances(2, 5) = in.distances(5, 2) = in.distances(2, 5) * 1.9;
+  detail::finish_input(pos, in);
+  return in;
+}
+
+// Fixture D: 20 devices (190 links > max_suspect_links), two inflated links
+// — exercises the residual-pruned candidate pool and warm-started solves.
+inline core::LocalizationInput fixture_pruned_input() {
+  std::vector<Vec3> pos;
+  Rng place(303);
+  for (std::size_t i = 0; i < 20; ++i) {
+    pos.push_back({static_cast<double>(i % 5) * 9.0 + place.uniform(-1.5, 1.5),
+                   static_cast<double>(i / 5) * 9.0 + place.uniform(-1.5, 1.5),
+                   1.0 + 0.1 * static_cast<double>(i % 7)});
+  }
+  core::LocalizationInput in;
+  Rng rng(304);
+  detail::fill_measured(pos, 0.1, rng, in.distances, in.weights);
+  in.distances(3, 11) = in.distances(11, 3) = in.distances(3, 11) * 2.5;
+  in.distances(7, 15) = in.distances(15, 7) = in.distances(7, 15) * 2.3;
+  detail::finish_input(pos, in);
+  return in;
+}
+
+// Options for fixture D: cap the search at two dropped links so the pruned
+// test stays fast while still covering multi-link subsets.
+inline core::LocalizerOptions fixture_pruned_options() {
+  core::LocalizerOptions opts;
+  opts.outlier.max_outliers = 2;
+  return opts;
+}
+
+}  // namespace uwp::golden

@@ -175,9 +175,9 @@ TEST(Scenario, SoundSpeedErrorBiasesRangingProportionally) {
   const ScenarioRunner runner(std::move(dep));
   RoundOptions opts;
   opts.waveform_phy = false;
-  opts.fast_error_sigma_m = 0.01;  // isolate the speed bias
-  opts.fast_error_sigma_per_m = 0.0;
-  opts.fast_detection_failure_prob = 0.0;
+  opts.fast_arrival.sigma_m = 0.01;  // isolate the speed bias
+  opts.fast_arrival.sigma_per_m = 0.0;
+  opts.fast_arrival.detection_failure_prob = 0.0;
   opts.quantize_payload = false;
 
   opts.sound_speed_error_mps = 0.0;

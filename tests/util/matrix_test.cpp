@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 namespace uwp {
@@ -106,6 +107,39 @@ TEST(Matrix, RowSpanWritable) {
   auto r = a.row(1);
   r[0] = 7.0;
   EXPECT_DOUBLE_EQ(a(1, 0), 7.0);
+}
+
+TEST(Matrix, AssignReshapesAndFills) {
+  Matrix a(2, 3, 1.0);
+  a.assign(3, 2, 4.5);
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.cols(), 2u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(a(r, c), 4.5);
+}
+
+TEST(Matrix, MultiplyIntoBitIdenticalToOperator) {
+  // Irrational-ish entries so accumulation-order differences would show.
+  Matrix a(3, 4);
+  Matrix b(4, 2);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      a(r, c) = std::sin(static_cast<double>(r * 4 + c) + 0.3);
+  a(1, 2) = 0.0;  // exercise the exact-zero skip
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 2; ++c)
+      b(r, c) = std::cos(static_cast<double>(r * 2 + c) * 1.7);
+
+  const Matrix expected = a * b;
+  Matrix out(7, 7, 9.0);  // wrong shape + stale values: assign must reset
+  multiply_into(out, a, b);
+  ASSERT_EQ(out.rows(), 3u);
+  ASSERT_EQ(out.cols(), 2u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c)
+      EXPECT_EQ(out(r, c), expected(r, c));  // bitwise
+
+  EXPECT_THROW(multiply_into(out, b, b), std::invalid_argument);
 }
 
 }  // namespace
