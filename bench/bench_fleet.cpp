@@ -1,0 +1,128 @@
+// Serving-fleet bench: how many concurrent positioning groups the sharded
+// session service sustains, and at what per-round latency. Runs a mixed
+// workload (static / lawnmower / waypoint / dropout-churn / packet-DES
+// groups) through fleet::FleetService and reports aggregate rounds/sec plus
+// p50/p99 per-round service latency per shard count.
+//
+//   --sessions=N     concurrent session count (default 512)
+//   --threads=N      shard count for the headline run (0 = one per hardware
+//                    thread; UWP_THREADS env var also works)
+//   --benchmark_format=json
+//                    emit google-benchmark-style JSON (BENCH_fleet.json in
+//                    CI): one entry with items_per_second = rounds/sec and
+//                    one entry each for the p50/p99 round latency
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "fleet/service.hpp"
+#include "sim/fleet_workload.hpp"
+#include "sim/metrics.hpp"
+#include "sim/sweep.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+std::size_t sessions_from_args(int argc, char** argv, std::size_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--sessions=", 11) != 0) continue;
+    const char* s = argv[i] + 11;
+    if (*s == '\0') return fallback;
+    for (const char* p = s; *p != '\0'; ++p)
+      if (*p < '0' || *p > '9') return fallback;
+    const unsigned long long v = std::strtoull(s, nullptr, 10);
+    return v == 0 ? fallback : static_cast<std::size_t>(v > 1000000 ? 1000000 : v);
+  }
+  return fallback;
+}
+
+uwp::fleet::FleetResult run_fleet(const std::vector<uwp::sim::GroupScenario>& workload,
+                                  std::size_t shards) {
+  uwp::fleet::FleetOptions fo;
+  fo.master_seed = 0xF1EE7u;
+  fo.shards = shards;
+  fo.measure_latency = true;
+  return uwp::fleet::FleetService(fo, workload).run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t sessions = sessions_from_args(argc, argv, 512);
+  const std::size_t shards = uwp::sim::threads_from_args(argc, argv);
+
+  uwp::sim::WorkloadParams params;
+  params.sessions = sessions;
+  params.seed = 0xBE7Cu;
+  // Stagger admissions across most of the timeline so sessions churn: late
+  // admissions land on pipelines warmed by early evictions (the arena-reuse
+  // steady state a long-lived service settles into).
+  params.admit_spread_ticks = 16;
+  const std::vector<uwp::sim::GroupScenario> workload = uwp::sim::make_workload(params);
+
+  if (uwp::sim::BenchJsonReporter::requested(argc, argv)) {
+    const uwp::fleet::FleetResult r = run_fleet(workload, shards);
+    const uwp::sim::RateLatency rl =
+        uwp::sim::rate_latency(r.rounds, r.wall_seconds, r.round_latency_s);
+    char name[64];
+    std::snprintf(name, sizeof(name), "fleet/%zusessions", sessions);
+    uwp::sim::BenchJsonReporter report;
+    report.add_with_rate(std::string(name) + "/run", r.wall_seconds, r.rounds,
+                         rl.rounds_per_sec);
+    report.add(std::string(name) + "/round_p50", rl.p50_s);
+    report.add(std::string(name) + "/round_p99", rl.p99_s);
+    report.write();
+    return r.localized > 0 ? 0 : 1;
+  }
+
+  std::printf("=== fleet serving: %zu concurrent positioning groups ===\n", sessions);
+  std::map<uwp::sim::GroupScenarioKind, std::size_t> kinds;
+  std::size_t devices = 0;
+  for (const uwp::sim::GroupScenario& sc : workload) {
+    ++kinds[sc.kind];
+    devices += sc.scene.positions.size();
+  }
+  std::printf("workload mix (%zu devices total):", devices);
+  for (const auto& [kind, count] : kinds)
+    std::printf("  %s=%zu", uwp::sim::to_string(kind), count);
+  std::printf("\n\n");
+
+  std::printf("%8s %12s %14s %14s %14s %10s\n", "shards", "rounds/sec", "p50 round[ms]",
+              "p99 round[ms]", "wall[s]", "reused");
+  uwp::fleet::FleetResult last;
+  std::vector<std::size_t> shard_counts = {1, 2, shards == 1 ? 4 : shards};
+  // Dedupe resolved counts (e.g. --threads=2, or 0 resolving to 2 on a
+  // 2-thread machine) so no configuration runs twice.
+  for (std::size_t i = 0; i < shard_counts.size(); ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      if (uwp::ThreadPool::resolve_thread_count(shard_counts[i]) ==
+          uwp::ThreadPool::resolve_thread_count(shard_counts[j])) {
+        shard_counts.erase(shard_counts.begin() + static_cast<std::ptrdiff_t>(i--));
+        break;
+      }
+  for (const std::size_t s : shard_counts) {
+    uwp::fleet::FleetOptions fo;
+    fo.master_seed = 0xF1EE7u;
+    fo.shards = s;
+    fo.measure_latency = true;
+    uwp::fleet::FleetService service(fo, workload);
+    uwp::fleet::FleetResult r = service.run();
+    const uwp::sim::RateLatency rl =
+        uwp::sim::rate_latency(r.rounds, r.wall_seconds, r.round_latency_s);
+    std::printf("%8zu %12.0f %14.3f %14.3f %14.2f %9zu%%\n", r.shards_used,
+                rl.rounds_per_sec, rl.p50_s * 1e3, rl.p99_s * 1e3, r.wall_seconds,
+                service.arena_stats().leases == 0
+                    ? 0
+                    : 100 * service.arena_stats().reuses / service.arena_stats().leases);
+    last = std::move(r);
+  }
+
+  // Accuracy stays what the single-group benches report (the fleet only
+  // multiplexes sessions; it never touches the solver math).
+  std::printf("\n%zu rounds, %zu localized, %zu coasted\n", last.rounds, last.localized,
+              last.coasts);
+  uwp::sim::print_summary_row("per-device error (all sessions)", last.errors);
+  return 0;
+}

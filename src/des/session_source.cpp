@@ -1,0 +1,65 @@
+#include "des/session_source.hpp"
+
+#include <stdexcept>
+
+namespace uwp::des {
+
+DesSessionSource::DesSessionSource(DesScenarioConfig cfg,
+                                   std::shared_ptr<const MobilityModel> mobility,
+                                   std::vector<audio::AudioTimingConfig> audio,
+                                   Matrix connectivity)
+    : cfg_(cfg),
+      mobility_(std::move(mobility)),
+      audio_(std::move(audio)),
+      connectivity_(std::move(connectivity)) {
+  if (!mobility_) throw std::invalid_argument("DesSessionSource: null mobility");
+  const std::size_t n = mobility_->size();
+  if (n < 2) throw std::invalid_argument("DesSessionSource: need >= 2 nodes");
+  if (audio_.size() != n)
+    throw std::invalid_argument("DesSessionSource: audio config count != node count");
+  if (cfg_.protocol.num_devices != n)
+    throw std::invalid_argument("DesSessionSource: protocol.num_devices != node count");
+  if (connectivity_.rows() != n || connectivity_.cols() != n)
+    throw std::invalid_argument("DesSessionSource: connectivity shape mismatch");
+
+  period_ = cfg_.round_period_s > 0.0
+                ? cfg_.round_period_s
+                : proto::round_trip_worst_case(cfg_.protocol) +
+                      2.0 * cfg_.protocol.t_packet_s + 1.0;
+
+  MediumConfig mc;
+  mc.sound_speed_mps = cfg_.protocol.sound_speed_mps;
+  mc.packet_duration_s = cfg_.protocol.t_packet_s;
+  mc.max_range_m = cfg_.max_range_m;
+  medium_ = std::make_unique<AcousticMedium>(mc, &sim_, mobility_.get(), connectivity_);
+
+  // Per-packet arrival error in event order, drawn from whichever rng the
+  // current measure() call received.
+  if (!cfg_.ideal_arrivals) {
+    medium_->set_error_hook([this](std::size_t at, std::size_t from) {
+      const double t = sim_.now();
+      const double range =
+          distance(mobility_->position(at, t), mobility_->position(from, t));
+      return cfg_.arrival.sample_seconds(range, cfg_.protocol.sound_speed_mps,
+                                         *round_rng_);
+    });
+  }
+
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    nodes_.emplace_back(i, cfg_.protocol, audio_[i], &sim_, medium_.get());
+  medium_->set_sink([this](std::size_t rx, std::size_t src, double detected) {
+    nodes_[rx].on_packet(src, detected);
+  });
+
+  front_end_ = std::make_unique<DesFrontEnd>(cfg_, sim_, *medium_, nodes_, *mobility_,
+                                             period_);
+}
+
+void DesSessionSource::measure(pipeline::RoundMeasurement& out, uwp::Rng& rng) {
+  round_rng_ = &rng;
+  front_end_->measure(out, rng);
+  round_rng_ = nullptr;
+}
+
+}  // namespace uwp::des

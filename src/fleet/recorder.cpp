@@ -1,0 +1,255 @@
+#include "fleet/recorder.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace uwp::fleet {
+
+SessionRecorder::SessionRecorder(std::uint64_t master_seed,
+                                 const sim::WorkloadParams& params) {
+  trace_.master_seed = master_seed;
+  trace_.workload = params;
+  trace_.sessions.resize(params.sessions);
+  for (std::size_t i = 0; i < params.sessions; ++i)
+    trace_.sessions[i].session_id = i;
+}
+
+SessionTrace& SessionRecorder::slot(std::uint64_t session_id) {
+  if (session_id >= trace_.sessions.size())
+    throw std::invalid_argument("SessionRecorder: session_id outside workload");
+  return trace_.sessions[session_id];
+}
+
+void SessionRecorder::on_admit(const sim::GroupScenario& scenario) {
+  slot(scenario.session_id).events.clear();
+}
+
+void SessionRecorder::on_measurement(std::uint64_t session_id, std::uint32_t round,
+                                     double dt_s, const pipeline::RoundMeasurement& m) {
+  TraceEvent ev;
+  ev.kind = FrameKind::kMeasurement;
+  ev.dt_s = dt_s;
+  ev.round = round;
+  encode_measurement(m, ev.payload);
+  slot(session_id).events.push_back(std::move(ev));
+}
+
+void SessionRecorder::on_round_result(std::uint64_t session_id, const RoundRecord& r) {
+  TraceEvent ev;
+  ev.kind = FrameKind::kRoundResult;
+  encode_round_record(r, ev.payload);
+  slot(session_id).events.push_back(std::move(ev));
+}
+
+void SessionRecorder::on_coast(std::uint64_t session_id, double dt_s) {
+  TraceEvent ev;
+  ev.kind = FrameKind::kCoast;
+  ev.dt_s = dt_s;
+  slot(session_id).events.push_back(std::move(ev));
+}
+
+void SessionRecorder::on_evict(std::uint64_t session_id) {
+  slot(session_id);  // bounds check only; eviction is implicit in the format
+}
+
+void write_fleet_trace(std::ostream& out, const FleetTrace& trace) {
+  std::vector<std::uint8_t> buf;
+  put_u32(buf, kTraceMagic);
+  put_u16(buf, kTraceVersion);
+  put_u64(buf, trace.master_seed);
+  const sim::WorkloadParams& p = trace.workload;
+  put_u64(buf, p.sessions);
+  put_u64(buf, p.seed);
+  put_u64(buf, p.min_group_size);
+  put_u64(buf, p.max_group_size);
+  put_u64(buf, p.min_rounds);
+  put_u64(buf, p.max_rounds);
+  put_u64(buf, p.admit_spread_ticks);
+  put_u8(buf, p.include_des ? 1 : 0);
+  put_u64(buf, trace.sessions.size());
+  for (const SessionTrace& s : trace.sessions) {
+    put_u64(buf, s.session_id);
+    put_u64(buf, s.events.size());
+    for (const TraceEvent& ev : s.events) {
+      put_u8(buf, static_cast<std::uint8_t>(ev.kind));
+      switch (ev.kind) {
+        case FrameKind::kCoast:
+          put_f64(buf, ev.dt_s);
+          break;
+        case FrameKind::kMeasurement:
+          put_f64(buf, ev.dt_s);
+          put_u32(buf, ev.round);
+          put_u64(buf, ev.payload.size());
+          buf.insert(buf.end(), ev.payload.begin(), ev.payload.end());
+          break;
+        case FrameKind::kRoundResult:
+          put_u64(buf, ev.payload.size());
+          buf.insert(buf.end(), ev.payload.begin(), ev.payload.end());
+          break;
+      }
+    }
+  }
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  if (!out) throw std::runtime_error("fleet trace: write failed");
+}
+
+void SessionRecorder::write(std::ostream& out) const { write_fleet_trace(out, trace_); }
+
+void SessionRecorder::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("fleet trace: cannot open " + path);
+  write(out);
+}
+
+FleetTrace read_fleet_trace(std::istream& in) {
+  std::vector<std::uint8_t> buf;
+  {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string& s = ss.str();
+    buf.assign(s.begin(), s.end());
+  }
+  ByteReader r{buf, 0};
+
+  FleetTrace trace;
+  if (r.u32() != kTraceMagic) throw WireError("fleet trace: bad magic");
+  const std::uint16_t version = r.u16();
+  if (version != kTraceVersion)
+    throw WireError("fleet trace: unsupported version " + std::to_string(version));
+  trace.master_seed = r.u64();
+  sim::WorkloadParams& p = trace.workload;
+  p.sessions = static_cast<std::size_t>(r.u64());
+  p.seed = r.u64();
+  p.min_group_size = static_cast<std::size_t>(r.u64());
+  p.max_group_size = static_cast<std::size_t>(r.u64());
+  p.min_rounds = static_cast<std::size_t>(r.u64());
+  p.max_rounds = static_cast<std::size_t>(r.u64());
+  p.admit_spread_ticks = static_cast<std::size_t>(r.u64());
+  p.include_des = r.u8() != 0;
+
+  const std::uint64_t count = r.u64();
+  if (count != p.sessions) throw WireError("fleet trace: session count mismatch");
+  // Each recorded session costs bytes in the stream; a count far beyond the
+  // remaining buffer is a corrupt length field, not a huge trace.
+  if (count > buf.size()) throw WireError("fleet trace: implausible session count");
+  trace.sessions.resize(count);
+  for (SessionTrace& s : trace.sessions) {
+    s.session_id = r.u64();
+    const std::uint64_t events = r.u64();
+    if (events > buf.size()) throw WireError("fleet trace: implausible event count");
+    s.events.resize(events);
+    for (TraceEvent& ev : s.events) {
+      const std::uint8_t kind = r.u8();
+      switch (kind) {
+        case static_cast<std::uint8_t>(FrameKind::kCoast):
+          ev.kind = FrameKind::kCoast;
+          ev.dt_s = r.f64();
+          break;
+        case static_cast<std::uint8_t>(FrameKind::kMeasurement): {
+          ev.kind = FrameKind::kMeasurement;
+          ev.dt_s = r.f64();
+          ev.round = r.u32();
+          const std::uint64_t len = r.u64();
+          r.need(len);
+          ev.payload.assign(buf.begin() + static_cast<std::ptrdiff_t>(r.pos),
+                            buf.begin() + static_cast<std::ptrdiff_t>(r.pos + len));
+          r.pos += len;
+          break;
+        }
+        case static_cast<std::uint8_t>(FrameKind::kRoundResult): {
+          ev.kind = FrameKind::kRoundResult;
+          const std::uint64_t len = r.u64();
+          r.need(len);
+          ev.payload.assign(buf.begin() + static_cast<std::ptrdiff_t>(r.pos),
+                            buf.begin() + static_cast<std::ptrdiff_t>(r.pos + len));
+          r.pos += len;
+          break;
+        }
+        default:
+          throw WireError("fleet trace: unknown frame kind " + std::to_string(kind));
+      }
+    }
+  }
+  if (r.pos != buf.size()) throw WireError("fleet trace: trailing bytes");
+  return trace;
+}
+
+FleetTrace load_fleet_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("fleet trace: cannot open " + path);
+  return read_fleet_trace(in);
+}
+
+// --- Replayer ---------------------------------------------------------------
+
+Replayer::Replayer(FleetTrace trace)
+    : trace_(std::move(trace)), workload_(sim::make_workload(trace_.workload)) {
+  if (trace_.sessions.size() != workload_.size())
+    throw WireError("fleet trace: session count != regenerated workload");
+  for (std::size_t i = 0; i < trace_.sessions.size(); ++i)
+    if (trace_.sessions[i].session_id != i)
+      throw WireError("fleet trace: sessions out of order");
+}
+
+Replayer::ReplayResult Replayer::replay() const {
+  ReplayResult out;
+  std::vector<SessionMetrics> metrics(trace_.sessions.size());
+
+  pipeline::RoundMeasurement meas;
+  RoundRecord recorded, recomputed;
+  for (std::size_t id = 0; id < trace_.sessions.size(); ++id) {
+    const sim::GroupScenario& sc = workload_[id];
+    pipeline::RoundPipeline pipe(pipeline_options_for(sc));
+    uwp::Rng solve_rng(session_stream_seed(trace_.master_seed, id, kSolverStream));
+
+    SessionMetrics& m = metrics[id];
+    m.session_id = id;
+    m.kind = sc.kind;
+
+    bool have_round = false;  // a run_round result awaiting its record frame
+    for (const TraceEvent& ev : trace_.sessions[id].events) {
+      switch (ev.kind) {
+        case FrameKind::kCoast:
+          pipe.coast(ev.dt_s);
+          m.note_coast();
+          have_round = false;
+          break;
+        case FrameKind::kMeasurement: {
+          std::size_t pos = 0;
+          decode_measurement(ev.payload, pos, meas);
+          // Each record is only internally consistent; the pipeline indexes
+          // by the *scenario's* device count, so a mismatched (corrupt or
+          // cross-wired) frame must be rejected here, not read out of
+          // bounds downstream.
+          if (meas.protocol.timestamps.rows() != sc.scene.protocol.num_devices)
+            throw WireError("fleet trace: measurement device count != session's");
+          const pipeline::RoundOutput& po = pipe.run_round(meas, solve_rng, ev.dt_s);
+          m.note_round(po);
+          recomputed.round = ev.round;
+          recomputed.localized = po.localized;
+          recomputed.normalized_stress =
+              po.localized ? po.localization.normalized_stress : 0.0;
+          recomputed.error_2d = po.error_2d;
+          recomputed.tracked_error_2d = po.tracked_error_2d;
+          have_round = true;
+          break;
+        }
+        case FrameKind::kRoundResult: {
+          std::size_t pos = 0;
+          decode_round_record(ev.payload, pos, recorded);
+          if (!have_round || !bit_equal(recorded, recomputed)) ++out.result_mismatches;
+          have_round = false;
+          break;
+        }
+      }
+    }
+  }
+
+  out.fleet = finalize_fleet_result(std::move(metrics));
+  out.fleet.shards_used = 1;
+  return out;
+}
+
+}  // namespace uwp::fleet

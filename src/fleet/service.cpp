@@ -1,0 +1,84 @@
+#include "fleet/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "fleet/recorder.hpp"
+#include "util/thread_pool.hpp"
+
+namespace uwp::fleet {
+
+FleetService::FleetService(FleetOptions opts, std::vector<sim::GroupScenario> workload)
+    : opts_(opts), workload_(std::move(workload)) {
+  for (std::size_t i = 0; i < workload_.size(); ++i) {
+    if (workload_[i].session_id != i)
+      throw std::invalid_argument("FleetService: workload session_id != index");
+    // A zero-lifetime session would either run one round anyway (eviction is
+    // checked after the event) or never be admitted, depending on unrelated
+    // sessions' timelines — reject it instead of picking either behavior.
+    if (workload_[i].lifetime_rounds == 0)
+      throw std::invalid_argument("FleetService: lifetime_rounds must be >= 1");
+  }
+}
+
+std::size_t FleetService::ticks() const {
+  std::size_t t = 0;
+  for (const sim::GroupScenario& sc : workload_)
+    t = std::max(t, sc.admit_tick + sc.lifetime_rounds);
+  return t;
+}
+
+FleetResult FleetService::run(SessionRecorder* recorder) const {
+  const std::size_t n_sessions = workload_.size();
+  const std::size_t shards = ThreadPool::resolve_thread_count(opts_.shards);
+  const std::size_t total_ticks = ticks();
+
+  std::vector<SessionMetrics> metrics(n_sessions);
+  std::vector<std::vector<double>> shard_latencies(shards);
+  std::vector<ShardArena> arenas(shards);
+
+  // One shard: the sessions with id % shards == shard, run through the full
+  // tick timeline in id order. Sessions are independent and the recorder's
+  // per-session buffers are disjoint, so shards share nothing mutable.
+  const auto shard_body = [&](std::size_t shard) {
+    std::vector<Session> sessions;
+    std::vector<std::size_t> ids;
+    for (std::size_t id = shard; id < n_sessions; id += shards) ids.push_back(id);
+    sessions.reserve(ids.size());
+    for (const std::size_t id : ids)
+      sessions.emplace_back(workload_[id], opts_.master_seed);
+
+    std::vector<double>* lat = opts_.measure_latency ? &shard_latencies[shard] : nullptr;
+    for (std::size_t tick = 0; tick < total_ticks; ++tick)
+      for (Session& s : sessions) s.tick(tick, arenas[shard], recorder, lat);
+
+    for (std::size_t k = 0; k < ids.size(); ++k)
+      metrics[ids[k]] = sessions[k].take_metrics();
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (shards <= 1 || n_sessions <= 1) {
+    shard_body(0);
+  } else {
+    ThreadPool pool(shards);
+    pool.parallel_for(shards, shard_body);
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  arena_stats_ = {};
+  for (const ShardArena& a : arenas) {
+    arena_stats_.leases += a.leases();
+    arena_stats_.reuses += a.reuses();
+  }
+
+  FleetResult out = finalize_fleet_result(std::move(metrics));
+  out.wall_seconds = wall;
+  out.shards_used = shards;
+  for (const std::vector<double>& lat : shard_latencies)
+    out.round_latency_s.insert(out.round_latency_s.end(), lat.begin(), lat.end());
+  return out;
+}
+
+}  // namespace uwp::fleet

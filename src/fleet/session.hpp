@@ -1,0 +1,170 @@
+// One serving session: the full lifecycle (admit -> rounds -> coast ->
+// evict) of a single positioning group inside the fleet, backed by a warm
+// pipeline::RoundPipeline leased from its shard's arena and one of the
+// pipeline front-ends (the calibrated fast closed form for most groups, a
+// full packet-level des::DesSessionSource for the DES slice).
+//
+// Determinism contract (the fleet analog of sim::SweepRunner's): a session
+// consumes exactly two private rng streams derived from
+// (master_seed, session_id) —
+//   * the measurement stream (motion-independent sensor/arrival/vote noise
+//     and dropout draws), and
+//   * the solver stream (localizer restarts),
+// so its results never depend on which shard ran it, on the shard count, or
+// on what its arena-shared pipeline computed for a previous tenant. The
+// split is what makes record/replay exact: a replayed session skips the
+// measurement stream entirely (measurements come from the trace as bytes)
+// and re-derives only the solver stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "des/mobility.hpp"
+#include "fleet/wire.hpp"
+#include "pipeline/closed_form.hpp"
+#include "pipeline/round_pipeline.hpp"
+#include "sim/fleet_workload.hpp"
+#include "util/stats.hpp"
+
+namespace uwp::fleet {
+
+class SessionRecorder;  // recorder.hpp
+
+// --- deterministic stream derivation ---------------------------------------
+
+inline constexpr std::uint64_t kMeasurementStream = 0x6d656173u;  // "meas"
+inline constexpr std::uint64_t kSolverStream = 0x736f6c76u;       // "solv"
+
+// Seed of one session stream: splitmix64 over (master_seed xor stream tag,
+// session_id), the same finalizer SweepRunner uses for trial streams.
+std::uint64_t session_stream_seed(std::uint64_t master_seed, std::uint64_t session_id,
+                                  std::uint64_t stream);
+
+// --- metrics ----------------------------------------------------------------
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+// FNV-1a over the 8 bytes of `v`, little-endian. The fleet's bit-identity
+// checks hash every round output through this.
+void fnv_mix(std::uint64_t& h, std::uint64_t v);
+void fnv_mix(std::uint64_t& h, double v);
+
+// Per-session outcome record. `digest` folds every event (round or coast)
+// in order — localized flags, error vectors, stress — so two runs agree on
+// a session iff their digests (and sample vectors) agree bit for bit.
+struct SessionMetrics {
+  std::uint64_t session_id = 0;
+  sim::GroupScenarioKind kind = sim::GroupScenarioKind::kStatic;
+  std::size_t rounds = 0;
+  std::size_t localized = 0;
+  std::size_t coasts = 0;
+  // Finite per-device horizontal errors in round order.
+  std::vector<double> errors;
+  double error_sum = 0.0;
+  std::uint64_t digest = kFnvOffsetBasis;
+
+  void note_coast();
+  void note_round(const pipeline::RoundOutput& out);
+  double mean_error() const {
+    return errors.empty() ? 0.0 : error_sum / static_cast<double>(errors.size());
+  }
+  bool bit_equal(const SessionMetrics& o) const;
+};
+
+// Fleet-level aggregate, sessions in id order (so it is bit-identical for
+// any shard count by construction). Latency/wall fields are filled by the
+// service and are the only run-dependent parts.
+struct FleetResult {
+  std::vector<SessionMetrics> sessions;
+  std::size_t rounds = 0;
+  std::size_t localized = 0;
+  std::size_t coasts = 0;
+  std::vector<double> errors;  // flattened in session order
+  Summary summary;
+  std::uint64_t fleet_digest = kFnvOffsetBasis;  // FNV over session digests
+  // Wall-clock measurements (not part of any determinism contract).
+  std::vector<double> round_latency_s;
+  double wall_seconds = 0.0;
+  std::size_t shards_used = 0;
+};
+
+// Fold per-session metrics into the aggregate (deterministic part only).
+FleetResult finalize_fleet_result(std::vector<SessionMetrics> sessions);
+
+// --- arena ------------------------------------------------------------------
+
+// One leased runtime slot: a pipeline plus the measurement buffer it churns.
+struct SessionRuntime {
+  pipeline::RoundPipeline pipe;
+  pipeline::RoundMeasurement meas;
+
+  explicit SessionRuntime(const pipeline::PipelineOptions& opts) : pipe(opts) {}
+};
+
+// Per-shard free list of SessionRuntimes keyed by group size: an evicted
+// session's pipeline is rebound to the next admitted group of the same size
+// instead of reallocated, so steady-state churn performs near-zero heap
+// allocation inside the solver stack. Single-threaded by construction (one
+// arena per shard, shards never share sessions).
+class ShardArena {
+ public:
+  std::unique_ptr<SessionRuntime> lease(const pipeline::PipelineOptions& opts);
+  void release(std::unique_ptr<SessionRuntime> rt);
+
+  std::size_t leases() const { return leases_; }
+  std::size_t reuses() const { return reuses_; }
+
+ private:
+  // Group sizes are tiny integers; a flat per-size free list beats a map.
+  std::vector<std::vector<std::unique_ptr<SessionRuntime>>> free_by_size_;
+  std::size_t leases_ = 0;
+  std::size_t reuses_ = 0;
+};
+
+// The pipeline configuration a scenario's sessions run with (shared by the
+// live service and the trace replayer, which must agree exactly).
+pipeline::PipelineOptions pipeline_options_for(const sim::GroupScenario& sc);
+
+// --- session ----------------------------------------------------------------
+
+enum class SessionState : std::uint8_t { kPending, kActive, kEvicted };
+
+class Session {
+ public:
+  Session(const sim::GroupScenario& scenario, std::uint64_t master_seed);
+
+  SessionState state() const { return state_; }
+  const SessionMetrics& metrics() const { return metrics_; }
+  SessionMetrics take_metrics() { return std::move(metrics_); }
+
+  // Advance one scheduler tick: admit at the scenario's admit tick (leasing
+  // a runtime from `arena`), then run one round — or coast through a jammed
+  // one — per tick until the scheduled lifetime is exhausted, then evict
+  // (returning the runtime to `arena`). `latencies`, when set, receives the
+  // wall-clock of each run_round call; `recorder`, when set, captures the
+  // session's trace.
+  void tick(std::size_t tick, ShardArena& arena, SessionRecorder* recorder,
+            std::vector<double>* latencies);
+
+ private:
+  void admit(ShardArena& arena, SessionRecorder* recorder);
+  void run_event(ShardArena& arena, SessionRecorder* recorder,
+                 std::vector<double>* latencies);
+
+  const sim::GroupScenario* sc_;
+  SessionState state_ = SessionState::kPending;
+  std::size_t events_done_ = 0;
+  uwp::Rng meas_rng_;
+  uwp::Rng solve_rng_;
+  std::unique_ptr<SessionRuntime> rt_;
+  std::unique_ptr<pipeline::MeasurementModel> model_;
+  pipeline::ClosedFormModel* closed_form_ = nullptr;  // owned via model_
+  std::shared_ptr<const des::MobilityModel> mobility_;  // closed-form motion
+  SessionMetrics metrics_;
+  RoundRecord record_scratch_;
+};
+
+}  // namespace uwp::fleet

@@ -15,7 +15,7 @@ proto::ProtocolConfig solver_config(const PipelineOptions& opts) {
   return cfg;
 }
 
-proto::PayloadCodecConfig codec_config(const PipelineOptions& opts) {
+proto::PayloadCodecConfig make_codec_config(const PipelineOptions& opts) {
   proto::PayloadCodecConfig cfg;
   cfg.protocol = opts.protocol;
   return cfg;
@@ -25,7 +25,7 @@ proto::PayloadCodecConfig codec_config(const PipelineOptions& opts) {
 RoundPipeline::RoundPipeline(PipelineOptions opts)
     : opts_(opts),
       solver_(solver_config(opts)),
-      codec_(codec_config(opts)),
+      codec_(make_codec_config(opts)),
       localizer_(opts.localizer),
       tracker_(opts.protocol.num_devices, opts.tracker) {
   if (opts_.protocol.num_devices < 2)
@@ -34,6 +34,16 @@ RoundPipeline::RoundPipeline(PipelineOptions opts)
 
 void RoundPipeline::reset() {
   tracker_ = core::GroupTracker(opts_.protocol.num_devices, opts_.tracker);
+}
+
+void RoundPipeline::rebind(const PipelineOptions& opts) {
+  if (opts.protocol.num_devices < 2)
+    throw std::invalid_argument("RoundPipeline: need >= 2 devices");
+  opts_ = opts;
+  solver_ = proto::RangingSolver(solver_config(opts));
+  codec_ = make_codec_config(opts);
+  localizer_ = core::Localizer(opts.localizer);
+  tracker_ = core::GroupTracker(opts.protocol.num_devices, opts.tracker);
 }
 
 void RoundPipeline::coast(double dt_s) {

@@ -64,6 +64,20 @@ class RoundPipeline {
   // Forget cross-round state (the tracker); solver workspaces stay warm.
   void reset();
 
+  // Rebind this pipeline to a new session's options, keeping the solver
+  // workspaces' storage warm. This is the arena-reuse entry point for the
+  // fleet layer: when one positioning group is evicted, its pipeline slot is
+  // rebound to the next admitted group (usually of the same size, so the
+  // warmed workspace capacity carries over) instead of being reallocated.
+  // Equivalent to *this = RoundPipeline(opts) except for retained capacity;
+  // throws std::invalid_argument like the constructor.
+  void rebind(const PipelineOptions& opts);
+
+  // The §2.4 payload quantization table this pipeline applies, exposed so
+  // codecs (fleet wire codec, trace tooling) stay in sync with the round
+  // chain's on-the-wire resolution.
+  const proto::PayloadCodecConfig& codec_config() const { return codec_; }
+
   // Process one measurement. `dt_s` is the time since the previous round
   // (tracker prediction horizon; ignored when tracking is off). Payload
   // quantization mutates m.protocol in place — afterwards it holds exactly

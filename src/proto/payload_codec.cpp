@@ -8,8 +8,6 @@
 
 namespace uwp::proto {
 
-namespace {
-
 void push_bits(std::vector<std::uint8_t>& out, unsigned value, unsigned bits) {
   for (unsigned b = bits; b-- > 0;)
     out.push_back(static_cast<std::uint8_t>((value >> b) & 1u));
@@ -23,8 +21,6 @@ unsigned pop_bits(const std::vector<std::uint8_t>& in, std::size_t& pos, unsigne
   }
   return v;
 }
-
-}  // namespace
 
 PayloadCodec::PayloadCodec(PayloadCodecConfig cfg) : cfg_(cfg) {
   if (cfg_.protocol.num_devices < 2)

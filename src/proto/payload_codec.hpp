@@ -13,6 +13,12 @@
 
 namespace uwp::proto {
 
+// Bitstream primitives shared by the payload codec and the fleet wire codec
+// (src/fleet/wire.*): MSB-first fields over a vector holding one bit per
+// byte. pop_bits throws std::invalid_argument on a truncated stream.
+void push_bits(std::vector<std::uint8_t>& out, unsigned value, unsigned bits);
+unsigned pop_bits(const std::vector<std::uint8_t>& in, std::size_t& pos, unsigned bits);
+
 struct DeviceReport {
   double depth_m = 0.0;
   // slot_delta[j]: arrival time of device j's message minus j's slot start,

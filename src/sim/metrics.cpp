@@ -56,7 +56,12 @@ bool BenchJsonReporter::requested(int argc, char** argv) {
 
 void BenchJsonReporter::add(const std::string& name, double real_seconds,
                             std::size_t iterations) {
-  entries_.push_back({name, real_seconds, iterations});
+  entries_.push_back({name, real_seconds, iterations, 0.0});
+}
+
+void BenchJsonReporter::add_with_rate(const std::string& name, double real_seconds,
+                                      std::size_t iterations, double items_per_second) {
+  entries_.push_back({name, real_seconds, iterations, items_per_second});
 }
 
 void BenchJsonReporter::write() const {
@@ -78,10 +83,24 @@ void BenchJsonReporter::write() const {
     std::printf("      \"iterations\": %zu,\n", e.iterations);
     std::printf("      \"real_time\": %.6e,\n", per_iter_s * 1e3);
     std::printf("      \"cpu_time\": %.6e,\n", per_iter_s * 1e3);
+    if (e.items_per_second > 0.0)
+      std::printf("      \"items_per_second\": %.6e,\n", e.items_per_second);
     std::printf("      \"time_unit\": \"ms\"\n");
     std::printf("    }%s\n", i + 1 < entries_.size() ? "," : "");
   }
   std::printf("  ]\n}\n");
+}
+
+RateLatency rate_latency(std::size_t rounds, double wall_seconds,
+                         std::span<const double> latencies_s) {
+  RateLatency out;
+  if (wall_seconds > 0.0)
+    out.rounds_per_sec = static_cast<double>(rounds) / wall_seconds;
+  if (!latencies_s.empty()) {
+    out.p50_s = percentile(latencies_s, 50.0);
+    out.p99_s = percentile(latencies_s, 99.0);
+  }
+  return out;
 }
 
 }  // namespace uwp::sim

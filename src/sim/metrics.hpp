@@ -42,6 +42,10 @@ class BenchJsonReporter {
   static bool requested(int argc, char** argv);
 
   void add(const std::string& name, double real_seconds, std::size_t iterations = 1);
+  // Like add, but also emits google-benchmark's "items_per_second" counter —
+  // how bench_fleet reports aggregate rounds/sec next to latency entries.
+  void add_with_rate(const std::string& name, double real_seconds,
+                     std::size_t iterations, double items_per_second);
   // Emit the JSON document to stdout.
   void write() const;
 
@@ -50,8 +54,22 @@ class BenchJsonReporter {
     std::string name;
     double seconds = 0.0;
     std::size_t iterations = 1;
+    double items_per_second = 0.0;  // emitted when > 0
   };
   std::vector<Entry> entries_;
 };
+
+// Throughput/latency aggregate of a many-session serving run: rounds/sec
+// over the wall clock plus p50/p99 of the per-round service latencies.
+// Latencies may be empty (percentiles report 0); wall_seconds <= 0 reports
+// 0 rounds/sec.
+struct RateLatency {
+  double rounds_per_sec = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+};
+
+RateLatency rate_latency(std::size_t rounds, double wall_seconds,
+                         std::span<const double> latencies_s);
 
 }  // namespace uwp::sim

@@ -54,6 +54,24 @@ using TrialFn = std::function<std::vector<double>(std::size_t trial, Rng& rng)>;
 // workspaces warm across trials — trial results must not depend on the
 // context's prior state, or bit-reproducibility across thread counts is
 // lost.
+//
+// Example — one warm RoundPipeline per lane, reset between trials:
+//
+//   sim::SweepRunner runner(opts);
+//   const sim::SweepResult res = runner.run(
+//       [&] { return std::make_shared<pipeline::RoundPipeline>(popts); },
+//       [&](std::size_t trial, uwp::Rng& rng, void* ctx) {
+//         auto& pipe = *static_cast<pipeline::RoundPipeline*>(ctx);
+//         pipe.reset();  // forget cross-round state; workspaces stay warm
+//         std::vector<double> samples;
+//         pipe.run_batch(model_for(trial), rounds, rng, samples);
+//         return samples;
+//       });
+//
+// Contexts live for one run() call. To stay warm across *several* sweeps,
+// hand out contexts from a caller-owned pool and return them from the
+// shared_ptr deleter — the next sweep's factory then reuses them instead of
+// allocating fresh ones (tests/sim/sweep_test.cpp shows the pattern).
 using ContextFactory = std::function<std::shared_ptr<void>()>;
 using ContextTrialFn =
     std::function<std::vector<double>(std::size_t trial, Rng& rng, void* ctx)>;

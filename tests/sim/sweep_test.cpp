@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -133,6 +135,67 @@ TEST(SweepRunner, NanSentinelsStayInPerTrialButNotInSamples) {
   for (const double x : r.samples) EXPECT_FALSE(std::isnan(x));
   EXPECT_EQ(r.summary.count, 15u);
   EXPECT_DOUBLE_EQ(r.summary.max, 9.0);
+}
+
+// The documented pattern for keeping per-worker contexts warm across
+// *several* sweeps: the factory leases contexts from a caller-owned pool and
+// the shared_ptr deleter returns them, so sweep 2 reuses sweep 1's contexts
+// instead of building fresh ones — without giving up bit-reproducibility.
+TEST(SweepRunner, WarmContextReuseAcrossSweeps) {
+  struct Ctx {
+    std::size_t trials_run = 0;  // stands in for warm solver workspaces
+  };
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ctx>> pool;
+  std::size_t created = 0;
+  const auto factory = [&]() -> std::shared_ptr<void> {
+    std::unique_ptr<Ctx> ctx;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (!pool.empty()) {
+        ctx = std::move(pool.back());
+        pool.pop_back();
+      } else {
+        ++created;
+        ctx = std::make_unique<Ctx>();
+      }
+    }
+    return {ctx.release(), [&](void* p) {
+              const std::lock_guard<std::mutex> lock(mu);
+              pool.emplace_back(static_cast<Ctx*>(p));
+            }};
+  };
+  const auto trial = [](std::size_t t, uwp::Rng& rng, void* ctx) {
+    ++static_cast<Ctx*>(ctx)->trials_run;
+    return noisy_trial(t, rng);
+  };
+
+  SweepOptions so;
+  so.trials = 24;
+  so.master_seed = 52;
+  so.threads = 2;
+  const SweepResult first = SweepRunner(so).run(factory, trial);
+  ASSERT_LE(created, 2u);  // at most one context per lane
+  const std::size_t after_first = created;
+  EXPECT_EQ(pool.size(), created);  // every context came back to the pool
+
+  const SweepResult second = SweepRunner(so).run(factory, trial);
+  // The second sweep ran entirely on the first sweep's warm contexts...
+  EXPECT_EQ(created, after_first);
+  std::size_t trials_run = 0;
+  for (const auto& ctx : pool) trials_run += ctx->trials_run;
+  EXPECT_EQ(trials_run, 2 * so.trials);
+
+  // ...and context reuse never leaks into the results: both sweeps match the
+  // context-free serial reference bit for bit.
+  so.threads = 1;
+  const SweepResult reference = SweepRunner(so).run(noisy_trial);
+  ASSERT_EQ(first.samples.size(), reference.samples.size());
+  ASSERT_EQ(second.samples.size(), reference.samples.size());
+  for (std::size_t i = 0; i < reference.samples.size(); ++i) {
+    EXPECT_EQ(first.samples[i], reference.samples[i]) << "sample " << i;
+    EXPECT_EQ(second.samples[i], reference.samples[i]) << "sample " << i;
+  }
 }
 
 TEST(SweepRunner, ZeroTrialsYieldsEmptyResult) {
