@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_flags.hpp"
 #include "des/scenario.hpp"
 #include "sim/metrics.hpp"
 #include "sim/sweep.hpp"
@@ -73,12 +74,13 @@ uwp::des::DesScenario make_scenario(std::size_t n, std::size_t rounds,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
-  const char* trace_path = uwp::sim::trace_out_from_args(argc, argv);
+  const uwp::bench::BenchFlags flags = uwp::bench::parse_flags(argc, argv);
+  const std::size_t threads = flags.threads;
+  const char* trace_path = flags.trace_out;
   const std::size_t n = 24;
   const std::size_t rounds = 12;
 
-  if (uwp::sim::BenchJsonReporter::requested(argc, argv)) {
+  if (flags.json) {
     // The perf workload tracked in BENCH_pipeline.json: the 24-node,
     // 12-round reference round loop (outlier search across all cores).
     const uwp::des::DesScenario timed = make_scenario(n, rounds, 0);

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_flags.hpp"
 #include "core/localizer.hpp"
 #include "sim/deployment.hpp"
 #include "sim/sweep.hpp"
@@ -103,7 +104,7 @@ double mean_2d_error(const Params& p, std::uint64_t master_seed, std::size_t thr
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
+  const std::size_t threads = uwp::bench::parse_flags(argc, argv).threads;
   uwp::sim::SweepTally tally;
   // Distinct fixed master seed per configuration: results do not depend on
   // thread count or on the order the series are printed.

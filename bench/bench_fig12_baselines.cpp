@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_flags.hpp"
 #include "channel/propagation.hpp"
 #include "phy/baseline/chirp_ranger.hpp"
 #include "phy/baseline/fmcw_ranger.hpp"
@@ -36,7 +37,7 @@ uwp::sim::SweepResult sweep(std::size_t trials, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
+  const std::size_t threads = uwp::bench::parse_flags(argc, argv).threads;
   uwp::sim::SweepTally tally;
 
   const uwp::channel::Environment env = uwp::channel::make_boathouse();

@@ -11,6 +11,7 @@
 #include <limits>
 #include <vector>
 
+#include "bench_flags.hpp"
 #include "channel/propagation.hpp"
 #include "phy/ranging.hpp"
 #include "sim/metrics.hpp"
@@ -31,7 +32,7 @@ double trajectory(double t_s, double speed_mps) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
+  const std::size_t threads = uwp::bench::parse_flags(argc, argv).threads;
   const uwp::channel::Environment env = uwp::channel::make_dock();
   const uwp::phy::PreambleConfig pc;
   const uwp::phy::OfdmPreamble preamble(pc);

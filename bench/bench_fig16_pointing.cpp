@@ -9,12 +9,13 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_flags.hpp"
 #include "sensors/pointing_model.hpp"
 #include "sim/sweep.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
-  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
+  const std::size_t threads = uwp::bench::parse_flags(argc, argv).threads;
   // Two users with slightly different pointing skill (the paper's two
   // volunteers show different per-distance means).
   uwp::sensors::PointingModel user1;

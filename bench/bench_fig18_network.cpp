@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_flags.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
@@ -70,7 +71,7 @@ void run_site(const char* name, uwp::sim::Deployment deployment,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
+  const std::size_t threads = uwp::bench::parse_flags(argc, argv).threads;
   uwp::sim::SweepTally tally;
   uwp::Rng rng(18);  // deployments only; round streams come from the sweep
   const int rounds = 20;  // paper: ~240 measurements per site

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_flags.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
@@ -44,7 +45,7 @@ std::vector<double> worst_decile(std::vector<double> v) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
+  const std::size_t threads = uwp::bench::parse_flags(argc, argv).threads;
   uwp::Rng rng(19);  // deployment construction only
   const int rounds = 14;
 

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_flags.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
@@ -132,9 +133,10 @@ uwp::sim::SweepResult run_fast_sweep(std::size_t trials, std::size_t threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
+  const uwp::bench::BenchFlags flags = uwp::bench::parse_flags(argc, argv);
+  const std::size_t threads = flags.threads;
 
-  if (uwp::sim::BenchJsonReporter::requested(argc, argv)) {
+  if (flags.json) {
     uwp::sim::BenchJsonReporter report;
     const std::size_t trials = 400;
     const uwp::sim::SweepResult serial = run_fast_sweep(trials, 1);

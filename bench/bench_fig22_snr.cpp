@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_flags.hpp"
 #include "channel/propagation.hpp"
 #include "dsp/fft.hpp"
 #include "phy/channel_estimator.hpp"
@@ -19,7 +20,7 @@
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
-  const std::size_t threads = uwp::sim::threads_from_args(argc, argv);
+  const std::size_t threads = uwp::bench::parse_flags(argc, argv).threads;
 
   const uwp::channel::Environment env = uwp::channel::make_boathouse();
   uwp::phy::PreambleConfig pc;

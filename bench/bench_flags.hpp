@@ -1,0 +1,49 @@
+// The flag dialect every bench binary speaks, parsed once instead of
+// re-implemented per main():
+//   --threads=N             worker/shard count (0 = all hardware threads;
+//                           the UWP_THREADS env var is the fallback)
+//   --benchmark_format=json google-benchmark-style JSON on stdout
+//                           (sim::BenchJsonReporter)
+//   --trace-out=FILE        CSV packet trace of a serial reference run
+//                           (DES benches)
+//   --sessions=N            concurrent session count (fleet bench)
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/metrics.hpp"
+#include "sim/sweep.hpp"
+
+namespace uwp::bench {
+
+struct BenchFlags {
+  std::size_t threads = 0;
+  bool json = false;
+  const char* trace_out = nullptr;
+  std::size_t sessions = 0;
+};
+
+inline BenchFlags parse_flags(int argc, char** argv, std::size_t default_sessions = 0) {
+  BenchFlags flags;
+  flags.threads = sim::threads_from_args(argc, argv);
+  flags.json = sim::BenchJsonReporter::requested(argc, argv);
+  flags.trace_out = sim::trace_out_from_args(argc, argv);
+  flags.sessions = default_sessions;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--sessions=", 11) != 0) continue;
+    const char* s = argv[i] + 11;
+    if (*s == '\0') break;
+    bool digits = true;
+    for (const char* p = s; *p != '\0'; ++p)
+      if (*p < '0' || *p > '9') digits = false;
+    if (!digits) break;
+    const unsigned long long v = std::strtoull(s, nullptr, 10);
+    if (v > 0)
+      flags.sessions = static_cast<std::size_t>(v > 1000000 ? 1000000 : v);
+    break;
+  }
+  return flags;
+}
+
+}  // namespace uwp::bench

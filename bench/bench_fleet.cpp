@@ -12,31 +12,16 @@
 //                    CI): one entry with items_per_second = rounds/sec and
 //                    one entry each for the p50/p99 round latency
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <map>
 #include <vector>
 
+#include "bench_flags.hpp"
 #include "fleet/service.hpp"
 #include "sim/fleet_workload.hpp"
 #include "sim/metrics.hpp"
-#include "sim/sweep.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
-
-std::size_t sessions_from_args(int argc, char** argv, std::size_t fallback) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--sessions=", 11) != 0) continue;
-    const char* s = argv[i] + 11;
-    if (*s == '\0') return fallback;
-    for (const char* p = s; *p != '\0'; ++p)
-      if (*p < '0' || *p > '9') return fallback;
-    const unsigned long long v = std::strtoull(s, nullptr, 10);
-    return v == 0 ? fallback : static_cast<std::size_t>(v > 1000000 ? 1000000 : v);
-  }
-  return fallback;
-}
 
 uwp::fleet::FleetResult run_fleet(const std::vector<uwp::sim::GroupScenario>& workload,
                                   std::size_t shards) {
@@ -50,8 +35,9 @@ uwp::fleet::FleetResult run_fleet(const std::vector<uwp::sim::GroupScenario>& wo
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t sessions = sessions_from_args(argc, argv, 512);
-  const std::size_t shards = uwp::sim::threads_from_args(argc, argv);
+  const uwp::bench::BenchFlags flags = uwp::bench::parse_flags(argc, argv, 512);
+  const std::size_t sessions = flags.sessions;
+  const std::size_t shards = flags.threads;
 
   uwp::sim::WorkloadParams params;
   params.sessions = sessions;
@@ -62,7 +48,7 @@ int main(int argc, char** argv) {
   params.admit_spread_ticks = 16;
   const std::vector<uwp::sim::GroupScenario> workload = uwp::sim::make_workload(params);
 
-  if (uwp::sim::BenchJsonReporter::requested(argc, argv)) {
+  if (flags.json) {
     const uwp::fleet::FleetResult r = run_fleet(workload, shards);
     const uwp::sim::RateLatency rl =
         uwp::sim::rate_latency(r.rounds, r.wall_seconds, r.round_latency_s);

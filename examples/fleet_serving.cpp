@@ -1,42 +1,52 @@
 // Serving many positioning groups at once: a narrated tour of the fleet
-// layer. Builds a small mixed workload, runs it through the sharded
-// fleet::FleetService while fleet::SessionRecorder captures every session's
-// measurement bytes, then replays the trace through the real service stack
-// and verifies the replay reproduced every per-session metric bit for bit —
-// the regression-testing loop a deployed fleet would run against captured
-// field traffic.
+// layer, driven end to end by a declarative ScenarioSpec. The spec file
+// describes the whole workload mix and service configuration; this program
+// builds the service from it, runs it while fleet::SessionRecorder captures
+// every session's measurement bytes, then replays the trace through the
+// real service stack and verifies the replay reproduced every per-session
+// metric bit for bit — the regression-testing loop a deployed fleet would
+// run against captured field traffic.
+//
+//   ./examples/example_fleet_serving [spec.json]   (default: fleet_serving.json)
 #include <cstdio>
 #include <map>
 
+#include "config/factory.hpp"
+#include "config/spec.hpp"
 #include "fleet/recorder.hpp"
 #include "fleet/service.hpp"
-#include "sim/fleet_workload.hpp"
 #include "sim/metrics.hpp"
 
-int main() {
-  // 1. A mixed workload: 48 groups of 4-8 devices with staggered admission.
-  uwp::sim::WorkloadParams params;
-  params.sessions = 48;
-  params.seed = 0x5EA5u;
-  // Stagger admissions past the first evictions so the shard arenas get to
-  // rebind warm pipelines instead of allocating fresh ones.
-  params.admit_spread_ticks = 10;
-  const auto workload = uwp::sim::make_workload(params);
+#ifndef UWP_SPEC_DIR
+#define UWP_SPEC_DIR "examples/specs"
+#endif
+
+int main(int argc, char** argv) {
+  const char* spec_path = argc > 1 ? argv[1] : UWP_SPEC_DIR "/fleet_serving.json";
+
+  uwp::config::ScenarioSpec spec;
+  try {
+    spec = uwp::config::load_spec(spec_path);
+  } catch (const uwp::config::SpecError& e) {
+    std::fprintf(stderr, "fleet_serving: %s\n", e.what());
+    return 2;
+  }
+
+  // 1. The mixed workload the spec describes (admissions staggered past the
+  //    first evictions so the shard arenas get to rebind warm pipelines).
+  const uwp::fleet::FleetService service = uwp::config::make_fleet_service(spec);
+  const auto& workload = service.workload();
 
   std::map<uwp::sim::GroupScenarioKind, std::size_t> kinds;
   for (const auto& sc : workload) ++kinds[sc.kind];
-  std::printf("workload: %zu sessions —", workload.size());
+  std::printf("[%s] workload: %zu sessions —", spec_path, workload.size());
   for (const auto& [kind, count] : kinds)
     std::printf(" %s=%zu", uwp::sim::to_string(kind), count);
   std::printf("\n");
 
   // 2. Serve the fleet, recording every session as it runs.
-  uwp::fleet::FleetOptions fo;
-  fo.master_seed = 0xD1CE;
-  fo.shards = 0;  // one shard per hardware thread
-  fo.measure_latency = true;
-  uwp::fleet::FleetService service(fo, workload);
-  uwp::fleet::SessionRecorder recorder(fo.master_seed, params);
+  uwp::fleet::SessionRecorder recorder(spec.fleet.options.master_seed,
+                                       spec.fleet.workload, workload);
   const uwp::fleet::FleetResult live = service.run(&recorder);
 
   const uwp::sim::RateLatency rl =
@@ -50,10 +60,13 @@ int main() {
   uwp::sim::print_summary_row("per-device error", live.errors);
 
   // 3. Save the trace, reload it, replay it through the real decode ->
-  //    pipeline path, and compare bit for bit.
+  //    pipeline path, and compare bit for bit. The trace header pins the
+  //    workload digest, so a skewed workload generator is rejected instead
+  //    of silently replaying different sessions.
   const char* path = "fleet_serving.trace";
   recorder.save(path);
   const uwp::fleet::FleetTrace trace = uwp::fleet::load_fleet_trace(path);
+  std::remove(path);  // the loaded copy is all the replay needs
   std::size_t bytes = 0;
   for (const auto& s : trace.sessions)
     for (const auto& ev : s.events) bytes += ev.payload.size() + 16;

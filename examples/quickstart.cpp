@@ -1,50 +1,60 @@
-// Quickstart: localize a 5-device dive group with zero infrastructure,
-// through the round pipeline.
+// Quickstart: localize a 5-device dive group with zero infrastructure —
+// and zero hand-wired configuration: the whole scenario (deployment,
+// channel, sensors, solver) comes from a declarative ScenarioSpec file.
 //
 // A leader (device 0) and four divers hang in a simulated lake. A
-// measurement front-end (here the waveform-level PHY model) produces one
-// protocol round — leader query, TDM responses, timestamp uplink — and the
-// shared pipeline::RoundPipeline turns it into 3D positions: payload
-// quantization -> ranging solve -> weighted-SMACOF localization -> error
-// metrics against ground truth.
+// measurement front-end (the waveform-level PHY model, per the spec's
+// round.waveform_phy) produces one protocol round — leader query, TDM
+// responses, timestamp uplink — and the shared pipeline::RoundPipeline
+// turns it into 3D positions: payload quantization -> ranging solve ->
+// weighted-SMACOF localization -> error metrics against ground truth.
 //
-//   ./examples/quickstart
+//   ./examples/example_quickstart [spec.json]
+//
+// Defaults to examples/specs/quickstart.json; edit the JSON (move devices,
+// switch the preset, go fast-mode) and rerun — no recompile. The uwp_run
+// tool drives the same spec from the command line.
 #include <cstdio>
 
-#include "pipeline/round_pipeline.hpp"
-#include "sim/scenario.hpp"
+#include "config/factory.hpp"
+#include "config/spec.hpp"
 
-int main() {
-  uwp::Rng rng(2023);
+#ifndef UWP_SPEC_DIR
+#define UWP_SPEC_DIR "examples/specs"
+#endif
 
-  // A ready-made testbed mirroring the paper's dock deployment (Fig 17a).
-  uwp::sim::Deployment deployment = uwp::sim::make_dock_testbed(rng);
-  const uwp::sim::ScenarioRunner runner(std::move(deployment));
+int main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : UWP_SPEC_DIR "/quickstart.json";
 
-  // Front-end: full acoustic simulation on every link. Swap in
-  // pipeline::FastMeasurementModel (calibrated Gaussian) for large sweeps,
-  // or des::DesFrontEnd for packet-level dynamics — the pipeline below is
-  // identical for all of them.
-  uwp::sim::RoundOptions opts;
-  opts.waveform_phy = true;
-  uwp::sim::WaveformMeasurementModel model(runner, opts);
+  uwp::config::ScenarioSpec spec;
+  try {
+    spec = uwp::config::load_spec(path);
+  } catch (const uwp::config::SpecError& e) {
+    std::fprintf(stderr, "quickstart: %s\n", e.what());
+    return 2;
+  }
 
-  uwp::pipeline::PipelineOptions popts;
-  popts.protocol = model.scene().protocol;
-  uwp::pipeline::RoundPipeline pipeline(popts);
+  // Everything below is built *from the spec*: the deployment (dock testbed
+  // by default), the per-round options, and the warm round context holding
+  // the measurement model plus the shared RoundPipeline.
+  const uwp::sim::ScenarioRunner runner = uwp::config::make_scenario_runner(spec);
+  const uwp::sim::RoundOptions opts = uwp::config::make_round_options(spec);
+  uwp::sim::ScenarioRoundContext context(runner, opts);
 
-  std::printf("Running one localization round (%zu devices, %s)...\n\n",
-              runner.deployment().size(), runner.deployment().env.name.c_str());
-  uwp::pipeline::RoundMeasurement measurement;
-  model.measure(measurement, rng);
-  const uwp::pipeline::RoundOutput& round = pipeline.run_round(measurement, rng);
-  if (!round.localized) {
+  std::printf("[%s] %s\n", path, spec.name.c_str());
+  std::printf("Running one localization round (%zu devices, %s, %s PHY)...\n\n",
+              runner.deployment().size(), runner.deployment().env.name.c_str(),
+              opts.waveform_phy ? "waveform" : "fast-Gaussian");
+
+  uwp::Rng rng(spec.sweep.master_seed);
+  const uwp::sim::RoundResult round = context.run(rng);
+  if (!round.ok) {
     std::printf("Localization failed (not enough links measured).\n");
     return 1;
   }
 
   std::printf("Protocol round trip: %.2f s, %zu two-way + %zu one-way links\n",
-              measurement.protocol.round_duration_s, round.ranging.two_way_links,
+              round.protocol.round_duration_s, round.ranging.two_way_links,
               round.ranging.one_way_links);
   std::printf("Topology stress: %.2f m RMS%s\n\n",
               round.localization.normalized_stress,
@@ -55,9 +65,8 @@ int main() {
   for (std::size_t i = 0; i < runner.deployment().size(); ++i) {
     const uwp::Vec3 est = round.localization.positions[i];
     std::printf("%-8zu (%7.2f, %7.2f, %5.2f)      (%7.2f, %7.2f, %5.2f)      %6.2f\n",
-                i, est.x, est.y, est.z, measurement.truth_xy[i].x,
-                measurement.truth_xy[i].y, measurement.truth_depths[i],
-                round.error_2d[i]);
+                i, est.x, est.y, est.z, round.truth_xy[i].x, round.truth_xy[i].y,
+                round.truth_depths[i], round.error_2d[i]);
   }
   std::printf("\nDevice 0 is the dive leader (origin); device 1 is the diver "
               "the leader points at.\n");

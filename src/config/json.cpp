@@ -1,0 +1,530 @@
+#include "config/json.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace uwp::config {
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = v;
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.str_ = std::move(v);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) throw std::logic_error("json: not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (kind_ != Kind::kNumber) throw std::logic_error("json: not a number");
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) throw std::logic_error("json: not a string");
+  return str_;
+}
+
+const std::vector<Json>& Json::items() const {
+  if (kind_ != Kind::kArray) throw std::logic_error("json: not an array");
+  return arr_;
+}
+
+const std::vector<Json::Member>& Json::members() const {
+  if (kind_ != Kind::kObject) throw std::logic_error("json: not an object");
+  return obj_;
+}
+
+void Json::push_back(Json v) {
+  if (kind_ != Kind::kArray) throw std::logic_error("json: push_back on non-array");
+  arr_.push_back(std::move(v));
+}
+
+void Json::set(std::string key, Json value) {
+  if (kind_ != Kind::kObject) throw std::logic_error("json: set on non-object");
+  obj_.emplace_back(std::move(key), std::move(value));
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& m : obj_)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+// --- parser -----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse() {
+    Json v = value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError("json: " + what, line_, pos_ - line_start_ + 1);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char take() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      line_start_ = pos_;
+    }
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return;
+      take();
+    }
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c) fail(std::string("expected '") + c + "'");
+    take();
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    for (std::size_t i = 0; i < word.size(); ++i) take();
+    return true;
+  }
+
+  Json value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    if (eof()) fail("unexpected end of document");
+    const char c = peek();
+    if (c == '{') return object(depth);
+    if (c == '[') return array(depth);
+    if (c == '"') return Json::string(string());
+    if (c == 't') {
+      if (!literal("true")) fail("bad literal");
+      return Json::boolean(true);
+    }
+    if (c == 'f') {
+      if (!literal("false")) fail("bad literal");
+      return Json::boolean(false);
+    }
+    if (c == 'n') {
+      if (!literal("null")) fail("bad literal");
+      return Json();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return number();
+    fail("unexpected character");
+  }
+
+  Json object(int depth) {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      take();
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      Json v = value(depth + 1);
+      if (obj.find(key) != nullptr) fail("duplicate key \"" + key + "\"");
+      obj.set(std::move(key), std::move(v));
+      skip_ws();
+      if (eof()) fail("unterminated object");
+      if (peek() == ',') {
+        take();
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json array(int depth) {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      take();
+      return arr;
+    }
+    while (true) {
+      arr.push_back(value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated array");
+      if (peek() == ',') {
+        take();
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string string() {
+    if (eof() || peek() != '"') fail("expected string");
+    take();
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail("unterminated escape");
+      const char e = take();
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (eof()) fail("unterminated \\u escape");
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the code point (surrogate pairs are not needed for
+          // spec files; a lone surrogate encodes as-is, mirroring input).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') take();
+    auto digits = [&] {
+      bool any = false;
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        take();
+        any = true;
+      }
+      return any;
+    };
+    const std::size_t int_start = pos_;
+    if (!digits()) fail("bad number");
+    if (text_[int_start] == '0' && pos_ - int_start > 1)
+      fail("bad number (leading zero)");
+    if (!eof() && peek() == '.') {
+      take();
+      if (!digits()) fail("bad number (missing fraction digits)");
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      take();
+      if (!eof() && (peek() == '+' || peek() == '-')) take();
+      if (!digits()) fail("bad number (missing exponent digits)");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number");
+    // Overflow (1e999) is malformed input; underflow-to-subnormal is a
+    // legitimate value (the writer emits subnormals) and stays accepted.
+    if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL))
+      fail("number out of range");
+    return Json::number(v);
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
+};
+
+}  // namespace
+
+Json parse_json(std::string_view text) { return Parser(text).parse(); }
+
+// --- writer -----------------------------------------------------------------
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+// Shortest decimal literal that parses back to exactly the same bits.
+std::string format_double(double v) {
+  char buf[64];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    const double back = std::strtod(buf, nullptr);
+    if (std::memcmp(&back, &v, sizeof v) == 0) break;
+  }
+  // JSON numbers need a fraction or exponent marker to stay doubles in other
+  // tooling; bare integers are fine (the parser reads every number as one).
+  return buf;
+}
+
+void write_into(std::string& out, const Json& v, const JsonWriteOptions& opts,
+                int depth) {
+  const bool pretty = opts.indent > 0;
+  const auto newline_indent = [&](int d) {
+    if (!pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(opts.indent * d), ' ');
+  };
+
+  switch (v.kind()) {
+    case Json::Kind::kNull:
+      out += "null";
+      return;
+    case Json::Kind::kBool:
+      out += v.as_bool() ? "true" : "false";
+      return;
+    case Json::Kind::kNumber:
+      out += format_double(v.as_number());
+      return;
+    case Json::Kind::kString:
+      escape_into(out, v.as_string());
+      return;
+    case Json::Kind::kArray: {
+      const std::vector<Json>& items = v.items();
+      if (items.empty()) {
+        out += "[]";
+        return;
+      }
+      // Short scalar arrays (vectors, waypoints) stay on one line.
+      bool scalars_only = true;
+      for (const Json& it : items)
+        if (it.is_array() || it.is_object()) scalars_only = false;
+      out.push_back('[');
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += scalars_only && pretty ? ", " : ",";
+        if (!scalars_only) newline_indent(depth + 1);
+        write_into(out, items[i], opts, depth + 1);
+      }
+      if (!scalars_only) newline_indent(depth);
+      out.push_back(']');
+      return;
+    }
+    case Json::Kind::kObject: {
+      const std::vector<Json::Member>& members = v.members();
+      if (members.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        newline_indent(depth + 1);
+        escape_into(out, members[i].first);
+        out += pretty ? ": " : ":";
+        write_into(out, members[i].second, opts, depth + 1);
+      }
+      newline_indent(depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string write_json(const Json& v, const JsonWriteOptions& opts) {
+  std::string out;
+  write_into(out, v, opts, 0);
+  if (opts.indent > 0) out.push_back('\n');
+  return out;
+}
+
+// --- doubles / u64 as data --------------------------------------------------
+
+Json double_to_json(double v, bool hexfloat) {
+  if (std::isnan(v)) return Json::string("nan");
+  if (std::isinf(v)) return Json::string(v > 0 ? "inf" : "-inf");
+  if (hexfloat) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return Json::string(buf);
+  }
+  return Json::number(v);
+}
+
+bool json_as_double(const Json& v, double& out) {
+  if (v.is_number()) {
+    out = v.as_number();
+    return true;
+  }
+  if (!v.is_string()) return false;
+  const std::string& s = v.as_string();
+  if (s == "nan") {
+    out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (s == "inf") {
+    out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (s == "-inf") {
+    out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double parsed = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  out = parsed;
+  return true;
+}
+
+Json u64_to_json(std::uint64_t v) {
+  if (v < (1ull << 53)) return Json::number(static_cast<double>(v));
+  return Json::string(std::to_string(v));
+}
+
+bool json_as_u64(const Json& v, std::uint64_t& out) {
+  if (v.is_number()) {
+    const double d = v.as_number();
+    // Bare numbers stop strictly below 2^53: every such double is an exact
+    // integer, while from 2^53 up the decimal token may already have been
+    // rounded by the parser (2^53 + 1 parses as 2^53) — a seed changing
+    // behind the user's back. From 2^53 on, the string form u64_to_json
+    // emits is required.
+    if (d < 0.0 || d >= 9007199254740992.0 || d != std::floor(d)) return false;
+    out = static_cast<std::uint64_t>(d);
+    return true;
+  }
+  if (!v.is_string()) return false;
+  const std::string& s = v.as_string();
+  if (s.empty()) return false;
+  for (const char c : s)
+    if (c < '0' || c > '9') return false;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(s.c_str(), nullptr, 10);
+  if (errno == ERANGE) return false;
+  out = parsed;
+  return true;
+}
+
+}  // namespace uwp::config

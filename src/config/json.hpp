@@ -1,0 +1,107 @@
+// Minimal dependency-free JSON: a value tree, a strict recursive-descent
+// parser with line/column errors, and a writer whose double formatting is
+// bit-exact on round trip. The spec codec (config/spec.hpp) is the only
+// intended consumer, which keeps the surface small: objects preserve
+// insertion order, numbers are doubles, and the few non-JSON douple shapes a
+// spec needs (NaN, infinities, hexfloat) ride as strings through the
+// double_to_json/json_as_double pair below.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace uwp::config {
+
+// Parse failure with the 1-based source position of the offending token.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& what, std::size_t line, std::size_t column)
+      : std::runtime_error(what + " at line " + std::to_string(line) + ":" +
+                           std::to_string(column)),
+        line_(line),
+        column_(column) {}
+
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_ = 0;
+  std::size_t column_ = 0;
+};
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, Json>;
+
+  Json() = default;  // null
+  static Json boolean(bool v);
+  static Json number(double v);
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; throw std::logic_error on a kind mismatch (the spec
+  // reader catches shape errors earlier and reports them with a field path).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;
+  const std::vector<Member>& members() const;
+
+  // Builders (valid on arrays / objects only).
+  void push_back(Json v);
+  void set(std::string key, Json value);
+
+  // Object lookup; nullptr when the key is absent or this is not an object.
+  const Json* find(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<Member> obj_;
+};
+
+// Strict JSON (no comments, no trailing commas). Throws JsonError.
+Json parse_json(std::string_view text);
+
+struct JsonWriteOptions {
+  int indent = 2;         // 0 = compact single line
+  bool hexfloat = false;  // see double_to_json
+};
+std::string write_json(const Json& v, const JsonWriteOptions& opts = {});
+
+// --- doubles as data --------------------------------------------------------
+// Every floating-point spec field travels through this pair, which
+// guarantees an exact bit-level round trip:
+//   * finite doubles become the shortest decimal literal that parses back to
+//     the same bits (15..17 significant digits) — or, with hexfloat = true,
+//     a "0x1.8p+2"-style string, which is exact by construction;
+//   * NaN and the infinities (unrepresentable as JSON numbers) become the
+//     strings "nan", "inf", "-inf".
+// json_as_double accepts all of those shapes regardless of how the document
+// was written.
+Json double_to_json(double v, bool hexfloat = false);
+bool json_as_double(const Json& v, double& out);
+
+// Unsigned 64-bit fields (seeds) exceed double precision past 2^53; those
+// ride as decimal strings, everything below as plain numbers.
+Json u64_to_json(std::uint64_t v);
+bool json_as_u64(const Json& v, std::uint64_t& out);
+
+}  // namespace uwp::config

@@ -1,15 +1,23 @@
 #include "fleet/recorder.hpp"
 
 #include <fstream>
-#include <sstream>
+#include <iterator>
 #include <stdexcept>
 
 namespace uwp::fleet {
 
 SessionRecorder::SessionRecorder(std::uint64_t master_seed,
-                                 const sim::WorkloadParams& params) {
+                                 const sim::WorkloadParams& params)
+    : SessionRecorder(master_seed, params, sim::make_workload(params)) {}
+
+SessionRecorder::SessionRecorder(std::uint64_t master_seed,
+                                 const sim::WorkloadParams& params,
+                                 const std::vector<sim::GroupScenario>& workload) {
   trace_.master_seed = master_seed;
   trace_.workload = params;
+  // Pin the workload these parameters generate *today*, so replaying the
+  // trace under a changed generator fails loudly (see Replayer).
+  trace_.workload_digest = workload_digest(workload);
   trace_.sessions.resize(params.sessions);
   for (std::size_t i = 0; i < params.sessions; ++i)
     trace_.sessions[i].session_id = i;
@@ -58,6 +66,7 @@ void write_fleet_trace(std::ostream& out, const FleetTrace& trace) {
   put_u32(buf, kTraceMagic);
   put_u16(buf, kTraceVersion);
   put_u64(buf, trace.master_seed);
+  put_u64(buf, trace.workload_digest);
   const sim::WorkloadParams& p = trace.workload;
   put_u64(buf, p.sessions);
   put_u64(buf, p.seed);
@@ -67,6 +76,7 @@ void write_fleet_trace(std::ostream& out, const FleetTrace& trace) {
   put_u64(buf, p.max_rounds);
   put_u64(buf, p.admit_spread_ticks);
   put_u8(buf, p.include_des ? 1 : 0);
+  put_u8(buf, p.force_kind < 0 ? 0xFF : static_cast<std::uint8_t>(p.force_kind));
   put_u64(buf, trace.sessions.size());
   for (const SessionTrace& s : trace.sessions) {
     put_u64(buf, s.session_id);
@@ -104,13 +114,9 @@ void SessionRecorder::save(const std::string& path) const {
 }
 
 FleetTrace read_fleet_trace(std::istream& in) {
-  std::vector<std::uint8_t> buf;
-  {
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    const std::string& s = ss.str();
-    buf.assign(s.begin(), s.end());
-  }
+  // One copy only: traces from a large fleet run are tens of MB.
+  std::vector<std::uint8_t> buf{std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>()};
   ByteReader r{buf, 0};
 
   FleetTrace trace;
@@ -119,6 +125,7 @@ FleetTrace read_fleet_trace(std::istream& in) {
   if (version != kTraceVersion)
     throw WireError("fleet trace: unsupported version " + std::to_string(version));
   trace.master_seed = r.u64();
+  trace.workload_digest = r.u64();
   sim::WorkloadParams& p = trace.workload;
   p.sessions = static_cast<std::size_t>(r.u64());
   p.seed = r.u64();
@@ -128,6 +135,11 @@ FleetTrace read_fleet_trace(std::istream& in) {
   p.max_rounds = static_cast<std::size_t>(r.u64());
   p.admit_spread_ticks = static_cast<std::size_t>(r.u64());
   p.include_des = r.u8() != 0;
+  const std::uint8_t force_kind = r.u8();
+  if (force_kind != 0xFF &&
+      force_kind > static_cast<std::uint8_t>(sim::GroupScenarioKind::kPacketDes))
+    throw WireError("fleet trace: force_kind out of range");
+  p.force_kind = force_kind == 0xFF ? -1 : static_cast<int>(force_kind);
 
   const std::uint64_t count = r.u64();
   if (count != p.sessions) throw WireError("fleet trace: session count mismatch");
@@ -188,6 +200,11 @@ Replayer::Replayer(FleetTrace trace)
     : trace_(std::move(trace)), workload_(sim::make_workload(trace_.workload)) {
   if (trace_.sessions.size() != workload_.size())
     throw WireError("fleet trace: session count != regenerated workload");
+  if (workload_digest(workload_) != trace_.workload_digest)
+    throw WireError(
+        "fleet trace: workload digest mismatch — the trace was recorded "
+        "against a different workload (generator version skew or a tampered "
+        "header); refusing to replay different sessions");
   for (std::size_t i = 0; i < trace_.sessions.size(); ++i)
     if (trace_.sessions[i].session_id != i)
       throw WireError("fleet trace: sessions out of order");

@@ -8,7 +8,8 @@
 //
 // Trace file layout (little-endian, fleet wire primitives):
 //   u32 magic "UWFT" | u16 version
-//   u64 master_seed | WorkloadParams (u64 x7, u8 include_des)
+//   u64 master_seed | u64 workload_digest
+//   WorkloadParams (u64 x7, u8 include_des, u8 force_kind: 0xFF = mixed)
 //   u64 session_count
 //   per session (id order):
 //     u64 session_id | u64 event_count
@@ -22,6 +23,10 @@
 // replayer regenerates identical pipeline configurations and re-derives
 // each session's solver stream from master_seed — only measurements ride in
 // the trace. Replay therefore exercises the real decode -> pipeline path.
+// The workload_digest (fleet::workload_digest over the generated scenarios)
+// pins that regeneration: a trace recorded under a different workload
+// generator fails replay with a clear version-skew error instead of
+// silently replaying different sessions.
 #pragma once
 
 #include <cstdint>
@@ -35,7 +40,8 @@
 namespace uwp::fleet {
 
 inline constexpr std::uint32_t kTraceMagic = 0x54465755u;  // "UWFT" little-endian
-inline constexpr std::uint16_t kTraceVersion = 1;
+// v2: header gained workload_digest + WorkloadParams::force_kind.
+inline constexpr std::uint16_t kTraceVersion = 2;
 
 enum class FrameKind : std::uint8_t {
   kCoast = 1,
@@ -57,6 +63,9 @@ struct SessionTrace {
 
 struct FleetTrace {
   std::uint64_t master_seed = 0;
+  // fleet::workload_digest of the workload generated from `workload` at
+  // record time; Replayer refuses a trace whose regeneration disagrees.
+  std::uint64_t workload_digest = 0;
   sim::WorkloadParams workload;
   std::vector<SessionTrace> sessions;  // indexed by session id
 };
@@ -67,7 +76,12 @@ struct FleetTrace {
 // slot is touched by exactly one shard, so they are lock-free by design.
 class SessionRecorder {
  public:
+  // The params-only form regenerates the workload once to pin its digest in
+  // the header; callers that already hold the generated workload (the usual
+  // case — the service was built from it) should pass it to skip that.
   SessionRecorder(std::uint64_t master_seed, const sim::WorkloadParams& params);
+  SessionRecorder(std::uint64_t master_seed, const sim::WorkloadParams& params,
+                  const std::vector<sim::GroupScenario>& workload);
 
   // Session hooks (see fleet::Session).
   void on_admit(const sim::GroupScenario& scenario);

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 
+#include "fleet/session.hpp"
 #include "proto/payload_codec.hpp"
 
 namespace uwp::fleet {
@@ -335,6 +336,67 @@ bool bit_equal(const RoundRecord& a, const RoundRecord& b) {
          dbits(a.normalized_stress) == dbits(b.normalized_stress) &&
          bit_equal(a.error_2d, b.error_2d) &&
          bit_equal(a.tracked_error_2d, b.tracked_error_2d);
+}
+
+std::uint64_t workload_digest(const std::vector<sim::GroupScenario>& workload) {
+  std::uint64_t h = kFnvOffsetBasis;
+  const auto mix_matrix = [&h](const Matrix& m) {
+    fnv_mix(h, m.rows());
+    fnv_mix(h, m.cols());
+    for (std::size_t r = 0; r < m.rows(); ++r)
+      for (std::size_t c = 0; c < m.cols(); ++c) fnv_mix(h, m(r, c));
+  };
+  const auto mix_vec3 = [&h](const Vec3& v) {
+    fnv_mix(h, v.x);
+    fnv_mix(h, v.y);
+    fnv_mix(h, v.z);
+  };
+  fnv_mix(h, workload.size());
+  for (const sim::GroupScenario& sc : workload) {
+    fnv_mix(h, sc.session_id);
+    fnv_mix(h, static_cast<std::uint64_t>(sc.kind));
+    fnv_mix(h, sc.scene.positions.size());
+    for (const Vec3& p : sc.scene.positions) mix_vec3(p);
+    mix_matrix(sc.scene.connectivity);
+    fnv_mix(h, sc.scene.audio.size());
+    for (const audio::AudioTimingConfig& a : sc.scene.audio) {
+      fnv_mix(h, a.fs_nominal_hz);
+      fnv_mix(h, a.speaker_skew_ppm);
+      fnv_mix(h, a.mic_skew_ppm);
+      fnv_mix(h, a.speaker_start_s);
+      fnv_mix(h, a.mic_start_s);
+      fnv_mix(h, a.self_loopback_delay_s);
+    }
+    fnv_mix(h, sc.scene.protocol.num_devices);
+    fnv_mix(h, sc.scene.protocol.delta0_s);
+    fnv_mix(h, sc.scene.protocol.t_packet_s);
+    fnv_mix(h, sc.scene.protocol.t_guard_s);
+    fnv_mix(h, sc.scene.protocol.sound_speed_mps);
+    fnv_mix(h, sc.scene.protocol.fs_hz);
+    fnv_mix(h, sc.scene.depth_sensor.bias_m);
+    fnv_mix(h, sc.scene.depth_sensor.noise_sigma_m);
+    fnv_mix(h, sc.scene.depth_sensor.quantization_m);
+    fnv_mix(h, sc.scene.pointing.sigma_deg);
+    fnv_mix(h, sc.scene.pointing.sigma_per_meter_deg);
+    fnv_mix(h, sc.motion.size());
+    for (const sim::GroupMotion& m : sc.motion) {
+      mix_vec3(m.axis);
+      fnv_mix(h, m.span_m);
+      fnv_mix(h, m.speed_mps);
+      fnv_mix(h, m.phase_s);
+      fnv_mix(h, m.waypoints.size());
+      for (const Vec3& w : m.waypoints) mix_vec3(w);
+    }
+    fnv_mix(h, sc.arrival.sigma_m);
+    fnv_mix(h, sc.arrival.sigma_per_m);
+    fnv_mix(h, sc.arrival.detection_failure_prob);
+    fnv_mix(h, sc.sound_speed_error_mps);
+    fnv_mix(h, sc.dropout_prob);
+    fnv_mix(h, sc.admit_tick);
+    fnv_mix(h, sc.lifetime_rounds);
+    fnv_mix(h, sc.round_period_s);
+  }
+  return h;
 }
 
 }  // namespace uwp::fleet

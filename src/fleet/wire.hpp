@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "pipeline/measurement.hpp"
+#include "sim/fleet_workload.hpp"
 
 namespace uwp::fleet {
 
@@ -112,5 +113,12 @@ RecordKind peek_record_kind(std::span<const std::uint8_t> in, std::size_t pos);
 // replay verifier.
 bool bit_equal(const pipeline::RoundMeasurement& a, const pipeline::RoundMeasurement& b);
 bool bit_equal(const RoundRecord& a, const RoundRecord& b);
+
+// FNV-1a digest over every field of every scenario in a generated workload
+// (bit-level for doubles). The fleet trace header embeds it so a replay that
+// regenerates a *different* workload from the recorded parameters — a
+// workload-generator version skew — fails loudly instead of silently
+// replaying different sessions.
+std::uint64_t workload_digest(const std::vector<sim::GroupScenario>& workload);
 
 }  // namespace uwp::fleet

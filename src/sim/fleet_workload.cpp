@@ -72,6 +72,8 @@ GroupScenario make_group_scenario(const WorkloadParams& params, std::uint64_t se
     throw std::invalid_argument("fleet workload: bad group size range");
   if (params.min_rounds < 1 || params.max_rounds < params.min_rounds)
     throw std::invalid_argument("fleet workload: bad rounds range");
+  if (params.force_kind > static_cast<int>(GroupScenarioKind::kPacketDes))
+    throw std::invalid_argument("fleet workload: force_kind out of range");
 
   // Same per-session stream discipline as SweepRunner trials: the scenario
   // depends only on (seed, session_id), never on generation order.
@@ -80,6 +82,7 @@ GroupScenario make_group_scenario(const WorkloadParams& params, std::uint64_t se
   GroupScenario sc;
   sc.session_id = session_id;
   sc.kind = draw_kind(rng, params.include_des);
+  if (params.force_kind >= 0) sc.kind = static_cast<GroupScenarioKind>(params.force_kind);
 
   const std::size_t n = static_cast<std::size_t>(
       rng.uniform_int(static_cast<std::int64_t>(params.min_group_size),

@@ -73,6 +73,12 @@ struct WorkloadParams {
   // Include the packet-level DES slice (a few percent of sessions). Off
   // lets huge benches skip DES construction cost.
   bool include_des = true;
+  // Force every session to one GroupScenarioKind (single-kind fleets for
+  // targeted load tests and the per-kind example specs); -1 = the serving
+  // mix. The kind draw still happens, so forcing never shifts a session's
+  // geometry/audio/arrival draws relative to the mixed workload (draws in
+  // the kind-dependent branch naturally follow the forced kind).
+  int force_kind = -1;
 };
 
 // The scenario for one session id; pure in (params, session_id).

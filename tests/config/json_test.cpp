@@ -1,0 +1,145 @@
+#include "config/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace uwp::config {
+namespace {
+
+bool same_bits(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+TEST(Json, ParsesEveryValueKind) {
+  const Json v = parse_json(
+      R"({"b": true, "f": false, "n": null, "num": -12.5e2, "s": "hi\nthere",
+          "arr": [1, 2, 3], "obj": {"nested": "yes"}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_TRUE(v.find("b")->as_bool());
+  EXPECT_FALSE(v.find("f")->as_bool());
+  EXPECT_TRUE(v.find("n")->is_null());
+  EXPECT_EQ(v.find("num")->as_number(), -1250.0);
+  EXPECT_EQ(v.find("s")->as_string(), "hi\nthere");
+  ASSERT_EQ(v.find("arr")->items().size(), 3u);
+  EXPECT_EQ(v.find("arr")->items()[1].as_number(), 2.0);
+  EXPECT_EQ(v.find("obj")->find("nested")->as_string(), "yes");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  const Json v = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  try {
+    parse_json("{\n  \"ok\": 1,\n  \"bad\": tru\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_json(""), JsonError);
+  EXPECT_THROW(parse_json("{"), JsonError);
+  EXPECT_THROW(parse_json("[1, 2,]"), JsonError);
+  EXPECT_THROW(parse_json("{\"a\": 1} trailing"), JsonError);
+  EXPECT_THROW(parse_json("{\"a\": 01}"), JsonError);
+  EXPECT_THROW(parse_json("\"unterminated"), JsonError);
+  EXPECT_THROW(parse_json("{\"dup\": 1, \"dup\": 2}"), JsonError);
+  EXPECT_THROW(parse_json("nul"), JsonError);
+  // Bare NaN is not JSON; it must ride as a string (double_to_json).
+  EXPECT_THROW(parse_json("nan"), JsonError);
+  // Overflowing literals are malformed, not silently +inf...
+  EXPECT_THROW(parse_json("1e999"), JsonError);
+  // ...but subnormal underflow is a value the writer legitimately emits.
+  EXPECT_EQ(parse_json("5e-324").as_number(), 5e-324);
+}
+
+TEST(Json, WriteParsePreservesStructure) {
+  const char* text =
+      R"({"a": [1.5, "two", false, null], "b": {"c": [[0.25]]}, "d": ""})";
+  const Json v = parse_json(text);
+  for (const int indent : {0, 2}) {
+    JsonWriteOptions opts;
+    opts.indent = indent;
+    const Json back = parse_json(write_json(v, opts));
+    EXPECT_EQ(write_json(back), write_json(v));
+  }
+}
+
+TEST(JsonDoubles, BitExactRoundTripDecimalAndHexfloat) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0,
+                          -1.0 / 3.0,
+                          0.1,
+                          1e-300,
+                          -1.7976931348623157e308,
+                          5e-324,  // min subnormal
+                          3.141592653589793,
+                          22.0,
+                          std::numeric_limits<double>::quiet_NaN(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity()};
+  for (const bool hexfloat : {false, true}) {
+    for (const double v : cases) {
+      const Json j = double_to_json(v, hexfloat);
+      // Through a full document serialize/parse cycle, not just the value.
+      Json doc = Json::object();
+      doc.set("v", j);
+      const Json back = parse_json(write_json(doc));
+      double out = 0.0;
+      ASSERT_TRUE(json_as_double(*back.find("v"), out));
+      EXPECT_TRUE(same_bits(v, out) || (std::isnan(v) && std::isnan(out)))
+          << "value " << v << " hexfloat=" << hexfloat;
+    }
+  }
+}
+
+TEST(JsonDoubles, AcceptsHexfloatAndSpecialStringsOnInput) {
+  double out = 0.0;
+  ASSERT_TRUE(json_as_double(Json::string("0x1.8p+1"), out));
+  EXPECT_EQ(out, 3.0);
+  ASSERT_TRUE(json_as_double(Json::string("nan"), out));
+  EXPECT_TRUE(std::isnan(out));
+  ASSERT_TRUE(json_as_double(Json::string("-inf"), out));
+  EXPECT_TRUE(std::isinf(out));
+  EXPECT_FALSE(json_as_double(Json::string("not a number"), out));
+  EXPECT_FALSE(json_as_double(Json::string(""), out));
+  EXPECT_FALSE(json_as_double(Json::boolean(true), out));
+}
+
+TEST(JsonU64, FullRangeRoundTrip) {
+  const std::uint64_t cases[] = {0u, 1u, (1ull << 53) - 1, (1ull << 53),
+                                 0xFFFFFFFFFFFFFFFFull};
+  for (const std::uint64_t v : cases) {
+    Json doc = Json::object();
+    doc.set("v", u64_to_json(v));
+    const Json back = parse_json(write_json(doc));
+    std::uint64_t out = 0;
+    ASSERT_TRUE(json_as_u64(*back.find("v"), out));
+    EXPECT_EQ(out, v);
+  }
+  std::uint64_t out = 0;
+  EXPECT_FALSE(json_as_u64(Json::number(-1.0), out));
+  EXPECT_FALSE(json_as_u64(Json::number(1.5), out));
+  // Bare numbers from 2^53 up are rejected — the decimal token may already
+  // have been rounded by the parser (2^53 + 1 reads as 2^53), so accepting
+  // any of them could alter a seed silently; the string form is required.
+  EXPECT_FALSE(json_as_u64(Json::number(9007199254740992.0), out));
+  EXPECT_FALSE(json_as_u64(Json::number(9007199254740994.0), out));
+  ASSERT_TRUE(json_as_u64(Json::string("9007199254740993"), out));
+  EXPECT_EQ(out, 9007199254740993ull);
+  EXPECT_FALSE(json_as_u64(Json::string("12x"), out));
+  EXPECT_FALSE(json_as_u64(Json::string("99999999999999999999999"), out));
+}
+
+}  // namespace
+}  // namespace uwp::config

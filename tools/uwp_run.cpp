@@ -1,0 +1,288 @@
+// uwp_run: execute any ScenarioSpec file against any driver in the stack.
+// The scenario is entirely data — geometry, channel, protocol, sensors,
+// solver, DES toggles, fleet mix all come from the spec — so opening a new
+// experiment means writing a JSON file, not a C++ main.
+//
+//   uwp_run --spec=examples/specs/fleet_mixed.json
+//   uwp_run --spec=... --mode=sweep --threads=8 --out=metrics.json
+//
+// Flags:
+//   --spec=FILE    the ScenarioSpec (required); parsed and validated first,
+//                  so a malformed file fails with path-qualified errors
+//   --mode=M       override the spec's mode: round | sweep | des | fleet
+//   --threads=N    override the worker count (sweep threads / fleet shards)
+//   --out=FILE     write run metrics as JSON; the deterministic part lives
+//                  under "metrics" (bit-identical at any --threads), wall
+//                  clock and friends under "timing"
+//   --print-spec   dump the normalized spec (defaults filled in) and exit
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "config/factory.hpp"
+#include "config/json.hpp"
+#include "config/spec.hpp"
+#include "fleet/recorder.hpp"
+#include "sim/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using uwp::config::Json;
+
+struct Args {
+  std::string spec_path;
+  std::string mode;
+  std::string out_path;
+  long threads = -1;  // -1 = keep the spec's value
+  bool print_spec = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --spec=FILE [--mode=round|sweep|des|fleet] "
+               "[--threads=N] [--out=FILE] [--print-spec]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--spec=", 7) == 0) {
+      args.spec_path = a + 7;
+    } else if (std::strncmp(a, "--mode=", 7) == 0) {
+      args.mode = a + 7;
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      char* end = nullptr;
+      args.threads = std::strtol(a + 10, &end, 10);
+      if (end == a + 10 || *end != '\0' || args.threads < 0 || args.threads > 1024)
+        return false;
+    } else if (std::strncmp(a, "--out=", 6) == 0) {
+      args.out_path = a + 6;
+    } else if (std::strcmp(a, "--print-spec") == 0) {
+      args.print_spec = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      return false;
+    }
+  }
+  return !args.spec_path.empty();
+}
+
+Json summary_to_json(const uwp::Summary& s) {
+  Json o = Json::object();
+  o.set("count", uwp::config::u64_to_json(s.count));
+  o.set("mean", uwp::config::double_to_json(s.mean));
+  o.set("stddev", uwp::config::double_to_json(s.stddev));
+  o.set("min", uwp::config::double_to_json(s.min));
+  o.set("median", uwp::config::double_to_json(s.median));
+  o.set("p90", uwp::config::double_to_json(s.p90));
+  o.set("p95", uwp::config::double_to_json(s.p95));
+  o.set("max", uwp::config::double_to_json(s.max));
+  return o;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// --- one runner per mode; each returns the "metrics" object and fills
+// --- "timing" (the only part allowed to vary run to run).
+
+Json run_round(const uwp::config::ScenarioSpec& spec, Json& timing) {
+  const uwp::sim::ScenarioRunner runner = uwp::config::make_scenario_runner(spec);
+  const uwp::sim::RoundOptions opts = uwp::config::make_round_options(spec);
+  uwp::Rng rng(spec.sweep.master_seed);
+  uwp::sim::ScenarioRoundContext ctx(runner, opts);
+  const uwp::sim::RoundResult res = ctx.run(rng);
+
+  std::printf("one round, %zu devices: %s\n", runner.deployment().size(),
+              res.ok ? "localized" : "NOT localized");
+  Json metrics = Json::object();
+  metrics.set("localized", Json::boolean(res.ok));
+  if (res.ok) {
+    metrics.set("normalized_stress",
+                uwp::config::double_to_json(res.localization.normalized_stress));
+    std::printf("stress %.3f m RMS\n", res.localization.normalized_stress);
+  }
+  Json errors = Json::array();
+  for (const double e : res.error_2d) errors.push_back(uwp::config::double_to_json(e));
+  metrics.set("error_2d", std::move(errors));
+  timing.set("threads", uwp::config::u64_to_json(1));
+  return metrics;
+}
+
+Json run_sweep(const uwp::config::ScenarioSpec& spec, Json& timing) {
+  const uwp::sim::ScenarioRunner runner = uwp::config::make_scenario_runner(spec);
+  const uwp::sim::RoundOptions opts = uwp::config::make_round_options(spec);
+  const uwp::sim::SweepRunner sweep = uwp::config::make_sweep(spec);
+  const uwp::sim::SweepResult res = sweep.run(
+      [&] { return std::make_shared<uwp::sim::ScenarioRoundContext>(runner, opts); },
+      [](std::size_t, uwp::Rng& rng, void* ctx) {
+        auto* context = static_cast<uwp::sim::ScenarioRoundContext*>(ctx);
+        uwp::sim::RoundResult round;
+        context->run_into(round, rng);
+        return round.error_2d;
+      });
+
+  std::printf("%zu trials (%zu failed) across %zu threads in %.3f s\n",
+              res.per_trial.size(), res.failed_trials, res.threads_used,
+              res.wall_seconds);
+  uwp::sim::print_summary_row("per-device error", res.samples);
+  Json metrics = Json::object();
+  metrics.set("trials", uwp::config::u64_to_json(res.per_trial.size()));
+  metrics.set("failed_trials", uwp::config::u64_to_json(res.failed_trials));
+  metrics.set("error", summary_to_json(res.summary));
+  timing.set("wall_seconds", uwp::config::double_to_json(res.wall_seconds));
+  timing.set("threads", uwp::config::u64_to_json(res.threads_used));
+  return metrics;
+}
+
+Json run_des(const uwp::config::ScenarioSpec& spec, Json& timing) {
+  const uwp::des::DesScenario scenario = uwp::config::make_des_scenario(spec);
+  uwp::Rng rng(spec.sweep.master_seed);
+  const uwp::des::DesScenarioResult res = scenario.run(rng);
+
+  std::printf("%zu rounds (%zu localized), period %.2f s\n", res.rounds.size(),
+              res.localized_rounds, scenario.round_period_s());
+  uwp::sim::print_summary_row("raw error", res.errors);
+  uwp::sim::print_summary_row("tracked error", res.tracked_errors);
+  Json metrics = Json::object();
+  metrics.set("rounds", uwp::config::u64_to_json(res.rounds.size()));
+  metrics.set("localized_rounds", uwp::config::u64_to_json(res.localized_rounds));
+  metrics.set("deliveries", uwp::config::u64_to_json(res.total_deliveries));
+  metrics.set("collisions", uwp::config::u64_to_json(res.total_collisions));
+  metrics.set("half_duplex_drops",
+              uwp::config::u64_to_json(res.total_half_duplex_drops));
+  metrics.set("error", summary_to_json(uwp::summarize(res.errors)));
+  metrics.set("tracked_error", summary_to_json(uwp::summarize(res.tracked_errors)));
+  timing.set("threads", uwp::config::u64_to_json(1));
+  return metrics;
+}
+
+Json run_fleet(const uwp::config::ScenarioSpec& spec, Json& timing) {
+  const uwp::fleet::FleetService service = uwp::config::make_fleet_service(spec);
+  const uwp::fleet::FleetResult res = service.run();
+
+  std::printf("%zu sessions, %zu rounds (%zu localized, %zu coasted), "
+              "%zu shards, %.3f s\n",
+              res.sessions.size(), res.rounds, res.localized, res.coasts,
+              res.shards_used, res.wall_seconds);
+  uwp::sim::print_summary_row("per-device error", res.errors);
+
+  Json sessions = Json::array();
+  for (const uwp::fleet::SessionMetrics& m : res.sessions) {
+    Json s = Json::object();
+    s.set("id", uwp::config::u64_to_json(m.session_id));
+    s.set("kind", Json::string(uwp::sim::to_string(m.kind)));
+    s.set("rounds", uwp::config::u64_to_json(m.rounds));
+    s.set("localized", uwp::config::u64_to_json(m.localized));
+    s.set("coasts", uwp::config::u64_to_json(m.coasts));
+    s.set("mean_error", uwp::config::double_to_json(m.mean_error()));
+    s.set("digest", Json::string(hex64(m.digest)));
+    sessions.push_back(std::move(s));
+  }
+  Json metrics = Json::object();
+  metrics.set("rounds", uwp::config::u64_to_json(res.rounds));
+  metrics.set("localized", uwp::config::u64_to_json(res.localized));
+  metrics.set("coasts", uwp::config::u64_to_json(res.coasts));
+  metrics.set("fleet_digest", Json::string(hex64(res.fleet_digest)));
+  metrics.set("error", summary_to_json(res.summary));
+  metrics.set("sessions", std::move(sessions));
+
+  timing.set("wall_seconds", uwp::config::double_to_json(res.wall_seconds));
+  timing.set("shards", uwp::config::u64_to_json(res.shards_used));
+  if (!res.round_latency_s.empty()) {
+    const uwp::sim::RateLatency rl =
+        uwp::sim::rate_latency(res.rounds, res.wall_seconds, res.round_latency_s);
+    timing.set("rounds_per_sec", uwp::config::double_to_json(rl.rounds_per_sec));
+    timing.set("round_p50_s", uwp::config::double_to_json(rl.p50_s));
+    timing.set("round_p99_s", uwp::config::double_to_json(rl.p99_s));
+  }
+  return metrics;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage(argv[0]);
+
+  uwp::config::ScenarioSpec spec;
+  try {
+    spec = uwp::config::load_spec(args.spec_path);
+  } catch (const uwp::config::SpecError& e) {
+    std::fprintf(stderr, "uwp_run: %s\n", e.what());
+    return 2;
+  }
+
+  if (!args.mode.empty()) {
+    bool known = false;
+    for (const uwp::config::RunMode m :
+         {uwp::config::RunMode::kRound, uwp::config::RunMode::kSweep,
+          uwp::config::RunMode::kDes, uwp::config::RunMode::kFleet}) {
+      if (args.mode != uwp::config::to_string(m)) continue;
+      spec.mode = m;
+      known = true;
+    }
+    if (!known) {
+      std::fprintf(stderr, "uwp_run: unknown mode \"%s\"\n", args.mode.c_str());
+      return 2;
+    }
+  }
+  if (args.threads >= 0) {
+    spec.sweep.threads = static_cast<std::size_t>(args.threads);
+    spec.fleet.options.shards = static_cast<std::size_t>(args.threads);
+  }
+
+  if (args.print_spec) {
+    std::fputs(uwp::config::write_spec(spec).c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("[%s] %s (mode %s)\n", args.spec_path.c_str(), spec.name.c_str(),
+              uwp::config::to_string(spec.mode));
+  Json doc = Json::object();
+  doc.set("name", Json::string(spec.name));
+  doc.set("mode", Json::string(uwp::config::to_string(spec.mode)));
+  Json timing = Json::object();
+  Json metrics;
+  try {
+    switch (spec.mode) {
+      case uwp::config::RunMode::kRound:
+        metrics = run_round(spec, timing);
+        break;
+      case uwp::config::RunMode::kSweep:
+        metrics = run_sweep(spec, timing);
+        break;
+      case uwp::config::RunMode::kDes:
+        metrics = run_des(spec, timing);
+        break;
+      case uwp::config::RunMode::kFleet:
+        metrics = run_fleet(spec, timing);
+        break;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "uwp_run: %s\n", e.what());
+    return 1;
+  }
+  doc.set("metrics", std::move(metrics));
+  doc.set("timing", std::move(timing));
+
+  if (!args.out_path.empty()) {
+    std::ofstream out(args.out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "uwp_run: cannot open %s\n", args.out_path.c_str());
+      return 1;
+    }
+    out << uwp::config::write_json(doc);
+    std::printf("metrics written to %s\n", args.out_path.c_str());
+  }
+  return 0;
+}
