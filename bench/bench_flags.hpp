@@ -7,8 +7,15 @@
 //   --trace-out=FILE        CSV packet trace of a serial reference run
 //                           (DES benches)
 //   --sessions=N            concurrent session count (fleet bench)
+//
+// Numeric flags are parsed strictly: a malformed or out-of-range value is a
+// usage error that exits(2) with a message — a typo'd "--sessions=10o0"
+// must never silently run the bench at its default size and publish numbers
+// for the wrong configuration.
 #pragma once
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -24,6 +31,27 @@ struct BenchFlags {
   std::size_t sessions = 0;
 };
 
+// Strict decimal parser for a --flag=VALUE tail: the whole value must be
+// digits and fit under `max`. Exits with a usage error otherwise.
+inline std::size_t parse_count_or_die(const char* flag, const char* s,
+                                      std::size_t min, std::size_t max) {
+  bool digits = *s != '\0';
+  for (const char* p = s; *p != '\0'; ++p)
+    if (*p < '0' || *p > '9') digits = false;
+  if (!digits) {
+    std::fprintf(stderr, "%s: expected an unsigned integer, got \"%s\"\n", flag, s);
+    std::exit(2);
+  }
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, nullptr, 10);
+  if (errno == ERANGE || v < min || v > max) {
+    std::fprintf(stderr, "%s: value \"%s\" out of range [%zu, %zu]\n", flag, s, min,
+                 max);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(v);
+}
+
 inline BenchFlags parse_flags(int argc, char** argv, std::size_t default_sessions = 0) {
   BenchFlags flags;
   flags.threads = sim::threads_from_args(argc, argv);
@@ -31,17 +59,13 @@ inline BenchFlags parse_flags(int argc, char** argv, std::size_t default_session
   flags.trace_out = sim::trace_out_from_args(argc, argv);
   flags.sessions = default_sessions;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--sessions=", 11) != 0) continue;
-    const char* s = argv[i] + 11;
-    if (*s == '\0') break;
-    bool digits = true;
-    for (const char* p = s; *p != '\0'; ++p)
-      if (*p < '0' || *p > '9') digits = false;
-    if (!digits) break;
-    const unsigned long long v = std::strtoull(s, nullptr, 10);
-    if (v > 0)
-      flags.sessions = static_cast<std::size_t>(v > 1000000 ? 1000000 : v);
-    break;
+    if (std::strncmp(argv[i], "--sessions=", 11) == 0) {
+      flags.sessions = parse_count_or_die("--sessions", argv[i] + 11, 1, 1000000);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      // threads_from_args already resolved the value leniently; re-check
+      // the same cap spec validation uses (0 = all hardware threads).
+      flags.threads = parse_count_or_die("--threads", argv[i] + 10, 0, 1024);
+    }
   }
   return flags;
 }

@@ -1,0 +1,101 @@
+// The serving front-end end to end: stream a fleet workload through a
+// Transport into fleet::Server, with admission control and token-bucket
+// rate shaping making real shed/defer decisions — then demonstrate the two
+// determinism contracts that make the server testable:
+//
+//   1. the recorded ingest schedule replays bit for bit through
+//      verify_ingest_schedule (every admit/shed/defer decision is a pure
+//      function of the schedule and the shaper options), and
+//   2. the served run's trace replays bit for bit through fleet::Replayer
+//      (a shed round was executed as a tracker coast, so the standard
+//      fleet trace format captures a shaped run unchanged).
+//
+//   ./examples/example_fleet_ingest_server [spec.json]
+//                                    (default: fleet_serve_shaped.json)
+#include <cstdio>
+#include <thread>
+
+#include "config/factory.hpp"
+#include "config/spec.hpp"
+#include "fleet/recorder.hpp"
+#include "fleet/server.hpp"
+#include "sim/metrics.hpp"
+
+#ifndef UWP_SPEC_DIR
+#define UWP_SPEC_DIR "examples/specs"
+#endif
+
+int main(int argc, char** argv) {
+  const char* spec_path =
+      argc > 1 ? argv[1] : UWP_SPEC_DIR "/fleet_serve_shaped.json";
+
+  uwp::config::ScenarioSpec spec;
+  try {
+    spec = uwp::config::load_spec(spec_path);
+  } catch (const uwp::config::SpecError& e) {
+    std::fprintf(stderr, "fleet_ingest_server: %s\n", e.what());
+    return 2;
+  }
+
+  // 1. Producer and server meet at a bounded in-process transport: the
+  //    feeder thread plays every session's device-side event stream (the
+  //    same MeasurementFeed the synchronous service consumes), and a full
+  //    ring blocks it — transport-level backpressure, not dropped frames.
+  uwp::fleet::Server server = uwp::config::make_fleet_server(spec);
+  const std::vector<uwp::sim::GroupScenario> workload =
+      uwp::config::make_workload(spec);
+  uwp::fleet::RingBufferTransport transport(spec.fleet.server.transport_capacity);
+
+  uwp::fleet::FeedOptions feed_opts;
+  feed_opts.tick_period_s = spec.fleet.server.tick_period_s;
+  std::thread feeder([&] {
+    uwp::fleet::feed_workload(transport, workload, spec.fleet.options.master_seed,
+                              feed_opts);
+  });
+
+  // 2. Serve while recording the run in the standard fleet trace format.
+  uwp::fleet::SessionRecorder recorder(spec.fleet.options.master_seed,
+                                       spec.fleet.workload, workload);
+  const uwp::fleet::ServerResult res = server.serve(transport, &recorder);
+  feeder.join();
+
+  const uwp::fleet::ShaperStats& sh = res.stats.shaper;
+  std::printf("[%s] policy=%s workers=%zu\n", spec_path,
+              to_string(spec.fleet.server.options.shaping.policy),
+              res.stats.workers_used);
+  std::printf("ingest: %zu frames, %zu rounds admitted, %zu shed, "
+              "%zu defer events (%zu frames), peak occupancy %.1f\n",
+              sh.frames, sh.rounds_admitted, sh.rounds_shed, sh.defer_events,
+              sh.frames_deferred, res.stats.peak_occupancy);
+  std::printf("fleet:  %zu sessions, %zu rounds (%zu localized, %zu coasted), "
+              "digest %016llx\n",
+              res.fleet.sessions.size(), res.fleet.rounds, res.fleet.localized,
+              res.fleet.coasts,
+              static_cast<unsigned long long>(res.fleet.fleet_digest));
+  std::printf("        transport backpressure: %zu send waits\n",
+              transport.send_waits());
+  uwp::sim::print_summary_row("per-device error", res.fleet.errors);
+
+  // 3. Contract 1 — the schedule verifier (also run inside serve itself).
+  const std::size_t schedule_mismatches = uwp::fleet::verify_ingest_schedule(
+      res.schedule, spec.fleet.server.options.shaping, workload.size());
+  std::printf("schedule: %zu decisions, digest %016llx — %s\n",
+              res.schedule.size(),
+              static_cast<unsigned long long>(res.schedule_digest),
+              schedule_mismatches == 0 ? "recomputed bit-identically"
+                                       : "MISMATCH");
+
+  // 4. Contract 2 — the served (and shaped!) run replays through the
+  //    ordinary fleet replayer, because shed rounds were recorded as coasts.
+  const uwp::fleet::Replayer replayer(recorder.trace());
+  const auto replay = replayer.replay();
+  bool identical = replay.fleet.fleet_digest == res.fleet.fleet_digest &&
+                   replay.result_mismatches == 0;
+  for (std::size_t i = 0; identical && i < res.fleet.sessions.size(); ++i)
+    identical = res.fleet.sessions[i].bit_equal(replay.fleet.sessions[i]);
+  std::printf("replay: %zu rounds recomputed, %zu result mismatches — %s\n",
+              replay.fleet.rounds, replay.result_mismatches,
+              identical ? "bit-identical to the served run" : "MISMATCH");
+
+  return (identical && schedule_mismatches == 0) ? 0 : 1;
+}

@@ -154,6 +154,13 @@ fleet::FleetService make_fleet_service(const ScenarioSpec& spec) {
   return fleet::FleetService(spec.fleet.options, make_workload(spec));
 }
 
+fleet::Server make_fleet_server(const ScenarioSpec& spec) {
+  fleet::ServerOptions opts = spec.fleet.server.options;
+  opts.master_seed = spec.fleet.options.master_seed;
+  opts.measure_latency = spec.fleet.options.measure_latency;
+  return fleet::Server(opts, make_workload(spec));
+}
+
 sim::SweepRunner make_sweep(const ScenarioSpec& spec) {
   validate_or_throw(spec);
   return sim::SweepRunner(spec.sweep);

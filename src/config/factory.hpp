@@ -43,6 +43,12 @@ sim::WorkloadParams workload_params(const ScenarioSpec& spec);
 std::vector<sim::GroupScenario> make_workload(const ScenarioSpec& spec);
 fleet::FleetService make_fleet_service(const ScenarioSpec& spec);
 
+// Serving front-end over the same workload: fleet::Server configured from
+// fleet.server, with master_seed and measure_latency mirrored from
+// fleet.options so the streamed run is comparable (bit-identical when
+// shaping is off) to make_fleet_service's.
+fleet::Server make_fleet_server(const ScenarioSpec& spec);
+
 // Monte-Carlo sweep configured from spec.sweep.
 sim::SweepRunner make_sweep(const ScenarioSpec& spec);
 

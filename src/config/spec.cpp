@@ -17,6 +17,8 @@ const char* to_string(RunMode mode) {
       return "des";
     case RunMode::kFleet:
       return "fleet";
+    case RunMode::kServe:
+      return "serve";
   }
   return "?";
 }
@@ -455,7 +457,53 @@ void sweep_from_json(const Json& v, const std::string& path, sim::SweepOptions& 
   r.finish();
 }
 
-Json fleet_to_json(const FleetSpec& f) {
+Json server_to_json(const ServeSpec& s, bool hex) {
+  const fleet::ShaperOptions& sh = s.options.shaping;
+  Json shaping = Json::object();
+  shaping.set("policy", Json::string(to_string(sh.policy)));
+  shaping.set("ingest_shards", u64_to_json(sh.ingest_shards));
+  shaping.set("queue_depth", u64_to_json(sh.queue_depth));
+  shaping.set("drain_rounds_per_s", double_to_json(sh.drain_rounds_per_s, hex));
+  shaping.set("rate_rounds_per_s", double_to_json(sh.rate_rounds_per_s, hex));
+  shaping.set("burst_rounds", double_to_json(sh.burst_rounds, hex));
+  shaping.set("feedback_threshold", double_to_json(sh.feedback_threshold, hex));
+  shaping.set("defer_delay_s", double_to_json(sh.defer_delay_s, hex));
+  shaping.set("max_defers", u64_to_json(sh.max_defers));
+  Json o = Json::object();
+  o.set("workers", u64_to_json(s.options.workers));
+  o.set("queue_depth", u64_to_json(s.options.queue_depth));
+  o.set("tick_period_s", double_to_json(s.tick_period_s, hex));
+  o.set("transport_capacity", u64_to_json(s.transport_capacity));
+  o.set("shaping", std::move(shaping));
+  return o;
+}
+
+void server_from_json(const Json& v, const std::string& path, ServeSpec& s) {
+  ObjectReader r(v, path);
+  r.read("workers", s.options.workers);
+  r.read("queue_depth", s.options.queue_depth);
+  r.read("tick_period_s", s.tick_period_s);
+  r.read("transport_capacity", s.transport_capacity);
+  if (const Json* j = r.take("shaping")) {
+    fleet::ShaperOptions& sh = s.options.shaping;
+    ObjectReader rs(*j, r.sub("shaping"));
+    rs.read_enum("policy", sh.policy,
+                 {fleet::AdmissionPolicy::kAdmitAll, fleet::AdmissionPolicy::kShed,
+                  fleet::AdmissionPolicy::kDefer});
+    rs.read("ingest_shards", sh.ingest_shards);
+    rs.read("queue_depth", sh.queue_depth);
+    rs.read("drain_rounds_per_s", sh.drain_rounds_per_s);
+    rs.read("rate_rounds_per_s", sh.rate_rounds_per_s);
+    rs.read("burst_rounds", sh.burst_rounds);
+    rs.read("feedback_threshold", sh.feedback_threshold);
+    rs.read("defer_delay_s", sh.defer_delay_s);
+    rs.read("max_defers", sh.max_defers);
+    rs.finish();
+  }
+  r.finish();
+}
+
+Json fleet_to_json(const FleetSpec& f, bool hex) {
   Json workload = Json::object();
   workload.set("sessions", u64_to_json(f.workload.sessions));
   workload.set("seed", u64_to_json(f.workload.seed));
@@ -471,6 +519,7 @@ Json fleet_to_json(const FleetSpec& f) {
   o.set("shards", u64_to_json(f.options.shards));
   o.set("measure_latency", Json::boolean(f.options.measure_latency));
   o.set("workload", std::move(workload));
+  o.set("server", server_to_json(f.server, hex));
   return o;
 }
 
@@ -510,6 +559,7 @@ void fleet_from_json(const Json& v, const std::string& path, FleetSpec& f) {
     }
     rw.finish();
   }
+  if (const Json* j = r.take("server")) server_from_json(*j, r.sub("server"), f.server);
   r.finish();
 }
 
@@ -526,7 +576,7 @@ Json to_json(const ScenarioSpec& spec, bool hexfloat) {
   o.set("protocol", protocol_to_json(spec.protocol, hexfloat));
   o.set("des", des_to_json(spec.des, hexfloat));
   o.set("sweep", sweep_to_json(spec.sweep));
-  o.set("fleet", fleet_to_json(spec.fleet));
+  o.set("fleet", fleet_to_json(spec.fleet, hexfloat));
   return o;
 }
 
@@ -535,7 +585,8 @@ ScenarioSpec spec_from_json(const Json& v) {
   ObjectReader r(v, "");
   r.read("name", spec.name);
   r.read_enum("mode", spec.mode,
-              {RunMode::kRound, RunMode::kSweep, RunMode::kDes, RunMode::kFleet});
+              {RunMode::kRound, RunMode::kSweep, RunMode::kDes, RunMode::kFleet,
+               RunMode::kServe});
   if (const Json* j = r.take("deployment"))
     deployment_from_json(*j, "deployment", spec.deployment);
   if (const Json* j = r.take("round")) round_from_json(*j, "round", spec.round);
@@ -563,14 +614,20 @@ ScenarioSpec load_spec(const std::string& path) {
   if (!in) throw SpecError("", "cannot open spec file " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  ScenarioSpec spec;
+  // Every failure mode below — JSON syntax, structural spec errors, failed
+  // validation — must surface with the file's path: load_spec is what CLIs
+  // call, and "round.arrival.sigma_m: must be >= 0" with no file name is
+  // useless when a run loads several specs.
   try {
-    spec = parse_spec(ss.str());
+    ScenarioSpec spec = parse_spec(ss.str());
+    validate_or_throw(spec);
+    return spec;
   } catch (const JsonError& e) {
     throw SpecError("", path + ": " + e.what());
+  } catch (const SpecError& e) {
+    // e.what() already carries the dotted field path; prepend the file.
+    throw SpecError("", path + ": " + e.what());
   }
-  validate_or_throw(spec);
-  return spec;
 }
 
 void save_spec(const ScenarioSpec& spec, const std::string& path, bool hexfloat) {
@@ -745,6 +802,30 @@ std::vector<std::string> validate(const ScenarioSpec& spec) {
     err("fleet.workload.max_rounds", "must be >= min_rounds");
   if (w.force_kind > static_cast<int>(sim::GroupScenarioKind::kPacketDes))
     err("fleet.workload.kind_mix", "out of range");
+
+  // fleet.server (serve mode)
+  const ServeSpec& srv = spec.fleet.server;
+  if (srv.options.workers > kMaxWorkers)
+    err("fleet.server.workers", "must be <= 1024 (0 = one per hardware thread)");
+  if (srv.options.queue_depth < 1) err("fleet.server.queue_depth", "must be >= 1");
+  if (!finite(srv.tick_period_s) || srv.tick_period_s <= 0.0)
+    err("fleet.server.tick_period_s", "must be > 0");
+  if (srv.transport_capacity < 1)
+    err("fleet.server.transport_capacity", "must be >= 1");
+  const fleet::ShaperOptions& sh = srv.options.shaping;
+  if (sh.ingest_shards < 1 || sh.ingest_shards > kMaxWorkers)
+    err("fleet.server.shaping.ingest_shards", "must be in [1, 1024]");
+  if (sh.queue_depth < 1) err("fleet.server.shaping.queue_depth", "must be >= 1");
+  if (!finite(sh.drain_rounds_per_s) || sh.drain_rounds_per_s <= 0.0)
+    err("fleet.server.shaping.drain_rounds_per_s", "must be > 0");
+  if (!finite(sh.rate_rounds_per_s) || sh.rate_rounds_per_s < 0.0)
+    err("fleet.server.shaping.rate_rounds_per_s", "must be >= 0 (0 = unlimited)");
+  if (!finite(sh.burst_rounds) || sh.burst_rounds < 1.0)
+    err("fleet.server.shaping.burst_rounds", "must be >= 1");
+  if (!(sh.feedback_threshold >= 0.0 && sh.feedback_threshold <= 1.0))
+    err("fleet.server.shaping.feedback_threshold", "out of range [0, 1]");
+  if (!finite(sh.defer_delay_s) || sh.defer_delay_s <= 0.0)
+    err("fleet.server.shaping.defer_delay_s", "must be > 0");
 
   return errors;
 }

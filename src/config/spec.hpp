@@ -21,6 +21,7 @@
 
 #include "config/json.hpp"
 #include "core/tracker.hpp"
+#include "fleet/server.hpp"
 #include "fleet/service.hpp"
 #include "proto/slot_schedule.hpp"
 #include "sim/fleet_workload.hpp"
@@ -50,6 +51,7 @@ enum class RunMode : std::uint8_t {
   kSweep = 1,  // Monte-Carlo sweep of rounds via sim::SweepRunner
   kDes = 2,    // packet-level multi-round des::DesScenario
   kFleet = 3,  // many-session fleet::FleetService serving run
+  kServe = 4,  // the same workload streamed through fleet::Server
 };
 const char* to_string(RunMode mode);
 
@@ -101,9 +103,23 @@ struct DesSpec {
   std::vector<MotionSpec> motion;  // lawnmower or waypoint tracks, by node
 };
 
+// Serve-mode knobs (fleet.server): the ingest server's worker/queue shape
+// and the admission/shaping policy. The server's master_seed and
+// measure_latency always mirror fleet.options — one seed drives both the
+// synchronous and the streamed run of a workload, which is what makes the
+// serve-vs-fleet bit-identity checkable from one spec.
+struct ServeSpec {
+  fleet::ServerOptions options{};
+  // Virtual seconds per feeder tick (the ingest clock's granularity).
+  double tick_period_s = 1.0;
+  // RingBufferTransport capacity for the in-process serve driver.
+  std::size_t transport_capacity = 256;
+};
+
 struct FleetSpec {
   fleet::FleetOptions options{};
   sim::WorkloadParams workload{};
+  ServeSpec server{};
 };
 
 struct ScenarioSpec {

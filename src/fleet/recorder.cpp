@@ -143,14 +143,20 @@ FleetTrace read_fleet_trace(std::istream& in) {
 
   const std::uint64_t count = r.u64();
   if (count != p.sessions) throw WireError("fleet trace: session count mismatch");
-  // Each recorded session costs bytes in the stream; a count far beyond the
-  // remaining buffer is a corrupt length field, not a huge trace.
-  if (count > buf.size()) throw WireError("fleet trace: implausible session count");
+  // Every count field sizes an allocation, so it must be proven against the
+  // bytes still in the stream *before* the resize — a corrupt count must
+  // fail as WireError, never as bad_alloc. Each session costs at least 16
+  // bytes (id + event count); each event at least 9 (kind tag + 8-byte
+  // body). Bounding against the remaining bytes (not the total buffer)
+  // keeps the check tight deep inside large traces.
+  if (count > (buf.size() - r.pos) / 16)
+    throw WireError("fleet trace: implausible session count");
   trace.sessions.resize(count);
   for (SessionTrace& s : trace.sessions) {
     s.session_id = r.u64();
     const std::uint64_t events = r.u64();
-    if (events > buf.size()) throw WireError("fleet trace: implausible event count");
+    if (events > (buf.size() - r.pos) / 9)
+      throw WireError("fleet trace: implausible event count");
     s.events.resize(events);
     for (TraceEvent& ev : s.events) {
       const std::uint8_t kind = r.u8();

@@ -1,0 +1,274 @@
+#include "fleet/server.hpp"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "fleet/recorder.hpp"
+#include "util/thread_pool.hpp"
+
+namespace uwp::fleet {
+
+namespace {
+
+// One admitted-or-shed frame on its way to a worker.
+struct WorkItem {
+  IngestFrame frame;
+  bool shed = false;
+};
+
+// A session's serving-side state, owned by exactly one worker (sessions map
+// to workers by id), so none of it needs locks.
+struct WorkerSession {
+  std::unique_ptr<SessionRuntime> rt;
+  uwp::Rng solve_rng{0};
+  SessionMetrics metrics;
+  RoundRecord scratch;
+  bool active = false;
+};
+
+}  // namespace
+
+Server::Server(const ServerOptions& opts, std::vector<sim::GroupScenario> workload)
+    : opts_(opts), workload_(std::move(workload)) {
+  for (std::size_t i = 0; i < workload_.size(); ++i) {
+    if (workload_[i].session_id != i)
+      throw std::invalid_argument("Server: workload must be indexed by session id");
+    if (workload_[i].lifetime_rounds < 1)
+      throw std::invalid_argument("Server: session lifetime must be >= 1 round");
+  }
+}
+
+ServerResult Server::serve(Transport& transport, SessionRecorder* recorder) {
+  const auto wall0 = std::chrono::steady_clock::now();
+  const std::size_t workers = ThreadPool::resolve_thread_count(opts_.workers);
+
+  std::vector<std::unique_ptr<BoundedQueue<WorkItem>>> queues;
+  queues.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    queues.push_back(std::make_unique<BoundedQueue<WorkItem>>(opts_.queue_depth));
+
+  // Per-worker outputs, merged in worker order after the join.
+  std::vector<std::vector<std::unique_ptr<WorkerSession>>> states(workers);
+  std::vector<std::vector<double>> latencies(workers);
+  std::vector<std::exception_ptr> errors(workers);
+
+  auto worker_body = [&](std::size_t w) {
+    std::vector<std::unique_ptr<WorkerSession>>& mine = states[w];
+    mine.resize(workload_.size());
+    ShardArena arena;
+    std::vector<double>* lat = opts_.measure_latency ? &latencies[w] : nullptr;
+
+    WorkItem item;
+    while (queues[w]->pop(item)) {
+      if (errors[w] != nullptr) continue;  // failed: drain without processing
+      try {
+        const std::uint64_t id = item.frame.session_id;
+        const sim::GroupScenario& sc = workload_[static_cast<std::size_t>(id)];
+        std::unique_ptr<WorkerSession>& slot = mine[static_cast<std::size_t>(id)];
+        if (slot == nullptr) {
+          slot = std::make_unique<WorkerSession>();
+          slot->solve_rng =
+              uwp::Rng(session_stream_seed(opts_.master_seed, id, kSolverStream));
+          slot->metrics.session_id = id;
+          slot->metrics.kind = sc.kind;
+        }
+        WorkerSession& s = *slot;
+
+        if (item.frame.kind == IngestKind::kBye) {
+          if (s.active) {
+            arena.release(std::move(s.rt));
+            s.active = false;
+            if (recorder != nullptr) recorder->on_evict(id);
+          }
+          continue;
+        }
+
+        if (!s.active) {
+          s.rt = arena.lease(pipeline_options_for(sc));
+          s.active = true;
+          if (recorder != nullptr) recorder->on_admit(sc);
+        }
+
+        if (item.frame.kind == IngestKind::kCoast || item.shed) {
+          // Device-side dropout and server-side shed land in the same
+          // place: the tracker coasts, and the trace records a coast.
+          s.rt->pipe.coast(item.frame.dt_s);
+          s.metrics.note_coast();
+          if (recorder != nullptr) recorder->on_coast(id, item.frame.dt_s);
+          continue;
+        }
+
+        std::size_t pos = 0;
+        decode_measurement(item.frame.payload, pos, s.rt->meas);
+        // A frame is only internally consistent; the pipeline indexes by
+        // the scenario's device count, so a mismatched frame must be
+        // rejected here, not read out of bounds downstream.
+        if (s.rt->meas.protocol.timestamps.rows() != sc.scene.protocol.num_devices)
+          throw WireError("ingest: measurement device count != session's");
+        if (recorder != nullptr)
+          recorder->on_measurement(id, item.frame.round, item.frame.dt_s, s.rt->meas);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const pipeline::RoundOutput& out =
+            s.rt->pipe.run_round(s.rt->meas, s.solve_rng, item.frame.dt_s);
+        if (lat != nullptr)
+          lat->push_back(
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count());
+
+        s.metrics.note_round(out);
+        if (recorder != nullptr) {
+          s.scratch.round = item.frame.round;
+          s.scratch.localized = out.localized;
+          s.scratch.normalized_stress =
+              out.localized ? out.localization.normalized_stress : 0.0;
+          s.scratch.error_2d = out.error_2d;
+          s.scratch.tracked_error_2d = out.tracked_error_2d;
+          recorder->on_round_result(id, s.scratch);
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker_body, w);
+
+  IngestScheduler scheduler(opts_.shaping, workload_.size());
+  const IngestScheduler::Dispatch dispatch = [&](IngestFrame&& f, bool shed) {
+    const std::size_t w = static_cast<std::size_t>(f.session_id) % workers;
+    queues[w]->push(WorkItem{std::move(f), shed});
+  };
+
+  ServerResult out;
+  std::exception_ptr ingest_error;
+  try {
+    std::vector<std::uint8_t> bytes;
+    IngestFrame frame;
+    while (transport.recv(bytes)) {
+      ++out.stats.frames_received;
+      decode_ingest_frame(bytes, frame);
+      scheduler.on_frame(std::move(frame), dispatch);
+      frame.clear();
+    }
+    scheduler.finish(dispatch);
+  } catch (...) {
+    // Unblock producers stuck in send() and let the workers drain.
+    ingest_error = std::current_exception();
+    transport.close();
+  }
+
+  for (auto& q : queues) q->close();
+  for (std::thread& t : threads) t.join();
+
+  if (ingest_error != nullptr) std::rethrow_exception(ingest_error);
+  for (const std::exception_ptr& e : errors)
+    if (e != nullptr) std::rethrow_exception(e);
+
+  // Merge per-session metrics in id order: bit-identical for any worker
+  // count by construction.
+  std::vector<SessionMetrics> metrics(workload_.size());
+  for (std::size_t id = 0; id < workload_.size(); ++id) {
+    std::unique_ptr<WorkerSession>& slot = states[id % workers][id];
+    if (slot != nullptr) {
+      metrics[id] = std::move(slot->metrics);
+    } else {
+      metrics[id].session_id = id;
+      metrics[id].kind = workload_[id].kind;
+    }
+  }
+
+  out.fleet = finalize_fleet_result(std::move(metrics));
+  out.fleet.shards_used = workers;
+  for (std::size_t w = 0; w < workers; ++w)
+    out.fleet.round_latency_s.insert(out.fleet.round_latency_s.end(),
+                                     latencies[w].begin(), latencies[w].end());
+  out.fleet.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+
+  out.stats.shaper = scheduler.stats();
+  out.stats.peak_occupancy = scheduler.peak_occupancy();
+  out.stats.workers_used = workers;
+  out.schedule = scheduler.take_schedule();
+  out.schedule_digest = ingest_schedule_digest(out.schedule);
+  out.stats.schedule_mismatches =
+      verify_ingest_schedule(out.schedule, opts_.shaping, workload_.size());
+  return out;
+}
+
+// --- feed_workload ----------------------------------------------------------
+
+std::size_t feed_workload(Transport& transport,
+                          const std::vector<sim::GroupScenario>& workload,
+                          std::uint64_t master_seed, const FeedOptions& opts) {
+  std::vector<MeasurementFeed> feeds;
+  feeds.reserve(workload.size());
+  for (const sim::GroupScenario& sc : workload) feeds.emplace_back(sc, master_seed);
+
+  std::vector<bool> open(workload.size(), false);
+  std::vector<std::uint32_t> rounds(workload.size(), 0);
+  std::size_t live = workload.size();
+  std::size_t sent = 0;
+
+  pipeline::RoundMeasurement meas;
+  IngestFrame frame;
+  std::vector<std::uint8_t> bytes;
+
+  // Mirror the FleetService scheduler: one event per live session per tick,
+  // sessions in id order within a tick, admission gated on admit_tick. This
+  // ordering (with t_s = tick * tick_period_s) IS the ingest schedule every
+  // shaping decision is a function of.
+  for (std::size_t tick = 0; live > 0; ++tick) {
+    const double t_s = static_cast<double>(tick) * opts.tick_period_s;
+    for (std::size_t id = 0; id < workload.size(); ++id) {
+      MeasurementFeed& feed = feeds[id];
+      if (feed.exhausted()) continue;
+      if (!open[id]) {
+        if (tick < workload[id].admit_tick) continue;
+        feed.open();
+        open[id] = true;
+      }
+
+      frame.clear();
+      frame.session_id = id;
+      frame.t_s = t_s;
+      frame.dt_s = feed.next_dt_s();
+      frame.round = rounds[id];
+      if (feed.next(meas) == MeasurementFeed::Event::kMeasurement) {
+        frame.kind = IngestKind::kMeasurement;
+        encode_measurement(meas, frame.payload);
+        ++rounds[id];
+      } else {
+        frame.kind = IngestKind::kCoast;
+      }
+      encode_ingest_frame(frame, bytes);
+      if (!transport.send(std::move(bytes))) return sent;
+      bytes = {};
+      ++sent;
+
+      if (feed.exhausted()) {
+        feed.close();
+        frame.clear();
+        frame.kind = IngestKind::kBye;
+        frame.session_id = id;
+        frame.round = rounds[id];
+        frame.t_s = t_s;
+        encode_ingest_frame(frame, bytes);
+        if (!transport.send(std::move(bytes))) return sent;
+        bytes = {};
+        ++sent;
+        --live;
+      }
+    }
+  }
+
+  transport.close();
+  return sent;
+}
+
+}  // namespace uwp::fleet

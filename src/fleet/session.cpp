@@ -146,18 +146,14 @@ std::shared_ptr<const des::MobilityModel> make_waypoint(
 
 }  // namespace
 
-Session::Session(const sim::GroupScenario& scenario, std::uint64_t master_seed)
+// --- MeasurementFeed --------------------------------------------------------
+
+MeasurementFeed::MeasurementFeed(const sim::GroupScenario& scenario,
+                                 std::uint64_t master_seed)
     : sc_(&scenario),
-      meas_rng_(
-          session_stream_seed(master_seed, scenario.session_id, kMeasurementStream)),
-      solve_rng_(session_stream_seed(master_seed, scenario.session_id, kSolverStream)) {
-  metrics_.session_id = scenario.session_id;
-  metrics_.kind = scenario.kind;
-}
+      rng_(session_stream_seed(master_seed, scenario.session_id, kMeasurementStream)) {}
 
-void Session::admit(ShardArena& arena, SessionRecorder* recorder) {
-  rt_ = arena.lease(pipeline_options_for(*sc_));
-
+void MeasurementFeed::open() {
   if (sc_->kind == sim::GroupScenarioKind::kPacketDes) {
     des::DesScenarioConfig cfg;
     cfg.protocol = sc_->scene.protocol;
@@ -178,31 +174,59 @@ void Session::admit(ShardArena& arena, SessionRecorder* recorder) {
     else if (sc_->kind == sim::GroupScenarioKind::kWaypoint)
       mobility_ = make_waypoint(sc_->scene.positions, sc_->motion);
   }
+}
 
+void MeasurementFeed::close() {
+  model_.reset();
+  mobility_.reset();
+  closed_form_ = nullptr;
+}
+
+MeasurementFeed::Event MeasurementFeed::next(pipeline::RoundMeasurement& out) {
+  // Jammed round (dropout/churn groups): no measurement exists, so nothing
+  // reaches the wire; the serving side coasts its tracker.
+  if (sc_->dropout_prob > 0.0 && rng_.bernoulli(sc_->dropout_prob)) {
+    ++events_done_;
+    return Event::kCoast;
+  }
+  // Closed-form motion advances between rounds (the DES front-end moves
+  // its nodes itself, during rounds).
+  if (mobility_ != nullptr && closed_form_ != nullptr) {
+    const double t = static_cast<double>(events_done_) * sc_->round_period_s;
+    std::vector<Vec3>& pos = closed_form_->positions();
+    for (std::size_t i = 0; i < pos.size(); ++i) pos[i] = mobility_->position(i, t);
+  }
+  model_->measure(out, rng_);
+  ++events_done_;
+  return Event::kMeasurement;
+}
+
+// --- Session ----------------------------------------------------------------
+
+Session::Session(const sim::GroupScenario& scenario, std::uint64_t master_seed)
+    : sc_(&scenario),
+      feed_(scenario, master_seed),
+      solve_rng_(session_stream_seed(master_seed, scenario.session_id, kSolverStream)) {
+  metrics_.session_id = scenario.session_id;
+  metrics_.kind = scenario.kind;
+}
+
+void Session::admit(ShardArena& arena, SessionRecorder* recorder) {
+  rt_ = arena.lease(pipeline_options_for(*sc_));
+  feed_.open();
   state_ = SessionState::kActive;
   if (recorder != nullptr) recorder->on_admit(*sc_);
 }
 
 void Session::run_event(ShardArena& arena, SessionRecorder* recorder,
                         std::vector<double>* latencies) {
-  const double dt = events_done_ == 0 ? 0.0 : sc_->round_period_s;
+  const double dt = feed_.next_dt_s();
 
-  // Jammed round (dropout/churn groups): the tracker coasts on its motion
-  // model; no measurement exists, so nothing reaches the wire.
-  if (sc_->dropout_prob > 0.0 && meas_rng_.bernoulli(sc_->dropout_prob)) {
+  if (feed_.next(rt_->meas) == MeasurementFeed::Event::kCoast) {
     rt_->pipe.coast(dt);
     metrics_.note_coast();
     if (recorder != nullptr) recorder->on_coast(sc_->session_id, dt);
   } else {
-    // Closed-form motion advances between rounds (the DES front-end moves
-    // its nodes itself, during rounds).
-    if (mobility_ != nullptr && closed_form_ != nullptr) {
-      const double t = static_cast<double>(events_done_) * sc_->round_period_s;
-      std::vector<Vec3>& pos = closed_form_->positions();
-      for (std::size_t i = 0; i < pos.size(); ++i) pos[i] = mobility_->position(i, t);
-    }
-
-    model_->measure(rt_->meas, meas_rng_);
     const std::uint32_t round_index = static_cast<std::uint32_t>(metrics_.rounds);
     if (recorder != nullptr)
       recorder->on_measurement(sc_->session_id, round_index, dt, rt_->meas);
@@ -225,11 +249,9 @@ void Session::run_event(ShardArena& arena, SessionRecorder* recorder,
     }
   }
 
-  if (++events_done_ >= sc_->lifetime_rounds) {
+  if (feed_.exhausted()) {
     arena.release(std::move(rt_));
-    model_.reset();
-    mobility_.reset();
-    closed_form_ = nullptr;
+    feed_.close();
     state_ = SessionState::kEvicted;
     if (recorder != nullptr) recorder->on_evict(sc_->session_id);
   }

@@ -128,6 +128,49 @@ class ShardArena {
 // live service and the trace replayer, which must agree exactly).
 pipeline::PipelineOptions pipeline_options_for(const sim::GroupScenario& sc);
 
+// --- measurement feed -------------------------------------------------------
+
+// The client side of a session: the deterministic event stream its devices
+// produce — dropout draws, closed-form motion, front-end sampling — with no
+// serving-side state attached. The live FleetService couples producer and
+// consumer in-process (Session owns a feed); the ingest server's workload
+// feeder runs the same feed on the producer side of a Transport. Both paths
+// consume the identical measurement rng stream, so a served fleet is
+// bit-identical to the synchronous one on the same (workload, master_seed).
+class MeasurementFeed {
+ public:
+  MeasurementFeed(const sim::GroupScenario& scenario, std::uint64_t master_seed);
+
+  // Build the front-end (admit time) / drop it (evict time). The rng stream
+  // is seeded at construction; open/close only manage front-end memory so a
+  // large fleet holds models only for its live sessions.
+  void open();
+  void close();
+
+  enum class Event : std::uint8_t { kCoast, kMeasurement };
+
+  // dt the pipeline expects for the *next* event (0.0 for the first).
+  double next_dt_s() const {
+    return events_done_ == 0 ? 0.0 : sc_->round_period_s;
+  }
+  // Produce the session's next event. For kMeasurement `out` holds the
+  // sampled round; for a jammed dropout round it is untouched. Requires
+  // open() and !exhausted().
+  Event next(pipeline::RoundMeasurement& out);
+
+  std::size_t events_done() const { return events_done_; }
+  bool exhausted() const { return events_done_ >= sc_->lifetime_rounds; }
+  const sim::GroupScenario& scenario() const { return *sc_; }
+
+ private:
+  const sim::GroupScenario* sc_;
+  std::size_t events_done_ = 0;
+  uwp::Rng rng_;  // the session's private measurement stream
+  std::unique_ptr<pipeline::MeasurementModel> model_;
+  pipeline::ClosedFormModel* closed_form_ = nullptr;  // owned via model_
+  std::shared_ptr<const des::MobilityModel> mobility_;  // closed-form motion
+};
+
 // --- session ----------------------------------------------------------------
 
 enum class SessionState : std::uint8_t { kPending, kActive, kEvicted };
@@ -156,13 +199,9 @@ class Session {
 
   const sim::GroupScenario* sc_;
   SessionState state_ = SessionState::kPending;
-  std::size_t events_done_ = 0;
-  uwp::Rng meas_rng_;
+  MeasurementFeed feed_;
   uwp::Rng solve_rng_;
   std::unique_ptr<SessionRuntime> rt_;
-  std::unique_ptr<pipeline::MeasurementModel> model_;
-  pipeline::ClosedFormModel* closed_form_ = nullptr;  // owned via model_
-  std::shared_ptr<const des::MobilityModel> mobility_;  // closed-form motion
   SessionMetrics metrics_;
   RoundRecord record_scratch_;
 };

@@ -1,0 +1,90 @@
+#include "fleet/transport.hpp"
+
+#include <utility>
+
+namespace uwp::fleet {
+
+void encode_ingest_frame(const IngestFrame& f, std::vector<std::uint8_t>& out) {
+  out.clear();
+  put_u32(out, kIngestMagic);
+  put_u16(out, kIngestVersion);
+  put_u8(out, static_cast<std::uint8_t>(f.kind));
+  put_u64(out, f.session_id);
+  put_u32(out, f.round);
+  put_f64(out, f.t_s);
+  put_f64(out, f.dt_s);
+  put_u64(out, f.payload.size());
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+}
+
+void decode_ingest_frame(std::span<const std::uint8_t> in, IngestFrame& out) {
+  ByteReader r{in, 0};
+  if (r.u32() != kIngestMagic) throw WireError("ingest frame: bad magic");
+  const std::uint16_t version = r.u16();
+  if (version != kIngestVersion)
+    throw WireError("ingest frame: unsupported version " + std::to_string(version));
+  const std::uint8_t kind = r.u8();
+  if (kind < static_cast<std::uint8_t>(IngestKind::kMeasurement) ||
+      kind > static_cast<std::uint8_t>(IngestKind::kBye))
+    throw WireError("ingest frame: unknown kind " + std::to_string(kind));
+  out.kind = static_cast<IngestKind>(kind);
+  out.session_id = r.u64();
+  out.round = r.u32();
+  out.t_s = r.f64();
+  out.dt_s = r.f64();
+  const std::uint64_t len = r.u64();
+  r.need(len);
+  if (out.kind != IngestKind::kMeasurement && len != 0)
+    throw WireError("ingest frame: unexpected payload on a control frame");
+  out.payload.assign(in.begin() + static_cast<std::ptrdiff_t>(r.pos),
+                     in.begin() + static_cast<std::ptrdiff_t>(r.pos + len));
+  r.pos += len;
+  if (r.pos != in.size()) throw WireError("ingest frame: trailing bytes");
+}
+
+// --- RingBufferTransport ----------------------------------------------------
+
+RingBufferTransport::RingBufferTransport(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool RingBufferTransport::send(std::vector<std::uint8_t> frame) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!closed_ && ring_.size() >= capacity_) {
+    ++send_waits_;
+    not_full_.wait(lock, [&] { return closed_ || ring_.size() < capacity_; });
+  }
+  if (closed_) return false;
+  ring_.push_back(std::move(frame));
+  ++frames_sent_;
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RingBufferTransport::recv(std::vector<std::uint8_t>& frame) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !ring_.empty(); });
+  if (ring_.empty()) return false;  // closed and drained
+  frame = std::move(ring_.front());
+  ring_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+void RingBufferTransport::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t RingBufferTransport::frames_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_sent_;
+}
+
+std::size_t RingBufferTransport::send_waits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return send_waits_;
+}
+
+}  // namespace uwp::fleet

@@ -19,7 +19,7 @@ namespace {
 ScenarioSpec random_spec(uwp::Rng& rng, bool include_nan) {
   ScenarioSpec s;
   s.name = "random_" + std::to_string(rng.uniform_int(0, 1 << 30));
-  s.mode = static_cast<RunMode>(rng.uniform_int(0, 3));
+  s.mode = static_cast<RunMode>(rng.uniform_int(0, 4));
   s.deployment.preset = static_cast<DeploymentPreset>(rng.uniform_int(0, 3));
   s.deployment.environment = static_cast<EnvironmentPreset>(rng.uniform_int(0, 3));
   s.deployment.seed = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30)) |
@@ -110,6 +110,21 @@ ScenarioSpec random_spec(uwp::Rng& rng, bool include_nan) {
       static_cast<std::size_t>(rng.uniform_int(0, 16));
   s.fleet.workload.include_des = rng.bernoulli(0.5);
   s.fleet.workload.force_kind = static_cast<int>(rng.uniform_int(-1, 4));
+
+  s.fleet.server.options.workers = static_cast<std::size_t>(rng.uniform_int(0, 16));
+  s.fleet.server.options.queue_depth = static_cast<std::size_t>(rng.uniform_int(1, 256));
+  s.fleet.server.tick_period_s = rng.uniform(0.1, 5.0);
+  s.fleet.server.transport_capacity = static_cast<std::size_t>(rng.uniform_int(1, 512));
+  auto& shaping = s.fleet.server.options.shaping;
+  shaping.policy = static_cast<fleet::AdmissionPolicy>(rng.uniform_int(0, 2));
+  shaping.ingest_shards = static_cast<std::size_t>(rng.uniform_int(1, 16));
+  shaping.queue_depth = static_cast<std::size_t>(rng.uniform_int(1, 64));
+  shaping.drain_rounds_per_s = rng.uniform(0.5, 64.0);
+  shaping.rate_rounds_per_s = rng.bernoulli(0.5) ? 0.0 : rng.uniform(1.0, 64.0);
+  shaping.burst_rounds = rng.uniform(1.0, 16.0);
+  shaping.feedback_threshold = rng.uniform(0.0, 1.0);
+  shaping.defer_delay_s = rng.uniform(0.01, 2.0);
+  shaping.max_defers = static_cast<std::size_t>(rng.uniform_int(0, 16));
   return s;
 }
 

@@ -193,6 +193,66 @@ TEST(FleetRecordReplay, CorruptTracesAreRejected) {
   }
 }
 
+TEST(FleetRecordReplay, ImplausibleCountsFailAsWireErrorNotBadAlloc) {
+  sim::WorkloadParams params = small_params(4, 0x42u);
+  params.include_des = false;
+  FleetOptions fo;
+  fo.master_seed = 7;
+  fo.shards = 1;
+  FleetService service(fo, sim::make_workload(params));
+  SessionRecorder recorder(fo.master_seed, params, service.workload());
+  service.run(&recorder);
+
+  std::ostringstream out;
+  recorder.write(out);
+  const std::string good = out.str();
+
+  const auto put_u64_at = [](std::string& s, std::size_t at, std::uint64_t v) {
+    for (int b = 0; b < 8; ++b)
+      s[at + static_cast<std::size_t>(b)] =
+          static_cast<char>((v >> (8 * b)) & 0xffu);
+  };
+  // Header layout: magic(4) version(2) master_seed(8) digest(8) -> params
+  // start at 22 (sessions first), 7 u64s + 2 u8s -> session count at 80,
+  // session 0's id at 88 and its event count at 96.
+  {
+    // A count field that would allocate terabytes must fail the remaining-
+    // bytes plausibility check as WireError — resize-then-discover-EOF
+    // dies in the allocator (bad_alloc / OOM) instead.
+    std::string bad = good;
+    put_u64_at(bad, 22, 0x1000000000000ull);  // params.sessions (must match)
+    put_u64_at(bad, 80, 0x1000000000000ull);  // session count
+    std::istringstream in(bad);
+    try {
+      read_fleet_trace(in);
+      FAIL() << "implausible session count accepted";
+    } catch (const WireError& e) {
+      EXPECT_NE(std::string(e.what()).find("implausible session count"),
+                std::string::npos);
+    }
+  }
+  {
+    std::string bad = good;
+    put_u64_at(bad, 96, 0xFFFFFFFFFFFFFFFFull);  // session 0's event count
+    std::istringstream in(bad);
+    try {
+      read_fleet_trace(in);
+      FAIL() << "implausible event count accepted";
+    } catch (const WireError& e) {
+      EXPECT_NE(std::string(e.what()).find("implausible event count"),
+                std::string::npos);
+    }
+  }
+  {
+    // An event count larger than the bytes left but too small to OOM is
+    // caught by the same bound (9 bytes per event minimum).
+    std::string bad = good;
+    put_u64_at(bad, 96, good.size());
+    std::istringstream in(bad);
+    EXPECT_THROW(read_fleet_trace(in), WireError);
+  }
+}
+
 TEST(FleetRecordReplay, WorkloadVersionSkewIsRejectedWithAClearError) {
   sim::WorkloadParams params = small_params(6, 0x99u);
   params.include_des = false;

@@ -42,6 +42,58 @@ TEST(Percentile, EmptyAndOutOfRangeThrow) {
   EXPECT_THROW(uwp::percentile(xs, 100.1), std::invalid_argument);
 }
 
+TEST(Percentile, TwoSamplePinnedValues) {
+  // The two-sample case exercises every branch of rank = pct/100 * (n-1):
+  // the endpoints land exactly on the order statistics, everything else is
+  // a pure linear blend of the only two values.
+  const std::vector<double> xs = {2.0, 8.0};
+  EXPECT_DOUBLE_EQ(uwp::percentile(xs, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(uwp::percentile(xs, 10.0), 2.6);
+  EXPECT_DOUBLE_EQ(uwp::percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(uwp::percentile(xs, 99.0), 7.94);
+  EXPECT_DOUBLE_EQ(uwp::percentile(xs, 100.0), 8.0);
+}
+
+TEST(Percentile, UnsortedInputMatchesSorted) {
+  const std::vector<double> unsorted = {9.0, 1.0, 5.0, 3.0, 7.0};
+  const std::vector<double> sorted = {1.0, 3.0, 5.0, 7.0, 9.0};
+  for (const double pct : {0.0, 12.5, 37.5, 50.0, 87.5, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(uwp::percentile(unsorted, pct), uwp::percentile(sorted, pct))
+        << "pct=" << pct;
+  // And the input itself is left untouched (percentile sorts a copy).
+  EXPECT_EQ(unsorted.front(), 9.0);
+  EXPECT_EQ(unsorted.back(), 7.0);
+}
+
+TEST(RateLatency, EmptyLatenciesReportZeroPercentiles) {
+  const std::vector<double> none;
+  const RateLatency rl = rate_latency(120, 2.0, none);
+  EXPECT_DOUBLE_EQ(rl.rounds_per_sec, 60.0);
+  EXPECT_DOUBLE_EQ(rl.p50_s, 0.0);
+  EXPECT_DOUBLE_EQ(rl.p99_s, 0.0);
+}
+
+TEST(RateLatency, NonPositiveWallClockReportsZeroRate) {
+  const std::vector<double> lat = {0.5};
+  EXPECT_DOUBLE_EQ(rate_latency(10, 0.0, lat).rounds_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(rate_latency(10, -1.0, lat).rounds_per_sec, 0.0);
+  // The latency percentiles are still computed from the samples.
+  EXPECT_DOUBLE_EQ(rate_latency(10, 0.0, lat).p50_s, 0.5);
+}
+
+TEST(RateLatency, SingleAndUnsortedSamples) {
+  const std::vector<double> one = {0.25};
+  const RateLatency single = rate_latency(1, 1.0, one);
+  EXPECT_DOUBLE_EQ(single.p50_s, 0.25);
+  EXPECT_DOUBLE_EQ(single.p99_s, 0.25);
+
+  const std::vector<double> unsorted = {0.9, 0.1, 0.5};
+  const RateLatency rl = rate_latency(3, 1.5, unsorted);
+  EXPECT_DOUBLE_EQ(rl.rounds_per_sec, 2.0);
+  EXPECT_DOUBLE_EQ(rl.p50_s, 0.5);
+  EXPECT_DOUBLE_EQ(rl.p99_s, uwp::percentile(unsorted, 99.0));
+}
+
 TEST(Cep, MatchesPercentileOfRadialErrors) {
   const std::vector<double> r = {1.0, 2.0, 3.0, 4.0, 5.0};
   EXPECT_DOUBLE_EQ(cep(r), 3.0);                 // CEP50 = median radius

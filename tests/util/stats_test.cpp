@@ -44,6 +44,13 @@ TEST(Stats, PercentileValidation) {
   EXPECT_THROW(percentile(std::vector<double>{1.0}, 101), std::invalid_argument);
 }
 
+TEST(Stats, PercentileSingleSample) {
+  // One sample is every percentile: rank = pct/100 * (n-1) is always 0.
+  const std::vector<double> one = {42.0};
+  for (const double pct : {0.0, 1.0, 50.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(percentile(one, pct), 42.0) << "pct=" << pct;
+}
+
 TEST(Stats, PercentileIsOrderInvariant) {
   const std::vector<double> a = {5, 1, 4, 2, 3};
   const std::vector<double> b = {1, 2, 3, 4, 5};

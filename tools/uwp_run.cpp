@@ -9,8 +9,9 @@
 // Flags:
 //   --spec=FILE    the ScenarioSpec (required); parsed and validated first,
 //                  so a malformed file fails with path-qualified errors
-//   --mode=M       override the spec's mode: round | sweep | des | fleet
-//   --threads=N    override the worker count (sweep threads / fleet shards)
+//   --mode=M       override the spec's mode: round | sweep | des | fleet | serve
+//   --threads=N    override the worker count (sweep threads / fleet shards /
+//                  serve workers)
 //   --out=FILE     write run metrics as JSON; the deterministic part lives
 //                  under "metrics" (bit-identical at any --threads), wall
 //                  clock and friends under "timing"
@@ -18,14 +19,17 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "config/factory.hpp"
 #include "config/json.hpp"
 #include "config/spec.hpp"
 #include "fleet/recorder.hpp"
+#include "fleet/server.hpp"
 #include "sim/metrics.hpp"
 #include "util/stats.hpp"
 
@@ -43,7 +47,7 @@ struct Args {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --spec=FILE [--mode=round|sweep|des|fleet] "
+               "usage: %s --spec=FILE [--mode=round|sweep|des|fleet|serve] "
                "[--threads=N] [--out=FILE] [--print-spec]\n",
                argv0);
   return 2;
@@ -166,10 +170,10 @@ Json run_des(const uwp::config::ScenarioSpec& spec, Json& timing) {
   return metrics;
 }
 
-Json run_fleet(const uwp::config::ScenarioSpec& spec, Json& timing) {
-  const uwp::fleet::FleetService service = uwp::config::make_fleet_service(spec);
-  const uwp::fleet::FleetResult res = service.run();
-
+// The deterministic fleet-level metrics object plus the wall-clock timing
+// entries, shared verbatim by fleet and serve modes (the serve-vs-fleet
+// bit-identity check in CI diffs exactly this object).
+Json fleet_metrics_json(const uwp::fleet::FleetResult& res, Json& timing) {
   std::printf("%zu sessions, %zu rounds (%zu localized, %zu coasted), "
               "%zu shards, %.3f s\n",
               res.sessions.size(), res.rounds, res.localized, res.coasts,
@@ -208,6 +212,73 @@ Json run_fleet(const uwp::config::ScenarioSpec& spec, Json& timing) {
   return metrics;
 }
 
+Json run_fleet(const uwp::config::ScenarioSpec& spec, Json& timing) {
+  const uwp::fleet::FleetService service = uwp::config::make_fleet_service(spec);
+  const uwp::fleet::FleetResult res = service.run();
+  return fleet_metrics_json(res, timing);
+}
+
+Json run_serve(const uwp::config::ScenarioSpec& spec, Json& timing) {
+  uwp::fleet::Server server = uwp::config::make_fleet_server(spec);
+  const std::vector<uwp::sim::GroupScenario> workload =
+      uwp::config::make_workload(spec);
+  uwp::fleet::RingBufferTransport transport(spec.fleet.server.transport_capacity);
+
+  // Producer side: stream the workload's frames through the transport while
+  // this thread is the server's ingest loop.
+  uwp::fleet::FeedOptions feed_opts;
+  feed_opts.tick_period_s = spec.fleet.server.tick_period_s;
+  std::exception_ptr feed_error;
+  std::thread feeder([&] {
+    try {
+      uwp::fleet::feed_workload(transport, workload,
+                                spec.fleet.options.master_seed, feed_opts);
+    } catch (...) {
+      feed_error = std::current_exception();
+      transport.close();
+    }
+  });
+
+  uwp::fleet::ServerResult res;
+  try {
+    res = server.serve(transport);
+  } catch (...) {
+    transport.close();
+    feeder.join();
+    throw;
+  }
+  feeder.join();
+  if (feed_error != nullptr) std::rethrow_exception(feed_error);
+
+  Json metrics = fleet_metrics_json(res.fleet, timing);
+  const uwp::fleet::ShaperStats& sh = res.stats.shaper;
+  std::printf("ingest: %zu frames, %zu admitted / %zu shed rounds, "
+              "%zu defers, schedule %s (%s)\n",
+              sh.frames, sh.rounds_admitted, sh.rounds_shed, sh.defer_events,
+              hex64(res.schedule_digest).c_str(),
+              res.stats.schedule_mismatches == 0 ? "verified" : "MISMATCH");
+
+  Json serving = Json::object();
+  serving.set("policy",
+              Json::string(to_string(spec.fleet.server.options.shaping.policy)));
+  serving.set("frames", uwp::config::u64_to_json(sh.frames));
+  serving.set("rounds_admitted", uwp::config::u64_to_json(sh.rounds_admitted));
+  serving.set("rounds_shed", uwp::config::u64_to_json(sh.rounds_shed));
+  serving.set("defer_events", uwp::config::u64_to_json(sh.defer_events));
+  serving.set("frames_deferred", uwp::config::u64_to_json(sh.frames_deferred));
+  serving.set("max_backlog", uwp::config::u64_to_json(sh.max_backlog));
+  serving.set("peak_occupancy",
+              uwp::config::double_to_json(res.stats.peak_occupancy));
+  serving.set("schedule_digest", Json::string(hex64(res.schedule_digest)));
+  serving.set("schedule_verified",
+              Json::boolean(res.stats.schedule_mismatches == 0));
+  metrics.set("serving", std::move(serving));
+
+  timing.set("frames_received", uwp::config::u64_to_json(res.stats.frames_received));
+  timing.set("send_waits", uwp::config::u64_to_json(transport.send_waits()));
+  return metrics;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -226,7 +297,8 @@ int main(int argc, char** argv) {
     bool known = false;
     for (const uwp::config::RunMode m :
          {uwp::config::RunMode::kRound, uwp::config::RunMode::kSweep,
-          uwp::config::RunMode::kDes, uwp::config::RunMode::kFleet}) {
+          uwp::config::RunMode::kDes, uwp::config::RunMode::kFleet,
+          uwp::config::RunMode::kServe}) {
       if (args.mode != uwp::config::to_string(m)) continue;
       spec.mode = m;
       known = true;
@@ -239,6 +311,7 @@ int main(int argc, char** argv) {
   if (args.threads >= 0) {
     spec.sweep.threads = static_cast<std::size_t>(args.threads);
     spec.fleet.options.shards = static_cast<std::size_t>(args.threads);
+    spec.fleet.server.options.workers = static_cast<std::size_t>(args.threads);
   }
 
   if (args.print_spec) {
@@ -266,6 +339,9 @@ int main(int argc, char** argv) {
         break;
       case uwp::config::RunMode::kFleet:
         metrics = run_fleet(spec, timing);
+        break;
+      case uwp::config::RunMode::kServe:
+        metrics = run_serve(spec, timing);
         break;
     }
   } catch (const std::exception& e) {
