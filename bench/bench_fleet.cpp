@@ -9,8 +9,11 @@
 //                    thread; UWP_THREADS env var also works)
 //   --benchmark_format=json
 //                    emit google-benchmark-style JSON (BENCH_fleet.json in
-//                    CI): one entry with items_per_second = rounds/sec and
-//                    one entry each for the p50/p99 round latency
+//                    CI): one entry with items_per_second = rounds/sec, one
+//                    entry each for the p50/p99/p999 round latency and the
+//                    coast/evict rates, and a second rate entry for the same
+//                    run with telemetry instrumentation on — the pair CI
+//                    compares to pin the instrumentation overhead (< 3%)
 #include <cstdio>
 #include <map>
 #include <vector>
@@ -19,17 +22,19 @@
 #include "fleet/service.hpp"
 #include "sim/fleet_workload.hpp"
 #include "sim/metrics.hpp"
+#include "telemetry/collector.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
 
 uwp::fleet::FleetResult run_fleet(const std::vector<uwp::sim::GroupScenario>& workload,
-                                  std::size_t shards) {
+                                  std::size_t shards,
+                                  uwp::telemetry::Collector* telemetry = nullptr) {
   uwp::fleet::FleetOptions fo;
   fo.master_seed = 0xF1EE7u;
   fo.shards = shards;
   fo.measure_latency = true;
-  return uwp::fleet::FleetService(fo, workload).run();
+  return uwp::fleet::FleetService(fo, workload).run(nullptr, telemetry);
 }
 
 }  // namespace
@@ -52,6 +57,21 @@ int main(int argc, char** argv) {
     const uwp::fleet::FleetResult r = run_fleet(workload, shards);
     const uwp::sim::RateLatency rl =
         uwp::sim::rate_latency(r.rounds, r.wall_seconds, r.round_latency_s);
+
+    // The same run with the full telemetry plane attached (counters + span
+    // timers + ring). items_per_second(run_telemetry) / items_per_second(run)
+    // is the instrumentation overhead CI pins.
+    uwp::telemetry::TelemetryOptions topts;
+    topts.enabled = true;
+    uwp::telemetry::Collector collector(topts);
+    const uwp::fleet::FleetResult rt = run_fleet(workload, shards, &collector);
+    const uwp::sim::RateLatency rlt =
+        uwp::sim::rate_latency(rt.rounds, rt.wall_seconds, rt.round_latency_s);
+
+    // Coast/evict churn as rates per executed round: how much of the fleet's
+    // work is dropout coasting, and how fast sessions turn over (every
+    // session evicts exactly once at end of life in this driver).
+    const double rounds = r.rounds > 0 ? static_cast<double>(r.rounds) : 1.0;
     char name[64];
     std::snprintf(name, sizeof(name), "fleet/%zusessions", sessions);
     uwp::sim::BenchJsonReporter report;
@@ -59,8 +79,15 @@ int main(int argc, char** argv) {
                          rl.rounds_per_sec);
     report.add(std::string(name) + "/round_p50", rl.p50_s);
     report.add(std::string(name) + "/round_p99", rl.p99_s);
+    report.add(std::string(name) + "/round_p999", rl.p999_s);
+    report.add(std::string(name) + "/coast_rate",
+               static_cast<double>(r.coasts) / rounds);
+    report.add(std::string(name) + "/evict_rate",
+               static_cast<double>(r.sessions.size()) / rounds);
+    report.add_with_rate(std::string(name) + "/run_telemetry", rt.wall_seconds,
+                         rt.rounds, rlt.rounds_per_sec);
     report.write();
-    return r.localized > 0 ? 0 : 1;
+    return r.localized > 0 && rt.localized == r.localized ? 0 : 1;
   }
 
   std::printf("=== fleet serving: %zu concurrent positioning groups ===\n", sessions);
@@ -75,8 +102,9 @@ int main(int argc, char** argv) {
     std::printf("  %s=%zu", uwp::sim::to_string(kind), count);
   std::printf("\n\n");
 
-  std::printf("%8s %12s %14s %14s %14s %10s\n", "shards", "rounds/sec", "p50 round[ms]",
-              "p99 round[ms]", "wall[s]", "reused");
+  std::printf("%8s %12s %14s %14s %15s %10s %10s\n", "shards", "rounds/sec",
+              "p50 round[ms]", "p99 round[ms]", "p999 round[ms]", "wall[s]",
+              "reused");
   uwp::fleet::FleetResult last;
   std::vector<std::size_t> shard_counts = {1, 2, shards == 1 ? 4 : shards};
   // Dedupe resolved counts (e.g. --threads=2, or 0 resolving to 2 on a
@@ -97,8 +125,9 @@ int main(int argc, char** argv) {
     uwp::fleet::FleetResult r = service.run();
     const uwp::sim::RateLatency rl =
         uwp::sim::rate_latency(r.rounds, r.wall_seconds, r.round_latency_s);
-    std::printf("%8zu %12.0f %14.3f %14.3f %14.2f %9zu%%\n", r.shards_used,
-                rl.rounds_per_sec, rl.p50_s * 1e3, rl.p99_s * 1e3, r.wall_seconds,
+    std::printf("%8zu %12.0f %14.3f %14.3f %15.3f %10.2f %9zu%%\n", r.shards_used,
+                rl.rounds_per_sec, rl.p50_s * 1e3, rl.p99_s * 1e3, rl.p999_s * 1e3,
+                r.wall_seconds,
                 service.arena_stats().leases == 0
                     ? 0
                     : 100 * service.arena_stats().reuses / service.arena_stats().leases);

@@ -166,4 +166,19 @@ sim::SweepRunner make_sweep(const ScenarioSpec& spec) {
   return sim::SweepRunner(spec.sweep);
 }
 
+telemetry::TelemetryOptions make_telemetry_options(const ScenarioSpec& spec) {
+  validate_or_throw(spec);
+  telemetry::TelemetryOptions opts;
+  opts.enabled = spec.telemetry.enabled;
+  opts.timing = spec.telemetry.timing;
+  opts.ring_capacity = spec.telemetry.ring_capacity;
+  // Counter windows are specified in scheduler ticks. The fleet service
+  // stamps virtual time in tick units; the serve path stamps frame t_s,
+  // which advances tick_period_s per tick — scale so both modes window the
+  // same virtual timeline and their counter sections stay comparable.
+  opts.window = static_cast<double>(spec.telemetry.window_ticks);
+  if (spec.mode == RunMode::kServe) opts.window *= spec.fleet.server.tick_period_s;
+  return opts;
+}
+
 }  // namespace uwp::config

@@ -15,6 +15,7 @@
 #include "sim/fleet_workload.hpp"
 #include "sim/scenario.hpp"
 #include "sim/sweep.hpp"
+#include "telemetry/collector.hpp"
 
 namespace uwp::config {
 
@@ -51,5 +52,11 @@ fleet::Server make_fleet_server(const ScenarioSpec& spec);
 
 // Monte-Carlo sweep configured from spec.sweep.
 sim::SweepRunner make_sweep(const ScenarioSpec& spec);
+
+// Collector options from the telemetry section. The spec's window_ticks is
+// converted to the mode's virtual-time unit: fleet runs stamp tick indices,
+// serve runs stamp frame t_s (tick_period_s per tick), so the serve window
+// is scaled by tick_period_s — same windows on the same virtual timeline.
+telemetry::TelemetryOptions make_telemetry_options(const ScenarioSpec& spec);
 
 }  // namespace uwp::config

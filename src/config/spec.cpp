@@ -563,6 +563,24 @@ void fleet_from_json(const Json& v, const std::string& path, FleetSpec& f) {
   r.finish();
 }
 
+Json telemetry_to_json(const TelemetrySpec& t) {
+  Json o = Json::object();
+  o.set("enabled", Json::boolean(t.enabled));
+  o.set("timing", Json::boolean(t.timing));
+  o.set("window_ticks", u64_to_json(t.window_ticks));
+  o.set("ring_capacity", u64_to_json(t.ring_capacity));
+  return o;
+}
+
+void telemetry_from_json(const Json& v, const std::string& path, TelemetrySpec& t) {
+  ObjectReader r(v, path);
+  r.read("enabled", t.enabled);
+  r.read("timing", t.timing);
+  r.read("window_ticks", t.window_ticks);
+  r.read("ring_capacity", t.ring_capacity);
+  r.finish();
+}
+
 }  // namespace
 
 // --- top level --------------------------------------------------------------
@@ -577,6 +595,7 @@ Json to_json(const ScenarioSpec& spec, bool hexfloat) {
   o.set("des", des_to_json(spec.des, hexfloat));
   o.set("sweep", sweep_to_json(spec.sweep));
   o.set("fleet", fleet_to_json(spec.fleet, hexfloat));
+  o.set("telemetry", telemetry_to_json(spec.telemetry));
   return o;
 }
 
@@ -595,6 +614,8 @@ ScenarioSpec spec_from_json(const Json& v) {
   if (const Json* j = r.take("des")) des_from_json(*j, "des", spec.des);
   if (const Json* j = r.take("sweep")) sweep_from_json(*j, "sweep", spec.sweep);
   if (const Json* j = r.take("fleet")) fleet_from_json(*j, "fleet", spec.fleet);
+  if (const Json* j = r.take("telemetry"))
+    telemetry_from_json(*j, "telemetry", spec.telemetry);
   r.finish();
   return spec;
 }
@@ -826,6 +847,14 @@ std::vector<std::string> validate(const ScenarioSpec& spec) {
     err("fleet.server.shaping.feedback_threshold", "out of range [0, 1]");
   if (!finite(sh.defer_delay_s) || sh.defer_delay_s <= 0.0)
     err("fleet.server.shaping.defer_delay_s", "must be > 0");
+
+  // telemetry
+  if (spec.telemetry.window_ticks < 1) err("telemetry.window_ticks", "must be >= 1");
+  // The ring rounds up to a power of two; cap it where "capacity" stops
+  // being a buffer and starts being a typo'd byte count.
+  if (spec.telemetry.ring_capacity < 1 ||
+      spec.telemetry.ring_capacity > (std::size_t{1} << 24))
+    err("telemetry.ring_capacity", "must be in [1, 16777216]");
 
   return errors;
 }

@@ -122,6 +122,26 @@ struct FleetSpec {
   ServeSpec server{};
 };
 
+// Telemetry section (fleet/serve modes): configures the telemetry::Collector
+// a run attaches to its shard/worker loops. Counters are windowed on the
+// workload's virtual clock, so the emitted "counters" section is
+// bit-identical at any shard/worker/thread count; spans and queue-depth
+// samples ride the lossy ring and land in the run-varying "timing" section
+// (src/telemetry/README.md spells out the contract).
+struct TelemetrySpec {
+  bool enabled = false;
+  // false: keep counters but skip every clock read (no span histograms) —
+  // the near-zero-overhead setting for production-shaped benchmarks.
+  bool timing = true;
+  // Counter window width in scheduler ticks. Serve mode scales it by
+  // fleet.server.tick_period_s so both modes window the same virtual
+  // timeline (make_telemetry_options).
+  std::size_t window_ticks = 16;
+  // Per-stream event ring capacity (rounded up to a power of two). Overflow
+  // drops events — counted, never blocking the hot path.
+  std::size_t ring_capacity = 1 << 15;
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   RunMode mode = RunMode::kRound;
@@ -136,6 +156,7 @@ struct ScenarioSpec {
   DesSpec des{};
   sim::SweepOptions sweep{};
   FleetSpec fleet{};
+  TelemetrySpec telemetry{};
 };
 
 // --- serialization ----------------------------------------------------------

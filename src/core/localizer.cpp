@@ -44,6 +44,7 @@ void Localizer::localize_into(LocalizationResult& out, const LocalizationInput& 
   out.normalized_stress = ws.topo.normalized_stress;
   out.dropped_links = ws.topo.dropped_links;
   out.outliers_suspected = ws.topo.outliers_suspected;
+  out.solver_iterations = ws.topo.iterations;
   out.flipped = flipped;
   out.flip_vote_margin = static_cast<int>(std::abs(score_original - score_flipped));
 

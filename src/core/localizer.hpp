@@ -38,6 +38,9 @@ struct LocalizationResult {
   bool outliers_suspected = false;
   bool flipped = false;
   int flip_vote_margin = 0;  // |score difference|, proxy for confidence
+  // SMACOF iterations spent across the base solve and every outlier-search
+  // candidate (OutlierResult::iterations): deterministic solver cost.
+  std::int64_t solver_iterations = 0;
 };
 
 struct LocalizerOptions {

@@ -67,6 +67,7 @@ void localize_with_outlier_detection_into(OutlierResult& out, const Matrix& dist
   smacof_2d_into(base, dist, weights, opts.smacof, rng, nullptr, ws.smacof_base);
   out.positions.assign(base.positions.begin(), base.positions.end());
   out.normalized_stress = base.normalized_stress;
+  out.iterations = base.iterations;
   if (base.normalized_stress < opts.stress_threshold) return;
 
   out.outliers_suspected = true;
@@ -144,6 +145,7 @@ void localize_with_outlier_detection_into(OutlierResult& out, const Matrix& dist
       }
       const std::size_t m = flat.size() / k;
       ws.cand_stress.resize(m);
+      ws.cand_iters.resize(m);
       if (!ws.search_pool || ws.search_pool->size() != search_threads)
         ws.search_pool = std::make_unique<ThreadPool>(search_threads);
       if (ws.lanes.size() < ws.search_pool->size())
@@ -158,7 +160,10 @@ void localize_with_outlier_detection_into(OutlierResult& out, const Matrix& dist
         }
         smacof_2d_into(lane.result, dist, lane.w, warm, lane.rng, &p0, lane.smacof);
         ws.cand_stress[ci] = lane.result.normalized_stress;
+        ws.cand_iters[ci] = lane.result.iterations;
       });
+      // Integer sum in enumeration order: thread-count invariant.
+      for (std::size_t ci = 0; ci < m; ++ci) out.iterations += ws.cand_iters[ci];
       // Serial reduction in enumeration order, replicating the serial
       // accept logic (including when realizability gets checked).
       std::size_t best_ci = std::numeric_limits<std::size_t>::max();
@@ -188,6 +193,7 @@ void localize_with_outlier_detection_into(OutlierResult& out, const Matrix& dist
           w(links[li].second, links[li].first) = 0.0;
         }
         smacof_2d_into(cand, dist, w, warm, rng, &p0, ws.smacof_cand);
+        out.iterations += cand.iterations;
         p_min.assign(cand.positions.begin(), cand.positions.end());
       }
     } else {
@@ -220,6 +226,7 @@ void localize_with_outlier_detection_into(OutlierResult& out, const Matrix& dist
           smacof_2d_into(cand, dist, w, warm, rng, &p0, ws.smacof_cand);
         else
           smacof_2d_into(cand, dist, w, opts.smacof, rng, nullptr, ws.smacof_cand);
+        out.iterations += cand.iterations;
         const bool significant = e0 - cand.normalized_stress > opts.drop_ratio * e0;
         if (significant && cand.normalized_stress < e_min) {
           if (pruned && !is_uniquely_realizable_2d(n, remaining)) continue;

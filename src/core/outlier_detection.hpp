@@ -7,6 +7,7 @@
 // dropped.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -56,6 +57,11 @@ struct OutlierResult {
   bool outliers_suspected = false;  // initial stress exceeded the threshold
   // Final weight matrix actually used (input weights minus dropped links).
   Matrix weights;
+  // Total SMACOF iterations spent on this round (base solve + every
+  // candidate solve). A pure function of the inputs — the parallel pruned
+  // search sums per-candidate counts in enumeration order — so it is part
+  // of the deterministic telemetry plane, not a timing.
+  std::int64_t iterations = 0;
 };
 
 // Algorithm 1: localize with outlier detection. `dist` is the projected 2D
@@ -89,6 +95,7 @@ struct OutlierWorkspace {
   std::vector<SearchLane> lanes;
   std::vector<std::size_t> flat_subsets;
   std::vector<double> cand_stress;
+  std::vector<std::int64_t> cand_iters;
 };
 
 // Workspace variant: bit-identical to the allocating form, no steady-state

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "fleet/recorder.hpp"
+#include "telemetry/collector.hpp"
 #include "util/thread_pool.hpp"
 
 namespace uwp::fleet {
@@ -41,9 +42,15 @@ Server::Server(const ServerOptions& opts, std::vector<sim::GroupScenario> worklo
   }
 }
 
-ServerResult Server::serve(Transport& transport, SessionRecorder* recorder) {
+ServerResult Server::serve(Transport& transport, SessionRecorder* recorder,
+                           telemetry::Collector* telemetry) {
   const auto wall0 = std::chrono::steady_clock::now();
   const std::size_t workers = ThreadPool::resolve_thread_count(opts_.workers);
+
+  // Stream 0 is the ingest loop, streams 1..workers the worker loops.
+  telemetry::Collector* const col =
+      telemetry != nullptr && telemetry->enabled() ? telemetry : nullptr;
+  if (col != nullptr) col->open(workers + 1);
 
   std::vector<std::unique_ptr<BoundedQueue<WorkItem>>> queues;
   queues.reserve(workers);
@@ -59,6 +66,8 @@ ServerResult Server::serve(Transport& transport, SessionRecorder* recorder) {
     std::vector<std::unique_ptr<WorkerSession>>& mine = states[w];
     mine.resize(workload_.size());
     ShardArena arena;
+    telemetry::ShardStream* const tel = col != nullptr ? &col->stream(1 + w) : nullptr;
+    arena.set_telemetry(tel);
     std::vector<double>* lat = opts_.measure_latency ? &latencies[w] : nullptr;
 
     WorkItem item;
@@ -76,20 +85,26 @@ ServerResult Server::serve(Transport& transport, SessionRecorder* recorder) {
           slot->metrics.kind = sc.kind;
         }
         WorkerSession& s = *slot;
+        // Counter windows key off the frame's own virtual time, which is
+        // what makes the counters section worker-count invariant.
+        if (tel != nullptr) tel->set_time(item.frame.t_s);
 
         if (item.frame.kind == IngestKind::kBye) {
           if (s.active) {
             arena.release(std::move(s.rt));
             s.active = false;
             if (recorder != nullptr) recorder->on_evict(id);
+            if (tel != nullptr) tel->count(telemetry::Counter::kEvicts);
           }
           continue;
         }
 
         if (!s.active) {
           s.rt = arena.lease(pipeline_options_for(sc));
+          s.rt->pipe.set_telemetry(tel);
           s.active = true;
           if (recorder != nullptr) recorder->on_admit(sc);
+          if (tel != nullptr) tel->count(telemetry::Counter::kAdmits);
         }
 
         if (item.frame.kind == IngestKind::kCoast || item.shed) {
@@ -98,6 +113,7 @@ ServerResult Server::serve(Transport& transport, SessionRecorder* recorder) {
           s.rt->pipe.coast(item.frame.dt_s);
           s.metrics.note_coast();
           if (recorder != nullptr) recorder->on_coast(id, item.frame.dt_s);
+          if (tel != nullptr) tel->count(telemetry::Counter::kCoasts);
           continue;
         }
 
@@ -139,9 +155,14 @@ ServerResult Server::serve(Transport& transport, SessionRecorder* recorder) {
   threads.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker_body, w);
 
+  telemetry::ShardStream* const ingest_tel = col != nullptr ? &col->stream(0) : nullptr;
   IngestScheduler scheduler(opts_.shaping, workload_.size());
+  scheduler.set_telemetry(ingest_tel);
   const IngestScheduler::Dispatch dispatch = [&](IngestFrame&& f, bool shed) {
     const std::size_t w = static_cast<std::size_t>(f.session_id) % workers;
+    if (ingest_tel != nullptr)
+      ingest_tel->sample(telemetry::Sample::kQueueDepth,
+                         static_cast<double>(queues[w]->size()));
     queues[w]->push(WorkItem{std::move(f), shed});
   };
 
@@ -152,6 +173,7 @@ ServerResult Server::serve(Transport& transport, SessionRecorder* recorder) {
     IngestFrame frame;
     while (transport.recv(bytes)) {
       ++out.stats.frames_received;
+      telemetry::SpanTimer span(ingest_tel, telemetry::Stage::kIngest);
       decode_ingest_frame(bytes, frame);
       scheduler.on_frame(std::move(frame), dispatch);
       frame.clear();

@@ -76,9 +76,16 @@ class BoundedQueue {
     not_empty_.notify_all();
   }
 
+  // Instantaneous occupancy (telemetry sampling; inherently racy-by-time,
+  // never part of any determinism contract).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
  private:
   const std::size_t capacity_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
@@ -133,9 +140,15 @@ class Server {
   // every deferred decision, join the workers. Blocks the calling thread
   // (it is the ingest loop). `recorder`, when set, captures the served
   // run's trace in the standard fleet trace format — replayable through
-  // fleet::Replayer. Throws WireError on malformed frames or unknown
-  // session ids (the transport is closed first so producers unblock).
-  ServerResult serve(Transport& transport, SessionRecorder* recorder = nullptr);
+  // fleet::Replayer. `telemetry`, when set and enabled, is opened with
+  // workers + 1 streams: stream 0 is the ingest loop (shaper verdicts on
+  // the virtual clock, dispatch-queue depth samples), streams 1..workers
+  // the worker loops (frame counters keyed by the frame's own t_s, stage
+  // spans) — so the counters section is invariant to the worker count.
+  // Throws WireError on malformed frames or unknown session ids (the
+  // transport is closed first so producers unblock).
+  ServerResult serve(Transport& transport, SessionRecorder* recorder = nullptr,
+                     telemetry::Collector* telemetry = nullptr);
 
   const ServerOptions& options() const { return opts_; }
 

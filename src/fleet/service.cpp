@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fleet/recorder.hpp"
+#include "telemetry/collector.hpp"
 #include "util/thread_pool.hpp"
 
 namespace uwp::fleet {
@@ -29,10 +30,15 @@ std::size_t FleetService::ticks() const {
   return t;
 }
 
-FleetResult FleetService::run(SessionRecorder* recorder) const {
+FleetResult FleetService::run(SessionRecorder* recorder,
+                              telemetry::Collector* telemetry) const {
   const std::size_t n_sessions = workload_.size();
   const std::size_t shards = ThreadPool::resolve_thread_count(opts_.shards);
   const std::size_t total_ticks = ticks();
+
+  telemetry::Collector* const col =
+      telemetry != nullptr && telemetry->enabled() ? telemetry : nullptr;
+  if (col != nullptr) col->open(shards);
 
   std::vector<SessionMetrics> metrics(n_sessions);
   std::vector<std::vector<double>> shard_latencies(shards);
@@ -40,7 +46,8 @@ FleetResult FleetService::run(SessionRecorder* recorder) const {
 
   // One shard: the sessions with id % shards == shard, run through the full
   // tick timeline in id order. Sessions are independent and the recorder's
-  // per-session buffers are disjoint, so shards share nothing mutable.
+  // per-session buffers are disjoint, so shards share nothing mutable (each
+  // telemetry stream has exactly one producer: its shard).
   const auto shard_body = [&](std::size_t shard) {
     std::vector<Session> sessions;
     std::vector<std::size_t> ids;
@@ -49,9 +56,13 @@ FleetResult FleetService::run(SessionRecorder* recorder) const {
     for (const std::size_t id : ids)
       sessions.emplace_back(workload_[id], opts_.master_seed);
 
+    telemetry::ShardStream* const tel = col != nullptr ? &col->stream(shard) : nullptr;
+    arenas[shard].set_telemetry(tel);
     std::vector<double>* lat = opts_.measure_latency ? &shard_latencies[shard] : nullptr;
-    for (std::size_t tick = 0; tick < total_ticks; ++tick)
-      for (Session& s : sessions) s.tick(tick, arenas[shard], recorder, lat);
+    for (std::size_t tick = 0; tick < total_ticks; ++tick) {
+      if (tel != nullptr) tel->set_time(static_cast<double>(tick));
+      for (Session& s : sessions) s.tick(tick, arenas[shard], recorder, lat, tel);
+    }
 
     for (std::size_t k = 0; k < ids.size(); ++k)
       metrics[ids[k]] = sessions[k].take_metrics();

@@ -15,6 +15,10 @@
 #include "fleet/session.hpp"
 #include "sim/fleet_workload.hpp"
 
+namespace uwp::telemetry {
+class Collector;
+}
+
 namespace uwp::fleet {
 
 class SessionRecorder;  // recorder.hpp
@@ -44,8 +48,12 @@ class FleetService {
 
   // Run every session to eviction. `recorder`, when given, captures the
   // whole run as a replayable trace (it must have been constructed for this
-  // service's workload). Thread-safe internally; call from one thread.
-  FleetResult run(SessionRecorder* recorder = nullptr) const;
+  // service's workload). `telemetry`, when given and enabled, is opened
+  // with one stream per shard; counter events carry the tick as virtual
+  // time, so the collector's counters section is bit-identical at any shard
+  // count. Thread-safe internally; call from one thread.
+  FleetResult run(SessionRecorder* recorder = nullptr,
+                  telemetry::Collector* telemetry = nullptr) const;
 
   // Arena accounting of the last run (summed over shards): how many session
   // admissions there were and how many were served by rebinding an evicted

@@ -8,6 +8,7 @@
 #include "des/session_source.hpp"
 #include "fleet/recorder.hpp"
 #include "sim/sweep.hpp"
+#include "telemetry/collector.hpp"
 
 namespace uwp::fleet {
 
@@ -85,12 +86,15 @@ FleetResult finalize_fleet_result(std::vector<SessionMetrics> sessions) {
 
 std::unique_ptr<SessionRuntime> ShardArena::lease(const pipeline::PipelineOptions& opts) {
   ++leases_;
+  if (telemetry_ != nullptr) telemetry_->count(telemetry::Counter::kArenaLeases);
   const std::size_t n = opts.protocol.num_devices;
   if (n < free_by_size_.size() && !free_by_size_[n].empty()) {
     std::unique_ptr<SessionRuntime> rt = std::move(free_by_size_[n].back());
     free_by_size_[n].pop_back();
     rt->pipe.rebind(opts);
     ++reuses_;
+    if (telemetry_ != nullptr)
+      telemetry_->sample(telemetry::Sample::kArenaReuse, 1.0);
     return rt;
   }
   return std::make_unique<SessionRuntime>(opts);
@@ -211,21 +215,26 @@ Session::Session(const sim::GroupScenario& scenario, std::uint64_t master_seed)
   metrics_.kind = scenario.kind;
 }
 
-void Session::admit(ShardArena& arena, SessionRecorder* recorder) {
+void Session::admit(ShardArena& arena, SessionRecorder* recorder,
+                    telemetry::ShardStream* telemetry) {
   rt_ = arena.lease(pipeline_options_for(*sc_));
+  rt_->pipe.set_telemetry(telemetry);
   feed_.open();
   state_ = SessionState::kActive;
   if (recorder != nullptr) recorder->on_admit(*sc_);
+  if (telemetry != nullptr) telemetry->count(telemetry::Counter::kAdmits);
 }
 
 void Session::run_event(ShardArena& arena, SessionRecorder* recorder,
-                        std::vector<double>* latencies) {
+                        std::vector<double>* latencies,
+                        telemetry::ShardStream* telemetry) {
   const double dt = feed_.next_dt_s();
 
   if (feed_.next(rt_->meas) == MeasurementFeed::Event::kCoast) {
     rt_->pipe.coast(dt);
     metrics_.note_coast();
     if (recorder != nullptr) recorder->on_coast(sc_->session_id, dt);
+    if (telemetry != nullptr) telemetry->count(telemetry::Counter::kCoasts);
   } else {
     const std::uint32_t round_index = static_cast<std::uint32_t>(metrics_.rounds);
     if (recorder != nullptr)
@@ -254,17 +263,19 @@ void Session::run_event(ShardArena& arena, SessionRecorder* recorder,
     feed_.close();
     state_ = SessionState::kEvicted;
     if (recorder != nullptr) recorder->on_evict(sc_->session_id);
+    if (telemetry != nullptr) telemetry->count(telemetry::Counter::kEvicts);
   }
 }
 
 void Session::tick(std::size_t tick, ShardArena& arena, SessionRecorder* recorder,
-                   std::vector<double>* latencies) {
+                   std::vector<double>* latencies,
+                   telemetry::ShardStream* telemetry) {
   if (state_ == SessionState::kEvicted) return;
   if (state_ == SessionState::kPending) {
     if (tick < sc_->admit_tick) return;
-    admit(arena, recorder);
+    admit(arena, recorder, telemetry);
   }
-  run_event(arena, recorder, latencies);
+  run_event(arena, recorder, latencies, telemetry);
 }
 
 }  // namespace uwp::fleet

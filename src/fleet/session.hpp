@@ -28,6 +28,10 @@
 #include "sim/fleet_workload.hpp"
 #include "util/stats.hpp"
 
+namespace uwp::telemetry {
+class ShardStream;
+}
+
 namespace uwp::fleet {
 
 class SessionRecorder;  // recorder.hpp
@@ -117,11 +121,18 @@ class ShardArena {
   std::size_t leases() const { return leases_; }
   std::size_t reuses() const { return reuses_; }
 
+  // Attach the owning shard's telemetry stream (nullptr = off). lease()
+  // then counts every lease (deterministic: leases == admissions) and
+  // samples free-list hits (run-varying: reuse depends on the shard's own
+  // eviction interleaving, so it stays out of the counters plane).
+  void set_telemetry(telemetry::ShardStream* stream) { telemetry_ = stream; }
+
  private:
   // Group sizes are tiny integers; a flat per-size free list beats a map.
   std::vector<std::vector<std::unique_ptr<SessionRuntime>>> free_by_size_;
   std::size_t leases_ = 0;
   std::size_t reuses_ = 0;
+  telemetry::ShardStream* telemetry_ = nullptr;
 };
 
 // The pipeline configuration a scenario's sessions run with (shared by the
@@ -188,14 +199,19 @@ class Session {
   // one — per tick until the scheduled lifetime is exhausted, then evict
   // (returning the runtime to `arena`). `latencies`, when set, receives the
   // wall-clock of each run_round call; `recorder`, when set, captures the
-  // session's trace.
+  // session's trace; `telemetry`, when set, receives the admit/coast/evict
+  // counters and is bound into the pipeline for stage spans (the caller has
+  // already set its virtual time to this tick).
   void tick(std::size_t tick, ShardArena& arena, SessionRecorder* recorder,
-            std::vector<double>* latencies);
+            std::vector<double>* latencies,
+            telemetry::ShardStream* telemetry = nullptr);
 
  private:
-  void admit(ShardArena& arena, SessionRecorder* recorder);
+  void admit(ShardArena& arena, SessionRecorder* recorder,
+             telemetry::ShardStream* telemetry);
   void run_event(ShardArena& arena, SessionRecorder* recorder,
-                 std::vector<double>* latencies);
+                 std::vector<double>* latencies,
+                 telemetry::ShardStream* telemetry);
 
   const sim::GroupScenario* sc_;
   SessionState state_ = SessionState::kPending;

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "fleet/session.hpp"
+#include "telemetry/collector.hpp"
 
 namespace uwp::fleet {
 
@@ -112,11 +113,22 @@ bool IngestScheduler::resolve(Pending& p, double t_s, const Dispatch& dispatch) 
     ++p.defers;
     ++stats_.defer_events;
     rec.defers = p.defers;
+    if (telemetry_ != nullptr) {
+      telemetry_->set_time(t_s);
+      telemetry_->count(telemetry::Counter::kIngestDeferred);
+    }
     return false;
   }
 
   rec.decision = admit ? IngestDecision::kAdmit : IngestDecision::kShed;
-  if (is_round) ++(admit ? stats_.rounds_admitted : stats_.rounds_shed);
+  if (is_round) {
+    ++(admit ? stats_.rounds_admitted : stats_.rounds_shed);
+    if (telemetry_ != nullptr) {
+      telemetry_->set_time(t_s);
+      telemetry_->count(admit ? telemetry::Counter::kIngestAdmitted
+                              : telemetry::Counter::kIngestShed);
+    }
+  }
   dispatch(std::move(p.frame), !admit);
   return true;
 }

@@ -30,6 +30,10 @@
 
 #include "fleet/transport.hpp"
 
+namespace uwp::telemetry {
+class ShardStream;
+}
+
 namespace uwp::fleet {
 
 enum class AdmissionPolicy : std::uint8_t {
@@ -152,6 +156,12 @@ class IngestScheduler {
   const ShaperStats& stats() const { return stats_; }
   double peak_occupancy() const { return shaper_.peak_occupancy(); }
 
+  // Attach the ingest loop's telemetry stream (nullptr = off). Every final
+  // verdict (admit/shed) and every failed defer attempt is counted at its
+  // virtual decide time — a pure function of the ingest schedule, so the
+  // counters land on the deterministic side of the telemetry contract.
+  void set_telemetry(telemetry::ShardStream* stream) { telemetry_ = stream; }
+
  private:
   struct Pending {
     IngestFrame frame;
@@ -184,6 +194,7 @@ class IngestScheduler {
   std::uint64_t next_seq_ = 0;
   std::vector<IngestRecord> schedule_;
   ShaperStats stats_;
+  telemetry::ShardStream* telemetry_ = nullptr;
 };
 
 // Recompute every decision from the recorded arrivals (the deterministic

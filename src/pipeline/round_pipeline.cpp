@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "telemetry/collector.hpp"
+
 namespace uwp::pipeline {
 
 namespace {
@@ -53,23 +55,31 @@ void RoundPipeline::coast(double dt_s) {
 const RoundOutput& RoundPipeline::run_round(RoundMeasurement& m, uwp::Rng& rng,
                                             double dt_s) {
   const std::size_t n = opts_.protocol.num_devices;
+  telemetry::ShardStream* const tel = telemetry_;
+  telemetry::SpanTimer whole_round(tel, telemetry::Stage::kRound);
 
-  // Payload quantization (§2.4): timestamps ride to the leader as 10-bit
-  // slot-relative deltas at 2-sample resolution.
-  if (opts_.quantize_payload) proto::quantize_run_payload(m.protocol, codec_);
+  {
+    // Payload quantization (§2.4): timestamps ride to the leader as 10-bit
+    // slot-relative deltas at 2-sample resolution.
+    telemetry::SpanTimer span(tel, telemetry::Stage::kQuantize);
+    if (opts_.quantize_payload) proto::quantize_run_payload(m.protocol, codec_);
+  }
 
-  // Pairwise distances from the timestamp table.
-  solver_.solve_into(out_.ranging, m.protocol);
+  {
+    telemetry::SpanTimer span(tel, telemetry::Stage::kRanging);
+    // Pairwise distances from the timestamp table.
+    solver_.solve_into(out_.ranging, m.protocol);
 
-  // Per-link 1D ranging diagnostics against the true geometry.
-  out_.ranging_errors.clear();
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = i + 1; j < n; ++j)
-      if (out_.ranging.weights(i, j) > 0.0) {
-        const double true_d = distance(m.truth_pos[i], m.truth_pos[j]);
-        out_.ranging_errors.push_back(
-            std::abs(out_.ranging.distances(i, j) - true_d));
-      }
+    // Per-link 1D ranging diagnostics against the true geometry.
+    out_.ranging_errors.clear();
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        if (out_.ranging.weights(i, j) > 0.0) {
+          const double true_d = distance(m.truth_pos[i], m.truth_pos[j]);
+          out_.ranging_errors.push_back(
+              std::abs(out_.ranging.distances(i, j) - true_d));
+        }
+  }
 
   // Localize.
   out_.localizer_input.distances = out_.ranging.distances;
@@ -81,11 +91,14 @@ const RoundOutput& RoundPipeline::run_round(RoundMeasurement& m, uwp::Rng& rng,
   out_.error_2d.assign(n, kNaN);
   out_.tracked_error_2d.assign(n, kNaN);
   out_.error_2d[0] = 0.0;
-  try {
-    localizer_.localize_into(out_.localization, out_.localizer_input, rng, loc_ws_);
-    out_.localized = true;
-  } catch (const std::exception&) {
-    out_.localized = false;
+  {
+    telemetry::SpanTimer span(tel, telemetry::Stage::kLocalize);
+    try {
+      localizer_.localize_into(out_.localization, out_.localizer_input, rng, loc_ws_);
+      out_.localized = true;
+    } catch (const std::exception&) {
+      out_.localized = false;
+    }
   }
 
   if (out_.localized) {
@@ -96,6 +109,7 @@ const RoundOutput& RoundPipeline::run_round(RoundMeasurement& m, uwp::Rng& rng,
 
   // Tracking: coast through failed rounds, fuse successful ones.
   if (opts_.track) {
+    telemetry::SpanTimer span(tel, telemetry::Stage::kTrack);
     tracker_.predict(dt_s);
     if (out_.localized) {
       tracker_update_.assign(n, std::nullopt);
@@ -111,6 +125,15 @@ const RoundOutput& RoundPipeline::run_round(RoundMeasurement& m, uwp::Rng& rng,
       const core::DiverTrack& track = tracker_.track(i);
       if (track.initialized())
         out_.tracked_error_2d[i] = distance(track.position(), m.truth_xy[i]);
+    }
+  }
+
+  if (tel != nullptr) {
+    tel->count(telemetry::Counter::kRounds);
+    if (out_.localized) {
+      tel->count(telemetry::Counter::kLocalized);
+      tel->count(telemetry::Counter::kSolverIterations,
+                 static_cast<std::uint64_t>(out_.localization.solver_iterations));
     }
   }
   return out_;

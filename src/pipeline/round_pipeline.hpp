@@ -16,6 +16,10 @@
 #include "proto/payload_codec.hpp"
 #include "proto/ranging_solver.hpp"
 
+namespace uwp::telemetry {
+class ShardStream;
+}
+
 namespace uwp::pipeline {
 
 struct PipelineOptions {
@@ -78,6 +82,14 @@ class RoundPipeline {
   // chain's on-the-wire resolution.
   const proto::PayloadCodecConfig& codec_config() const { return codec_; }
 
+  // Attach the owning shard's/worker's telemetry stream (nullptr = off;
+  // the default). run_round then emits per-stage span timers plus the
+  // round/localized/solver-iteration counters. The binding survives
+  // rebind() on purpose: an arena-reused pipeline keeps reporting into the
+  // shard that owns it.
+  void set_telemetry(telemetry::ShardStream* stream) { telemetry_ = stream; }
+  telemetry::ShardStream* telemetry() const { return telemetry_; }
+
   // Process one measurement. `dt_s` is the time since the previous round
   // (tracker prediction horizon; ignored when tracking is off). Payload
   // quantization mutates m.protocol in place — afterwards it holds exactly
@@ -106,6 +118,7 @@ class RoundPipeline {
   std::vector<std::optional<Vec2>> tracker_update_;
   RoundMeasurement batch_meas_;
   RoundOutput out_;
+  telemetry::ShardStream* telemetry_ = nullptr;
 };
 
 }  // namespace uwp::pipeline

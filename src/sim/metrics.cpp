@@ -99,6 +99,7 @@ RateLatency rate_latency(std::size_t rounds, double wall_seconds,
   if (!latencies_s.empty()) {
     out.p50_s = percentile(latencies_s, 50.0);
     out.p99_s = percentile(latencies_s, 99.0);
+    out.p999_s = percentile(latencies_s, 99.9);
   }
   return out;
 }

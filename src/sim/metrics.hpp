@@ -60,13 +60,16 @@ class BenchJsonReporter {
 };
 
 // Throughput/latency aggregate of a many-session serving run: rounds/sec
-// over the wall clock plus p50/p99 of the per-round service latencies.
+// over the wall clock plus p50/p99/p999 of the per-round service latencies
+// (p999 is the tail the telemetry span histograms track — worth watching
+// separately because a handful of slow solver rounds dominate it).
 // Latencies may be empty (percentiles report 0); wall_seconds <= 0 reports
 // 0 rounds/sec.
 struct RateLatency {
   double rounds_per_sec = 0.0;
   double p50_s = 0.0;
   double p99_s = 0.0;
+  double p999_s = 0.0;
 };
 
 RateLatency rate_latency(std::size_t rounds, double wall_seconds,

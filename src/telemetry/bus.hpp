@@ -1,0 +1,87 @@
+// telemetry::Bus — the lock-free single-producer/single-consumer event ring
+// that carries one shard's live telemetry stream to the collector.
+//
+// Hot-path contract: try_push never blocks and never allocates. When the
+// consumer has fallen behind and the ring is full, the event is dropped and
+// a producer-side drop counter is bumped (relaxed atomic) — backpressure is
+// accounted, never propagated into the round pipeline. Deterministic
+// counters do NOT rely on ring delivery (see ShardStream's counter pages in
+// collector.hpp); only the run-varying timing stream is lossy.
+//
+// The implementation is the classic bounded SPSC ring: power-of-two
+// capacity, monotonically increasing produced/consumed positions with
+// release/acquire publication, and producer/consumer-local position caches
+// on their own cache lines so the steady-state push touches no shared line.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/events.hpp"
+
+namespace uwp::telemetry {
+
+class Bus {
+ public:
+  // Capacity is rounded up to a power of two, minimum 8 slots.
+  explicit Bus(std::size_t capacity) {
+    std::size_t cap = 8;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  Bus(const Bus&) = delete;
+  Bus& operator=(const Bus&) = delete;
+
+  // Producer side. Returns false (and counts a drop) when the ring is full.
+  bool try_push(const Event& e) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_cache_ >= slots_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (t - head_cache_ >= slots_.size()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    slots_[static_cast<std::size_t>(t) & mask_] = e;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side: drain up to `max` events into `out`, FIFO order.
+  std::size_t pop(Event* out, std::size_t max) {
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_cache_) tail_cache_ = tail_.load(std::memory_order_acquire);
+    std::size_t n = 0;
+    while (h != tail_cache_ && n < max) {
+      out[n++] = slots_[static_cast<std::size_t>(h) & mask_];
+      ++h;
+    }
+    if (n != 0) head_.store(h, std::memory_order_release);
+    return n;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  // Events lost to overflow since construction. Readable from any thread.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<Event> slots_;
+  std::size_t mask_ = 0;
+  // Produced / consumed positions (free-running, wrap via mask).
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  // Producer's stale view of head_ / consumer's stale view of tail_: each
+  // side refreshes its cache only when the ring looks full/empty.
+  alignas(64) std::uint64_t head_cache_ = 0;
+  alignas(64) std::uint64_t tail_cache_ = 0;
+  alignas(64) std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace uwp::telemetry

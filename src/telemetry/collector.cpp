@@ -1,0 +1,112 @@
+#include "telemetry/collector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uwp::telemetry {
+
+bool TelemetryReport::counters_equal(const TelemetryReport& o) const {
+  if (totals != o.totals) return false;
+  if (snapshots.size() != o.snapshots.size()) return false;
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    if (snapshots[i].window != o.snapshots[i].window) return false;
+    if (snapshots[i].counts != o.snapshots[i].counts) return false;
+  }
+  return true;
+}
+
+ShardStream::ShardStream(const TelemetryOptions& opts)
+    : window_(opts.window > 0.0 ? opts.window : 1.0),
+      timing_(opts.timing),
+      bus_(opts.ring_capacity) {}
+
+void ShardStream::set_time(double t) {
+  time_ = t;
+  const double w = std::floor(t / window_);
+  window_index_ = w > 0.0 ? static_cast<std::size_t>(w) : 0;
+}
+
+void ShardStream::count(Counter c, std::uint64_t delta) {
+  if (window_index_ >= pages_.size()) pages_.resize(window_index_ + 1);
+  pages_[window_index_][static_cast<std::size_t>(c)] += delta;
+  // Best-effort live copy on the ring; determinism comes from the page.
+  bus_.try_push(Event{EventKind::kCounter, static_cast<std::uint8_t>(c), time_,
+                      double(delta)});
+}
+
+void ShardStream::sample(Sample s, double value) {
+  bus_.try_push(
+      Event{EventKind::kSample, static_cast<std::uint8_t>(s), time_, value});
+}
+
+void ShardStream::span(Stage s, double seconds) {
+  bus_.try_push(
+      Event{EventKind::kSpan, static_cast<std::uint8_t>(s), time_, seconds});
+}
+
+Collector::Collector(const TelemetryOptions& opts) : opts_(opts) {
+  // Depth samples are small integers; spans are seconds. One geometry (1 ns
+  // to ~3e5) covers both, which keeps merge() trivial.
+}
+
+void Collector::open(std::size_t n) {
+  streams_.clear();
+  streams_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    streams_.push_back(std::make_unique<ShardStream>(opts_));
+  for (Histogram& h : spans_) h = Histogram();
+  for (Histogram& h : samples_) h = Histogram();
+  events_ = 0;
+}
+
+void Collector::drain() {
+  Event buf[256];
+  for (const std::unique_ptr<ShardStream>& s : streams_) {
+    for (;;) {
+      const std::size_t n = s->bus().pop(buf, std::size(buf));
+      if (n == 0) break;
+      events_ += n;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Event& e = buf[i];
+        switch (e.kind) {
+          case EventKind::kSpan:
+            if (e.id < kStageCount) spans_[e.id].record(e.value);
+            break;
+          case EventKind::kSample:
+            if (e.id < kSampleCount) samples_[e.id].record(e.value);
+            break;
+          case EventKind::kCounter:
+            break;  // counted deterministically via the pages
+        }
+      }
+    }
+  }
+}
+
+TelemetryReport Collector::report() {
+  drain();
+  TelemetryReport rep;
+  rep.options = opts_;
+  rep.streams = streams_.size();
+  std::size_t windows = 0;
+  for (const std::unique_ptr<ShardStream>& s : streams_)
+    windows = std::max(windows, s->pages().size());
+  rep.snapshots.resize(windows);
+  for (std::size_t w = 0; w < windows; ++w) rep.snapshots[w].window = w;
+  for (const std::unique_ptr<ShardStream>& s : streams_) {
+    const std::vector<ShardStream::CounterPage>& pages = s->pages();
+    for (std::size_t w = 0; w < pages.size(); ++w)
+      for (std::size_t c = 0; c < kCounterCount; ++c)
+        rep.snapshots[w].counts[c] += pages[w][c];
+    rep.dropped += s->bus().dropped();
+  }
+  for (const Snapshot& snap : rep.snapshots)
+    for (std::size_t c = 0; c < kCounterCount; ++c)
+      rep.totals[c] += snap.counts[c];
+  rep.spans = spans_;
+  rep.samples = samples_;
+  rep.events = events_;
+  return rep;
+}
+
+}  // namespace uwp::telemetry

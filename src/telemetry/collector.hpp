@@ -1,0 +1,159 @@
+// ShardStream + Collector: the two halves of the fleet telemetry plane.
+//
+// One ShardStream per producer thread (a fleet shard, a server worker, or
+// the ingest loop). It carries two planes with different guarantees:
+//
+//   * Counter pages — deterministic. count() accumulates into a producer-
+//     local dense page indexed by (virtual-time window, Counter). Pages are
+//     never dropped and never contended; the collector merges them in
+//     stream order, and because every counter event carries virtual time
+//     (fleet tick / frame t_s), the per-window sums are invariant to how
+//     sessions are partitioned across shards, workers, or threads. This is
+//     the section uwp_run emits as "counters" and CI diffs bit-for-bit.
+//   * The Bus ring — run-varying. Every event (counters included, as a live
+//     stream) is also pushed onto the shard's SPSC Bus; span timers and
+//     scalar samples exist only there. Ring overflow drops the event and
+//     bumps the drop counter — the hot path never blocks.
+//
+// The Collector owns the streams, drains the rings into log-bucket
+// histograms (concurrently with producers if desired — Bus is SPSC and the
+// collector is the one consumer), and renders the final TelemetryReport:
+// deterministic window Snapshots + totals, and run-varying span/sample
+// histograms with drop accounting.
+//
+// Threading: open() before producers start; each stream is written by
+// exactly one thread; report() only after producers have joined (it reads
+// the counter pages, which are intentionally unsynchronized).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "telemetry/bus.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/histogram.hpp"
+
+namespace uwp::telemetry {
+
+struct TelemetryOptions {
+  bool enabled = false;
+  // Span timers read steady_clock twice per stage; disabling `timing` keeps
+  // the deterministic counter plane while skipping every clock read.
+  bool timing = true;
+  // Snapshot window in virtual-time units (ticks for the fleet driver,
+  // seconds for the ingest server — the factory scales by tick_period_s).
+  double window = 16.0;
+  // Per-stream Bus capacity (rounded up to a power of two).
+  std::size_t ring_capacity = 1 << 15;
+};
+
+// Per-window deterministic counter sums, merged across streams.
+struct Snapshot {
+  std::uint64_t window = 0;  // window index: floor(t / options.window)
+  std::array<std::uint64_t, kCounterCount> counts{};
+};
+
+struct TelemetryReport {
+  TelemetryOptions options;
+  std::size_t streams = 0;
+  // Deterministic plane: one Snapshot per window, dense from window 0.
+  std::vector<Snapshot> snapshots;
+  std::array<std::uint64_t, kCounterCount> totals{};
+  // Run-varying plane.
+  std::array<Histogram, kStageCount> spans;
+  std::array<Histogram, kSampleCount> samples;
+  std::uint64_t events = 0;   // events drained from the rings
+  std::uint64_t dropped = 0;  // ring-overflow drops across all streams
+
+  // Bit-equality of the deterministic plane (the ctest pin).
+  bool counters_equal(const TelemetryReport& o) const;
+};
+
+class ShardStream {
+ public:
+  explicit ShardStream(const TelemetryOptions& opts);
+
+  // Set the producer's current virtual time; subsequent count() calls land
+  // in floor(t / window). Negative times clamp to window 0.
+  void set_time(double t);
+  double time() const { return time_; }
+
+  void count(Counter c, std::uint64_t delta = 1);
+  void sample(Sample s, double value);
+  void span(Stage s, double seconds);
+
+  bool timing_enabled() const { return timing_; }
+  Bus& bus() { return bus_; }
+
+  // Consumer-side view of the deterministic pages (post-join only).
+  using CounterPage = std::array<std::uint64_t, kCounterCount>;
+  const std::vector<CounterPage>& pages() const { return pages_; }
+
+ private:
+  double window_ = 16.0;
+  bool timing_ = true;
+  double time_ = 0.0;
+  std::size_t window_index_ = 0;
+  std::vector<CounterPage> pages_;
+  Bus bus_;
+};
+
+// Scoped wall-clock span timer. Cost when the stream is null or timing is
+// disabled: one branch, no clock read.
+class SpanTimer {
+ public:
+  SpanTimer(ShardStream* s, Stage stage)
+      : s_(s != nullptr && s->timing_enabled() ? s : nullptr), stage_(stage) {
+    if (s_ != nullptr) t0_ = std::chrono::steady_clock::now();
+  }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+  ~SpanTimer() { stop(); }
+
+  void stop() {
+    if (s_ == nullptr) return;
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0_;
+    s_->span(stage_, dt.count());
+    s_ = nullptr;
+  }
+
+ private:
+  ShardStream* s_;
+  Stage stage_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+class Collector {
+ public:
+  explicit Collector(const TelemetryOptions& opts);
+
+  const TelemetryOptions& options() const { return opts_; }
+  bool enabled() const { return opts_.enabled; }
+
+  // Allocate `n` producer streams (invalidates previous ones). Call before
+  // the producer threads start.
+  void open(std::size_t n);
+  std::size_t streams() const { return streams_.size(); }
+  ShardStream& stream(std::size_t i) { return *streams_[i]; }
+
+  // Drain every stream's Bus into the timing accumulators. Safe to call
+  // while producers are live (the collector is the single consumer).
+  void drain();
+
+  // Final report: drains, then merges counter pages in stream order.
+  // Producers must have finished.
+  TelemetryReport report();
+
+ private:
+  TelemetryOptions opts_;
+  std::vector<std::unique_ptr<ShardStream>> streams_;
+  std::array<Histogram, kStageCount> spans_;
+  std::array<Histogram, kSampleCount> samples_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace uwp::telemetry

@@ -1,0 +1,65 @@
+#include "telemetry/events.hpp"
+
+namespace uwp::telemetry {
+
+const char* to_string(Counter c) {
+  switch (c) {
+    case Counter::kRounds:
+      return "rounds";
+    case Counter::kLocalized:
+      return "localized";
+    case Counter::kCoasts:
+      return "coasts";
+    case Counter::kEvicts:
+      return "evicts";
+    case Counter::kAdmits:
+      return "admits";
+    case Counter::kSolverIterations:
+      return "solver_iterations";
+    case Counter::kArenaLeases:
+      return "arena_leases";
+    case Counter::kIngestAdmitted:
+      return "ingest_admitted";
+    case Counter::kIngestShed:
+      return "ingest_shed";
+    case Counter::kIngestDeferred:
+      return "ingest_deferred";
+    case Counter::kCount_:
+      break;
+  }
+  return "unknown";
+}
+
+const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::kQuantize:
+      return "quantize";
+    case Stage::kRanging:
+      return "ranging";
+    case Stage::kLocalize:
+      return "localize";
+    case Stage::kTrack:
+      return "track";
+    case Stage::kRound:
+      return "round";
+    case Stage::kIngest:
+      return "ingest";
+    case Stage::kCount_:
+      break;
+  }
+  return "unknown";
+}
+
+const char* to_string(Sample s) {
+  switch (s) {
+    case Sample::kQueueDepth:
+      return "queue_depth";
+    case Sample::kArenaReuse:
+      return "arena_reuse";
+    case Sample::kCount_:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace uwp::telemetry

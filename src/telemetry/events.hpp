@@ -1,0 +1,84 @@
+// Typed telemetry events for the fleet observability bus.
+//
+// Every instrumented site emits one of three event families, and the family
+// decides which side of the metrics-vs-timing JSON contract the data lands
+// on (the same split uwp_run enforces for run metrics):
+//
+//   * Counter — deterministic occurrence counts keyed by *virtual* time
+//     (fleet tick, or a served frame's t_s). Counters are accumulated
+//     producer-locally and merged per virtual-time window, so their sums
+//     are bit-identical at any shard/worker/thread count. They are never
+//     dropped, whatever the ring sizing.
+//   * Stage — wall-clock span durations from scoped timers around pipeline
+//     and ingest stages. Wall time is inherently run-varying; spans ride
+//     the lossy ring and feed log-bucket histograms (p50/p99/p999).
+//   * Sample — run-varying scalar observations (live queue depth, arena
+//     free-list reuse) whose values depend on scheduling, not the spec.
+//
+// The Event struct itself is a 24-byte POD so a ring slot is two cache
+// lines of payload per 5 events and pushes compile to a handful of stores.
+#pragma once
+
+#include <cstdint>
+
+namespace uwp::telemetry {
+
+// Deterministic occurrence counters (the "counters" JSON section).
+enum class Counter : std::uint8_t {
+  kRounds = 0,         // measurement rounds executed by a pipeline
+  kLocalized,          // rounds that produced a localization fix
+  kCoasts,             // tracker coasts (dropouts + shed rounds)
+  kEvicts,             // session evictions (lifetime end / kBye)
+  kAdmits,             // session admissions (arena lease at admit tick)
+  kSolverIterations,   // SMACOF iterations across all candidate solves
+  kArenaLeases,        // ShardArena::lease calls (admissions, all shards)
+  kIngestAdmitted,     // shaper verdicts: measurement frames dispatched
+  kIngestShed,         // shaper verdicts: measurement frames shed to coast
+  kIngestDeferred,     // shaper verdicts: individual defer attempts
+  kCount_,
+};
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::kCount_);
+const char* to_string(Counter c);
+
+// Wall-clock span timers (the "timing" JSON section).
+enum class Stage : std::uint8_t {
+  kQuantize = 0,  // payload quantization round trip
+  kRanging,       // arrival solve + ranging diagnostics
+  kLocalize,      // outlier search + localization
+  kTrack,         // tracker predict/update
+  kRound,         // whole run_round as seen by the session/worker
+  kIngest,        // ingest-loop handling of one frame (scheduler included)
+  kCount_,
+};
+inline constexpr std::size_t kStageCount =
+    static_cast<std::size_t>(Stage::kCount_);
+const char* to_string(Stage s);
+
+// Run-varying scalar samples (the "timing" JSON section).
+enum class Sample : std::uint8_t {
+  kQueueDepth = 0,  // dispatch-queue occupancy at enqueue time
+  kArenaReuse,      // arena lease satisfied from the free list (1 per hit)
+  kCount_,
+};
+inline constexpr std::size_t kSampleCount =
+    static_cast<std::size_t>(Sample::kCount_);
+const char* to_string(Sample s);
+
+enum class EventKind : std::uint8_t {
+  kCounter = 0,
+  kSpan = 1,
+  kSample = 2,
+};
+
+// One ring slot. `id` is the Counter/Stage/Sample enum value for `kind`;
+// `t` is virtual time for counters and don't-care for spans/samples;
+// `value` is the counter delta, span seconds, or sample value.
+struct Event {
+  EventKind kind = EventKind::kCounter;
+  std::uint8_t id = 0;
+  double t = 0.0;
+  double value = 0.0;
+};
+
+}  // namespace uwp::telemetry

@@ -209,6 +209,31 @@ TEST(SpecFactory, InvalidSpecsNeverReachADriver) {
   EXPECT_THROW(make_fleet_service(spec), SpecError);
 }
 
+TEST(SpecFactory, TelemetryOptionsScaleWindowToTheModesVirtualClock) {
+  ScenarioSpec spec;
+  spec.mode = RunMode::kFleet;
+  spec.telemetry.enabled = true;
+  spec.telemetry.timing = false;
+  spec.telemetry.window_ticks = 8;
+  spec.telemetry.ring_capacity = 1024;
+  spec.fleet.server.tick_period_s = 0.5;
+
+  // Fleet stamps tick indices: the window is the tick count verbatim.
+  telemetry::TelemetryOptions fo = make_telemetry_options(spec);
+  EXPECT_TRUE(fo.enabled);
+  EXPECT_FALSE(fo.timing);
+  EXPECT_EQ(fo.ring_capacity, 1024u);
+  EXPECT_EQ(fo.window, 8.0);
+
+  // Serve stamps frame t_s (tick_period_s per tick): same windows on the
+  // same virtual timeline requires the scale factor.
+  spec.mode = RunMode::kServe;
+  EXPECT_EQ(make_telemetry_options(spec).window, 4.0);
+
+  spec.telemetry.window_ticks = 0;
+  EXPECT_THROW(make_telemetry_options(spec), SpecError);
+}
+
 // --- committed example specs -------------------------------------------------
 
 TEST(GoldenSpecs, EveryCommittedSpecLoadsAndValidates) {
@@ -216,7 +241,8 @@ TEST(GoldenSpecs, EveryCommittedSpecLoadsAndValidates) {
                          "des_swarm.json",       "fleet_mixed.json",
                          "fleet_serving.json",   "fleet_static.json",
                          "fleet_lawnmower.json", "fleet_waypoint.json",
-                         "fleet_dropout_churn.json", "fleet_packet_des.json"};
+                         "fleet_dropout_churn.json", "fleet_packet_des.json",
+                         "fleet_serve_shaped.json", "fleet_telemetry.json"};
   for (const char* f : files) {
     SCOPED_TRACE(f);
     const ScenarioSpec spec = load_spec(std::string(UWP_SPEC_DIR) + "/" + f);

@@ -125,6 +125,11 @@ ScenarioSpec random_spec(uwp::Rng& rng, bool include_nan) {
   shaping.feedback_threshold = rng.uniform(0.0, 1.0);
   shaping.defer_delay_s = rng.uniform(0.01, 2.0);
   shaping.max_defers = static_cast<std::size_t>(rng.uniform_int(0, 16));
+
+  s.telemetry.enabled = rng.bernoulli(0.5);
+  s.telemetry.timing = rng.bernoulli(0.5);
+  s.telemetry.window_ticks = static_cast<std::size_t>(rng.uniform_int(1, 64));
+  s.telemetry.ring_capacity = static_cast<std::size_t>(rng.uniform_int(1, 1 << 16));
   return s;
 }
 
@@ -200,6 +205,8 @@ TEST(SpecParse, UnknownAndMistypedFieldsFailWithPaths) {
                      "fleet.workload.kind_mix");
   expect_parse_error(R"({"sweep": {"trials": -3}})", "sweep.trials");
   expect_parse_error(R"({"sweep": 17})", "sweep");
+  expect_parse_error(R"({"telemetry": {"window": 4}})", "telemetry.window");
+  expect_parse_error(R"({"telemetry": {"enabled": 1}})", "telemetry.enabled");
 }
 
 // --- validation failures (range/consistency errors, one per field) ----------
@@ -386,6 +393,24 @@ TEST(SpecValidate, EachRejectedFieldReportsItsPath) {
     ScenarioSpec s;
     s.fleet.workload.force_kind = 9;
     expect_invalid(s, "fleet.workload.kind_mix");
+  }
+}
+
+TEST(SpecValidate, TelemetryFieldsReportTheirPaths) {
+  {
+    ScenarioSpec s;
+    s.telemetry.window_ticks = 0;
+    expect_invalid(s, "telemetry.window_ticks");
+  }
+  {
+    ScenarioSpec s;
+    s.telemetry.ring_capacity = 0;
+    expect_invalid(s, "telemetry.ring_capacity");
+  }
+  {
+    ScenarioSpec s;
+    s.telemetry.ring_capacity = (std::size_t{1} << 24) + 1;
+    expect_invalid(s, "telemetry.ring_capacity");
   }
 }
 

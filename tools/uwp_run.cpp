@@ -15,6 +15,12 @@
 //   --out=FILE     write run metrics as JSON; the deterministic part lives
 //                  under "metrics" (bit-identical at any --threads), wall
 //                  clock and friends under "timing"
+//   --telemetry-out=FILE
+//                  fleet/serve only: attach a telemetry::Collector (forcing
+//                  telemetry on even if the spec leaves it disabled) and
+//                  write its report — virtual-time-windowed counters under
+//                  "counters" (bit-identical at any --threads), span/sample
+//                  histograms and ring drop accounting under "timing"
 //   --print-spec   dump the normalized spec (defaults filled in) and exit
 #include <cmath>
 #include <cstdio>
@@ -31,6 +37,7 @@
 #include "fleet/recorder.hpp"
 #include "fleet/server.hpp"
 #include "sim/metrics.hpp"
+#include "telemetry/collector.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -41,6 +48,7 @@ struct Args {
   std::string spec_path;
   std::string mode;
   std::string out_path;
+  std::string telemetry_path;
   long threads = -1;  // -1 = keep the spec's value
   bool print_spec = false;
 };
@@ -48,7 +56,8 @@ struct Args {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --spec=FILE [--mode=round|sweep|des|fleet|serve] "
-               "[--threads=N] [--out=FILE] [--print-spec]\n",
+               "[--threads=N] [--out=FILE] [--telemetry-out=FILE] "
+               "[--print-spec]\n",
                argv0);
   return 2;
 }
@@ -67,6 +76,8 @@ bool parse_args(int argc, char** argv, Args& args) {
         return false;
     } else if (std::strncmp(a, "--out=", 6) == 0) {
       args.out_path = a + 6;
+    } else if (std::strncmp(a, "--telemetry-out=", 16) == 0) {
+      args.telemetry_path = a + 16;
     } else if (std::strcmp(a, "--print-spec") == 0) {
       args.print_spec = true;
     } else {
@@ -94,6 +105,68 @@ std::string hex64(std::uint64_t v) {
   char buf[19];
   std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
   return buf;
+}
+
+// --- telemetry report -> JSON ----------------------------------------------
+
+Json histogram_to_json(const uwp::telemetry::Histogram& h) {
+  Json o = Json::object();
+  o.set("count", uwp::config::u64_to_json(h.count()));
+  o.set("mean", uwp::config::double_to_json(h.mean()));
+  o.set("min", uwp::config::double_to_json(h.min_seen()));
+  o.set("max", uwp::config::double_to_json(h.max_seen()));
+  o.set("p50", uwp::config::double_to_json(h.quantile(0.50)));
+  o.set("p99", uwp::config::double_to_json(h.quantile(0.99)));
+  o.set("p999", uwp::config::double_to_json(h.quantile(0.999)));
+  return o;
+}
+
+// The telemetry document mirrors the metrics document's split: "counters"
+// is the deterministic plane (virtual-time-windowed sums, bit-identical at
+// any shard/worker/thread count — CI diffs exactly this object), "timing"
+// is the run-varying plane (span/sample histograms, ring drop accounting).
+Json telemetry_report_to_json(const uwp::config::ScenarioSpec& spec,
+                              uwp::telemetry::TelemetryReport rep) {
+  namespace tel = uwp::telemetry;
+  Json totals = Json::object();
+  for (std::size_t c = 0; c < tel::kCounterCount; ++c)
+    totals.set(tel::to_string(static_cast<tel::Counter>(c)),
+               uwp::config::u64_to_json(rep.totals[c]));
+  Json windows = Json::array();
+  for (const tel::Snapshot& snap : rep.snapshots) {
+    Json w = Json::object();
+    w.set("window", uwp::config::u64_to_json(snap.window));
+    for (std::size_t c = 0; c < tel::kCounterCount; ++c)
+      w.set(tel::to_string(static_cast<tel::Counter>(c)),
+            uwp::config::u64_to_json(snap.counts[c]));
+    windows.push_back(std::move(w));
+  }
+  Json counters = Json::object();
+  counters.set("window", uwp::config::double_to_json(rep.options.window));
+  counters.set("totals", std::move(totals));
+  counters.set("windows", std::move(windows));
+
+  Json spans = Json::object();
+  for (std::size_t s = 0; s < tel::kStageCount; ++s)
+    spans.set(tel::to_string(static_cast<tel::Stage>(s)),
+              histogram_to_json(rep.spans[s]));
+  Json samples = Json::object();
+  for (std::size_t s = 0; s < tel::kSampleCount; ++s)
+    samples.set(tel::to_string(static_cast<tel::Sample>(s)),
+                histogram_to_json(rep.samples[s]));
+  Json timing = Json::object();
+  timing.set("streams", uwp::config::u64_to_json(rep.streams));
+  timing.set("events", uwp::config::u64_to_json(rep.events));
+  timing.set("dropped", uwp::config::u64_to_json(rep.dropped));
+  timing.set("spans", std::move(spans));
+  timing.set("samples", std::move(samples));
+
+  Json doc = Json::object();
+  doc.set("name", Json::string(spec.name));
+  doc.set("mode", Json::string(uwp::config::to_string(spec.mode)));
+  doc.set("counters", std::move(counters));
+  doc.set("timing", std::move(timing));
+  return doc;
 }
 
 // --- one runner per mode; each returns the "metrics" object and fills
@@ -208,17 +281,20 @@ Json fleet_metrics_json(const uwp::fleet::FleetResult& res, Json& timing) {
     timing.set("rounds_per_sec", uwp::config::double_to_json(rl.rounds_per_sec));
     timing.set("round_p50_s", uwp::config::double_to_json(rl.p50_s));
     timing.set("round_p99_s", uwp::config::double_to_json(rl.p99_s));
+    timing.set("round_p999_s", uwp::config::double_to_json(rl.p999_s));
   }
   return metrics;
 }
 
-Json run_fleet(const uwp::config::ScenarioSpec& spec, Json& timing) {
+Json run_fleet(const uwp::config::ScenarioSpec& spec, Json& timing,
+               uwp::telemetry::Collector* telemetry) {
   const uwp::fleet::FleetService service = uwp::config::make_fleet_service(spec);
-  const uwp::fleet::FleetResult res = service.run();
+  const uwp::fleet::FleetResult res = service.run(nullptr, telemetry);
   return fleet_metrics_json(res, timing);
 }
 
-Json run_serve(const uwp::config::ScenarioSpec& spec, Json& timing) {
+Json run_serve(const uwp::config::ScenarioSpec& spec, Json& timing,
+               uwp::telemetry::Collector* telemetry) {
   uwp::fleet::Server server = uwp::config::make_fleet_server(spec);
   const std::vector<uwp::sim::GroupScenario> workload =
       uwp::config::make_workload(spec);
@@ -241,7 +317,7 @@ Json run_serve(const uwp::config::ScenarioSpec& spec, Json& timing) {
 
   uwp::fleet::ServerResult res;
   try {
-    res = server.serve(transport);
+    res = server.serve(transport, nullptr, telemetry);
   } catch (...) {
     transport.close();
     feeder.join();
@@ -319,6 +395,20 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const bool telemetry_run = !args.telemetry_path.empty() || spec.telemetry.enabled;
+  if (telemetry_run && spec.mode != uwp::config::RunMode::kFleet &&
+      spec.mode != uwp::config::RunMode::kServe) {
+    std::fprintf(stderr, "uwp_run: telemetry is only available in fleet/serve mode\n");
+    return 2;
+  }
+  std::unique_ptr<uwp::telemetry::Collector> collector;
+  if (telemetry_run) {
+    // --telemetry-out implies telemetry even when the spec leaves it off.
+    uwp::telemetry::TelemetryOptions topts = uwp::config::make_telemetry_options(spec);
+    topts.enabled = true;
+    collector = std::make_unique<uwp::telemetry::Collector>(topts);
+  }
+
   std::printf("[%s] %s (mode %s)\n", args.spec_path.c_str(), spec.name.c_str(),
               uwp::config::to_string(spec.mode));
   Json doc = Json::object();
@@ -338,10 +428,10 @@ int main(int argc, char** argv) {
         metrics = run_des(spec, timing);
         break;
       case uwp::config::RunMode::kFleet:
-        metrics = run_fleet(spec, timing);
+        metrics = run_fleet(spec, timing, collector.get());
         break;
       case uwp::config::RunMode::kServe:
-        metrics = run_serve(spec, timing);
+        metrics = run_serve(spec, timing, collector.get());
         break;
     }
   } catch (const std::exception& e) {
@@ -350,6 +440,25 @@ int main(int argc, char** argv) {
   }
   doc.set("metrics", std::move(metrics));
   doc.set("timing", std::move(timing));
+
+  if (collector != nullptr) {
+    uwp::telemetry::TelemetryReport rep = collector->report();
+    std::printf("telemetry: %zu streams, %llu events (%llu dropped), "
+                "%zu counter windows\n",
+                rep.streams, static_cast<unsigned long long>(rep.events),
+                static_cast<unsigned long long>(rep.dropped),
+                rep.snapshots.size());
+    if (!args.telemetry_path.empty()) {
+      std::ofstream tout(args.telemetry_path, std::ios::binary);
+      if (!tout) {
+        std::fprintf(stderr, "uwp_run: cannot open %s\n",
+                     args.telemetry_path.c_str());
+        return 1;
+      }
+      tout << uwp::config::write_json(telemetry_report_to_json(spec, std::move(rep)));
+      std::printf("telemetry written to %s\n", args.telemetry_path.c_str());
+    }
+  }
 
   if (!args.out_path.empty()) {
     std::ofstream out(args.out_path, std::ios::binary);
