@@ -2,7 +2,9 @@
 // cross-correlation, LS channel estimation, SMACOF, the pebble game,
 // Viterbi decoding and the channel simulator. Ablation pairs (classical MDS
 // vs SMACOF; smooth FFT vs Bluestein) are included for the design choices
-// DESIGN.md calls out.
+// DESIGN.md calls out, and every util/simd_kernels.hpp kernel runs as a
+// scalar-vs-SIMD template pair so `--benchmark_format=json` shows the
+// per-kernel speedup of the active backend directly.
 #include <benchmark/benchmark.h>
 
 #include "channel/propagation.hpp"
@@ -16,6 +18,7 @@
 #include "phy/ofdm_preamble.hpp"
 #include "phy/preamble_detector.hpp"
 #include "util/random.hpp"
+#include "util/simd_kernels.hpp"
 
 namespace {
 
@@ -115,6 +118,103 @@ void BM_ChannelTransmit(benchmark::State& state) {
     benchmark::DoNotOptimize(link.transmit(preamble.waveform(), cfg, rng));
 }
 BENCHMARK(BM_ChannelTransmit);
+
+// --- scalar-vs-SIMD kernel pairs --------------------------------------------
+// Each fixture builds one representative problem (sized like the fleet's hot
+// path: fully connected groups of `n` devices) and runs the same kernel
+// under ScalarOps and the build's ActiveOps. Both backends are always
+// compiled, so a single binary reports the pair; with UWP_SIMD=off the two
+// entries coincide by construction.
+
+struct GuttmanProblem {
+  std::size_t np;
+  std::size_t mp;  // padded link count
+  std::vector<double> x, y, w, d, dij, bvals;
+  std::vector<std::uint32_t> li, lj;
+
+  explicit GuttmanProblem(std::size_t n) : np(n) {
+    uwp::Rng rng(10);
+    const std::size_t m = n * (n - 1) / 2;
+    mp = uwp::simd::padded(m);
+    x.assign(uwp::simd::padded(n), 0.0);
+    y.assign(uwp::simd::padded(n), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = rng.uniform(-20, 20);
+      y[i] = rng.uniform(-20, 20);
+    }
+    li.assign(mp, 0);
+    lj.assign(mp, 0);
+    w.assign(mp, 0.0);
+    d.assign(mp, 0.0);
+    dij.assign(mp, 0.0);
+    bvals.assign(mp, 0.0);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j, ++k) {
+        li[k] = static_cast<std::uint32_t>(i);
+        lj[k] = static_cast<std::uint32_t>(j);
+        w[k] = 1.0;
+        d[k] = rng.uniform(1.0, 40.0);
+      }
+  }
+};
+
+// One SMACOF Guttman step's per-link work: stress + distances, then the
+// B(X) off-diagonal values.
+template <class Ops>
+void BM_KernelGuttmanStep(benchmark::State& state) {
+  GuttmanProblem p(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const double stress = uwp::kernels::link_stress<Ops>(
+        p.x.data(), p.y.data(), p.li.data(), p.lj.data(), p.w.data(), p.d.data(),
+        p.dij.data(), p.mp);
+    benchmark::DoNotOptimize(stress);
+    uwp::kernels::guttman_b_values<Ops>(p.w.data(), p.d.data(), p.dij.data(),
+                                        p.bvals.data(), p.mp);
+    benchmark::DoNotOptimize(p.bvals.data());
+  }
+}
+BENCHMARK_TEMPLATE(BM_KernelGuttmanStep, uwp::simd::ScalarOps)->Arg(6)->Arg(12);
+BENCHMARK_TEMPLATE(BM_KernelGuttmanStep, uwp::simd::ActiveOps)->Arg(6)->Arg(12);
+
+// The pseudoinverse's rank-1 accumulation (the pinv hot loop).
+template <class Ops>
+void BM_KernelPinvAxpy(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  uwp::Rng rng(11);
+  std::vector<double> out(n * n, 0.0), col(n, 0.0);
+  for (auto& v : col) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < n; ++r)
+      uwp::kernels::axpy<Ops>(out.data() + r * n, 0.5 * col[r], col.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK_TEMPLATE(BM_KernelPinvAxpy, uwp::simd::ScalarOps)->Arg(6)->Arg(12);
+BENCHMARK_TEMPLATE(BM_KernelPinvAxpy, uwp::simd::ActiveOps)->Arg(6)->Arg(12);
+
+// One Gauss-Newton iteration's residual/normal-equation accumulation over
+// all anchors (the trilateration inner loop).
+template <class Ops>
+void BM_KernelTrilatResiduals(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t pad = uwp::simd::padded(n);
+  uwp::Rng rng(12);
+  std::vector<double> ax(pad, 0.0), ay(pad, 0.0), r(pad, 0.0), mask(pad, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ax[i] = rng.uniform(-30, 30);
+    ay[i] = rng.uniform(-30, 30);
+    r[i] = rng.uniform(5, 50);
+    mask[i] = 1.0;
+  }
+  for (auto _ : state) {
+    const uwp::kernels::TrilatAccum acc = uwp::kernels::trilat_accumulate<Ops>(
+        ax.data(), ay.data(), r.data(), mask.data(), pad, 1.5, -2.5);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK_TEMPLATE(BM_KernelTrilatResiduals, uwp::simd::ScalarOps)->Arg(5)->Arg(11);
+BENCHMARK_TEMPLATE(BM_KernelTrilatResiduals, uwp::simd::ActiveOps)->Arg(5)->Arg(11);
 
 }  // namespace
 

@@ -16,7 +16,8 @@ LocalizationResult Localizer::localize(const LocalizationInput& input,
 }
 
 void Localizer::localize_into(LocalizationResult& out, const LocalizationInput& input,
-                              uwp::Rng& rng, LocalizerWorkspace& ws) const {
+                              uwp::Rng& rng, LocalizerWorkspace& ws,
+                              const std::vector<Vec2>* warm_init) const {
   const std::size_t n = input.distances.rows();
   if (n < 2) throw std::invalid_argument("Localizer: need at least 2 devices");
   if (input.distances.cols() != n || input.weights.rows() != n ||
@@ -26,9 +27,10 @@ void Localizer::localize_into(LocalizationResult& out, const LocalizationInput& 
   // Step 1: project to the horizontal plane using depth readings (§2.1.1).
   project_to_2d_into(ws.d2d, input.distances, input.depths);
 
-  // Step 2: topology via weighted SMACOF + Algorithm 1 outlier handling.
+  // Step 2: topology via weighted SMACOF + Algorithm 1 outlier handling
+  // (warm started when the caller has a predicted layout).
   localize_with_outlier_detection_into(ws.topo, ws.d2d, input.weights, opts_.outlier,
-                                       rng, ws.outlier);
+                                       rng, ws.outlier, warm_init);
 
   // Step 3: fix translation, rotation, and flip (§2.1.4).
   std::vector<Vec2>& pts = ws.pts;

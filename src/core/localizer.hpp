@@ -65,9 +65,14 @@ class Localizer {
   LocalizationResult localize(const LocalizationInput& input, uwp::Rng& rng) const;
 
   // Workspace variant: same results, near-zero heap allocation once `ws`
-  // and `out` are warm.
+  // and `out` are warm. `warm_init` (optional) seeds the SMACOF base solve
+  // with a predicted 2D layout — same frame as the solver's internal
+  // coordinates, i.e. a previous round's pre-disambiguation topology or a
+  // tracker prediction re-expressed there — replacing the cold classical-MDS
+  // + random-restarts seed (and its rng draws).
   void localize_into(LocalizationResult& out, const LocalizationInput& input,
-                     uwp::Rng& rng, LocalizerWorkspace& ws) const;
+                     uwp::Rng& rng, LocalizerWorkspace& ws,
+                     const std::vector<Vec2>* warm_init = nullptr) const;
 
  private:
   LocalizerOptions opts_;

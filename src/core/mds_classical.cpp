@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/linalg.hpp"
+#include "util/simd_kernels.hpp"
 
 namespace uwp::core {
 
@@ -64,16 +65,16 @@ void classical_mds_2d_into(std::vector<Vec2>& out, const Matrix& dist,
   row_mean.assign(n, 0.0);
   double total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) row_mean[i] += d2(i, j);
-    row_mean[i] /= static_cast<double>(n);
+    row_mean[i] =
+        kernels::row_sum<simd::ActiveOps>(d2.row(i).data(), n) / static_cast<double>(n);
     total += row_mean[i];
   }
   total /= static_cast<double>(n);
   Matrix& b = ws.b;
   b.assign(n, n);
   for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < n; ++j)
-      b(i, j) = -0.5 * (d2(i, j) - row_mean[i] - row_mean[j] + total);
+    kernels::center_row<simd::ActiveOps>(b.row(i).data(), d2.row(i).data(), row_mean[i],
+                                         row_mean.data(), total, n);
 
   eigen_symmetric_into(b, ws.eigen.eig, ws.eigen);
   const EigenResult& eig = ws.eigen.eig;

@@ -40,17 +40,19 @@ std::vector<std::vector<std::size_t>> subsets_of_size(std::size_t n, std::size_t
 }
 
 OutlierResult localize_with_outlier_detection(const Matrix& dist, const Matrix& weights,
-                                              const OutlierOptions& opts, uwp::Rng& rng) {
+                                              const OutlierOptions& opts, uwp::Rng& rng,
+                                              const std::vector<Vec2>* init) {
   OutlierWorkspace ws;
   OutlierResult out;
-  localize_with_outlier_detection_into(out, dist, weights, opts, rng, ws);
+  localize_with_outlier_detection_into(out, dist, weights, opts, rng, ws, init);
   return out;
 }
 
 void localize_with_outlier_detection_into(OutlierResult& out, const Matrix& dist,
                                           const Matrix& weights,
                                           const OutlierOptions& opts, uwp::Rng& rng,
-                                          OutlierWorkspace& ws) {
+                                          OutlierWorkspace& ws,
+                                          const std::vector<Vec2>* init) {
   const std::size_t n = dist.rows();
   std::vector<Edge>& links = ws.links;
   links.clear();
@@ -62,9 +64,17 @@ void localize_with_outlier_detection_into(OutlierResult& out, const Matrix& dist
   out.dropped_links.clear();
   out.outliers_suspected = false;
 
-  // Initial solve on all links.
+  SmacofOptions warm = opts.smacof;
+  warm.random_restarts = 0;
+
+  // Initial solve on all links. A caller-provided init (tracker-predicted
+  // geometry) replaces the cold classical-MDS seed and skips the random
+  // restarts — and with them every rng draw of the solve.
   SmacofResult& base = ws.base;
-  smacof_2d_into(base, dist, weights, opts.smacof, rng, nullptr, ws.smacof_base);
+  if (init != nullptr)
+    smacof_2d_into(base, dist, weights, warm, rng, init, ws.smacof_base);
+  else
+    smacof_2d_into(base, dist, weights, opts.smacof, rng, nullptr, ws.smacof_base);
   out.positions.assign(base.positions.begin(), base.positions.end());
   out.normalized_stress = base.normalized_stress;
   out.iterations = base.iterations;
@@ -79,12 +89,10 @@ void localize_with_outlier_detection_into(OutlierResult& out, const Matrix& dist
 
   // Candidate pool: all links while the subset enumeration stays cheap;
   // past max_suspect_links, only the worst-fitting links of the initial
-  // solve are eligible (see OutlierOptions::max_suspect_links). The pruned
-  // regime also swaps the per-candidate solve to a warm start from the
-  // all-links layout (no random restarts) and defers the realizability
-  // check until a candidate actually improves — together this turns an
-  // O(C(L, 3)) minutes-scale search at N = 20 into ~a second without
-  // touching the paper-scale (N <= 8) behavior at all.
+  // solve are eligible (see OutlierOptions::max_suspect_links). Every
+  // candidate solve is a warm start from the current best layout (no random
+  // restarts, no rng draws) with the realizability check deferred until a
+  // candidate actually improves — a warm solve is cheaper than the check.
   const bool pruned = links.size() > opts.max_suspect_links;
   std::vector<std::size_t>& pool = ws.pool;
   pool.resize(links.size());
@@ -104,16 +112,12 @@ void localize_with_outlier_detection_into(OutlierResult& out, const Matrix& dist
     pool.resize(opts.max_suspect_links);
     std::sort(pool.begin(), pool.end());  // keep enumeration order stable
   }
-  SmacofOptions warm = opts.smacof;
-  warm.random_restarts = 0;
-
-  // Warm candidate solves draw nothing from `rng`, so the pruned search can
-  // fan candidates across a pool; the reduction below walks candidates in
+  // Warm candidate solves draw nothing from `rng`, so either regime can fan
+  // candidates across a pool; the reduction below walks candidates in
   // enumeration order, making the result bit-identical at any thread count.
   const std::size_t search_threads =
-      pruned && opts.search_threads != 1
-          ? ThreadPool::resolve_thread_count(opts.search_threads)
-          : 1;
+      opts.search_threads != 1 ? ThreadPool::resolve_thread_count(opts.search_threads)
+                               : 1;
 
   Matrix& w = ws.w;
   std::vector<Edge>& remaining = ws.remaining;
@@ -216,20 +220,15 @@ void localize_with_outlier_detection_into(OutlierResult& out, const Matrix& dist
             remaining.push_back(links[li]);
           }
         }
-        // Only accept when the remaining graph is still uniquely realizable
-        // — otherwise the "improvement" is just the looser problem. Checking
-        // is pricier than a warm-started solve, so the pruned regime
-        // postpones it to candidates that actually improve the stress.
-        if (!pruned && !is_uniquely_realizable_2d(n, remaining)) continue;
-
-        if (pruned)
-          smacof_2d_into(cand, dist, w, warm, rng, &p0, ws.smacof_cand);
-        else
-          smacof_2d_into(cand, dist, w, opts.smacof, rng, nullptr, ws.smacof_cand);
+        smacof_2d_into(cand, dist, w, warm, rng, &p0, ws.smacof_cand);
         out.iterations += cand.iterations;
         const bool significant = e0 - cand.normalized_stress > opts.drop_ratio * e0;
         if (significant && cand.normalized_stress < e_min) {
-          if (pruned && !is_uniquely_realizable_2d(n, remaining)) continue;
+          // Only accept when the remaining graph is still uniquely
+          // realizable — otherwise the "improvement" is just the looser
+          // problem. Checking is pricier than a warm-started solve, so it
+          // waits for candidates that actually improve the stress.
+          if (!is_uniquely_realizable_2d(n, remaining)) continue;
           e_min = cand.normalized_stress;
           p_min.assign(cand.positions.begin(), cand.positions.end());
           best_subset = subset;

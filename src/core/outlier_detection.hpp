@@ -2,9 +2,11 @@
 // links whose multipath was mistaken for the direct path inflate the SMACOF
 // stress; the detector drops growing subsets of links, re-running SMACOF on
 // each candidate subset, and accepts a drop when the normalized stress
-// collapses (>= 90% reduction). Subsets that would leave the graph not
-// uniquely realizable are never tried, and at most `max_outliers` links are
-// dropped.
+// collapses (>= 90% reduction). Candidate solves are warm-started from the
+// current best layout (cheaper than the realizability check, which is
+// deferred to candidates that actually improve); subsets that would leave
+// the graph not uniquely realizable are never accepted, and at most
+// `max_outliers` links are dropped.
 #pragma once
 
 #include <cstdint>
@@ -37,15 +39,14 @@ struct OutlierOptions {
   // dropping; an occluded link is exactly a high-residual one, so the
   // pruning costs little accuracy and bounds the subset count. 28 =
   // C(8, 2): every fully-connected group up to the paper's largest (N = 8)
-  // keeps the exact exhaustive search.
+  // keeps the exhaustive subset enumeration.
   std::size_t max_suspect_links = 28;
-  // Worker threads for the candidate-subset search in the residual-pruned
-  // regime. Warm-started candidate solves draw no randomness, so the fan-out
-  // is deterministic: stresses are reduced in enumeration order and the
-  // result is bit-identical at any thread count. 1 = serial (the default —
-  // and the right setting when an outer sweep already parallelizes trials);
-  // 0 = all hardware threads. The exhaustive paper-scale regime always runs
-  // serially because its candidate solves consume the caller's rng stream.
+  // Worker threads for the candidate-subset search. Candidate solves are
+  // warm-started and draw no randomness, so the fan-out is deterministic in
+  // both regimes: stresses are reduced in enumeration order and the result
+  // is bit-identical at any thread count. 1 = serial (the default — and the
+  // right setting when an outer sweep already parallelizes trials); 0 = all
+  // hardware threads.
   std::size_t search_threads = 1;
   SmacofOptions smacof{};
 };
@@ -65,9 +66,13 @@ struct OutlierResult {
 };
 
 // Algorithm 1: localize with outlier detection. `dist` is the projected 2D
-// distance matrix, `weights` the initial link indicator matrix.
+// distance matrix, `weights` the initial link indicator matrix. When `init`
+// is given (a predicted layout from a tracker, say) the base solve warm
+// starts from it with no random restarts — no rng draws — instead of the
+// cold classical-MDS + restarts seed.
 OutlierResult localize_with_outlier_detection(const Matrix& dist, const Matrix& weights,
-                                              const OutlierOptions& opts, uwp::Rng& rng);
+                                              const OutlierOptions& opts, uwp::Rng& rng,
+                                              const std::vector<Vec2>* init = nullptr);
 
 // Reusable scratch for the workspace variant. Two SMACOF workspaces: the
 // base one keeps its V^+ cache warm across rounds (clean rounds repeat the
@@ -103,7 +108,8 @@ struct OutlierWorkspace {
 void localize_with_outlier_detection_into(OutlierResult& out, const Matrix& dist,
                                           const Matrix& weights,
                                           const OutlierOptions& opts, uwp::Rng& rng,
-                                          OutlierWorkspace& ws);
+                                          OutlierWorkspace& ws,
+                                          const std::vector<Vec2>* init = nullptr);
 
 // Enumeration helper: all size-k subsets of [0, n) (exposed for tests).
 std::vector<std::vector<std::size_t>> subsets_of_size(std::size_t n, std::size_t k);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/linalg.hpp"
+#include "util/simd_kernels.hpp"
 
 namespace uwp::core {
 
@@ -25,109 +26,92 @@ double weighted_stress(const std::vector<Vec2>& x, const Matrix& dist, const Mat
 
 namespace {
 
-std::size_t count_links(const Matrix& w) {
-  std::size_t links = 0;
-  for (std::size_t i = 0; i < w.rows(); ++i)
-    for (std::size_t j = i + 1; j < w.cols(); ++j)
-      if (w(i, j) > 0.0) ++links;
-  return links;
-}
+using Ops = simd::ActiveOps;
 
-// Weighted stress that also records each link's current distance (same
-// i < j, w > 0 enumeration the B-matrix fill uses), so the next Guttman
-// iteration reuses the hypot values instead of recomputing them.
-double stress_with_cache(const std::vector<Vec2>& x, const Matrix& dist,
-                         const Matrix& w, std::vector<double>& link_dist) {
-  double s = 0.0;
-  const std::size_t n = x.size();
-  link_dist.clear();
+// Flatten the i < j, w > 0 links into the padded SoA form the kernels gather
+// from. The link set is a pure function of the weight pattern, so one build
+// serves every start (and every Guttman iteration) of a solve.
+void build_links(LinkSoA& soa, const Matrix& dist, const Matrix& w) {
+  const std::size_t n = w.rows();
+  soa.i.clear();
+  soa.j.clear();
+  soa.w.clear();
+  soa.d.clear();
   for (std::size_t i = 0; i < n; ++i) {
     const std::span<const double> wrow = w.row(i);
     const std::span<const double> drow = dist.row(i);
     for (std::size_t j = i + 1; j < n; ++j) {
       if (wrow[j] <= 0.0) continue;
-      const double dij = distance(x[i], x[j]);
-      link_dist.push_back(dij);
-      const double resid = drow[j] - dij;
-      s += wrow[j] * resid * resid;
+      soa.i.push_back(static_cast<std::uint32_t>(i));
+      soa.j.push_back(static_cast<std::uint32_t>(j));
+      soa.w.push_back(wrow[j]);
+      soa.d.push_back(drow[j]);
     }
   }
-  return s;
+  soa.count = soa.w.size();
+  soa.padded = simd::padded(soa.count);
+  soa.i.resize(soa.padded, 0);
+  soa.j.resize(soa.padded, 0);
+  soa.w.resize(soa.padded, 0.0);
+  soa.d.resize(soa.padded, 0.0);
 }
 
-// One SMACOF solve from a given start, writing into `res` and reusing the
-// workspace's Guttman-transform buffers.
-void run_from(SmacofResult& res, const std::vector<Vec2>& start, const Matrix& dist,
-              const Matrix& w, const Matrix& v_pinv, const SmacofOptions& opts,
-              SmacofWorkspace& ws) {
+// One SMACOF solve from a given start, writing into `res`. Runs entirely on
+// the workspace's padded SoA buffers: per-iteration link distances + stress
+// come from one link_stress pass (distances reused by the next B fill), the
+// Guttman products are fused 2-column mat-vecs over the padded B and V^+
+// planes. The caller has built ws.links / ws.vp_pad and zeroed ws.b_pad for
+// this link set.
+void run_from(SmacofResult& res, const std::vector<Vec2>& start,
+              const SmacofOptions& opts, SmacofWorkspace& ws) {
   const std::size_t n = start.size();
-  res.positions.assign(start.begin(), start.end());
-  std::vector<Vec2>& x = res.positions;
-  res.num_links = count_links(w);
+  const std::size_t np = simd::padded(n);
+  const LinkSoA& links = ws.links;
+  res.num_links = links.count;
   res.iterations = 0;
-  double stress = stress_with_cache(x, dist, w, ws.link_dist);
 
-  Matrix& b = ws.b;
-  Matrix& bx = ws.bx;
-  bx.assign(n, 2);
-  // The link set is fixed for the whole solve, so B's non-link entries stay
-  // exactly zero: zero the matrix once and rewrite only links + diagonal
-  // each iteration.
-  b.assign(n, n);
+  ws.x.assign(np, 0.0);
+  ws.y.assign(np, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    ws.x[k] = start[k].x;
+    ws.y[k] = start[k].y;
+  }
+  ws.bx_x.assign(np, 0.0);
+  ws.bx_y.assign(np, 0.0);
+  ws.dij.resize(links.padded);
+  ws.bvals.resize(links.padded);
+  double* const x = ws.x.data();
+  double* const y = ws.y.data();
+  double* const dij = ws.dij.data();
+  double* const bvals = ws.bvals.data();
+  double* const b = ws.b_pad.data();
+
+  double stress = kernels::link_stress<Ops>(x, y, links.i.data(), links.j.data(),
+                                            links.w.data(), links.d.data(), dij,
+                                            links.padded);
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
-    // Guttman transform: B(X) then X <- V^+ B(X) X. The two products are
-    // fused n x 2 kernels accumulating in the same k-ascending order (with
-    // the same exact-zero skip) as Matrix::operator*, so the iterates are
-    // bit-identical to the naive matrix expressions. Link distances come
-    // from the stress evaluation of the same configuration (bit-identical
-    // values, computed once).
-    std::size_t li = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::span<const double> wrow = w.row(i);
-      const std::span<const double> drow = dist.row(i);
-      const std::span<double> brow = b.row(i);
-      for (std::size_t j = i + 1; j < n; ++j) {
-        if (wrow[j] <= 0.0) continue;
-        const double dij = ws.link_dist[li++];
-        const double val = dij > 1e-12 ? -wrow[j] * drow[j] / dij : 0.0;
-        brow[j] = val;
-        b(j, i) = val;
-      }
+    // Guttman transform: B(X) then X <- V^+ B(X) X. Link distances come from
+    // the stress evaluation of the same configuration (computed once).
+    kernels::guttman_b_values<Ops>(links.w.data(), links.d.data(), dij, bvals,
+                                   links.padded);
+    for (std::size_t k = 0; k < links.count; ++k) {
+      const std::size_t i = links.i[k];
+      const std::size_t j = links.j[k];
+      b[i * np + j] = bvals[k];
+      b[j * np + i] = bvals[k];
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      // Sum the row's off-diagonal entries in ascending-j order, skipping
-      // the diagonal slot (it holds the previous iteration's value).
-      const std::span<const double> brow = b.row(i);
-      double diag = 0.0;
-      for (std::size_t j = 0; j < i; ++j) diag -= brow[j];
-      for (std::size_t j = i + 1; j < n; ++j) diag -= brow[j];
-      b(i, i) = diag;
-    }
-    for (std::size_t r = 0; r < n; ++r) {
-      const std::span<const double> brow = b.row(r);
-      double s0 = 0.0, s1 = 0.0;
-      for (std::size_t k = 0; k < n; ++k) {
-        const double f = brow[k];
-        if (f == 0.0) continue;
-        s0 += f * x[k].x;
-        s1 += f * x[k].y;
-      }
-      bx(r, 0) = s0;
-      bx(r, 1) = s1;
-    }
-    for (std::size_t r = 0; r < n; ++r) {
-      const std::span<const double> prow = v_pinv.row(r);
-      double s0 = 0.0, s1 = 0.0;
-      for (std::size_t k = 0; k < n; ++k) {
-        const double f = prow[k];
-        if (f == 0.0) continue;
-        s0 += f * bx(k, 0);
-        s1 += f * bx(k, 1);
-      }
-      x[r] = {s0, s1};
-    }
+    // Diagonal = -(row sum): zero the stale diagonal slot first so the
+    // blocked row sum sees only off-diagonal values.
+    for (std::size_t i = 0; i < n; ++i) b[i * np + i] = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      b[i * np + i] = -kernels::block_sum<Ops>(b + i * np, np);
+    kernels::matvec2<Ops>(b, np, n, x, y, ws.bx_x.data(), ws.bx_y.data());
+    kernels::matvec2<Ops>(ws.vp_pad.data(), np, n, ws.bx_x.data(), ws.bx_y.data(), x,
+                          y);
 
-    const double new_stress = stress_with_cache(x, dist, w, ws.link_dist);
+    const double new_stress = kernels::link_stress<Ops>(
+        x, y, links.i.data(), links.j.data(), links.w.data(), links.d.data(), dij,
+        links.padded);
     res.iterations = iter + 1;
     if (stress - new_stress <= opts.rel_tolerance * std::max(stress, 1e-30)) {
       stress = new_stress;
@@ -138,6 +122,8 @@ void run_from(SmacofResult& res, const std::vector<Vec2>& start, const Matrix& d
   res.stress = stress;
   res.normalized_stress =
       res.num_links > 0 ? std::sqrt(stress / static_cast<double>(res.num_links)) : 0.0;
+  res.positions.resize(n);
+  for (std::size_t k = 0; k < n; ++k) res.positions[k] = {x[k], y[k]};
 }
 
 }  // namespace
@@ -171,6 +157,7 @@ void smacof_2d_into(SmacofResult& out, const Matrix& dist, const Matrix& w,
   // V = diag(sum_j w_ij) - W; pseudo-inverse handles the rank deficiency
   // from translation invariance (and disconnected graphs). Reused verbatim
   // when the weight matrix is the one already cached.
+  const std::size_t np = simd::padded(n);
   if (!(ws.v_pinv_valid && ws.cached_w == w)) {
     Matrix& v = ws.v;
     v.assign(n, n);
@@ -184,9 +171,18 @@ void smacof_2d_into(SmacofResult& out, const Matrix& dist, const Matrix& w,
       v(i, i) = diag;
     }
     pseudo_inverse_symmetric_into(v, ws.v_pinv, ws.mds.eigen);
+    ws.vp_pad.assign(np * np, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::span<const double> prow = ws.v_pinv.row(i);
+      std::copy(prow.begin(), prow.end(), ws.vp_pad.begin() + i * np);
+    }
     ws.cached_w = w;
     ws.v_pinv_valid = true;
   }
+  build_links(ws.links, dist, w);
+  // The previous solve may have had a different link pattern: clear the whole
+  // padded B plane so non-link (and pad) entries are exactly zero again.
+  ws.b_pad.assign(np * np, 0.0);
 
   const std::size_t num_starts = 1 + static_cast<std::size_t>(
                                          opts.random_restarts > 0 ? opts.random_restarts : 0);
@@ -206,7 +202,7 @@ void smacof_2d_into(SmacofResult& out, const Matrix& dist, const Matrix& w,
 
   bool have = false;
   for (std::size_t s = 0; s < num_starts; ++s) {
-    run_from(ws.scratch, ws.starts[s], dist, w, ws.v_pinv, opts, ws);
+    run_from(ws.scratch, ws.starts[s], opts, ws);
     if (!have || ws.scratch.stress < out.stress) {
       std::swap(out, ws.scratch);
       have = true;

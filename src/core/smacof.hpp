@@ -49,6 +49,17 @@ SmacofResult smacof_2d(const Matrix& dist, const Matrix& w, const SmacofOptions&
                        uwp::Rng& rng,
                        const std::optional<std::vector<Vec2>>& init = std::nullopt);
 
+// The i < j, w > 0 link set of a weight/distance matrix pair, flattened into
+// padded struct-of-arrays form for the SIMD kernels (gather indices + per-link
+// weight and measured distance). Pad links reference node 0 with zero weight
+// and distance so their kernel contributions are exact +0.0.
+struct LinkSoA {
+  std::vector<std::uint32_t> i, j;
+  std::vector<double> w, d;
+  std::size_t count = 0;   // real links
+  std::size_t padded = 0;  // count rounded up to simd::kLanes
+};
+
 // Reusable scratch for smacof_2d_into. Also caches V^+ keyed on the exact
 // weight matrix: the pseudoinverse is a pure function of the weights, so a
 // repeat of the previous weight pattern (the common fully-connected round)
@@ -57,11 +68,16 @@ struct SmacofWorkspace {
   Matrix v, v_pinv;
   Matrix cached_w;
   bool v_pinv_valid = false;
-  Matrix b, bx;                       // Guttman transform iterates
-  std::vector<double> link_dist;      // per-link ||x_i - x_j|| cache
+  LinkSoA links;                   // per-call link SoA
+  std::vector<double> vp_pad;      // padded row-major copy of v_pinv
+  std::vector<double> x, y;        // SoA iterate (padded, pad lanes zero)
+  std::vector<double> bx_x, bx_y;  // B(X) X product (padded)
+  std::vector<double> b_pad;       // padded Guttman B matrix
+  std::vector<double> dij;         // per-link ||x_i - x_j|| cache (padded)
+  std::vector<double> bvals;       // per-link B off-diagonal values (padded)
   std::vector<std::vector<Vec2>> starts;
-  SmacofResult scratch;               // per-start solve buffer
-  ClassicalMdsWorkspace mds;          // classical-MDS seed + eigen scratch
+  SmacofResult scratch;            // per-start solve buffer
+  ClassicalMdsWorkspace mds;       // classical-MDS seed + eigen scratch
 };
 
 // Workspace variant of smacof_2d: bit-identical results, all scratch in `ws`

@@ -5,6 +5,7 @@
 
 #include "util/linalg.hpp"
 #include "util/matrix.hpp"
+#include "util/simd_kernels.hpp"
 
 namespace uwp::core {
 
@@ -22,29 +23,39 @@ std::optional<TrilaterationResult> trilaterate_2d(const std::vector<Vec2>& ancho
   Vec2 x = initial.value_or(centroid(anchors));
   TrilaterationResult out;
 
+  // Anchor SoA for the residual kernel, staged once per solve. Pad anchors
+  // sit at the origin with zero range; the mask zeroes their contribution
+  // (their geometric terms would otherwise be nonzero).
+  const std::size_t np = simd::padded(n);
+  w.soa_ax.assign(np, 0.0);
+  w.soa_ay.assign(np, 0.0);
+  w.soa_r.assign(np, 0.0);
+  w.soa_mask.assign(np, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    w.soa_ax[i] = anchors[i].x;
+    w.soa_ay[i] = anchors[i].y;
+    w.soa_r[i] = ranges[i];
+    w.soa_mask[i] = 1.0;
+  }
+
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     out.iterations = iter + 1;
-    // Residuals r_i = ||x - a_i|| - d_i and Jacobian rows (unit vectors).
+    // Residuals r_i = ||x - a_i|| - d_i and Jacobian rows (unit vectors),
+    // accumulated by the vector kernel.
+    const kernels::TrilatAccum acc = kernels::trilat_accumulate<simd::ActiveOps>(
+        w.soa_ax.data(), w.soa_ay.data(), w.soa_r.data(), w.soa_mask.data(), np, x.x,
+        x.y);
     Matrix& jtj = w.jtj;
     jtj.assign(2, 2);
+    jtj(0, 0) = acc.jtj00 + opts.damping;
+    jtj(0, 1) = acc.jtj01;
+    jtj(1, 0) = acc.jtj01;
+    jtj(1, 1) = acc.jtj11 + opts.damping;
     std::vector<double>& jtr = w.jtr;
     jtr.assign(2, 0.0);
-    double sse = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const Vec2 diff = x - anchors[i];
-      const double dist = std::max(diff.norm(), 1e-9);
-      const double r = dist - ranges[i];
-      const Vec2 u = diff * (1.0 / dist);
-      jtj(0, 0) += u.x * u.x;
-      jtj(0, 1) += u.x * u.y;
-      jtj(1, 0) += u.y * u.x;
-      jtj(1, 1) += u.y * u.y;
-      jtr[0] += u.x * r;
-      jtr[1] += u.y * r;
-      sse += r * r;
-    }
-    jtj(0, 0) += opts.damping;
-    jtj(1, 1) += opts.damping;
+    jtr[0] = acc.jtr0;
+    jtr[1] = acc.jtr1;
+    const double sse = acc.sse;
 
     std::vector<double>& step = w.step;
     try {

@@ -27,12 +27,14 @@ struct TrilaterationResult {
   int iterations = 0;
 };
 
-// Reusable Gauss-Newton scratch (normal equations + LU solve buffers); pass
-// one per thread to make repeated solves allocation-free.
+// Reusable Gauss-Newton scratch (normal equations + LU solve buffers, plus
+// the padded anchor SoA the residual kernel accumulates over); pass one per
+// thread to make repeated solves allocation-free.
 struct TrilaterationWorkspace {
   Matrix jtj, lu;
   std::vector<double> jtr, step;
   std::vector<std::size_t> perm;
+  std::vector<double> soa_ax, soa_ay, soa_r, soa_mask;
 };
 
 // Solve for the 2D position given >= 3 anchors at known positions and range

@@ -59,9 +59,26 @@ FleetResult FleetService::run(SessionRecorder* recorder,
     telemetry::ShardStream* const tel = col != nullptr ? &col->stream(shard) : nullptr;
     arenas[shard].set_telemetry(tel);
     std::vector<double>* lat = opts_.measure_latency ? &shard_latencies[shard] : nullptr;
+    pipeline::BatchPlane plane;
+    std::vector<Session*> enqueued;
     for (std::size_t tick = 0; tick < total_ticks; ++tick) {
       if (tel != nullptr) tel->set_time(static_cast<double>(tick));
-      for (Session& s : sessions) s.tick(tick, arenas[shard], recorder, lat, tel);
+      if (!opts_.batch_rounds) {
+        for (Session& s : sessions) s.tick(tick, arenas[shard], recorder, lat, tel);
+        continue;
+      }
+      // Batched tick: collect every session's pending round, run them all
+      // stage-sliced through the SoA plane, then fold outputs back in the
+      // same session order the reference loop uses.
+      plane.clear();
+      enqueued.clear();
+      for (Session& s : sessions)
+        if (s.begin_tick(tick, arenas[shard], recorder, plane, tel))
+          enqueued.push_back(&s);
+      plane.execute(opts_.measure_latency);
+      const std::span<const pipeline::BatchSlot> slots = plane.slots();
+      for (std::size_t k = 0; k < enqueued.size(); ++k)
+        enqueued[k]->finish_tick(slots[k], arenas[shard], recorder, lat, tel);
     }
 
     for (std::size_t k = 0; k < ids.size(); ++k)

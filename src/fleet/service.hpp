@@ -30,6 +30,12 @@ struct FleetOptions {
   // Record the wall-clock of every run_round call into
   // FleetResult::round_latency_s (for the bench's p50/p99 reporting).
   bool measure_latency = false;
+  // Gather every session's round on a tick into one pipeline::BatchPlane
+  // and run them stage-sliced in struct-of-arrays groups (the throughput
+  // path). Results are bit-identical to the per-session path — grouping is
+  // a memory layout choice, not a scheduling one — so this is a pure perf
+  // knob; false keeps the one-session-at-a-time reference loop.
+  bool batch_rounds = true;
 };
 
 class FleetService {

@@ -247,24 +247,70 @@ void Session::run_event(ShardArena& arena, SessionRecorder* recorder,
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
 
     metrics_.note_round(out);
-    if (recorder != nullptr) {
-      record_scratch_.round = round_index;
-      record_scratch_.localized = out.localized;
-      record_scratch_.normalized_stress =
-          out.localized ? out.localization.normalized_stress : 0.0;
-      record_scratch_.error_2d = out.error_2d;
-      record_scratch_.tracked_error_2d = out.tracked_error_2d;
-      recorder->on_round_result(sc_->session_id, record_scratch_);
-    }
+    record_round(out, round_index, recorder);
   }
 
-  if (feed_.exhausted()) {
-    arena.release(std::move(rt_));
-    feed_.close();
-    state_ = SessionState::kEvicted;
-    if (recorder != nullptr) recorder->on_evict(sc_->session_id);
-    if (telemetry != nullptr) telemetry->count(telemetry::Counter::kEvicts);
+  maybe_evict(arena, recorder, telemetry);
+}
+
+void Session::record_round(const pipeline::RoundOutput& out, std::uint32_t round_index,
+                           SessionRecorder* recorder) {
+  if (recorder == nullptr) return;
+  record_scratch_.round = round_index;
+  record_scratch_.localized = out.localized;
+  record_scratch_.normalized_stress =
+      out.localized ? out.localization.normalized_stress : 0.0;
+  record_scratch_.error_2d = out.error_2d;
+  record_scratch_.tracked_error_2d = out.tracked_error_2d;
+  recorder->on_round_result(sc_->session_id, record_scratch_);
+}
+
+void Session::maybe_evict(ShardArena& arena, SessionRecorder* recorder,
+                          telemetry::ShardStream* telemetry) {
+  if (!feed_.exhausted()) return;
+  arena.release(std::move(rt_));
+  feed_.close();
+  state_ = SessionState::kEvicted;
+  if (recorder != nullptr) recorder->on_evict(sc_->session_id);
+  if (telemetry != nullptr) telemetry->count(telemetry::Counter::kEvicts);
+}
+
+bool Session::begin_tick(std::size_t tick, ShardArena& arena, SessionRecorder* recorder,
+                         pipeline::BatchPlane& plane,
+                         telemetry::ShardStream* telemetry) {
+  if (state_ == SessionState::kEvicted) return false;
+  if (state_ == SessionState::kPending) {
+    if (tick < sc_->admit_tick) return false;
+    admit(arena, recorder, telemetry);
   }
+
+  const double dt = feed_.next_dt_s();
+  if (feed_.next(rt_->meas) == MeasurementFeed::Event::kCoast) {
+    rt_->pipe.coast(dt);
+    metrics_.note_coast();
+    if (recorder != nullptr) recorder->on_coast(sc_->session_id, dt);
+    if (telemetry != nullptr) telemetry->count(telemetry::Counter::kCoasts);
+    maybe_evict(arena, recorder, telemetry);
+    return false;
+  }
+
+  // The measurement is captured pre-quantization, exactly as in run_event
+  // (the batch plane's quantize stage mutates it in place afterwards).
+  if (recorder != nullptr)
+    recorder->on_measurement(sc_->session_id, static_cast<std::uint32_t>(metrics_.rounds),
+                             dt, rt_->meas);
+  plane.enqueue(rt_->pipe, rt_->meas, solve_rng_, dt);
+  return true;
+}
+
+void Session::finish_tick(const pipeline::BatchSlot& slot, ShardArena& arena,
+                          SessionRecorder* recorder, std::vector<double>* latencies,
+                          telemetry::ShardStream* telemetry) {
+  if (latencies != nullptr) latencies->push_back(slot.latency_s);
+  const std::uint32_t round_index = static_cast<std::uint32_t>(metrics_.rounds);
+  metrics_.note_round(*slot.out);
+  record_round(*slot.out, round_index, recorder);
+  maybe_evict(arena, recorder, telemetry);
 }
 
 void Session::tick(std::size_t tick, ShardArena& arena, SessionRecorder* recorder,

@@ -23,6 +23,7 @@
 
 #include "des/mobility.hpp"
 #include "fleet/wire.hpp"
+#include "pipeline/batch_plane.hpp"
 #include "pipeline/closed_form.hpp"
 #include "pipeline/round_pipeline.hpp"
 #include "sim/fleet_workload.hpp"
@@ -206,12 +207,33 @@ class Session {
             std::vector<double>* latencies,
             telemetry::ShardStream* telemetry = nullptr);
 
+  // Batched tick, split in two so a shard can gather every session's round
+  // into one pipeline::BatchPlane per tick. begin_tick handles the
+  // non-round half of tick() — admission, coast, the recorder's
+  // pre-quantization measurement capture — and enqueues the round onto
+  // `plane` instead of running it; it returns true iff a round was
+  // enqueued. After plane.execute(), call finish_tick with this session's
+  // slot to fold in the outputs and evict exactly as tick() would have.
+  // begin_tick(t) + execute + finish_tick is bit-identical to tick(t):
+  // stages only touch this session's pipeline/rng, so metrics, digests,
+  // traces and counters cannot tell the two schedules apart.
+  bool begin_tick(std::size_t tick, ShardArena& arena, SessionRecorder* recorder,
+                  pipeline::BatchPlane& plane,
+                  telemetry::ShardStream* telemetry = nullptr);
+  void finish_tick(const pipeline::BatchSlot& slot, ShardArena& arena,
+                   SessionRecorder* recorder, std::vector<double>* latencies,
+                   telemetry::ShardStream* telemetry = nullptr);
+
  private:
   void admit(ShardArena& arena, SessionRecorder* recorder,
              telemetry::ShardStream* telemetry);
   void run_event(ShardArena& arena, SessionRecorder* recorder,
                  std::vector<double>* latencies,
                  telemetry::ShardStream* telemetry);
+  void record_round(const pipeline::RoundOutput& out, std::uint32_t round_index,
+                    SessionRecorder* recorder);
+  void maybe_evict(ShardArena& arena, SessionRecorder* recorder,
+                   telemetry::ShardStream* telemetry);
 
   const sim::GroupScenario* sc_;
   SessionState state_ = SessionState::kPending;

@@ -1,0 +1,108 @@
+#include "pipeline/batch_plane.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace uwp::pipeline {
+
+namespace {
+
+// Shape key of a round: pipelines with equal keys run identical stage code
+// paths on identically-sized buffers, so their rounds share one SoA group.
+std::size_t shape_key(const RoundPipeline& pipe) {
+  const PipelineOptions& o = pipe.options();
+  return (static_cast<std::size_t>(o.protocol.num_devices) << 2) |
+         (o.quantize_payload ? 1u : 0u) | (o.track ? 2u : 0u);
+}
+
+class SlotClock {
+ public:
+  explicit SlotClock(bool enabled) : enabled_(enabled) {}
+  void start() {
+    if (enabled_) t0_ = std::chrono::steady_clock::now();
+  }
+  void stop(BatchSlot& slot) const {
+    if (enabled_)
+      slot.latency_s +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+              .count();
+  }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
+
+void BatchPlane::clear() { slots_.clear(); }
+
+void BatchPlane::enqueue(RoundPipeline& pipe, RoundMeasurement& m, uwp::Rng& rng,
+                         double dt_s) {
+  slots_.push_back(BatchSlot{&pipe, &m, &rng, dt_s, nullptr, 0.0});
+}
+
+void BatchPlane::execute(bool measure_latency) {
+  const std::size_t count = slots_.size();
+  order_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) order_[i] = i;
+  // Stable by enqueue index within a shape group: grouping is a memory
+  // layout choice only, results are order-independent.
+  std::stable_sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+    return shape_key(*slots_[a].pipe) < shape_key(*slots_[b].pipe);
+  });
+
+  SlotClock clock(measure_latency);
+  std::size_t group_begin = 0;
+  while (group_begin < count) {
+    const std::size_t key = shape_key(*slots_[order_[group_begin]].pipe);
+    std::size_t group_end = group_begin + 1;
+    while (group_end < count && shape_key(*slots_[order_[group_end]].pipe) == key)
+      ++group_end;
+    const std::size_t group = group_end - group_begin;
+    const std::size_t n = slots_[order_[group_begin]].pipe->options().protocol.num_devices;
+    const std::size_t cells = n * n;
+
+    // Stage 1: quantize + ranging for the whole group, gathering each
+    // round's distance/weight matrices into contiguous plane rows.
+    dist_plane_.resize(group * cells);
+    weight_plane_.resize(group * cells);
+    for (std::size_t g = 0; g < group; ++g) {
+      BatchSlot& slot = slots_[order_[group_begin + g]];
+      clock.start();
+      slot.pipe->begin_round(slot.dt_s);
+      slot.pipe->stage_quantize(*slot.meas);
+      slot.pipe->stage_ranging(*slot.meas);
+      const RoundOutput& out = slot.pipe->output();
+      std::copy(out.ranging.distances.data().begin(), out.ranging.distances.data().end(),
+                dist_plane_.begin() + static_cast<std::ptrdiff_t>(g * cells));
+      std::copy(out.ranging.weights.data().begin(), out.ranging.weights.data().end(),
+                weight_plane_.begin() + static_cast<std::ptrdiff_t>(g * cells));
+      clock.stop(slot);
+    }
+
+    // Stage 2: localize the whole group from the dense planes.
+    for (std::size_t g = 0; g < group; ++g) {
+      BatchSlot& slot = slots_[order_[group_begin + g]];
+      clock.start();
+      slot.pipe->stage_localize(
+          *slot.meas, *slot.rng,
+          std::span<const double>(dist_plane_.data() + g * cells, cells),
+          std::span<const double>(weight_plane_.data() + g * cells, cells));
+      clock.stop(slot);
+    }
+
+    // Stage 3: track + finish for the whole group.
+    for (std::size_t g = 0; g < group; ++g) {
+      BatchSlot& slot = slots_[order_[group_begin + g]];
+      clock.start();
+      slot.pipe->stage_track(*slot.meas);
+      slot.out = &slot.pipe->finish_round();
+      clock.stop(slot);
+    }
+
+    group_begin = group_end;
+  }
+}
+
+}  // namespace uwp::pipeline

@@ -1,0 +1,63 @@
+// The shard-level batch plane: gathers many sessions' pending rounds into
+// same-shaped groups and runs them stage by stage — every group member's
+// quantize+ranging, then every member's localize, then every member's track
+// — instead of one pipeline at a time to completion. The ranging stage's
+// distance/weight matrices are staged into one contiguous struct-of-arrays
+// buffer per group (one n*n row per round, rows adjacent in memory), so the
+// localize stage streams through a dense plane instead of pointer-chasing
+// hundreds of warm pipelines' heaps.
+//
+// Determinism: stages communicate only through each round's own pipeline
+// state and each slot draws only its own rng, so a batched tick is
+// bit-identical to running the same rounds' run_round calls back to back —
+// at any shard count and in any grouping. Shape groups exist purely for
+// memory locality.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pipeline/round_pipeline.hpp"
+
+namespace uwp::pipeline {
+
+// One enqueued round: which pipeline runs it, the measurement it consumes,
+// the session's solver rng, and (after execute) its outputs.
+struct BatchSlot {
+  RoundPipeline* pipe = nullptr;
+  RoundMeasurement* meas = nullptr;
+  uwp::Rng* rng = nullptr;
+  double dt_s = 0.0;
+  const RoundOutput* out = nullptr;  // valid after execute()
+  double latency_s = 0.0;            // filled when execute(measure_latency)
+};
+
+class BatchPlane {
+ public:
+  // Drop all slots (keeps buffer capacity for the next tick).
+  void clear();
+  std::size_t size() const { return slots_.size(); }
+
+  // Add one round to the current batch. The pipeline, measurement, and rng
+  // must stay valid until execute() returns; each pipeline may appear at
+  // most once per batch (one round per session per tick).
+  void enqueue(RoundPipeline& pipe, RoundMeasurement& m, uwp::Rng& rng, double dt_s);
+
+  // Run every enqueued round through quantize -> ranging -> localize ->
+  // track, stage-sliced within shape groups (same device count and
+  // quantize/track options). With `measure_latency`, each slot's latency_s
+  // becomes the summed wall clock of its own stage sections.
+  void execute(bool measure_latency = false);
+
+  // Slots in enqueue order, outputs filled. Valid until clear()/enqueue().
+  std::span<const BatchSlot> slots() const { return slots_; }
+
+ private:
+  std::vector<BatchSlot> slots_;
+  std::vector<std::size_t> order_;       // slot indices sorted by shape group
+  std::vector<double> dist_plane_;       // SoA staging: group's distance rows
+  std::vector<double> weight_plane_;     // SoA staging: group's weight rows
+};
+
+}  // namespace uwp::pipeline

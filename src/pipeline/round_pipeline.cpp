@@ -1,5 +1,6 @@
 #include "pipeline/round_pipeline.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -36,6 +37,7 @@ RoundPipeline::RoundPipeline(PipelineOptions opts)
 
 void RoundPipeline::reset() {
   tracker_ = core::GroupTracker(opts_.protocol.num_devices, opts_.tracker);
+  warm_valid_ = false;
 }
 
 void RoundPipeline::rebind(const PipelineOptions& opts) {
@@ -46,44 +48,73 @@ void RoundPipeline::rebind(const PipelineOptions& opts) {
   codec_ = make_codec_config(opts);
   localizer_ = core::Localizer(opts.localizer);
   tracker_ = core::GroupTracker(opts.protocol.num_devices, opts.tracker);
+  warm_valid_ = false;
 }
 
 void RoundPipeline::coast(double dt_s) {
   tracker_.predict(dt_s);
+  // A coast gap means the predicted geometry has drifted unverified; the
+  // next round re-seeds from cold classical MDS.
+  warm_valid_ = false;
 }
 
 const RoundOutput& RoundPipeline::run_round(RoundMeasurement& m, uwp::Rng& rng,
                                             double dt_s) {
+  begin_round(dt_s);
+  stage_quantize(m);
+  stage_ranging(m);
+  stage_localize(m, rng, out_.ranging.distances.data(), out_.ranging.weights.data());
+  stage_track(m);
+  return finish_round();
+}
+
+void RoundPipeline::begin_round(double dt_s) {
+  round_elapsed_ = 0.0;
+  // Tracker prediction runs first (it used to sit with the update after
+  // localization — same predict/update sequence either way) so the predicted
+  // geometry can warm-start the localize stage.
+  if (opts_.track) {
+    telemetry::SpanTimer span(telemetry_, telemetry::Stage::kTrack);
+    tracker_.predict(dt_s);
+    round_elapsed_ += span.stop();
+  }
+}
+
+void RoundPipeline::stage_quantize(RoundMeasurement& m) {
+  // Payload quantization (§2.4): timestamps ride to the leader as 10-bit
+  // slot-relative deltas at 2-sample resolution.
+  telemetry::SpanTimer span(telemetry_, telemetry::Stage::kQuantize);
+  if (opts_.quantize_payload) proto::quantize_run_payload(m.protocol, codec_);
+  round_elapsed_ += span.stop();
+}
+
+void RoundPipeline::stage_ranging(RoundMeasurement& m) {
   const std::size_t n = opts_.protocol.num_devices;
-  telemetry::ShardStream* const tel = telemetry_;
-  telemetry::SpanTimer whole_round(tel, telemetry::Stage::kRound);
+  telemetry::SpanTimer span(telemetry_, telemetry::Stage::kRanging);
+  // Pairwise distances from the timestamp table.
+  solver_.solve_into(out_.ranging, m.protocol);
 
-  {
-    // Payload quantization (§2.4): timestamps ride to the leader as 10-bit
-    // slot-relative deltas at 2-sample resolution.
-    telemetry::SpanTimer span(tel, telemetry::Stage::kQuantize);
-    if (opts_.quantize_payload) proto::quantize_run_payload(m.protocol, codec_);
-  }
+  // Per-link 1D ranging diagnostics against the true geometry.
+  out_.ranging_errors.clear();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (out_.ranging.weights(i, j) > 0.0) {
+        const double true_d = distance(m.truth_pos[i], m.truth_pos[j]);
+        out_.ranging_errors.push_back(std::abs(out_.ranging.distances(i, j) - true_d));
+      }
+  round_elapsed_ += span.stop();
+}
 
-  {
-    telemetry::SpanTimer span(tel, telemetry::Stage::kRanging);
-    // Pairwise distances from the timestamp table.
-    solver_.solve_into(out_.ranging, m.protocol);
-
-    // Per-link 1D ranging diagnostics against the true geometry.
-    out_.ranging_errors.clear();
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = i + 1; j < n; ++j)
-        if (out_.ranging.weights(i, j) > 0.0) {
-          const double true_d = distance(m.truth_pos[i], m.truth_pos[j]);
-          out_.ranging_errors.push_back(
-              std::abs(out_.ranging.distances(i, j) - true_d));
-        }
-  }
-
-  // Localize.
-  out_.localizer_input.distances = out_.ranging.distances;
-  out_.localizer_input.weights = out_.ranging.weights;
+void RoundPipeline::stage_localize(RoundMeasurement& m, uwp::Rng& rng,
+                                   std::span<const double> distances,
+                                   std::span<const double> weights) {
+  const std::size_t n = opts_.protocol.num_devices;
+  out_.localizer_input.distances.assign(n, n);
+  out_.localizer_input.weights.assign(n, n);
+  std::copy(distances.begin(), distances.end(),
+            out_.localizer_input.distances.data().begin());
+  std::copy(weights.begin(), weights.end(),
+            out_.localizer_input.weights.data().begin());
   out_.localizer_input.depths = m.depths;
   out_.localizer_input.pointing_bearing_rad = m.pointing_bearing_rad;
   out_.localizer_input.votes = m.votes;
@@ -91,44 +122,74 @@ const RoundOutput& RoundPipeline::run_round(RoundMeasurement& m, uwp::Rng& rng,
   out_.error_2d.assign(n, kNaN);
   out_.tracked_error_2d.assign(n, kNaN);
   out_.error_2d[0] = 0.0;
-  {
-    telemetry::SpanTimer span(tel, telemetry::Stage::kLocalize);
-    try {
-      localizer_.localize_into(out_.localization, out_.localizer_input, rng, loc_ws_);
-      out_.localized = true;
-    } catch (const std::exception&) {
-      out_.localized = false;
+
+  // Cross-round warm start: when the previous round localized and updated
+  // the tracker, seed SMACOF from the predicted geometry (leader pinned at
+  // the origin) instead of cold classical MDS. SMACOF only sees pairwise
+  // distances, so the output-frame prediction is a valid seed; ambiguity
+  // resolution re-normalizes the frame afterwards as usual.
+  bool warm = opts_.track && warm_valid_;
+  if (warm) {
+    warm_init_.resize(n);
+    warm_init_[0] = {0.0, 0.0};
+    for (std::size_t i = 1; i < n; ++i) {
+      const core::DiverTrack& track = tracker_.track(i);
+      if (!track.initialized()) {
+        warm = false;
+        break;
+      }
+      warm_init_[i] = track.position();
     }
   }
+
+  telemetry::SpanTimer span(telemetry_, telemetry::Stage::kLocalize);
+  try {
+    localizer_.localize_into(out_.localization, out_.localizer_input, rng, loc_ws_,
+                             warm ? &warm_init_ : nullptr);
+    out_.localized = true;
+  } catch (const std::exception&) {
+    out_.localized = false;
+  }
+  round_elapsed_ += span.stop();
+  if (telemetry_ != nullptr)
+    telemetry_->count(warm ? telemetry::Counter::kWarmStartHits
+                           : telemetry::Counter::kWarmStartMisses);
 
   if (out_.localized) {
     for (std::size_t i = 1; i < n; ++i)
-      out_.error_2d[i] =
-          distance(out_.localization.positions[i].xy(), m.truth_xy[i]);
+      out_.error_2d[i] = distance(out_.localization.positions[i].xy(), m.truth_xy[i]);
   }
+}
 
-  // Tracking: coast through failed rounds, fuse successful ones.
-  if (opts_.track) {
-    telemetry::SpanTimer span(tel, telemetry::Stage::kTrack);
-    tracker_.predict(dt_s);
-    if (out_.localized) {
-      tracker_update_.assign(n, std::nullopt);
-      for (std::size_t i = 1; i < n; ++i)
-        tracker_update_[i] = out_.localization.positions[i].xy();
-      const double sigma =
-          opts_.tracker_stress_sigma_offset_m >= 0.0
-              ? out_.localization.normalized_stress + opts_.tracker_stress_sigma_offset_m
-              : -1.0;
-      tracker_.update(tracker_update_, sigma);
-    }
-    for (std::size_t i = 1; i < n; ++i) {
-      const core::DiverTrack& track = tracker_.track(i);
-      if (track.initialized())
-        out_.tracked_error_2d[i] = distance(track.position(), m.truth_xy[i]);
-    }
+void RoundPipeline::stage_track(RoundMeasurement& m) {
+  if (!opts_.track) return;
+  const std::size_t n = opts_.protocol.num_devices;
+  // Tracking: coast through failed rounds, fuse successful ones (the predict
+  // half already ran in begin_round).
+  telemetry::SpanTimer span(telemetry_, telemetry::Stage::kTrack);
+  if (out_.localized) {
+    tracker_update_.assign(n, std::nullopt);
+    for (std::size_t i = 1; i < n; ++i)
+      tracker_update_[i] = out_.localization.positions[i].xy();
+    const double sigma =
+        opts_.tracker_stress_sigma_offset_m >= 0.0
+            ? out_.localization.normalized_stress + opts_.tracker_stress_sigma_offset_m
+            : -1.0;
+    tracker_.update(tracker_update_, sigma);
   }
+  for (std::size_t i = 1; i < n; ++i) {
+    const core::DiverTrack& track = tracker_.track(i);
+    if (track.initialized())
+      out_.tracked_error_2d[i] = distance(track.position(), m.truth_xy[i]);
+  }
+  round_elapsed_ += span.stop();
+  warm_valid_ = out_.localized;
+}
 
+const RoundOutput& RoundPipeline::finish_round() {
+  telemetry::ShardStream* const tel = telemetry_;
   if (tel != nullptr) {
+    if (tel->timing_enabled()) tel->span(telemetry::Stage::kRound, round_elapsed_);
     tel->count(telemetry::Counter::kRounds);
     if (out_.localized) {
       tel->count(telemetry::Counter::kLocalized);

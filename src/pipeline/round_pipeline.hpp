@@ -8,6 +8,7 @@
 // allocations.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/localizer.hpp"
@@ -97,6 +98,35 @@ class RoundPipeline {
   // the next run_round/run_batch call.
   const RoundOutput& run_round(RoundMeasurement& m, uwp::Rng& rng, double dt_s = 0.0);
 
+  // Stage-sliced round execution — the same chain run_round composes, split
+  // so a pipeline::BatchPlane can interleave many pipelines' rounds stage by
+  // stage (all quantize, all ranging, ...) for cache locality. Protocol per
+  // round, in order:
+  //   begin_round(dt_s)                 tracker predict (warm-start basis)
+  //   stage_quantize(m)                 §2.4 payload quantization
+  //   stage_ranging(m)                  timestamp table -> distance matrix
+  //   stage_localize(m, rng, d, w)      SMACOF + Algorithm 1 + ambiguity;
+  //                                     d/w are row-major n*n views of the
+  //                                     distance/weight matrices (usually
+  //                                     output().ranging's, or a batch
+  //                                     plane's staged copy)
+  //   stage_track(m)                    Kalman update + tracked errors
+  //   finish_round()                    round counters + aggregate span
+  // The results are bit-identical to run_round: stages only communicate
+  // through this pipeline's own state, so interleaving with other pipelines
+  // changes nothing.
+  void begin_round(double dt_s);
+  void stage_quantize(RoundMeasurement& m);
+  void stage_ranging(RoundMeasurement& m);
+  void stage_localize(RoundMeasurement& m, uwp::Rng& rng,
+                      std::span<const double> distances,
+                      std::span<const double> weights);
+  void stage_track(RoundMeasurement& m);
+  const RoundOutput& finish_round();
+
+  // The last round's outputs (valid between stage calls of a round too).
+  const RoundOutput& output() const { return out_; }
+
   // A round that never happened (e.g. jammed by noise): advance the tracker
   // so it coasts on its motion model.
   void coast(double dt_s);
@@ -119,6 +149,12 @@ class RoundPipeline {
   RoundMeasurement batch_meas_;
   RoundOutput out_;
   telemetry::ShardStream* telemetry_ = nullptr;
+  // Cross-round warm start: true when the previous event was a localized,
+  // tracked round (cleared on reset/rebind/coast and failed rounds), so the
+  // tracker's predicted geometry is a trustworthy SMACOF seed.
+  bool warm_valid_ = false;
+  std::vector<Vec2> warm_init_;
+  double round_elapsed_ = 0.0;  // summed stage spans for the kRound span
 };
 
 }  // namespace uwp::pipeline

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/simd.hpp"
+
 namespace uwp::sim {
 
 void print_summary_row(const std::string& label, std::span<const double> errors) {
@@ -72,7 +74,9 @@ void BenchJsonReporter::write() const {
 #endif
   std::printf("{\n  \"context\": {\n");
   std::printf("    \"library_build_type\": \"%s\",\n", build_type);
-  std::printf("    \"num_cpus\": %u\n", std::thread::hardware_concurrency());
+  std::printf("    \"num_cpus\": %u,\n", std::thread::hardware_concurrency());
+  std::printf("    \"simd\": \"%s\",\n", simd::kBackendName);
+  std::printf("    \"uwp_simd\": \"%s\"\n", simd::kSimdSetting);
   std::printf("  },\n  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const Entry& e = entries_[i];

@@ -113,12 +113,15 @@ class SpanTimer {
   SpanTimer& operator=(const SpanTimer&) = delete;
   ~SpanTimer() { stop(); }
 
-  void stop() {
-    if (s_ == nullptr) return;
+  // Emits the span and returns its duration in seconds (0.0 when timing is
+  // off), so callers can accumulate stage times into an aggregate span.
+  double stop() {
+    if (s_ == nullptr) return 0.0;
     const std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - t0_;
     s_->span(stage_, dt.count());
     s_ = nullptr;
+    return dt.count();
   }
 
  private:

@@ -24,6 +24,10 @@ const char* to_string(Counter c) {
       return "ingest_shed";
     case Counter::kIngestDeferred:
       return "ingest_deferred";
+    case Counter::kWarmStartHits:
+      return "warm_start_hits";
+    case Counter::kWarmStartMisses:
+      return "warm_start_misses";
     case Counter::kCount_:
       break;
   }

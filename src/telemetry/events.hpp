@@ -35,6 +35,8 @@ enum class Counter : std::uint8_t {
   kIngestAdmitted,     // shaper verdicts: measurement frames dispatched
   kIngestShed,         // shaper verdicts: measurement frames shed to coast
   kIngestDeferred,     // shaper verdicts: individual defer attempts
+  kWarmStartHits,      // localize stages seeded from predicted geometry
+  kWarmStartMisses,    // localize stages cold-seeded (admit/rebind/coast gap)
   kCount_,
 };
 inline constexpr std::size_t kCounterCount =

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/simd_kernels.hpp"
+
 namespace uwp {
 
 namespace {
@@ -64,12 +66,10 @@ void eigen_symmetric_into(const Matrix& a, EigenResult& out, EigenWorkspace& ws,
           v(k, p) = c * vkp - s * vkq;
           v(k, q) = s * vkp + c * vkq;
         }
-        for (std::size_t k = 0; k < n; ++k) {
-          const double dpk = d(p, k);
-          const double dqk = d(q, k);
-          d(p, k) = c * dpk - s * dqk;
-          d(q, k) = s * dpk + c * dqk;
-        }
+        // Rows p and q are contiguous: the row half of the rotation runs on
+        // the vector unit (same per-element operations as the scalar form).
+        kernels::rotate_rows<simd::ActiveOps>(d.row(p).data(), d.row(q).data(), c, s,
+                                              n);
       }
     }
   }
@@ -117,12 +117,8 @@ void pseudo_inverse_symmetric_into(const Matrix& a, Matrix& out, EigenWorkspace&
     if (std::abs(l) <= cutoff) continue;
     const double inv = 1.0 / l;
     for (std::size_t c = 0; c < n; ++c) col[c] = eig.vectors(c, k);
-    for (std::size_t r = 0; r < n; ++r) {
-      const double vr = col[r];
-      if (vr == 0.0) continue;
-      const std::span<double> orow = out.row(r);
-      for (std::size_t c = 0; c < n; ++c) orow[c] += inv * vr * col[c];
-    }
+    for (std::size_t r = 0; r < n; ++r)
+      kernels::axpy<simd::ActiveOps>(out.row(r).data(), inv * col[r], col.data(), n);
   }
 }
 

@@ -1,0 +1,198 @@
+// Portable 4-lane double SIMD for the solver hot-path kernels.
+//
+// One virtual register type per backend — `V4` holds 4 doubles — with a
+// deliberately tiny operation set (load/store/broadcast, +,-,*,/, sqrt,
+// lane-wise max / greater-than select, and ONE fixed-order horizontal sum).
+// Three backends sit behind the same functions:
+//
+//   * Avx2Ops   — __m256d            (x86_64, compiled with -mavx2)
+//   * NeonOps   — 2 x float64x2_t    (aarch64)
+//   * ScalarOps — double[4]          (reference; also the UWP_SIMD=off build)
+//
+// The semantics contract that makes UWP_SIMD=on/off builds bit-identical:
+// every lane operation is exactly one IEEE-754 double operation (correctly
+// rounded, no fused multiply-add — the build pins -ffp-contract=off), and
+// the only cross-lane operation, hsum, combines lanes in one fixed order:
+//
+//   hsum(v) = (v0 + v1) + (v2 + v3)
+//
+// Kernels built on this set (src/util/simd_kernels.hpp) therefore produce
+// the same bits on every backend, provided they process data in the same
+// 4-lane blocks on every backend — which they do by construction, because
+// the blocking is written once against this interface. CI enforces the
+// contract by diffing a UWP_SIMD=off build's metrics against the SIMD
+// build's.
+//
+// `ActiveOps` is the backend selected at configure time; `kBackendName`
+// ("avx2" / "neon" / "scalar") is what benches record so BENCH_*.json
+// entries are comparable across runners.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#if !defined(UWP_SIMD_OFF) && defined(__AVX2__)
+#define UWP_SIMD_AVX2 1
+#include <immintrin.h>
+#elif !defined(UWP_SIMD_OFF) && defined(__aarch64__) && defined(__ARM_NEON)
+#define UWP_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace uwp::simd {
+
+inline constexpr std::size_t kLanes = 4;
+
+// Round `n` up to a whole number of 4-lane blocks. Kernels require padded
+// buffers so full-width loads never read past the logical end; pad slots
+// must hold values that make the padded lanes exact no-ops (zeros).
+inline constexpr std::size_t padded(std::size_t n) {
+  return (n + kLanes - 1) & ~(kLanes - 1);
+}
+
+// --- scalar reference backend ----------------------------------------------
+
+struct ScalarOps {
+  static constexpr const char* kName = "scalar";
+  struct V4 {
+    double v[4];
+  };
+
+  static V4 zero() { return {{0.0, 0.0, 0.0, 0.0}}; }
+  static V4 set1(double x) { return {{x, x, x, x}}; }
+  static V4 load(const double* p) { return {{p[0], p[1], p[2], p[3]}}; }
+  static void store(double* p, V4 a) {
+    p[0] = a.v[0];
+    p[1] = a.v[1];
+    p[2] = a.v[2];
+    p[3] = a.v[3];
+  }
+  static V4 add(V4 a, V4 b) {
+    return {{a.v[0] + b.v[0], a.v[1] + b.v[1], a.v[2] + b.v[2], a.v[3] + b.v[3]}};
+  }
+  static V4 sub(V4 a, V4 b) {
+    return {{a.v[0] - b.v[0], a.v[1] - b.v[1], a.v[2] - b.v[2], a.v[3] - b.v[3]}};
+  }
+  static V4 mul(V4 a, V4 b) {
+    return {{a.v[0] * b.v[0], a.v[1] * b.v[1], a.v[2] * b.v[2], a.v[3] * b.v[3]}};
+  }
+  static V4 div(V4 a, V4 b) {
+    return {{a.v[0] / b.v[0], a.v[1] / b.v[1], a.v[2] / b.v[2], a.v[3] / b.v[3]}};
+  }
+  static V4 sqrt(V4 a) {
+    return {{std::sqrt(a.v[0]), std::sqrt(a.v[1]), std::sqrt(a.v[2]),
+             std::sqrt(a.v[3])}};
+  }
+  // Lane-wise `a < b ? b : a` — the std::max(a, b) argument order, exact for
+  // all non-NaN inputs on every backend.
+  static V4 max(V4 a, V4 b) {
+    V4 r;
+    for (std::size_t i = 0; i < 4; ++i) r.v[i] = a.v[i] < b.v[i] ? b.v[i] : a.v[i];
+    return r;
+  }
+  // Lane-wise `x > y ? a : b`.
+  static V4 select_gt(V4 x, V4 y, V4 a, V4 b) {
+    V4 r;
+    for (std::size_t i = 0; i < 4; ++i) r.v[i] = x.v[i] > y.v[i] ? a.v[i] : b.v[i];
+    return r;
+  }
+  static double hsum(V4 a) { return (a.v[0] + a.v[1]) + (a.v[2] + a.v[3]); }
+};
+
+// --- AVX2 backend -----------------------------------------------------------
+
+#if defined(UWP_SIMD_AVX2)
+struct Avx2Ops {
+  static constexpr const char* kName = "avx2";
+  struct V4 {
+    __m256d v;
+  };
+
+  static V4 zero() { return {_mm256_setzero_pd()}; }
+  static V4 set1(double x) { return {_mm256_set1_pd(x)}; }
+  static V4 load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static void store(double* p, V4 a) { _mm256_storeu_pd(p, a.v); }
+  static V4 add(V4 a, V4 b) { return {_mm256_add_pd(a.v, b.v)}; }
+  static V4 sub(V4 a, V4 b) { return {_mm256_sub_pd(a.v, b.v)}; }
+  static V4 mul(V4 a, V4 b) { return {_mm256_mul_pd(a.v, b.v)}; }
+  static V4 div(V4 a, V4 b) { return {_mm256_div_pd(a.v, b.v)}; }
+  static V4 sqrt(V4 a) { return {_mm256_sqrt_pd(a.v)}; }
+  // vmaxpd(b, a) returns b when a < b and a otherwise (second operand on
+  // equality/NaN) == the scalar backend's `a < b ? b : a`.
+  static V4 max(V4 a, V4 b) { return {_mm256_max_pd(b.v, a.v)}; }
+  static V4 select_gt(V4 x, V4 y, V4 a, V4 b) {
+    const __m256d m = _mm256_cmp_pd(x.v, y.v, _CMP_GT_OQ);
+    return {_mm256_blendv_pd(b.v, a.v, m)};
+  }
+  static double hsum(V4 a) {
+    const __m128d lo = _mm256_castpd256_pd128(a.v);     // [v0, v1]
+    const __m128d hi = _mm256_extractf128_pd(a.v, 1);   // [v2, v3]
+    const __m128d s01 = _mm_add_sd(lo, _mm_unpackhi_pd(lo, lo));  // v0 + v1
+    const __m128d s23 = _mm_add_sd(hi, _mm_unpackhi_pd(hi, hi));  // v2 + v3
+    return _mm_cvtsd_f64(_mm_add_sd(s01, s23));
+  }
+};
+using ActiveOps = Avx2Ops;
+
+// --- NEON backend -----------------------------------------------------------
+
+#elif defined(UWP_SIMD_NEON)
+struct NeonOps {
+  static constexpr const char* kName = "neon";
+  struct V4 {
+    float64x2_t lo, hi;
+  };
+
+  static V4 zero() { return {vdupq_n_f64(0.0), vdupq_n_f64(0.0)}; }
+  static V4 set1(double x) { return {vdupq_n_f64(x), vdupq_n_f64(x)}; }
+  static V4 load(const double* p) { return {vld1q_f64(p), vld1q_f64(p + 2)}; }
+  static void store(double* p, V4 a) {
+    vst1q_f64(p, a.lo);
+    vst1q_f64(p + 2, a.hi);
+  }
+  static V4 add(V4 a, V4 b) {
+    return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+  }
+  static V4 sub(V4 a, V4 b) {
+    return {vsubq_f64(a.lo, b.lo), vsubq_f64(a.hi, b.hi)};
+  }
+  static V4 mul(V4 a, V4 b) {
+    return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+  }
+  static V4 div(V4 a, V4 b) {
+    return {vdivq_f64(a.lo, b.lo), vdivq_f64(a.hi, b.hi)};
+  }
+  static V4 sqrt(V4 a) { return {vsqrtq_f64(a.lo), vsqrtq_f64(a.hi)}; }
+  static V4 max(V4 a, V4 b) {
+    const uint64x2_t mlo = vcltq_f64(a.lo, b.lo);
+    const uint64x2_t mhi = vcltq_f64(a.hi, b.hi);
+    return {vbslq_f64(mlo, b.lo, a.lo), vbslq_f64(mhi, b.hi, a.hi)};
+  }
+  static V4 select_gt(V4 x, V4 y, V4 a, V4 b) {
+    const uint64x2_t mlo = vcgtq_f64(x.lo, y.lo);
+    const uint64x2_t mhi = vcgtq_f64(x.hi, y.hi);
+    return {vbslq_f64(mlo, a.lo, b.lo), vbslq_f64(mhi, a.hi, b.hi)};
+  }
+  static double hsum(V4 a) {
+    const double s01 = vgetq_lane_f64(a.lo, 0) + vgetq_lane_f64(a.lo, 1);
+    const double s23 = vgetq_lane_f64(a.hi, 0) + vgetq_lane_f64(a.hi, 1);
+    return s01 + s23;
+  }
+};
+using ActiveOps = NeonOps;
+
+#else
+using ActiveOps = ScalarOps;
+#endif
+
+inline constexpr const char* kBackendName = ActiveOps::kName;
+
+// The configure-time knob value, recorded next to kBackendName in bench
+// context blocks ("off" forces ActiveOps = ScalarOps even on AVX2 hosts).
+#if defined(UWP_SIMD_OFF)
+inline constexpr const char* kSimdSetting = "off";
+#else
+inline constexpr const char* kSimdSetting = "on";
+#endif
+
+}  // namespace uwp::simd

@@ -1,0 +1,220 @@
+// SoA kernels for the solver hot path, templated on a simd.hpp backend.
+//
+// Each kernel is written ONCE against the 4-lane virtual-vector interface;
+// instantiating it with ScalarOps or the native ActiveOps yields bit-
+// identical results because every lane operation is one IEEE double
+// operation and every reduction uses the same fixed 4-lane blocking:
+// lane l accumulates elements l, l+4, l+8, ... and the final horizontal
+// sum is always (lane0 + lane1) + (lane2 + lane3).
+//
+// All buffers a kernel loads full-width from must be padded to a multiple
+// of simd::kLanes (simd::padded) with values that make the pad lanes exact
+// no-ops — zeros for sums/products, index 0 for gather indices. Callers own
+// the padding; the SMACOF/pinv/trilateration call sites stage their data
+// into padded workspace arrays once per solve.
+//
+// Production call sites instantiate with simd::ActiveOps; the scalar
+// instantiation stays compiled so bench_micro_kernels can report per-kernel
+// scalar-vs-SIMD speedups from one binary and tests can assert the
+// bit-identity contract directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/simd.hpp"
+
+namespace uwp::kernels {
+
+// Fixed-order blocked sum of `n_padded` doubles (n_padded % 4 == 0, pad
+// slots zero).
+template <class Ops>
+double block_sum(const double* p, std::size_t n_padded) {
+  typename Ops::V4 acc = Ops::zero();
+  for (std::size_t c = 0; c < n_padded; c += simd::kLanes)
+    acc = Ops::add(acc, Ops::load(p + c));
+  return Ops::hsum(acc);
+}
+
+// Sum of `n` doubles for unpadded rows: blocked 4-lane main loop, hsum, then
+// the tail elements added in ascending order — one fixed order on every
+// backend.
+template <class Ops>
+double row_sum(const double* p, std::size_t n) {
+  typename Ops::V4 acc = Ops::zero();
+  std::size_t c = 0;
+  for (; c + simd::kLanes <= n; c += simd::kLanes) acc = Ops::add(acc, Ops::load(p + c));
+  double s = Ops::hsum(acc);
+  for (; c < n; ++c) s += p[c];
+  return s;
+}
+
+// Fused 2-column mat-vec: o{x,y}[r] = sum_k m[r, k] * {x,y}[k] for the first
+// `nrows` rows of the row-major `m` with `stride` columns (stride padded,
+// pad columns zero; x/y padded with zeros). Rows >= nrows are not written —
+// the caller keeps output tails zeroed.
+template <class Ops>
+void matvec2(const double* m, std::size_t stride, std::size_t nrows, const double* x,
+             const double* y, double* ox, double* oy) {
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const double* row = m + r * stride;
+    typename Ops::V4 ax = Ops::zero();
+    typename Ops::V4 ay = Ops::zero();
+    for (std::size_t c = 0; c < stride; c += simd::kLanes) {
+      const typename Ops::V4 f = Ops::load(row + c);
+      ax = Ops::add(ax, Ops::mul(f, Ops::load(x + c)));
+      ay = Ops::add(ay, Ops::mul(f, Ops::load(y + c)));
+    }
+    ox[r] = Ops::hsum(ax);
+    oy[r] = Ops::hsum(ay);
+  }
+}
+
+// Per-link Euclidean distances and weighted stress in one pass over the SoA
+// link arrays (li/lj gather indices, w weights, d measured distances, all
+// padded: pad links have li = lj = 0 and w = d = 0, contributing exactly
+// +0.0). Writes ||x_i - x_j|| into dij and returns
+// sum_links w * (d - dij)^2 in fixed blocked order.
+template <class Ops>
+double link_stress(const double* x, const double* y, const std::uint32_t* li,
+                   const std::uint32_t* lj, const double* w, const double* d,
+                   double* dij, std::size_t m_padded) {
+  typename Ops::V4 acc = Ops::zero();
+  double gdx[simd::kLanes], gdy[simd::kLanes];
+  for (std::size_t base = 0; base < m_padded; base += simd::kLanes) {
+    // Scalar gather + difference (one IEEE subtract per lane, identical on
+    // every backend); everything after runs on the vector unit.
+    for (std::size_t l = 0; l < simd::kLanes; ++l) {
+      const std::uint32_t i = li[base + l];
+      const std::uint32_t j = lj[base + l];
+      gdx[l] = x[i] - x[j];
+      gdy[l] = y[i] - y[j];
+    }
+    const typename Ops::V4 dx = Ops::load(gdx);
+    const typename Ops::V4 dy = Ops::load(gdy);
+    const typename Ops::V4 dist =
+        Ops::sqrt(Ops::add(Ops::mul(dx, dx), Ops::mul(dy, dy)));
+    Ops::store(dij + base, dist);
+    const typename Ops::V4 resid = Ops::sub(Ops::load(d + base), dist);
+    acc = Ops::add(acc, Ops::mul(Ops::load(w + base), Ops::mul(resid, resid)));
+  }
+  return Ops::hsum(acc);
+}
+
+// Guttman B-matrix off-diagonal values per link:
+// bval = dij > 1e-12 ? (0 - w * d) / dij : 0 (the caller scatters them into
+// the padded B matrix). Pad links produce 0.
+template <class Ops>
+void guttman_b_values(const double* w, const double* d, const double* dij,
+                      double* bvals, std::size_t m_padded) {
+  const typename Ops::V4 eps = Ops::set1(1e-12);
+  const typename Ops::V4 zero = Ops::zero();
+  for (std::size_t base = 0; base < m_padded; base += simd::kLanes) {
+    const typename Ops::V4 dd = Ops::load(dij + base);
+    const typename Ops::V4 num =
+        Ops::sub(zero, Ops::mul(Ops::load(w + base), Ops::load(d + base)));
+    Ops::store(bvals + base, Ops::select_gt(dd, eps, Ops::div(num, dd), zero));
+  }
+}
+
+// Rank-1 update row step of the symmetric pseudo-inverse:
+// out[c] += a * col[c]. Elementwise (no reduction), so the scalar tail needs
+// no padding discipline — each element is the same two IEEE operations on
+// every backend.
+template <class Ops>
+void axpy(double* out, double a, const double* col, std::size_t n) {
+  const typename Ops::V4 av = Ops::set1(a);
+  std::size_t c = 0;
+  for (; c + simd::kLanes <= n; c += simd::kLanes)
+    Ops::store(out + c, Ops::add(Ops::load(out + c), Ops::mul(av, Ops::load(col + c))));
+  for (; c < n; ++c) out[c] += a * col[c];
+}
+
+// Jacobi rotation applied to two contiguous rows: a'[k] = c*a[k] - s*b[k],
+// b'[k] = s*a[k] + c*b[k] (elementwise, scalar tail).
+template <class Ops>
+void rotate_rows(double* a, double* b, double c, double s, std::size_t n) {
+  const typename Ops::V4 cv = Ops::set1(c);
+  const typename Ops::V4 sv = Ops::set1(s);
+  std::size_t k = 0;
+  for (; k + simd::kLanes <= n; k += simd::kLanes) {
+    const typename Ops::V4 av = Ops::load(a + k);
+    const typename Ops::V4 bv = Ops::load(b + k);
+    Ops::store(a + k, Ops::sub(Ops::mul(cv, av), Ops::mul(sv, bv)));
+    Ops::store(b + k, Ops::add(Ops::mul(sv, av), Ops::mul(cv, bv)));
+  }
+  for (; k < n; ++k) {
+    const double av = a[k];
+    const double bv = b[k];
+    a[k] = c * av - s * bv;
+    b[k] = s * av + c * bv;
+  }
+}
+
+// Double-centering row fill of classical MDS: b[j] = -0.5 * (d2[j] - rm_i -
+// rm[j] + total) for j < n (elementwise, scalar tail).
+template <class Ops>
+void center_row(double* b, const double* d2, double rm_i, const double* rm,
+                double total, std::size_t n) {
+  const typename Ops::V4 rmi = Ops::set1(rm_i);
+  const typename Ops::V4 tot = Ops::set1(total);
+  const typename Ops::V4 half = Ops::set1(-0.5);
+  std::size_t j = 0;
+  for (; j + simd::kLanes <= n; j += simd::kLanes) {
+    const typename Ops::V4 v =
+        Ops::add(Ops::sub(Ops::sub(Ops::load(d2 + j), rmi), Ops::load(rm + j)), tot);
+    Ops::store(b + j, Ops::mul(half, v));
+  }
+  for (; j < n; ++j) b[j] = -0.5 * (d2[j] - rm_i - rm[j] + total);
+}
+
+// Gauss-Newton normal-equation accumulation for 2D trilateration. Anchors
+// come as padded SoA arrays with a 1.0/0.0 validity mask (pad anchors
+// masked to zero contribution). Residuals r_i = ||p - a_i|| - range_i with
+// the distance clamped to >= 1e-9 exactly like the scalar reference
+// (`max(dist, 1e-9)` in std::max argument order).
+struct TrilatAccum {
+  double jtj00 = 0.0, jtj01 = 0.0, jtj11 = 0.0;
+  double jtr0 = 0.0, jtr1 = 0.0;
+  double sse = 0.0;
+};
+
+template <class Ops>
+TrilatAccum trilat_accumulate(const double* ax, const double* ay, const double* ranges,
+                              const double* mask, std::size_t n_padded, double px,
+                              double py) {
+  using V4 = typename Ops::V4;
+  const V4 pxv = Ops::set1(px);
+  const V4 pyv = Ops::set1(py);
+  const V4 one = Ops::set1(1.0);
+  const V4 clamp = Ops::set1(1e-9);
+  V4 a00 = Ops::zero(), a01 = Ops::zero(), a11 = Ops::zero();
+  V4 r0 = Ops::zero(), r1 = Ops::zero(), se = Ops::zero();
+  for (std::size_t base = 0; base < n_padded; base += simd::kLanes) {
+    const V4 dx = Ops::sub(pxv, Ops::load(ax + base));
+    const V4 dy = Ops::sub(pyv, Ops::load(ay + base));
+    const V4 dist = Ops::max(
+        Ops::sqrt(Ops::add(Ops::mul(dx, dx), Ops::mul(dy, dy))), clamp);
+    const V4 r = Ops::sub(dist, Ops::load(ranges + base));
+    const V4 inv = Ops::div(one, dist);
+    const V4 ux = Ops::mul(dx, inv);
+    const V4 uy = Ops::mul(dy, inv);
+    const V4 m = Ops::load(mask + base);
+    a00 = Ops::add(a00, Ops::mul(m, Ops::mul(ux, ux)));
+    a01 = Ops::add(a01, Ops::mul(m, Ops::mul(ux, uy)));
+    a11 = Ops::add(a11, Ops::mul(m, Ops::mul(uy, uy)));
+    r0 = Ops::add(r0, Ops::mul(m, Ops::mul(ux, r)));
+    r1 = Ops::add(r1, Ops::mul(m, Ops::mul(uy, r)));
+    se = Ops::add(se, Ops::mul(m, Ops::mul(r, r)));
+  }
+  TrilatAccum out;
+  out.jtj00 = Ops::hsum(a00);
+  out.jtj01 = Ops::hsum(a01);
+  out.jtj11 = Ops::hsum(a11);
+  out.jtr0 = Ops::hsum(r0);
+  out.jtr1 = Ops::hsum(r1);
+  out.sse = Ops::hsum(se);
+  return out;
+}
+
+}  // namespace uwp::kernels

@@ -1,0 +1,219 @@
+// The batch plane's whole contract is "pure memory-layout optimization":
+// stage-slicing many pipelines' rounds through struct-of-arrays groups must
+// be bit-identical to running each round start to finish, and the fleet's
+// batched tick must be bit-identical to the per-session reference loop at
+// every shard count.
+#include "pipeline/batch_plane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fleet/service.hpp"
+#include "pipeline/closed_form.hpp"
+#include "sim/fleet_workload.hpp"
+#include "telemetry/collector.hpp"
+
+namespace uwp::pipeline {
+namespace {
+
+ClosedFormScene make_scene(std::size_t n, std::uint64_t seed) {
+  ClosedFormScene scene;
+  uwp::Rng place(seed);
+  scene.positions.push_back({0, 0, 1.5});
+  for (std::size_t i = 1; i < n; ++i)
+    scene.positions.push_back(
+        {place.uniform(-15, 15), place.uniform(-15, 15), place.uniform(1, 4)});
+  scene.connectivity = Matrix(n, n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) scene.connectivity(i, i) = 0.0;
+  scene.audio.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scene.audio[i].speaker_start_s = 0.13 * static_cast<double>(i);
+    scene.audio[i].mic_start_s = 0.05 + 0.09 * static_cast<double>(i);
+  }
+  scene.protocol.num_devices = n;
+  return scene;
+}
+
+struct SessionHarness {
+  RoundPipeline pipe;
+  FastMeasurementModel model;
+  RoundMeasurement meas;
+  uwp::Rng meas_rng;
+  uwp::Rng solve_rng;
+
+  SessionHarness(const ClosedFormScene& scene, const PipelineOptions& o,
+                 std::uint64_t seed)
+      : pipe(o), model(scene), meas_rng(seed), solve_rng(seed ^ 0x50Fu) {}
+};
+
+std::uint64_t digest_output(const RoundOutput& out) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](double v) {
+    std::uint64_t u = std::bit_cast<std::uint64_t>(v);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (u >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(out.localized ? 1.0 : 0.0);
+  if (out.localized) mix(out.localization.normalized_stress);
+  for (const double e : out.error_2d) mix(e);
+  for (const double e : out.tracked_error_2d) mix(e);
+  return h;
+}
+
+// Mixed group sizes + mixed track/quantize options, several rounds: the
+// batched schedule (grouped by shape, stage-sliced) must produce the same
+// bits as running each harness's round alone, round after round.
+TEST(BatchPlane, StageSlicedBatchesAreBitIdenticalToSequentialRounds) {
+  std::vector<PipelineOptions> variants;
+  for (const std::size_t n : {4u, 5u, 4u, 6u, 5u, 4u}) {
+    PipelineOptions o;
+    o.protocol.num_devices = n;
+    o.track = (n % 2) == 0;
+    o.quantize_payload = n != 6;
+    variants.push_back(o);
+  }
+
+  // Two identically-seeded harness sets: one batched, one sequential.
+  std::vector<std::unique_ptr<SessionHarness>> batched, sequential;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const ClosedFormScene scene =
+        make_scene(variants[i].protocol.num_devices, 0x9000u + i);
+    batched.push_back(
+        std::make_unique<SessionHarness>(scene, variants[i], 0x1234u + i));
+    sequential.push_back(
+        std::make_unique<SessionHarness>(scene, variants[i], 0x1234u + i));
+  }
+
+  BatchPlane plane;
+  for (std::size_t round = 0; round < 4; ++round) {
+    const double dt = round == 0 ? 0.0 : 1.0;
+    plane.clear();
+    for (auto& h : batched) {
+      h->model.measure(h->meas, h->meas_rng);
+      plane.enqueue(h->pipe, h->meas, h->solve_rng, dt);
+    }
+    plane.execute();
+    const auto slots = plane.slots();
+    ASSERT_EQ(slots.size(), batched.size());
+
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+      SessionHarness& h = *sequential[i];
+      h.model.measure(h.meas, h.meas_rng);
+      const RoundOutput& ref = h.pipe.run_round(h.meas, h.solve_rng, dt);
+      ASSERT_NE(slots[i].out, nullptr);
+      EXPECT_EQ(digest_output(*slots[i].out), digest_output(ref))
+          << "session " << i << " round " << round;
+      EXPECT_EQ(slots[i].out->localized, ref.localized);
+    }
+  }
+}
+
+TEST(BatchPlane, LatencyMeasurementFillsEverySlot) {
+  PipelineOptions o;
+  o.protocol.num_devices = 4;
+  const ClosedFormScene scene = make_scene(4, 0x77u);
+  SessionHarness a(scene, o, 1), b(scene, o, 2);
+
+  BatchPlane plane;
+  a.model.measure(a.meas, a.meas_rng);
+  b.model.measure(b.meas, b.meas_rng);
+  plane.enqueue(a.pipe, a.meas, a.solve_rng, 0.0);
+  plane.enqueue(b.pipe, b.meas, b.solve_rng, 0.0);
+  plane.execute(/*measure_latency=*/true);
+  for (const BatchSlot& slot : plane.slots()) {
+    EXPECT_NE(slot.out, nullptr);
+    EXPECT_GT(slot.latency_s, 0.0);
+  }
+}
+
+// The fleet-level restatement: batch_rounds on/off and 1/2/4 shards all land
+// on the same fleet digest, session metrics, and error samples.
+TEST(BatchPlane, FleetBatchedPathBitIdenticalToReferenceAcrossShards) {
+  sim::WorkloadParams params;
+  params.sessions = 96;
+  params.seed = 0xBA7C4u;
+  params.min_group_size = 4;
+  params.max_group_size = 6;
+  params.min_rounds = 2;
+  params.max_rounds = 5;
+  params.admit_spread_ticks = 3;
+  params.include_des = true;
+  const std::vector<sim::GroupScenario> workload = sim::make_workload(params);
+
+  fleet::FleetResult reference;
+  bool have_reference = false;
+  for (const bool batch : {false, true}) {
+    for (const std::size_t shards : {1u, 2u, 4u}) {
+      fleet::FleetOptions fo;
+      fo.master_seed = 0xF00Du;
+      fo.shards = shards;
+      fo.batch_rounds = batch;
+      fleet::FleetService service(fo, workload);
+      const fleet::FleetResult r = service.run();
+      if (!have_reference) {
+        reference = r;
+        have_reference = true;
+        EXPECT_GT(r.rounds, 0u);
+        continue;
+      }
+      EXPECT_EQ(r.fleet_digest, reference.fleet_digest)
+          << "batch=" << batch << " shards=" << shards;
+      ASSERT_EQ(r.errors.size(), reference.errors.size());
+      for (std::size_t i = 0; i < r.errors.size(); ++i)
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(r.errors[i]),
+                  std::bit_cast<std::uint64_t>(reference.errors[i]))
+            << "sample " << i;
+    }
+  }
+}
+
+// Warm-start accounting: every localize attempt is either a hit or a miss,
+// the totals are deterministic (identical across shard counts), and a
+// steady-state fleet actually warms up (hits dominate once tracks exist).
+TEST(BatchPlane, WarmStartCountersAreDeterministicAndMostlyHits) {
+  sim::WorkloadParams params;
+  params.sessions = 48;
+  params.seed = 0x3A11u;
+  params.min_group_size = 4;
+  params.max_group_size = 6;
+  params.min_rounds = 6;
+  params.max_rounds = 10;
+  params.include_des = false;
+  const std::vector<sim::GroupScenario> workload = sim::make_workload(params);
+
+  std::uint64_t ref_hits = 0, ref_misses = 0;
+  for (const std::size_t shards : {1u, 3u}) {
+    fleet::FleetOptions fo;
+    fo.master_seed = 0xD1CEu;
+    fo.shards = shards;
+    fleet::FleetService service(fo, workload);
+    telemetry::TelemetryOptions topts;
+    topts.enabled = true;
+    topts.timing = false;
+    telemetry::Collector col(topts);
+    const fleet::FleetResult r = service.run(nullptr, &col);
+    const telemetry::TelemetryReport report = col.report();
+    const std::uint64_t hits =
+        report.totals[static_cast<std::size_t>(telemetry::Counter::kWarmStartHits)];
+    const std::uint64_t misses =
+        report.totals[static_cast<std::size_t>(telemetry::Counter::kWarmStartMisses)];
+    EXPECT_EQ(hits + misses, r.rounds);  // every round localizes exactly once
+    EXPECT_GT(hits, misses);  // multi-round sessions warm up after round 1
+    if (shards == 1) {
+      ref_hits = hits;
+      ref_misses = misses;
+    } else {
+      EXPECT_EQ(hits, ref_hits);
+      EXPECT_EQ(misses, ref_misses);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uwp::pipeline

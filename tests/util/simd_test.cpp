@@ -1,0 +1,157 @@
+// The portable SIMD contract: every kernel in util/simd_kernels.hpp returns
+// bit-identical doubles under ScalarOps and the build's ActiveOps backend.
+// This is what lets UWP_SIMD=off builds (and x86 vs ARM builds) share one
+// set of goldens — the vector backends are a speed choice, not a numerics
+// choice, because all of them accumulate in the same fixed 4-lane blocked
+// order with the same (v0+v1)+(v2+v3) horizontal reduction.
+#include "util/simd_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace uwp {
+namespace {
+
+using simd::ActiveOps;
+using simd::ScalarOps;
+
+void expect_bits(double a, double b, const char* what, std::size_t i = 0) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << " lane/index " << i << ": " << a << " vs " << b;
+}
+
+std::vector<double> random_vec(uwp::Rng& rng, std::size_t n, std::size_t padded) {
+  std::vector<double> v(padded, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.uniform(-3.0, 3.0);
+  return v;
+}
+
+TEST(SimdKernels, BlockAndRowSumsMatchScalarBitwise) {
+  uwp::Rng rng(0xB10Cu);
+  for (const std::size_t n : {1u, 3u, 4u, 7u, 16u, 33u}) {
+    const std::size_t pad = simd::padded(n);
+    const std::vector<double> v = random_vec(rng, n, pad);
+    expect_bits(kernels::block_sum<ScalarOps>(v.data(), pad),
+                kernels::block_sum<ActiveOps>(v.data(), pad), "block_sum", n);
+    expect_bits(kernels::row_sum<ScalarOps>(v.data(), n),
+                kernels::row_sum<ActiveOps>(v.data(), n), "row_sum", n);
+  }
+}
+
+TEST(SimdKernels, Matvec2MatchesScalarBitwise) {
+  uwp::Rng rng(0x3A7u);
+  const std::size_t n = 11;
+  const std::size_t pad = simd::padded(n);
+  std::vector<double> m(n * pad, 0.0);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) m[r * pad + c] = rng.uniform(-1.0, 1.0);
+  const std::vector<double> x = random_vec(rng, n, pad);
+  const std::vector<double> y = random_vec(rng, n, pad);
+
+  std::vector<double> ox_s(pad, 0.0), oy_s(pad, 0.0), ox_a(pad, 0.0), oy_a(pad, 0.0);
+  kernels::matvec2<ScalarOps>(m.data(), pad, n, x.data(), y.data(), ox_s.data(),
+                              oy_s.data());
+  kernels::matvec2<ActiveOps>(m.data(), pad, n, x.data(), y.data(), ox_a.data(),
+                              oy_a.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    expect_bits(ox_s[i], ox_a[i], "matvec2 x", i);
+    expect_bits(oy_s[i], oy_a[i], "matvec2 y", i);
+  }
+}
+
+TEST(SimdKernels, LinkStressAndGuttmanMatchScalarBitwise) {
+  uwp::Rng rng(0x57355u);
+  const std::size_t np = 9;
+  const std::size_t m = 17;
+  const std::size_t mp = simd::padded(m);
+  const std::vector<double> x = random_vec(rng, np, simd::padded(np));
+  const std::vector<double> y = random_vec(rng, np, simd::padded(np));
+  std::vector<std::uint32_t> li(mp, 0), lj(mp, 0);
+  std::vector<double> w(mp, 0.0), d(mp, 0.0);
+  for (std::size_t k = 0; k < m; ++k) {
+    li[k] = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(np) - 1));
+    lj[k] = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(np) - 1));
+    w[k] = rng.uniform(0.1, 2.0);
+    d[k] = rng.uniform(0.0, 5.0);
+  }
+
+  std::vector<double> dij_s(mp, 0.0), dij_a(mp, 0.0), b_s(mp, 0.0), b_a(mp, 0.0);
+  const double stress_s = kernels::link_stress<ScalarOps>(
+      x.data(), y.data(), li.data(), lj.data(), w.data(), d.data(), dij_s.data(), mp);
+  const double stress_a = kernels::link_stress<ActiveOps>(
+      x.data(), y.data(), li.data(), lj.data(), w.data(), d.data(), dij_a.data(), mp);
+  expect_bits(stress_s, stress_a, "link_stress");
+  for (std::size_t k = 0; k < mp; ++k) expect_bits(dij_s[k], dij_a[k], "dij", k);
+
+  kernels::guttman_b_values<ScalarOps>(w.data(), d.data(), dij_s.data(), b_s.data(), mp);
+  kernels::guttman_b_values<ActiveOps>(w.data(), d.data(), dij_a.data(), b_a.data(), mp);
+  for (std::size_t k = 0; k < mp; ++k) expect_bits(b_s[k], b_a[k], "guttman_b", k);
+}
+
+TEST(SimdKernels, AxpyRotateCenterMatchScalarBitwise) {
+  uwp::Rng rng(0xA0931u);
+  for (const std::size_t n : {2u, 5u, 8u, 13u}) {
+    std::vector<double> out_s = random_vec(rng, n, n);
+    std::vector<double> out_a = out_s;
+    const std::vector<double> col = random_vec(rng, n, n);
+    const double a = rng.uniform(-2.0, 2.0);
+    kernels::axpy<ScalarOps>(out_s.data(), a, col.data(), n);
+    kernels::axpy<ActiveOps>(out_a.data(), a, col.data(), n);
+    for (std::size_t i = 0; i < n; ++i) expect_bits(out_s[i], out_a[i], "axpy", i);
+
+    std::vector<double> p_s = random_vec(rng, n, n), q_s = random_vec(rng, n, n);
+    std::vector<double> p_a = p_s, q_a = q_s;
+    const double c = rng.uniform(-1.0, 1.0);
+    const double s = rng.uniform(-1.0, 1.0);
+    kernels::rotate_rows<ScalarOps>(p_s.data(), q_s.data(), c, s, n);
+    kernels::rotate_rows<ActiveOps>(p_a.data(), q_a.data(), c, s, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      expect_bits(p_s[i], p_a[i], "rotate p", i);
+      expect_bits(q_s[i], q_a[i], "rotate q", i);
+    }
+
+    std::vector<double> b_s(n, 0.0), b_a(n, 0.0);
+    const std::vector<double> d2 = random_vec(rng, n, n);
+    const std::vector<double> rm = random_vec(rng, n, n);
+    const double total = rng.uniform(0.0, 4.0);
+    kernels::center_row<ScalarOps>(b_s.data(), d2.data(), rm[0], rm.data(), total, n);
+    kernels::center_row<ActiveOps>(b_a.data(), d2.data(), rm[0], rm.data(), total, n);
+    for (std::size_t i = 0; i < n; ++i) expect_bits(b_s[i], b_a[i], "center_row", i);
+  }
+}
+
+TEST(SimdKernels, TrilaterationAccumulatorMatchesScalarBitwise) {
+  uwp::Rng rng(0x7417u);
+  for (const std::size_t n : {3u, 4u, 6u, 10u}) {
+    const std::size_t pad = simd::padded(n);
+    std::vector<double> ax(pad, 0.0), ay(pad, 0.0), r(pad, 0.0), mask(pad, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ax[i] = rng.uniform(-20.0, 20.0);
+      ay[i] = rng.uniform(-20.0, 20.0);
+      r[i] = rng.uniform(1.0, 30.0);
+      mask[i] = 1.0;
+    }
+    const double px = rng.uniform(-5.0, 5.0);
+    const double py = rng.uniform(-5.0, 5.0);
+    const kernels::TrilatAccum s = kernels::trilat_accumulate<ScalarOps>(
+        ax.data(), ay.data(), r.data(), mask.data(), pad, px, py);
+    const kernels::TrilatAccum a = kernels::trilat_accumulate<ActiveOps>(
+        ax.data(), ay.data(), r.data(), mask.data(), pad, px, py);
+    expect_bits(s.jtj00, a.jtj00, "jtj00", n);
+    expect_bits(s.jtj01, a.jtj01, "jtj01", n);
+    expect_bits(s.jtj11, a.jtj11, "jtj11", n);
+    expect_bits(s.jtr0, a.jtr0, "jtr0", n);
+    expect_bits(s.jtr1, a.jtr1, "jtr1", n);
+    expect_bits(s.sse, a.sse, "sse", n);
+  }
+}
+
+}  // namespace
+}  // namespace uwp
