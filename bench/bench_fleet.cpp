@@ -23,6 +23,7 @@
 #include "sim/fleet_workload.hpp"
 #include "sim/metrics.hpp"
 #include "telemetry/collector.hpp"
+#include "telemetry/slo.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -68,6 +69,13 @@ int main(int argc, char** argv) {
     const uwp::sim::RateLatency rlt =
         uwp::sim::rate_latency(rt.rounds, rt.wall_seconds, rt.round_latency_s);
 
+    // SLO scoreboard over the instrumented run: counter totals (warm-start
+    // hit rate) plus the deterministic per-round error CDF. These entries
+    // are spec-derived, so CI can diff them run to run like any counter.
+    const uwp::telemetry::TelemetryReport trep = collector.report();
+    const uwp::telemetry::SloReport slo = uwp::telemetry::build_slo_report(
+        uwp::fleet::make_slo_inputs(rt, &trep));
+
     // Coast/evict churn as rates per executed round: how much of the fleet's
     // work is dropout coasting, and how fast sessions turn over (every
     // session evicts exactly once at end of life in this driver).
@@ -86,6 +94,11 @@ int main(int argc, char** argv) {
                static_cast<double>(r.sessions.size()) / rounds);
     report.add_with_rate(std::string(name) + "/run_telemetry", rt.wall_seconds,
                          rt.rounds, rlt.rounds_per_sec);
+    report.add(std::string(name) + "/warm_start_hit_rate", slo.warm_start_hit_rate);
+    report.add(std::string(name) + "/slo_localized_rate", slo.localized_rate);
+    report.add(std::string(name) + "/slo_error_p50", slo.error.p50);
+    report.add(std::string(name) + "/slo_error_p99", slo.error.p99);
+    report.add(std::string(name) + "/slo_error_p999", slo.error.p999);
     report.write();
     return r.localized > 0 && rt.localized == r.localized ? 0 : 1;
   }

@@ -178,6 +178,13 @@ telemetry::TelemetryOptions make_telemetry_options(const ScenarioSpec& spec) {
   // same virtual timeline and their counter sections stay comparable.
   opts.window = static_cast<double>(spec.telemetry.window_ticks);
   if (spec.mode == RunMode::kServe) opts.window *= spec.fleet.server.tick_period_s;
+  opts.trace = spec.telemetry.trace.enabled;
+  opts.trace_max_spans = spec.telemetry.trace.max_spans;
+  opts.flight.capacity = spec.telemetry.flight.capacity;
+  opts.flight.max_dumps = spec.telemetry.flight.max_dumps;
+  opts.flight.evict_storm = spec.telemetry.flight.evict_storm;
+  opts.flight.shed_burst = spec.telemetry.flight.shed_burst;
+  opts.flight.localize_failures = spec.telemetry.flight.localize_failures;
   return opts;
 }
 

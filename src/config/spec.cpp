@@ -569,6 +569,17 @@ Json telemetry_to_json(const TelemetrySpec& t) {
   o.set("timing", Json::boolean(t.timing));
   o.set("window_ticks", u64_to_json(t.window_ticks));
   o.set("ring_capacity", u64_to_json(t.ring_capacity));
+  Json trace = Json::object();
+  trace.set("enabled", Json::boolean(t.trace.enabled));
+  trace.set("max_spans", u64_to_json(t.trace.max_spans));
+  o.set("trace", std::move(trace));
+  Json flight = Json::object();
+  flight.set("capacity", u64_to_json(t.flight.capacity));
+  flight.set("max_dumps", u64_to_json(t.flight.max_dumps));
+  flight.set("evict_storm", u64_to_json(t.flight.evict_storm));
+  flight.set("shed_burst", u64_to_json(t.flight.shed_burst));
+  flight.set("localize_failures", u64_to_json(t.flight.localize_failures));
+  o.set("flight", std::move(flight));
   return o;
 }
 
@@ -578,6 +589,21 @@ void telemetry_from_json(const Json& v, const std::string& path, TelemetrySpec& 
   r.read("timing", t.timing);
   r.read("window_ticks", t.window_ticks);
   r.read("ring_capacity", t.ring_capacity);
+  if (const Json* j = r.take("trace")) {
+    ObjectReader rt(*j, r.sub("trace"));
+    rt.read("enabled", t.trace.enabled);
+    rt.read("max_spans", t.trace.max_spans);
+    rt.finish();
+  }
+  if (const Json* j = r.take("flight")) {
+    ObjectReader rf(*j, r.sub("flight"));
+    rf.read("capacity", t.flight.capacity);
+    rf.read("max_dumps", t.flight.max_dumps);
+    rf.read("evict_storm", t.flight.evict_storm);
+    rf.read("shed_burst", t.flight.shed_burst);
+    rf.read("localize_failures", t.flight.localize_failures);
+    rf.finish();
+  }
   r.finish();
 }
 
@@ -855,6 +881,19 @@ std::vector<std::string> validate(const ScenarioSpec& spec) {
   if (spec.telemetry.ring_capacity < 1 ||
       spec.telemetry.ring_capacity > (std::size_t{1} << 24))
     err("telemetry.ring_capacity", "must be in [1, 16777216]");
+  if (spec.telemetry.trace.max_spans < 1 ||
+      spec.telemetry.trace.max_spans > (std::size_t{1} << 26))
+    err("telemetry.trace.max_spans", "must be in [1, 67108864]");
+  if (spec.telemetry.flight.capacity > (std::size_t{1} << 20))
+    err("telemetry.flight.capacity", "must be <= 1048576");
+  if (spec.telemetry.flight.max_dumps > 1024)
+    err("telemetry.flight.max_dumps", "must be <= 1024");
+  if (spec.telemetry.flight.evict_storm < 1)
+    err("telemetry.flight.evict_storm", "must be >= 1");
+  if (spec.telemetry.flight.shed_burst < 1)
+    err("telemetry.flight.shed_burst", "must be >= 1");
+  if (spec.telemetry.flight.localize_failures < 1)
+    err("telemetry.flight.localize_failures", "must be >= 1");
 
   return errors;
 }

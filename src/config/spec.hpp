@@ -140,6 +140,27 @@ struct TelemetrySpec {
   // Per-stream event ring capacity (rounded up to a power of two). Overflow
   // drops events — counted, never blocking the hot path.
   std::size_t ring_capacity = 1 << 15;
+  // Causal round traces (telemetry.trace{}): per-round spans chaining
+  // ingest -> queue -> batch -> pipeline stages, exported as Chrome
+  // trace-event JSON by `uwp_run --trace-spans-out` (which force-enables
+  // this). Span structure is deterministic; wall-clock timing is not.
+  struct TraceSpec {
+    bool enabled = false;
+    // Per-stream recorded-span cap (safety valve for soak runs).
+    std::size_t max_spans = 1 << 20;
+  };
+  TraceSpec trace{};
+  // Flight recorder (telemetry.flight{}): bounded per-stream ring of
+  // recently drained events, dumped on anomaly triggers. Thresholds are
+  // counter deltas per telemetry window.
+  struct FlightSpec {
+    std::size_t capacity = 256;  // retained events per stream; 0 disables
+    std::size_t max_dumps = 4;   // dump budget per stream
+    std::size_t evict_storm = 8;
+    std::size_t shed_burst = 16;
+    std::size_t localize_failures = 8;
+  };
+  FlightSpec flight{};
 };
 
 struct ScenarioSpec {

@@ -18,6 +18,7 @@ namespace {
 struct WorkItem {
   IngestFrame frame;
   bool shed = false;
+  double enq_ts = 0.0;  // trace clock at enqueue (0 when not tracing)
 };
 
 // A session's serving-side state, owned by exactly one worker (sessions map
@@ -117,6 +118,16 @@ ServerResult Server::serve(Transport& transport, SessionRecorder* recorder,
           continue;
         }
 
+        if (tel != nullptr && tel->trace_enabled()) {
+          // Close the causal chain: queue residency (enqueue -> this pop)
+          // under the ingest span, then arm the pipeline for the round.
+          const std::uint64_t trace_id =
+              telemetry::make_trace_id(id, item.frame.round);
+          tel->trace_span(trace_id, telemetry::TraceOp::kQueue,
+                          telemetry::TraceOp::kIngest, item.enq_ts);
+          s.rt->pipe.set_trace(trace_id);
+        }
+
         std::size_t pos = 0;
         decode_measurement(item.frame.payload, pos, s.rt->meas);
         // A frame is only internally consistent; the pipeline indexes by
@@ -163,7 +174,10 @@ ServerResult Server::serve(Transport& transport, SessionRecorder* recorder,
     if (ingest_tel != nullptr)
       ingest_tel->sample(telemetry::Sample::kQueueDepth,
                          static_cast<double>(queues[w]->size()));
-    queues[w]->push(WorkItem{std::move(f), shed});
+    WorkItem item{std::move(f), shed};
+    if (ingest_tel != nullptr && ingest_tel->trace_enabled())
+      item.enq_ts = ingest_tel->trace_now();
+    queues[w]->push(std::move(item));
   };
 
   ServerResult out;
@@ -171,11 +185,27 @@ ServerResult Server::serve(Transport& transport, SessionRecorder* recorder,
   try {
     std::vector<std::uint8_t> bytes;
     IngestFrame frame;
+    const bool tracing =
+        ingest_tel != nullptr && ingest_tel->trace_enabled();
     while (transport.recv(bytes)) {
       ++out.stats.frames_received;
+      const double trace_ts0 = tracing ? ingest_tel->trace_now() : 0.0;
       telemetry::SpanTimer span(ingest_tel, telemetry::Stage::kIngest);
       decode_ingest_frame(bytes, frame);
+      // Trace root of the serve-side chain: one kIngest span per
+      // measurement frame covering decode + the shaper's verdict, tagged
+      // before on_frame consumes the frame.
+      const std::uint64_t trace_id =
+          tracing && frame.kind == IngestKind::kMeasurement
+              ? telemetry::make_trace_id(frame.session_id, frame.round)
+              : 0;
+      const double frame_t_s = frame.t_s;
       scheduler.on_frame(std::move(frame), dispatch);
+      if (trace_id != 0) {
+        ingest_tel->set_time(frame_t_s);
+        ingest_tel->trace_span(trace_id, telemetry::TraceOp::kIngest,
+                               telemetry::TraceOp::kNone, trace_ts0);
+      }
       frame.clear();
     }
     scheduler.finish(dispatch);

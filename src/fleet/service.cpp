@@ -109,4 +109,36 @@ FleetResult FleetService::run(SessionRecorder* recorder,
   return out;
 }
 
+telemetry::SloInputs make_slo_inputs(const FleetResult& result,
+                                     const telemetry::TelemetryReport* report) {
+  telemetry::SloInputs in;
+  // One bucket per GroupScenarioKind, enum order, always present.
+  constexpr sim::GroupScenarioKind kKinds[] = {
+      sim::GroupScenarioKind::kStatic,       sim::GroupScenarioKind::kLawnmower,
+      sim::GroupScenarioKind::kWaypoint,     sim::GroupScenarioKind::kDropoutChurn,
+      sim::GroupScenarioKind::kPacketDes};
+  in.kinds.resize(std::size(kKinds));
+  for (std::size_t k = 0; k < std::size(kKinds); ++k)
+    in.kinds[k].kind = sim::to_string(kKinds[k]);
+  // Sessions arrive in id order (FleetResult's invariant), so each bucket's
+  // error multiset is accumulated identically at any shard/worker count.
+  for (const SessionMetrics& s : result.sessions) {
+    const std::size_t k = static_cast<std::size_t>(s.kind);
+    if (k >= in.kinds.size()) continue;
+    telemetry::SloKindInput& bucket = in.kinds[k];
+    ++bucket.sessions;
+    bucket.rounds += s.rounds;
+    bucket.localized += s.localized;
+    bucket.coasts += s.coasts;
+    bucket.errors.insert(bucket.errors.end(), s.errors.begin(), s.errors.end());
+  }
+  if (report != nullptr) {
+    in.totals = report->totals;
+    in.have_totals = true;
+  }
+  in.latency_s = result.round_latency_s;
+  in.wall_s = result.wall_seconds;
+  return in;
+}
+
 }  // namespace uwp::fleet

@@ -14,9 +14,11 @@
 
 #include "fleet/session.hpp"
 #include "sim/fleet_workload.hpp"
+#include "telemetry/slo.hpp"
 
 namespace uwp::telemetry {
 class Collector;
+struct TelemetryReport;
 }
 
 namespace uwp::fleet {
@@ -75,5 +77,14 @@ class FleetService {
   std::vector<sim::GroupScenario> workload_;
   mutable ArenaStats arena_stats_;
 };
+
+// Fold a finished run into the SLO reducer's inputs: per-kind session /
+// round / error tallies from the (deterministic, id-ordered) FleetResult,
+// counter totals from `report` when given (evict/shed/warm-start rates),
+// and the run-varying latency samples. Every GroupScenarioKind appears, in
+// enum order, so the reduced scoreboard's shape is spec-independent and
+// its content bit-identical at any shard/worker count.
+telemetry::SloInputs make_slo_inputs(const FleetResult& result,
+                                     const telemetry::TelemetryReport* report);
 
 }  // namespace uwp::fleet

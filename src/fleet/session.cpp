@@ -239,6 +239,9 @@ void Session::run_event(ShardArena& arena, SessionRecorder* recorder,
     const std::uint32_t round_index = static_cast<std::uint32_t>(metrics_.rounds);
     if (recorder != nullptr)
       recorder->on_measurement(sc_->session_id, round_index, dt, rt_->meas);
+    if (telemetry != nullptr && telemetry->trace_enabled())
+      rt_->pipe.set_trace(
+          telemetry::make_trace_id(sc_->session_id, metrics_.rounds));
 
     const auto t0 = std::chrono::steady_clock::now();
     const pipeline::RoundOutput& out = rt_->pipe.run_round(rt_->meas, solve_rng_, dt);
@@ -299,6 +302,9 @@ bool Session::begin_tick(std::size_t tick, ShardArena& arena, SessionRecorder* r
   if (recorder != nullptr)
     recorder->on_measurement(sc_->session_id, static_cast<std::uint32_t>(metrics_.rounds),
                              dt, rt_->meas);
+  if (telemetry != nullptr && telemetry->trace_enabled())
+    rt_->pipe.set_trace(
+        telemetry::make_trace_id(sc_->session_id, metrics_.rounds));
   plane.enqueue(rt_->pipe, rt_->meas, solve_rng_, dt);
   return true;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "telemetry/collector.hpp"
+
 namespace uwp::pipeline {
 
 namespace {
@@ -73,11 +75,20 @@ void BatchPlane::execute(bool measure_latency) {
       slot.pipe->begin_round(slot.dt_s);
       slot.pipe->stage_quantize(*slot.meas);
       slot.pipe->stage_ranging(*slot.meas);
+      // Group assignment + SoA gather, recorded as the round's kBatch trace
+      // span: the only batch-plane work that isn't a pipeline stage.
+      telemetry::ShardStream* const tel = slot.pipe->telemetry();
+      const std::uint64_t tid = slot.pipe->trace_id();
+      const bool tracing = tid != 0 && tel != nullptr && tel->trace_enabled();
+      const double tts = tracing ? tel->trace_now() : 0.0;
       const RoundOutput& out = slot.pipe->output();
       std::copy(out.ranging.distances.data().begin(), out.ranging.distances.data().end(),
                 dist_plane_.begin() + static_cast<std::ptrdiff_t>(g * cells));
       std::copy(out.ranging.weights.data().begin(), out.ranging.weights.data().end(),
                 weight_plane_.begin() + static_cast<std::ptrdiff_t>(g * cells));
+      if (tracing)
+        tel->trace_span(tid, telemetry::TraceOp::kBatch,
+                        telemetry::TraceOp::kRound, tts);
       clock.stop(slot);
     }
 

@@ -51,6 +51,20 @@ void RoundPipeline::rebind(const PipelineOptions& opts) {
   warm_valid_ = false;
 }
 
+bool RoundPipeline::tracing() const {
+  return trace_id_ != 0 && telemetry_ != nullptr &&
+         telemetry_->trace_enabled();
+}
+
+double RoundPipeline::trace_begin() const {
+  return tracing() ? telemetry_->trace_now() : 0.0;
+}
+
+void RoundPipeline::trace_emit(telemetry::TraceOp op, double ts0_s) {
+  if (tracing())
+    telemetry_->trace_span(trace_id_, op, telemetry::TraceOp::kRound, ts0_s);
+}
+
 void RoundPipeline::coast(double dt_s) {
   tracker_.predict(dt_s);
   // A coast gap means the predicted geometry has drifted unverified; the
@@ -70,6 +84,7 @@ const RoundOutput& RoundPipeline::run_round(RoundMeasurement& m, uwp::Rng& rng,
 
 void RoundPipeline::begin_round(double dt_s) {
   round_elapsed_ = 0.0;
+  trace_ts0_ = trace_begin();
   // Tracker prediction runs first (it used to sit with the update after
   // localization — same predict/update sequence either way) so the predicted
   // geometry can warm-start the localize stage.
@@ -83,13 +98,16 @@ void RoundPipeline::begin_round(double dt_s) {
 void RoundPipeline::stage_quantize(RoundMeasurement& m) {
   // Payload quantization (§2.4): timestamps ride to the leader as 10-bit
   // slot-relative deltas at 2-sample resolution.
+  const double tts = trace_begin();
   telemetry::SpanTimer span(telemetry_, telemetry::Stage::kQuantize);
   if (opts_.quantize_payload) proto::quantize_run_payload(m.protocol, codec_);
   round_elapsed_ += span.stop();
+  trace_emit(telemetry::TraceOp::kQuantize, tts);
 }
 
 void RoundPipeline::stage_ranging(RoundMeasurement& m) {
   const std::size_t n = opts_.protocol.num_devices;
+  const double tts = trace_begin();
   telemetry::SpanTimer span(telemetry_, telemetry::Stage::kRanging);
   // Pairwise distances from the timestamp table.
   solver_.solve_into(out_.ranging, m.protocol);
@@ -103,6 +121,7 @@ void RoundPipeline::stage_ranging(RoundMeasurement& m) {
         out_.ranging_errors.push_back(std::abs(out_.ranging.distances(i, j) - true_d));
       }
   round_elapsed_ += span.stop();
+  trace_emit(telemetry::TraceOp::kRanging, tts);
 }
 
 void RoundPipeline::stage_localize(RoundMeasurement& m, uwp::Rng& rng,
@@ -142,6 +161,7 @@ void RoundPipeline::stage_localize(RoundMeasurement& m, uwp::Rng& rng,
     }
   }
 
+  const double tts = trace_begin();
   telemetry::SpanTimer span(telemetry_, telemetry::Stage::kLocalize);
   try {
     localizer_.localize_into(out_.localization, out_.localizer_input, rng, loc_ws_,
@@ -151,6 +171,7 @@ void RoundPipeline::stage_localize(RoundMeasurement& m, uwp::Rng& rng,
     out_.localized = false;
   }
   round_elapsed_ += span.stop();
+  trace_emit(telemetry::TraceOp::kLocalize, tts);
   if (telemetry_ != nullptr)
     telemetry_->count(warm ? telemetry::Counter::kWarmStartHits
                            : telemetry::Counter::kWarmStartMisses);
@@ -166,6 +187,7 @@ void RoundPipeline::stage_track(RoundMeasurement& m) {
   const std::size_t n = opts_.protocol.num_devices;
   // Tracking: coast through failed rounds, fuse successful ones (the predict
   // half already ran in begin_round).
+  const double tts = trace_begin();
   telemetry::SpanTimer span(telemetry_, telemetry::Stage::kTrack);
   if (out_.localized) {
     tracker_update_.assign(n, std::nullopt);
@@ -183,6 +205,7 @@ void RoundPipeline::stage_track(RoundMeasurement& m) {
       out_.tracked_error_2d[i] = distance(track.position(), m.truth_xy[i]);
   }
   round_elapsed_ += span.stop();
+  trace_emit(telemetry::TraceOp::kTrack, tts);
   warm_valid_ = out_.localized;
 }
 
@@ -195,8 +218,18 @@ const RoundOutput& RoundPipeline::finish_round() {
       tel->count(telemetry::Counter::kLocalized);
       tel->count(telemetry::Counter::kSolverIterations,
                  static_cast<std::uint64_t>(out_.localization.solver_iterations));
+    } else {
+      tel->count(telemetry::Counter::kLocalizeFailures);
     }
   }
+  if (tracing()) {
+    // Root span: wall time from begin_round to here — under a BatchPlane
+    // this includes the interleaved stages of the round's group-mates,
+    // which is exactly the queueing the tail debugger wants to see.
+    telemetry_->trace_span(trace_id_, telemetry::TraceOp::kRound,
+                           telemetry::TraceOp::kNone, trace_ts0_);
+  }
+  trace_id_ = 0;
   return out_;
 }
 

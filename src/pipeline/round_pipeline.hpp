@@ -19,6 +19,7 @@
 
 namespace uwp::telemetry {
 class ShardStream;
+enum class TraceOp : std::uint8_t;
 }
 
 namespace uwp::pipeline {
@@ -91,6 +92,14 @@ class RoundPipeline {
   void set_telemetry(telemetry::ShardStream* stream) { telemetry_ = stream; }
   telemetry::ShardStream* telemetry() const { return telemetry_; }
 
+  // Arm the causal trace for the next round: every stage of that round
+  // emits a trace span tagged `trace_id` (children of the round-root span)
+  // onto the attached stream. finish_round() disarms, so coasts and
+  // untraced rounds between explicit arms emit nothing. No-op when the
+  // stream is null or its trace plane is off.
+  void set_trace(std::uint64_t trace_id) { trace_id_ = trace_id; }
+  std::uint64_t trace_id() const { return trace_id_; }
+
   // Process one measurement. `dt_s` is the time since the previous round
   // (tracker prediction horizon; ignored when tracking is off). Payload
   // quantization mutates m.protocol in place — afterwards it holds exactly
@@ -139,6 +148,10 @@ class RoundPipeline {
                  std::vector<double>& samples, double round_dt_s = 0.0);
 
  private:
+  bool tracing() const;
+  double trace_begin() const;  // span-start ts, 0.0 when not tracing
+  void trace_emit(telemetry::TraceOp op, double ts0_s);
+
   PipelineOptions opts_;
   proto::RangingSolver solver_;
   proto::PayloadCodecConfig codec_;
@@ -155,6 +168,8 @@ class RoundPipeline {
   bool warm_valid_ = false;
   std::vector<Vec2> warm_init_;
   double round_elapsed_ = 0.0;  // summed stage spans for the kRound span
+  std::uint64_t trace_id_ = 0;  // armed trace id; 0 = not tracing
+  double trace_ts0_ = 0.0;      // round-root span start (collector epoch)
 };
 
 }  // namespace uwp::pipeline

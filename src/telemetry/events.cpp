@@ -28,6 +28,8 @@ const char* to_string(Counter c) {
       return "warm_start_hits";
     case Counter::kWarmStartMisses:
       return "warm_start_misses";
+    case Counter::kLocalizeFailures:
+      return "localize_failures";
     case Counter::kCount_:
       break;
   }
@@ -50,6 +52,32 @@ const char* to_string(Stage s) {
       return "ingest";
     case Stage::kCount_:
       break;
+  }
+  return "unknown";
+}
+
+const char* to_string(TraceOp op) {
+  switch (op) {
+    case TraceOp::kRound:
+      return "round";
+    case TraceOp::kIngest:
+      return "ingest";
+    case TraceOp::kQueue:
+      return "queue";
+    case TraceOp::kBatch:
+      return "batch";
+    case TraceOp::kQuantize:
+      return "quantize";
+    case TraceOp::kRanging:
+      return "ranging";
+    case TraceOp::kLocalize:
+      return "localize";
+    case TraceOp::kTrack:
+      return "track";
+    case TraceOp::kCount_:
+      break;
+    case TraceOp::kNone:
+      return "none";
   }
   return "unknown";
 }

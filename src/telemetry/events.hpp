@@ -14,9 +14,13 @@
 //     the lossy ring and feed log-bucket histograms (p50/p99/p999).
 //   * Sample — run-varying scalar observations (live queue depth, arena
 //     free-list reuse) whose values depend on scheduling, not the spec.
+//   * TraceOp — causal round-trace spans. Each traced round carries one
+//     trace id from ingest through the queue, batch staging, and every
+//     pipeline stage; span *structure* (which ops fired, parent links,
+//     virtual time) is deterministic, wall-clock start/duration is not.
 //
-// The Event struct itself is a 24-byte POD so a ring slot is two cache
-// lines of payload per 5 events and pushes compile to a handful of stores.
+// The Event struct itself is a 32-byte POD so pushes compile to a handful
+// of stores; `ref` carries the trace id for kTraceSpan events.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +41,7 @@ enum class Counter : std::uint8_t {
   kIngestDeferred,     // shaper verdicts: individual defer attempts
   kWarmStartHits,      // localize stages seeded from predicted geometry
   kWarmStartMisses,    // localize stages cold-seeded (admit/rebind/coast gap)
+  kLocalizeFailures,   // rounds whose localize stage produced no fix
   kCount_,
 };
 inline constexpr std::size_t kCounterCount =
@@ -67,20 +72,42 @@ inline constexpr std::size_t kSampleCount =
     static_cast<std::size_t>(Sample::kCount_);
 const char* to_string(Sample s);
 
+// Causal trace ops. Each op occurs at most once per trace id, so a span is
+// identified by (trace_id, op) and its parent by the parent op alone.
+// kNone marks the root (the round span has no parent).
+enum class TraceOp : std::uint8_t {
+  kRound = 0,  // whole round, root span
+  kIngest,     // serve mode: frame decode + shaper verdict (ingest stream)
+  kQueue,      // serve mode: dispatch-queue residency (enqueue -> worker pop)
+  kBatch,      // batched fleet mode: BatchPlane group assignment + SoA gather
+  kQuantize,   // pipeline stage slices, children of kRound
+  kRanging,
+  kLocalize,
+  kTrack,
+  kCount_,
+  kNone = 255,
+};
+inline constexpr std::size_t kTraceOpCount =
+    static_cast<std::size_t>(TraceOp::kCount_);
+const char* to_string(TraceOp op);
+
 enum class EventKind : std::uint8_t {
   kCounter = 0,
   kSpan = 1,
   kSample = 2,
+  kTraceSpan = 3,
 };
 
-// One ring slot. `id` is the Counter/Stage/Sample enum value for `kind`;
-// `t` is virtual time for counters and don't-care for spans/samples;
-// `value` is the counter delta, span seconds, or sample value.
+// One ring slot. `id` is the Counter/Stage/Sample/TraceOp enum value for
+// `kind`; `t` is virtual time for counters/trace spans and don't-care for
+// stage spans/samples; `value` is the counter delta, span seconds, or
+// sample value; `ref` is the trace id for kTraceSpan and 0 otherwise.
 struct Event {
   EventKind kind = EventKind::kCounter;
   std::uint8_t id = 0;
   double t = 0.0;
   double value = 0.0;
+  std::uint64_t ref = 0;
 };
 
 }  // namespace uwp::telemetry

@@ -1,0 +1,95 @@
+#include "telemetry/slo.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace uwp::telemetry {
+
+namespace {
+
+inline double rate(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+inline std::uint64_t total(const SloInputs& in, Counter c) {
+  return in.totals[static_cast<std::size_t>(c)];
+}
+
+}  // namespace
+
+SloCdf make_slo_cdf(std::vector<double> samples) {
+  SloCdf cdf;
+  if (samples.empty()) return cdf;
+  std::sort(samples.begin(), samples.end());
+  cdf.count = samples.size();
+  double sum = 0.0;
+  for (double v : samples) sum += v;  // sorted order => deterministic sum
+  cdf.mean = sum / static_cast<double>(samples.size());
+  cdf.min = samples.front();
+  cdf.max = samples.back();
+  cdf.p50 = percentile(samples, 50.0);
+  cdf.p90 = percentile(samples, 90.0);
+  cdf.p95 = percentile(samples, 95.0);
+  cdf.p99 = percentile(samples, 99.0);
+  cdf.p999 = percentile(samples, 99.9);
+  return cdf;
+}
+
+SloReport build_slo_report(const SloInputs& in) {
+  SloReport rep;
+  std::vector<double> pooled;
+  for (const SloKindInput& k : in.kinds) {
+    SloKindReport kr;
+    kr.kind = k.kind;
+    kr.sessions = k.sessions;
+    kr.rounds = k.rounds;
+    kr.localized = k.localized;
+    kr.coasts = k.coasts;
+    kr.localized_rate = rate(k.localized, k.rounds);
+    kr.coast_rate = rate(k.coasts, k.rounds);
+    kr.error = make_slo_cdf(k.errors);
+    rep.sessions += k.sessions;
+    rep.kinds.push_back(std::move(kr));
+    pooled.insert(pooled.end(), k.errors.begin(), k.errors.end());
+  }
+  rep.error = make_slo_cdf(std::move(pooled));
+
+  if (in.have_totals) {
+    rep.rounds = total(in, Counter::kRounds);
+    rep.localized = total(in, Counter::kLocalized);
+    rep.coasts = total(in, Counter::kCoasts);
+    rep.evicts = total(in, Counter::kEvicts);
+    rep.sheds = total(in, Counter::kIngestShed);
+    rep.defers = total(in, Counter::kIngestDeferred);
+    rep.localize_failures = total(in, Counter::kLocalizeFailures);
+    rep.warm_hits = total(in, Counter::kWarmStartHits);
+    rep.warm_misses = total(in, Counter::kWarmStartMisses);
+  } else {
+    for (const SloKindReport& k : rep.kinds) {
+      rep.rounds += k.rounds;
+      rep.localized += k.localized;
+      rep.coasts += k.coasts;
+    }
+  }
+  rep.localized_rate = rate(rep.localized, rep.rounds);
+  rep.coast_rate = rate(rep.coasts, rep.rounds);
+  rep.evict_rate = rate(rep.evicts, rep.rounds);
+  rep.shed_rate = rate(rep.sheds, rep.rounds);
+  rep.warm_start_hit_rate =
+      rate(rep.warm_hits, rep.warm_hits + rep.warm_misses);
+
+  if (!in.latency_s.empty()) {
+    std::vector<double> lat(in.latency_s);
+    std::sort(lat.begin(), lat.end());
+    rep.latency_count = lat.size();
+    rep.latency_p50_s = percentile(lat, 50.0);
+    rep.latency_p99_s = percentile(lat, 99.0);
+    rep.latency_p999_s = percentile(lat, 99.9);
+  }
+  if (in.wall_s > 0.0)
+    rep.rounds_per_sec = static_cast<double>(rep.rounds) / in.wall_s;
+  return rep;
+}
+
+}  // namespace uwp::telemetry

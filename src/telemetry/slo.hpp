@@ -1,0 +1,105 @@
+// SLO scoreboard: a deterministic reducer over the counter plane plus
+// per-kind position-error CDFs, with run-varying round-latency tails kept
+// on their own side of the fence — the same metrics-vs-timing contract the
+// rest of the telemetry layer enforces.
+//
+// Everything in SloReport except the latency_* / rounds_per_sec fields is
+// a pure function of the deterministic inputs (counter totals, per-kind
+// round/error tallies), so two runs of the same spec at different
+// shard/worker/thread counts produce bit-identical scoreboards — uwp_run
+// renders the deterministic half as the "slo" JSON section (exact double
+// round-trips via config::Json) and CI byte-diffs it across --threads=1/4.
+//
+// Layering: this file consumes plain structs; adapters living in the
+// layers that own the data (fleet::make_slo_inputs) fold FleetResult and
+// TelemetryReport into SloInputs, keeping telemetry/ free of upward
+// dependencies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/events.hpp"
+
+namespace uwp::telemetry {
+
+// Quantile summary of one error population. Percentile definition is
+// util/stats.hpp's linear interpolation between order statistics, computed
+// from the sorted samples — deterministic given a deterministic multiset.
+struct SloCdf {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+// Sorts `samples` and reduces them; all-zero summary for an empty input.
+SloCdf make_slo_cdf(std::vector<double> samples);
+
+struct SloKindInput {
+  std::string kind;  // GroupScenarioKind name
+  std::uint64_t sessions = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t localized = 0;
+  std::uint64_t coasts = 0;
+  std::vector<double> errors;  // per-round position RMS errors
+};
+
+struct SloInputs {
+  // Counter-plane totals (authoritative for evict/shed/warm-start rates).
+  std::array<std::uint64_t, kCounterCount> totals{};
+  bool have_totals = false;
+  std::vector<SloKindInput> kinds;
+  // Run-varying: per-round wall latencies and total wall time.
+  std::vector<double> latency_s;
+  double wall_s = 0.0;
+};
+
+struct SloKindReport {
+  std::string kind;
+  std::uint64_t sessions = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t localized = 0;
+  std::uint64_t coasts = 0;
+  double localized_rate = 0.0;
+  double coast_rate = 0.0;
+  SloCdf error;
+};
+
+struct SloReport {
+  // Deterministic scoreboard (the "slo" JSON section).
+  std::uint64_t sessions = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t localized = 0;
+  std::uint64_t coasts = 0;
+  std::uint64_t evicts = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t defers = 0;
+  std::uint64_t localize_failures = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t warm_misses = 0;
+  double localized_rate = 0.0;  // localized / rounds
+  double coast_rate = 0.0;      // coasts / rounds
+  double evict_rate = 0.0;      // evicts / rounds
+  double shed_rate = 0.0;       // sheds / rounds
+  double warm_start_hit_rate = 0.0;  // hits / (hits + misses)
+  SloCdf error;                      // all kinds pooled
+  std::vector<SloKindReport> kinds;
+  // Run-varying tails (the "timing" JSON section).
+  std::uint64_t latency_count = 0;
+  double rounds_per_sec = 0.0;
+  double latency_p50_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_p999_s = 0.0;
+};
+
+SloReport build_slo_report(const SloInputs& in);
+
+}  // namespace uwp::telemetry

@@ -130,6 +130,14 @@ ScenarioSpec random_spec(uwp::Rng& rng, bool include_nan) {
   s.telemetry.timing = rng.bernoulli(0.5);
   s.telemetry.window_ticks = static_cast<std::size_t>(rng.uniform_int(1, 64));
   s.telemetry.ring_capacity = static_cast<std::size_t>(rng.uniform_int(1, 1 << 16));
+  s.telemetry.trace.enabled = rng.bernoulli(0.5);
+  s.telemetry.trace.max_spans = static_cast<std::size_t>(rng.uniform_int(1, 1 << 20));
+  s.telemetry.flight.capacity = static_cast<std::size_t>(rng.uniform_int(0, 1 << 10));
+  s.telemetry.flight.max_dumps = static_cast<std::size_t>(rng.uniform_int(0, 64));
+  s.telemetry.flight.evict_storm = static_cast<std::size_t>(rng.uniform_int(1, 64));
+  s.telemetry.flight.shed_burst = static_cast<std::size_t>(rng.uniform_int(1, 64));
+  s.telemetry.flight.localize_failures =
+      static_cast<std::size_t>(rng.uniform_int(1, 64));
   return s;
 }
 
@@ -207,6 +215,10 @@ TEST(SpecParse, UnknownAndMistypedFieldsFailWithPaths) {
   expect_parse_error(R"({"sweep": 17})", "sweep");
   expect_parse_error(R"({"telemetry": {"window": 4}})", "telemetry.window");
   expect_parse_error(R"({"telemetry": {"enabled": 1}})", "telemetry.enabled");
+  expect_parse_error(R"({"telemetry": {"trace": {"max_span": 1}}})",
+                     "telemetry.trace.max_span");
+  expect_parse_error(R"({"telemetry": {"flight": {"capacity": true}}})",
+                     "telemetry.flight.capacity");
 }
 
 // --- validation failures (range/consistency errors, one per field) ----------
@@ -411,6 +423,21 @@ TEST(SpecValidate, TelemetryFieldsReportTheirPaths) {
     ScenarioSpec s;
     s.telemetry.ring_capacity = (std::size_t{1} << 24) + 1;
     expect_invalid(s, "telemetry.ring_capacity");
+  }
+  {
+    ScenarioSpec s;
+    s.telemetry.trace.max_spans = 0;
+    expect_invalid(s, "telemetry.trace.max_spans");
+  }
+  {
+    ScenarioSpec s;
+    s.telemetry.flight.capacity = (std::size_t{1} << 20) + 1;
+    expect_invalid(s, "telemetry.flight.capacity");
+  }
+  {
+    ScenarioSpec s;
+    s.telemetry.flight.shed_burst = 0;
+    expect_invalid(s, "telemetry.flight.shed_burst");
   }
 }
 

@@ -1,23 +1,32 @@
 // Telemetry plane invariants: the SPSC ring never blocks and accounts every
-// overflow drop; histogram bucketing is exact at octave boundaries; and the
+// overflow drop; histogram bucketing is exact at octave boundaries; the
 // deterministic counter plane is bit-identical whatever the shard/worker
 // partitioning or ring sizing — the contract uwp_run's "counters" section
-// (and CI's cross-thread diff) relies on.
+// (and CI's cross-thread diff) relies on; trace-span *structure* and the
+// SLO scoreboard share that determinism while their wall-clock side stays
+// free; and the flight recorder dumps context when its triggers fire.
 #include "telemetry/collector.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <set>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "config/json.hpp"
 #include "fleet/server.hpp"
 #include "fleet/service.hpp"
 #include "sim/fleet_workload.hpp"
 #include "telemetry/bus.hpp"
 #include "telemetry/histogram.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/trace.hpp"
 
 namespace uwp::telemetry {
 namespace {
@@ -292,6 +301,38 @@ TEST(CounterPlane, UnshapedServeMatchesFleetSharedCounters) {
   }
 }
 
+// A tailer thread draining concurrently with a batched run (satellite for
+// the live-dashboard use case): drain() races the shard producers and the
+// service's internal open(), and the deterministic plane must come out
+// exactly as a quiet sequential run's.
+TEST(CounterPlane, ConcurrentTailerDrainsDuringBatchedRun) {
+  const std::vector<sim::GroupScenario> workload =
+      sim::make_workload(small_params(12));
+  fleet::FleetOptions fo;
+  fo.master_seed = 0x7E1Eu;
+  fo.shards = 4;
+  fo.batch_rounds = true;
+  TelemetryOptions topts;
+  topts.enabled = true;
+  topts.window = 4.0;
+  Collector collector(topts);
+
+  std::atomic<bool> stop{false};
+  std::thread tailer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      collector.drain();
+      std::this_thread::yield();
+    }
+  });
+  fleet::FleetService(fo, workload).run(nullptr, &collector);
+  stop.store(true, std::memory_order_relaxed);
+  tailer.join();
+
+  TelemetryReport tailed = collector.report();
+  EXPECT_TRUE(tailed.counters_equal(fleet_report(workload, 2)));
+  EXPECT_GT(tailed.totals[static_cast<std::size_t>(Counter::kRounds)], 0u);
+}
+
 TEST(CounterPlane, DisabledTimingKeepsCountersAndSkipsSpans) {
   const std::vector<sim::GroupScenario> workload =
       sim::make_workload(small_params(6));
@@ -310,6 +351,297 @@ TEST(CounterPlane, DisabledTimingKeepsCountersAndSkipsSpans) {
   for (std::size_t s = 0; s < kStageCount; ++s)
     EXPECT_EQ(rep.spans[s].count(), 0u) << to_string(static_cast<Stage>(s));
   EXPECT_TRUE(rep.counters_equal(fleet_report(workload, 3)));
+}
+
+// --- trace plane ------------------------------------------------------------
+
+TEST(TracePlane, IdPackingRoundTrips) {
+  const std::uint64_t id = make_trace_id(17, 0);
+  EXPECT_NE(id, 0u);  // round 0 is biased away from the "not tracing" id
+  EXPECT_EQ(trace_session(id), 17u);
+  EXPECT_EQ(trace_round(id), 0u);
+  EXPECT_EQ(trace_session(make_trace_id(0, 41)), 0u);
+  EXPECT_EQ(trace_round(make_trace_id(0, 41)), 41u);
+  EXPECT_NE(make_trace_id(0, 0), 0u);
+}
+
+TelemetryReport fleet_trace_report(const std::vector<sim::GroupScenario>& workload,
+                                   std::size_t shards, bool batch = true) {
+  fleet::FleetOptions fo;
+  fo.master_seed = 0x7E1Eu;
+  fo.shards = shards;
+  fo.batch_rounds = batch;
+  TelemetryOptions topts;
+  topts.enabled = true;
+  topts.trace = true;
+  topts.window = 4.0;
+  Collector collector(topts);
+  fleet::FleetService(fo, workload).run(nullptr, &collector);
+  return collector.report();
+}
+
+TEST(TracePlane, FleetStructureDigestInvariantAcrossShardCounts) {
+  const std::vector<sim::GroupScenario> workload =
+      sim::make_workload(small_params(10));
+  const TelemetryReport one = fleet_trace_report(workload, 1);
+  const TelemetryReport four = fleet_trace_report(workload, 4);
+  ASSERT_FALSE(one.trace.empty());
+  EXPECT_EQ(one.trace.size(), four.trace.size());
+  EXPECT_EQ(trace_structure_digest(one.trace), trace_structure_digest(four.trace));
+
+  // The batched path contributes kBatch spans; every executed round has a
+  // root span and stage children parented to it.
+  std::set<TraceOp> ops;
+  for (const TraceSpan& s : one.trace) {
+    ops.insert(s.op);
+    if (s.op == TraceOp::kRound) {
+      EXPECT_EQ(s.parent, TraceOp::kNone);
+    }
+    if (s.op == TraceOp::kLocalize || s.op == TraceOp::kBatch) {
+      EXPECT_EQ(s.parent, TraceOp::kRound);
+    }
+    EXPECT_NE(s.trace_id, 0u);
+  }
+  EXPECT_TRUE(ops.count(TraceOp::kRound));
+  EXPECT_TRUE(ops.count(TraceOp::kBatch));
+  EXPECT_TRUE(ops.count(TraceOp::kLocalize));
+
+  // The batch layout knob must not change the rounds traced: every id in
+  // the reference (unbatched) run appears in the batched one.
+  const TelemetryReport ref = fleet_trace_report(workload, 2, /*batch=*/false);
+  std::set<std::uint64_t> batched_ids, ref_ids;
+  for (const TraceSpan& s : one.trace) batched_ids.insert(s.trace_id);
+  for (const TraceSpan& s : ref.trace) ref_ids.insert(s.trace_id);
+  EXPECT_EQ(batched_ids, ref_ids);
+}
+
+TelemetryReport serve_trace_report(const std::vector<sim::GroupScenario>& workload,
+                                   std::size_t workers) {
+  fleet::ServerOptions opts;
+  opts.master_seed = 0x7E1Eu;
+  opts.workers = workers;
+  TelemetryOptions topts;
+  topts.enabled = true;
+  topts.trace = true;
+  topts.window = 4.0;
+  Collector collector(topts);
+  fleet::Server server(opts, workload);
+  fleet::RingBufferTransport transport(64);
+  std::thread feeder(
+      [&] { feed_workload(transport, workload, opts.master_seed, {}); });
+  try {
+    server.serve(transport, nullptr, &collector);
+  } catch (...) {
+    transport.close();
+    feeder.join();
+    throw;
+  }
+  feeder.join();
+  return collector.report();
+}
+
+TEST(TracePlane, ServeChainsIngestQueueRoundAndDigestIsWorkerInvariant) {
+  const std::vector<sim::GroupScenario> workload =
+      sim::make_workload(small_params(8));
+  const TelemetryReport one = serve_trace_report(workload, 1);
+  const TelemetryReport four = serve_trace_report(workload, 4);
+  ASSERT_FALSE(one.trace.empty());
+  EXPECT_EQ(trace_structure_digest(one.trace), trace_structure_digest(four.trace));
+
+  // Every admitted round's trace must chain ingest -> queue -> round with
+  // the declared parent links, whatever the worker count.
+  std::set<std::uint64_t> ingest, queue, round;
+  for (const TraceSpan& s : four.trace) {
+    if (s.op == TraceOp::kIngest) {
+      EXPECT_EQ(s.parent, TraceOp::kNone);
+      ingest.insert(s.trace_id);
+    } else if (s.op == TraceOp::kQueue) {
+      EXPECT_EQ(s.parent, TraceOp::kIngest);
+      queue.insert(s.trace_id);
+    } else if (s.op == TraceOp::kRound) {
+      round.insert(s.trace_id);
+    }
+  }
+  ASSERT_FALSE(queue.empty());
+  for (const std::uint64_t id : queue) EXPECT_TRUE(ingest.count(id)) << id;
+  for (const std::uint64_t id : round) EXPECT_TRUE(queue.count(id)) << id;
+}
+
+TEST(TracePlane, SpanCapCountsOverflowInsteadOfGrowing) {
+  const std::vector<sim::GroupScenario> workload =
+      sim::make_workload(small_params(8));
+  fleet::FleetOptions fo;
+  fo.master_seed = 0x7E1Eu;
+  fo.shards = 2;
+  TelemetryOptions topts;
+  topts.enabled = true;
+  topts.trace = true;
+  topts.trace_max_spans = 4;
+  Collector collector(topts);
+  fleet::FleetService(fo, workload).run(nullptr, &collector);
+  const TelemetryReport rep = collector.report();
+  EXPECT_LE(rep.trace.size(), 4u * rep.streams);
+  EXPECT_GT(rep.trace_dropped, 0u);
+}
+
+TEST(TracePlane, ChromeTraceExportParsesAsJson) {
+  const std::vector<sim::GroupScenario> workload =
+      sim::make_workload(small_params(6));
+  const TelemetryReport rep = fleet_trace_report(workload, 2);
+  std::ostringstream out;
+  write_chrome_trace(out, rep.trace);
+  const config::Json doc = config::parse_json(out.str());
+  ASSERT_TRUE(doc.is_object());
+  const config::Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_GE(events->items().size(), rep.trace.size());
+  for (const config::Json& e : events->items()) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_NE(e.find("ph"), nullptr);
+    const std::string& ph = e.find("ph")->as_string();
+    EXPECT_TRUE(ph == "X" || ph == "s" || ph == "t");
+    if (ph == "X") {
+      EXPECT_NE(e.find("dur"), nullptr);
+    }
+  }
+}
+
+// --- flight recorder --------------------------------------------------------
+
+TEST(FlightRecorder, EvictStormTriggerDumpsRecentEvents) {
+  const std::vector<sim::GroupScenario> workload =
+      sim::make_workload(small_params(12));
+  fleet::FleetOptions fo;
+  fo.master_seed = 0x7E1Eu;
+  fo.shards = 2;
+  TelemetryOptions topts;
+  topts.enabled = true;
+  topts.window = 4.0;
+  topts.flight.capacity = 32;
+  topts.flight.max_dumps = 2;
+  topts.flight.evict_storm = 1;  // every eviction is a "storm"
+  Collector collector(topts);
+  fleet::FleetService(fo, workload).run(nullptr, &collector);
+  const TelemetryReport rep = collector.report();
+
+  ASSERT_FALSE(rep.flight.empty());
+  EXPECT_LE(rep.flight.size(), 2u * rep.streams);  // budget per stream
+  bool saw_evict_storm = false;
+  for (const FlightDump& d : rep.flight) {
+    EXPECT_LT(d.stream, rep.streams);
+    EXPECT_FALSE(d.events.empty());
+    EXPECT_LE(d.events.size(), 32u);
+    if (d.trigger == FlightTrigger::kEvictStorm) saw_evict_storm = true;
+  }
+  EXPECT_TRUE(saw_evict_storm);
+}
+
+TEST(FlightRecorder, RingOverflowTriggerFiresOnDrops) {
+  const std::vector<sim::GroupScenario> workload =
+      sim::make_workload(small_params(8));
+  fleet::FleetOptions fo;
+  fo.master_seed = 0x7E1Eu;
+  fo.shards = 2;
+  TelemetryOptions topts;
+  topts.enabled = true;
+  topts.ring_capacity = 1;  // rounds to the 8-slot minimum: guaranteed drops
+  topts.flight.capacity = 16;
+  Collector collector(topts);
+  fleet::FleetService(fo, workload).run(nullptr, &collector);
+  const TelemetryReport rep = collector.report();
+
+  ASSERT_GT(rep.dropped, 0u);
+  bool saw_overflow = false;
+  for (const FlightDump& d : rep.flight)
+    if (d.trigger == FlightTrigger::kRingOverflow) saw_overflow = true;
+  EXPECT_TRUE(saw_overflow);
+}
+
+TEST(FlightRecorder, DisabledCapacityRecordsNothing) {
+  const std::vector<sim::GroupScenario> workload =
+      sim::make_workload(small_params(8));
+  fleet::FleetOptions fo;
+  fo.master_seed = 0x7E1Eu;
+  fo.shards = 2;
+  TelemetryOptions topts;
+  topts.enabled = true;
+  topts.flight.capacity = 0;
+  topts.flight.evict_storm = 1;
+  Collector collector(topts);
+  fleet::FleetService(fo, workload).run(nullptr, &collector);
+  EXPECT_TRUE(collector.report().flight.empty());
+}
+
+// --- SLO scoreboard ---------------------------------------------------------
+
+TEST(Slo, CdfReducesKnownVector) {
+  const SloCdf c = make_slo_cdf({10.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0});
+  EXPECT_EQ(c.count, 10u);
+  EXPECT_DOUBLE_EQ(c.mean, 5.5);
+  EXPECT_DOUBLE_EQ(c.min, 1.0);
+  EXPECT_DOUBLE_EQ(c.max, 10.0);
+  EXPECT_DOUBLE_EQ(c.p50, 5.5);  // linear interpolation between order stats
+  EXPECT_DOUBLE_EQ(c.p90, 9.1);
+  EXPECT_DOUBLE_EQ(c.p999, 9.991);
+
+  const SloCdf empty = make_slo_cdf({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.p99, 0.0);
+}
+
+SloReport fleet_slo(const std::vector<sim::GroupScenario>& workload,
+                    std::size_t shards) {
+  fleet::FleetOptions fo;
+  fo.master_seed = 0x7E1Eu;
+  fo.shards = shards;
+  TelemetryOptions topts;
+  topts.enabled = true;
+  topts.window = 4.0;
+  Collector collector(topts);
+  const fleet::FleetResult res =
+      fleet::FleetService(fo, workload).run(nullptr, &collector);
+  const TelemetryReport rep = collector.report();
+  return build_slo_report(fleet::make_slo_inputs(res, &rep));
+}
+
+TEST(Slo, ScoreboardBitIdenticalAcrossShardCounts) {
+  const std::vector<sim::GroupScenario> workload =
+      sim::make_workload(small_params(12));
+  const SloReport one = fleet_slo(workload, 1);
+  const SloReport four = fleet_slo(workload, 4);
+
+  EXPECT_EQ(one.sessions, workload.size());
+  EXPECT_GT(one.rounds, 0u);
+  EXPECT_GT(one.localized_rate, 0.0);
+  EXPECT_GT(one.error.count, 0u);
+
+  // The deterministic scoreboard must match bit-for-bit (EXPECT_EQ on
+  // doubles is exact equality — that is the contract).
+  EXPECT_EQ(one.rounds, four.rounds);
+  EXPECT_EQ(one.localized, four.localized);
+  EXPECT_EQ(one.coasts, four.coasts);
+  EXPECT_EQ(one.evicts, four.evicts);
+  EXPECT_EQ(one.warm_hits, four.warm_hits);
+  EXPECT_EQ(one.warm_misses, four.warm_misses);
+  EXPECT_EQ(one.localized_rate, four.localized_rate);
+  EXPECT_EQ(one.warm_start_hit_rate, four.warm_start_hit_rate);
+  EXPECT_EQ(one.error.mean, four.error.mean);
+  EXPECT_EQ(one.error.p50, four.error.p50);
+  EXPECT_EQ(one.error.p99, four.error.p99);
+  EXPECT_EQ(one.error.p999, four.error.p999);
+
+  // All workload kinds are reported, in enum order, with pooled counts that
+  // add back up to the fleet totals.
+  ASSERT_EQ(one.kinds.size(), four.kinds.size());
+  std::uint64_t kind_rounds = 0;
+  for (std::size_t i = 0; i < one.kinds.size(); ++i) {
+    EXPECT_EQ(one.kinds[i].kind, four.kinds[i].kind);
+    EXPECT_EQ(one.kinds[i].rounds, four.kinds[i].rounds);
+    EXPECT_EQ(one.kinds[i].error.p99, four.kinds[i].error.p99);
+    kind_rounds += one.kinds[i].rounds;
+  }
+  EXPECT_EQ(kind_rounds, one.rounds);
 }
 
 }  // namespace

@@ -20,8 +20,22 @@
 //                  telemetry on even if the spec leaves it disabled) and
 //                  write its report — virtual-time-windowed counters under
 //                  "counters" (bit-identical at any --threads), span/sample
-//                  histograms and ring drop accounting under "timing"
+//                  histograms, ring drop accounting, and flight-recorder
+//                  dumps under "timing"
+//   --slo-out=FILE fleet/serve only: write the SLO scoreboard — the
+//                  deterministic counter/error reducer under "slo"
+//                  (bit-identical at any --threads; CI byte-diffs exactly
+//                  that object), round-latency tails under "timing"
+//   --trace-spans-out=FILE
+//                  fleet/serve only: force-enable causal round tracing and
+//                  write the spans as Chrome trace-event JSON, loadable
+//                  as-is in Perfetto / chrome://tracing; span structure is
+//                  deterministic, wall-clock timing is not
 //   --print-spec   dump the normalized spec (defaults filled in) and exit
+//
+// Every output path is probed (opened for append) before the run starts, so
+// a typo'd directory fails in milliseconds with exit 2 and a path-qualified
+// message instead of after minutes of simulation.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -36,8 +50,11 @@
 #include "config/spec.hpp"
 #include "fleet/recorder.hpp"
 #include "fleet/server.hpp"
+#include "fleet/service.hpp"
 #include "sim/metrics.hpp"
 #include "telemetry/collector.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/trace.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -49,6 +66,8 @@ struct Args {
   std::string mode;
   std::string out_path;
   std::string telemetry_path;
+  std::string slo_path;
+  std::string trace_path;
   long threads = -1;  // -1 = keep the spec's value
   bool print_spec = false;
 };
@@ -57,7 +76,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --spec=FILE [--mode=round|sweep|des|fleet|serve] "
                "[--threads=N] [--out=FILE] [--telemetry-out=FILE] "
-               "[--print-spec]\n",
+               "[--slo-out=FILE] [--trace-spans-out=FILE] [--print-spec]\n",
                argv0);
   return 2;
 }
@@ -78,6 +97,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.out_path = a + 6;
     } else if (std::strncmp(a, "--telemetry-out=", 16) == 0) {
       args.telemetry_path = a + 16;
+    } else if (std::strncmp(a, "--slo-out=", 10) == 0) {
+      args.slo_path = a + 10;
+    } else if (std::strncmp(a, "--trace-spans-out=", 18) == 0) {
+      args.trace_path = a + 18;
     } else if (std::strcmp(a, "--print-spec") == 0) {
       args.print_spec = true;
     } else {
@@ -86,6 +109,21 @@ bool parse_args(int argc, char** argv, Args& args) {
     }
   }
   return !args.spec_path.empty();
+}
+
+// Fail fast on unwritable output destinations: probe by opening for append
+// (which creates the file but never clobbers existing content), so the run
+// exits 2 immediately instead of simulating for minutes and then losing the
+// result to a typo'd directory.
+int probe_writable(const std::string& path, const char* flag) {
+  if (path.empty()) return 0;
+  std::ofstream probe(path, std::ios::binary | std::ios::app);
+  if (!probe) {
+    std::fprintf(stderr, "uwp_run: %s=%s: cannot open for writing\n", flag,
+                 path.c_str());
+    return 2;
+  }
+  return 0;
 }
 
 Json summary_to_json(const uwp::Summary& s) {
@@ -121,12 +159,44 @@ Json histogram_to_json(const uwp::telemetry::Histogram& h) {
   return o;
 }
 
+// Flight-recorder events rendered for post-mortem reading: the id enum is
+// resolved through the family named by `kind`, and the trace id is included
+// only where it means something (kTraceSpan).
+Json flight_event_to_json(const uwp::telemetry::Event& e) {
+  namespace tel = uwp::telemetry;
+  Json o = Json::object();
+  switch (e.kind) {
+    case tel::EventKind::kCounter:
+      o.set("kind", Json::string("counter"));
+      o.set("id", Json::string(tel::to_string(static_cast<tel::Counter>(e.id))));
+      break;
+    case tel::EventKind::kSpan:
+      o.set("kind", Json::string("span"));
+      o.set("id", Json::string(tel::to_string(static_cast<tel::Stage>(e.id))));
+      break;
+    case tel::EventKind::kSample:
+      o.set("kind", Json::string("sample"));
+      o.set("id", Json::string(tel::to_string(static_cast<tel::Sample>(e.id))));
+      break;
+    case tel::EventKind::kTraceSpan:
+      o.set("kind", Json::string("trace_span"));
+      o.set("id", Json::string(tel::to_string(static_cast<tel::TraceOp>(e.id))));
+      o.set("trace", uwp::config::u64_to_json(e.ref));
+      break;
+  }
+  o.set("t", uwp::config::double_to_json(e.t));
+  o.set("value", uwp::config::double_to_json(e.value));
+  return o;
+}
+
 // The telemetry document mirrors the metrics document's split: "counters"
 // is the deterministic plane (virtual-time-windowed sums, bit-identical at
 // any shard/worker/thread count — CI diffs exactly this object), "timing"
-// is the run-varying plane (span/sample histograms, ring drop accounting).
+// is the run-varying plane (span/sample histograms, ring drop accounting,
+// trace-span accounting, and flight-recorder dumps — dumps ride the lossy
+// ring, so their contents are best-effort by design).
 Json telemetry_report_to_json(const uwp::config::ScenarioSpec& spec,
-                              uwp::telemetry::TelemetryReport rep) {
+                              const uwp::telemetry::TelemetryReport& rep) {
   namespace tel = uwp::telemetry;
   Json totals = Json::object();
   for (std::size_t c = 0; c < tel::kCounterCount; ++c)
@@ -154,17 +224,103 @@ Json telemetry_report_to_json(const uwp::config::ScenarioSpec& spec,
   for (std::size_t s = 0; s < tel::kSampleCount; ++s)
     samples.set(tel::to_string(static_cast<tel::Sample>(s)),
                 histogram_to_json(rep.samples[s]));
+  Json flight = Json::array();
+  for (const tel::FlightDump& d : rep.flight) {
+    Json dump = Json::object();
+    dump.set("stream", uwp::config::u64_to_json(d.stream));
+    dump.set("trigger", Json::string(tel::to_string(d.trigger)));
+    dump.set("t", uwp::config::double_to_json(d.t));
+    dump.set("window", uwp::config::u64_to_json(d.window));
+    Json events = Json::array();
+    for (const tel::Event& e : d.events) events.push_back(flight_event_to_json(e));
+    dump.set("events", std::move(events));
+    flight.push_back(std::move(dump));
+  }
+
   Json timing = Json::object();
   timing.set("streams", uwp::config::u64_to_json(rep.streams));
   timing.set("events", uwp::config::u64_to_json(rep.events));
   timing.set("dropped", uwp::config::u64_to_json(rep.dropped));
+  timing.set("trace_spans", uwp::config::u64_to_json(rep.trace.size()));
+  timing.set("trace_dropped", uwp::config::u64_to_json(rep.trace_dropped));
   timing.set("spans", std::move(spans));
   timing.set("samples", std::move(samples));
+  timing.set("flight", std::move(flight));
 
   Json doc = Json::object();
   doc.set("name", Json::string(spec.name));
   doc.set("mode", Json::string(uwp::config::to_string(spec.mode)));
   doc.set("counters", std::move(counters));
+  doc.set("timing", std::move(timing));
+  return doc;
+}
+
+// --- SLO report -> JSON -----------------------------------------------------
+
+Json slo_cdf_to_json(const uwp::telemetry::SloCdf& c) {
+  Json o = Json::object();
+  o.set("count", uwp::config::u64_to_json(c.count));
+  o.set("mean", uwp::config::double_to_json(c.mean));
+  o.set("min", uwp::config::double_to_json(c.min));
+  o.set("max", uwp::config::double_to_json(c.max));
+  o.set("p50", uwp::config::double_to_json(c.p50));
+  o.set("p90", uwp::config::double_to_json(c.p90));
+  o.set("p95", uwp::config::double_to_json(c.p95));
+  o.set("p99", uwp::config::double_to_json(c.p99));
+  o.set("p999", uwp::config::double_to_json(c.p999));
+  return o;
+}
+
+// Same split as every other document this tool writes: "slo" is the
+// deterministic scoreboard (counter totals, rates, pooled and per-kind
+// error CDFs — byte-identical at any --threads; CI diffs exactly this
+// object), "timing" holds the run-varying round-latency tails.
+Json slo_report_to_json(const uwp::config::ScenarioSpec& spec,
+                        const uwp::telemetry::SloReport& r) {
+  Json slo = Json::object();
+  slo.set("sessions", uwp::config::u64_to_json(r.sessions));
+  slo.set("rounds", uwp::config::u64_to_json(r.rounds));
+  slo.set("localized", uwp::config::u64_to_json(r.localized));
+  slo.set("coasts", uwp::config::u64_to_json(r.coasts));
+  slo.set("evicts", uwp::config::u64_to_json(r.evicts));
+  slo.set("sheds", uwp::config::u64_to_json(r.sheds));
+  slo.set("defers", uwp::config::u64_to_json(r.defers));
+  slo.set("localize_failures", uwp::config::u64_to_json(r.localize_failures));
+  slo.set("warm_start_hits", uwp::config::u64_to_json(r.warm_hits));
+  slo.set("warm_start_misses", uwp::config::u64_to_json(r.warm_misses));
+  slo.set("localized_rate", uwp::config::double_to_json(r.localized_rate));
+  slo.set("coast_rate", uwp::config::double_to_json(r.coast_rate));
+  slo.set("evict_rate", uwp::config::double_to_json(r.evict_rate));
+  slo.set("shed_rate", uwp::config::double_to_json(r.shed_rate));
+  slo.set("warm_start_hit_rate",
+          uwp::config::double_to_json(r.warm_start_hit_rate));
+  slo.set("error", slo_cdf_to_json(r.error));
+  Json kinds = Json::array();
+  for (const uwp::telemetry::SloKindReport& k : r.kinds) {
+    Json o = Json::object();
+    o.set("kind", Json::string(k.kind));
+    o.set("sessions", uwp::config::u64_to_json(k.sessions));
+    o.set("rounds", uwp::config::u64_to_json(k.rounds));
+    o.set("localized", uwp::config::u64_to_json(k.localized));
+    o.set("coasts", uwp::config::u64_to_json(k.coasts));
+    o.set("localized_rate", uwp::config::double_to_json(k.localized_rate));
+    o.set("coast_rate", uwp::config::double_to_json(k.coast_rate));
+    o.set("error", slo_cdf_to_json(k.error));
+    kinds.push_back(std::move(o));
+  }
+  slo.set("kinds", std::move(kinds));
+
+  Json timing = Json::object();
+  timing.set("latency_count", uwp::config::u64_to_json(r.latency_count));
+  timing.set("rounds_per_sec", uwp::config::double_to_json(r.rounds_per_sec));
+  timing.set("latency_p50_s", uwp::config::double_to_json(r.latency_p50_s));
+  timing.set("latency_p99_s", uwp::config::double_to_json(r.latency_p99_s));
+  timing.set("latency_p999_s", uwp::config::double_to_json(r.latency_p999_s));
+
+  Json doc = Json::object();
+  doc.set("name", Json::string(spec.name));
+  doc.set("mode", Json::string(uwp::config::to_string(spec.mode)));
+  doc.set("slo", std::move(slo));
   doc.set("timing", std::move(timing));
   return doc;
 }
@@ -287,14 +443,16 @@ Json fleet_metrics_json(const uwp::fleet::FleetResult& res, Json& timing) {
 }
 
 Json run_fleet(const uwp::config::ScenarioSpec& spec, Json& timing,
-               uwp::telemetry::Collector* telemetry) {
+               uwp::telemetry::Collector* telemetry,
+               uwp::fleet::FleetResult& fleet_out) {
   const uwp::fleet::FleetService service = uwp::config::make_fleet_service(spec);
-  const uwp::fleet::FleetResult res = service.run(nullptr, telemetry);
-  return fleet_metrics_json(res, timing);
+  fleet_out = service.run(nullptr, telemetry);
+  return fleet_metrics_json(fleet_out, timing);
 }
 
 Json run_serve(const uwp::config::ScenarioSpec& spec, Json& timing,
-               uwp::telemetry::Collector* telemetry) {
+               uwp::telemetry::Collector* telemetry,
+               uwp::fleet::FleetResult& fleet_out) {
   uwp::fleet::Server server = uwp::config::make_fleet_server(spec);
   const std::vector<uwp::sim::GroupScenario> workload =
       uwp::config::make_workload(spec);
@@ -326,7 +484,8 @@ Json run_serve(const uwp::config::ScenarioSpec& spec, Json& timing,
   feeder.join();
   if (feed_error != nullptr) std::rethrow_exception(feed_error);
 
-  Json metrics = fleet_metrics_json(res.fleet, timing);
+  fleet_out = std::move(res.fleet);
+  Json metrics = fleet_metrics_json(fleet_out, timing);
   const uwp::fleet::ShaperStats& sh = res.stats.shaper;
   std::printf("ingest: %zu frames, %zu admitted / %zu shed rounds, "
               "%zu defers, schedule %s (%s)\n",
@@ -395,17 +554,28 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const bool telemetry_run = !args.telemetry_path.empty() || spec.telemetry.enabled;
+  if (int rc = probe_writable(args.out_path, "--out")) return rc;
+  if (int rc = probe_writable(args.telemetry_path, "--telemetry-out")) return rc;
+  if (int rc = probe_writable(args.slo_path, "--slo-out")) return rc;
+  if (int rc = probe_writable(args.trace_path, "--trace-spans-out")) return rc;
+
+  const bool telemetry_run = !args.telemetry_path.empty() ||
+                             !args.slo_path.empty() || !args.trace_path.empty() ||
+                             spec.telemetry.enabled;
   if (telemetry_run && spec.mode != uwp::config::RunMode::kFleet &&
       spec.mode != uwp::config::RunMode::kServe) {
-    std::fprintf(stderr, "uwp_run: telemetry is only available in fleet/serve mode\n");
+    std::fprintf(stderr,
+                 "uwp_run: telemetry (and --telemetry-out/--slo-out/"
+                 "--trace-spans-out) is only available in fleet/serve mode\n");
     return 2;
   }
   std::unique_ptr<uwp::telemetry::Collector> collector;
   if (telemetry_run) {
-    // --telemetry-out implies telemetry even when the spec leaves it off.
+    // The output flags imply collection even when the spec leaves it off,
+    // and --trace-spans-out force-enables span recording the same way.
     uwp::telemetry::TelemetryOptions topts = uwp::config::make_telemetry_options(spec);
     topts.enabled = true;
+    if (!args.trace_path.empty()) topts.trace = true;
     collector = std::make_unique<uwp::telemetry::Collector>(topts);
   }
 
@@ -416,6 +586,7 @@ int main(int argc, char** argv) {
   doc.set("mode", Json::string(uwp::config::to_string(spec.mode)));
   Json timing = Json::object();
   Json metrics;
+  uwp::fleet::FleetResult fleet_res;
   try {
     switch (spec.mode) {
       case uwp::config::RunMode::kRound:
@@ -428,10 +599,10 @@ int main(int argc, char** argv) {
         metrics = run_des(spec, timing);
         break;
       case uwp::config::RunMode::kFleet:
-        metrics = run_fleet(spec, timing, collector.get());
+        metrics = run_fleet(spec, timing, collector.get(), fleet_res);
         break;
       case uwp::config::RunMode::kServe:
-        metrics = run_serve(spec, timing, collector.get());
+        metrics = run_serve(spec, timing, collector.get(), fleet_res);
         break;
     }
   } catch (const std::exception& e) {
@@ -442,12 +613,16 @@ int main(int argc, char** argv) {
   doc.set("timing", std::move(timing));
 
   if (collector != nullptr) {
-    uwp::telemetry::TelemetryReport rep = collector->report();
+    // One report drains everything; the telemetry, trace, and SLO documents
+    // are all views over the same drained state.
+    const uwp::telemetry::TelemetryReport rep = collector->report();
     std::printf("telemetry: %zu streams, %llu events (%llu dropped), "
                 "%zu counter windows\n",
                 rep.streams, static_cast<unsigned long long>(rep.events),
                 static_cast<unsigned long long>(rep.dropped),
                 rep.snapshots.size());
+    if (!rep.flight.empty())
+      std::printf("flight recorder: %zu dumps\n", rep.flight.size());
     if (!args.telemetry_path.empty()) {
       std::ofstream tout(args.telemetry_path, std::ios::binary);
       if (!tout) {
@@ -455,8 +630,35 @@ int main(int argc, char** argv) {
                      args.telemetry_path.c_str());
         return 1;
       }
-      tout << uwp::config::write_json(telemetry_report_to_json(spec, std::move(rep)));
+      tout << uwp::config::write_json(telemetry_report_to_json(spec, rep));
       std::printf("telemetry written to %s\n", args.telemetry_path.c_str());
+    }
+    if (!args.trace_path.empty()) {
+      std::ofstream tout(args.trace_path, std::ios::binary);
+      if (!tout) {
+        std::fprintf(stderr, "uwp_run: cannot open %s\n", args.trace_path.c_str());
+        return 1;
+      }
+      uwp::telemetry::write_chrome_trace(tout, rep.trace);
+      std::printf("trace: %zu spans (%llu over cap), structure %s, "
+                  "written to %s\n",
+                  rep.trace.size(),
+                  static_cast<unsigned long long>(rep.trace_dropped),
+                  hex64(uwp::telemetry::trace_structure_digest(rep.trace)).c_str(),
+                  args.trace_path.c_str());
+    }
+    if (!args.slo_path.empty()) {
+      const uwp::telemetry::SloReport slo = uwp::telemetry::build_slo_report(
+          uwp::fleet::make_slo_inputs(fleet_res, &rep));
+      std::ofstream sout(args.slo_path, std::ios::binary);
+      if (!sout) {
+        std::fprintf(stderr, "uwp_run: cannot open %s\n", args.slo_path.c_str());
+        return 1;
+      }
+      sout << uwp::config::write_json(slo_report_to_json(spec, slo));
+      std::printf("slo: %.1f%% localized, error p99 %.3f m, written to %s\n",
+                  100.0 * slo.localized_rate, slo.error.p99,
+                  args.slo_path.c_str());
     }
   }
 
