@@ -16,9 +16,12 @@
 //                    compares to pin the instrumentation overhead (< 3%)
 #include <cstdio>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "bench_flags.hpp"
+#include "control/engine.hpp"
+#include "fleet/server.hpp"
 #include "fleet/service.hpp"
 #include "sim/fleet_workload.hpp"
 #include "sim/metrics.hpp"
@@ -36,6 +39,73 @@ uwp::fleet::FleetResult run_fleet(const std::vector<uwp::sim::GroupScenario>& wo
   fo.shards = shards;
   fo.measure_latency = true;
   return uwp::fleet::FleetService(fo, workload).run(nullptr, telemetry);
+}
+
+// Bursty overload: the served workload arrives faster than the token buckets
+// admit (per-partition rate sized well under the fleet's active-session
+// arrival rate), so the shaper defers and sheds. The control-on run lets the
+// policy engine retune the buckets from the shed/defer counters at window
+// boundaries; control-off serves the same schedule with the static options.
+struct OverloadRun {
+  uwp::fleet::ServerResult res;
+  std::uint64_t control_actions = 0;
+};
+
+OverloadRun run_overload(const std::vector<uwp::sim::GroupScenario>& workload,
+                         std::size_t workers, bool control) {
+  uwp::fleet::ServerOptions so;
+  so.master_seed = 0xF1EE7u;
+  so.workers = workers;
+  so.measure_latency = true;
+  so.shaping.policy = uwp::fleet::AdmissionPolicy::kDefer;
+  // Per-partition bucket sized to ~1/2 of this workload's arrival share, so
+  // the uncontrolled run sheds hard; the tuner can open it up to 4x.
+  const double share =
+      static_cast<double>(workload.size()) / (4.0 * so.shaping.ingest_shards);
+  so.shaping.rate_rounds_per_s = share * 0.5;
+  so.shaping.burst_rounds = share;
+  so.shaping.max_defers = 2;
+
+  uwp::telemetry::TelemetryOptions topts;
+  topts.enabled = control;
+  topts.timing = false;
+  topts.window = 4.0;  // serve stamps seconds; 4 ticks at the default period
+  uwp::telemetry::Collector collector(topts);
+
+  uwp::control::ControlConfig cfg;
+  cfg.enabled = true;
+  cfg.window_ticks = 4;
+  uwp::control::ShardControls baseline;
+  baseline.shaper_rate = so.shaping.rate_rounds_per_s;
+  baseline.shaper_burst = so.shaping.burst_rounds;
+  baseline.shaper_max_defers = so.shaping.max_defers;
+  uwp::control::ControlEngine engine(cfg, baseline);
+
+  uwp::fleet::Server server(so, workload);
+  uwp::fleet::RingBufferTransport transport(256);
+  std::thread feeder([&] {
+    uwp::fleet::feed_workload(transport, workload, so.master_seed, {});
+  });
+  OverloadRun out;
+  try {
+    out.res = server.serve(transport, nullptr, control ? &collector : nullptr,
+                           control ? &engine : nullptr);
+  } catch (...) {
+    transport.close();
+    feeder.join();
+    throw;
+  }
+  feeder.join();
+  out.control_actions = engine.log().actions.size();
+  return out;
+}
+
+double shed_rate(const uwp::fleet::ServerResult& r) {
+  const std::size_t rounds =
+      r.stats.shaper.rounds_admitted + r.stats.shaper.rounds_shed;
+  return rounds == 0
+             ? 0.0
+             : static_cast<double>(r.stats.shaper.rounds_shed) / rounds;
 }
 
 }  // namespace
@@ -94,6 +164,33 @@ int main(int argc, char** argv) {
                static_cast<double>(r.sessions.size()) / rounds);
     report.add_with_rate(std::string(name) + "/run_telemetry", rt.wall_seconds,
                          rt.rounds, rlt.rounds_per_sec);
+
+    // Bursty-overload serve pair: the same shaped schedule with the control
+    // plane off vs on. CI compares shed rates (control must shed less) and
+    // keeps the off run's throughput pinned to the unshaped baseline.
+    const OverloadRun off = run_overload(workload, shards, false);
+    const uwp::sim::RateLatency rlo = uwp::sim::rate_latency(
+        off.res.fleet.rounds, off.res.fleet.wall_seconds,
+        off.res.fleet.round_latency_s);
+    report.add_with_rate(std::string(name) + "/overload_control_off/run",
+                         off.res.fleet.wall_seconds, off.res.fleet.rounds,
+                         rlo.rounds_per_sec);
+    report.add(std::string(name) + "/overload_control_off/shed_rate",
+               shed_rate(off.res));
+    report.add(std::string(name) + "/overload_control_off/round_p99", rlo.p99_s);
+
+    const OverloadRun on = run_overload(workload, shards, true);
+    const uwp::sim::RateLatency rlc = uwp::sim::rate_latency(
+        on.res.fleet.rounds, on.res.fleet.wall_seconds,
+        on.res.fleet.round_latency_s);
+    report.add_with_rate(std::string(name) + "/overload_control_on/run",
+                         on.res.fleet.wall_seconds, on.res.fleet.rounds,
+                         rlc.rounds_per_sec);
+    report.add(std::string(name) + "/overload_control_on/shed_rate",
+               shed_rate(on.res));
+    report.add(std::string(name) + "/overload_control_on/round_p99", rlc.p99_s);
+    report.add(std::string(name) + "/overload_control_on/actions",
+               static_cast<double>(on.control_actions));
     report.add(std::string(name) + "/warm_start_hit_rate", slo.warm_start_hit_rate);
     report.add(std::string(name) + "/slo_localized_rate", slo.localized_rate);
     report.add(std::string(name) + "/slo_error_p50", slo.error.p50);
@@ -146,6 +243,15 @@ int main(int argc, char** argv) {
                     : 100 * service.arena_stats().reuses / service.arena_stats().leases);
     last = std::move(r);
   }
+
+  // Overload pair (see run_overload): how much shed the self-tuning control
+  // plane recovers on the same bursty schedule.
+  const OverloadRun off = run_overload(workload, shards, false);
+  const OverloadRun on = run_overload(workload, shards, true);
+  std::printf(
+      "\nbursty overload: shed %.1f%% static -> %.1f%% controlled (%zu actions)\n",
+      100.0 * shed_rate(off.res), 100.0 * shed_rate(on.res),
+      static_cast<std::size_t>(on.control_actions));
 
   // Accuracy stays what the single-group benches report (the fleet only
   // multiplexes sessions; it never touches the solver math).

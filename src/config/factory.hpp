@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "config/spec.hpp"
+#include "control/policy.hpp"
 #include "des/scenario.hpp"
 #include "fleet/service.hpp"
 #include "sim/deployment.hpp"
@@ -58,5 +59,16 @@ sim::SweepRunner make_sweep(const ScenarioSpec& spec);
 // serve runs stamp frame t_s (tick_period_s per tick), so the serve window
 // is scaled by tick_period_s — same windows on the same virtual timeline.
 telemetry::TelemetryOptions make_telemetry_options(const ScenarioSpec& spec);
+
+// Control-plane config from the control section. The fold's window length
+// is telemetry.window_ticks — the engine consumes the counter plane's own
+// windows, so the two sections cannot be sized apart.
+control::ControlConfig make_control_config(const ScenarioSpec& spec);
+
+// The knob bundle the control fold starts from: shaper fields seeded from
+// fleet.server.options.shaping, everything else at the ShardControls
+// defaults. Pass the same baseline to the live engine and to
+// Replayer::replay for the record→replay pin to hold.
+control::ShardControls make_control_baseline(const ScenarioSpec& spec);
 
 }  // namespace uwp::config

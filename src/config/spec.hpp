@@ -163,6 +163,36 @@ struct TelemetrySpec {
   FlightSpec flight{};
 };
 
+// Control section (fleet/serve modes): the self-tuning control plane
+// (src/control/README.md). When enabled (requires telemetry.enabled), the
+// run folds each closed counter window through the policy chain and applies
+// the resulting knob bundle — arena cache policy/retention, shaper
+// rate/burst/defer budget, solver search threads. The window length is the
+// telemetry window (telemetry.window_ticks); every decision is a pure
+// function of (window index, counter snapshot, this section), so the
+// emitted ControlLog is byte-identical at any shard/worker/thread count.
+struct ControlSpec {
+  bool enabled = false;
+  // Per-policy gates (all pure subsets of the same fold).
+  bool arena = true;
+  bool shaper = true;
+  bool solver = true;
+  // Arena tuner: evictions per window that count as a storm, and the
+  // retention band (free-list entries kept per group size).
+  std::uint64_t evict_storm = 8;
+  std::size_t retain_base = 4;
+  std::size_t retain_max = 64;
+  // Shaper tuner: multiplicative rate step per pressured window and the cap
+  // (baseline rate x multiplier).
+  double rate_step = 1.25;
+  double rate_max_multiplier = 4.0;
+  // Solver tuner: mean solver iterations per round above/below which the
+  // pruned-search thread count doubles/halves.
+  std::uint64_t solver_iters_high = 400;
+  std::uint64_t solver_iters_low = 64;
+  std::size_t max_search_threads = 8;
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   RunMode mode = RunMode::kRound;
@@ -178,6 +208,7 @@ struct ScenarioSpec {
   sim::SweepOptions sweep{};
   FleetSpec fleet{};
   TelemetrySpec telemetry{};
+  ControlSpec control{};
 };
 
 // --- serialization ----------------------------------------------------------

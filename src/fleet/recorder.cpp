@@ -1,8 +1,12 @@
 #include "fleet/recorder.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <iterator>
 #include <stdexcept>
+
+#include "control/engine.hpp"
+#include "telemetry/collector.hpp"
 
 namespace uwp::fleet {
 
@@ -216,30 +220,65 @@ Replayer::Replayer(FleetTrace trace)
       throw WireError("fleet trace: sessions out of order");
 }
 
-Replayer::ReplayResult Replayer::replay() const {
+Replayer::ReplayResult Replayer::replay(telemetry::Collector* telemetry,
+                                        const control::ControlConfig* control,
+                                        const control::ShardControls* baseline) const {
   ReplayResult out;
   std::vector<SessionMetrics> metrics(trace_.sessions.size());
+
+  telemetry::Collector* const col =
+      telemetry != nullptr && telemetry->enabled() ? telemetry : nullptr;
+  if (control != nullptr && col == nullptr)
+    throw std::invalid_argument(
+        "Replayer: control re-execution requires enabled telemetry");
+  if (col != nullptr) col->open(1);
+  telemetry::ShardStream* const tel = col != nullptr ? &col->stream(0) : nullptr;
 
   pipeline::RoundMeasurement meas;
   RoundRecord recorded, recomputed;
   for (std::size_t id = 0; id < trace_.sessions.size(); ++id) {
     const sim::GroupScenario& sc = workload_[id];
     pipeline::RoundPipeline pipe(pipeline_options_for(sc));
+    pipe.set_telemetry(tel);
     uwp::Rng solve_rng(session_stream_seed(trace_.master_seed, id, kSolverStream));
 
     SessionMetrics& m = metrics[id];
     m.session_id = id;
     m.kind = sc.kind;
 
+    // The counter-plane mirror of the live tick loop: the session's i-th
+    // coast/measurement event happened at tick admit_tick + i, and the
+    // admit (with its arena lease) rode the first event's tick, the evict
+    // the last one's. Counter pages are per-window sums, so replaying the
+    // sessions one by one rebuilds the same pages the interleaved live
+    // schedule produced.
+    std::size_t event_index = 0;
+    bool admitted = false;
+    const auto stamp = [&]() {
+      if (tel == nullptr) return;
+      tel->set_time(static_cast<double>(sc.admit_tick + event_index));
+      if (!admitted) {
+        tel->count(telemetry::Counter::kArenaLeases);
+        tel->count(telemetry::Counter::kAdmits);
+        tel->count(telemetry::Counter::kAdmitDevices, sc.scene.protocol.num_devices);
+      }
+      admitted = true;
+    };
+
     bool have_round = false;  // a run_round result awaiting its record frame
     for (const TraceEvent& ev : trace_.sessions[id].events) {
       switch (ev.kind) {
         case FrameKind::kCoast:
+          stamp();
+          ++event_index;
           pipe.coast(ev.dt_s);
           m.note_coast();
+          if (tel != nullptr) tel->count(telemetry::Counter::kCoasts);
           have_round = false;
           break;
         case FrameKind::kMeasurement: {
+          stamp();
+          ++event_index;
           std::size_t pos = 0;
           decode_measurement(ev.payload, pos, meas);
           // Each record is only internally consistent; the pipeline indexes
@@ -268,6 +307,33 @@ Replayer::ReplayResult Replayer::replay() const {
         }
       }
     }
+    if (tel != nullptr && admitted) {
+      // Eviction is implicit in the trace: it happened on the last event's
+      // tick (the live scheduler checks lifetime exhaustion after the
+      // event), whose time is still the stream's current window.
+      tel->count(telemetry::Counter::kEvicts);
+      tel->count(telemetry::Counter::kEvictDevices, sc.scene.protocol.num_devices);
+    }
+  }
+
+  if (control != nullptr) {
+    // Re-execute the control fold offline over the rebuilt counter plane.
+    // The window count is the live fleet's: ceil(total_ticks / window_ticks)
+    // with total_ticks from the regenerated workload — the same pure
+    // function of the workload the live run used. The collector must carry
+    // the live run's window length for the pages to line up.
+    const std::size_t window_ticks = std::max<std::size_t>(1, control->window_ticks);
+    std::size_t total_ticks = 0;
+    for (const sim::GroupScenario& sc : workload_)
+      total_ticks = std::max(total_ticks, sc.admit_tick + sc.lifetime_rounds);
+    const std::uint64_t n_windows =
+        total_ticks == 0 ? 0 : (total_ticks + window_ticks - 1) / window_ticks;
+    std::vector<telemetry::Snapshot> snaps;
+    snaps.reserve(static_cast<std::size_t>(n_windows));
+    for (std::uint64_t w = 0; w < n_windows; ++w)
+      snaps.push_back(col->window_snapshot(w));
+    out.control_log = control::ControlEngine::reexecute(
+        *control, baseline != nullptr ? *baseline : control::ShardControls{}, snaps);
   }
 
   out.fleet = finalize_fleet_result(std::move(metrics));

@@ -1,11 +1,15 @@
 #include "fleet/server.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "control/engine.hpp"
 #include "fleet/recorder.hpp"
 #include "telemetry/collector.hpp"
 #include "util/thread_pool.hpp"
@@ -14,11 +18,15 @@ namespace uwp::fleet {
 
 namespace {
 
-// One admitted-or-shed frame on its way to a worker.
+// One admitted-or-shed frame on its way to a worker — or, when `control` is
+// set, a knob-bundle broadcast from the ingest loop's control boundary (the
+// frame fields are unused then).
 struct WorkItem {
   IngestFrame frame;
   bool shed = false;
-  double enq_ts = 0.0;  // trace clock at enqueue (0 when not tracing)
+  double enq_ts = 0.0;   // trace clock at enqueue (0 when not tracing)
+  double decide_s = 0.0;  // virtual time of the shaper's final verdict
+  std::shared_ptr<const control::ShardControls> control;
 };
 
 // A session's serving-side state, owned by exactly one worker (sessions map
@@ -44,24 +52,41 @@ Server::Server(const ServerOptions& opts, std::vector<sim::GroupScenario> worklo
 }
 
 ServerResult Server::serve(Transport& transport, SessionRecorder* recorder,
-                           telemetry::Collector* telemetry) {
+                           telemetry::Collector* telemetry,
+                           control::ControlEngine* engine) {
   const auto wall0 = std::chrono::steady_clock::now();
   const std::size_t workers = ThreadPool::resolve_thread_count(opts_.workers);
 
-  // Stream 0 is the ingest loop, streams 1..workers the worker loops.
+  // Stream 0 is the ingest loop, streams 1..workers the worker loops, and
+  // (with control on) stream workers + 1 the engine.
   telemetry::Collector* const col =
       telemetry != nullptr && telemetry->enabled() ? telemetry : nullptr;
-  if (col != nullptr) col->open(workers + 1);
+  if (engine != nullptr && col == nullptr)
+    throw std::invalid_argument("Server: control requires enabled telemetry");
+  if (col != nullptr) col->open(workers + 1 + (engine != nullptr ? 1 : 0));
+  // The boundary length in virtual seconds is the collector's window (the
+  // telemetry factory already scaled it by the tick period for serve mode).
+  const double window_s = engine != nullptr ? col->options().window : 0.0;
+  if (engine != nullptr && !(window_s > 0.0))
+    throw std::invalid_argument("Server: control requires a positive telemetry window");
+  if (engine != nullptr)
+    engine->bind_stream(&col->stream(workers + 1), window_s);
 
   std::vector<std::unique_ptr<BoundedQueue<WorkItem>>> queues;
   queues.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w)
     queues.push_back(std::make_unique<BoundedQueue<WorkItem>>(opts_.queue_depth));
 
-  // Per-worker outputs, merged in worker order after the join.
+  // Per-worker outputs, merged in worker order after the join. `processed`
+  // counters pair with the ingest loop's private dispatched counts to form
+  // the boundary barrier: a worker publishes each consumed item with a
+  // release increment, and the ingest loop's acquire spin at a window
+  // boundary is the happens-before edge that makes the closed window's
+  // counter pages safe to merge.
   std::vector<std::vector<std::unique_ptr<WorkerSession>>> states(workers);
   std::vector<std::vector<double>> latencies(workers);
   std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::atomic<std::uint64_t>> processed(workers);
 
   auto worker_body = [&](std::size_t w) {
     std::vector<std::unique_ptr<WorkerSession>>& mine = states[w];
@@ -71,94 +96,123 @@ ServerResult Server::serve(Transport& transport, SessionRecorder* recorder,
     arena.set_telemetry(tel);
     std::vector<double>* lat = opts_.measure_latency ? &latencies[w] : nullptr;
 
+    const auto process = [&](WorkItem& item) {
+      if (item.control != nullptr) {
+        // Knob broadcast from a control boundary: retune the arena and the
+        // live pipelines. All of these are result-neutral.
+        arena.set_controls(*item.control);
+        for (std::unique_ptr<WorkerSession>& slot : mine)
+          if (slot != nullptr && slot->active && slot->rt != nullptr)
+            slot->rt->pipe.set_search_threads(item.control->search_threads);
+        return;
+      }
+      const std::uint64_t id = item.frame.session_id;
+      const sim::GroupScenario& sc = workload_[static_cast<std::size_t>(id)];
+      std::unique_ptr<WorkerSession>& slot = mine[static_cast<std::size_t>(id)];
+      if (slot == nullptr) {
+        slot = std::make_unique<WorkerSession>();
+        slot->solve_rng =
+            uwp::Rng(session_stream_seed(opts_.master_seed, id, kSolverStream));
+        slot->metrics.session_id = id;
+        slot->metrics.kind = sc.kind;
+      }
+      WorkerSession& s = *slot;
+      // Counter windows key off the frame's virtual decision time (its own
+      // t_s unless the shaper deferred it), which is what makes the
+      // counters section worker-count invariant — and what guarantees a
+      // frame's counters land in the window its verdict belongs to, so the
+      // boundary barrier sees every closed window complete.
+      if (tel != nullptr) tel->set_time(item.decide_s);
+
+      if (item.frame.kind == IngestKind::kBye) {
+        if (s.active) {
+          arena.release(std::move(s.rt));
+          s.active = false;
+          if (recorder != nullptr) recorder->on_evict(id);
+          if (tel != nullptr) {
+            tel->count(telemetry::Counter::kEvicts);
+            tel->count(telemetry::Counter::kEvictDevices,
+                       sc.scene.protocol.num_devices);
+          }
+        }
+        return;
+      }
+
+      if (!s.active) {
+        s.rt = arena.lease(pipeline_options_for(sc));
+        s.rt->pipe.set_telemetry(tel);
+        s.active = true;
+        if (recorder != nullptr) recorder->on_admit(sc);
+        if (tel != nullptr) {
+          tel->count(telemetry::Counter::kAdmits);
+          tel->count(telemetry::Counter::kAdmitDevices,
+                     sc.scene.protocol.num_devices);
+        }
+      }
+
+      if (item.frame.kind == IngestKind::kCoast || item.shed) {
+        // Device-side dropout and server-side shed land in the same
+        // place: the tracker coasts, and the trace records a coast.
+        s.rt->pipe.coast(item.frame.dt_s);
+        s.metrics.note_coast();
+        if (recorder != nullptr) recorder->on_coast(id, item.frame.dt_s);
+        if (tel != nullptr) tel->count(telemetry::Counter::kCoasts);
+        return;
+      }
+
+      if (tel != nullptr && tel->trace_enabled()) {
+        // Close the causal chain: queue residency (enqueue -> this pop)
+        // under the ingest span, then arm the pipeline for the round.
+        const std::uint64_t trace_id =
+            telemetry::make_trace_id(id, item.frame.round);
+        tel->trace_span(trace_id, telemetry::TraceOp::kQueue,
+                        telemetry::TraceOp::kIngest, item.enq_ts);
+        s.rt->pipe.set_trace(trace_id);
+      }
+
+      std::size_t pos = 0;
+      decode_measurement(item.frame.payload, pos, s.rt->meas);
+      // A frame is only internally consistent; the pipeline indexes by
+      // the scenario's device count, so a mismatched frame must be
+      // rejected here, not read out of bounds downstream.
+      if (s.rt->meas.protocol.timestamps.rows() != sc.scene.protocol.num_devices)
+        throw WireError("ingest: measurement device count != session's");
+      if (recorder != nullptr)
+        recorder->on_measurement(id, item.frame.round, item.frame.dt_s, s.rt->meas);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const pipeline::RoundOutput& out =
+          s.rt->pipe.run_round(s.rt->meas, s.solve_rng, item.frame.dt_s);
+      if (lat != nullptr)
+        lat->push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count());
+
+      s.metrics.note_round(out);
+      if (recorder != nullptr) {
+        s.scratch.round = item.frame.round;
+        s.scratch.localized = out.localized;
+        s.scratch.normalized_stress =
+            out.localized ? out.localization.normalized_stress : 0.0;
+        s.scratch.error_2d = out.error_2d;
+        s.scratch.tracked_error_2d = out.tracked_error_2d;
+        recorder->on_round_result(id, s.scratch);
+      }
+    };
+
     WorkItem item;
     while (queues[w]->pop(item)) {
-      if (errors[w] != nullptr) continue;  // failed: drain without processing
-      try {
-        const std::uint64_t id = item.frame.session_id;
-        const sim::GroupScenario& sc = workload_[static_cast<std::size_t>(id)];
-        std::unique_ptr<WorkerSession>& slot = mine[static_cast<std::size_t>(id)];
-        if (slot == nullptr) {
-          slot = std::make_unique<WorkerSession>();
-          slot->solve_rng =
-              uwp::Rng(session_stream_seed(opts_.master_seed, id, kSolverStream));
-          slot->metrics.session_id = id;
-          slot->metrics.kind = sc.kind;
+      if (errors[w] == nullptr) {  // failed: drain without processing
+        try {
+          process(item);
+        } catch (...) {
+          errors[w] = std::current_exception();
         }
-        WorkerSession& s = *slot;
-        // Counter windows key off the frame's own virtual time, which is
-        // what makes the counters section worker-count invariant.
-        if (tel != nullptr) tel->set_time(item.frame.t_s);
-
-        if (item.frame.kind == IngestKind::kBye) {
-          if (s.active) {
-            arena.release(std::move(s.rt));
-            s.active = false;
-            if (recorder != nullptr) recorder->on_evict(id);
-            if (tel != nullptr) tel->count(telemetry::Counter::kEvicts);
-          }
-          continue;
-        }
-
-        if (!s.active) {
-          s.rt = arena.lease(pipeline_options_for(sc));
-          s.rt->pipe.set_telemetry(tel);
-          s.active = true;
-          if (recorder != nullptr) recorder->on_admit(sc);
-          if (tel != nullptr) tel->count(telemetry::Counter::kAdmits);
-        }
-
-        if (item.frame.kind == IngestKind::kCoast || item.shed) {
-          // Device-side dropout and server-side shed land in the same
-          // place: the tracker coasts, and the trace records a coast.
-          s.rt->pipe.coast(item.frame.dt_s);
-          s.metrics.note_coast();
-          if (recorder != nullptr) recorder->on_coast(id, item.frame.dt_s);
-          if (tel != nullptr) tel->count(telemetry::Counter::kCoasts);
-          continue;
-        }
-
-        if (tel != nullptr && tel->trace_enabled()) {
-          // Close the causal chain: queue residency (enqueue -> this pop)
-          // under the ingest span, then arm the pipeline for the round.
-          const std::uint64_t trace_id =
-              telemetry::make_trace_id(id, item.frame.round);
-          tel->trace_span(trace_id, telemetry::TraceOp::kQueue,
-                          telemetry::TraceOp::kIngest, item.enq_ts);
-          s.rt->pipe.set_trace(trace_id);
-        }
-
-        std::size_t pos = 0;
-        decode_measurement(item.frame.payload, pos, s.rt->meas);
-        // A frame is only internally consistent; the pipeline indexes by
-        // the scenario's device count, so a mismatched frame must be
-        // rejected here, not read out of bounds downstream.
-        if (s.rt->meas.protocol.timestamps.rows() != sc.scene.protocol.num_devices)
-          throw WireError("ingest: measurement device count != session's");
-        if (recorder != nullptr)
-          recorder->on_measurement(id, item.frame.round, item.frame.dt_s, s.rt->meas);
-
-        const auto t0 = std::chrono::steady_clock::now();
-        const pipeline::RoundOutput& out =
-            s.rt->pipe.run_round(s.rt->meas, s.solve_rng, item.frame.dt_s);
-        if (lat != nullptr)
-          lat->push_back(
-              std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-                  .count());
-
-        s.metrics.note_round(out);
-        if (recorder != nullptr) {
-          s.scratch.round = item.frame.round;
-          s.scratch.localized = out.localized;
-          s.scratch.normalized_stress =
-              out.localized ? out.localization.normalized_stress : 0.0;
-          s.scratch.error_2d = out.error_2d;
-          s.scratch.tracked_error_2d = out.tracked_error_2d;
-          recorder->on_round_result(id, s.scratch);
-        }
-      } catch (...) {
-        errors[w] = std::current_exception();
       }
+      // Publish the consumption — after every side effect — so the ingest
+      // loop's boundary barrier can acquire the counter pages this item
+      // touched. Counted even on the drain path to keep the barrier live.
+      processed[w].fetch_add(1, std::memory_order_release);
     }
   };
 
@@ -169,15 +223,55 @@ ServerResult Server::serve(Transport& transport, SessionRecorder* recorder,
   telemetry::ShardStream* const ingest_tel = col != nullptr ? &col->stream(0) : nullptr;
   IngestScheduler scheduler(opts_.shaping, workload_.size());
   scheduler.set_telemetry(ingest_tel);
-  const IngestScheduler::Dispatch dispatch = [&](IngestFrame&& f, bool shed) {
+  // Ingest-thread private: items pushed per queue, paired with `processed`
+  // at boundary barriers.
+  std::vector<std::uint64_t> dispatched(workers, 0);
+  const IngestScheduler::Dispatch dispatch = [&](IngestFrame&& f, bool shed,
+                                                 double decide_s) {
     const std::size_t w = static_cast<std::size_t>(f.session_id) % workers;
     if (ingest_tel != nullptr)
       ingest_tel->sample(telemetry::Sample::kQueueDepth,
                          static_cast<double>(queues[w]->size()));
-    WorkItem item{std::move(f), shed};
+    WorkItem item;
+    item.frame = std::move(f);
+    item.shed = shed;
+    item.decide_s = decide_s;
     if (ingest_tel != nullptr && ingest_tel->trace_enabled())
       item.enq_ts = ingest_tel->trace_now();
     queues[w]->push(std::move(item));
+    ++dispatched[w];
+  };
+
+  // The serve-side control loop. Before feeding an arrival at or past a
+  // window boundary: resolve every retry due by the boundary (so the
+  // closing window's verdicts are final), quiesce the workers, fold the
+  // window into the engine, retune the shaper in place, and broadcast the
+  // new knob bundle to every worker queue. Every step keys off the frames'
+  // virtual clock, so the ControlLog is a pure function of the ingest
+  // schedule — byte-identical at any worker count. The boundary times are
+  // computed as (window + 1) * window_s (multiplied, never accumulated) so
+  // verify_ingest_schedule's re-run hits bit-identical boundaries.
+  std::uint64_t closing = 0;  // window index the next boundary closes
+  double next_boundary = window_s;
+  const auto cross_boundaries = [&](double arrival_s) {
+    while (arrival_s >= next_boundary) {
+      scheduler.flush_until(next_boundary, dispatch);
+      for (std::size_t w = 0; w < workers; ++w)
+        while (processed[w].load(std::memory_order_acquire) < dispatched[w])
+          std::this_thread::yield();
+      const std::uint64_t w_closed = closing++;
+      engine->observe_window(w_closed, col->window_snapshot(w_closed));
+      const control::ShardControls& c = engine->controls();
+      scheduler.retune(c.shaper_rate, c.shaper_burst, c.shaper_max_defers);
+      auto bundle = std::make_shared<const control::ShardControls>(c);
+      for (std::size_t w = 0; w < workers; ++w) {
+        WorkItem item;
+        item.control = bundle;
+        queues[w]->push(std::move(item));
+        ++dispatched[w];
+      }
+      next_boundary = static_cast<double>(closing + 1) * window_s;
+    }
   };
 
   ServerResult out;
@@ -192,6 +286,7 @@ ServerResult Server::serve(Transport& transport, SessionRecorder* recorder,
       const double trace_ts0 = tracing ? ingest_tel->trace_now() : 0.0;
       telemetry::SpanTimer span(ingest_tel, telemetry::Stage::kIngest);
       decode_ingest_frame(bytes, frame);
+      if (engine != nullptr) cross_boundaries(frame.t_s);
       // Trace root of the serve-side chain: one kIngest span per
       // measurement frame covering decode + the shaper's verdict, tagged
       // before on_frame consumes the frame.
@@ -222,6 +317,22 @@ ServerResult Server::serve(Transport& transport, SessionRecorder* recorder,
   for (const std::exception_ptr& e : errors)
     if (e != nullptr) std::rethrow_exception(e);
 
+  // Observe the trailing windows (the join above is the barrier). The window
+  // count is derived from the schedule's last decide time — a pure function
+  // of the ingest schedule, never of page-count bookkeeping, so
+  // ControlLog::windows_observed is worker-count invariant.
+  if (engine != nullptr && !scheduler.schedule().empty()) {
+    double last_decide = 0.0;
+    for (const IngestRecord& r : scheduler.schedule())
+      last_decide = std::max(last_decide, r.decide_s);
+    const std::uint64_t n_windows =
+        static_cast<std::uint64_t>(last_decide / window_s) + 1;
+    while (closing < n_windows) {
+      engine->observe_window(closing, col->window_snapshot(closing));
+      ++closing;
+    }
+  }
+
   // Merge per-session metrics in id order: bit-identical for any worker
   // count by construction.
   std::vector<SessionMetrics> metrics(workload_.size());
@@ -249,7 +360,10 @@ ServerResult Server::serve(Transport& transport, SessionRecorder* recorder,
   out.schedule = scheduler.take_schedule();
   out.schedule_digest = ingest_schedule_digest(out.schedule);
   out.stats.schedule_mismatches =
-      verify_ingest_schedule(out.schedule, opts_.shaping, workload_.size());
+      engine != nullptr
+          ? verify_ingest_schedule(out.schedule, opts_.shaping, workload_.size(),
+                                   engine->log().actions, window_s)
+          : verify_ingest_schedule(out.schedule, opts_.shaping, workload_.size());
   return out;
 }
 

@@ -40,6 +40,10 @@
 #include "fleet/shaper.hpp"
 #include "fleet/transport.hpp"
 
+namespace uwp::control {
+class ControlEngine;
+}
+
 namespace uwp::fleet {
 
 // --- bounded dispatch queue -------------------------------------------------
@@ -143,12 +147,22 @@ class Server {
   // fleet::Replayer. `telemetry`, when set and enabled, is opened with
   // workers + 1 streams: stream 0 is the ingest loop (shaper verdicts on
   // the virtual clock, dispatch-queue depth samples), streams 1..workers
-  // the worker loops (frame counters keyed by the frame's own t_s, stage
-  // spans) — so the counters section is invariant to the worker count.
-  // Throws WireError on malformed frames or unknown session ids (the
-  // transport is closed first so producers unblock).
+  // the worker loops (frame counters keyed by each frame's virtual decision
+  // time, stage spans) — so the counters section is invariant to the worker
+  // count. `engine`, when set (requires enabled telemetry — throws
+  // std::invalid_argument otherwise), gets stream workers + 1 and runs the
+  // control loop: at every telemetry-window boundary of the virtual clock
+  // the ingest loop flushes due retries, quiesces the workers (a
+  // dispatched-vs-processed barrier — the happens-before edge for the
+  // closed window's counter pages), folds the window into the engine,
+  // retunes the shaper in place, and broadcasts the knob bundle to every
+  // worker queue. Decisions depend only on the virtual clock, so the
+  // ControlLog is worker-count invariant. Throws WireError on malformed
+  // frames or unknown session ids (the transport is closed first so
+  // producers unblock).
   ServerResult serve(Transport& transport, SessionRecorder* recorder = nullptr,
-                     telemetry::Collector* telemetry = nullptr);
+                     telemetry::Collector* telemetry = nullptr,
+                     control::ControlEngine* engine = nullptr);
 
   const ServerOptions& options() const { return opts_; }
 

@@ -21,6 +21,10 @@ class Collector;
 struct TelemetryReport;
 }
 
+namespace uwp::control {
+class ControlEngine;
+}
+
 namespace uwp::fleet {
 
 class SessionRecorder;  // recorder.hpp
@@ -59,16 +63,28 @@ class FleetService {
   // service's workload). `telemetry`, when given and enabled, is opened
   // with one stream per shard; counter events carry the tick as virtual
   // time, so the collector's counters section is bit-identical at any shard
-  // count. Thread-safe internally; call from one thread.
+  // count. `engine`, when given (requires enabled telemetry — throws
+  // std::invalid_argument otherwise), turns the run into window-length
+  // chunks: at each window boundary every shard quiesces, the engine folds
+  // the closed window's merged counter snapshot, and the resulting knob
+  // bundle is applied to every shard before the next chunk. All fleet-side
+  // knobs are result-neutral, so FleetResult stays bit-identical to the
+  // uncontrolled run and across shard counts; the ControlLog is likewise
+  // shard-count invariant. Thread-safe internally; call from one thread.
   FleetResult run(SessionRecorder* recorder = nullptr,
-                  telemetry::Collector* telemetry = nullptr) const;
+                  telemetry::Collector* telemetry = nullptr,
+                  control::ControlEngine* engine = nullptr) const;
 
   // Arena accounting of the last run (summed over shards): how many session
-  // admissions there were and how many were served by rebinding an evicted
-  // session's warm pipeline instead of allocating a fresh one.
+  // admissions there were, how many were served by rebinding an evicted
+  // session's warm pipeline instead of allocating a fresh one, and the
+  // free-list hit/miss split underneath (hits == reuses; misses are cold
+  // constructions).
   struct ArenaStats {
     std::size_t leases = 0;
     std::size_t reuses = 0;
+    std::size_t free_hits = 0;
+    std::size_t free_misses = 0;
   };
   const ArenaStats& arena_stats() const { return arena_stats_; }
 

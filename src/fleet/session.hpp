@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "control/actions.hpp"
 #include "des/mobility.hpp"
 #include "fleet/wire.hpp"
 #include "pipeline/batch_plane.hpp"
@@ -102,9 +103,11 @@ FleetResult finalize_fleet_result(std::vector<SessionMetrics> sessions);
 // --- arena ------------------------------------------------------------------
 
 // One leased runtime slot: a pipeline plus the measurement buffer it churns.
+// `arena_reuses` counts free-list round trips (the arena's LFU key).
 struct SessionRuntime {
   pipeline::RoundPipeline pipe;
   pipeline::RoundMeasurement meas;
+  std::uint64_t arena_reuses = 0;
 
   explicit SessionRuntime(const pipeline::PipelineOptions& opts) : pipe(opts) {}
 };
@@ -114,6 +117,13 @@ struct SessionRuntime {
 // instead of reallocated, so steady-state churn performs near-zero heap
 // allocation inside the solver stack. Single-threaded by construction (one
 // arena per shard, shards never share sessions).
+//
+// The free lists are the control plane's cache: set_controls() switches the
+// replacement policy (LRU exact-LIFO, the historical default; LFU
+// most-reused-first; cost-aware near-size rebinds) and caps per-size
+// retention. Every knob is result-neutral — a leased pipeline is rebound to
+// the requested options either way, so FleetResult cannot tell policies
+// apart; only reuse rates and wall-clock change.
 class ShardArena {
  public:
   std::unique_ptr<SessionRuntime> lease(const pipeline::PipelineOptions& opts);
@@ -122,15 +132,46 @@ class ShardArena {
   std::size_t leases() const { return leases_; }
   std::size_t reuses() const { return reuses_; }
 
+  // Apply a control-plane knob bundle: cache policy, per-size retention
+  // (trimming oversized free lists immediately, oldest first), and the
+  // search_threads applied to every subsequently leased pipeline.
+  void set_controls(const control::ShardControls& controls);
+  const control::ShardControls& controls() const { return controls_; }
+
+  // Per-group-size free-list accounting (hits/misses/summed |size delta|
+  // paid on near-size rebinds), for tests and offline tuning.
+  struct SizeStats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t rebind_cost = 0;
+  };
+  const std::vector<SizeStats>& size_stats() const { return stats_by_size_; }
+
   // Attach the owning shard's telemetry stream (nullptr = off). lease()
   // then counts every lease (deterministic: leases == admissions) and
-  // samples free-list hits (run-varying: reuse depends on the shard's own
-  // eviction interleaving, so it stays out of the counters plane).
+  // samples free-list hits/misses and rebind costs (run-varying: reuse
+  // depends on the shard's own eviction interleaving, so it stays out of
+  // the counters plane).
   void set_telemetry(telemetry::ShardStream* stream) { telemetry_ = stream; }
 
  private:
+  // One retained runtime: `seq` orders releases (LRU evicts the smallest,
+  // LFU tie-breaks toward the largest), `reuses` counts free-list round
+  // trips (the LFU key).
+  struct FreeSlot {
+    std::unique_ptr<SessionRuntime> rt;
+    std::uint64_t seq = 0;
+    std::uint64_t reuses = 0;
+  };
+
+  std::unique_ptr<SessionRuntime> take(std::size_t size, std::size_t slot);
+  SizeStats& stats_for(std::size_t size);
+
   // Group sizes are tiny integers; a flat per-size free list beats a map.
-  std::vector<std::vector<std::unique_ptr<SessionRuntime>>> free_by_size_;
+  std::vector<std::vector<FreeSlot>> free_by_size_;
+  std::vector<SizeStats> stats_by_size_;
+  control::ShardControls controls_;
+  std::uint64_t next_seq_ = 0;
   std::size_t leases_ = 0;
   std::size_t reuses_ = 0;
   telemetry::ShardStream* telemetry_ = nullptr;
@@ -223,6 +264,10 @@ class Session {
   void finish_tick(const pipeline::BatchSlot& slot, ShardArena& arena,
                    SessionRecorder* recorder, std::vector<double>* latencies,
                    telemetry::ShardStream* telemetry = nullptr);
+
+  // Apply the control plane's result-neutral pipeline knobs to a live
+  // session (no-op unless active). Called at control-window boundaries.
+  void apply_controls(const control::ShardControls& controls);
 
  private:
   void admit(ShardArena& arena, SessionRecorder* recorder,

@@ -79,6 +79,12 @@ void TokenBucketShaper::advance(Partition& p, double t_s) {
   }
 }
 
+void TokenBucketShaper::retune(double rate_rounds_per_s, double burst_rounds) {
+  opts_.rate_rounds_per_s = rate_rounds_per_s;
+  opts_.burst_rounds = burst_rounds;
+  for (Partition& p : partitions_) p.tokens = std::min(p.tokens, burst_rounds);
+}
+
 bool TokenBucketShaper::try_admit(std::size_t partition, double t_s) {
   Partition& p = partitions_[partition % partitions_.size()];
   advance(p, t_s);
@@ -129,7 +135,7 @@ bool IngestScheduler::resolve(Pending& p, double t_s, const Dispatch& dispatch) 
                               : telemetry::Counter::kIngestShed);
     }
   }
-  dispatch(std::move(p.frame), !admit);
+  dispatch(std::move(p.frame), !admit, t_s);
   return true;
 }
 
@@ -194,15 +200,83 @@ void IngestScheduler::on_frame(IngestFrame f, const Dispatch& dispatch) {
   }
 }
 
+void IngestScheduler::flush_until(double now_s, const Dispatch& dispatch) {
+  flush(now_s, dispatch);
+}
+
+void IngestScheduler::retune(double rate_rounds_per_s, double burst_rounds,
+                             std::size_t max_defers) {
+  opts_.rate_rounds_per_s = rate_rounds_per_s;
+  opts_.burst_rounds = burst_rounds;
+  opts_.max_defers = max_defers;
+  shaper_.retune(rate_rounds_per_s, burst_rounds);
+}
+
 void IngestScheduler::finish(const Dispatch& dispatch) {
   flush(std::numeric_limits<double>::infinity(), dispatch);
 }
 
+namespace {
+
+std::size_t schedule_mismatches(std::span<const IngestRecord> recorded,
+                                const std::vector<IngestRecord>& recomputed) {
+  std::size_t mismatches =
+      recomputed.size() > recorded.size() ? recomputed.size() - recorded.size() : 0;
+  const std::size_t n = std::min(recomputed.size(), recorded.size());
+  mismatches += recorded.size() - n;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!bit_equal(recorded[i], recomputed[i])) ++mismatches;
+  return mismatches;
+}
+
+}  // namespace
+
 std::size_t verify_ingest_schedule(std::span<const IngestRecord> recorded,
                                    const ShaperOptions& opts, std::size_t sessions) {
+  return verify_ingest_schedule(recorded, opts, sessions, {}, 0.0);
+}
+
+std::size_t verify_ingest_schedule(std::span<const IngestRecord> recorded,
+                                   const ShaperOptions& opts, std::size_t sessions,
+                                   std::span<const control::ControlAction> actions,
+                                   double window_s) {
   IngestScheduler scheduler(opts, sessions);
-  const IngestScheduler::Dispatch noop = [](IngestFrame&&, bool) {};
+  const IngestScheduler::Dispatch noop = [](IngestFrame&&, bool, double) {};
+
+  // Re-apply the log's shaper retunes exactly as the live ingest loop did:
+  // before feeding the first arrival at or past a window boundary, flush
+  // retries due by the boundary and retune from the actions logged for the
+  // window that just closed. Fold actions in order into a running knob
+  // bundle so a boundary with no logged change retunes to the same values
+  // it already had (a no-op, exactly as live).
+  double rate = opts.rate_rounds_per_s;
+  double burst = opts.burst_rounds;
+  std::size_t max_defers = opts.max_defers;
+  std::size_t ai = 0;
+  std::uint64_t closing = 0;  // window index the next boundary closes
+  double next_boundary = window_s;
+  const auto cross_boundaries = [&](double arrival_s) {
+    if (window_s <= 0.0) return;
+    while (arrival_s >= next_boundary) {
+      scheduler.flush_until(next_boundary, noop);
+      const std::uint64_t w = closing++;
+      for (; ai < actions.size() && actions[ai].window <= w; ++ai) {
+        const control::ControlAction& a = actions[ai];
+        if (a.kind == control::ActionKind::kShaperRate) rate = a.value;
+        else if (a.kind == control::ActionKind::kShaperBurst) burst = a.value;
+        else if (a.kind == control::ActionKind::kShaperMaxDefers)
+          max_defers = static_cast<std::size_t>(a.value);
+      }
+      scheduler.retune(rate, burst, max_defers);
+      // Multiply, don't accumulate: the live ingest loop computes each
+      // boundary as (window + 1) * window_s, and the verifier must hit
+      // bit-identical boundary times.
+      next_boundary = static_cast<double>(closing + 1) * window_s;
+    }
+  };
+
   for (const IngestRecord& rec : recorded) {
+    cross_boundaries(rec.arrival_s);
     IngestFrame f;
     f.kind = rec.kind;
     f.session_id = rec.session_id;
@@ -211,15 +285,7 @@ std::size_t verify_ingest_schedule(std::span<const IngestRecord> recorded,
     scheduler.on_frame(std::move(f), noop);
   }
   scheduler.finish(noop);
-
-  const std::vector<IngestRecord>& recomputed = scheduler.schedule();
-  std::size_t mismatches =
-      recomputed.size() > recorded.size() ? recomputed.size() - recorded.size() : 0;
-  const std::size_t n = std::min(recomputed.size(), recorded.size());
-  mismatches += recorded.size() - n;
-  for (std::size_t i = 0; i < n; ++i)
-    if (!bit_equal(recorded[i], recomputed[i])) ++mismatches;
-  return mismatches;
+  return schedule_mismatches(recorded, scheduler.schedule());
 }
 
 }  // namespace uwp::fleet

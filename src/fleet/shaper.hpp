@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "control/actions.hpp"
 #include "fleet/transport.hpp"
 
 namespace uwp::telemetry {
@@ -102,6 +103,12 @@ class TokenBucketShaper {
   // `partition` at virtual time `t_s`. Mutates state on success.
   bool try_admit(std::size_t partition, double t_s);
 
+  // Control-plane retune: swap the refill rate and bucket depth mid-run,
+  // clamping each partition's tokens to the new depth. Deterministic as
+  // long as the caller invokes it at virtual-time-defined points (the
+  // ingest loop does so at control-window boundaries).
+  void retune(double rate_rounds_per_s, double burst_rounds);
+
   // Peak modeled occupancy seen across all partitions (deterministic).
   double peak_occupancy() const { return peak_occupancy_; }
 
@@ -139,14 +146,30 @@ struct ShaperStats {
 class IngestScheduler {
  public:
   // Dispatch: hand an admitted (shed = false) or shed (shed = true) frame
-  // to execution. Called in decision order.
-  using Dispatch = std::function<void(IngestFrame&&, bool shed)>;
+  // to execution, with the virtual time of the final decision. Called in
+  // decision order; decide_s is what worker-side telemetry stamps, so a
+  // frame's counters land in the window its verdict belongs to.
+  using Dispatch =
+      std::function<void(IngestFrame&&, bool shed, double decide_s)>;
 
   IngestScheduler(const ShaperOptions& opts, std::size_t sessions);
 
   // Feed the next arrival (frames must arrive in nondecreasing t_s order;
   // session_id must be < sessions). Throws WireError on a bad session id.
   void on_frame(IngestFrame f, const Dispatch& dispatch);
+
+  // Resolve every retry scheduled at or before `now_s` — the control
+  // plane's window-boundary hook, so every decision belonging to a closing
+  // window is final before its counters are merged. Decide times derive
+  // from each retry's own slot (never from now_s), so calling this at a
+  // boundary does not perturb the schedule.
+  void flush_until(double now_s, const Dispatch& dispatch);
+
+  // Control-plane retune of the live bucket + defer budget. Must be called
+  // at virtual-time-defined points between frames (the ingest loop's
+  // window boundaries) to stay deterministic.
+  void retune(double rate_rounds_per_s, double burst_rounds,
+              std::size_t max_defers);
 
   // Resolve every still-deferred frame (end of stream).
   void finish(const Dispatch& dispatch);
@@ -203,5 +226,16 @@ class IngestScheduler {
 // exactly what these options produce.
 std::size_t verify_ingest_schedule(std::span<const IngestRecord> recorded,
                                    const ShaperOptions& opts, std::size_t sessions);
+
+// Control-aware re-verification: replays the recorded arrivals while
+// re-applying the ControlLog's shaper retunes at the same virtual-time
+// window boundaries the live ingest loop used (boundary length `window_s`,
+// actions in log order). With an empty action span and window_s <= 0 this
+// degenerates to the overload above. 0 mismatches means the recording is
+// exactly what (options, control log) produce.
+std::size_t verify_ingest_schedule(std::span<const IngestRecord> recorded,
+                                   const ShaperOptions& opts, std::size_t sessions,
+                                   std::span<const control::ControlAction> actions,
+                                   double window_s);
 
 }  // namespace uwp::fleet

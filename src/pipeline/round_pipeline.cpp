@@ -51,6 +51,12 @@ void RoundPipeline::rebind(const PipelineOptions& opts) {
   warm_valid_ = false;
 }
 
+void RoundPipeline::set_search_threads(std::size_t n) {
+  if (n == 0 || n == opts_.localizer.outlier.search_threads) return;
+  opts_.localizer.outlier.search_threads = n;
+  localizer_ = core::Localizer(opts_.localizer);
+}
+
 bool RoundPipeline::tracing() const {
   return trace_id_ != 0 && telemetry_ != nullptr &&
          telemetry_->trace_enabled();

@@ -79,6 +79,12 @@ class RoundPipeline {
   // throws std::invalid_argument like the constructor.
   void rebind(const PipelineOptions& opts);
 
+  // Retune the pruned outlier search's fan-out without a full rebind — the
+  // control plane's solver knob. Result-neutral: the parallel pruned search
+  // is bit-identical at any thread count, so this never changes outputs,
+  // only wall-clock. No-op when `n` already matches.
+  void set_search_threads(std::size_t n);
+
   // The §2.4 payload quantization table this pipeline applies, exposed so
   // codecs (fleet wire codec, trace tooling) stay in sync with the round
   // chain's on-the-wire resolution.

@@ -225,6 +225,15 @@ class Collector {
   // Producers must have finished.
   TelemetryReport report();
 
+  // Deterministic counter sums for one window, merged across streams in
+  // stream order — the control plane's window hook. Callers must have a
+  // happens-before edge with every producer whose page row `w` they read
+  // (e.g. a barrier at the window boundary); streams that have not reached
+  // window `w` simply contribute nothing.
+  Snapshot window_snapshot(std::uint64_t w) const;
+  // Highest window index any stream has written, plus one.
+  std::size_t window_count() const;
+
  private:
   // Per-stream flight-recorder state, collector-side only (touched under
   // mu_ during drains — producers never see it).
@@ -247,7 +256,7 @@ class Collector {
 
   TelemetryOptions opts_;
   std::chrono::steady_clock::time_point epoch_;
-  std::mutex mu_;  // open()/drain()/report() vs a concurrent tailer
+  mutable std::mutex mu_;  // open()/drain()/report() vs a concurrent tailer
   std::vector<std::unique_ptr<ShardStream>> streams_;
   std::vector<FlightRing> flight_;
   std::vector<FlightDump> dumps_;

@@ -30,6 +30,14 @@ const char* to_string(Counter c) {
       return "warm_start_misses";
     case Counter::kLocalizeFailures:
       return "localize_failures";
+    case Counter::kAdmitDevices:
+      return "admit_devices";
+    case Counter::kEvictDevices:
+      return "evict_devices";
+    case Counter::kControlWindows:
+      return "control_windows";
+    case Counter::kControlActions:
+      return "control_actions";
     case Counter::kCount_:
       break;
   }
@@ -88,6 +96,12 @@ const char* to_string(Sample s) {
       return "queue_depth";
     case Sample::kArenaReuse:
       return "arena_reuse";
+    case Sample::kArenaFreeHit:
+      return "arena_free_hit";
+    case Sample::kArenaFreeMiss:
+      return "arena_free_miss";
+    case Sample::kArenaRebindCost:
+      return "arena_rebind_cost";
     case Sample::kCount_:
       break;
   }

@@ -42,6 +42,10 @@ enum class Counter : std::uint8_t {
   kWarmStartHits,      // localize stages seeded from predicted geometry
   kWarmStartMisses,    // localize stages cold-seeded (admit/rebind/coast gap)
   kLocalizeFailures,   // rounds whose localize stage produced no fix
+  kAdmitDevices,       // devices admitted (group size summed at admit)
+  kEvictDevices,       // devices evicted (group size summed at evict)
+  kControlWindows,     // control-plane windows observed by the policy engine
+  kControlActions,     // control actions emitted (ControlLog entries)
   kCount_,
 };
 inline constexpr std::size_t kCounterCount =
@@ -64,8 +68,11 @@ const char* to_string(Stage s);
 
 // Run-varying scalar samples (the "timing" JSON section).
 enum class Sample : std::uint8_t {
-  kQueueDepth = 0,  // dispatch-queue occupancy at enqueue time
-  kArenaReuse,      // arena lease satisfied from the free list (1 per hit)
+  kQueueDepth = 0,   // dispatch-queue occupancy at enqueue time
+  kArenaReuse,       // arena lease satisfied from the free list (1 per hit)
+  kArenaFreeHit,     // free-list hit; value = group size served
+  kArenaFreeMiss,    // free-list miss (cold construction); value = group size
+  kArenaRebindCost,  // |leased size - requested size| on a free-list hit
   kCount_,
 };
 inline constexpr std::size_t kSampleCount =

@@ -31,6 +31,12 @@
 //                  write the spans as Chrome trace-event JSON, loadable
 //                  as-is in Perfetto / chrome://tracing; span structure is
 //                  deterministic, wall-clock timing is not
+//   --control-log-out=FILE
+//                  fleet/serve only: force-enable the self-tuning control
+//                  plane (and telemetry, which drives it) and write the
+//                  ControlLog as JSON — every window-boundary decision the
+//                  policy engine took. The document is deterministic:
+//                  byte-identical at any --threads (CI diffs exactly that)
 //   --print-spec   dump the normalized spec (defaults filled in) and exit
 //
 // Every output path is probed (opened for append) before the run starts, so
@@ -48,6 +54,8 @@
 #include "config/factory.hpp"
 #include "config/json.hpp"
 #include "config/spec.hpp"
+#include "control/engine.hpp"
+#include "control/log.hpp"
 #include "fleet/recorder.hpp"
 #include "fleet/server.hpp"
 #include "fleet/service.hpp"
@@ -68,6 +76,7 @@ struct Args {
   std::string telemetry_path;
   std::string slo_path;
   std::string trace_path;
+  std::string control_path;
   long threads = -1;  // -1 = keep the spec's value
   bool print_spec = false;
 };
@@ -76,7 +85,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --spec=FILE [--mode=round|sweep|des|fleet|serve] "
                "[--threads=N] [--out=FILE] [--telemetry-out=FILE] "
-               "[--slo-out=FILE] [--trace-spans-out=FILE] [--print-spec]\n",
+               "[--slo-out=FILE] [--trace-spans-out=FILE] "
+               "[--control-log-out=FILE] [--print-spec]\n",
                argv0);
   return 2;
 }
@@ -101,6 +111,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.slo_path = a + 10;
     } else if (std::strncmp(a, "--trace-spans-out=", 18) == 0) {
       args.trace_path = a + 18;
+    } else if (std::strncmp(a, "--control-log-out=", 18) == 0) {
+      args.control_path = a + 18;
     } else if (std::strcmp(a, "--print-spec") == 0) {
       args.print_spec = true;
     } else {
@@ -252,6 +264,31 @@ Json telemetry_report_to_json(const uwp::config::ScenarioSpec& spec,
   doc.set("mode", Json::string(uwp::config::to_string(spec.mode)));
   doc.set("counters", std::move(counters));
   doc.set("timing", std::move(timing));
+  return doc;
+}
+
+// --- control log -> JSON ----------------------------------------------------
+
+// The whole document is the deterministic plane: the ControlLog is a pure
+// function of (window index, counter snapshot, control config), so these
+// bytes are identical at any shard/worker/thread count — CI diffs the file.
+Json control_log_to_json(const uwp::config::ScenarioSpec& spec,
+                         const uwp::control::ControlLog& log) {
+  Json actions = Json::array();
+  for (const uwp::control::ControlAction& a : log.actions) {
+    Json o = Json::object();
+    o.set("window", uwp::config::u64_to_json(a.window));
+    o.set("kind", Json::string(uwp::control::to_string(a.kind)));
+    // Hexfloat: the log's identity is bit-level.
+    o.set("value", uwp::config::double_to_json(a.value, true));
+    actions.push_back(std::move(o));
+  }
+  Json doc = Json::object();
+  doc.set("name", Json::string(spec.name));
+  doc.set("mode", Json::string(uwp::config::to_string(spec.mode)));
+  doc.set("windows_observed", uwp::config::u64_to_json(log.windows_observed));
+  doc.set("digest", Json::string(hex64(uwp::control::control_log_digest(log))));
+  doc.set("actions", std::move(actions));
   return doc;
 }
 
@@ -444,14 +481,16 @@ Json fleet_metrics_json(const uwp::fleet::FleetResult& res, Json& timing) {
 
 Json run_fleet(const uwp::config::ScenarioSpec& spec, Json& timing,
                uwp::telemetry::Collector* telemetry,
+               uwp::control::ControlEngine* engine,
                uwp::fleet::FleetResult& fleet_out) {
   const uwp::fleet::FleetService service = uwp::config::make_fleet_service(spec);
-  fleet_out = service.run(nullptr, telemetry);
+  fleet_out = service.run(nullptr, telemetry, engine);
   return fleet_metrics_json(fleet_out, timing);
 }
 
 Json run_serve(const uwp::config::ScenarioSpec& spec, Json& timing,
                uwp::telemetry::Collector* telemetry,
+               uwp::control::ControlEngine* engine,
                uwp::fleet::FleetResult& fleet_out) {
   uwp::fleet::Server server = uwp::config::make_fleet_server(spec);
   const std::vector<uwp::sim::GroupScenario> workload =
@@ -475,7 +514,7 @@ Json run_serve(const uwp::config::ScenarioSpec& spec, Json& timing,
 
   uwp::fleet::ServerResult res;
   try {
-    res = server.serve(transport, nullptr, telemetry);
+    res = server.serve(transport, nullptr, telemetry, engine);
   } catch (...) {
     transport.close();
     feeder.join();
@@ -558,15 +597,18 @@ int main(int argc, char** argv) {
   if (int rc = probe_writable(args.telemetry_path, "--telemetry-out")) return rc;
   if (int rc = probe_writable(args.slo_path, "--slo-out")) return rc;
   if (int rc = probe_writable(args.trace_path, "--trace-spans-out")) return rc;
+  if (int rc = probe_writable(args.control_path, "--control-log-out")) return rc;
 
+  const bool control_run = !args.control_path.empty() || spec.control.enabled;
   const bool telemetry_run = !args.telemetry_path.empty() ||
                              !args.slo_path.empty() || !args.trace_path.empty() ||
-                             spec.telemetry.enabled;
+                             spec.telemetry.enabled || control_run;
   if (telemetry_run && spec.mode != uwp::config::RunMode::kFleet &&
       spec.mode != uwp::config::RunMode::kServe) {
     std::fprintf(stderr,
-                 "uwp_run: telemetry (and --telemetry-out/--slo-out/"
-                 "--trace-spans-out) is only available in fleet/serve mode\n");
+                 "uwp_run: telemetry and control (--telemetry-out/--slo-out/"
+                 "--trace-spans-out/--control-log-out) are only available in "
+                 "fleet/serve mode\n");
     return 2;
   }
   std::unique_ptr<uwp::telemetry::Collector> collector;
@@ -577,6 +619,15 @@ int main(int argc, char** argv) {
     topts.enabled = true;
     if (!args.trace_path.empty()) topts.trace = true;
     collector = std::make_unique<uwp::telemetry::Collector>(topts);
+  }
+  std::unique_ptr<uwp::control::ControlEngine> engine;
+  if (control_run) {
+    // --control-log-out implies the control plane even when the spec leaves
+    // it off (the engine needs no other configuration than the defaults).
+    uwp::control::ControlConfig ccfg = uwp::config::make_control_config(spec);
+    ccfg.enabled = true;
+    engine = std::make_unique<uwp::control::ControlEngine>(
+        ccfg, uwp::config::make_control_baseline(spec));
   }
 
   std::printf("[%s] %s (mode %s)\n", args.spec_path.c_str(), spec.name.c_str(),
@@ -599,15 +650,39 @@ int main(int argc, char** argv) {
         metrics = run_des(spec, timing);
         break;
       case uwp::config::RunMode::kFleet:
-        metrics = run_fleet(spec, timing, collector.get(), fleet_res);
+        metrics = run_fleet(spec, timing, collector.get(), engine.get(), fleet_res);
         break;
       case uwp::config::RunMode::kServe:
-        metrics = run_serve(spec, timing, collector.get(), fleet_res);
+        metrics = run_serve(spec, timing, collector.get(), engine.get(), fleet_res);
         break;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "uwp_run: %s\n", e.what());
     return 1;
+  }
+  if (engine != nullptr) {
+    const uwp::control::ControlLog& clog = engine->log();
+    std::printf("control: %llu windows, %zu actions, log %s\n",
+                static_cast<unsigned long long>(clog.windows_observed),
+                clog.actions.size(),
+                hex64(uwp::control::control_log_digest(clog)).c_str());
+    // The summary rides the deterministic metrics object: the log is a pure
+    // function of the counter plane, so it is --threads invariant too.
+    Json control = Json::object();
+    control.set("windows", uwp::config::u64_to_json(clog.windows_observed));
+    control.set("actions", uwp::config::u64_to_json(clog.actions.size()));
+    control.set("digest",
+                Json::string(hex64(uwp::control::control_log_digest(clog))));
+    metrics.set("control", std::move(control));
+    if (!args.control_path.empty()) {
+      std::ofstream cout_(args.control_path, std::ios::binary);
+      if (!cout_) {
+        std::fprintf(stderr, "uwp_run: cannot open %s\n", args.control_path.c_str());
+        return 1;
+      }
+      cout_ << uwp::config::write_json(control_log_to_json(spec, clog));
+      std::printf("control log written to %s\n", args.control_path.c_str());
+    }
   }
   doc.set("metrics", std::move(metrics));
   doc.set("timing", std::move(timing));
